@@ -1,0 +1,37 @@
+"""Extension: cache-behavior probing (refs [33]/[40]/[41]).
+
+The three-phase probe over a mixed-cache fleet: compliant resolvers
+refetch after expiry, TTL-extenders and stale-servers keep answering a
+record that the zone owner deleted — Jiang et al.'s ghost-domain
+effect, detected from outside.
+"""
+
+from repro.cachetest import CachePolicy, CacheProbeExperiment, render_cache_report
+from benchmarks.conftest import write_result
+
+FLEET = {
+    CachePolicy.COMPLIANT: 12,
+    CachePolicy.TTL_EXTENDER: 5,
+    CachePolicy.STALE_SERVER: 5,
+    CachePolicy.NO_CACHE: 3,
+}
+
+
+def run_probe():
+    return CacheProbeExperiment(fleet=FLEET, seed=7).run()
+
+
+def test_cache_behavior(benchmark, results_dir):
+    report = benchmark(run_probe)
+
+    assert report.total == 25
+    # Detection is exact for every deployed policy.
+    for verdict in report.by_policy(CachePolicy.COMPLIANT):
+        assert verdict.caches and not verdict.serves_ghost
+    for verdict in report.by_policy(CachePolicy.TTL_EXTENDER):
+        assert verdict.serves_ghost
+    for verdict in report.by_policy(CachePolicy.NO_CACHE):
+        assert not verdict.caches
+    assert report.count_ghost_servers() == 10
+
+    write_result(results_dir, "cache_behavior.txt", render_cache_report(report))

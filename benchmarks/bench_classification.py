@@ -1,0 +1,38 @@
+"""Extension: recursive-vs-proxy classification (Schomp et al., ref [34]).
+
+Shape targets: forwarding proxies dominate the open-resolver
+population, the dual capture separates the three responding classes
+without error, and the proxy fan-in exposes the shared upstreams.
+"""
+
+from repro.classify import (
+    ResolverClass,
+    ResolverClassifier,
+    build_classification_world,
+    render_classification,
+)
+from benchmarks.conftest import write_result
+
+
+def run_classification():
+    network, hierarchy, targets = build_classification_world(
+        recursives=15, proxies=60, fabricators=10, shared_upstreams=4, seed=7
+    )
+    classifier = ResolverClassifier(network, hierarchy)
+    return classifier.classify(targets)
+
+
+def test_classification(benchmark, results_dir):
+    report = benchmark(run_classification)
+
+    assert report.count(ResolverClass.RECURSIVE) == 15
+    assert report.count(ResolverClass.PROXY) == 60
+    assert report.count(ResolverClass.FABRICATOR) == 10
+    # Proxies dominate, as Schomp et al. found in the wild.
+    assert report.share(ResolverClass.PROXY) > 0.5
+    assert sum(report.upstream_fan_in.values()) == 60
+    assert len(report.upstream_fan_in) == 4
+
+    write_result(
+        results_dir, "classification.txt", render_classification(report)
+    )

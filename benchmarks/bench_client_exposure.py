@@ -1,0 +1,32 @@
+"""Extension: client exposure to manipulating resolvers (section V).
+
+Benchmarks the exposure experiment and checks the paper's passivity
+argument quantitatively: exposed clients equal clients *bound* to a
+manipulator — the threat scales with usage, not existence.
+"""
+
+from repro.clients import ExposureExperiment, WorkloadConfig, render_exposure
+from benchmarks.conftest import write_result
+
+
+def run_experiment():
+    experiment = ExposureExperiment(
+        workload=WorkloadConfig(clients=150, queries_per_client=6, domains=40),
+        resolver_count=30,
+        malicious_share=0.1,
+        seed=7,
+    )
+    return experiment.run()
+
+
+def test_client_exposure(benchmark, results_dir):
+    report = benchmark(run_experiment)
+
+    assert report.malicious_resolvers == 3
+    assert report.clients_exposed == report.clients_on_malicious
+    assert report.queries_hijacked > 0
+    assert report.queries_answered > 0.95 * report.queries_total
+    # Exposure rate tracks the binding share exactly.
+    assert report.client_exposure_rate == report.expected_client_share
+
+    write_result(results_dir, "client_exposure.txt", render_exposure(report))

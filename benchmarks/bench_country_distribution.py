@@ -1,0 +1,50 @@
+"""Section IV-C2: geolocation of malicious resolvers, both years.
+
+Shape targets: the US hosts the large majority in both years but its
+share falls from ~98% (2013) to ~81% (2018) as the distribution
+broadens (India, Hong Kong, ... enter the top ranks).
+"""
+
+from repro.analysis.malicious import measure_country_distribution
+from repro.analysis.report import render_country_distribution
+from benchmarks.conftest import write_result
+
+
+def test_country_distribution(
+    benchmark, campaign_2013_fine, campaign_2018_fine, results_dir
+):
+    result = campaign_2018_fine
+    truth = result.hierarchy.auth.ip
+    countries_2018 = benchmark(
+        measure_country_distribution,
+        result.flow_set.views,
+        truth,
+        result.population.cymon,
+        result.population.geo,
+    )
+    countries_2013 = campaign_2013_fine.country_distribution
+
+    total_2013 = sum(countries_2013.values())
+    total_2018 = sum(countries_2018.values())
+    assert total_2013 > 0 and total_2018 > 0
+    us_share_2013 = countries_2013.get("US", 0) / total_2013
+    us_share_2018 = countries_2018.get("US", 0) / total_2018
+    # US dominates both years, but less so in 2018.
+    assert us_share_2013 > 0.9
+    assert 0.6 < us_share_2018 < 0.95
+    assert us_share_2018 < us_share_2013
+    # The 2018 distribution is broader (more countries represented).
+    if total_2018 >= 20:
+        assert len(countries_2018) >= len(countries_2013) - 2
+
+    write_result(
+        results_dir,
+        "country_distribution.txt",
+        render_country_distribution(
+            countries_2013, title="2013 (paper: US 98%, TR, VG, PL, IR, ...)"
+        )
+        + "\n\n"
+        + render_country_distribution(
+            countries_2018, title="2018 (paper: US 81%, IN, HK, VG, AE, CN, ...)"
+        ),
+    )

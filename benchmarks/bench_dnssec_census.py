@@ -1,0 +1,40 @@
+"""Extension: DNSSEC validator counting (refs [43]/[44]).
+
+Benchmarks the DO-probe scan over the 2018 responders and checks the
+validator share lands near the calibrated published estimate (~12% of
+resolvers in 2018, up from ~3% in 2013).
+"""
+
+from repro.dnssec import (
+    ValidatorScanner,
+    render_validator_census,
+    validator_share_for_year,
+)
+from benchmarks.conftest import write_result
+
+
+def test_dnssec_validator_census(benchmark, campaign_2018, results_dir):
+    targets = sorted(campaign_2018.population.address_set())
+
+    def scan():
+        scanner = ValidatorScanner(
+            campaign_2018.network,
+            campaign_2018.hierarchy.auth,
+            campaign_2018.hierarchy.sld,
+        )
+        return scanner.scan(targets)
+
+    census = benchmark(scan)
+
+    assert census.answered > 0
+    assert census.validating
+    # Only assigned validators can earn AD=1.
+    assert census.validating <= campaign_2018.dnssec_validators
+    calibrated = validator_share_for_year(2018)
+    assert abs(census.validating_share - calibrated) < 0.10
+
+    write_result(
+        results_dir,
+        "dnssec_census.txt",
+        render_validator_census(census, 2018),
+    )

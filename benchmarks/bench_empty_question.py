@@ -1,0 +1,81 @@
+"""Section IV-B4: the 494 responses with an empty dns_question.
+
+The empty-question population is tiny (494 of 6.5M packets), so it is
+exercised at 1:1 scale: every eq-cell host from the 2018 profile is
+instantiated and probed directly, and the analyzer must reproduce the
+paper's breakdown — 19 answers (14 private: 13 in 192.168/16, 1 in
+10/8), 184 RA=1, 2 AA=1, ServFail/Refused dominating the rcodes.
+"""
+
+import random
+
+from repro.analysis.empty_question import measure_empty_question
+from repro.analysis.report import render_empty_question
+from repro.dnslib.message import make_query
+from repro.prober.capture import R2Record, parse_r2
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.resolvers.population import PopulationSampler
+from repro.resolvers.profiles import PROFILE_2018
+from benchmarks.conftest import write_result
+
+
+def build_eq_views():
+    """Synthesize the full 494-packet empty-question set at 1:1 scale."""
+    rng = random.Random(42)
+    sampler = PopulationSampler(PROFILE_2018, scale=1, seed=42)
+    views = []
+    for cell in PROFILE_2018.empty_question_cells():
+        for index in range(cell.count):
+            fixed = cell.fixed_answer
+            if fixed is not None and "/" in fixed:
+                fixed = sampler._materialize_fixed(fixed, rng)
+            spec = BehaviorSpec(
+                name=cell.name,
+                mode=ResponseMode.FABRICATE,
+                ra=cell.ra,
+                aa=cell.aa,
+                rcode=cell.rcode,
+                answer_kind=cell.answer_kind,
+                fixed_answer=fixed,
+                empty_question=True,
+            )
+            host = BehaviorHost(f"198.51.100.{index % 250 + 1}", spec, "45.76.1.10")
+            query = make_query(f"or000.{index:07d}.ucfsealresearch.net")
+            wire = host.build_response_wire(query, None)
+            views.append(parse_r2(R2Record(0.0, host.ip, wire)))
+    return views
+
+
+def test_empty_question_analysis(benchmark, results_dir):
+    views = build_eq_views()
+    detail = benchmark(measure_empty_question, views)
+
+    summary = detail.summary
+    assert summary.total == 494             # paper: 494 packets
+    assert summary.with_answer == 19        # paper: 19 with dns_answer
+    assert summary.correct == 0             # none correct
+    assert summary.ra1 == 184               # paper: 184 with RA=1
+    assert summary.aa1 == 2                 # paper: 2 with AA=1
+    assert detail.private_answers == 14     # paper: 14 private answers
+    assert detail.private_by_block["192.168.0.0/16"] == 13
+    assert detail.private_by_block["10.0.0.0/8"] == 1
+    # rcodes: NoError 26, FormErr 1, ServFail 301, Refused 163.
+    assert summary.rcodes[0] == 26
+    assert summary.rcodes[1] == 1
+    assert summary.rcodes[2] == 301
+    assert summary.rcodes[5] == 163
+
+    write_result(
+        results_dir,
+        "empty_question.txt",
+        render_empty_question(
+            summary,
+            title="Empty dns_question (IV-B4; paper: 494 pkts, 19 answers, "
+            "184 RA1, 2 AA1)",
+        )
+        + f"\n  private answers:   {detail.private_answers} "
+        + f"({detail.private_by_block})"
+        + f"\n  garbage answers:   {detail.garbage_answers}"
+        + f"\n  public answers:    {detail.public_answers}",
+    )

@@ -1,0 +1,62 @@
+"""Fig 3 + the subdomain-reuse ablation (section III-B).
+
+The paper's claim: two-tier subdomains with reuse cut the cluster
+count from a theoretical ~800 to 4. The ablation replays a scan's
+allocation pattern (one subdomain per probe, ~0.18% responders) with
+reuse on and off and compares cluster consumption.
+"""
+
+from repro.prober.subdomain import ClusterAllocator, SubdomainScheme
+from benchmarks.conftest import write_result
+
+#: Scaled-down scan: 1M probes, 5k-subdomain clusters, 0.18% responders
+#: (the paper's 2018 R2/Q1 share), reuse after a 10k-probe window.
+PROBES = 1_000_000
+CLUSTER_SIZE = 5_000
+RESPONDER_EVERY = 569  # ~0.176%
+WINDOW = 10_000
+
+
+def replay_scan(reuse: bool) -> ClusterAllocator:
+    allocator = ClusterAllocator(
+        SubdomainScheme(), cluster_size=CLUSTER_SIZE, reuse=reuse
+    )
+    pending = []
+    for index in range(PROBES):
+        allocation = allocator.allocate()
+        responded = index % RESPONDER_EVERY == 0
+        if responded:
+            allocator.burn(allocation)
+        else:
+            pending.append(allocation)
+        if len(pending) >= WINDOW:
+            for old in pending:
+                allocator.release(old)
+            pending.clear()
+    return allocator
+
+
+def test_fig3_subdomain_reuse_ablation(benchmark, results_dir):
+    with_reuse = benchmark(replay_scan, True)
+    without = replay_scan(False)
+
+    theoretical = PROBES // CLUSTER_SIZE
+    assert without.stats.clusters_created == theoretical  # ~"800"
+    assert with_reuse.stats.clusters_created <= 6          # ~"4"
+    assert with_reuse.stats.reuse_rate > 0.9
+    assert with_reuse.stats.burned == without.stats.burned
+
+    ratio = without.stats.clusters_created / with_reuse.stats.clusters_created
+    lines = [
+        "Fig 3 ablation: subdomain reuse (paper: ~800 clusters -> 4)",
+        f"  probes:                  {PROBES:,}",
+        f"  cluster size:            {CLUSTER_SIZE:,}",
+        f"  responder share:         {100 / RESPONDER_EVERY:.3f}%",
+        f"  clusters without reuse:  {without.stats.clusters_created}",
+        f"  clusters with reuse:     {with_reuse.stats.clusters_created}",
+        f"  reduction:               {ratio:.0f}x",
+        f"  reuse rate:              {with_reuse.stats.reuse_rate:.1%}",
+        "  qname example:           "
+        + SubdomainScheme().qname(0, 1),
+    ]
+    write_result(results_dir, "fig3_subdomain.txt", "\n".join(lines))

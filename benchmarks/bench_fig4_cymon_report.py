@@ -1,0 +1,36 @@
+"""Fig 4: the threat-intel report card for a hot malicious destination.
+
+The paper shows Cymon's multi-category report for 208.91.197.91 (the
+third-ranked incorrect destination): malware dominant with botnet and
+phishing noise. Benchmarks report rendering plus the dominant-category
+election over the campaign's malicious destinations.
+"""
+
+from collections import Counter
+
+from repro.analysis.malicious import malicious_views
+from benchmarks.conftest import write_result
+
+
+def test_fig4_cymon_report(benchmark, campaign_2018_fine, results_dir):
+    result = campaign_2018_fine
+    cymon = result.population.cymon
+    truth = result.hierarchy.auth.ip
+    bad = malicious_views(result.flow_set.views, truth, cymon)
+    assert bad, "need at least one malicious response at fine scale"
+    hottest, count = Counter(v.first_answer()[1] for v in bad).most_common(1)[0]
+
+    report = benchmark(cymon.render_report, hottest)
+
+    assert hottest in report
+    assert "Dominant category:" in report
+    # The named heavy hitters carry cross-category noise like Fig 4.
+    if hottest in ("74.220.199.15", "208.91.197.91"):
+        assert report.count("\n") >= 5
+
+    write_result(
+        results_dir,
+        "fig4_cymon_report.txt",
+        f"Fig 4: report card for the hottest malicious destination "
+        f"({count} R2 packets)\n\n" + report,
+    )

@@ -1,0 +1,29 @@
+"""Extension: version.bind software census (Takano et al., ref [8]).
+
+Benchmarks the fingerprint scan over the 2018 responders and checks
+the census shape: dnsmasq-class CPE software dominates, a double-digit
+share of operators hide their banner, and a large fraction of revealed
+versions carry known CVEs.
+"""
+
+from repro.fingerprint import VersionScanner, render_census, take_census
+from benchmarks.conftest import write_result
+
+
+def test_fingerprint_census(benchmark, campaign_2018, results_dir):
+    targets = sorted(campaign_2018.population.address_set())
+
+    def scan():
+        scanner = VersionScanner(campaign_2018.network)
+        return scanner.scan(targets)
+
+    result = benchmark(scan)
+    census = take_census(result, total_targets=len(targets))
+
+    assert result.responded == len(targets)
+    assert census.by_product
+    assert max(census.by_product, key=census.by_product.get) == "dnsmasq"
+    assert 0.10 < census.hiding_rate < 0.35
+    assert census.vulnerable_share > 0.3
+
+    write_result(results_dir, "fingerprint_census.txt", render_census(census))

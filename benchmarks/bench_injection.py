@@ -1,0 +1,25 @@
+"""Extension: record-injection vulnerability (refs [10]/[39]).
+
+Shape target: with the Klein-calibrated vulnerable share, the
+bait-and-check test finds ~92% of resolvers serving the planted
+record, and detection is exact (no false positives or negatives).
+"""
+
+from repro.injection import InjectionExperiment, render_injection
+from benchmarks.conftest import write_result
+
+
+def run_injection():
+    experiment = InjectionExperiment(resolver_count=50, seed=7)
+    return experiment, experiment.run()
+
+
+def test_record_injection(benchmark, results_dir):
+    experiment, report = benchmark(run_injection)
+
+    assert report.tested == 50
+    assert set(report.vulnerable) == experiment.truly_vulnerable
+    assert 0.80 <= report.vulnerable_share <= 1.0  # Klein: >92%
+    assert report.unresponsive == ()
+
+    write_result(results_dir, "injection.txt", render_injection(report))

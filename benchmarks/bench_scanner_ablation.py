@@ -1,0 +1,43 @@
+"""Scan-order ablation: ZMap cyclic-group permutation vs linear walk.
+
+DESIGN.md section 5: the permutation spreads probes across networks so
+no single /8 absorbs a burst. The ablation quantifies spread (distinct
+/8s touched early in the scan) and benchmarks raw permutation
+throughput, the scanner's hot loop.
+"""
+
+from repro.prober.zmap import AddressPermutation, probe_order
+from benchmarks.conftest import write_result
+
+SAMPLE = 50_000
+
+
+def walk_permutation():
+    return AddressPermutation(seed=9).take(SAMPLE)
+
+
+def test_scan_order_ablation(benchmark, results_dir):
+    permuted = benchmark(walk_permutation)
+    linear = list(range(SAMPLE))
+
+    permuted_slash8s = {address >> 24 for address in permuted}
+    linear_slash8s = {address >> 24 for address in linear}
+    assert len(permuted_slash8s) > 200
+    assert len(linear_slash8s) == 1
+    # No duplicates in the permutation prefix.
+    assert len(set(permuted)) == SAMPLE
+    # probe_order additionally filters the reserved ranges.
+    filtered = list(probe_order(seed=9, limit=1000))
+    from repro.netsim.ipv4 import is_probeable
+
+    assert all(is_probeable(address) for address in filtered)
+
+    lines = [
+        "Scan-order ablation (ZMap permutation vs linear)",
+        f"  sample size:              {SAMPLE:,} probes",
+        f"  /8s touched (permuted):   {len(permuted_slash8s)}",
+        f"  /8s touched (linear):     {len(linear_slash8s)}",
+        "  => the permutation spreads load across the whole space from",
+        "     the first second of the scan, the linear walk hammers one /8.",
+    ]
+    write_result(results_dir, "scanner_ablation.txt", "\n".join(lines))

@@ -1,0 +1,38 @@
+"""Table X: RA/AA flag misuse on malicious responses, 2018.
+
+Shape targets: malicious R2 mostly claims *no* recursion (RA=0,
+paper: 72.5%) while falsely claiming authority (AA=1, paper: 72.2%),
+and every single malicious response carries rcode NoError — the
+"trust me" header combination.
+"""
+
+from repro.analysis.malicious import malicious_views, measure_malicious_flags
+from repro.analysis.report import render_malicious_flags
+from repro.dnslib.constants import Rcode
+from benchmarks.conftest import write_result
+
+
+def test_table10_malicious_flags(benchmark, campaign_2018_fine, results_dir):
+    result = campaign_2018_fine
+    truth = result.hierarchy.auth.ip
+    cymon = result.population.cymon
+    table = benchmark(
+        measure_malicious_flags, result.flow_set.views, truth, cymon
+    )
+
+    assert table.total > 0
+    # Paper: RA0 72.5%, AA1 72.2%.
+    assert table.ra0_share > 55.0
+    assert table.aa1_share > 55.0
+    # All malicious responses carry NoError.
+    for view in malicious_views(result.flow_set.views, truth, cymon):
+        assert view.rcode == Rcode.NOERROR
+
+    write_result(
+        results_dir,
+        "table10_malicious_flags.txt",
+        render_malicious_flags(
+            table,
+            title="Table X (paper: RA0 72.5%, RA1 27.5%; AA0 27.8%, AA1 72.2%)",
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Table I: the RFC exclusion list and the probeable address space.
+
+Regenerates the excluded-blocks table and validates the discovered
+arithmetic: the deduplicated union of the paper's blocks leaves exactly
+3,702,258,432 probeable addresses — the paper's own 2018 Q1 count
+(its printed Table I total, 575,931,649, is internally inconsistent).
+"""
+
+from repro.netsim.ipv4 import (
+    RESERVED_BLOCKS,
+    is_reserved,
+    probeable_space_size,
+    reserved_union_size,
+)
+from benchmarks.conftest import write_result
+
+
+def render_table1() -> str:
+    lines = ["Table I: excluded address blocks",
+             "+--------------------+---------+-------------+",
+             "| Address Block      | RFC     | #           |",
+             "+--------------------+---------+-------------+"]
+    for row in RESERVED_BLOCKS:
+        lines.append(
+            f"| {str(row.block):<18} | {row.rfc:<7} | {row.size:>11,} |"
+        )
+    lines.append("+--------------------+---------+-------------+")
+    lines.append(f"| union (dedup)      | -       | {reserved_union_size():>11,} |")
+    lines.append(f"| probeable          | -       | {probeable_space_size():>11,} |")
+    lines.append("+--------------------+---------+-------------+")
+    return "\n".join(lines)
+
+
+def test_table1_membership_throughput(benchmark, results_dir):
+    """Time the reserved-range check the scanner performs per address."""
+    addresses = list(range(0, 1 << 32, (1 << 32) // 10_000))
+
+    def check_all():
+        return sum(1 for address in addresses if is_reserved(address))
+
+    reserved = benchmark(check_all)
+    # Roughly 16% of the space is excluded (592.7M / 4,294.9M = 13.8%).
+    assert 0.10 < reserved / len(addresses) < 0.18
+    assert probeable_space_size() == 3_702_258_432
+    write_result(results_dir, "table1_exclusions.txt", render_table1())

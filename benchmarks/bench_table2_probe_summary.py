@@ -1,0 +1,46 @@
+"""Table II: the probing summary for both years.
+
+Checks the scale-free shape targets: Q2/Q1 and R2/Q1 percentage shares
+(paper: 1.0357/0.453 in 2013, 0.3525/0.1757 in 2018) and the scan
+durations that emerge from the paced send rate (~7 days in 2013,
+~10.5 hours in 2018).
+"""
+
+import pytest
+
+from repro.analysis.report import render_probe_summary
+from repro.analysis.summary import extrapolate, measure_probe_summary
+from benchmarks.conftest import COARSE_SCALE, write_result
+
+
+def test_table2_probe_summary(
+    benchmark, campaign_2013, campaign_2018, results_dir
+):
+    summary_2018 = benchmark(
+        measure_probe_summary, 2018, campaign_2018.capture,
+        campaign_2018.flow_set,
+    )
+    summary_2013 = campaign_2013.probe_summary
+
+    assert summary_2018.r2_share == pytest.approx(0.1757, abs=0.02)
+    assert summary_2018.q2_share == pytest.approx(0.3525, abs=0.05)
+    assert summary_2013.r2_share == pytest.approx(0.453, abs=0.05)
+    assert summary_2013.q2_share == pytest.approx(1.0357, abs=0.12)
+    # Durations: paper reports 7d5h (2013) and ~10h35m (2018).
+    assert 6 * 86400 < summary_2013.duration_seconds < 9 * 86400
+    assert 9 * 3600 < summary_2018.duration_seconds < 13 * 3600
+
+    measured = render_probe_summary(
+        [summary_2013, summary_2018], title="Table II (measured, scaled)"
+    )
+    extrapolated = render_probe_summary(
+        [
+            extrapolate(summary_2013, COARSE_SCALE),
+            extrapolate(summary_2018, COARSE_SCALE),
+        ],
+        title="Table II (extrapolated; paper: Q1 3.68B/3.70B, "
+        "Q2 38.1M/13.0M, R2 16.7M/6.5M)",
+    )
+    write_result(
+        results_dir, "table2_probe_summary.txt", measured + "\n\n" + extrapolated
+    )

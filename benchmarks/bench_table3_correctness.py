@@ -1,0 +1,36 @@
+"""Table III: answer presence and correctness, both years.
+
+Shape targets: the error rate among answers roughly quadruples from
+~1.03% (2013) to ~3.88% (2018) while the absolute number of incorrect
+answers stays flat — the paper's core "threat persists" signal.
+"""
+
+import pytest
+
+from repro.analysis.correctness import measure_correctness
+from repro.analysis.report import render_correctness
+from benchmarks.conftest import write_result
+
+
+def test_table3_correctness(benchmark, campaign_2013, campaign_2018, results_dir):
+    truth = campaign_2018.hierarchy.auth.ip
+    table_2018 = benchmark(
+        measure_correctness, campaign_2018.flow_set.views, truth
+    )
+    table_2013 = campaign_2013.correctness
+
+    assert table_2013.err == pytest.approx(1.029, abs=0.5)
+    assert table_2018.err == pytest.approx(3.879, abs=1.0)
+    # Incorrect counts stay flat while the answering population shrinks 4x.
+    assert table_2013.with_answer > 3 * table_2018.with_answer
+    ratio = table_2018.incorrect / max(table_2013.incorrect, 1)
+    assert 0.6 < ratio < 1.5
+
+    write_result(
+        results_dir,
+        "table3_correctness.txt",
+        render_correctness(
+            {2013: table_2013, 2018: table_2018},
+            title="Table III (paper Err%: 1.029 / 3.879)",
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Table IV: the Recursion Available flag vs answer correctness.
+
+Shape targets: answers carried by RA=0 responses are overwhelmingly
+wrong in 2018 (paper: 94.2% vs 31.3% in 2013), RA=1 answers are almost
+always right (1.6% / 0.39% wrong), and the three open-resolver
+estimates of section IV-B1 keep their ordering and ~4x decline.
+"""
+
+import pytest
+
+from repro.analysis.headers import (
+    measure_flag_table,
+    measure_open_resolver_estimates,
+)
+from repro.analysis.report import render_flag_table
+from benchmarks.conftest import write_result
+
+
+def test_table4_ra_flag(benchmark, campaign_2013, campaign_2018, results_dir):
+    truth = campaign_2018.hierarchy.auth.ip
+    ra_2018 = benchmark(
+        measure_flag_table, campaign_2018.flow_set.views, truth, "ra"
+    )
+    ra_2013 = campaign_2013.ra_table
+
+    # 2018: Err(RA0) ~94%, Err(RA1) ~1.6%.
+    assert ra_2018.zero.err > 60.0
+    assert ra_2018.one.err < 8.0
+    # 2013: Err(RA0) ~31%, Err(RA1) ~0.4%.
+    assert 10.0 < ra_2013.zero.err < 60.0
+    assert ra_2013.one.err < 3.0
+    # RA0-with-answer is a rarity in both years (<6% of RA0).
+    assert ra_2018.zero.with_answer < 0.06 * ra_2018.zero.total
+
+    est_2013 = campaign_2013.estimates
+    est_2018 = campaign_2018.estimates
+    assert est_2013.ra_flag_only >= est_2013.ra_and_correct
+    assert est_2018.ra_flag_only >= est_2018.ra_and_correct
+    decline = est_2018.ra_and_correct / max(est_2013.ra_and_correct, 1)
+    assert 0.15 < decline < 0.35  # paper: 11.5M -> 2.74M (~0.24)
+
+    write_result(
+        results_dir,
+        "table4_ra_flag.txt",
+        render_flag_table(
+            {2013: ra_2013, 2018: ra_2018},
+            title="Table IV (paper Err%: RA0 31.3/94.2, RA1 0.39/1.64)",
+        )
+        + "\n\nOpen-resolver estimates (IV-B1), scaled:\n"
+        + f"  2013: RA-only {est_2013.ra_flag_only:,}, "
+        + f"RA+correct {est_2013.ra_and_correct:,}, "
+        + f"correct-any {est_2013.correct_any_flag:,}\n"
+        + f"  2018: RA-only {est_2018.ra_flag_only:,}, "
+        + f"RA+correct {est_2018.ra_and_correct:,}, "
+        + f"correct-any {est_2018.correct_any_flag:,}",
+    )

@@ -1,0 +1,41 @@
+"""Table V: the Authoritative Answer flag vs answer correctness.
+
+Shape targets: AA=1 responses (which should essentially not exist —
+no probed resolver is authoritative for the measurement SLD) carry
+mostly wrong answers, with the error rate roughly doubling from 2013
+(~34% of AA1 answers) to 2018 (~79%), while AA=0 stays under 1%.
+"""
+
+from repro.analysis.headers import measure_flag_table
+from repro.analysis.report import render_flag_table
+from benchmarks.conftest import write_result
+
+
+def test_table5_aa_flag(benchmark, campaign_2013, campaign_2018, results_dir):
+    truth = campaign_2018.hierarchy.auth.ip
+    aa_2018 = benchmark(
+        measure_flag_table, campaign_2018.flow_set.views, truth, "aa"
+    )
+    aa_2013 = campaign_2013.aa_table
+
+    # AA1 is a small minority of responses in both years.
+    assert aa_2013.one.total < 0.05 * aa_2013.total
+    assert aa_2018.one.total < 0.06 * aa_2018.total
+    # AA1 error rate doubles 2013 -> 2018; AA0 stays clean.
+    assert aa_2018.one.err > 1.5 * aa_2013.one.err
+    assert aa_2018.one.err > 50.0
+    assert aa_2018.zero.err < 3.0
+    assert aa_2013.zero.err < 2.0
+    # AA1 incorrect answers dominate all incorrect answers in 2018
+    # (paper: 84.7% of all wrong packets have AA=1).
+    incorrect_total = aa_2018.zero.incorrect + aa_2018.one.incorrect
+    assert aa_2018.one.incorrect > 0.6 * incorrect_total
+
+    write_result(
+        results_dir,
+        "table5_aa_flag.txt",
+        render_flag_table(
+            {2013: aa_2013, 2018: aa_2018},
+            title="Table V (paper Err%: AA1 ~34 -> ~79; AA0 0.37/0.62)",
+        ),
+    )

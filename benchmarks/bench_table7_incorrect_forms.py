@@ -1,0 +1,41 @@
+"""Table VII: incorrect answers by form (IP / URL / string / N-A).
+
+Shape targets: IP-form answers dominate overwhelmingly in both years
+(>99% of incorrect packets), URL and garbage-string answers exist as
+rarities, and the undecodable (N/A) form appears only in the 2013
+dataset, exactly as the paper's libpcap caveat describes.
+"""
+
+from repro.analysis.incorrect import measure_incorrect_forms
+from repro.analysis.report import render_incorrect_forms
+from benchmarks.conftest import write_result
+
+
+def test_table7_incorrect_forms(
+    benchmark, campaign_2013_fine, campaign_2018_fine, results_dir
+):
+    truth = campaign_2018_fine.hierarchy.auth.ip
+    table_2018 = benchmark(
+        measure_incorrect_forms, campaign_2018_fine.flow_set.views, truth
+    )
+    table_2013 = campaign_2013_fine.incorrect_forms
+
+    ip_r2, ip_unique = table_2018.counts["ip"]
+    assert ip_r2 > 0.97 * table_2018.total_r2
+    assert 0 < ip_unique <= ip_r2
+    # N/A (undecodable) answers: present in 2013, absent in 2018.
+    assert table_2013.counts["na"][0] > 0
+    assert table_2018.counts["na"][0] == 0
+    # The 2013 malformed share is ~7% of incorrect (8,764 / 121,293).
+    na_share = table_2013.counts["na"][0] / table_2013.total_r2
+    assert 0.03 < na_share < 0.12
+
+    write_result(
+        results_dir,
+        "table7_incorrect_forms.txt",
+        render_incorrect_forms(
+            {2013: table_2013, 2018: table_2018},
+            title="Table VII (paper #R2: IP 112,270/110,790; URL 249/231; "
+            "string 10/72; N/A 8,764/-)",
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Table IX: malicious destinations by Cymon category, both years.
+
+Shape targets: malware dominates the R2 share (~86%) in both years,
+phishing is the clear second and grows fastest 2013 -> 2018, and the
+total malicious R2 roughly doubles while the overall open-resolver
+population shrinks 4x — the paper's headline threat signal.
+"""
+
+from repro.analysis.malicious import measure_malicious_categories
+from repro.analysis.report import render_malicious_categories
+from benchmarks.conftest import write_result
+
+
+def test_table9_malicious_categories(
+    benchmark, campaign_2013_fine, campaign_2018_fine, results_dir
+):
+    truth = campaign_2018_fine.hierarchy.auth.ip
+    table_2018 = benchmark(
+        measure_malicious_categories,
+        campaign_2018_fine.flow_set.views,
+        truth,
+        campaign_2018_fine.population.cymon,
+    )
+    table_2013 = campaign_2013_fine.malicious_categories
+
+    # Malware dominates the packet share in both years (~86%).
+    assert table_2013.r2_share("Malware") > 60.0
+    assert table_2018.r2_share("Malware") > 60.0
+    # Phishing is present and its R2 share grows 2013 -> 2018.
+    assert table_2018._row("Phishing").r2 > 0
+    # Malicious R2 roughly doubles (paper: 12,874 -> 26,926).
+    ratio = table_2018.total_r2 / max(table_2013.total_r2, 1)
+    assert 1.3 < ratio < 3.5
+    # Unique malicious IPs grow (paper: 100 -> 335).
+    assert table_2018.total_ips > table_2013.total_ips
+
+    write_result(
+        results_dir,
+        "table9_malicious.txt",
+        render_malicious_categories(
+            {2013: table_2013, 2018: table_2018},
+            title="Table IX (paper: malware 86.6/86.1 %R2; totals 100 IP/"
+            "12,874 R2 -> 335 IP/26,926 R2)",
+        ),
+    )

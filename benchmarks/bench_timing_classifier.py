@@ -1,0 +1,69 @@
+"""Extension: timing side-channel classification.
+
+Fabricating resolvers answer in one round trip; genuinely resolving
+ones pay the extra hop to the authority. A two-means threshold over
+the RTT distribution separates the populations without any
+authoritative-side capture — and its labels agree with the
+dual-capture ground truth.
+"""
+
+from repro.classify import FAST, SLOW, TimingClassifier
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.netsim.latency import LogNormalLatency
+from repro.netsim.network import Network
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from benchmarks.conftest import write_result
+
+
+def build_and_classify():
+    network = Network(seed=7, latency=LogNormalLatency(median=0.04, sigma=0.15))
+    hierarchy = build_hierarchy(network)
+    truth = {}
+    targets = []
+    for index in range(25):
+        ip = f"203.80.0.{index + 1}"
+        spec = BehaviorSpec(
+            name="fab", mode=ResponseMode.FABRICATE, ra=True, aa=True,
+            answer_kind=AnswerKind.INCORRECT_IP, fixed_answer="208.91.197.91",
+        )
+        BehaviorHost(ip, spec, hierarchy.auth.ip).attach(network)
+        targets.append(ip)
+        truth[ip] = FAST
+    for index in range(25):
+        ip = f"203.80.1.{index + 1}"
+        spec = BehaviorSpec(
+            name="std", mode=ResponseMode.RESOLVE, ra=True, aa=False,
+            answer_kind=AnswerKind.CORRECT,
+        )
+        BehaviorHost(ip, spec, hierarchy.auth.ip).attach(network)
+        targets.append(ip)
+        truth[ip] = SLOW
+    result = TimingClassifier(network, hierarchy).classify(targets)
+    return result, truth
+
+
+def test_timing_classifier(benchmark, results_dir):
+    result, truth = benchmark(build_and_classify)
+
+    agreement = sum(
+        1 for ip, label in result.labels.items() if truth[ip] == label
+    )
+    accuracy = agreement / len(truth)
+    # Log-normal jitter overlaps the tails slightly; accuracy stays high.
+    assert accuracy >= 0.9
+    assert result.count(FAST) > 0 and result.count(SLOW) > 0
+
+    fast_rtts = [r for ip, r in result.rtts.items() if truth[ip] == FAST]
+    slow_rtts = [r for ip, r in result.rtts.items() if truth[ip] == SLOW]
+    lines = [
+        "Timing side-channel classification",
+        f"  targets:            {len(truth)}",
+        f"  threshold:          {result.threshold * 1000:.1f} ms",
+        f"  accuracy vs truth:  {accuracy:.1%}",
+        f"  fabricator RTTs:    median "
+        f"{sorted(fast_rtts)[len(fast_rtts) // 2] * 1000:.1f} ms",
+        f"  resolver RTTs:      median "
+        f"{sorted(slow_rtts)[len(slow_rtts) // 2] * 1000:.1f} ms",
+    ]
+    write_result(results_dir, "timing_classifier.txt", "\n".join(lines))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Continuous monitoring of the open-resolver ecosystem (section V).
+
+The paper argues one-shot scans miss the point: the threat evolves.
+This example runs several scan epochs over a churning population and
+prints per-epoch diffs (arrivals, departures, behavior changes,
+resolvers turning malicious) plus the cross-epoch trend.
+
+Usage::
+
+    python examples/continuous_monitoring.py [epochs] [scale]
+"""
+
+import sys
+
+from repro.monitor import ChurnModel, ContinuousMonitor
+
+
+def main() -> None:
+    epochs = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 8192
+    churn = ChurnModel(
+        death_rate=0.10,          # CPE devices vanish
+        birth_rate=0.07,          # new misconfigurations appear
+        behavior_change_rate=0.05,  # firmware updates, compromises
+    )
+    monitor = ContinuousMonitor(scale=scale, seed=7, churn=churn)
+    print(f"Monitoring {epochs} epochs at scale 1/{scale} "
+          f"(death {churn.death_rate:.0%}, birth {churn.birth_rate:.0%}, "
+          f"change {churn.behavior_change_rate:.0%})...")
+    print()
+    trend = monitor.run(epochs=epochs)
+    for report in monitor.epochs:
+        print(
+            f"epoch {report.epoch}: {len(report.snapshot):,} responders | "
+            f"{report.open_resolvers:,} open | "
+            f"{report.snapshot.incorrect_answers:,} wrong answers | "
+            f"{report.malicious_resolvers:,} malicious"
+        )
+        if report.diff is not None:
+            print(f"  {report.diff.summary()}")
+    print()
+    print("Trend:", trend.summary())
+    print()
+    print(
+        "This is the steady observation the paper's discussion calls for: "
+        "the population shrinks or churns, but malicious behavior has to "
+        "be tracked per epoch to see whether the *threat* is declining."
+    )
+
+
+if __name__ == "__main__":
+    main()

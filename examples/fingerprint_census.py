@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Software fingerprinting of the open-resolver population.
+
+Takano et al. (the paper's reference [8]) showed open resolvers run
+dated, vulnerable software. This example scans a campaign's responders
+with CHAOS TXT ``version.bind`` queries and prints the census: product
+distribution, banner-hiding rate, and known-CVE versions.
+
+Usage::
+
+    python examples/fingerprint_census.py [scale]
+"""
+
+import sys
+
+from repro.core import Campaign, CampaignConfig
+from repro.fingerprint import VersionScanner, render_census, take_census
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    print(f"Discovering responders at scale 1/{scale}...")
+    result = Campaign(
+        CampaignConfig(year=2018, scale=scale, seed=7, time_compression=4.0)
+    ).run()
+    targets = sorted(result.population.address_set())
+    print(f"Fingerprinting {len(targets):,} responders with version.bind...")
+    scan = VersionScanner(result.network).scan(targets)
+    census = take_census(scan, total_targets=len(targets))
+    print()
+    print(render_census(census))
+    print()
+    print(
+        f"{census.vulnerable_share:.0%} of banner-revealing resolvers run "
+        f"versions with known CVEs - the exploitability signal the "
+        f"fingerprinting literature warned about."
+    )
+
+
+if __name__ == "__main__":
+    main()

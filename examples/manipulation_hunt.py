@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Hunting manipulating resolvers (section IV-C).
+
+Runs a finer-grained 2018 campaign, isolates the incorrect answers,
+validates the destinations against the Cymon substrate, and prints the
+malicious-resolver picture: Table VIII (top wrong destinations),
+Table IX (category mix), Table X (flag misuse on malicious responses),
+the country distribution, and a Fig 4-style report card for the
+hottest malicious destination.
+
+Usage::
+
+    python examples/manipulation_hunt.py [scale]
+"""
+
+import sys
+
+from repro.analysis.incorrect import incorrect_views
+from repro.analysis.malicious import malicious_views
+from repro.analysis.report import (
+    render_country_distribution,
+    render_malicious_categories,
+    render_malicious_flags,
+    render_top_destinations,
+)
+from repro.core import Campaign, CampaignConfig
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    print(f"Scanning at scale 1/{scale} (this is the finest default; "
+          f"expect ~{26926 // scale} malicious responses)...")
+    result = Campaign(
+        CampaignConfig(year=2018, scale=scale, seed=7, time_compression=4.0)
+    ).run()
+    views = result.flow_set.views
+    truth = result.hierarchy.auth.ip
+    cymon = result.population.cymon
+
+    wrong = incorrect_views(views, truth)
+    bad = malicious_views(views, truth, cymon)
+    print(
+        f"Collected {len(views):,} responses; {len(wrong):,} carried wrong "
+        f"answers; {len(bad):,} pointed at Cymon-reported destinations."
+    )
+    print()
+    print(render_top_destinations(result.top_destinations))
+    print()
+    print(render_malicious_categories({2018: result.malicious_categories}))
+    print()
+    print(render_malicious_flags(result.malicious_flags))
+    print()
+    print(render_country_distribution(result.country_distribution))
+    print()
+
+    if bad:
+        from collections import Counter
+
+        hottest, count = Counter(
+            view.first_answer()[1] for view in bad
+        ).most_common(1)[0]
+        print(
+            f"Fig 4 equivalent - report card for the hottest malicious "
+            f"destination ({count} R2 packets):"
+        )
+        print(cymon.render_report(hottest))
+        print()
+        print(
+            "Cache poisoning is implausible here: every probe qname was "
+            "freshly generated, so these answers cannot have come from a "
+            "poisoned cache - the resolvers themselves are manipulating "
+            "(section IV-C2, 'DNS Manipulation')."
+        )
+
+
+if __name__ == "__main__":
+    main()

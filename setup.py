@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs setuptools' bdist_wheel,
+which is unavailable offline here; `python setup.py develop` provides an
+equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""The DNS amplification threat model of section II-C.
+
+The paper argues that the mere existence of open resolvers enables
+bandwidth-amplification DDoS: 'ANY' queries with a spoofed source
+concentrate large responses on the victim. This subpackage quantifies
+that threat on the simulated network: per-qtype amplification factors
+(:mod:`repro.amplification.factor`) and an end-to-end spoofed-source
+attack through a fleet of open resolvers
+(:mod:`repro.amplification.attack`).
+"""
+
+from repro.amplification.attack import AmplificationAttack, AttackReport
+from repro.amplification.factor import (
+    AmplificationMeasurement,
+    build_rich_zone,
+    measure_amplification,
+    sweep_qtypes,
+)
+
+__all__ = [
+    "AmplificationAttack",
+    "AmplificationMeasurement",
+    "AttackReport",
+    "build_rich_zone",
+    "measure_amplification",
+    "sweep_qtypes",
+]

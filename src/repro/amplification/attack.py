@@ -1,0 +1,95 @@
+"""A spoofed-source amplification attack through open resolvers.
+
+The attacker sends 'ANY' queries whose claimed source is the victim;
+each open resolver dutifully resolves and sends its (much larger)
+response to the victim. The report compares bytes the attacker spent
+with bytes the victim received — the paper's "the open resolver acts
+as an attack amplifier".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.edns import add_edns
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import encode_message
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.netsim.pcap import PacketTap
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackReport:
+    """Outcome of one attack run."""
+
+    queries_sent: int
+    attacker_bytes: int
+    victim_bytes: int
+    victim_packets: int
+
+    @property
+    def amplification_factor(self) -> float:
+        if self.attacker_bytes == 0:
+            return 0.0
+        return self.victim_bytes / self.attacker_bytes
+
+
+class AmplificationAttack:
+    """Drives spoofed queries through a fleet of open resolvers."""
+
+    def __init__(
+        self,
+        network: Network,
+        attacker_ip: str,
+        victim_ip: str,
+        resolver_ips: list[str],
+        qname: str,
+        qtype: int = QueryType.ANY,
+        use_edns: bool = True,
+    ) -> None:
+        if not resolver_ips:
+            raise ValueError("need at least one open resolver to reflect off")
+        self.network = network
+        self.attacker_ip = attacker_ip
+        self.victim_ip = victim_ip
+        self.resolver_ips = list(resolver_ips)
+        self.qname = qname
+        self.qtype = qtype
+        self.use_edns = use_edns
+
+    def launch(self, rounds: int = 1, victim_port: int = 53000) -> AttackReport:
+        """Send ``rounds`` spoofed queries to every resolver and tally."""
+        victim_tap = PacketTap("victim", predicate=lambda dg: True)
+        self.network.attach_tap(self.victim_ip, victim_tap)
+        # The victim is an innocent host: nothing listens, packets just
+        # arrive (and are counted by the tap before being dropped).
+        attacker_bytes = 0
+        queries = 0
+        for _ in range(rounds):
+            for resolver_ip in self.resolver_ips:
+                query = make_query(self.qname, qtype=self.qtype, msg_id=queries & 0xFFFF)
+                if self.use_edns:
+                    add_edns(query)
+                payload = encode_message(query)
+                spoofed = Datagram(
+                    src_ip=self.victim_ip,        # forged source
+                    src_port=victim_port,
+                    dst_ip=resolver_ip,
+                    dst_port=53,
+                    payload=payload,
+                )
+                self.network.send(spoofed, origin=self.attacker_ip)
+                attacker_bytes += spoofed.wire_size
+                queries += 1
+        self.network.run()
+        inbound = victim_tap.inbound()
+        report = AttackReport(
+            queries_sent=queries,
+            attacker_bytes=attacker_bytes,
+            victim_bytes=sum(record.datagram.wire_size for record in inbound),
+            victim_packets=len(inbound),
+        )
+        self.network.detach_tap(self.victim_ip, victim_tap)
+        return report

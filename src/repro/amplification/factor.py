@@ -1,0 +1,133 @@
+"""Per-query-type amplification factors.
+
+The bandwidth amplification factor (BAF) of a query type is the UDP
+payload size of the response divided by that of the query. 'ANY'
+against a record-rich zone maximizes it, and EDNS(0) is what lets the
+response exceed the classic 512-byte ceiling (RFC 6891); without EDNS
+the response is truncated to fit, capping the factor — both effects
+are measured here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.edns import add_edns, max_response_size
+from repro.dnslib.message import make_query
+from repro.dnslib.records import (
+    AData,
+    MxData,
+    NsData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+from repro.dnslib.wire import encode_message
+from repro.dnslib.zone import Zone
+from repro.dnssrv.auth import AuthoritativeServer
+
+
+def build_rich_zone(
+    origin: str = "amp.example",
+    a_records: int = 8,
+    mx_records: int = 4,
+    txt_records: int = 6,
+    txt_length: int = 180,
+) -> Zone:
+    """A zone whose apex ANY response is as fat as real abuse domains."""
+    zone = Zone(origin)
+    zone.add(
+        ResourceRecord(
+            origin, QueryType.SOA, ttl=3600,
+            data=SoaData(f"ns1.{origin}", f"hostmaster.{origin}", 1, 7200, 900,
+                         1209600, 86400),
+        )
+    )
+    for index in range(a_records):
+        zone.add_a(origin, f"198.51.{index}.{index + 1}", ttl=3600)
+    for index in range(mx_records):
+        zone.add(
+            ResourceRecord(
+                origin, QueryType.MX, ttl=3600,
+                data=MxData(10 * (index + 1), f"mx{index}.{origin}"),
+            )
+        )
+    for index in range(txt_records):
+        zone.add(
+            ResourceRecord(
+                origin, QueryType.TXT, ttl=3600,
+                data=TxtData((f"v=spf{index} " + "x" * txt_length,)),
+            )
+        )
+    zone.add(
+        ResourceRecord(origin, QueryType.NS, ttl=3600, data=NsData(f"ns1.{origin}"))
+    )
+    zone.add_a(f"ns1.{origin}", "198.51.100.53", ttl=3600)
+    return zone
+
+
+@dataclasses.dataclass(frozen=True)
+class AmplificationMeasurement:
+    """Query/response sizes and the resulting factor for one qtype."""
+
+    qtype: int
+    query_bytes: int
+    response_bytes: int
+    truncated: bool
+
+    @property
+    def factor(self) -> float:
+        return self.response_bytes / self.query_bytes if self.query_bytes else 0.0
+
+
+def measure_amplification(
+    server: AuthoritativeServer,
+    qname: str,
+    qtype: int = QueryType.ANY,
+    use_edns: bool = True,
+    edns_payload: int = 4096,
+) -> AmplificationMeasurement:
+    """BAF of one query against ``server``'s loaded zones.
+
+    Without EDNS, a response larger than 512 bytes is truncated to the
+    classic limit (answers dropped, TC set in spirit) — the measurement
+    reports the on-the-wire sizes an attacker actually gets.
+    """
+    query = make_query(qname, qtype=qtype)
+    if use_edns:
+        add_edns(query, payload_size=edns_payload)
+    query_wire = encode_message(query)
+    response = server.respond(query, now=0.0)
+    response_wire = encode_message(response)
+    limit = max_response_size(query)
+    truncated = len(response_wire) > limit
+    if truncated:
+        # Shed answer records until the response fits, as RFC 1035
+        # servers do before setting TC.
+        while response.answers and len(response_wire) > limit:
+            response.answers.pop()
+            response_wire = encode_message(response)
+    return AmplificationMeasurement(
+        qtype=int(qtype),
+        query_bytes=len(query_wire),
+        response_bytes=min(len(response_wire), limit)
+        if truncated
+        else len(response_wire),
+        truncated=truncated,
+    )
+
+
+def sweep_qtypes(
+    server: AuthoritativeServer,
+    qname: str,
+    qtypes: tuple[int, ...] = (
+        QueryType.A, QueryType.NS, QueryType.MX, QueryType.TXT, QueryType.ANY
+    ),
+    use_edns: bool = True,
+) -> list[AmplificationMeasurement]:
+    """Amplification factors across query types (ANY should dominate)."""
+    return [
+        measure_amplification(server, qname, qtype, use_edns=use_edns)
+        for qtype in qtypes
+    ]

@@ -1,0 +1,90 @@
+"""Analyzers that regenerate the paper's evaluation tables.
+
+Each function takes measured data — parsed R2 views, the joined flow
+set, the threat-intel substrates — and produces the corresponding
+table structure from :mod:`repro.stats`:
+
+========================  =====================================
+Paper table               Function
+========================  =====================================
+Table II                  :func:`measure_probe_summary`
+Table III                 :func:`measure_correctness`
+Table IV / V              :func:`measure_flag_table`
+Table VI                  :func:`measure_rcode_table`
+section IV-B1 estimates   :func:`measure_open_resolver_estimates`
+section IV-B4             :func:`measure_empty_question`
+Table VII                 :func:`measure_incorrect_forms`
+Table VIII                :func:`measure_top_destinations`
+Table IX                  :func:`measure_malicious_categories`
+Table X                   :func:`measure_malicious_flags`
+section IV-C2 countries   :func:`measure_country_distribution`
+========================  =====================================
+"""
+
+from repro.analysis.correctness import is_correct, measure_correctness
+from repro.analysis.headers import (
+    measure_flag_table,
+    measure_open_resolver_estimates,
+    measure_rcode_table,
+)
+from repro.analysis.empty_question import measure_empty_question
+from repro.analysis.incorrect import (
+    incorrect_views,
+    measure_incorrect_forms,
+    measure_top_destinations,
+)
+from repro.analysis.malicious import (
+    malicious_views,
+    measure_asn_distribution,
+    measure_country_distribution,
+    measure_malicious_categories,
+    measure_malicious_flags,
+)
+from repro.analysis.summary import extrapolate, measure_probe_summary
+from repro.analysis.compare import TemporalComparison, compare_years
+from repro.analysis.crosstab import CrossTab, cross_tabulate
+from repro.analysis.report import (
+    render_correctness,
+    render_country_distribution,
+    render_empty_question,
+    render_flag_table,
+    render_incorrect_forms,
+    render_malicious_categories,
+    render_malicious_flags,
+    render_probe_summary,
+    render_rcode_table,
+    render_top_destinations,
+)
+
+__all__ = [
+    "CrossTab",
+    "TemporalComparison",
+    "compare_years",
+    "cross_tabulate",
+    "extrapolate",
+    "incorrect_views",
+    "is_correct",
+    "malicious_views",
+    "measure_asn_distribution",
+    "measure_correctness",
+    "measure_country_distribution",
+    "measure_empty_question",
+    "measure_flag_table",
+    "measure_incorrect_forms",
+    "measure_malicious_categories",
+    "measure_malicious_flags",
+    "measure_open_resolver_estimates",
+    "measure_probe_summary",
+    "measure_rcode_table",
+    "measure_top_destinations",
+    "render_correctness",
+    "render_country_distribution",
+    "render_empty_question",
+    "render_flag_table",
+    "render_incorrect_forms",
+    "render_malicious_categories",
+    "render_malicious_flags",
+    "render_probe_summary",
+    "render_rcode_table",
+    "render_top_destinations",
+]

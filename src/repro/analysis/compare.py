@@ -1,0 +1,93 @@
+"""The 2013-vs-2018 temporal contrast (the paper's headline finding).
+
+"The number of open resolvers has decreased significantly, the number
+of resolvers providing incorrect responses is almost the same, while
+the number of open resolvers providing malicious responses has
+increased."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.stats import CorrectnessTable, MaliciousCategoryTable, OpenResolverEstimates
+
+
+@dataclasses.dataclass(frozen=True)
+class TemporalComparison:
+    """Quantified 2013 -> 2018 deltas with the paper's three headlines."""
+
+    open_resolvers_before: int
+    open_resolvers_after: int
+    incorrect_before: int
+    incorrect_after: int
+    malicious_r2_before: int
+    malicious_r2_after: int
+    malicious_ips_before: int
+    malicious_ips_after: int
+
+    @property
+    def open_resolver_ratio(self) -> float:
+        """After/before; the paper observed roughly a 4x decline."""
+        if self.open_resolvers_before == 0:
+            return 0.0
+        return self.open_resolvers_after / self.open_resolvers_before
+
+    @property
+    def incorrect_ratio(self) -> float:
+        if self.incorrect_before == 0:
+            return 0.0
+        return self.incorrect_after / self.incorrect_before
+
+    @property
+    def malicious_r2_ratio(self) -> float:
+        if self.malicious_r2_before == 0:
+            return 0.0
+        return self.malicious_r2_after / self.malicious_r2_before
+
+    @property
+    def open_resolvers_declined(self) -> bool:
+        return self.open_resolvers_after < self.open_resolvers_before
+
+    @property
+    def incorrect_stayed_flat(self) -> bool:
+        """Within +-25% — "remains similar (~110 thousand)"."""
+        return 0.75 <= self.incorrect_ratio <= 1.25
+
+    @property
+    def malicious_increased(self) -> bool:
+        return self.malicious_r2_after > self.malicious_r2_before
+
+    def headline(self) -> str:
+        return (
+            f"Open resolvers: {self.open_resolvers_before:,} -> "
+            f"{self.open_resolvers_after:,} "
+            f"({self.open_resolver_ratio:.2f}x). "
+            f"Incorrect answers: {self.incorrect_before:,} -> "
+            f"{self.incorrect_after:,} ({self.incorrect_ratio:.2f}x). "
+            f"Malicious R2: {self.malicious_r2_before:,} -> "
+            f"{self.malicious_r2_after:,} ({self.malicious_r2_ratio:.2f}x); "
+            f"unique malicious IPs {self.malicious_ips_before:,} -> "
+            f"{self.malicious_ips_after:,}."
+        )
+
+
+def compare_years(
+    correctness_before: CorrectnessTable,
+    correctness_after: CorrectnessTable,
+    estimates_before: OpenResolverEstimates,
+    estimates_after: OpenResolverEstimates,
+    malicious_before: MaliciousCategoryTable,
+    malicious_after: MaliciousCategoryTable,
+) -> TemporalComparison:
+    """Assemble the comparison from per-year measured tables."""
+    return TemporalComparison(
+        open_resolvers_before=estimates_before.ra_and_correct,
+        open_resolvers_after=estimates_after.ra_and_correct,
+        incorrect_before=correctness_before.incorrect,
+        incorrect_after=correctness_after.incorrect,
+        malicious_r2_before=malicious_before.total_r2,
+        malicious_r2_after=malicious_after.total_r2,
+        malicious_ips_before=malicious_before.total_ips,
+        malicious_ips_after=malicious_after.total_ips,
+    )

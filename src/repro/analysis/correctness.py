@@ -1,0 +1,44 @@
+"""Table III: presence and correctness of dns_answer in R2.
+
+Correctness is judged against ground truth exactly as the paper did:
+the measurement team controls the authoritative server, so the one
+true answer for every probe subdomain is known (here: the address the
+cluster zones map every subdomain to).
+"""
+
+from __future__ import annotations
+
+from repro.prober.capture import FORM_IP, R2View
+from repro.stats import CorrectnessTable
+
+
+def is_correct(view: R2View, truth_ip: str) -> bool:
+    """True if the response's answer matches the ground truth."""
+    if view.malformed_answer:
+        return False
+    return any(
+        form == FORM_IP and value == truth_ip for form, value in view.answers
+    )
+
+
+def measure_correctness(views: list[R2View], truth_ip: str) -> CorrectnessTable:
+    """Compute Table III over the parsed (question-bearing) R2 set.
+
+    ``r2`` counts only the views given; callers add the unjoinable
+    (empty-question) responses separately, matching the paper's
+    6,506,258 vs 6,505,764 accounting.
+    """
+    without = correct = incorrect = 0
+    for view in views:
+        if not view.has_answer:
+            without += 1
+        elif is_correct(view, truth_ip):
+            correct += 1
+        else:
+            incorrect += 1
+    return CorrectnessTable(
+        r2=len(views),
+        without_answer=without,
+        correct=correct,
+        incorrect=incorrect,
+    )

@@ -1,0 +1,146 @@
+"""Generic cross-tabulation over parsed responses.
+
+The paper's tables are fixed two-way views (flag × correctness,
+rcode × answer presence). This utility generalizes them: cross-tab any
+two response attributes — e.g. the *observed* RA × AA joint the paper
+never prints, or rcode × RA — with row/column margins and a chi-square
+statistic for association strength. Used by exploratory analysis and
+by tests that validate the calibrated joint against measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Callable, Hashable
+
+from repro.prober.capture import R2View
+
+#: Ready-made attribute extractors by name.
+ATTRIBUTES: dict[str, Callable[[R2View], Hashable]] = {
+    "ra": lambda view: view.ra,
+    "aa": lambda view: view.aa,
+    "rcode": lambda view: view.rcode,
+    "has_answer": lambda view: view.has_answer,
+    "answer_form": lambda view: (
+        next(iter(view.answer_forms())) if view.has_answer else "-"
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossTab:
+    """A two-way contingency table with margins."""
+
+    row_attribute: str
+    column_attribute: str
+    cells: dict[tuple[Hashable, Hashable], int]
+
+    @property
+    def rows(self) -> list[Hashable]:
+        return sorted({row for row, _ in self.cells}, key=repr)
+
+    @property
+    def columns(self) -> list[Hashable]:
+        return sorted({column for _, column in self.cells}, key=repr)
+
+    @property
+    def total(self) -> int:
+        return sum(self.cells.values())
+
+    def cell(self, row: Hashable, column: Hashable) -> int:
+        return self.cells.get((row, column), 0)
+
+    def row_total(self, row: Hashable) -> int:
+        return sum(
+            count for (r, _), count in self.cells.items() if r == row
+        )
+
+    def column_total(self, column: Hashable) -> int:
+        return sum(
+            count for (_, c), count in self.cells.items() if c == column
+        )
+
+    def chi_square(self) -> float:
+        """Pearson's chi-square against row/column independence."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        statistic = 0.0
+        for row in self.rows:
+            row_total = self.row_total(row)
+            for column in self.columns:
+                expected = row_total * self.column_total(column) / total
+                if expected > 0:
+                    observed = self.cell(row, column)
+                    statistic += (observed - expected) ** 2 / expected
+        return statistic
+
+    def cramers_v(self) -> float:
+        """Cramer's V in [0, 1]: association strength."""
+        total = self.total
+        k = min(len(self.rows), len(self.columns))
+        if total == 0 or k < 2:
+            return 0.0
+        return (self.chi_square() / (total * (k - 1))) ** 0.5
+
+    def render(self, title: str = "") -> str:
+        """Monospace rendering with margins."""
+        columns = self.columns
+        header = [f"{self.row_attribute}\\{self.column_attribute}"]
+        header += [str(column) for column in columns] + ["total"]
+        body = []
+        for row in self.rows:
+            body.append(
+                [str(row)]
+                + [f"{self.cell(row, column):,}" for column in columns]
+                + [f"{self.row_total(row):,}"]
+            )
+        body.append(
+            ["total"]
+            + [f"{self.column_total(column):,}" for column in columns]
+            + [f"{self.total:,}"]
+        )
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body))
+            for i in range(len(header))
+        ]
+        lines = [title] if title else []
+        lines.append(
+            "  ".join(f"{header[i]:>{widths[i]}}" for i in range(len(header)))
+        )
+        for row in body:
+            lines.append(
+                "  ".join(f"{row[i]:>{widths[i]}}" for i in range(len(row)))
+            )
+        lines.append(
+            f"chi2={self.chi_square():.1f}  V={self.cramers_v():.3f}"
+        )
+        return "\n".join(lines)
+
+
+def cross_tabulate(
+    views: list[R2View],
+    row: str | Callable[[R2View], Hashable],
+    column: str | Callable[[R2View], Hashable],
+) -> CrossTab:
+    """Build a :class:`CrossTab` over ``views``.
+
+    ``row``/``column`` are attribute names from :data:`ATTRIBUTES` or
+    arbitrary extractor callables.
+    """
+    row_fn = ATTRIBUTES[row] if isinstance(row, str) else row
+    column_fn = ATTRIBUTES[column] if isinstance(column, str) else column
+    row_name = row if isinstance(row, str) else getattr(row, "__name__", "row")
+    column_name = (
+        column if isinstance(column, str)
+        else getattr(column, "__name__", "column")
+    )
+    counter: Counter[tuple[Hashable, Hashable]] = Counter()
+    for view in views:
+        counter[(row_fn(view), column_fn(view))] += 1
+    return CrossTab(
+        row_attribute=row_name,
+        column_attribute=column_name,
+        cells=dict(counter),
+    )

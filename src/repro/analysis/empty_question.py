@@ -1,0 +1,81 @@
+"""Section IV-B4: responses with an empty dns_question field.
+
+These packets cannot be joined to their probe flow (the qname *is* the
+join key), so the paper excluded them from Tables III-VI and analyzed
+them separately: answer presence, private-network destinations, RA/AA
+flags and rcodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.netsim.ipv4 import is_private
+from repro.prober.capture import FORM_IP, R2View
+from repro.stats import EmptyQuestionSummary
+
+
+@dataclasses.dataclass(frozen=True)
+class EmptyQuestionDetail:
+    """The extended IV-B4 breakdown beyond the headline summary."""
+
+    summary: EmptyQuestionSummary
+    private_answers: int
+    private_by_block: dict[str, int]
+    garbage_answers: int
+    public_answers: int
+
+    @property
+    def answer_total(self) -> int:
+        return self.private_answers + self.garbage_answers + self.public_answers
+
+
+def measure_empty_question(unjoinable: list[R2View]) -> EmptyQuestionDetail:
+    """Summarize the empty-question response set."""
+    rcodes: dict[int, int] = {}
+    with_answer = ra1 = aa1 = 0
+    private_answers = garbage = public = 0
+    private_by_block: dict[str, int] = {}
+    for view in unjoinable:
+        rcodes[view.rcode] = rcodes.get(view.rcode, 0) + 1
+        if view.ra:
+            ra1 += 1
+        if view.aa:
+            aa1 += 1
+        if not view.has_answer:
+            continue
+        with_answer += 1
+        first = view.first_answer()
+        form, value = first
+        if form == FORM_IP:
+            if is_private(value):
+                private_answers += 1
+                block = _private_block(value)
+                private_by_block[block] = private_by_block.get(block, 0) + 1
+            else:
+                public += 1
+        else:
+            garbage += 1
+    summary = EmptyQuestionSummary(
+        total=len(unjoinable),
+        with_answer=with_answer,
+        correct=0,  # the paper found none of the 19 answers correct
+        ra1=ra1,
+        aa1=aa1,
+        rcodes=rcodes,
+    )
+    return EmptyQuestionDetail(
+        summary=summary,
+        private_answers=private_answers,
+        private_by_block=private_by_block,
+        garbage_answers=garbage,
+        public_answers=public,
+    )
+
+
+def _private_block(value: str) -> str:
+    if value.startswith("10."):
+        return "10.0.0.0/8"
+    if value.startswith("192.168."):
+        return "192.168.0.0/16"
+    return "172.16.0.0/12"

@@ -1,0 +1,53 @@
+"""Tables IV-VI: DNS header behavior of the responding population."""
+
+from __future__ import annotations
+
+from repro.analysis.correctness import is_correct
+from repro.prober.capture import R2View
+from repro.stats import FlagRow, FlagTable, OpenResolverEstimates, RcodeTable
+
+
+def measure_flag_table(views: list[R2View], truth_ip: str, flag: str) -> FlagTable:
+    """Table IV (``flag="ra"``) or Table V (``flag="aa"``)."""
+    if flag not in ("ra", "aa"):
+        raise ValueError(f"flag must be 'ra' or 'aa': {flag!r}")
+    counters = {False: [0, 0, 0], True: [0, 0, 0]}  # [without, correct, incorrect]
+    for view in views:
+        bucket = counters[getattr(view, flag)]
+        if not view.has_answer:
+            bucket[0] += 1
+        elif is_correct(view, truth_ip):
+            bucket[1] += 1
+        else:
+            bucket[2] += 1
+    rows = {
+        value: FlagRow(
+            without_answer=bucket[0], correct=bucket[1], incorrect=bucket[2]
+        )
+        for value, bucket in counters.items()
+    }
+    return FlagTable(flag=flag.upper(), zero=rows[False], one=rows[True])
+
+
+def measure_rcode_table(views: list[R2View]) -> RcodeTable:
+    """Table VI: rcode distribution split by answer presence."""
+    with_answer: dict[int, int] = {}
+    without_answer: dict[int, int] = {}
+    for view in views:
+        bucket = with_answer if view.has_answer else without_answer
+        bucket[view.rcode] = bucket.get(view.rcode, 0) + 1
+    return RcodeTable(with_answer=with_answer, without_answer=without_answer)
+
+
+def measure_open_resolver_estimates(
+    views: list[R2View], truth_ip: str
+) -> OpenResolverEstimates:
+    """Section IV-B1's three candidate definitions of "open resolver"."""
+    ra1 = sum(1 for view in views if view.ra)
+    ra1_correct = sum(
+        1 for view in views if view.ra and is_correct(view, truth_ip)
+    )
+    correct = sum(1 for view in views if is_correct(view, truth_ip))
+    return OpenResolverEstimates(
+        ra_flag_only=ra1, ra_and_correct=ra1_correct, correct_any_flag=correct
+    )

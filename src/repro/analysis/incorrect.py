@@ -1,0 +1,83 @@
+"""Tables VII and VIII: analysis of the incorrect DNS answers."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.correctness import is_correct
+from repro.netsim.ipv4 import is_private
+from repro.prober.capture import (
+    FORM_IP,
+    FORM_MALFORMED,
+    FORM_STRING,
+    FORM_URL,
+    R2View,
+)
+from repro.stats import IncorrectFormsTable, TopDestinationRow
+from repro.threatintel.cymon import CymonDatabase
+from repro.threatintel.whois import WhoisDatabase
+
+
+def incorrect_views(views: list[R2View], truth_ip: str) -> list[R2View]:
+    """The R2 subset carrying a wrong answer (Table III's W_Incorr)."""
+    return [
+        view
+        for view in views
+        if view.has_answer and not is_correct(view, truth_ip)
+    ]
+
+
+def _form_of(view: R2View) -> tuple[str, str]:
+    """(form, value) of the incorrect answer, Table VII style."""
+    first = view.first_answer()
+    if first is None:
+        return FORM_MALFORMED, ""
+    return first
+
+
+def measure_incorrect_forms(
+    views: list[R2View], truth_ip: str
+) -> IncorrectFormsTable:
+    """Table VII: incorrect answers by form, with unique-value counts."""
+    packets: Counter[str] = Counter()
+    uniques: dict[str, set[str]] = {
+        FORM_IP: set(), FORM_URL: set(), FORM_STRING: set(), FORM_MALFORMED: set()
+    }
+    for view in incorrect_views(views, truth_ip):
+        form, value = _form_of(view)
+        if form not in uniques:
+            form = FORM_STRING  # unknown RR types read as garbage strings
+        packets[form] += 1
+        if value:
+            uniques[form].add(value)
+    counts = {
+        form: (packets.get(form, 0), len(uniques[form]))
+        for form in (FORM_IP, FORM_URL, FORM_STRING, FORM_MALFORMED)
+    }
+    return IncorrectFormsTable(counts=counts)
+
+
+def measure_top_destinations(
+    views: list[R2View],
+    truth_ip: str,
+    whois: WhoisDatabase,
+    cymon: CymonDatabase,
+    top: int = 10,
+) -> list[TopDestinationRow]:
+    """Table VIII: the most frequent incorrect-answer IP addresses."""
+    counter: Counter[str] = Counter()
+    for view in incorrect_views(views, truth_ip):
+        form, value = _form_of(view)
+        if form == FORM_IP:
+            counter[value] += 1
+    rows = []
+    for ip, count in counter.most_common(top):
+        if is_private(ip):
+            org, reported = "private network", "N/A"
+        else:
+            org = whois.org_name(ip) or "(not in whois)"
+            reported = "Y" if cymon.is_malicious(ip) else "N"
+        rows.append(
+            TopDestinationRow(ip=ip, count=count, org_name=org, reported=reported)
+        )
+    return rows

@@ -1,0 +1,108 @@
+"""Tables IX and X plus the section IV-C2 country distribution.
+
+An R2 is *malicious* when its (incorrect) answer IP has at least one
+Cymon report; each unique address is assigned its most-frequently
+reported category, exactly the paper's election rule.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.incorrect import incorrect_views
+from repro.prober.capture import FORM_IP, R2View
+from repro.stats import (
+    MaliciousCategoryRow,
+    MaliciousCategoryTable,
+    MaliciousFlagTable,
+)
+from repro.threatintel.cymon import CATEGORY_ORDER, CymonDatabase
+from repro.threatintel.geo import GeoDatabase
+
+
+def malicious_views(
+    views: list[R2View], truth_ip: str, cymon: CymonDatabase
+) -> list[R2View]:
+    """The R2 subset whose incorrect answer IP is Cymon-reported."""
+    result = []
+    for view in incorrect_views(views, truth_ip):
+        first = view.first_answer()
+        if first is None:
+            continue
+        form, value = first
+        if form == FORM_IP and cymon.is_malicious(value):
+            result.append(view)
+    return result
+
+
+def measure_malicious_categories(
+    views: list[R2View], truth_ip: str, cymon: CymonDatabase
+) -> MaliciousCategoryTable:
+    """Table IX: unique malicious IPs and R2 counts per category."""
+    r2_by_ip: Counter[str] = Counter()
+    for view in malicious_views(views, truth_ip, cymon):
+        r2_by_ip[view.first_answer()[1]] += 1
+    unique_by_category: Counter[str] = Counter()
+    r2_by_category: Counter[str] = Counter()
+    for ip, count in r2_by_ip.items():
+        category = cymon.dominant_category(ip)
+        unique_by_category[category.value] += 1
+        r2_by_category[category.value] += count
+    rows = tuple(
+        MaliciousCategoryRow(
+            category=category.value,
+            unique_ips=unique_by_category.get(category.value, 0),
+            r2=r2_by_category.get(category.value, 0),
+        )
+        for category in CATEGORY_ORDER
+    )
+    return MaliciousCategoryTable(rows=rows)
+
+
+def measure_malicious_flags(
+    views: list[R2View], truth_ip: str, cymon: CymonDatabase
+) -> MaliciousFlagTable:
+    """Table X: RA/AA flag values over the malicious R2 packets."""
+    subset = malicious_views(views, truth_ip, cymon)
+    ra1 = sum(1 for view in subset if view.ra)
+    aa1 = sum(1 for view in subset if view.aa)
+    return MaliciousFlagTable(
+        ra0=len(subset) - ra1, ra1=ra1, aa0=len(subset) - aa1, aa1=aa1
+    )
+
+
+def measure_asn_distribution(
+    views: list[R2View],
+    truth_ip: str,
+    cymon: CymonDatabase,
+    geo: GeoDatabase,
+) -> dict[str, int]:
+    """Section IV-C2's AS-level view: which networks host the malicious
+    resolvers. Keys are "AS<number> <name>" labels; values count R2."""
+    counter: Counter[str] = Counter()
+    for view in malicious_views(views, truth_ip, cymon):
+        entry = geo.lookup(view.src_ip)
+        if entry is None or entry.asn == 0:
+            counter["(unregistered)"] += 1
+        else:
+            label = entry.as_name or f"AS{entry.asn}"
+            counter[label] += 1
+    return dict(counter.most_common())
+
+
+def measure_country_distribution(
+    views: list[R2View],
+    truth_ip: str,
+    cymon: CymonDatabase,
+    geo: GeoDatabase,
+) -> dict[str, int]:
+    """Section IV-C2: where the malicious resolvers are.
+
+    The paper counts malicious *resolvers* by R2 packet (each probed IP
+    answers at most once), geolocating the resolver's own address.
+    """
+    counter: Counter[str] = Counter()
+    for view in malicious_views(views, truth_ip, cymon):
+        country = geo.country_of(view.src_ip) or "??"
+        counter[country] += 1
+    return dict(counter.most_common())

@@ -1,0 +1,230 @@
+"""ASCII rendering of the paper's tables.
+
+Each ``render_*`` function takes the corresponding measured (or
+expected) structure and returns a monospace table shaped like the
+paper's, so benchmark output can be eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from repro.dnslib.constants import Rcode
+from repro.stats import (
+    CorrectnessTable,
+    EmptyQuestionSummary,
+    FlagTable,
+    IncorrectFormsTable,
+    MaliciousCategoryTable,
+    MaliciousFlagTable,
+    ProbeSummary,
+    RcodeTable,
+    TopDestinationRow,
+)
+from repro.threatintel.geo import country_name
+
+#: Table VI column order (rcode 8 omitted, as in the paper).
+RCODE_COLUMNS = (
+    Rcode.NOERROR, Rcode.FORMERR, Rcode.SERVFAIL, Rcode.NXDOMAIN,
+    Rcode.NOTIMP, Rcode.REFUSED, Rcode.YXDOMAIN, Rcode.YXRRSET, Rcode.NOTAUTH,
+)
+
+
+def _rule(widths: list[int]) -> str:
+    return "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+
+
+def _row(cells: list[str], widths: list[int]) -> str:
+    padded = [f" {cell:>{width}} " for cell, width in zip(cells, widths)]
+    return "|" + "|".join(padded) + "|"
+
+
+def _table(header: list[str], rows: list[list[str]], title: str = "") -> str:
+    widths = [
+        max(len(header[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(header[column])
+        for column in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_rule(widths))
+    lines.append(_row(header, widths))
+    lines.append(_rule(widths))
+    for row in rows:
+        lines.append(_row(row, widths))
+    lines.append(_rule(widths))
+    return "\n".join(lines)
+
+
+def render_probe_summary(summaries: list[ProbeSummary], title="Table II") -> str:
+    rows = [
+        [
+            str(s.year),
+            s.duration_text,
+            f"{s.q1:,}",
+            f"{s.q2_r1:,} ({s.q2_share:.4f})",
+            f"{s.r2:,} ({s.r2_share:.4f})",
+        ]
+        for s in summaries
+    ]
+    return _table(["Year", "Duration", "Q1", "Q2, R1 (%)", "R2 (%)"], rows, title)
+
+
+def render_correctness(tables: dict[int, CorrectnessTable], title="Table III") -> str:
+    rows = [
+        [
+            str(year),
+            f"{t.r2:,}",
+            f"{t.without_answer:,}",
+            f"{t.correct:,}",
+            f"{t.incorrect:,}",
+            f"{t.err:.3f}",
+        ]
+        for year, t in sorted(tables.items())
+    ]
+    return _table(
+        ["Year", "R2", "W/O", "W_Corr", "W_Incorr", "Err(%)"], rows, title
+    )
+
+
+def render_flag_table(tables: dict[int, FlagTable], title="") -> str:
+    any_table = next(iter(tables.values()))
+    flag = any_table.flag
+    rows = []
+    for year, table in sorted(tables.items()):
+        for value, row in (("0", table.zero), ("1", table.one)):
+            rows.append(
+                [
+                    str(year),
+                    f"{flag}{value}",
+                    f"{row.without_answer:,}",
+                    f"{row.correct:,}",
+                    f"{row.incorrect:,}",
+                    f"{row.total:,}",
+                    f"{row.err:.3f}",
+                ]
+            )
+    header = ["Year", "Flag", "W/O", "W_Corr", "W_Incorr", "Total", "Err(%)"]
+    default_title = "Table IV" if flag == "RA" else "Table V"
+    return _table(header, rows, title or default_title)
+
+
+def render_rcode_table(tables: dict[int, RcodeTable], title="Table VI") -> str:
+    header = ["Year", "Answer"] + [rcode.label for rcode in RCODE_COLUMNS]
+    rows = []
+    for year, table in sorted(tables.items()):
+        for label, bucket in (("W", table.with_answer), ("W/O", table.without_answer)):
+            rows.append(
+                [str(year), label]
+                + [f"{bucket.get(int(rcode), 0):,}" for rcode in RCODE_COLUMNS]
+            )
+        rows.append(
+            [str(year), "Total"]
+            + [f"{table.row_total(int(rcode)):,}" for rcode in RCODE_COLUMNS]
+        )
+    return _table(header, rows, title)
+
+
+def render_empty_question(summary: EmptyQuestionSummary, title="Empty dns_question (IV-B4)") -> str:
+    rcodes = ", ".join(
+        f"{Rcode(code).label}={count}"
+        for code, count in sorted(summary.rcodes.items())
+    )
+    lines = [
+        title,
+        f"  total packets:     {summary.total}",
+        f"  with dns_answer:   {summary.with_answer} (correct: {summary.correct})",
+        f"  RA=1:              {summary.ra1}",
+        f"  AA=1:              {summary.aa1}",
+        f"  rcodes:            {rcodes}",
+    ]
+    return "\n".join(lines)
+
+
+def render_incorrect_forms(
+    tables: dict[int, IncorrectFormsTable], title="Table VII"
+) -> str:
+    header = ["Form"]
+    years = sorted(tables)
+    for year in years:
+        header += [f"{year} #R2", f"{year} #u"]
+    label = {"ip": "IP", "url": "URL", "string": "string", "na": "N/A"}
+    rows = []
+    for form in ("ip", "url", "string", "na"):
+        row = [label[form]]
+        for year in years:
+            r2, unique = tables[year].counts.get(form, (0, 0))
+            row += [f"{r2:,}", f"{unique:,}"]
+        rows.append(row)
+    total_row = ["Total"]
+    for year in years:
+        total_row += [
+            f"{tables[year].total_r2:,}", f"{tables[year].total_unique:,}"
+        ]
+    rows.append(total_row)
+    return _table(header, rows, title)
+
+
+def render_top_destinations(
+    rows: list[TopDestinationRow], title="Table VIII"
+) -> str:
+    body = [
+        [row.ip, f"{row.count:,}", row.org_name, row.reported] for row in rows
+    ]
+    total = sum(row.count for row in rows)
+    body.append(["Total", f"{total:,}", "-", "-"])
+    return _table(["IP address", "#", "Org Name", "Reports"], body, title)
+
+
+def render_malicious_categories(
+    tables: dict[int, MaliciousCategoryTable], title="Table IX"
+) -> str:
+    years = sorted(tables)
+    header = ["Report Category"]
+    for year in years:
+        header += [f"{year} #IP", f"{year} %IP", f"{year} #R2", f"{year} %R2"]
+    categories = [row.category for row in tables[years[0]].rows]
+    rows = []
+    for category in categories:
+        row = [category]
+        for year in years:
+            table = tables[year]
+            row += [
+                f"{table._row(category).unique_ips:,}",
+                f"{table.ip_share(category):.1f}",
+                f"{table._row(category).r2:,}",
+                f"{table.r2_share(category):.1f}",
+            ]
+        rows.append(row)
+    total = ["Total"]
+    for year in years:
+        total += [
+            f"{tables[year].total_ips:,}", "-", f"{tables[year].total_r2:,}", "-"
+        ]
+    rows.append(total)
+    return _table(header, rows, title)
+
+
+def render_malicious_flags(table: MaliciousFlagTable, title="Table X") -> str:
+    rows = [
+        ["RA0", f"{table.ra0:,}", f"{table.ra0_share:.1f}",
+         "AA0", f"{table.aa0:,}", f"{table.aa0_share:.1f}"],
+        ["RA1", f"{table.ra1:,}", f"{table.ra1_share:.1f}",
+         "AA1", f"{table.aa1:,}", f"{table.aa1_share:.1f}"],
+    ]
+    return _table(["RA", "#R", "%R", "AA", "#A", "%A"], rows, title)
+
+
+def render_country_distribution(
+    distribution: dict[str, int], title="Malicious resolver countries (IV-C2)",
+    top: int = 10,
+) -> str:
+    total = sum(distribution.values())
+    rows = []
+    for code, count in list(distribution.items())[:top]:
+        share = 100.0 * count / total if total else 0.0
+        rows.append([code, country_name(code), f"{count:,}", f"{share:.1f}"])
+    if len(distribution) > top:
+        rest = sum(list(distribution.values())[top:])
+        rows.append(["..", f"({len(distribution) - top} more)", f"{rest:,}", ""])
+    return _table(["CC", "Country", "Resolvers", "%"], rows, title)

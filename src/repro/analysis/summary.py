@@ -1,0 +1,41 @@
+"""Table II: probing summary, with full-Internet extrapolation.
+
+A scaled campaign measures a 1/scale uniform sample of the address
+space; multiplying the packet counts by the scale extrapolates to the
+full Internet for a like-for-like comparison with the paper's numbers.
+Duration needs no extrapolation: the probe rate is scaled with the
+address space, so the scan clock matches the paper's directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.prober.capture import FlowSet
+from repro.prober.probe import ProbeCapture
+from repro.stats import ProbeSummary
+
+
+def measure_probe_summary(
+    year: int,
+    capture: ProbeCapture,
+    flow_set: FlowSet,
+) -> ProbeSummary:
+    """The measured (scaled) Table II row for one campaign."""
+    return ProbeSummary(
+        year=year,
+        duration_seconds=capture.duration,
+        q1=capture.q1_sent,
+        q2_r1=flow_set.q2_count,
+        r2=flow_set.r2_count,
+    )
+
+
+def extrapolate(summary: ProbeSummary, scale: int) -> ProbeSummary:
+    """Scale a measured summary back up to full-Internet magnitude."""
+    return dataclasses.replace(
+        summary,
+        q1=summary.q1 * scale,
+        q2_r1=summary.q2_r1 * scale,
+        r2=summary.r2 * scale,
+    )

@@ -1,0 +1,25 @@
+"""Resolver cache-behavior measurement.
+
+The paper's related work covers a line of caching studies: Jiang et
+al.'s ghost domains (records that survive in caches after the zone
+owner removed them), Schomp et al.'s client-side caching analysis, and
+the DNS cache-consistency work of Chen et al. This subpackage
+reproduces the probing methodology: per-resolver unique names queried
+on a schedule that separates *caching* (repeat within TTL), *TTL
+compliance* (repeat after expiry) and *ghost serving* (repeat after
+expiry with the record deleted at the authority).
+"""
+
+from repro.cachetest.experiment import (
+    CachePolicy,
+    CacheProbeExperiment,
+    CacheReport,
+    render_cache_report,
+)
+
+__all__ = [
+    "CachePolicy",
+    "CacheProbeExperiment",
+    "CacheReport",
+    "render_cache_report",
+]

@@ -1,0 +1,215 @@
+"""The three-phase cache probe.
+
+Phase 1 (t=0):    query ``probe-N`` at every resolver — seeds caches,
+                  and the authoritative server logs one fetch each.
+Phase 2 (t=2):    repeat within TTL — a caching resolver answers from
+                  cache (no new fetch); a non-caching one re-fetches.
+Phase 3 (t=20):   the record's TTL (5s) has expired *and* the record
+                  has been deleted from the zone. A compliant resolver
+                  re-fetches and returns NXDOMAIN; a TTL-extender or
+                  stale-server still answers with the dead record —
+                  the ghost-domain effect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.dnslib.zone import Zone
+from repro.dnssrv.cache import DnsCache
+from repro.dnssrv.hierarchy import Hierarchy, build_hierarchy
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+PROBE_TTL = 5
+PHASE2_AT = 2.0
+PHASE3_AT = 20.0
+DELETE_AT = 10.0
+
+
+class CachePolicy(enum.Enum):
+    """Resolver cache configurations deployed in the fleet."""
+
+    COMPLIANT = "compliant"
+    TTL_EXTENDER = "ttl-extender"   # clamps TTLs up (min_ttl >> record TTL)
+    STALE_SERVER = "stale-server"   # serves expired entries
+    NO_CACHE = "no-cache"           # max_ttl=0 disables caching
+
+    def build_cache(self) -> DnsCache:
+        if self is CachePolicy.COMPLIANT:
+            return DnsCache()
+        if self is CachePolicy.TTL_EXTENDER:
+            return DnsCache(min_ttl=86_400)
+        if self is CachePolicy.STALE_SERVER:
+            return DnsCache(serve_stale=True)
+        return DnsCache(min_ttl=0, max_ttl=0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolverCacheVerdict:
+    """What the probe observed for one resolver."""
+
+    ip: str
+    policy: CachePolicy          # ground truth
+    caches: bool                 # phase 2 answered without a new fetch
+    serves_ghost: bool           # phase 3 answered the deleted record
+    fetches: int                 # total auth fetches for its probe name
+
+
+@dataclasses.dataclass
+class CacheReport:
+    """Fleet-level cache behavior."""
+
+    verdicts: list[ResolverCacheVerdict]
+
+    @property
+    def total(self) -> int:
+        return len(self.verdicts)
+
+    def count_caching(self) -> int:
+        return sum(1 for verdict in self.verdicts if verdict.caches)
+
+    def count_ghost_servers(self) -> int:
+        return sum(1 for verdict in self.verdicts if verdict.serves_ghost)
+
+    def by_policy(self, policy: CachePolicy) -> list[ResolverCacheVerdict]:
+        return [v for v in self.verdicts if v.policy is policy]
+
+
+class CacheProbeExperiment:
+    """Deploys a mixed-cache fleet and runs the three-phase probe."""
+
+    def __init__(
+        self,
+        fleet: dict[CachePolicy, int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.fleet = fleet if fleet is not None else {
+            CachePolicy.COMPLIANT: 10,
+            CachePolicy.TTL_EXTENDER: 4,
+            CachePolicy.STALE_SERVER: 4,
+            CachePolicy.NO_CACHE: 2,
+        }
+        if not self.fleet or any(count < 0 for count in self.fleet.values()):
+            raise ValueError("fleet must map policies to non-negative counts")
+        self.seed = seed
+
+    def _build_world(self) -> tuple[Network, Hierarchy, dict[str, CachePolicy]]:
+        network = Network(seed=self.seed)
+        hierarchy = build_hierarchy(network)
+        policies: dict[str, CachePolicy] = {}
+        index = 0
+        for policy, count in self.fleet.items():
+            for _ in range(count):
+                ip = f"203.60.{index // 250}.{index % 250 + 1}"
+                resolver = RecursiveResolver(
+                    ip, hierarchy.root_servers, cache=policy.build_cache()
+                )
+                resolver.attach(network)
+                policies[ip] = policy
+                index += 1
+        return network, hierarchy, policies
+
+    def run(self) -> CacheReport:
+        network, hierarchy, policies = self._build_world()
+        targets = sorted(policies)
+        qname_for = {
+            ip: f"cacheprobe-{index:05d}.{hierarchy.sld}"
+            for index, ip in enumerate(targets)
+        }
+        zone = Zone(hierarchy.sld)
+        for qname in qname_for.values():
+            zone.add_a(qname, hierarchy.auth.ip, ttl=PROBE_TTL)
+        hierarchy.auth.load_zone(zone)
+
+        client_ip = "203.0.113.66"
+        answers: dict[tuple[str, int], bool] = {}
+
+        def phase_of(now: float) -> int:
+            if now < PHASE2_AT:
+                return 1
+            return 2 if now < PHASE3_AT else 3
+
+        def collector(datagram: Datagram, net: Network) -> None:
+            try:
+                response = decode_message(datagram.payload)
+            except DnsWireError:
+                return
+            answers[(datagram.src_ip, phase_of(net.now))] = (
+                response.first_a_record() is not None
+            )
+
+        network.bind(client_ip, 5001, collector)
+
+        def ask_everyone(msg_base: int) -> None:
+            for offset, ip in enumerate(targets):
+                query = make_query(qname_for[ip], msg_id=msg_base + offset)
+                network.send(
+                    Datagram(client_ip, 5001, ip, 53, encode_message(query))
+                )
+
+        def delete_records() -> None:
+            # A hard deletion: drop every retained zone generation so the
+            # authority genuinely forgets the probe names.
+            hierarchy.auth.unload_zone(hierarchy.sld)
+            hierarchy.auth.load_zone(Zone(hierarchy.sld))
+
+        network.scheduler.at(0.0, lambda: ask_everyone(0))
+        network.scheduler.at(PHASE2_AT, lambda: ask_everyone(1000))
+        network.scheduler.at(DELETE_AT, delete_records)
+        network.scheduler.at(PHASE3_AT, lambda: ask_everyone(2000))
+        network.run()
+
+        # Auth-side fetch counts per probe name, split by phase.
+        fetches_before_p3: dict[str, int] = {}
+        fetches_total: dict[str, int] = {}
+        for entry in hierarchy.auth.query_log:
+            fetches_total[entry.qname] = fetches_total.get(entry.qname, 0) + 1
+            if entry.timestamp < PHASE3_AT:
+                fetches_before_p3[entry.qname] = (
+                    fetches_before_p3.get(entry.qname, 0) + 1
+                )
+        verdicts = []
+        for ip in targets:
+            qname = qname_for[ip]
+            caches = fetches_before_p3.get(qname, 0) == 1
+            ghost = answers.get((ip, 3), False)
+            verdicts.append(
+                ResolverCacheVerdict(
+                    ip=ip,
+                    policy=policies[ip],
+                    caches=caches,
+                    serves_ghost=ghost,
+                    fetches=fetches_total.get(qname, 0),
+                )
+            )
+        return CacheReport(verdicts=verdicts)
+
+
+def render_cache_report(report: CacheReport) -> str:
+    """Fleet summary with a per-policy confusion view."""
+    lines = [
+        "Cache-behavior probe (three phases: seed, repeat-in-TTL, "
+        "post-expiry-post-delete)",
+        f"  resolvers probed:       {report.total}",
+        f"  caching (no refetch):   {report.count_caching()}",
+        f"  ghost servers:          {report.count_ghost_servers()} "
+        "(answered a deleted, expired record)",
+        "",
+        "  by deployed policy:",
+    ]
+    for policy in CachePolicy:
+        verdicts = report.by_policy(policy)
+        if not verdicts:
+            continue
+        caching = sum(1 for v in verdicts if v.caches)
+        ghosts = sum(1 for v in verdicts if v.serves_ghost)
+        lines.append(
+            f"    {policy.value:<14} n={len(verdicts):<3} "
+            f"caching={caching:<3} ghost={ghosts}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Classifying open resolvers: recursives vs forwarding proxies.
+
+Schomp et al. (the paper's ref [34]) showed that most "open resolvers"
+are not recursive resolvers at all but CPE *proxies* forwarding to a
+shared upstream. The measurement trick is the same dual-capture the
+paper uses: probe each target with a unique qname and watch which
+source address delivers the Q2 at the authoritative server — the
+target itself (a real recursive), somebody else (a proxy, and the Q2
+source is its upstream), or nobody (a fabricator answering without
+resolving).
+"""
+
+from repro.classify.experiment import (
+    ClassificationReport,
+    ResolverClass,
+    ResolverClassifier,
+    build_classification_world,
+    render_classification,
+)
+from repro.classify.timing import (
+    FAST,
+    SLOW,
+    TimingClassifier,
+    TimingResult,
+    two_means_threshold,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "FAST",
+    "ResolverClass",
+    "ResolverClassifier",
+    "SLOW",
+    "TimingClassifier",
+    "TimingResult",
+    "build_classification_world",
+    "render_classification",
+    "two_means_threshold",
+]

@@ -1,0 +1,389 @@
+"""The ``repro`` command-line interface.
+
+Commands::
+
+    scan         run one year's campaign, print the report, optionally
+                 save the dataset directory
+    analyze      re-run the table pipeline offline over a saved dataset
+    compare      run (or load) both years and print the temporal contrast
+    fingerprint  version.bind census over a campaign's responders
+    monitor      multi-epoch continuous monitoring with churn
+    exposure     client-workload exposure to manipulating resolvers
+    amplify      amplification factors and a spoofed-source attack demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Where Are You Taking Me? Behavioral Analysis "
+            "of Open DNS Resolvers' (DSN 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="run one measurement campaign")
+    scan.add_argument("--year", type=int, default=2018, choices=(2013, 2018))
+    scan.add_argument("--scale", type=int, default=8192)
+    scan.add_argument("--seed", type=int, default=7)
+    scan.add_argument("--compression", type=float, default=None,
+                      help="simulated-clock compression (default: 1 for "
+                      "2018, 64 for the week-long 2013 scan)")
+    scan.add_argument("--save", metavar="DIR", default=None,
+                      help="save the dataset to DIR")
+    scan.add_argument("--markdown", metavar="FILE", default=None,
+                      help="write a standalone markdown report to FILE")
+    scan.add_argument("--full-report", action="store_true",
+                      help="print every table, not just the summary")
+
+    analyze = sub.add_parser("analyze", help="offline analysis of a dataset")
+    analyze.add_argument("dataset", help="directory written by 'scan --save'")
+
+    compare = sub.add_parser("compare", help="2013-vs-2018 temporal contrast")
+    compare.add_argument("--scale", type=int, default=4096)
+    compare.add_argument("--seed", type=int, default=7)
+
+    fingerprint = sub.add_parser(
+        "fingerprint", help="version.bind census of the responders"
+    )
+    fingerprint.add_argument("--year", type=int, default=2018,
+                             choices=(2013, 2018))
+    fingerprint.add_argument("--scale", type=int, default=8192)
+    fingerprint.add_argument("--seed", type=int, default=7)
+
+    monitor = sub.add_parser("monitor", help="continuous monitoring loop")
+    monitor.add_argument("--epochs", type=int, default=3)
+    monitor.add_argument("--scale", type=int, default=16384)
+    monitor.add_argument("--seed", type=int, default=7)
+    monitor.add_argument("--death-rate", type=float, default=0.08)
+    monitor.add_argument("--birth-rate", type=float, default=0.06)
+    monitor.add_argument("--change-rate", type=float, default=0.03)
+
+    exposure = sub.add_parser(
+        "exposure", help="client exposure to manipulating resolvers"
+    )
+    exposure.add_argument("--clients", type=int, default=200)
+    exposure.add_argument("--queries", type=int, default=10)
+    exposure.add_argument("--resolvers", type=int, default=40)
+    exposure.add_argument("--malicious-share", type=float, default=0.05)
+    exposure.add_argument("--seed", type=int, default=7)
+
+    amplify = sub.add_parser("amplify", help="amplification quantification")
+    amplify.add_argument("--resolvers", type=int, default=25)
+    amplify.add_argument("--rounds", type=int, default=4)
+
+    dnssec = sub.add_parser(
+        "dnssec", help="DNSSEC validator census over the responders"
+    )
+    dnssec.add_argument("--year", type=int, default=2018, choices=(2013, 2018))
+    dnssec.add_argument("--scale", type=int, default=8192)
+    dnssec.add_argument("--seed", type=int, default=7)
+
+    classify = sub.add_parser(
+        "classify", help="recursive-vs-proxy classification"
+    )
+    classify.add_argument("--recursives", type=int, default=15)
+    classify.add_argument("--proxies", type=int, default=60)
+    classify.add_argument("--fabricators", type=int, default=10)
+    classify.add_argument("--upstreams", type=int, default=4)
+    classify.add_argument("--seed", type=int, default=7)
+
+    inject = sub.add_parser(
+        "inject", help="record-injection vulnerability test"
+    )
+    inject.add_argument("--resolvers", type=int, default=50)
+    inject.add_argument("--vulnerable-share", type=float, default=0.92)
+    inject.add_argument("--seed", type=int, default=7)
+
+    sweep = sub.add_parser(
+        "sweep", help="seed sweep: sampling-noise quantification"
+    )
+    sweep.add_argument("--year", type=int, default=2018, choices=(2013, 2018))
+    sweep.add_argument("--scale", type=int, default=16384)
+    sweep.add_argument("--seeds", type=int, default=4,
+                       help="number of seeds (1..N)")
+
+    return parser
+
+
+def _default_compression(year: int, given: float | None) -> float:
+    if given is not None:
+        return given
+    return 64.0 if year == 2013 else 1.0
+
+
+def _cmd_scan(args) -> int:
+    from repro.core import Campaign, CampaignConfig
+
+    config = CampaignConfig(
+        year=args.year,
+        scale=args.scale,
+        seed=args.seed,
+        time_compression=_default_compression(args.year, args.compression),
+    )
+    print(f"Scanning (year {args.year}, scale 1/{args.scale}, seed {args.seed})...")
+    result = Campaign(config).run()
+    print(result.report() if args.full_report else result.summary())
+    if args.save:
+        from repro.datasets import save_campaign
+
+        path = save_campaign(result, args.save)
+        print(f"Dataset saved to {path}")
+    if args.markdown:
+        from repro.reporting import write_markdown_report
+
+        target = write_markdown_report(result, args.markdown)
+        print(f"Markdown report written to {target}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.report import (
+        render_correctness,
+        render_country_distribution,
+        render_flag_table,
+        render_incorrect_forms,
+        render_malicious_categories,
+        render_malicious_flags,
+        render_probe_summary,
+        render_rcode_table,
+        render_top_destinations,
+    )
+    from repro.datasets import analyze_dataset, load_campaign
+
+    dataset = load_campaign(args.dataset)
+    analysis = analyze_dataset(dataset)
+    year = dataset.year
+    sections = [
+        f"Offline analysis of {args.dataset} (year {year}, scale "
+        f"1/{dataset.scale})",
+        render_probe_summary([analysis.probe_summary]),
+        render_correctness({year: analysis.correctness}),
+        render_flag_table({year: analysis.ra_table}),
+        render_flag_table({year: analysis.aa_table}),
+        render_rcode_table({year: analysis.rcode_table}),
+        render_incorrect_forms({year: analysis.incorrect_forms}),
+        render_top_destinations(analysis.top_destinations),
+        render_malicious_categories({year: analysis.malicious_categories}),
+        render_malicious_flags(analysis.malicious_flags),
+        render_country_distribution(analysis.country_distribution),
+    ]
+    print("\n\n".join(sections))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.core import run_both_years
+
+    print(f"Running both campaigns at scale 1/{args.scale}...")
+    result_2013, result_2018, comparison = run_both_years(
+        scale=args.scale, seed=args.seed
+    )
+    print(result_2013.summary())
+    print(result_2018.summary())
+    print()
+    print(comparison.headline())
+    print(f"  open resolvers declined: {comparison.open_resolvers_declined}")
+    print(f"  incorrect answers flat:  {comparison.incorrect_stayed_flat}")
+    print(f"  malicious increased:     {comparison.malicious_increased}")
+    return 0
+
+
+def _cmd_fingerprint(args) -> int:
+    from repro.core import Campaign, CampaignConfig
+    from repro.fingerprint import VersionScanner, render_census, take_census
+
+    config = CampaignConfig(
+        year=args.year, scale=args.scale, seed=args.seed,
+        time_compression=_default_compression(args.year, None),
+    )
+    print(f"Scanning (year {args.year}, scale 1/{args.scale})...")
+    result = Campaign(config).run()
+    targets = sorted(result.population.address_set())
+    print(f"Fingerprinting {len(targets):,} responders...")
+    scan = VersionScanner(result.network).scan(targets)
+    census = take_census(scan, total_targets=len(targets))
+    print(render_census(census))
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.monitor import ChurnModel, ContinuousMonitor
+
+    monitor = ContinuousMonitor(
+        scale=args.scale,
+        seed=args.seed,
+        churn=ChurnModel(
+            death_rate=args.death_rate,
+            birth_rate=args.birth_rate,
+            behavior_change_rate=args.change_rate,
+        ),
+    )
+    print(f"Monitoring for {args.epochs} epochs at scale 1/{args.scale}...")
+    trend = monitor.run(epochs=args.epochs)
+    for report in monitor.epochs:
+        line = (
+            f"  epoch {report.epoch}: {len(report.snapshot):,} responders, "
+            f"{report.open_resolvers:,} open, "
+            f"{report.malicious_resolvers:,} malicious"
+        )
+        if report.diff is not None:
+            line += f" | {report.diff.summary()}"
+        print(line)
+    print()
+    print("Trend:", trend.summary())
+    return 0
+
+
+def _cmd_exposure(args) -> int:
+    from repro.clients import ExposureExperiment, WorkloadConfig, render_exposure
+
+    experiment = ExposureExperiment(
+        workload=WorkloadConfig(
+            clients=args.clients, queries_per_client=args.queries
+        ),
+        resolver_count=args.resolvers,
+        malicious_share=args.malicious_share,
+        seed=args.seed,
+    )
+    print(render_exposure(experiment.run()))
+    return 0
+
+
+def _cmd_amplify(args) -> int:
+    from repro.amplification import (
+        AmplificationAttack,
+        build_rich_zone,
+        measure_amplification,
+        sweep_qtypes,
+    )
+    from repro.dnslib.constants import QueryType
+    from repro.dnssrv.auth import AuthoritativeServer
+    from repro.dnssrv.hierarchy import build_hierarchy
+    from repro.dnssrv.recursive import RecursiveResolver
+    from repro.netsim.network import Network
+
+    origin = "amp.example"
+    server = AuthoritativeServer("198.51.100.53")
+    server.load_zone(build_rich_zone(origin))
+    print("Amplification factors:")
+    for measurement in sweep_qtypes(server, origin):
+        name = QueryType(measurement.qtype).name
+        print(
+            f"  {name:>5}: {measurement.query_bytes} B -> "
+            f"{measurement.response_bytes} B ({measurement.factor:.1f}x)"
+        )
+    no_edns = measure_amplification(server, origin, QueryType.ANY, use_edns=False)
+    print(f"  ANY without EDNS: {no_edns.response_bytes} B ({no_edns.factor:.1f}x)")
+    network = Network(seed=1)
+    hierarchy = build_hierarchy(network, sld=origin, auth_ip="198.51.100.53")
+    hierarchy.auth.load_zone(build_rich_zone(origin))
+    ips = []
+    for index in range(args.resolvers):
+        ip = f"93.184.{index // 250}.{index % 250 + 1}"
+        RecursiveResolver(ip, hierarchy.root_servers).attach(network)
+        ips.append(ip)
+    attack = AmplificationAttack(network, "6.6.6.6", "203.0.113.9", ips, origin)
+    report = attack.launch(rounds=args.rounds)
+    print(
+        f"Attack through {args.resolvers} resolvers x {args.rounds} rounds: "
+        f"{report.attacker_bytes:,} B spent, victim absorbed "
+        f"{report.victim_bytes:,} B ({report.amplification_factor:.1f}x)"
+    )
+    return 0
+
+
+def _cmd_dnssec(args) -> int:
+    from repro.core import Campaign, CampaignConfig
+    from repro.dnssec import ValidatorScanner, render_validator_census
+
+    config = CampaignConfig(
+        year=args.year, scale=args.scale, seed=args.seed,
+        time_compression=_default_compression(args.year, None),
+    )
+    print(f"Scanning (year {args.year}, scale 1/{args.scale})...")
+    result = Campaign(config).run()
+    targets = sorted(result.population.address_set())
+    print(f"Probing {len(targets):,} responders with DO-flagged queries...")
+    scanner = ValidatorScanner(
+        result.network, result.hierarchy.auth, result.hierarchy.sld
+    )
+    census = scanner.scan(targets)
+    print(render_validator_census(census, args.year))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.classify import (
+        ResolverClassifier,
+        build_classification_world,
+        render_classification,
+    )
+
+    network, hierarchy, targets = build_classification_world(
+        recursives=args.recursives,
+        proxies=args.proxies,
+        fabricators=args.fabricators,
+        shared_upstreams=args.upstreams,
+        seed=args.seed,
+    )
+    report = ResolverClassifier(network, hierarchy).classify(targets)
+    print(render_classification(report))
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    from repro.injection import InjectionExperiment, render_injection
+
+    experiment = InjectionExperiment(
+        resolver_count=args.resolvers,
+        vulnerable_share=args.vulnerable_share,
+        seed=args.seed,
+    )
+    print(render_injection(experiment.run()))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.sweep import run_seed_sweep
+
+    print(
+        f"Sweeping {args.seeds} seeds (year {args.year}, "
+        f"scale 1/{args.scale})..."
+    )
+    sweep = run_seed_sweep(
+        year=args.year,
+        scale=args.scale,
+        seeds=tuple(range(1, args.seeds + 1)),
+        time_compression=64.0 if args.year == 2013 else 8.0,
+    )
+    print(sweep.summary())
+    return 0
+
+
+_COMMANDS = {
+    "scan": _cmd_scan,
+    "dnssec": _cmd_dnssec,
+    "classify": _cmd_classify,
+    "inject": _cmd_inject,
+    "sweep": _cmd_sweep,
+    "analyze": _cmd_analyze,
+    "compare": _cmd_compare,
+    "fingerprint": _cmd_fingerprint,
+    "monitor": _cmd_monitor,
+    "exposure": _cmd_exposure,
+    "amplify": _cmd_amplify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,26 @@
+"""Client-side exposure to malicious open resolvers.
+
+The paper's discussion stresses that DNS manipulation is a *passive*
+threat: "a malicious open resolver can perform its actions only when
+it receives a domain name resolution request", and proposes a DITL-
+style follow-up to measure how often that actually happens. This
+subpackage builds that follow-up in simulation: a Zipf-shaped client
+workload over a content-serving DNS world with a calibrated share of
+manipulating resolvers, measuring how many users and queries actually
+get redirected.
+"""
+
+from repro.clients.workload import ClientWorkload, WorkloadConfig
+from repro.clients.exposure import (
+    ExposureExperiment,
+    ExposureReport,
+    render_exposure,
+)
+
+__all__ = [
+    "ClientWorkload",
+    "ExposureExperiment",
+    "ExposureReport",
+    "WorkloadConfig",
+    "render_exposure",
+]

@@ -1,0 +1,250 @@
+"""The exposure experiment: real queries through a mixed resolver fleet.
+
+Builds a content-serving DNS world (root -> .net -> a content
+authoritative server hosting the workload's sites), deploys a resolver
+fleet with a calibrated share of manipulating resolvers, drives the
+client workload through it packet by packet, and measures who actually
+received a malicious answer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.clients.workload import ClientWorkload, WorkloadConfig
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.dnslib.zone import Zone
+from repro.dnssrv.delegation import Delegation, DelegationServer
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.threatintel.cymon import CymonDatabase, ThreatCategory
+
+ROOT_IP = "198.41.0.4"
+TLD_IP = "192.5.6.30"
+CONTENT_AUTH_IP = "93.184.216.34"
+MALICIOUS_DESTINATION = "208.91.197.91"
+CLIENT_BASE = "10.200.0.0"  # clients live behind NAT; sim uses raw slots
+
+
+@dataclasses.dataclass(frozen=True)
+class ExposureReport:
+    """What the workload experienced."""
+
+    clients_total: int
+    clients_on_malicious: int
+    clients_exposed: int
+    queries_total: int
+    queries_answered: int
+    queries_hijacked: int
+    malicious_resolvers: int
+    resolver_count: int
+
+    @property
+    def client_exposure_rate(self) -> float:
+        return self.clients_exposed / self.clients_total if self.clients_total else 0.0
+
+    @property
+    def query_hijack_rate(self) -> float:
+        return self.queries_hijacked / self.queries_total if self.queries_total else 0.0
+
+    @property
+    def expected_client_share(self) -> float:
+        """Analytic baseline: share of clients bound to a malicious resolver.
+
+        Every query through a manipulating resolver is hijacked, so
+        measured exposure should track this binding share.
+        """
+        return (
+            self.clients_on_malicious / self.clients_total
+            if self.clients_total
+            else 0.0
+        )
+
+
+class ExposureExperiment:
+    """End-to-end client exposure measurement."""
+
+    def __init__(
+        self,
+        workload: WorkloadConfig | None = None,
+        resolver_count: int = 40,
+        malicious_share: float = 0.01,
+        seed: int = 0,
+        malicious_popularity: str = "head",
+    ) -> None:
+        """``malicious_popularity`` places the manipulators in the
+        resolver popularity ranking: ``"head"`` (they are the most
+        popular resolvers — worst case), ``"tail"`` (least popular —
+        best case) or ``"random"``. Client exposure depends on this
+        placement far more than on the manipulator count, which is the
+        paper's passivity argument made quantitative."""
+        if not 0.0 <= malicious_share <= 1.0:
+            raise ValueError("malicious_share must be in [0, 1]")
+        if resolver_count <= 0:
+            raise ValueError("resolver_count must be positive")
+        if malicious_popularity not in ("head", "tail", "random"):
+            raise ValueError(f"bad malicious_popularity: {malicious_popularity!r}")
+        self.workload_config = workload if workload is not None else WorkloadConfig()
+        self.resolver_count = resolver_count
+        self.malicious_share = malicious_share
+        self.malicious_popularity = malicious_popularity
+        self.seed = seed
+        self.cymon = CymonDatabase()
+
+    # -- world building ----------------------------------------------------
+
+    def _build_world(self) -> tuple[Network, list[str], set[str]]:
+        network = Network(seed=self.seed)
+        domains = [
+            f"site{index:04d}.net" for index in range(self.workload_config.domains)
+        ]
+        root = DelegationServer(
+            ROOT_IP, "", [Delegation("net", (("a.gtld-servers.net", TLD_IP),))]
+        )
+        tld = DelegationServer(
+            TLD_IP, "net",
+            [
+                Delegation(domain, ((f"ns1.{domain}", CONTENT_AUTH_IP),))
+                for domain in domains
+            ],
+        )
+        auth = AuthoritativeServer(CONTENT_AUTH_IP)
+        for index, domain in enumerate(domains):
+            zone = Zone(domain)
+            zone.add_a(f"www.{domain}", f"93.184.{index // 250}.{index % 250 + 1}")
+            auth.load_zone(zone)
+        root.attach(network)
+        tld.attach(network)
+        auth.attach(network)
+
+        malicious_count = round(self.resolver_count * self.malicious_share)
+        malicious_ranks = self._malicious_ranks(malicious_count)
+        resolver_ips: list[str] = []
+        malicious_ips: set[str] = set()
+        for index in range(self.resolver_count):
+            ip = f"100.100.{index // 250}.{index % 250 + 1}"
+            resolver_ips.append(ip)
+            if index in malicious_ranks:
+                spec = BehaviorSpec(
+                    name="manipulator",
+                    mode=ResponseMode.FABRICATE,
+                    ra=True,
+                    aa=True,
+                    answer_kind=AnswerKind.INCORRECT_IP,
+                    fixed_answer=MALICIOUS_DESTINATION,
+                    malicious_category=ThreatCategory.PHISHING,
+                )
+                BehaviorHost(ip, spec, CONTENT_AUTH_IP).attach(network)
+            else:
+                RecursiveResolver(ip, [ROOT_IP]).attach(network)
+        if malicious_count:
+            self.cymon.add_reports(
+                MALICIOUS_DESTINATION, ThreatCategory.PHISHING, count=4
+            )
+        malicious_ips = {resolver_ips[rank] for rank in malicious_ranks}
+        return network, resolver_ips, malicious_ips
+
+    def _malicious_ranks(self, malicious_count: int) -> set[int]:
+        """Which popularity ranks (0 = most popular) are manipulators."""
+        if malicious_count == 0:
+            return set()
+        if self.malicious_popularity == "head":
+            return set(range(malicious_count))
+        if self.malicious_popularity == "tail":
+            return set(
+                range(self.resolver_count - malicious_count, self.resolver_count)
+            )
+        import random
+
+        rng = random.Random((self.seed, "placement").__str__())
+        return set(rng.sample(range(self.resolver_count), malicious_count))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self) -> ExposureReport:
+        network, resolver_ips, malicious_ips = self._build_world()
+        workload = ClientWorkload(
+            self.workload_config, resolver_ips, seed=self.seed
+        )
+        answers: dict[int, list[str]] = {}
+        collected: list[tuple[int, Datagram]] = []
+
+        def collector(datagram: Datagram, net: Network) -> None:
+            collected.append((datagram.dst_port, datagram))
+
+        queries = workload.queries()
+        # One port per client (clients share one simulated CPE address).
+        client_ip = "203.0.113.200"
+        for port in {40_000 + q.client_id for q in queries}:
+            network.bind(client_ip, port, collector)
+        for sequence, client_query in enumerate(queries):
+            query = make_query(client_query.qname, msg_id=sequence & 0xFFFF)
+            network.send(
+                Datagram(
+                    client_ip,
+                    40_000 + client_query.client_id,
+                    client_query.resolver_ip,
+                    53,
+                    encode_message(query),
+                )
+            )
+        network.run()
+
+        hijacked = 0
+        answered = 0
+        exposed_clients: set[int] = set()
+        for port, datagram in collected:
+            client_id = port - 40_000
+            try:
+                response = decode_message(datagram.payload)
+            except DnsWireError:
+                continue
+            record = response.first_a_record()
+            if record is None:
+                continue
+            answered += 1
+            address = record.data.address
+            answers.setdefault(client_id, []).append(address)
+            if self.cymon.is_malicious(address):
+                hijacked += 1
+                exposed_clients.add(client_id)
+
+        clients_on_malicious = workload.clients_using(malicious_ips)
+        return ExposureReport(
+            clients_total=self.workload_config.clients,
+            clients_on_malicious=len(clients_on_malicious),
+            clients_exposed=len(exposed_clients),
+            queries_total=len(queries),
+            queries_answered=answered,
+            queries_hijacked=hijacked,
+            malicious_resolvers=len(malicious_ips),
+            resolver_count=self.resolver_count,
+        )
+
+
+def render_exposure(report: ExposureReport) -> str:
+    """Text summary in the spirit of the paper's discussion section."""
+    lines = [
+        "Client exposure to malicious open resolvers",
+        f"  resolver fleet:          {report.resolver_count} "
+        f"({report.malicious_resolvers} manipulating)",
+        f"  clients:                 {report.clients_total:,} "
+        f"({report.clients_on_malicious:,} bound to a manipulator)",
+        f"  queries issued:          {report.queries_total:,}",
+        f"  queries answered:        {report.queries_answered:,}",
+        f"  queries hijacked:        {report.queries_hijacked:,} "
+        f"({report.query_hijack_rate:.1%})",
+        f"  clients exposed:         {report.clients_exposed:,} "
+        f"({report.client_exposure_rate:.1%}; "
+        f"binding share {report.expected_client_share:.1%})",
+        "",
+        "  The manipulation threat is passive: exposure tracks how many",
+        "  clients actually query a malicious resolver, not how many",
+        "  malicious resolvers exist.",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Client query workloads: who asks what, through which resolver.
+
+Domain popularity follows a (truncated) Zipf law, the canonical shape
+for DNS query volume; resolver popularity is also Zipf-shaped — a few
+open resolvers attract the lion's share of misconfigured clients,
+which is exactly what makes a *popular* malicious resolver dangerous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape parameters for the client workload."""
+
+    clients: int = 200
+    queries_per_client: int = 10
+    domains: int = 100
+    domain_zipf_s: float = 1.1
+    resolver_zipf_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0 or self.queries_per_client <= 0:
+            raise ValueError("clients and queries_per_client must be positive")
+        if self.domains <= 0:
+            raise ValueError("domains must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientQuery:
+    """One query in the workload: which client asks which domain."""
+
+    client_id: int
+    resolver_ip: str
+    qname: str
+
+
+def _zipf_weights(count: int, s: float) -> list[float]:
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+class ClientWorkload:
+    """Generates the per-client resolver bindings and query streams."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        resolver_ips: list[str],
+        seed: int = 0,
+        domain_suffix: str = "net",
+    ) -> None:
+        if not resolver_ips:
+            raise ValueError("need at least one resolver")
+        self.config = config
+        self.resolver_ips = list(resolver_ips)
+        self.seed = seed
+        self.domain_suffix = domain_suffix
+        self._rng = random.Random((seed, "workload").__str__())
+        self.domains = [
+            f"www.site{index:04d}.{domain_suffix}"
+            for index in range(config.domains)
+        ]
+        resolver_weights = _zipf_weights(
+            len(self.resolver_ips), config.resolver_zipf_s
+        )
+        self.client_resolver = {
+            client_id: self._rng.choices(
+                self.resolver_ips, weights=resolver_weights
+            )[0]
+            for client_id in range(config.clients)
+        }
+
+    def queries(self) -> list[ClientQuery]:
+        """The full query stream, deterministic for (config, seed)."""
+        domain_weights = _zipf_weights(len(self.domains), self.config.domain_zipf_s)
+        stream = []
+        for client_id in range(self.config.clients):
+            resolver_ip = self.client_resolver[client_id]
+            for _ in range(self.config.queries_per_client):
+                qname = self._rng.choices(self.domains, weights=domain_weights)[0]
+                stream.append(ClientQuery(client_id, resolver_ip, qname))
+        return stream
+
+    def clients_using(self, resolver_ips: set[str]) -> set[int]:
+        """Clients whose configured resolver is in ``resolver_ips``."""
+        return {
+            client_id
+            for client_id, resolver_ip in self.client_resolver.items()
+            if resolver_ip in resolver_ips
+        }

@@ -1,0 +1,14 @@
+"""End-to-end campaign API: population -> scan -> analysis -> report."""
+
+from repro.core.campaign import Campaign, CampaignConfig, CampaignResult, run_both_years
+from repro.core.sweep import MetricStats, SweepResult, run_seed_sweep
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "MetricStats",
+    "SweepResult",
+    "run_both_years",
+    "run_seed_sweep",
+]

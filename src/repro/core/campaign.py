@@ -1,0 +1,346 @@
+"""The end-to-end measurement campaign.
+
+One :class:`Campaign` reproduces one of the paper's scans at a chosen
+``scale``: it builds the DNS hierarchy, samples and deploys the
+calibrated resolver population, runs the ZMap-style prober over the
+scaled address space, joins the Q1/Q2/R1/R2 flows, and computes every
+table of the evaluation section. ``run_both_years`` then reproduces
+the temporal contrast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.compare import TemporalComparison, compare_years
+from repro.analysis.correctness import measure_correctness
+from repro.analysis.empty_question import EmptyQuestionDetail, measure_empty_question
+from repro.analysis.headers import (
+    measure_flag_table,
+    measure_open_resolver_estimates,
+    measure_rcode_table,
+)
+from repro.analysis.incorrect import measure_incorrect_forms, measure_top_destinations
+from repro.analysis.malicious import (
+    measure_country_distribution,
+    measure_malicious_categories,
+    measure_malicious_flags,
+)
+from repro.analysis.report import (
+    render_correctness,
+    render_country_distribution,
+    render_empty_question,
+    render_flag_table,
+    render_incorrect_forms,
+    render_malicious_categories,
+    render_malicious_flags,
+    render_probe_summary,
+    render_rcode_table,
+    render_top_destinations,
+)
+from repro.analysis.summary import extrapolate, measure_probe_summary
+from repro.dnssrv.hierarchy import Hierarchy, build_hierarchy
+from repro.netsim.latency import LogNormalLatency
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.network import Network
+from repro.prober.capture import FlowSet, join_flows
+from repro.prober.probe import PROBER_IP, ProbeCapture, ProbeConfig, Prober
+from repro.prober.zmap import probe_order
+from repro.resolvers.apportion import scale_count
+from repro.resolvers.population import PopulationSampler, SampledPopulation
+from repro.resolvers.profiles import YearProfile, profile_for_year
+from repro.stats import (
+    CorrectnessTable,
+    FlagTable,
+    IncorrectFormsTable,
+    MaliciousCategoryTable,
+    MaliciousFlagTable,
+    OpenResolverEstimates,
+    ProbeSummary,
+    RcodeTable,
+    TopDestinationRow,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs for one campaign run.
+
+    ``scale`` subsamples the Internet 1/scale (population, probe count
+    and probe rate all shrink together, so the scan *duration* matches
+    the paper's). ``time_compression`` speeds the simulated clock by
+    sending proportionally faster — useful for the week-long 2013 scan
+    — and is divided back out of the reported duration.
+    ``fast`` enables the responder-hint accelerator (see
+    :class:`repro.prober.probe.Prober`); measurements are identical
+    either way, covered by tests.
+    """
+
+    year: int = 2018
+    scale: int = 4096
+    seed: int = 0
+    fast: bool = True
+    time_compression: float = 1.0
+    reuse_subdomains: bool = True
+    latency_median: float = 0.04
+    record_sent_log: bool = False
+    fingerprinting: bool = True
+    dnssec: bool = True
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.time_compression <= 0:
+            raise ValueError("time_compression must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Everything a campaign produced, tables included."""
+
+    config: CampaignConfig
+    profile: YearProfile
+    population: SampledPopulation
+    hierarchy: Hierarchy
+    network: Network
+    software_map: dict[str, object]
+    dnssec_validators: set[str]
+    capture: ProbeCapture
+    flow_set: FlowSet
+    probe_summary: ProbeSummary
+    correctness: CorrectnessTable
+    ra_table: FlagTable
+    aa_table: FlagTable
+    rcode_table: RcodeTable
+    estimates: OpenResolverEstimates
+    empty_question: EmptyQuestionDetail
+    incorrect_forms: IncorrectFormsTable
+    top_destinations: list[TopDestinationRow]
+    malicious_categories: MaliciousCategoryTable
+    malicious_flags: MaliciousFlagTable
+    country_distribution: dict[str, int]
+
+    @property
+    def year(self) -> int:
+        return self.config.year
+
+    @property
+    def scale(self) -> int:
+        return self.config.scale
+
+    def extrapolated_summary(self) -> ProbeSummary:
+        """Table II magnitudes scaled back up to the full Internet."""
+        return extrapolate(self.probe_summary, self.config.scale)
+
+    def summary(self) -> str:
+        """A short human-readable campaign summary."""
+        full = self.extrapolated_summary()
+        return (
+            f"[{self.year}] scanned {self.probe_summary.q1:,} addresses "
+            f"(1/{self.scale} of {full.q1:,}) in {self.probe_summary.duration_text}; "
+            f"R2={self.probe_summary.r2:,} ({self.probe_summary.r2_share:.4f}%), "
+            f"Q2/R1={self.probe_summary.q2_r1:,}; "
+            f"open resolvers (RA=1 & correct): {self.estimates.ra_and_correct:,} "
+            f"(~{self.estimates.ra_and_correct * self.scale:,} full-scale); "
+            f"incorrect answers: {self.correctness.incorrect:,}; "
+            f"malicious R2: {self.malicious_categories.total_r2:,}."
+        )
+
+    def report(self) -> str:
+        """The full multi-table text report for this year."""
+        year = self.year
+        sections = [
+            f"=== Campaign report: {year} (scale 1/{self.scale}, seed "
+            f"{self.config.seed}) ===",
+            self.summary(),
+            "",
+            render_probe_summary([self.probe_summary], title="Table II (measured, scaled)"),
+            render_probe_summary(
+                [self.extrapolated_summary()], title="Table II (extrapolated)"
+            ),
+            render_correctness({year: self.correctness}),
+            render_flag_table({year: self.ra_table}),
+            render_flag_table({year: self.aa_table}),
+            render_rcode_table({year: self.rcode_table}),
+            render_empty_question(self.empty_question.summary),
+            render_incorrect_forms({year: self.incorrect_forms}),
+            render_top_destinations(self.top_destinations),
+            render_malicious_categories({year: self.malicious_categories}),
+            render_malicious_flags(self.malicious_flags),
+            render_country_distribution(self.country_distribution),
+        ]
+        return "\n\n".join(sections)
+
+
+class Campaign:
+    """Builds the world and runs the scan for one year."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config if config is not None else CampaignConfig()
+        self.profile = profile_for_year(self.config.year)
+
+    def build_universe(self) -> list[int]:
+        """The scaled universe: exactly the addresses the prober will walk."""
+        q1_target = scale_count(self.profile.q1_full, self.config.scale)
+        return list(probe_order(seed=self.config.seed, limit=q1_target))
+
+    def run(
+        self, population_override: SampledPopulation | None = None
+    ) -> CampaignResult:
+        """Run the campaign.
+
+        ``population_override`` substitutes a pre-built population —
+        used by :mod:`repro.monitor` to re-scan an evolved world. Its
+        hosts must live inside this campaign's universe (e.g. produced
+        by evolving a population sampled with the same seed/scale).
+        """
+        config = self.config
+        loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
+        network = Network(
+            seed=config.seed,
+            latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
+            loss=loss,
+        )
+        hierarchy = build_hierarchy(network)
+        infrastructure = {
+            hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP
+        }
+        q1_target = scale_count(self.profile.q1_full, config.scale)
+        universe = self.build_universe()
+        if population_override is not None:
+            population = population_override
+        else:
+            population = PopulationSampler(
+                self.profile,
+                scale=config.scale,
+                seed=config.seed,
+                excluded_ips=infrastructure,
+                universe=universe,
+            ).sample()
+        software_map: dict[str, object] = {}
+        banners: dict[str, str | None] = {}
+        if config.fingerprinting:
+            from repro.fingerprint.identities import assign_software
+
+            software_map = assign_software(population, seed=config.seed)
+            banners = {
+                ip: identity.banner for ip, identity in software_map.items()
+            }
+        validators: set[str] = set()
+        if config.dnssec:
+            from repro.dnssec.census import assign_validators
+
+            validators = assign_validators(
+                population, year=config.year, seed=config.seed
+            )
+        population.deploy(
+            network, auth_ip=hierarchy.auth.ip, version_banners=banners,
+            dnssec_validators=validators,
+        )
+        probe_config = ProbeConfig(
+            q1_target=q1_target,
+            rate_pps=self.profile.probe_rate_pps
+            * config.time_compression
+            / config.scale,
+            cluster_size=max(50, scale_count(5_000_000, config.scale)),
+            reuse_subdomains=config.reuse_subdomains,
+            seed=config.seed,
+            sld=hierarchy.sld,
+            record_sent_log=config.record_sent_log,
+        )
+        hint = population.address_set() if config.fast else None
+        prober = Prober(
+            network, hierarchy.auth, probe_config, ip=PROBER_IP,
+            responder_hint=hint,
+        )
+        capture = prober.run()
+        if config.time_compression != 1.0:
+            capture = dataclasses.replace(
+                capture,
+                end_time=capture.start_time
+                + capture.duration * config.time_compression,
+            )
+        flow_set = join_flows(capture.r2_records, hierarchy.auth)
+        return self._analyze(
+            population, hierarchy, network, software_map, validators,
+            capture, flow_set,
+        )
+
+    def _analyze(
+        self,
+        population: SampledPopulation,
+        hierarchy: Hierarchy,
+        network: Network,
+        software_map: dict[str, object],
+        dnssec_validators: set[str],
+        capture: ProbeCapture,
+        flow_set: FlowSet,
+    ) -> CampaignResult:
+        truth = hierarchy.auth.ip
+        views = flow_set.views
+        return CampaignResult(
+            config=self.config,
+            profile=self.profile,
+            population=population,
+            hierarchy=hierarchy,
+            network=network,
+            software_map=software_map,
+            dnssec_validators=dnssec_validators,
+            capture=capture,
+            flow_set=flow_set,
+            probe_summary=measure_probe_summary(
+                self.config.year, capture, flow_set
+            ),
+            correctness=measure_correctness(views, truth),
+            ra_table=measure_flag_table(views, truth, "ra"),
+            aa_table=measure_flag_table(views, truth, "aa"),
+            rcode_table=measure_rcode_table(views),
+            estimates=measure_open_resolver_estimates(views, truth),
+            empty_question=measure_empty_question(flow_set.unjoinable),
+            incorrect_forms=measure_incorrect_forms(views, truth),
+            top_destinations=measure_top_destinations(
+                views, truth, population.whois, population.cymon
+            ),
+            malicious_categories=measure_malicious_categories(
+                views, truth, population.cymon
+            ),
+            malicious_flags=measure_malicious_flags(
+                views, truth, population.cymon
+            ),
+            country_distribution=measure_country_distribution(
+                views, truth, population.cymon, population.geo
+            ),
+        )
+
+
+def run_both_years(
+    scale: int = 4096,
+    seed: int = 0,
+    time_compression_2013: float = 32.0,
+) -> tuple[CampaignResult, CampaignResult, TemporalComparison]:
+    """Run 2013 and 2018 and build the paper's temporal contrast.
+
+    The 2013 scan took the paper seven days of wall clock; its simulated
+    clock is compressed by default so both campaigns finish promptly.
+    """
+    result_2013 = Campaign(
+        CampaignConfig(
+            year=2013, scale=scale, seed=seed,
+            time_compression=time_compression_2013,
+        )
+    ).run()
+    result_2018 = Campaign(
+        CampaignConfig(year=2018, scale=scale, seed=seed)
+    ).run()
+    comparison = compare_years(
+        result_2013.correctness,
+        result_2018.correctness,
+        result_2013.estimates,
+        result_2018.estimates,
+        result_2013.malicious_categories,
+        result_2018.malicious_categories,
+    )
+    return result_2013, result_2018, comparison

@@ -1,0 +1,110 @@
+"""Seed sweeps: quantifying the reproduction's sampling noise.
+
+A scaled campaign is one random subsample of the calibrated world.
+Sweeping seeds measures how stable each reported quantity is: totals
+(sampled from the same cell counts) should be nearly constant, while
+small-count cells (the malicious tail, the URL/string forms) wobble.
+The sweep reports mean and coefficient of variation per metric, which
+is what EXPERIMENTS.md's "shape-only" caveats rest on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.campaign import Campaign, CampaignConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricStats:
+    """Mean/stddev/CV over the sweep for one metric."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stddev(self) -> float:
+        mean = self.mean
+        return math.sqrt(
+            sum((value - mean) ** 2 for value in self.values) / len(self.values)
+        )
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stddev / mean)."""
+        mean = self.mean
+        return self.stddev / mean if mean else 0.0
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Per-metric stability over the swept seeds."""
+
+    year: int
+    scale: int
+    seeds: tuple[int, ...]
+    metrics: dict[str, MetricStats]
+
+    def metric(self, name: str) -> MetricStats:
+        return self.metrics[name]
+
+    def summary(self) -> str:
+        lines = [
+            f"Seed sweep: year {self.year}, scale 1/{self.scale}, "
+            f"{len(self.seeds)} seeds",
+            "",
+            f"  {'metric':<22} {'mean':>12} {'stddev':>10} {'CV':>8}",
+        ]
+        for stats in self.metrics.values():
+            lines.append(
+                f"  {stats.name:<22} {stats.mean:>12,.1f} "
+                f"{stats.stddev:>10,.2f} {stats.cv:>7.2%}"
+            )
+        return "\n".join(lines)
+
+
+#: The quantities tracked by default: (name, extractor).
+_DEFAULT_METRICS = (
+    ("r2_total", lambda r: r.flow_set.r2_count),
+    ("open_resolvers", lambda r: r.estimates.ra_and_correct),
+    ("incorrect_answers", lambda r: r.correctness.incorrect),
+    ("malicious_r2", lambda r: r.malicious_categories.total_r2),
+    ("err_percent", lambda r: r.correctness.err),
+    ("ra0_err_percent", lambda r: r.ra_table.zero.err),
+    ("q2_share", lambda r: r.probe_summary.q2_share),
+)
+
+
+def run_seed_sweep(
+    year: int = 2018,
+    scale: int = 8192,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    time_compression: float = 8.0,
+) -> SweepResult:
+    """Run one campaign per seed and aggregate the tracked metrics."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: dict[str, list[float]] = {name: [] for name, _ in _DEFAULT_METRICS}
+    for seed in seeds:
+        result = Campaign(
+            CampaignConfig(
+                year=year, scale=scale, seed=seed,
+                time_compression=time_compression,
+            )
+        ).run()
+        for name, extract in _DEFAULT_METRICS:
+            samples[name].append(float(extract(result)))
+    return SweepResult(
+        year=year,
+        scale=scale,
+        seeds=tuple(seeds),
+        metrics={
+            name: MetricStats(name, tuple(values))
+            for name, values in samples.items()
+        },
+    )

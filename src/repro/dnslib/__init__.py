@@ -1,0 +1,106 @@
+"""DNS protocol implementation (RFC 1034/1035 subset plus EDNS(0)).
+
+This subpackage is a self-contained DNS library: domain-name handling,
+resource-record data types, the binary wire format with RFC 1035 name
+compression, high-level message objects, and a zone/master-file model.
+Everything in the reproduction that speaks DNS goes through it.
+"""
+
+from repro.dnslib.constants import (
+    DnsClass,
+    Opcode,
+    QueryType,
+    Rcode,
+    CLASS_IN,
+    MAX_LABEL_LENGTH,
+    MAX_NAME_LENGTH,
+    MAX_UDP_PAYLOAD,
+)
+from repro.dnslib.names import (
+    DnsNameError,
+    is_subdomain,
+    name_depth,
+    normalize_name,
+    parent_name,
+    split_labels,
+    validate_name,
+)
+from repro.dnslib.records import (
+    AData,
+    AaaaData,
+    CnameData,
+    MxData,
+    NsData,
+    OptData,
+    PtrData,
+    RawData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+    rdata_for_type,
+)
+from repro.dnslib.message import (
+    DnsFlags,
+    DnsHeader,
+    DnsMessage,
+    Question,
+    make_query,
+    make_response,
+)
+from repro.dnslib.wire import (
+    DnsWireError,
+    decode_message,
+    decode_name,
+    encode_message,
+    encode_name,
+)
+from repro.dnslib.edns import EdnsOptions, add_edns, extract_edns
+from repro.dnslib.zone import Zone, ZoneError, parse_master_file, serialize_zone
+
+__all__ = [
+    "AData",
+    "AaaaData",
+    "CnameData",
+    "CLASS_IN",
+    "DnsClass",
+    "DnsFlags",
+    "DnsHeader",
+    "DnsMessage",
+    "DnsNameError",
+    "DnsWireError",
+    "EdnsOptions",
+    "MAX_LABEL_LENGTH",
+    "MAX_NAME_LENGTH",
+    "MAX_UDP_PAYLOAD",
+    "MxData",
+    "NsData",
+    "Opcode",
+    "OptData",
+    "PtrData",
+    "QueryType",
+    "Question",
+    "RawData",
+    "Rcode",
+    "ResourceRecord",
+    "SoaData",
+    "TxtData",
+    "Zone",
+    "ZoneError",
+    "add_edns",
+    "decode_message",
+    "decode_name",
+    "encode_message",
+    "encode_name",
+    "extract_edns",
+    "is_subdomain",
+    "make_query",
+    "make_response",
+    "name_depth",
+    "normalize_name",
+    "parent_name",
+    "parse_master_file",
+    "rdata_for_type",
+    "serialize_zone",
+    "split_labels",
+    "validate_name",
+]

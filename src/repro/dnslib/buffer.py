@@ -1,0 +1,157 @@
+"""Low-level wire buffers with RFC 1035 name compression.
+
+:class:`WireWriter` and :class:`WireReader` are the primitives shared by
+the record codecs and the message codec. The writer tracks previously
+written names so later occurrences become 2-octet compression pointers;
+the reader chases pointers with loop protection.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dnslib.constants import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+from repro.dnslib.names import normalize_name
+
+#: Top two bits set in a length octet mark a compression pointer.
+_POINTER_MASK = 0xC0
+#: Maximum offset addressable by a 14-bit compression pointer.
+_MAX_POINTER_OFFSET = 0x3FFF
+
+
+class DnsWireError(ValueError):
+    """Raised when a DNS packet cannot be encoded or decoded."""
+
+
+class WireWriter:
+    """Append-only buffer that knows how to write DNS primitives."""
+
+    def __init__(self, compress: bool = True) -> None:
+        self._parts = bytearray()
+        self._compress = compress
+        # Maps a canonical name suffix to the offset where it was written.
+        self._name_offsets: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def getvalue(self) -> bytes:
+        """The bytes written so far."""
+        return bytes(self._parts)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._parts.extend(data)
+
+    def write_u8(self, value: int) -> None:
+        self._parts.extend(struct.pack("!B", value))
+
+    def write_u16(self, value: int) -> None:
+        self._parts.extend(struct.pack("!H", value))
+
+    def write_u32(self, value: int) -> None:
+        self._parts.extend(struct.pack("!I", value))
+
+    def set_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously written 16-bit field (e.g. RDLENGTH)."""
+        self._parts[offset:offset + 2] = struct.pack("!H", value)
+
+    def write_name(self, name: str) -> None:
+        """Write a domain name, emitting compression pointers when possible."""
+        canonical = normalize_name(name)
+        labels = canonical.split(".") if canonical else []
+        remaining = canonical
+        for index, label in enumerate(labels):
+            if self._compress and remaining in self._name_offsets:
+                pointer = self._name_offsets[remaining]
+                self.write_u16(_POINTER_MASK << 8 | pointer)
+                return
+            offset = len(self._parts)
+            if self._compress and offset <= _MAX_POINTER_OFFSET:
+                self._name_offsets[remaining] = offset
+            encoded = label.encode("ascii", errors="replace")
+            if len(encoded) > MAX_LABEL_LENGTH:
+                raise DnsWireError(f"label too long: {label!r}")
+            self.write_u8(len(encoded))
+            self.write_bytes(encoded)
+            remaining = ".".join(labels[index + 1:])
+        self.write_u8(0)
+
+
+class WireReader:
+    """Cursor over a DNS packet with pointer-chasing name decoding."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= len(self._data):
+            raise DnsWireError(f"seek out of bounds: {offset}")
+        self._offset = offset
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0 or self._offset + count > len(self._data):
+            raise DnsWireError(
+                f"truncated packet: wanted {count} bytes at offset {self._offset}"
+            )
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read_bytes(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read_bytes(4))[0]
+
+    def read_name(self) -> str:
+        """Decode a (possibly compressed) domain name at the cursor."""
+        labels: list[str] = []
+        jumps = 0
+        cursor = self._offset
+        resume_at: int | None = None
+        total_length = 0
+        while True:
+            if cursor >= len(self._data):
+                raise DnsWireError("name runs past end of packet")
+            length = self._data[cursor]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if cursor + 1 >= len(self._data):
+                    raise DnsWireError("truncated compression pointer")
+                target = ((length & ~_POINTER_MASK) << 8) | self._data[cursor + 1]
+                if resume_at is None:
+                    resume_at = cursor + 2
+                jumps += 1
+                if jumps > 128:
+                    raise DnsWireError("compression pointer loop")
+                if target >= cursor:
+                    raise DnsWireError("forward compression pointer")
+                cursor = target
+                continue
+            if length & _POINTER_MASK:
+                raise DnsWireError(f"reserved label type 0x{length & _POINTER_MASK:02x}")
+            if length == 0:
+                cursor += 1
+                break
+            start = cursor + 1
+            end = start + length
+            if end > len(self._data):
+                raise DnsWireError("label runs past end of packet")
+            total_length += length + 1
+            if total_length > MAX_NAME_LENGTH:
+                raise DnsWireError("decoded name too long")
+            labels.append(self._data[start:end].decode("ascii", errors="replace"))
+            cursor = end
+        self._offset = resume_at if resume_at is not None else cursor
+        return ".".join(labels).lower()

@@ -1,0 +1,52 @@
+"""CHAOS-class queries: the ``version.bind`` fingerprinting convention.
+
+BIND introduced, and most resolver implementations adopted, answering
+TXT queries for ``version.bind`` in the CHAOS class with a software
+banner. Fingerprinting studies (Takano et al.) build on it; so does
+:mod:`repro.fingerprint`.
+"""
+
+from __future__ import annotations
+
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
+from repro.dnslib.message import DnsMessage, make_response
+from repro.dnslib.records import ResourceRecord, TxtData
+from repro.dnslib.wire import encode_message
+
+#: The fingerprinting qname (CHAOS class, TXT type).
+VERSION_BIND = "version.bind"
+
+
+def is_version_bind_query(query: DnsMessage) -> bool:
+    """True for a CHAOS-class version.bind TXT/ANY query."""
+    if not query.questions:
+        return False
+    question = query.questions[0]
+    return (
+        question.qname == VERSION_BIND
+        and int(question.qclass) == DnsClass.CH
+        and int(question.qtype) in (QueryType.TXT, QueryType.ANY)
+    )
+
+
+def version_bind_response(query: DnsMessage, banner: str | None) -> bytes:
+    """Encode the version.bind answer (or REFUSED for hiding servers)."""
+    if banner is None:
+        return encode_message(
+            make_response(query, rcode=Rcode.REFUSED, aa=False, ra=False)
+        )
+    record = ResourceRecord(
+        VERSION_BIND, QueryType.TXT, rclass=DnsClass.CH, ttl=0,
+        data=TxtData((banner,)),
+    )
+    return encode_message(
+        make_response(query, answers=[record], aa=True, ra=False)
+    )
+
+
+def extract_banner(response: DnsMessage) -> str | None:
+    """The banner carried by a version.bind response, if any."""
+    for record in response.answers:
+        if record.rtype == QueryType.TXT and isinstance(record.data, TxtData):
+            return " ".join(record.data.strings)
+    return None

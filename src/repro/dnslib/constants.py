@@ -1,0 +1,116 @@
+"""Protocol constants: query types, response codes, opcodes, classes.
+
+Values follow the IANA DNS parameter registry (RFC 1035, RFC 6895).
+The paper's analysis of response codes (Table VI) uses rcodes 0-9, which
+are all represented here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Maximum length of a single label in octets (RFC 1035 section 2.3.4).
+MAX_LABEL_LENGTH = 63
+
+#: Maximum length of a full domain name in octets (RFC 1035 section 2.3.4).
+MAX_NAME_LENGTH = 255
+
+#: Classic maximum UDP payload before EDNS(0) (RFC 1035 section 2.3.4).
+MAX_UDP_PAYLOAD = 512
+
+
+class QueryType(enum.IntEnum):
+    """DNS RR/query types used by the reproduction.
+
+    ``ANY`` (officially ``*``, value 255) is the amplification-attack
+    query type discussed in section II-C of the paper.
+    """
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+    ANY = 255
+
+    @classmethod
+    def from_value(cls, value: int) -> "QueryType | int":
+        """Return the enum member for ``value``, or the raw int if unknown.
+
+        Unknown types must survive a decode/encode round trip, so they are
+        passed through rather than rejected.
+        """
+        try:
+            return cls(value)
+        except ValueError:
+            return value
+
+
+class Rcode(enum.IntEnum):
+    """DNS response codes (RFC 1035 section 4.1.1, RFC 6895 section 2.3).
+
+    Table VI of the paper tabulates rcodes 0-7 and 9 (8/NXRRSet was
+    absent from their dataset).
+    """
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9
+
+    @property
+    def is_error(self) -> bool:
+        """True for every code except NOERROR."""
+        return self is not Rcode.NOERROR
+
+    @property
+    def label(self) -> str:
+        """The mixed-case label the paper uses in Table VI."""
+        return _RCODE_LABELS[self]
+
+
+_RCODE_LABELS = {
+    Rcode.NOERROR: "NoError",
+    Rcode.FORMERR: "FormErr",
+    Rcode.SERVFAIL: "ServFail",
+    Rcode.NXDOMAIN: "NXDomain",
+    Rcode.NOTIMP: "NotImp",
+    Rcode.REFUSED: "Refused",
+    Rcode.YXDOMAIN: "YXDomain",
+    Rcode.YXRRSET: "YXRRSet",
+    Rcode.NXRRSET: "NXRRSet",
+    Rcode.NOTAUTH: "Not Auth",
+}
+
+
+class Opcode(enum.IntEnum):
+    """DNS operation codes (RFC 1035 section 4.1.1)."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class DnsClass(enum.IntEnum):
+    """DNS classes. Only IN is used on today's Internet."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    ANY = 255
+
+
+#: Shorthand for the Internet class.
+CLASS_IN = DnsClass.IN

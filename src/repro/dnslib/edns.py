@@ -1,0 +1,84 @@
+"""EDNS(0) support (RFC 6891).
+
+EDNS is what makes >512-byte DNS responses — and hence high
+amplification factors — possible (section II-C of the paper). The OPT
+pseudo-RR abuses the RR fields: CLASS carries the advertised UDP payload
+size and TTL carries extended rcode bits, version and the DO flag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.message import DnsMessage
+from repro.dnslib.records import OptData, ResourceRecord
+
+#: Advertised payload size used by well-behaved modern resolvers.
+DEFAULT_PAYLOAD_SIZE = 4096
+
+
+@dataclasses.dataclass(frozen=True)
+class EdnsOptions:
+    """Decoded EDNS metadata from an OPT pseudo-record."""
+
+    payload_size: int = DEFAULT_PAYLOAD_SIZE
+    extended_rcode: int = 0
+    version: int = 0
+    dnssec_ok: bool = False
+
+    def to_ttl(self) -> int:
+        """Pack extended rcode / version / DO into the OPT TTL field."""
+        ttl = (self.extended_rcode & 0xFF) << 24
+        ttl |= (self.version & 0xFF) << 16
+        ttl |= (1 << 15) if self.dnssec_ok else 0
+        return ttl
+
+    @classmethod
+    def from_record(cls, record: ResourceRecord) -> "EdnsOptions":
+        ttl = record.ttl
+        return cls(
+            payload_size=int(record.rclass),
+            extended_rcode=ttl >> 24 & 0xFF,
+            version=ttl >> 16 & 0xFF,
+            dnssec_ok=bool(ttl >> 15 & 1),
+        )
+
+
+def add_edns(
+    message: DnsMessage,
+    payload_size: int = DEFAULT_PAYLOAD_SIZE,
+    dnssec_ok: bool = False,
+) -> DnsMessage:
+    """Attach an OPT pseudo-record to ``message`` (idempotent)."""
+    if extract_edns(message) is not None:
+        return message
+    options = EdnsOptions(payload_size=payload_size, dnssec_ok=dnssec_ok)
+    opt = ResourceRecord(
+        name="",
+        rtype=QueryType.OPT,
+        rclass=payload_size,
+        ttl=options.to_ttl(),
+        data=OptData(),
+    )
+    message.additionals.append(opt)
+    return message
+
+
+def extract_edns(message: DnsMessage) -> EdnsOptions | None:
+    """Return the EDNS options carried by ``message``, if any."""
+    for record in message.additionals:
+        if record.rtype == QueryType.OPT:
+            return EdnsOptions.from_record(record)
+    return None
+
+
+def max_response_size(query: DnsMessage) -> int:
+    """The largest UDP response the querier can accept.
+
+    512 octets without EDNS (RFC 1035), else the advertised payload size.
+    """
+    options = extract_edns(query)
+    if options is None:
+        return 512
+    return max(512, options.payload_size)

@@ -1,0 +1,171 @@
+"""High-level DNS message objects.
+
+The behavioral analysis in the paper revolves around header fields of
+R2 responses — the RA and AA flag bits and the rcode — so the header
+model keeps every flag bit explicit and mutable-by-construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import DnsClass, Opcode, QueryType, Rcode
+from repro.dnslib.names import normalize_name
+from repro.dnslib.records import ResourceRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsFlags:
+    """The flag bits of the DNS header (RFC 1035 section 4.1.1).
+
+    ``qr``     — response (1) vs query (0).
+    ``aa``     — Authoritative Answer; Table V analyzes its misuse.
+    ``tc``     — truncation.
+    ``rd``     — Recursion Desired; the prober always sets it.
+    ``ra``     — Recursion Available; Table IV analyzes its misuse.
+    ``ad``/``cd`` — DNSSEC bits, carried but unused by the analysis.
+    """
+
+    qr: bool = False
+    aa: bool = False
+    tc: bool = False
+    rd: bool = False
+    ra: bool = False
+    ad: bool = False
+    cd: bool = False
+
+    def to_int(self, opcode: int, rcode: int) -> int:
+        """Pack flags with opcode and rcode into the 16-bit flags word."""
+        word = 0
+        word |= (1 if self.qr else 0) << 15
+        word |= (int(opcode) & 0xF) << 11
+        word |= (1 if self.aa else 0) << 10
+        word |= (1 if self.tc else 0) << 9
+        word |= (1 if self.rd else 0) << 8
+        word |= (1 if self.ra else 0) << 7
+        word |= (1 if self.ad else 0) << 5
+        word |= (1 if self.cd else 0) << 4
+        word |= int(rcode) & 0xF
+        return word
+
+    @classmethod
+    def from_int(cls, word: int) -> tuple["DnsFlags", int, int]:
+        """Unpack the 16-bit flags word into (flags, opcode, rcode)."""
+        flags = cls(
+            qr=bool(word >> 15 & 1),
+            aa=bool(word >> 10 & 1),
+            tc=bool(word >> 9 & 1),
+            rd=bool(word >> 8 & 1),
+            ra=bool(word >> 7 & 1),
+            ad=bool(word >> 5 & 1),
+            cd=bool(word >> 4 & 1),
+        )
+        opcode = word >> 11 & 0xF
+        rcode = word & 0xF
+        return flags, opcode, rcode
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsHeader:
+    """The fixed 12-octet DNS header."""
+
+    msg_id: int = 0
+    flags: DnsFlags = dataclasses.field(default_factory=DnsFlags)
+    opcode: int = Opcode.QUERY
+    rcode: int = Rcode.NOERROR
+
+
+@dataclasses.dataclass(frozen=True)
+class Question:
+    """A question-section entry: qname, qtype, qclass."""
+
+    qname: str
+    qtype: int = QueryType.A
+    qclass: int = DnsClass.IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", normalize_name(self.qname))
+
+
+@dataclasses.dataclass
+class DnsMessage:
+    """A full DNS message: header plus four sections.
+
+    The question section is a list because the paper's dataset includes
+    real responses with an *empty* question section (section IV-B4) —
+    a behavior the resolver population models must be able to produce.
+    """
+
+    header: DnsHeader = dataclasses.field(default_factory=DnsHeader)
+    questions: list[Question] = dataclasses.field(default_factory=list)
+    answers: list[ResourceRecord] = dataclasses.field(default_factory=list)
+    authorities: list[ResourceRecord] = dataclasses.field(default_factory=list)
+    additionals: list[ResourceRecord] = dataclasses.field(default_factory=list)
+
+    @property
+    def is_response(self) -> bool:
+        return self.header.flags.qr
+
+    @property
+    def qname(self) -> str | None:
+        """The first question's qname, or None for an empty question section."""
+        return self.questions[0].qname if self.questions else None
+
+    @property
+    def rcode(self) -> int:
+        return self.header.rcode
+
+    def first_a_record(self) -> ResourceRecord | None:
+        """The first A record in the answer section, if any."""
+        for record in self.answers:
+            if record.rtype == QueryType.A:
+                return record
+        return None
+
+
+def make_query(
+    qname: str,
+    qtype: int = QueryType.A,
+    msg_id: int = 0,
+    recursion_desired: bool = True,
+    qclass: int = DnsClass.IN,
+) -> DnsMessage:
+    """Build a standard query message (what the prober sends as Q1).
+
+    ``qclass=DnsClass.CH`` builds the CHAOS-class queries used for
+    ``version.bind`` software fingerprinting.
+    """
+    flags = DnsFlags(qr=False, rd=recursion_desired)
+    header = DnsHeader(msg_id=msg_id, flags=flags, opcode=Opcode.QUERY)
+    return DnsMessage(header=header, questions=[Question(qname, qtype, qclass)])
+
+
+def make_response(
+    query: DnsMessage,
+    rcode: int = Rcode.NOERROR,
+    answers: list[ResourceRecord] | None = None,
+    authorities: list[ResourceRecord] | None = None,
+    additionals: list[ResourceRecord] | None = None,
+    aa: bool = False,
+    ra: bool = True,
+    ad: bool = False,
+    copy_question: bool = True,
+) -> DnsMessage:
+    """Build a response to ``query``.
+
+    ``copy_question=False`` produces the empty-``dns_question`` responses
+    analyzed in section IV-B4 of the paper. ``ad=True`` marks the answer
+    as DNSSEC-validated (RFC 4035 section 3.2.3).
+    """
+    flags = DnsFlags(qr=True, aa=aa, rd=query.header.flags.rd, ra=ra, ad=ad)
+    header = DnsHeader(
+        msg_id=query.header.msg_id, flags=flags, opcode=query.header.opcode, rcode=rcode
+    )
+    questions = list(query.questions) if copy_question else []
+    return DnsMessage(
+        header=header,
+        questions=questions,
+        answers=list(answers or []),
+        authorities=list(authorities or []),
+        additionals=list(additionals or []),
+    )

@@ -1,0 +1,106 @@
+"""Domain-name handling: validation, normalization, hierarchy helpers.
+
+Names are represented throughout the library as lower-case,
+fully-qualified strings *without* the trailing root dot (the empty
+string denotes the root). ``www.example.com`` is canonical;
+``WWW.Example.COM.`` normalizes to it.
+"""
+
+from __future__ import annotations
+
+from repro.dnslib.constants import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+
+
+class DnsNameError(ValueError):
+    """Raised for syntactically invalid domain names."""
+
+
+def normalize_name(name: str) -> str:
+    """Return the canonical form of ``name``.
+
+    Lower-cases, strips a single trailing dot, and validates. The root
+    may be written as ``""`` or ``"."``.
+
+    >>> normalize_name("WWW.Example.COM.")
+    'www.example.com'
+    >>> normalize_name(".")
+    ''
+    """
+    if name in ("", "."):
+        return ""
+    lowered = name.lower()
+    if lowered.endswith("."):
+        lowered = lowered[:-1]
+    validate_name(lowered)
+    return lowered
+
+
+def validate_name(name: str) -> None:
+    """Raise :class:`DnsNameError` if ``name`` is not a valid domain name.
+
+    The check enforces the RFC 1035 size limits (63 octets per label,
+    255 octets total) and rejects empty labels. Character content is
+    deliberately permissive: real-world DNS allows arbitrary octets in
+    labels, and the paper's dataset contains answers like ``wild`` or
+    ``04b400000000`` that a hostname-strict validator would reject.
+    """
+    if name == "":
+        return
+    encoded = name.encode("ascii", errors="replace")
+    # +1 for the length octet of each label and the terminating root label.
+    if len(encoded) + 2 > MAX_NAME_LENGTH:
+        raise DnsNameError(f"name too long ({len(encoded)} octets): {name[:64]}...")
+    for label in name.split("."):
+        if not label:
+            raise DnsNameError(f"empty label in name: {name!r}")
+        if len(label.encode("ascii", errors="replace")) > MAX_LABEL_LENGTH:
+            raise DnsNameError(f"label too long in name: {name!r}")
+
+
+def split_labels(name: str) -> list[str]:
+    """Split a canonical name into its labels, left to right.
+
+    >>> split_labels("www.example.com")
+    ['www', 'example', 'com']
+    >>> split_labels("")
+    []
+    """
+    if name == "":
+        return []
+    return name.split(".")
+
+
+def name_depth(name: str) -> int:
+    """Number of labels in the name (the root has depth 0)."""
+    return len(split_labels(name))
+
+
+def parent_name(name: str) -> str:
+    """Return the immediate parent of ``name``.
+
+    >>> parent_name("www.example.com")
+    'example.com'
+    >>> parent_name("com")
+    ''
+    """
+    if name == "":
+        raise DnsNameError("the root has no parent")
+    _, _, rest = name.partition(".")
+    return rest
+
+
+def is_subdomain(name: str, ancestor: str) -> bool:
+    """True if ``name`` equals or is beneath ``ancestor``.
+
+    Both arguments must be canonical (see :func:`normalize_name`).
+
+    >>> is_subdomain("a.example.com", "example.com")
+    True
+    >>> is_subdomain("example.com", "example.com")
+    True
+    >>> is_subdomain("notexample.com", "example.com")
+    False
+    """
+    if ancestor == "":
+        return True
+    return name == ancestor or name.endswith("." + ancestor)

@@ -1,0 +1,346 @@
+"""Resource records and RDATA codecs.
+
+Each RDATA type is a small frozen dataclass with wire and text codecs.
+:class:`ResourceRecord` binds an owner name, type, class and TTL to an
+RDATA payload. Unknown types round-trip through :class:`RawData`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.buffer import DnsWireError, WireReader, WireWriter
+from repro.dnslib.constants import DnsClass, QueryType
+from repro.dnslib.names import normalize_name
+
+
+def ipv4_to_bytes(address: str) -> bytes:
+    """Encode a dotted-quad IPv4 address as 4 octets."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise DnsWireError(f"not an IPv4 address: {address!r}")
+    try:
+        octets = [int(part) for part in parts]
+    except ValueError as exc:
+        raise DnsWireError(f"not an IPv4 address: {address!r}") from exc
+    if any(not 0 <= octet <= 255 for octet in octets):
+        raise DnsWireError(f"octet out of range: {address!r}")
+    return bytes(octets)
+
+
+def bytes_to_ipv4(data: bytes) -> str:
+    """Decode 4 octets into a dotted-quad IPv4 address."""
+    if len(data) != 4:
+        raise DnsWireError(f"A RDATA must be 4 octets, got {len(data)}")
+    return ".".join(str(octet) for octet in data)
+
+
+@dataclasses.dataclass(frozen=True)
+class AData:
+    """An IPv4 host address (RFC 1035 section 3.4.1)."""
+
+    address: str
+
+    TYPE = QueryType.A
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_bytes(ipv4_to_bytes(self.address))
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "AData":
+        return cls(bytes_to_ipv4(reader.read_bytes(rdlength)))
+
+    def to_text(self) -> str:
+        return self.address
+
+
+@dataclasses.dataclass(frozen=True)
+class AaaaData:
+    """An IPv6 host address (RFC 3596), stored as 16 raw octets."""
+
+    address: bytes
+
+    TYPE = QueryType.AAAA
+
+    def encode(self, writer: WireWriter) -> None:
+        if len(self.address) != 16:
+            raise DnsWireError("AAAA RDATA must be 16 octets")
+        writer.write_bytes(self.address)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "AaaaData":
+        if rdlength != 16:
+            raise DnsWireError(f"AAAA RDATA must be 16 octets, got {rdlength}")
+        return cls(reader.read_bytes(16))
+
+    def to_text(self) -> str:
+        groups = [self.address[i:i + 2].hex() for i in range(0, 16, 2)]
+        return ":".join(groups)
+
+
+@dataclasses.dataclass(frozen=True)
+class NsData:
+    """An authoritative name server (RFC 1035 section 3.3.11)."""
+
+    nsdname: str
+
+    TYPE = QueryType.NS
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_name(self.nsdname)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "NsData":
+        return cls(reader.read_name())
+
+    def to_text(self) -> str:
+        return self.nsdname + "."
+
+
+@dataclasses.dataclass(frozen=True)
+class CnameData:
+    """The canonical name for an alias (RFC 1035 section 3.3.1)."""
+
+    cname: str
+
+    TYPE = QueryType.CNAME
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_name(self.cname)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "CnameData":
+        return cls(reader.read_name())
+
+    def to_text(self) -> str:
+        return self.cname + "."
+
+
+@dataclasses.dataclass(frozen=True)
+class PtrData:
+    """A domain name pointer (RFC 1035 section 3.3.12)."""
+
+    ptrdname: str
+
+    TYPE = QueryType.PTR
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_name(self.ptrdname)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "PtrData":
+        return cls(reader.read_name())
+
+    def to_text(self) -> str:
+        return self.ptrdname + "."
+
+
+@dataclasses.dataclass(frozen=True)
+class MxData:
+    """Mail exchange (RFC 1035 section 3.3.9)."""
+
+    preference: int
+    exchange: str
+
+    TYPE = QueryType.MX
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_u16(self.preference)
+        writer.write_name(self.exchange)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "MxData":
+        preference = reader.read_u16()
+        return cls(preference, reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange}."
+
+
+@dataclasses.dataclass(frozen=True)
+class TxtData:
+    """Descriptive text (RFC 1035 section 3.3.14).
+
+    ``strings`` holds the character-strings; each must fit in 255 octets.
+    """
+
+    strings: tuple[str, ...]
+
+    TYPE = QueryType.TXT
+
+    def encode(self, writer: WireWriter) -> None:
+        for string in self.strings:
+            encoded = string.encode("ascii", errors="replace")
+            if len(encoded) > 255:
+                raise DnsWireError("TXT character-string too long")
+            writer.write_u8(len(encoded))
+            writer.write_bytes(encoded)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "TxtData":
+        end = reader.offset + rdlength
+        strings: list[str] = []
+        while reader.offset < end:
+            length = reader.read_u8()
+            strings.append(reader.read_bytes(length).decode("ascii", errors="replace"))
+        if reader.offset != end:
+            raise DnsWireError("malformed TXT RDATA")
+        return cls(tuple(strings))
+
+    def to_text(self) -> str:
+        return " ".join(f'"{s}"' for s in self.strings)
+
+
+@dataclasses.dataclass(frozen=True)
+class SoaData:
+    """Start of a zone of authority (RFC 1035 section 3.3.13)."""
+
+    mname: str
+    rname: str
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+
+    TYPE = QueryType.SOA
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_name(self.mname)
+        writer.write_name(self.rname)
+        for field in (self.serial, self.refresh, self.retry, self.expire, self.minimum):
+            writer.write_u32(field)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "SoaData":
+        mname = reader.read_name()
+        rname = reader.read_name()
+        serial = reader.read_u32()
+        refresh = reader.read_u32()
+        retry = reader.read_u32()
+        expire = reader.read_u32()
+        minimum = reader.read_u32()
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname}. {self.rname}. {self.serial} {self.refresh} "
+            f"{self.retry} {self.expire} {self.minimum}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class OptData:
+    """EDNS(0) OPT pseudo-record payload (RFC 6891).
+
+    The owner/class/TTL fields of the OPT RR carry EDNS metadata; the
+    RDATA is an opaque option blob which this codec passes through.
+    """
+
+    options: bytes = b""
+
+    TYPE = QueryType.OPT
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_bytes(self.options)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "OptData":
+        return cls(reader.read_bytes(rdlength))
+
+    def to_text(self) -> str:
+        return self.options.hex()
+
+
+@dataclasses.dataclass(frozen=True)
+class RawData:
+    """Opaque RDATA for record types without a dedicated codec.
+
+    Also used to model the paper's malformed answers (section IV-C
+    "Caveats": 8,764 undecodable 2013 answers) without crashing the
+    pipeline.
+    """
+
+    rtype: int
+    payload: bytes
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_bytes(self.payload)
+
+    def to_text(self) -> str:
+        return f"\\# {len(self.payload)} {self.payload.hex()}"
+
+
+_RDATA_CODECS = {
+    QueryType.A: AData,
+    QueryType.AAAA: AaaaData,
+    QueryType.NS: NsData,
+    QueryType.CNAME: CnameData,
+    QueryType.PTR: PtrData,
+    QueryType.MX: MxData,
+    QueryType.TXT: TxtData,
+    QueryType.SOA: SoaData,
+    QueryType.OPT: OptData,
+}
+
+
+def rdata_for_type(rtype: int):
+    """Return the RDATA codec class for ``rtype``, or None if opaque."""
+    return _RDATA_CODECS.get(rtype)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceRecord:
+    """A single resource record: owner name, type, class, TTL and data."""
+
+    name: str
+    rtype: int
+    rclass: int = DnsClass.IN
+    ttl: int = 300
+    data: object = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+
+    def encode(self, writer: WireWriter) -> None:
+        """Write the full RR, back-patching RDLENGTH after the RDATA."""
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rtype))
+        writer.write_u16(int(self.rclass))
+        writer.write_u32(self.ttl & 0xFFFFFFFF)
+        rdlength_at = len(writer)
+        writer.write_u16(0)
+        rdata_start = len(writer)
+        if self.data is not None:
+            self.data.encode(writer)
+        writer.set_u16(rdlength_at, len(writer) - rdata_start)
+
+    @classmethod
+    def decode(cls, reader: WireReader) -> "ResourceRecord":
+        name = reader.read_name()
+        rtype = reader.read_u16()
+        rclass = reader.read_u16()
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        end = reader.offset + rdlength
+        codec = rdata_for_type(rtype)
+        if codec is None:
+            data: object = RawData(rtype, reader.read_bytes(rdlength))
+        else:
+            data = codec.decode(reader, rdlength)
+        if reader.offset != end:
+            # Name compression inside RDATA may legally leave the cursor
+            # at the pointer's resume position; anything else is corrupt.
+            if reader.offset > end:
+                raise DnsWireError("RDATA overran its RDLENGTH")
+            reader.seek(end)
+        return cls(name, QueryType.from_value(rtype), rclass, ttl, data)
+
+    def to_text(self) -> str:
+        """One-line master-file style rendering."""
+        type_name = (
+            self.rtype.name if isinstance(self.rtype, QueryType) else f"TYPE{self.rtype}"
+        )
+        rdata_text = self.data.to_text() if self.data is not None else ""
+        owner = self.name + "." if self.name else "."
+        return f"{owner} {self.ttl} IN {type_name} {rdata_text}".rstrip()

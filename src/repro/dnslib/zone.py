@@ -1,0 +1,229 @@
+"""Zone model and a master-file (RFC 1035 section 5) subset parser.
+
+The paper's authoritative server serves *clusters* — zone files of five
+million generated subdomains (section III-B). :class:`Zone` is the
+in-memory structure those clusters load into; the master-file codec
+supports SOA, NS, A, AAAA, CNAME, MX, TXT and PTR records with
+``$TTL``/``$ORIGIN`` directives, relative names and ``@``.
+"""
+
+from __future__ import annotations
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.names import is_subdomain, normalize_name
+from repro.dnslib.records import (
+    AData,
+    CnameData,
+    MxData,
+    NsData,
+    PtrData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+
+
+class ZoneError(ValueError):
+    """Raised for malformed zone data or out-of-zone records."""
+
+
+class Zone:
+    """A DNS zone: an origin plus records indexed by (name, type).
+
+    Lookup semantics implement the fragment of RFC 1034 section 4.3.2
+    that an authoritative server needs: exact match, CNAME chasing at
+    the node, NXDOMAIN for in-zone misses, and NODATA for names that
+    exist with other types.
+    """
+
+    def __init__(self, origin: str) -> None:
+        self.origin = normalize_name(origin)
+        self._records: dict[tuple[str, int], list[ResourceRecord]] = {}
+        self._names: set[str] = set()
+
+    def __len__(self) -> int:
+        return sum(len(rrset) for rrset in self._records.values())
+
+    def __contains__(self, name: str) -> bool:
+        return normalize_name(name) in self._names
+
+    @property
+    def record_count(self) -> int:
+        return len(self)
+
+    @property
+    def name_count(self) -> int:
+        return len(self._names)
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add a record; its owner must be at or below the origin."""
+        if not is_subdomain(record.name, self.origin):
+            raise ZoneError(f"{record.name!r} is outside zone {self.origin!r}")
+        key = (record.name, int(record.rtype))
+        self._records.setdefault(key, []).append(record)
+        self._names.add(record.name)
+
+    def add_a(self, name: str, address: str, ttl: int = 300) -> None:
+        """Convenience: add an A record."""
+        self.add(ResourceRecord(name, QueryType.A, ttl=ttl, data=AData(address)))
+
+    def rrset(self, name: str, rtype: int) -> list[ResourceRecord]:
+        """All records of ``rtype`` at ``name`` (no CNAME chasing)."""
+        return list(self._records.get((normalize_name(name), int(rtype)), []))
+
+    def all_records(self) -> list[ResourceRecord]:
+        """Every record in the zone, in insertion order per rrset."""
+        return [record for rrset in self._records.values() for record in rrset]
+
+    def records_at(self, name: str) -> list[ResourceRecord]:
+        """Every record whose owner is exactly ``name`` (for ANY queries)."""
+        canonical = normalize_name(name)
+        return [
+            record
+            for (owner, _), rrset in self._records.items()
+            for record in rrset
+            if owner == canonical
+        ]
+
+    def lookup(self, qname: str, qtype: int) -> tuple[str, list[ResourceRecord]]:
+        """Authoritative lookup returning (disposition, records).
+
+        Dispositions: ``"answer"`` (records match), ``"cname"`` (records
+        hold the CNAME to chase), ``"nodata"`` (name exists, type does
+        not), ``"nxdomain"`` (name does not exist in the zone), or
+        ``"out-of-zone"``.
+        """
+        canonical = normalize_name(qname)
+        if not is_subdomain(canonical, self.origin):
+            return "out-of-zone", []
+        if int(qtype) == QueryType.ANY:
+            records = self.records_at(canonical)
+            if records:
+                return "answer", records
+        else:
+            exact = self.rrset(canonical, qtype)
+            if exact:
+                return "answer", exact
+            cname = self.rrset(canonical, QueryType.CNAME)
+            if cname:
+                return "cname", cname
+        if canonical in self._names:
+            return "nodata", []
+        return "nxdomain", []
+
+    def soa(self) -> ResourceRecord | None:
+        """The zone's SOA record, if present."""
+        records = self.rrset(self.origin, QueryType.SOA)
+        return records[0] if records else None
+
+
+def _qualify(name: str, origin: str) -> str:
+    """Resolve a possibly relative master-file name against ``origin``."""
+    if name == "@":
+        return origin
+    if name.endswith("."):
+        return normalize_name(name)
+    if origin:
+        return normalize_name(f"{name}.{origin}")
+    return normalize_name(name)
+
+
+def _parse_rdata(rtype: str, fields: list[str], origin: str):
+    """Build an RDATA object from master-file fields."""
+    if rtype == "A":
+        return QueryType.A, AData(fields[0])
+    if rtype == "NS":
+        return QueryType.NS, NsData(_qualify(fields[0], origin))
+    if rtype == "CNAME":
+        return QueryType.CNAME, CnameData(_qualify(fields[0], origin))
+    if rtype == "PTR":
+        return QueryType.PTR, PtrData(_qualify(fields[0], origin))
+    if rtype == "MX":
+        return QueryType.MX, MxData(int(fields[0]), _qualify(fields[1], origin))
+    if rtype == "TXT":
+        strings = tuple(field.strip('"') for field in fields)
+        return QueryType.TXT, TxtData(strings)
+    if rtype == "SOA":
+        mname, rname = (_qualify(fields[0], origin), _qualify(fields[1], origin))
+        numbers = [int(field) for field in fields[2:7]]
+        return QueryType.SOA, SoaData(mname, rname, *numbers)
+    raise ZoneError(f"unsupported record type in master file: {rtype}")
+
+
+def parse_master_file(text: str, origin: str = "") -> Zone:
+    """Parse a master-file subset into a :class:`Zone`.
+
+    Supports ``$ORIGIN``/``$TTL`` directives, ``;`` comments, ``@``, and
+    bare-name continuation (a line starting with whitespace reuses the
+    previous owner). Multi-line parenthesized records are joined first.
+    """
+    default_ttl = 300
+    current_origin = normalize_name(origin)
+    zone: Zone | None = None
+    previous_owner: str | None = None
+    for raw_line in _join_parentheses(text):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("$ORIGIN"):
+            current_origin = normalize_name(line.split()[1])
+            if zone is None:
+                zone = Zone(current_origin)
+            continue
+        if line.startswith("$TTL"):
+            default_ttl = int(line.split()[1])
+            continue
+        if zone is None:
+            if not current_origin:
+                raise ZoneError("no $ORIGIN directive and no origin argument")
+            zone = Zone(current_origin)
+        starts_indented = line[0] in " \t"
+        fields = line.split()
+        if starts_indented:
+            if previous_owner is None:
+                raise ZoneError(f"continuation line with no previous owner: {line!r}")
+            owner = previous_owner
+        else:
+            owner = _qualify(fields.pop(0), current_origin)
+            previous_owner = owner
+        ttl = default_ttl
+        if fields and fields[0].isdigit():
+            ttl = int(fields.pop(0))
+        if fields and fields[0].upper() == "IN":
+            fields.pop(0)
+        if not fields:
+            raise ZoneError(f"record line missing type: {line!r}")
+        type_token = fields.pop(0).upper()
+        rtype, rdata = _parse_rdata(type_token, fields, current_origin)
+        zone.add(ResourceRecord(owner, rtype, ttl=ttl, data=rdata))
+    if zone is None:
+        if not current_origin:
+            raise ZoneError("empty zone text and no origin")
+        zone = Zone(current_origin)
+    return zone
+
+
+def _join_parentheses(text: str) -> list[str]:
+    """Join multi-line parenthesized records into single logical lines."""
+    lines: list[str] = []
+    buffer: list[str] = []
+    depth = 0
+    for line in text.splitlines():
+        stripped = line.split(";", 1)[0]
+        depth += stripped.count("(") - stripped.count(")")
+        if depth < 0:
+            raise ZoneError("unbalanced parentheses in master file")
+        buffer.append(stripped.replace("(", " ").replace(")", " "))
+        if depth == 0:
+            lines.append(" ".join(buffer) if len(buffer) > 1 else buffer[0])
+            buffer = []
+    if depth != 0:
+        raise ZoneError("unterminated parenthesized record")
+    return lines
+
+
+def serialize_zone(zone: Zone) -> str:
+    """Render ``zone`` back to master-file text (one record per line)."""
+    header = [f"$ORIGIN {zone.origin}." if zone.origin else "$ORIGIN ."]
+    body = [record.to_text() for record in zone.all_records()]
+    return "\n".join(header + body) + "\n"

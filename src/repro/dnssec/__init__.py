@@ -1,0 +1,26 @@
+"""Counting DNSSEC-validating open resolvers.
+
+The paper's related work cites two measurement techniques for
+estimating how many resolvers validate DNSSEC (Fukuda et al.
+INFOCOM'13; Yu et al. "Check-Repeat"). This subpackage reproduces the
+DO-probe variant: query each responder for a signed name with the
+EDNS(0) DO bit set and count AD=1 answers. Validation is rare among
+open resolvers — most are forwarding CPE boxes — and the assigned
+shares reflect published estimates (~3% in 2013, ~12% in 2018).
+"""
+
+from repro.dnssec.census import (
+    ValidatorCensus,
+    ValidatorScanner,
+    assign_validators,
+    render_validator_census,
+    validator_share_for_year,
+)
+
+__all__ = [
+    "ValidatorCensus",
+    "ValidatorScanner",
+    "assign_validators",
+    "render_validator_census",
+    "validator_share_for_year",
+]

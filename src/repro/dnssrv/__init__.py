@@ -1,0 +1,45 @@
+"""DNS server implementations that run inside the simulated network.
+
+- :class:`AuthoritativeServer` — the paper's BIND-on-Vultr stand-in,
+  serving the ``ucfsealresearch.net`` zone clusters and logging Q2/R1.
+- :class:`DelegationServer` — root and TLD name servers (referrals).
+- :class:`RecursiveResolver` — the full iterative-resolution engine a
+  *standard* open resolver runs (Fig 1 steps 2-7).
+- :class:`ForwardingResolver` — a DNS proxy that forwards to an
+  upstream resolver (Schomp et al.'s "DNS proxies").
+- :class:`DnsCache` — TTL cache shared by the resolver implementations.
+"""
+
+from repro.dnssrv.auth import AuthoritativeServer, QueryLogEntry
+from repro.dnssrv.cache import CacheStats, DnsCache
+from repro.dnssrv.delegation import Delegation, DelegationServer
+from repro.dnssrv.forwarder import ForwardingResolver
+from repro.dnssrv.hierarchy import (
+    AUTH_IP,
+    Hierarchy,
+    MEASUREMENT_SLD,
+    ROOT_IP,
+    TLD_IP,
+    build_hierarchy,
+)
+from repro.dnssrv.ratelimit import ResponseRateLimiter
+from repro.dnssrv.recursive import RecursiveResolver, ResolutionTrace
+
+__all__ = [
+    "AUTH_IP",
+    "AuthoritativeServer",
+    "CacheStats",
+    "Delegation",
+    "DelegationServer",
+    "DnsCache",
+    "ForwardingResolver",
+    "Hierarchy",
+    "MEASUREMENT_SLD",
+    "QueryLogEntry",
+    "ROOT_IP",
+    "RecursiveResolver",
+    "ResolutionTrace",
+    "ResponseRateLimiter",
+    "TLD_IP",
+    "build_hierarchy",
+]

@@ -1,0 +1,175 @@
+"""The authoritative name server (the paper's BIND 9 on Vultr).
+
+Serves one or more zones, answers with AA=1/RA=0 as an authoritative
+server must, and keeps a query log — the simulation's equivalent of the
+tcpdump capture that produced the paper's Q2/R1 packet counts.
+
+Zone *clusters* (section III-B) are swapped in with
+:meth:`install_cluster`. A graceful swap models BIND's reload: the new
+zone loads in the background (the returned ready-time paces the
+prober) while the previous cluster keeps being served, and a bounded
+history of retired clusters stays queryable so in-flight resolutions
+spanning a swap still succeed. A non-graceful swap models a hard
+restart: queries during the load window get SERVFAIL.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import DnsMessage, make_response
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.dnslib.zone import Zone
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryLogEntry:
+    """One row of the auth-side capture: who asked what, when."""
+
+    timestamp: float
+    src_ip: str
+    qname: str
+    qtype: int
+    rcode: int
+
+
+class AuthoritativeServer:
+    """An authoritative-only DNS server bound to one IP."""
+
+    def __init__(
+        self,
+        ip: str,
+        cluster_load_seconds: float = 60.0,
+        zone_history: int = 2,
+    ) -> None:
+        if zone_history < 1:
+            raise ValueError("zone_history must be at least 1")
+        self.ip = ip
+        self.cluster_load_seconds = cluster_load_seconds
+        self.zone_history = zone_history
+        self._zones: dict[str, list[Zone]] = {}
+        self._loading_until = float("-inf")
+        self.query_log: list[QueryLogEntry] = []
+        self.clusters_installed = 0
+        self.queries_served = 0
+        self.queries_during_reload = 0
+
+    # -- zone management ---------------------------------------------------
+
+    def load_zone(self, zone: Zone) -> None:
+        """Serve ``zone``, retiring (but retaining) same-origin predecessors."""
+        history = self._zones.setdefault(zone.origin, [])
+        history.insert(0, zone)
+        del history[self.zone_history:]
+
+    def unload_zone(self, origin: str) -> None:
+        self._zones.pop(origin, None)
+
+    def zones_for(self, qname: str) -> list[Zone]:
+        """Zones covering ``qname``, most specific origin first, newest first."""
+        matches = [
+            (origin, zones)
+            for origin, zones in self._zones.items()
+            if qname == origin or qname.endswith("." + origin)
+        ]
+        matches.sort(key=lambda item: len(item[0]), reverse=True)
+        return [zone for _, zones in matches for zone in zones]
+
+    def zone_for(self, qname: str) -> Zone | None:
+        """The freshest most-specific zone containing ``qname``."""
+        zones = self.zones_for(qname)
+        return zones[0] if zones else None
+
+    def install_cluster(self, zone: Zone, now: float, graceful: bool = True) -> float:
+        """Swap in a new subdomain cluster.
+
+        Returns the time the new cluster is fully loaded. The paper
+        reports ~1 minute per 5M-subdomain cluster; the charged time
+        scales linearly with cluster size relative to that reference.
+        Graceful swaps keep answering from the retiring cluster in the
+        meantime; hard swaps SERVFAIL until the load completes.
+        """
+        reference = 5_000_000
+        load_time = self.cluster_load_seconds * max(zone.record_count, 1) / reference
+        self.load_zone(zone)
+        self.clusters_installed += 1
+        if not graceful:
+            self._loading_until = now + load_time
+        return now + load_time
+
+    @property
+    def zone_count(self) -> int:
+        """Number of zone origins served (history not counted)."""
+        return len(self._zones)
+
+    # -- serving -----------------------------------------------------------
+
+    def attach(self, network: Network, port: int = 53) -> None:
+        """Bind the server's handler on (ip, 53)."""
+        network.bind(self.ip, port, self.handle)
+
+    def handle(self, datagram: Datagram, network: Network) -> None:
+        """Decode, answer, log. Unparseable junk is dropped, as BIND does."""
+        now = network.now
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        response = self.respond(query, now)
+        qname = query.qname or ""
+        qtype = query.questions[0].qtype if query.questions else 0
+        self.query_log.append(
+            QueryLogEntry(now, datagram.src_ip, qname, int(qtype), int(response.rcode))
+        )
+        network.send(datagram.reply(encode_message(response)))
+
+    def respond(self, query: DnsMessage, now: float) -> DnsMessage:
+        """Pure response logic (no I/O), so tests can drive it directly."""
+        self.queries_served += 1
+        if now < self._loading_until:
+            self.queries_during_reload += 1
+            return make_response(query, rcode=Rcode.SERVFAIL, aa=False, ra=False)
+        if not query.questions:
+            return make_response(query, rcode=Rcode.FORMERR, aa=False, ra=False)
+        question = query.questions[0]
+        zones = self.zones_for(question.qname)
+        if not zones:
+            return make_response(query, rcode=Rcode.REFUSED, aa=False, ra=False)
+        # Prefer the freshest zone; fall back through retired clusters for
+        # names that predate the current one.
+        disposition, records, zone = "nxdomain", [], zones[0]
+        for candidate in zones:
+            disposition, records = candidate.lookup(question.qname, question.qtype)
+            zone = candidate
+            if disposition not in ("nxdomain", "out-of-zone"):
+                break
+        if disposition == "answer":
+            return make_response(query, answers=records, aa=True, ra=False)
+        if disposition == "cname":
+            chained = list(records)
+            target = records[0].data.cname
+            tail, tail_records = zone.lookup(target, question.qtype)
+            if tail == "answer":
+                chained.extend(tail_records)
+            return make_response(query, answers=chained, aa=True, ra=False)
+        if disposition == "nodata":
+            soa = zone.soa()
+            authorities = [soa] if soa else []
+            return make_response(query, authorities=authorities, aa=True, ra=False)
+        soa = zone.soa()
+        authorities = [soa] if soa else []
+        return make_response(
+            query, rcode=Rcode.NXDOMAIN, authorities=authorities, aa=True, ra=False
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def queries_for(self, qname: str) -> list[QueryLogEntry]:
+        """Log entries matching ``qname`` (the Q2 capture join key)."""
+        return [entry for entry in self.query_log if entry.qname == qname]
+
+    def has_subdomain_loaded(self, qname: str, qtype: int = QueryType.A) -> bool:
+        return any(zone.rrset(qname, qtype) for zone in self.zones_for(qname))

@@ -1,0 +1,98 @@
+"""Root and TLD name servers.
+
+A :class:`DelegationServer` knows which child zones it delegates and
+answers every in-bailiwick query with a referral: NS records in the
+authority section plus glue A records in the additional section. That
+is all the paper's resolution path (Fig 1, steps 2-5) needs from the
+root and ``.net`` servers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import DnsMessage, make_response
+from repro.dnslib.names import is_subdomain, normalize_name
+from repro.dnslib.records import AData, NsData, ResourceRecord
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+
+@dataclasses.dataclass(frozen=True)
+class Delegation:
+    """A child zone cut: the zone name and its name servers with glue."""
+
+    zone: str
+    nameservers: tuple[tuple[str, str], ...]  # (ns hostname, ns IPv4)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "zone", normalize_name(self.zone))
+
+
+class DelegationServer:
+    """A referral-only server for one zone (the root or a TLD)."""
+
+    def __init__(self, ip: str, zone: str, delegations: list[Delegation] | None = None) -> None:
+        self.ip = ip
+        self.zone = normalize_name(zone)
+        self._delegations: dict[str, Delegation] = {}
+        for delegation in delegations or []:
+            self.add_delegation(delegation)
+        self.queries_served = 0
+
+    def add_delegation(self, delegation: Delegation) -> None:
+        if not is_subdomain(delegation.zone, self.zone):
+            raise ValueError(
+                f"{delegation.zone!r} is not beneath {self.zone!r}"
+            )
+        self._delegations[delegation.zone] = delegation
+
+    @property
+    def delegation_count(self) -> int:
+        return len(self._delegations)
+
+    def delegation_for(self, qname: str) -> Delegation | None:
+        """The most specific delegation covering ``qname``, if any."""
+        canonical = normalize_name(qname)
+        best: Delegation | None = None
+        for zone, delegation in self._delegations.items():
+            if is_subdomain(canonical, zone):
+                if best is None or len(zone) > len(best.zone):
+                    best = delegation
+        return best
+
+    def attach(self, network: Network, port: int = 53) -> None:
+        network.bind(self.ip, port, self.handle)
+
+    def handle(self, datagram: Datagram, network: Network) -> None:
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        response = self.respond(query)
+        network.send(datagram.reply(encode_message(response)))
+
+    def respond(self, query: DnsMessage) -> DnsMessage:
+        """Referral, or NXDOMAIN for in-bailiwick names with no child cut."""
+        self.queries_served += 1
+        if not query.questions:
+            return make_response(query, rcode=Rcode.FORMERR, aa=False, ra=False)
+        qname = query.questions[0].qname
+        if not is_subdomain(qname, self.zone):
+            return make_response(query, rcode=Rcode.REFUSED, aa=False, ra=False)
+        delegation = self.delegation_for(qname)
+        if delegation is None:
+            return make_response(query, rcode=Rcode.NXDOMAIN, aa=True, ra=False)
+        authorities = [
+            ResourceRecord(delegation.zone, QueryType.NS, ttl=86400, data=NsData(host))
+            for host, _ in delegation.nameservers
+        ]
+        additionals = [
+            ResourceRecord(host, QueryType.A, ttl=86400, data=AData(address))
+            for host, address in delegation.nameservers
+        ]
+        return make_response(
+            query, authorities=authorities, additionals=additionals, aa=False, ra=False
+        )

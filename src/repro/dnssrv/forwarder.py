@@ -1,0 +1,100 @@
+"""A forwarding resolver (DNS proxy).
+
+Schomp et al. distinguish recursive resolvers from the far more common
+*DNS proxies* — home gateways that forward queries to an upstream
+resolver. The paper's open-resolver population is full of these; a
+proxy is "open" if it forwards for anyone. Proxies also explain some
+header oddities: a cheap CPE box may relay the upstream answer while
+mangling flag bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.message import DnsMessage
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+#: Port the proxy uses toward its upstream resolver.
+FORWARD_PORT = 10054
+
+
+@dataclasses.dataclass
+class _Outstanding:
+    client: Datagram
+
+
+class ForwardingResolver:
+    """Relays client queries to ``upstream_ip`` and answers back.
+
+    ``mangle`` is an optional hook applied to the upstream response
+    before it is relayed — used by the population models to express
+    flag-rewriting CPE firmware.
+    """
+
+    def __init__(self, ip: str, upstream_ip: str, mangle=None) -> None:
+        self.ip = ip
+        self.upstream_ip = upstream_ip
+        self.mangle = mangle
+        self._network: Network | None = None
+        self._outstanding: dict[int, _Outstanding] = {}
+        self._next_id = 1
+        self.forwarded = 0
+        self.relayed = 0
+
+    def attach(self, network: Network, port: int = 53) -> None:
+        self._network = network
+        network.bind(self.ip, port, self.handle_client)
+        network.bind(self.ip, FORWARD_PORT, self.handle_upstream)
+
+    def handle_client(self, datagram: Datagram, network: Network) -> None:
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        msg_id = self._next_id
+        self._next_id = self._next_id % 0xFFFF + 1
+        self._outstanding[msg_id] = _Outstanding(datagram)
+        rewritten = DnsMessage(
+            header=dataclasses.replace(query.header, msg_id=msg_id),
+            questions=list(query.questions),
+        )
+        self.forwarded += 1
+        network.send(
+            Datagram(
+                self.ip, FORWARD_PORT, self.upstream_ip, 53, encode_message(rewritten)
+            )
+        )
+
+    def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+        try:
+            response = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        outstanding = self._outstanding.pop(response.header.msg_id, None)
+        if outstanding is None:
+            return
+        relayed = DnsMessage(
+            header=dataclasses.replace(
+                response.header,
+                msg_id=_original_id(outstanding.client),
+            ),
+            questions=list(response.questions),
+            answers=list(response.answers),
+            authorities=list(response.authorities),
+            additionals=list(response.additionals),
+        )
+        if self.mangle is not None:
+            relayed = self.mangle(relayed)
+        self.relayed += 1
+        network.send(outstanding.client.reply(encode_message(relayed)))
+
+
+def _original_id(client: Datagram) -> int:
+    """Recover the client's original message ID from its raw query."""
+    try:
+        return decode_message(client.payload).header.msg_id
+    except DnsWireError:
+        return 0

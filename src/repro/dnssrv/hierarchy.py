@@ -1,0 +1,69 @@
+"""Convenience assembly of the full DNS hierarchy used by the study.
+
+One call builds and attaches: a root server, the ``net`` TLD server
+delegating the measurement SLD, and the authoritative server for the
+SLD — i.e. everything on the right-hand side of Fig 1 except the open
+resolvers themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.names import normalize_name, parent_name
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.dnssrv.delegation import Delegation, DelegationServer
+from repro.netsim.network import Network
+
+#: Default infrastructure addresses (mirroring real deployments: the
+#: root at an IANA-ish address, the auth server on a "Vultr" address).
+ROOT_IP = "198.41.0.4"
+TLD_IP = "192.5.6.30"
+AUTH_IP = "45.76.1.10"
+
+#: The SLD the paper purchased for the measurement.
+MEASUREMENT_SLD = "ucfsealresearch.net"
+
+
+@dataclasses.dataclass
+class Hierarchy:
+    """The assembled server set plus the addresses to reach them."""
+
+    root: DelegationServer
+    tld: DelegationServer
+    auth: AuthoritativeServer
+    sld: str
+
+    @property
+    def root_servers(self) -> list[str]:
+        return [self.root.ip]
+
+
+def build_hierarchy(
+    network: Network,
+    sld: str = MEASUREMENT_SLD,
+    root_ip: str = ROOT_IP,
+    tld_ip: str = TLD_IP,
+    auth_ip: str = AUTH_IP,
+    cluster_load_seconds: float = 60.0,
+) -> Hierarchy:
+    """Create, wire and attach root, TLD and authoritative servers."""
+    canonical_sld = normalize_name(sld)
+    tld = parent_name(canonical_sld)
+    if not tld:
+        raise ValueError(f"SLD must have a TLD: {sld!r}")
+    root = DelegationServer(
+        root_ip,
+        "",
+        [Delegation(tld, ((f"a.gtld-servers.{tld}", tld_ip),))],
+    )
+    tld_server = DelegationServer(
+        tld_ip,
+        tld,
+        [Delegation(canonical_sld, ((f"ns1.{canonical_sld}", auth_ip),))],
+    )
+    auth = AuthoritativeServer(auth_ip, cluster_load_seconds=cluster_load_seconds)
+    root.attach(network)
+    tld_server.attach(network)
+    auth.attach(network)
+    return Hierarchy(root=root, tld=tld_server, auth=auth, sld=canonical_sld)

@@ -1,0 +1,53 @@
+"""Response rate limiting (RRL) — the standard amplification defense.
+
+BIND's RRL and its cousins cap how many responses a server sends to
+any single client address per second, which blunts spoofed-source
+amplification: the victim's address quickly exhausts its budget and
+further responses are dropped (or truncated). The token-bucket
+implementation here attaches to any resolver or authoritative server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class _Bucket:
+    tokens: float
+    updated: float
+
+
+class ResponseRateLimiter:
+    """A per-client token bucket over simulated time."""
+
+    def __init__(self, rate_per_second: float = 5.0, burst: float = 10.0) -> None:
+        if rate_per_second <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate_per_second
+        self.burst = burst
+        self._buckets: dict[str, _Bucket] = {}
+        self.allowed = 0
+        self.dropped = 0
+
+    def allow(self, client_ip: str, now: float) -> bool:
+        """True if a response to ``client_ip`` may be sent at ``now``."""
+        bucket = self._buckets.get(client_ip)
+        if bucket is None:
+            bucket = _Bucket(tokens=self.burst, updated=now)
+            self._buckets[client_ip] = bucket
+        else:
+            elapsed = max(0.0, now - bucket.updated)
+            bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+            bucket.updated = now
+        if bucket.tokens >= 1.0:
+            bucket.tokens -= 1.0
+            self.allowed += 1
+            return True
+        self.dropped += 1
+        return False
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.allowed + self.dropped
+        return self.dropped / total if total else 0.0

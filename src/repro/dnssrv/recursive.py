@@ -1,0 +1,298 @@
+"""The iterative-resolution engine behind a *standard* open resolver.
+
+Implements Fig 1 of the paper: a client query arrives (step 1), the
+engine walks root → TLD → authoritative following referrals (steps
+2-7), caches the result and answers the client with RA=1 (step 8).
+
+The engine is fully event-driven over the simulated network: upstream
+queries are matched to pending resolutions by message ID, retries move
+to the next server of the current referral level, and exhaustion or
+depth overrun yields SERVFAIL — the standard-conformant behaviors the
+paper's deviant resolvers fail to exhibit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.chaos import is_version_bind_query, version_bind_response
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import DnsMessage, make_query, make_response
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.dnssrv.cache import DnsCache
+from repro.netsim.events import ScheduledEvent
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+#: Port the engine uses for its upstream (iterative) queries.
+UPSTREAM_PORT = 10053
+
+
+@dataclasses.dataclass
+class ResolutionTrace:
+    """The servers consulted while resolving one name, in order."""
+
+    qname: str
+    steps: list[tuple[str, str]] = dataclasses.field(default_factory=list)
+    outcome: str = "pending"
+
+    def visit(self, server_ip: str, disposition: str) -> None:
+        self.steps.append((server_ip, disposition))
+
+
+@dataclasses.dataclass
+class _Pending:
+    client: Datagram
+    query: DnsMessage
+    qname: str
+    qtype: int
+    servers: list[str]
+    server_index: int = 0
+    depth: int = 0
+    restarts: int = 0
+    timeout_event: ScheduledEvent | None = None
+    trace: ResolutionTrace | None = None
+
+
+@dataclasses.dataclass
+class ResolverStats:
+    client_queries: int = 0
+    cache_answers: int = 0
+    upstream_queries: int = 0
+    answered: int = 0
+    servfail: int = 0
+    nxdomain: int = 0
+
+
+class RecursiveResolver:
+    """A correct, recursion-available resolver bound to one IP."""
+
+    def __init__(
+        self,
+        ip: str,
+        root_servers: list[str],
+        cache: DnsCache | None = None,
+        timeout: float = 2.0,
+        max_depth: int = 8,
+        max_restarts: int = 4,
+        record_traces: bool = False,
+        version_banner: str | None = None,
+        accept_unsolicited_additionals: bool = False,
+        rate_limiter=None,
+    ) -> None:
+        """``accept_unsolicited_additionals=True`` models the record-
+        injection vulnerability of Schomp et al. / Klein et al.: the
+        resolver caches A records from a response's additional section
+        without a bailiwick check, letting a malicious authoritative
+        server plant answers for *other* domains."""
+        if not root_servers:
+            raise ValueError("need at least one root server address")
+        self.ip = ip
+        self.version_banner = version_banner
+        self.accept_unsolicited_additionals = accept_unsolicited_additionals
+        self.rate_limiter = rate_limiter
+        self.root_servers = list(root_servers)
+        self.cache = cache if cache is not None else DnsCache()
+        self.timeout = timeout
+        self.max_depth = max_depth
+        self.max_restarts = max_restarts
+        self.record_traces = record_traces
+        self.traces: list[ResolutionTrace] = []
+        self.stats = ResolverStats()
+        self._network: Network | None = None
+        self._pending: dict[int, _Pending] = {}
+        self._next_id = 1
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, network: Network, port: int = 53) -> None:
+        """Bind the client-facing port and the upstream port."""
+        self._network = network
+        network.bind(self.ip, port, self.handle_client)
+        network.bind(self.ip, UPSTREAM_PORT, self.handle_upstream)
+
+    # -- client side ---------------------------------------------------------
+
+    def handle_client(self, datagram: Datagram, network: Network) -> None:
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        self.stats.client_queries += 1
+        if not query.questions:
+            self._reply(datagram, make_response(query, rcode=Rcode.FORMERR, ra=True))
+            return
+        if is_version_bind_query(query):
+            network.send(
+                datagram.reply(version_bind_response(query, self.version_banner))
+            )
+            return
+        question = query.questions[0]
+        cached = self.cache.get(question.qname, question.qtype, network.now)
+        if cached is not None:
+            self.stats.cache_answers += 1
+            self.stats.answered += 1
+            self._reply(datagram, make_response(query, answers=cached, ra=True))
+            return
+        pending = _Pending(
+            client=datagram,
+            query=query,
+            qname=question.qname,
+            qtype=int(question.qtype),
+            servers=list(self.root_servers),
+        )
+        if self.record_traces:
+            pending.trace = ResolutionTrace(question.qname)
+            self.traces.append(pending.trace)
+        self._send_upstream(pending)
+
+    # -- upstream side ---------------------------------------------------
+
+    def _send_upstream(self, pending: _Pending) -> None:
+        network = self._require_network()
+        msg_id = self._next_id
+        self._next_id = self._next_id % 0xFFFF + 1
+        self._pending[msg_id] = pending
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        pending.timeout_event = network.scheduler.after(
+            self.timeout, lambda: self._on_timeout(msg_id)
+        )
+        server_ip = pending.servers[pending.server_index]
+        upstream = make_query(
+            pending.qname, qtype=pending.qtype, msg_id=msg_id, recursion_desired=False
+        )
+        self.stats.upstream_queries += 1
+        network.send(
+            Datagram(self.ip, UPSTREAM_PORT, server_ip, 53, encode_message(upstream))
+        )
+
+    def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+        try:
+            response = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        pending = self._pending.pop(response.header.msg_id, None)
+        if pending is None:
+            return  # late or unsolicited
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        self._advance(pending, datagram.src_ip, response)
+
+    def _advance(self, pending: _Pending, server_ip: str, response: DnsMessage) -> None:
+        """Interpret one upstream response: answer, referral, or error."""
+        if self.accept_unsolicited_additionals and response.answers:
+            # VULNERABLE PATH: cache additional-section A records with no
+            # bailiwick check (the record-injection vector).
+            network = self._require_network()
+            for record in response.additionals:
+                if record.rtype == QueryType.A:
+                    self.cache.put(record.name, QueryType.A, [record], network.now)
+        if response.rcode != Rcode.NOERROR:
+            self._trace(pending, server_ip, Rcode(response.rcode).name.lower())
+            self._finish_error(pending, response.rcode)
+            return
+        if response.answers:
+            addresses = [
+                record for record in response.answers if record.rtype == pending.qtype
+            ]
+            if addresses or pending.qtype == QueryType.ANY:
+                self._trace(pending, server_ip, "answer")
+                self._finish_answer(pending, response.answers)
+                return
+            cnames = [
+                record
+                for record in response.answers
+                if record.rtype == QueryType.CNAME
+            ]
+            if cnames:
+                self._trace(pending, server_ip, "cname")
+                self._restart(pending, cnames[0].data.cname)
+                return
+            self._trace(pending, server_ip, "answer")
+            self._finish_answer(pending, response.answers)
+            return
+        glue = {
+            record.name: record.data.address
+            for record in response.additionals
+            if record.rtype == QueryType.A
+        }
+        referral_ips = [
+            glue[record.data.nsdname]
+            for record in response.authorities
+            if record.rtype == QueryType.NS and record.data.nsdname in glue
+        ]
+        if referral_ips:
+            self._trace(pending, server_ip, "referral")
+            pending.depth += 1
+            if pending.depth > self.max_depth:
+                self._finish_error(pending, Rcode.SERVFAIL)
+                return
+            pending.servers = referral_ips
+            pending.server_index = 0
+            self._send_upstream(pending)
+            return
+        # NOERROR, no answers, no usable referral: NODATA.
+        self._trace(pending, server_ip, "nodata")
+        self._finish_answer(pending, [])
+
+    def _restart(self, pending: _Pending, new_qname: str) -> None:
+        """Chase a CNAME by restarting resolution at the root."""
+        pending.restarts += 1
+        if pending.restarts > self.max_restarts:
+            self._finish_error(pending, Rcode.SERVFAIL)
+            return
+        pending.qname = new_qname
+        pending.depth = 0
+        pending.servers = list(self.root_servers)
+        pending.server_index = 0
+        self._send_upstream(pending)
+
+    def _on_timeout(self, msg_id: int) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is None:
+            return
+        pending.server_index += 1
+        if pending.server_index < len(pending.servers):
+            self._send_upstream(pending)
+            return
+        self._finish_error(pending, Rcode.SERVFAIL)
+
+    # -- completion ------------------------------------------------------
+
+    def _finish_answer(self, pending: _Pending, answers) -> None:
+        network = self._require_network()
+        if answers:
+            self.cache.put(pending.qname, pending.qtype, answers, network.now)
+        self.stats.answered += 1
+        if pending.trace is not None:
+            pending.trace.outcome = "answered"
+        self._reply(
+            pending.client, make_response(pending.query, answers=answers, ra=True)
+        )
+
+    def _finish_error(self, pending: _Pending, rcode: int) -> None:
+        if rcode == Rcode.NXDOMAIN:
+            self.stats.nxdomain += 1
+        else:
+            self.stats.servfail += 1
+        if pending.trace is not None:
+            pending.trace.outcome = Rcode(rcode).name.lower()
+        self._reply(pending.client, make_response(pending.query, rcode=rcode, ra=True))
+
+    def _reply(self, client: Datagram, response: DnsMessage) -> None:
+        network = self._require_network()
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            client.src_ip, network.now
+        ):
+            return  # RRL: response suppressed
+        network.send(client.reply(encode_message(response)))
+
+    def _trace(self, pending: _Pending, server_ip: str, disposition: str) -> None:
+        if pending.trace is not None:
+            pending.trace.visit(server_ip, disposition)
+
+    def _require_network(self) -> Network:
+        if self._network is None:
+            raise RuntimeError("resolver not attached to a network")
+        return self._network

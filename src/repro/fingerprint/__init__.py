@@ -1,0 +1,30 @@
+"""Resolver software fingerprinting via ``version.bind`` (CHAOS TXT).
+
+Takano et al. (cited by the paper as [8]) measured open resolvers'
+software versions to gauge exploitability. This subpackage reproduces
+that measurement: a calibrated software-identity mix assigned to the
+responding population, a CHAOS-class ``version.bind`` scanner, and a
+census analysis flagging end-of-life / CVE-carrying versions.
+"""
+
+from repro.fingerprint.identities import (
+    KNOWN_VULNERABILITIES,
+    SOFTWARE_MIX,
+    SoftwareIdentity,
+    assign_software,
+    classify_banner,
+)
+from repro.fingerprint.scanner import VersionScanner
+from repro.fingerprint.census import VersionCensus, render_census, take_census
+
+__all__ = [
+    "KNOWN_VULNERABILITIES",
+    "SOFTWARE_MIX",
+    "SoftwareIdentity",
+    "VersionCensus",
+    "VersionScanner",
+    "assign_software",
+    "classify_banner",
+    "render_census",
+    "take_census",
+]

@@ -1,0 +1,91 @@
+"""The software census: distribution, hiding rate, vulnerability flags."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.fingerprint.identities import classify_banner, vulnerabilities_for
+from repro.fingerprint.scanner import VersionScanResult
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionCensus:
+    """Aggregate view of a version.bind scan."""
+
+    total_targets: int
+    banners: dict[str, str]
+    refused: int
+    silent: int
+    by_product: dict[str, int]
+    by_banner: dict[str, int]
+    vulnerable: dict[str, tuple[str, ...]]  # ip -> CVE list
+
+    @property
+    def revealing(self) -> int:
+        return len(self.banners)
+
+    @property
+    def hiding_rate(self) -> float:
+        responded = self.revealing + self.refused
+        return self.refused / responded if responded else 0.0
+
+    @property
+    def vulnerable_share(self) -> float:
+        return len(self.vulnerable) / self.revealing if self.revealing else 0.0
+
+
+def take_census(result: VersionScanResult, total_targets: int) -> VersionCensus:
+    """Build the census from a scan result."""
+    by_product: Counter[str] = Counter()
+    by_banner: Counter[str] = Counter()
+    vulnerable: dict[str, tuple[str, ...]] = {}
+    for ip, banner in result.banners.items():
+        _, product = classify_banner(banner)
+        by_product[product] += 1
+        by_banner[banner] += 1
+        cves = vulnerabilities_for(banner)
+        if cves:
+            vulnerable[ip] = cves
+    return VersionCensus(
+        total_targets=total_targets,
+        banners=dict(result.banners),
+        refused=len(result.refused),
+        silent=len(result.silent),
+        by_product=dict(by_product.most_common()),
+        by_banner=dict(by_banner.most_common()),
+        vulnerable=vulnerable,
+    )
+
+
+def render_census(census: VersionCensus, top: int = 10) -> str:
+    """Paper-style text table for the census."""
+    lines = [
+        "version.bind census",
+        f"  targets:            {census.total_targets:,}",
+        f"  revealed a banner:  {census.revealing:,}",
+        f"  refused (hiding):   {census.refused:,} "
+        f"({census.hiding_rate:.1%} of responders)",
+        f"  silent:             {census.silent:,}",
+        "",
+        "  product distribution:",
+    ]
+    for product, count in census.by_product.items():
+        share = count / census.revealing if census.revealing else 0.0
+        lines.append(f"    {product:<20} {count:>7,}  ({share:.1%})")
+    lines.append("")
+    lines.append(f"  top banners (of {len(census.by_banner)} distinct):")
+    for banner, count in list(census.by_banner.items())[:top]:
+        lines.append(f"    {banner:<40} {count:>7,}")
+    lines.append("")
+    lines.append(
+        f"  known-vulnerable versions: {len(census.vulnerable):,} hosts "
+        f"({census.vulnerable_share:.1%} of revealing)"
+    )
+    cve_counter = {}
+    for cves in census.vulnerable.values():
+        for cve in cves:
+            cve_counter[cve] = cve_counter.get(cve, 0) + 1
+    for cve, count in sorted(cve_counter.items(), key=lambda kv: -kv[1])[:top]:
+        lines.append(f"    {cve:<20} {count:>7,}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Software identities, their banners, and the population mix.
+
+The mix loosely follows the published fingerprinting literature on
+open resolvers (Takano et al.; Kührer et al. IMC'15): consumer CPE
+forwarders (dnsmasq) dominate, aging BIND 9 installs follow, with
+Microsoft DNS, PowerDNS, Nominum and banner-hiding operators making up
+the rest. Version numbers are skewed old — which is exactly why open
+resolvers are exploitable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.resolvers.population import SampledPopulation
+
+
+@dataclasses.dataclass(frozen=True)
+class SoftwareIdentity:
+    """A resolver implementation as seen through version.bind."""
+
+    vendor: str
+    product: str
+    version: str
+    hidden: bool = False
+
+    @property
+    def banner(self) -> str | None:
+        """The version.bind TXT string, or None for hiding servers."""
+        if self.hidden:
+            return None
+        if self.product == "bind":
+            return self.version
+        return f"{self.product}-{self.version}"
+
+
+#: Banner prefix -> CVE identifiers for known-vulnerable versions.
+KNOWN_VULNERABILITIES: dict[str, tuple[str, ...]] = {
+    "9.8.": ("CVE-2012-4244", "CVE-2012-5166"),
+    "9.9.4": ("CVE-2015-5477", "CVE-2016-2776"),
+    "dnsmasq-2.4": ("CVE-2008-1447",),
+    "dnsmasq-2.5": ("CVE-2015-3294",),
+    "dnsmasq-2.66": ("CVE-2013-0198",),
+    "dnsmasq-2.76": ("CVE-2017-14491", "CVE-2017-14493"),
+    "Nominum Vantio": ("EOL",),
+}
+
+#: (identity, relative weight) over the responding population.
+SOFTWARE_MIX: tuple[tuple[SoftwareIdentity, int], ...] = (
+    (SoftwareIdentity("Thekelleys", "dnsmasq", "2.40"), 14),
+    (SoftwareIdentity("Thekelleys", "dnsmasq", "2.52"), 12),
+    (SoftwareIdentity("Thekelleys", "dnsmasq", "2.66"), 10),
+    (SoftwareIdentity("Thekelleys", "dnsmasq", "2.76"), 8),
+    (SoftwareIdentity("ISC", "bind", "9.8.2rc1-RedHat-9.8.2"), 9),
+    (SoftwareIdentity("ISC", "bind", "9.9.4-RedHat-9.9.4-61.el7"), 8),
+    (SoftwareIdentity("ISC", "bind", "9.10.3-P4-Debian"), 5),
+    (SoftwareIdentity("ISC", "bind", "9.11.4-P2"), 4),
+    (SoftwareIdentity("Microsoft", "Microsoft DNS", "6.1.7601"), 6),
+    (SoftwareIdentity("PowerDNS", "PowerDNS Recursor", "4.0.4"), 3),
+    (SoftwareIdentity("Nominum", "Nominum Vantio", "5.4.1"), 2),
+    (SoftwareIdentity("unknown", "hidden", "", hidden=True), 19),
+)
+
+
+def assign_software(
+    population: SampledPopulation, seed: int = 0
+) -> dict[str, SoftwareIdentity]:
+    """Deterministically assign an identity to every responding host."""
+    rng = random.Random((seed, "version.bind").__str__())
+    identities = [identity for identity, _ in SOFTWARE_MIX]
+    weights = [weight for _, weight in SOFTWARE_MIX]
+    assignment: dict[str, SoftwareIdentity] = {}
+    for resolver in population.assignments:
+        assignment[resolver.ip] = rng.choices(identities, weights=weights)[0]
+    return assignment
+
+
+def classify_banner(banner: str | None) -> tuple[str, str]:
+    """Map a version.bind banner to (vendor, product) labels."""
+    if banner is None or banner == "":
+        return "unknown", "hidden"
+    lowered = banner.lower()
+    if lowered.startswith("dnsmasq"):
+        return "Thekelleys", "dnsmasq"
+    if lowered.startswith("9.") or "bind" in lowered:
+        return "ISC", "bind"
+    if "microsoft" in lowered:
+        return "Microsoft", "Microsoft DNS"
+    if "powerdns" in lowered:
+        return "PowerDNS", "PowerDNS Recursor"
+    if "nominum" in lowered:
+        return "Nominum", "Nominum Vantio"
+    return "other", banner.split("-")[0]
+
+
+def vulnerabilities_for(banner: str | None) -> tuple[str, ...]:
+    """Known CVEs for a banner, by longest matching prefix."""
+    if not banner:
+        return ()
+    matches = [
+        (len(prefix), cves)
+        for prefix, cves in KNOWN_VULNERABILITIES.items()
+        if banner.startswith(prefix)
+    ]
+    if not matches:
+        return ()
+    return max(matches)[1]

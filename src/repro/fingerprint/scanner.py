@@ -1,0 +1,86 @@
+"""The version.bind scanner.
+
+Sends CHAOS TXT ``version.bind`` queries to a target list over the
+simulated network and collects banners — the second-pass scan the
+fingerprinting literature runs against the open resolvers a first
+scan discovered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.chaos import VERSION_BIND, extract_banner
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+
+@dataclasses.dataclass
+class VersionScanResult:
+    """The banner census raw material."""
+
+    banners: dict[str, str]     # ip -> banner text
+    refused: list[str]          # ips that answered REFUSED (hiding)
+    silent: list[str]           # ips that never answered
+
+    @property
+    def responded(self) -> int:
+        return len(self.banners) + len(self.refused)
+
+
+class VersionScanner:
+    """Fingerprints a target list with version.bind queries."""
+
+    def __init__(
+        self,
+        network: Network,
+        scanner_ip: str = "132.170.3.15",
+        source_port: int = 31338,
+    ) -> None:
+        self.network = network
+        self.scanner_ip = scanner_ip
+        self.source_port = source_port
+        self._banners: dict[str, str] = {}
+        self._refused: set[str] = set()
+
+    def scan(self, targets: list[str]) -> VersionScanResult:
+        """Query every target and drain the network."""
+        self.network.bind(self.scanner_ip, self.source_port, self._on_response)
+        try:
+            for index, target in enumerate(targets):
+                query = make_query(
+                    VERSION_BIND,
+                    qtype=QueryType.TXT,
+                    qclass=DnsClass.CH,
+                    msg_id=index & 0xFFFF,
+                    recursion_desired=False,
+                )
+                self.network.send(
+                    Datagram(
+                        self.scanner_ip, self.source_port, target, 53,
+                        encode_message(query),
+                    )
+                )
+            self.network.run()
+        finally:
+            self.network.unbind(self.scanner_ip, self.source_port)
+        answered = set(self._banners) | self._refused
+        return VersionScanResult(
+            banners=dict(self._banners),
+            refused=sorted(self._refused),
+            silent=[target for target in targets if target not in answered],
+        )
+
+    def _on_response(self, datagram: Datagram, network: Network) -> None:
+        try:
+            response = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        banner = extract_banner(response)
+        if banner is not None:
+            self._banners[datagram.src_ip] = banner
+        elif response.rcode == Rcode.REFUSED:
+            self._refused.add(datagram.src_ip)

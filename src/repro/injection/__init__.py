@@ -1,0 +1,25 @@
+"""Record-injection vulnerability testing.
+
+The paper's related work leans on two results: Schomp et al. ("many
+open DNS resolvers are vulnerable to record injection") and Klein et
+al. ("more than 92% of DNS resolution platforms are vulnerable to
+cache injection"). This subpackage reproduces the bait-and-check
+methodology: a malicious authoritative server appends an unsolicited
+additional record for a victim domain; a resolver that caches it
+without a bailiwick check will later serve the planted answer from
+cache — detectable by simply asking.
+"""
+
+from repro.injection.experiment import (
+    InjectionExperiment,
+    InjectionReport,
+    PoisoningAuthServer,
+    render_injection,
+)
+
+__all__ = [
+    "InjectionExperiment",
+    "InjectionReport",
+    "PoisoningAuthServer",
+    "render_injection",
+]

@@ -1,0 +1,28 @@
+"""Continuous monitoring of the open-resolver ecosystem.
+
+Section V of the paper argues that one-shot scans are not enough —
+"a systematic and constant follow-up of the behavioral analysis in the
+open resolver ecosystem is a gap in the literature". This subpackage
+fills that gap for the simulated world: a churn model evolves the
+population between scans, snapshots summarize each scan per resolver,
+diffs detect arrivals/departures/behavior changes, and a monitor runs
+the whole scan-diff-trend loop across epochs.
+"""
+
+from repro.monitor.churn import ChurnModel, evolve_population
+from repro.monitor.snapshot import ResolverRecord, Snapshot, snapshot_from_result
+from repro.monitor.diff import SnapshotDiff, diff_snapshots
+from repro.monitor.series import ContinuousMonitor, EpochReport, TrendReport
+
+__all__ = [
+    "ChurnModel",
+    "ContinuousMonitor",
+    "EpochReport",
+    "ResolverRecord",
+    "Snapshot",
+    "SnapshotDiff",
+    "TrendReport",
+    "diff_snapshots",
+    "evolve_population",
+    "snapshot_from_result",
+]

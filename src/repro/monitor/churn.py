@@ -1,0 +1,112 @@
+"""Population churn between monitoring epochs.
+
+Open-resolver populations are famously volatile: CPE devices reboot
+onto new DHCP leases, operators patch or break configurations, new
+vulnerable devices come online. The churn model applies three effects
+per epoch:
+
+- *death*: a resolver stops responding (device gone or closed);
+- *birth*: a new resolver appears at a fresh address, behaving like a
+  randomly chosen existing class member (so the aggregate behavior mix
+  is preserved in expectation);
+- *behavior swap*: two live resolvers exchange behaviors — per-IP
+  behavior changes while every marginal stays exactly intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.netsim.ipv4 import int_to_ip
+from repro.resolvers.population import ResolverAssignment, SampledPopulation
+from repro.threatintel.geo import GeoDatabase
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnModel:
+    """Per-epoch churn rates (fractions of the live population)."""
+
+    death_rate: float = 0.05
+    birth_rate: float = 0.04
+    behavior_change_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("death_rate", "birth_rate", "behavior_change_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+
+def evolve_population(
+    population: SampledPopulation,
+    churn: ChurnModel,
+    seed: int,
+    universe: list[int],
+) -> SampledPopulation:
+    """One epoch of churn; returns a new, consistent population.
+
+    New hosts are placed on unused addresses of ``universe`` so the
+    next scan can reach them. The Cymon/Whois substrates are shared
+    (destinations do not churn here); geolocation is rebuilt so every
+    live host resolves.
+    """
+    rng = random.Random((seed, "churn", population.seed).__str__())
+    survivors = [
+        assignment
+        for assignment in population.assignments
+        if rng.random() >= churn.death_rate
+    ]
+    # Behavior swaps: exchange specs between random pairs of survivors.
+    swaps = int(len(survivors) * churn.behavior_change_rate)
+    for _ in range(swaps):
+        if len(survivors) < 2:
+            break
+        first, second = rng.sample(range(len(survivors)), 2)
+        a, b = survivors[first], survivors[second]
+        survivors[first] = dataclasses.replace(
+            a, spec=b.spec, cell_name=b.cell_name
+        )
+        survivors[second] = dataclasses.replace(
+            b, spec=a.spec, cell_name=a.cell_name
+        )
+    # Births: clones of random templates at fresh universe addresses.
+    used = {assignment.ip for assignment in survivors}
+    births = int(len(population.assignments) * churn.birth_rate)
+    newcomers: list[ResolverAssignment] = []
+    if births and population.assignments:
+        for _ in range(births):
+            template = rng.choice(population.assignments)
+            ip = _fresh_address(rng, universe, used)
+            if ip is None:
+                break
+            used.add(ip)
+            newcomers.append(dataclasses.replace(template, ip=ip))
+    assignments = survivors + newcomers
+    geo = GeoDatabase()
+    for assignment in assignments:
+        geo.add(
+            f"{assignment.ip}/32", assignment.country,
+            asn=assignment.asn, as_name=assignment.as_name,
+        )
+    counts: dict[str, int] = {}
+    for assignment in assignments:
+        counts[assignment.cell_name] = counts.get(assignment.cell_name, 0) + 1
+    return SampledPopulation(
+        profile=population.profile,
+        scale=population.scale,
+        seed=seed,
+        assignments=assignments,
+        cymon=population.cymon,
+        geo=geo,
+        whois=population.whois,
+        scaled_cell_counts=counts,
+    )
+
+
+def _fresh_address(rng, universe: list[int], used: set[str]) -> str | None:
+    for _ in range(10_000):
+        ip = int_to_ip(universe[rng.randrange(len(universe))])
+        if ip not in used:
+            return ip
+    return None

@@ -1,0 +1,75 @@
+"""Epoch-to-epoch diffs over resolver snapshots."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.monitor.snapshot import Snapshot
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotDiff:
+    """What changed between two scans of the same space."""
+
+    before_label: str
+    after_label: str
+    appeared: set[str]
+    disappeared: set[str]
+    behavior_changed: set[str]
+    unchanged: set[str]
+    turned_malicious: set[str]
+    cleaned_up: set[str]
+
+    @property
+    def stable(self) -> int:
+        return len(self.unchanged)
+
+    @property
+    def churn_rate(self) -> float:
+        """(appeared + disappeared) over the union of both populations."""
+        union = (
+            len(self.appeared) + len(self.disappeared)
+            + len(self.behavior_changed) + len(self.unchanged)
+        )
+        if union == 0:
+            return 0.0
+        return (len(self.appeared) + len(self.disappeared)) / union
+
+    def summary(self) -> str:
+        return (
+            f"{self.before_label} -> {self.after_label}: "
+            f"+{len(self.appeared)} new, -{len(self.disappeared)} gone, "
+            f"{len(self.behavior_changed)} changed behavior "
+            f"({len(self.turned_malicious)} turned malicious, "
+            f"{len(self.cleaned_up)} cleaned up), "
+            f"{self.stable} stable."
+        )
+
+
+def diff_snapshots(before: Snapshot, after: Snapshot) -> SnapshotDiff:
+    """Compare two snapshots address by address."""
+    before_ips = before.addresses
+    after_ips = after.addresses
+    common = before_ips & after_ips
+    changed = set()
+    turned_malicious = set()
+    cleaned_up = set()
+    for ip in common:
+        old = before.records[ip]
+        new = after.records[ip]
+        if old.behavior_key != new.behavior_key:
+            changed.add(ip)
+            if new.malicious and not old.malicious:
+                turned_malicious.add(ip)
+            if old.malicious and not new.malicious:
+                cleaned_up.add(ip)
+    return SnapshotDiff(
+        before_label=before.label,
+        after_label=after.label,
+        appeared=after_ips - before_ips,
+        disappeared=before_ips - after_ips,
+        behavior_changed=changed,
+        unchanged=common - changed,
+        turned_malicious=turned_malicious,
+        cleaned_up=cleaned_up,
+    )

@@ -1,0 +1,124 @@
+"""The scan-diff-trend loop across monitoring epochs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.monitor.churn import ChurnModel, evolve_population
+from repro.monitor.diff import SnapshotDiff, diff_snapshots
+from repro.monitor.snapshot import Snapshot, snapshot_from_result
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochReport:
+    """One epoch's scan outcome."""
+
+    epoch: int
+    snapshot: Snapshot
+    diff: SnapshotDiff | None  # None for the first epoch
+
+    @property
+    def open_resolvers(self) -> int:
+        return self.snapshot.open_resolvers
+
+    @property
+    def malicious_resolvers(self) -> int:
+        return self.snapshot.malicious_resolvers
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendReport:
+    """Cross-epoch trends the paper's discussion section asks for."""
+
+    open_series: tuple[int, ...]
+    malicious_series: tuple[int, ...]
+    incorrect_series: tuple[int, ...]
+    mean_churn_rate: float
+
+    @staticmethod
+    def _direction(series: tuple[int, ...]) -> str:
+        if len(series) < 2 or series[-1] == series[0]:
+            return "flat"
+        return "rising" if series[-1] > series[0] else "falling"
+
+    @property
+    def open_trend(self) -> str:
+        return self._direction(self.open_series)
+
+    @property
+    def malicious_trend(self) -> str:
+        return self._direction(self.malicious_series)
+
+    def summary(self) -> str:
+        return (
+            f"open resolvers {self.open_trend} "
+            f"({self.open_series[0]} -> {self.open_series[-1]}), "
+            f"malicious {self.malicious_trend} "
+            f"({self.malicious_series[0]} -> {self.malicious_series[-1]}), "
+            f"mean churn {self.mean_churn_rate:.1%}"
+        )
+
+
+class ContinuousMonitor:
+    """Runs periodic scans of an evolving resolver population."""
+
+    def __init__(
+        self,
+        year: int = 2018,
+        scale: int = 8192,
+        seed: int = 0,
+        churn: ChurnModel | None = None,
+        time_compression: float = 16.0,
+    ) -> None:
+        self.config = CampaignConfig(
+            year=year, scale=scale, seed=seed,
+            time_compression=time_compression,
+        )
+        self.churn = churn if churn is not None else ChurnModel()
+        self.epochs: list[EpochReport] = []
+
+    def run(self, epochs: int) -> TrendReport:
+        """Scan ``epochs`` times, evolving the population in between."""
+        if epochs < 1:
+            raise ValueError("need at least one epoch")
+        campaign = Campaign(self.config)
+        universe = campaign.build_universe()
+        population = None
+        previous_snapshot: Snapshot | None = None
+        self.epochs = []
+        for epoch in range(epochs):
+            result = campaign.run(population_override=population)
+            snapshot = snapshot_from_result(result, label=f"epoch-{epoch}")
+            diff = (
+                diff_snapshots(previous_snapshot, snapshot)
+                if previous_snapshot is not None
+                else None
+            )
+            self.epochs.append(EpochReport(epoch, snapshot, diff))
+            previous_snapshot = snapshot
+            population = evolve_population(
+                result.population, self.churn, seed=self.config.seed + epoch + 1,
+                universe=universe,
+            )
+        return self.trend()
+
+    def trend(self) -> TrendReport:
+        """Aggregate the recorded epochs into a trend report."""
+        if not self.epochs:
+            raise RuntimeError("no epochs recorded; call run() first")
+        churn_rates = [
+            report.diff.churn_rate
+            for report in self.epochs
+            if report.diff is not None
+        ]
+        return TrendReport(
+            open_series=tuple(r.open_resolvers for r in self.epochs),
+            malicious_series=tuple(r.malicious_resolvers for r in self.epochs),
+            incorrect_series=tuple(
+                r.snapshot.incorrect_answers for r in self.epochs
+            ),
+            mean_churn_rate=(
+                sum(churn_rates) / len(churn_rates) if churn_rates else 0.0
+            ),
+        )

@@ -1,0 +1,94 @@
+"""Per-scan snapshots: one behavioral record per responding resolver."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.correctness import is_correct
+from repro.prober.capture import FORM_IP
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolverRecord:
+    """The observable behavior of one resolver in one scan."""
+
+    ip: str
+    ra: bool
+    aa: bool
+    rcode: int
+    has_answer: bool
+    correct: bool
+    malicious: bool
+
+    @property
+    def behavior_key(self) -> tuple:
+        """What "same behavior" means when diffing epochs."""
+        return (
+            self.ra, self.aa, self.rcode, self.has_answer, self.correct,
+            self.malicious,
+        )
+
+    @property
+    def open_by_strict_criterion(self) -> bool:
+        """Section IV-B1's strictest definition: RA=1 and correct."""
+        return self.ra and self.correct
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """All resolvers observed by one scan epoch."""
+
+    label: str
+    records: dict[str, ResolverRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def addresses(self) -> set[str]:
+        return set(self.records)
+
+    @property
+    def open_resolvers(self) -> int:
+        return sum(
+            1 for record in self.records.values()
+            if record.open_by_strict_criterion
+        )
+
+    @property
+    def malicious_resolvers(self) -> int:
+        return sum(1 for record in self.records.values() if record.malicious)
+
+    @property
+    def incorrect_answers(self) -> int:
+        return sum(
+            1 for record in self.records.values()
+            if record.has_answer and not record.correct
+        )
+
+
+def snapshot_from_result(result, label: str | None = None) -> Snapshot:
+    """Build a snapshot from a completed campaign result."""
+    truth = result.hierarchy.auth.ip
+    cymon = result.population.cymon
+    records: dict[str, ResolverRecord] = {}
+    for view in result.flow_set.all_views:
+        correct = is_correct(view, truth)
+        malicious = False
+        if view.has_answer and not correct:
+            first = view.first_answer()
+            if first is not None and first[0] == FORM_IP:
+                malicious = cymon.is_malicious(first[1])
+        records[view.src_ip] = ResolverRecord(
+            ip=view.src_ip,
+            ra=view.ra,
+            aa=view.aa,
+            rcode=view.rcode,
+            has_answer=view.has_answer,
+            correct=correct,
+            malicious=malicious,
+        )
+    return Snapshot(
+        label=label if label is not None else f"scan-{result.year}",
+        records=records,
+    )

@@ -1,0 +1,52 @@
+"""Discrete-event simulated IPv4 internet.
+
+This substrate stands in for the live Internet the paper scanned: IPv4
+address arithmetic plus the RFC reserved-block exclusion list (Table I),
+a deterministic event scheduler, UDP datagram delivery with pluggable
+latency/loss models, and packet taps (the simulation's tcpdump).
+"""
+
+from repro.netsim.events import Scheduler, ScheduledEvent
+from repro.netsim.ipv4 import (
+    Ipv4Block,
+    RESERVED_BLOCKS,
+    ReservedBlock,
+    ip_to_int,
+    int_to_ip,
+    is_probeable,
+    is_private,
+    is_reserved,
+    probeable_space_size,
+    reserved_union_size,
+)
+from repro.netsim.latency import FixedLatency, LogNormalLatency, UniformLatency
+from repro.netsim.loss import BernoulliLoss, NoLoss
+from repro.netsim.packet import UDP_IP_OVERHEAD, Datagram
+from repro.netsim.pcap import CaptureRecord, PacketTap
+from repro.netsim.network import Network, PortInUseError
+
+__all__ = [
+    "BernoulliLoss",
+    "CaptureRecord",
+    "Datagram",
+    "FixedLatency",
+    "Ipv4Block",
+    "LogNormalLatency",
+    "Network",
+    "NoLoss",
+    "PacketTap",
+    "PortInUseError",
+    "RESERVED_BLOCKS",
+    "ReservedBlock",
+    "ScheduledEvent",
+    "Scheduler",
+    "UDP_IP_OVERHEAD",
+    "UniformLatency",
+    "int_to_ip",
+    "ip_to_int",
+    "is_private",
+    "is_probeable",
+    "is_reserved",
+    "probeable_space_size",
+    "reserved_union_size",
+]

@@ -1,0 +1,102 @@
+"""Deterministic discrete-event scheduler.
+
+A binary-heap event queue with stable tie-breaking: events at the same
+simulated time fire in insertion order, so simulation runs are exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable
+
+
+@dataclasses.dataclass(order=True)
+class ScheduledEvent:
+    """An entry in the event queue. Comparison is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """Simulated clock plus event queue."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (and not cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        event = ScheduledEvent(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire)."""
+        fired = 0
+        while max_events is None or fired < max_events:
+            if not self.step():
+                break
+            fired += 1
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Run events with time <= ``deadline``; advance the clock to it."""
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            fired += 1
+        self._now = max(self._now, deadline)
+        return fired

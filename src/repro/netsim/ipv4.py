@@ -1,0 +1,187 @@
+"""IPv4 arithmetic and the paper's Table I exclusion list.
+
+Addresses are 32-bit ints internally and dotted quads at the API edge.
+The reserved-block table reproduces Table I of the paper. The paper
+prints a total of 575,931,649 excluded addresses, but that figure is
+internally inconsistent with its own rows: the deduplicated union of the
+listed blocks is 592,708,864 addresses (255.255.255.255/32 lies inside
+240.0.0.0/4), and 2^32 minus that union is exactly 3,702,258,432 — the
+paper's own 2018 Q1 packet count. We therefore use the deduplicated
+union, which is what the authors' scanner evidently did.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+
+def ip_to_int(address: str) -> int:
+    """Convert a dotted quad to a 32-bit integer.
+
+    >>> ip_to_int("1.2.3.4")
+    16909060
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range: {address!r}")
+        value = value << 8 | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted quad.
+
+    >>> int_to_ip(16909060)
+    '1.2.3.4'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"out of IPv4 range: {value}")
+    return ".".join(str(value >> shift & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclasses.dataclass(frozen=True)
+class Ipv4Block:
+    """A CIDR block, stored as (network int, prefix length)."""
+
+    network: int
+    prefix: int
+
+    @classmethod
+    def parse(cls, cidr: str) -> "Ipv4Block":
+        """Parse ``a.b.c.d/len`` (a bare address is treated as /32)."""
+        address, _, prefix_text = cidr.partition("/")
+        prefix = int(prefix_text) if prefix_text else 32
+        if not 0 <= prefix <= 32:
+            raise ValueError(f"bad prefix length in {cidr!r}")
+        network = ip_to_int(address) & cls._mask(prefix)
+        return cls(network, prefix)
+
+    @staticmethod
+    def _mask(prefix: int) -> int:
+        return 0xFFFFFFFF ^ (0xFFFFFFFF >> prefix) if prefix else 0
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.prefix)
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network + self.size - 1
+
+    def __contains__(self, item: int | str) -> bool:
+        value = ip_to_int(item) if isinstance(item, str) else item
+        return self.first <= value <= self.last
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.prefix}"
+
+    def addresses(self):
+        """Iterate every address int in the block."""
+        return range(self.first, self.last + 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReservedBlock:
+    """One row of Table I: an excluded block and the RFC reserving it."""
+
+    block: Ipv4Block
+    rfc: str
+
+    @property
+    def size(self) -> int:
+        return self.block.size
+
+
+def _table1() -> tuple[ReservedBlock, ...]:
+    rows = [
+        ("0.0.0.0/8", "RFC1122"),
+        ("10.0.0.0/8", "RFC1918"),
+        ("100.64.0.0/10", "RFC6598"),
+        ("127.0.0.0/8", "RFC1122"),
+        ("169.254.0.0/16", "RFC3927"),
+        ("172.16.0.0/12", "RFC1918"),
+        ("192.0.0.0/24", "RFC6890"),
+        ("192.0.2.0/24", "RFC5737"),
+        ("192.88.99.0/24", "RFC3068"),
+        ("192.168.0.0/16", "RFC1918"),
+        ("198.18.0.0/15", "RFC2544"),
+        ("198.51.100.0/24", "RFC5737"),
+        ("203.0.113.0/24", "RFC5737"),
+        ("224.0.0.0/4", "RFC5771"),
+        ("240.0.0.0/4", "RFC1112"),
+        ("255.255.255.255/32", "RFC919"),
+    ]
+    return tuple(ReservedBlock(Ipv4Block.parse(cidr), rfc) for cidr, rfc in rows)
+
+
+#: Table I of the paper: blocks excluded from probing.
+RESERVED_BLOCKS: tuple[ReservedBlock, ...] = _table1()
+
+#: RFC1918 private blocks, used by the incorrect-answer analysis
+#: (Table VIII flags answers pointing into private space).
+PRIVATE_BLOCKS: tuple[Ipv4Block, ...] = (
+    Ipv4Block.parse("10.0.0.0/8"),
+    Ipv4Block.parse("172.16.0.0/12"),
+    Ipv4Block.parse("192.168.0.0/16"),
+)
+
+
+def _merged_intervals() -> list[tuple[int, int]]:
+    """Merge the reserved blocks into disjoint sorted [start, end] pairs."""
+    spans = sorted((row.block.first, row.block.last) for row in RESERVED_BLOCKS)
+    merged: list[tuple[int, int]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+_MERGED = _merged_intervals()
+_MERGED_STARTS = [start for start, _ in _MERGED]
+
+
+def is_reserved(address: int | str) -> bool:
+    """True if ``address`` falls inside any Table I block."""
+    value = ip_to_int(address) if isinstance(address, str) else address
+    index = bisect.bisect_right(_MERGED_STARTS, value) - 1
+    if index < 0:
+        return False
+    start, end = _MERGED[index]
+    return start <= value <= end
+
+
+def is_probeable(address: int | str) -> bool:
+    """True if the paper's scanner would send a Q1 to ``address``."""
+    return not is_reserved(address)
+
+
+def is_private(address: int | str) -> bool:
+    """True for RFC1918 private addresses (Table VIII analysis)."""
+    value = ip_to_int(address) if isinstance(address, str) else address
+    return any(value in block for block in PRIVATE_BLOCKS)
+
+
+def reserved_union_size() -> int:
+    """Deduplicated number of excluded addresses (see module docstring)."""
+    return sum(end - start + 1 for start, end in _MERGED)
+
+
+def probeable_space_size() -> int:
+    """Number of addresses the scan covers: 2^32 minus the exclusions.
+
+    Equals 3,702,258,432 — exactly the paper's 2018 Q1 count.
+    """
+    return (1 << 32) - reserved_union_size()

@@ -1,0 +1,50 @@
+"""One-way latency models for datagram delivery."""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class FixedLatency:
+    """Constant one-way delay."""
+
+    def __init__(self, delay: float = 0.02) -> None:
+        if delay < 0:
+            raise ValueError("latency must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformLatency:
+    """Uniform delay in [low, high]."""
+
+    def __init__(self, low: float = 0.01, high: float = 0.2) -> None:
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency:
+    """Log-normal delay — the classic heavy-tailed Internet RTT shape.
+
+    ``median`` is the median one-way delay; ``sigma`` controls tail
+    weight. Samples are capped at ``cap`` so a single pathological draw
+    cannot stall the simulated scan.
+    """
+
+    def __init__(self, median: float = 0.05, sigma: float = 0.6, cap: float = 2.0) -> None:
+        if median <= 0 or sigma < 0 or cap < median:
+            raise ValueError("invalid log-normal parameters")
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> float:
+        return min(rng.lognormvariate(self.mu, self.sigma), self.cap)

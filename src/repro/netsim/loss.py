@@ -1,0 +1,24 @@
+"""Packet-loss models."""
+
+from __future__ import annotations
+
+import random
+
+
+class NoLoss:
+    """Deliver everything."""
+
+    def is_lost(self, rng: random.Random) -> bool:
+        return False
+
+
+class BernoulliLoss:
+    """Drop each datagram independently with probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError(f"loss rate must be in [0, 1]: {rate}")
+        self.rate = rate
+
+    def is_lost(self, rng: random.Random) -> bool:
+        return rng.random() < self.rate

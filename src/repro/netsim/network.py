@@ -1,0 +1,130 @@
+"""The simulated network: binds, datagram delivery, taps, statistics.
+
+The model is a flat UDP internet: any host may send to any address, the
+network applies a latency sample and a loss coin-flip per datagram, and
+delivery invokes whatever handler is bound to the destination
+(ip, port). There is no source-address validation — spoofing works,
+exactly as the amplification threat model requires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable
+
+from repro.netsim.events import Scheduler
+from repro.netsim.latency import FixedLatency
+from repro.netsim.loss import NoLoss
+from repro.netsim.packet import Datagram
+from repro.netsim.pcap import PacketTap
+
+#: A bound handler: receives the datagram and the network to reply on.
+Handler = Callable[[Datagram, "Network"], None]
+
+
+class PortInUseError(RuntimeError):
+    """Raised when binding an (ip, port) that already has a handler."""
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Counters over the lifetime of the simulation."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    unbound: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+
+class Network:
+    """A deterministic simulated UDP internet."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        latency=None,
+        loss=None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self._latency = latency if latency is not None else FixedLatency(0.02)
+        self._loss = loss if loss is not None else NoLoss()
+        self._rng = random.Random(seed)
+        self._bindings: dict[tuple[str, int], Handler] = {}
+        self._taps: dict[str, list[PacketTap]] = {}
+        self.stats = NetworkStats()
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # -- binding ---------------------------------------------------------
+
+    def bind(self, ip: str, port: int, handler: Handler) -> None:
+        """Attach ``handler`` to (ip, port)."""
+        key = (ip, port)
+        if key in self._bindings:
+            raise PortInUseError(f"{ip}:{port} already bound")
+        self._bindings[key] = handler
+
+    def unbind(self, ip: str, port: int) -> None:
+        self._bindings.pop((ip, port), None)
+
+    def is_bound(self, ip: str, port: int) -> bool:
+        return (ip, port) in self._bindings
+
+    # -- taps ------------------------------------------------------------
+
+    def attach_tap(self, ip: str, tap: PacketTap) -> None:
+        """Capture all traffic sent or received by ``ip``."""
+        self._taps.setdefault(ip, []).append(tap)
+
+    def detach_tap(self, ip: str, tap: PacketTap) -> None:
+        taps = self._taps.get(ip, [])
+        if tap in taps:
+            taps.remove(tap)
+
+    def _tap(self, ip: str, direction: str, datagram: Datagram) -> None:
+        for tap in self._taps.get(ip, []):
+            tap.record(self.scheduler.now, direction, datagram)
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, datagram: Datagram, origin: str | None = None) -> None:
+        """Inject ``datagram`` into the network.
+
+        ``origin`` is the host actually transmitting (defaults to the
+        claimed source address); taps capture at the true origin, so a
+        spoofed packet shows up in the attacker's capture, not the
+        victim's.
+        """
+        self.stats.sent += 1
+        self.stats.bytes_sent += datagram.wire_size
+        self._tap(origin if origin is not None else datagram.src_ip, "out", datagram)
+        if self._loss.is_lost(self._rng):
+            self.stats.lost += 1
+            return
+        delay = self._latency.sample(self._rng)
+        self.scheduler.after(delay, lambda: self._deliver(datagram))
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self._tap(datagram.dst_ip, "in", datagram)
+        handler = self._bindings.get((datagram.dst_ip, datagram.dst_port))
+        if handler is None:
+            self.stats.unbound += 1
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += datagram.wire_size
+        handler(datagram, self)
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the event queue (delegates to the scheduler)."""
+        return self.scheduler.run(max_events)
+
+    def run_until(self, deadline: float) -> int:
+        return self.scheduler.run_until(deadline)

@@ -1,0 +1,59 @@
+"""UDP datagram model.
+
+DNS over UDP is the only transport the paper's measurement uses, so the
+packet model is a single frozen dataclass. ``wire_size`` includes the
+IPv4+UDP header overhead, which matters for the amplification-factor
+analysis (section II-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: IPv4 header (20 octets, no options) plus UDP header (8 octets).
+UDP_IP_OVERHEAD = 28
+
+#: The DNS port.
+DNS_PORT = 53
+
+
+@dataclasses.dataclass(frozen=True)
+class Datagram:
+    """A UDP datagram in flight.
+
+    Addresses are dotted-quad strings. ``src_ip`` is whatever the sender
+    *claims* — the simulator, like the real Internet without BCP 38,
+    performs no source validation, which is exactly the loophole DNS
+    amplification abuses.
+    """
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    payload: bytes
+
+    @property
+    def payload_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-the-wire size including IP and UDP headers."""
+        return UDP_IP_OVERHEAD + len(self.payload)
+
+    def reply(self, payload: bytes) -> "Datagram":
+        """Build the response datagram (swapped endpoints)."""
+        return Datagram(
+            src_ip=self.dst_ip,
+            src_port=self.dst_port,
+            dst_ip=self.src_ip,
+            dst_port=self.src_port,
+            payload=payload,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src_ip}:{self.src_port} > {self.dst_ip}:{self.dst_port} "
+            f"({len(self.payload)} bytes)"
+        )

@@ -1,0 +1,71 @@
+"""Packet taps — the simulation's tcpdump.
+
+The paper captures Q1/R2 at the prober (modified ZMap output) and Q2/R1
+at the authoritative name server (tcpdump). A :class:`PacketTap`
+attached to a host IP records every datagram that host sends or
+receives, with timestamps, and supports simple filtering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.netsim.packet import Datagram
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureRecord:
+    """One captured datagram: when, which way, and the packet itself."""
+
+    timestamp: float
+    direction: str  # "in" or "out"
+    datagram: Datagram
+
+
+class PacketTap:
+    """Records traffic at one host, like ``tcpdump -i eth0`` would."""
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[Datagram], bool] | None = None,
+    ) -> None:
+        self.name = name
+        self._predicate = predicate
+        self._records: list[CaptureRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CaptureRecord]:
+        return iter(self._records)
+
+    def record(self, timestamp: float, direction: str, datagram: Datagram) -> None:
+        """Called by the network on every send/receive at the tapped host."""
+        if direction not in ("in", "out"):
+            raise ValueError(f"bad direction: {direction!r}")
+        if self._predicate is not None and not self._predicate(datagram):
+            return
+        self._records.append(CaptureRecord(timestamp, direction, datagram))
+
+    @property
+    def records(self) -> list[CaptureRecord]:
+        return list(self._records)
+
+    def inbound(self) -> list[CaptureRecord]:
+        return [record for record in self._records if record.direction == "in"]
+
+    def outbound(self) -> list[CaptureRecord]:
+        return [record for record in self._records if record.direction == "out"]
+
+    def on_port(self, port: int) -> list[CaptureRecord]:
+        """Records whose source or destination port is ``port``."""
+        return [
+            record
+            for record in self._records
+            if port in (record.datagram.src_port, record.datagram.dst_port)
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,193 @@
+"""Binary pcap (libpcap) file format for simulated captures.
+
+The paper's 2013 dataset lived in ``.pcap`` files parsed with
+libpcap-based code. This module writes and reads the classic pcap
+container (LINKTYPE_RAW, i.e. raw IPv4 packets), building real
+IPv4+UDP headers — with correct checksums — around the simulator's
+datagrams, so captures interoperate with standard tooling and the
+offline-analysis path mirrors the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import BinaryIO, Iterator
+
+from repro.netsim.ipv4 import ip_to_int, int_to_ip
+from repro.netsim.packet import Datagram
+
+#: Classic pcap magic (microsecond timestamps, native byte order written
+#: big-endian here for determinism).
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+#: LINKTYPE_RAW: packets begin with the IPv4 header.
+LINKTYPE_RAW = 101
+SNAPLEN = 65_535
+
+_GLOBAL_HEADER = struct.Struct("!IHHiIII")
+_RECORD_HEADER = struct.Struct("!IIII")
+_IPV4_HEADER = struct.Struct("!BBHHHBBHII")
+_UDP_HEADER = struct.Struct("!HHHH")
+
+_PROTO_UDP = 17
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap data."""
+
+
+def _ones_complement_sum(data: bytes) -> int:
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def _checksum(data: bytes) -> int:
+    return ~_ones_complement_sum(data) & 0xFFFF
+
+
+def encode_ipv4_udp(datagram: Datagram, ident: int = 0) -> bytes:
+    """Build the raw IPv4+UDP packet bytes for ``datagram``."""
+    payload = datagram.payload
+    udp_length = 8 + len(payload)
+    total_length = 20 + udp_length
+    src = ip_to_int(datagram.src_ip)
+    dst = ip_to_int(datagram.dst_ip)
+    ip_header = _IPV4_HEADER.pack(
+        0x45, 0, total_length, ident & 0xFFFF, 0, 64, _PROTO_UDP, 0, src, dst
+    )
+    ip_checksum = _checksum(ip_header)
+    ip_header = _IPV4_HEADER.pack(
+        0x45, 0, total_length, ident & 0xFFFF, 0, 64, _PROTO_UDP, ip_checksum,
+        src, dst,
+    )
+    udp_header = _UDP_HEADER.pack(
+        datagram.src_port, datagram.dst_port, udp_length, 0
+    )
+    pseudo = struct.pack("!IIBBH", src, dst, 0, _PROTO_UDP, udp_length)
+    udp_checksum = _checksum(pseudo + udp_header + payload)
+    if udp_checksum == 0:
+        udp_checksum = 0xFFFF  # RFC 768: 0 means "no checksum"
+    udp_header = _UDP_HEADER.pack(
+        datagram.src_port, datagram.dst_port, udp_length, udp_checksum
+    )
+    return ip_header + udp_header + payload
+
+
+def decode_ipv4_udp(packet: bytes) -> Datagram:
+    """Parse raw IPv4+UDP packet bytes back into a :class:`Datagram`."""
+    if len(packet) < 28:
+        raise PcapError(f"packet too short for IPv4+UDP: {len(packet)} bytes")
+    fields = _IPV4_HEADER.unpack(packet[:20])
+    version_ihl, _, total_length, _, _, _, proto, _, src, dst = fields
+    if version_ihl >> 4 != 4:
+        raise PcapError(f"not IPv4: version {version_ihl >> 4}")
+    ihl = (version_ihl & 0xF) * 4
+    if ihl < 20 or len(packet) < ihl + 8:
+        raise PcapError("bad IHL or truncated UDP header")
+    if proto != _PROTO_UDP:
+        raise PcapError(f"not UDP: protocol {proto}")
+    sport, dport, udp_length, _ = _UDP_HEADER.unpack(packet[ihl:ihl + 8])
+    payload_end = min(len(packet), ihl + udp_length)
+    payload = packet[ihl + 8:payload_end]
+    return Datagram(
+        src_ip=int_to_ip(src),
+        src_port=sport,
+        dst_ip=int_to_ip(dst),
+        dst_port=dport,
+        payload=payload,
+    )
+
+
+def verify_checksums(packet: bytes) -> bool:
+    """True if both the IPv4 and UDP checksums of ``packet`` verify."""
+    if len(packet) < 28:
+        return False
+    if _ones_complement_sum(packet[:20]) != 0xFFFF:
+        return False
+    src, dst = struct.unpack("!II", packet[12:20])
+    udp = packet[20:]
+    udp_length = struct.unpack("!H", udp[4:6])[0]
+    if struct.unpack("!H", udp[6:8])[0] == 0:
+        return True  # checksum not used
+    pseudo = struct.pack("!IIBBH", src, dst, 0, _PROTO_UDP, udp_length)
+    return _ones_complement_sum(pseudo + udp[:udp_length]) == 0xFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class PcapPacket:
+    """One captured packet: timestamp plus the reconstructed datagram."""
+
+    timestamp: float
+    datagram: Datagram
+
+
+class PcapWriter:
+    """Streams timestamped datagrams into a pcap file object."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._ident = 0
+        stream.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1], 0, 0, SNAPLEN,
+                LINKTYPE_RAW,
+            )
+        )
+
+    def write(self, timestamp: float, datagram: Datagram) -> None:
+        self._ident += 1
+        packet = encode_ipv4_udp(datagram, ident=self._ident)
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        self._stream.write(
+            _RECORD_HEADER.pack(seconds, micros, len(packet), len(packet))
+        )
+        self._stream.write(packet)
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[PcapPacket]:
+    """Iterate the packets of a pcap stream written by :class:`PcapWriter`."""
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic, major, minor, _, _, _, linktype = _GLOBAL_HEADER.unpack(header)
+    if magic != PCAP_MAGIC:
+        raise PcapError(f"bad pcap magic: 0x{magic:08x}")
+    if linktype != LINKTYPE_RAW:
+        raise PcapError(f"unsupported linktype: {linktype}")
+    while True:
+        record = stream.read(_RECORD_HEADER.size)
+        if not record:
+            return
+        if len(record) < _RECORD_HEADER.size:
+            raise PcapError("truncated pcap record header")
+        seconds, micros, incl_len, _ = _RECORD_HEADER.unpack(record)
+        packet = stream.read(incl_len)
+        if len(packet) < incl_len:
+            raise PcapError("truncated pcap packet body")
+        yield PcapPacket(
+            timestamp=seconds + micros / 1_000_000,
+            datagram=decode_ipv4_udp(packet),
+        )
+
+
+def write_pcap_file(path, packets: list[tuple[float, Datagram]]) -> None:
+    """Convenience: write (timestamp, datagram) pairs to ``path``."""
+    with open(path, "wb") as stream:
+        writer = PcapWriter(stream)
+        for timestamp, datagram in packets:
+            writer.write(timestamp, datagram)
+
+
+def read_pcap_file(path) -> list[PcapPacket]:
+    """Convenience: read every packet of the pcap file at ``path``."""
+    with open(path, "rb") as stream:
+        return list(read_pcap(stream))

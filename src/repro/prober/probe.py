@@ -1,0 +1,246 @@
+"""The prober: rate-paced Q1 generation and R2 collection.
+
+One :class:`Prober` drives a whole scan: it walks the ZMap permutation
+over the non-reserved IPv4 space, pairs every probe with a fresh (or
+reused) subdomain, installs new zone clusters at the authoritative
+server as they are needed — pausing for the load window, as the paper
+did — and collects R2 responses on its source port.
+
+``responder_hint`` is a pure simulation accelerator: when the set of
+instantiated responder addresses is supplied, Q1 packets to the (vast)
+unresponsive remainder are accounted for — counters, bytes, subdomain
+consumption, reuse timing — without materializing datagrams that the
+network would drop undelivered anyway. Equivalence of the two paths is
+covered by tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import encode_message
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.netsim.network import Network
+from repro.netsim.packet import UDP_IP_OVERHEAD, Datagram
+from repro.prober.capture import R2Record
+from repro.prober.subdomain import ClusterAllocator, ClusterStats, SubdomainScheme
+from repro.prober.zmap import probe_order
+from repro.netsim.ipv4 import int_to_ip
+
+#: Default prober address (a university /16, like the authors').
+PROBER_IP = "132.170.3.14"
+
+
+@dataclasses.dataclass
+class ProbeConfig:
+    """Scan parameters. Rates/sizes are in *scaled* units."""
+
+    q1_target: int
+    rate_pps: float
+    cluster_size: int = 5_000_000
+    reuse_subdomains: bool = True
+    response_window: float = 5.0
+    seed: int = 0
+    source_port: int = 31337
+    sld: str = "ucfsealresearch.net"
+    record_sent_log: bool = False
+    blocklist: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.q1_target < 0:
+            raise ValueError("q1_target must be non-negative")
+        if self.rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+
+
+@dataclasses.dataclass
+class ProbeCapture:
+    """Everything the prober measured during one scan."""
+
+    q1_sent: int
+    q1_bytes: int
+    r2_records: list[R2Record]
+    start_time: float
+    end_time: float
+    cluster_stats: ClusterStats
+    sent_log: dict[str, str]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def r2_count(self) -> int:
+        return len(self.r2_records)
+
+
+class Prober:
+    """The modified-ZMap prober of Fig 2."""
+
+    def __init__(
+        self,
+        network: Network,
+        auth: AuthoritativeServer,
+        config: ProbeConfig,
+        ip: str = PROBER_IP,
+        responder_hint: set[str] | None = None,
+    ) -> None:
+        self.network = network
+        self.auth = auth
+        self.config = config
+        self.ip = ip
+        self.responder_hint = responder_hint
+        self.scheme = SubdomainScheme(sld=config.sld)
+        self.allocator = ClusterAllocator(
+            self.scheme,
+            cluster_size=config.cluster_size,
+            reuse=config.reuse_subdomains,
+        )
+        self._addresses = probe_order(
+            seed=config.seed, limit=config.q1_target,
+            blocklist=config.blocklist,
+        )
+        self._q1_sent = 0
+        self._q1_bytes = 0
+        self._accumulator = 0.0
+        self._r2_records: list[R2Record] = []
+        self._answered: set[tuple[int, int]] = set()
+        self._in_flight: list[tuple[float, tuple[int, int]]] = []
+        self._in_flight_head = 0
+        self._sent_log: dict[str, str] = {}
+        self._sending_done = False
+        self._installed_through = -1
+        self._start_time = 0.0
+        # Fixed per-probe wire size: the qname format is constant-length.
+        self._q1_wire_size = (
+            UDP_IP_OVERHEAD + 12 + (self.scheme.qname_length + 2) + 4
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> ProbeCapture:
+        """Execute the scan to completion and return the capture."""
+        self.network.bind(self.ip, self.config.source_port, self._on_response)
+        self._start_time = self.network.now
+        self._schedule_tick(self.network.now)
+        self.network.run()
+        return ProbeCapture(
+            q1_sent=self._q1_sent,
+            q1_bytes=self._q1_bytes,
+            r2_records=self._r2_records,
+            start_time=self._start_time,
+            end_time=self.network.now,
+            cluster_stats=self.allocator.stats,
+            sent_log=self._sent_log,
+        )
+
+    # -- receive path --------------------------------------------------------
+
+    def _on_response(self, datagram: Datagram, network: Network) -> None:
+        self._r2_records.append(
+            R2Record(network.now, datagram.src_ip, datagram.payload)
+        )
+        allocation = self._allocation_from_payload(datagram.payload)
+        if allocation is not None and allocation not in self._answered:
+            self._answered.add(allocation)
+            self.allocator.burn(allocation)
+
+    def _allocation_from_payload(self, payload: bytes) -> tuple[int, int] | None:
+        """Cheap qname extraction for reuse bookkeeping."""
+        if len(payload) < 14 or int.from_bytes(payload[4:6], "big") == 0:
+            return None
+        labels = []
+        offset = 12
+        while offset < len(payload):
+            length = payload[offset]
+            if length == 0 or length & 0xC0:
+                break
+            labels.append(
+                payload[offset + 1:offset + 1 + length].decode(
+                    "ascii", errors="replace"
+                )
+            )
+            offset += 1 + length
+        return self.scheme.parse(".".join(labels).lower())
+
+    # -- send path ---------------------------------------------------------
+
+    def _schedule_tick(self, at: float) -> None:
+        self.network.scheduler.at(at, self._tick)
+
+    def _tick(self) -> None:
+        """Send one second's worth of probes, then reschedule."""
+        now = self.network.now
+        self._reclaim_unanswered(now)
+        self._accumulator += self.config.rate_pps
+        budget = int(self._accumulator)
+        self._accumulator -= budget
+        while budget > 0:
+            if self._q1_sent >= self.config.q1_target:
+                self._sending_done = True
+                return
+            if self.allocator.needs_new_cluster():
+                next_cluster = self.allocator.current_cluster + 1
+                if self._installed_through < next_cluster:
+                    # Load the next cluster at the auth server and pause
+                    # sending until the load completes (section III-B).
+                    ready_at = self._install_next_cluster(now)
+                    self._installed_through = next_cluster
+                    self._schedule_tick(max(ready_at, now + 1.0))
+                    return
+            self._probe_one(now)
+            budget -= 1
+        if self._q1_sent < self.config.q1_target:
+            self._schedule_tick(now + 1.0)
+        else:
+            self._sending_done = True
+
+    def _probe_one(self, now: float) -> None:
+        try:
+            address = next(self._addresses)
+        except StopIteration:
+            self._q1_sent = self.config.q1_target
+            return
+        allocation = self.allocator.allocate()
+        self._in_flight.append((now, allocation))
+        self._q1_sent += 1
+        self._q1_bytes += self._q1_wire_size
+        target_ip = int_to_ip(address)
+        if self.responder_hint is not None and target_ip not in self.responder_hint:
+            # Accounted, not materialized: the network would drop it unbound.
+            self.network.stats.sent += 1
+            self.network.stats.unbound += 1
+            self.network.stats.bytes_sent += self._q1_wire_size
+            return
+        qname = self.scheme.qname(*allocation)
+        if self.config.record_sent_log:
+            self._sent_log[qname] = target_ip
+        query = make_query(qname, msg_id=self._q1_sent & 0xFFFF)
+        self.network.send(
+            Datagram(
+                self.ip, self.config.source_port, target_ip, 53,
+                encode_message(query),
+            )
+        )
+
+    def _reclaim_unanswered(self, now: float) -> None:
+        """Return response-window-expired, unanswered subdomains to the pool."""
+        deadline = now - self.config.response_window
+        head = self._in_flight_head
+        in_flight = self._in_flight
+        while head < len(in_flight) and in_flight[head][0] <= deadline:
+            _, allocation = in_flight[head]
+            if allocation not in self._answered:
+                self.allocator.release(allocation)
+            head += 1
+        self._in_flight_head = head
+        if head > 100_000:
+            del in_flight[:head]
+            self._in_flight_head = 0
+
+    def _install_next_cluster(self, now: float) -> float:
+        """Generate and load the next subdomain cluster at the auth server."""
+        next_cluster = self.allocator.current_cluster + 1
+        zone = self.allocator.build_cluster_zone(next_cluster, self.auth.ip)
+        return self.auth.install_cluster(zone, now, graceful=True)

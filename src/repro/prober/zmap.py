@@ -1,0 +1,125 @@
+"""ZMap-style address-space permutation (Durumeric et al., 2013).
+
+ZMap iterates the multiplicative group of integers modulo the smallest
+prime larger than 2^32 using a random generator: the walk
+``x -> g*x mod p`` visits every element of [1, p-1] exactly once, so
+every IPv4 address is probed exactly once, in an order that spreads
+load across networks, while the scanner itself keeps no per-address
+state. This module reimplements that construction, including the
+generator-validation step (a residue g generates the group iff
+``g^((p-1)/q) != 1`` for every prime factor q of p-1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.netsim.ipv4 import is_probeable
+
+#: The smallest prime larger than 2^32, as used by ZMap.
+GROUP_PRIME = 4_294_967_311
+
+
+def _factorize(value: int) -> list[int]:
+    """Prime factors of ``value`` (trial division; fine for p-1)."""
+    factors = []
+    candidate = 2
+    while candidate * candidate <= value:
+        if value % candidate == 0:
+            factors.append(candidate)
+            while value % candidate == 0:
+                value //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if value > 1:
+        factors.append(value)
+    return factors
+
+
+_GROUP_ORDER_FACTORS = _factorize(GROUP_PRIME - 1)
+
+
+def is_generator(candidate: int) -> bool:
+    """True if ``candidate`` generates the full multiplicative group."""
+    if not 1 < candidate < GROUP_PRIME:
+        return False
+    return all(
+        pow(candidate, (GROUP_PRIME - 1) // factor, GROUP_PRIME) != 1
+        for factor in _GROUP_ORDER_FACTORS
+    )
+
+
+def find_generator(seed: int) -> int:
+    """Deterministically derive a group generator from ``seed``."""
+    candidate = 2 + (seed * 2_654_435_761 + 1) % (GROUP_PRIME - 3)
+    while not is_generator(candidate):
+        candidate += 1
+        if candidate >= GROUP_PRIME:
+            candidate = 2
+    return candidate
+
+
+class AddressPermutation:
+    """A full-cycle pseudo-random permutation of the IPv4 space.
+
+    Iterating yields every value in [0, 2^32) exactly once. Group
+    elements above the IPv4 range (there are 15 of them) are skipped,
+    exactly as ZMap does.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.generator = find_generator(seed)
+        # A deterministic, seed-dependent starting element.
+        self.start = 1 + (seed * 40_503 + 12_345) % (GROUP_PRIME - 1)
+
+    def __iter__(self) -> Iterator[int]:
+        element = self.start
+        while True:
+            if element <= 1 << 32:
+                yield element - 1
+            element = element * self.generator % GROUP_PRIME
+            if element == self.start:
+                return
+
+    def take(self, count: int) -> list[int]:
+        """The first ``count`` addresses of the permutation."""
+        result = []
+        for address in self:
+            result.append(address)
+            if len(result) >= count:
+                break
+        return result
+
+
+def probe_order(
+    seed: int = 0,
+    limit: int | None = None,
+    blocklist: "tuple | list | None" = None,
+) -> Iterator[int]:
+    """Iterate probeable (non-reserved) addresses in permuted order.
+
+    ``limit`` caps how many *probeable* addresses are yielded — the
+    scaled-down campaigns use it to walk a uniform 1/scale sample of
+    the space while preserving ZMap's ordering properties.
+
+    ``blocklist`` is an optional extra exclusion set of
+    :class:`~repro.netsim.ipv4.Ipv4Block` (or CIDR strings): operator
+    opt-outs, honored exactly as responsible scanners honor them —
+    blocked addresses are never probed and never counted.
+    """
+    from repro.netsim.ipv4 import Ipv4Block
+
+    blocks = [
+        block if isinstance(block, Ipv4Block) else Ipv4Block.parse(block)
+        for block in (blocklist or ())
+    ]
+    yielded = 0
+    for address in AddressPermutation(seed):
+        if limit is not None and yielded >= limit:
+            return
+        if not is_probeable(address):
+            continue
+        if any(address in block for block in blocks):
+            continue
+        yield address
+        yielded += 1

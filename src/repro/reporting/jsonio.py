@@ -1,0 +1,165 @@
+"""Machine-readable export of campaign results.
+
+Dumps every table as plain JSON so external tooling (CI regression
+checks, plotting, cross-run diffing) can consume a campaign without
+importing the library. The inverse loader restores a comparable
+structure, and ``diff_results`` reports which metrics moved between
+two exports — the regression primitive.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.dnslib.constants import Rcode
+
+
+def _flag_table(table) -> dict:
+    return {
+        "flag": table.flag,
+        "zero": {
+            "without_answer": table.zero.without_answer,
+            "correct": table.zero.correct,
+            "incorrect": table.zero.incorrect,
+            "err": table.zero.err,
+        },
+        "one": {
+            "without_answer": table.one.without_answer,
+            "correct": table.one.correct,
+            "incorrect": table.one.incorrect,
+            "err": table.one.err,
+        },
+    }
+
+
+def result_to_dict(result) -> dict:
+    """Every table of a campaign as one JSON-serializable dict."""
+    correctness = result.correctness
+    rcode = result.rcode_table
+    return {
+        "meta": {
+            "year": result.year,
+            "scale": result.scale,
+            "seed": result.config.seed,
+        },
+        "probe_summary": {
+            "q1": result.probe_summary.q1,
+            "q2_r1": result.probe_summary.q2_r1,
+            "r2": result.probe_summary.r2,
+            "q2_share": result.probe_summary.q2_share,
+            "r2_share": result.probe_summary.r2_share,
+            "duration_seconds": result.probe_summary.duration_seconds,
+        },
+        "correctness": {
+            "r2": correctness.r2,
+            "without_answer": correctness.without_answer,
+            "correct": correctness.correct,
+            "incorrect": correctness.incorrect,
+            "err": correctness.err,
+        },
+        "ra": _flag_table(result.ra_table),
+        "aa": _flag_table(result.aa_table),
+        "rcodes": {
+            "with_answer": {
+                Rcode(code).label: count
+                for code, count in sorted(rcode.with_answer.items())
+            },
+            "without_answer": {
+                Rcode(code).label: count
+                for code, count in sorted(rcode.without_answer.items())
+            },
+        },
+        "estimates": {
+            "ra_flag_only": result.estimates.ra_flag_only,
+            "ra_and_correct": result.estimates.ra_and_correct,
+            "correct_any_flag": result.estimates.correct_any_flag,
+        },
+        "empty_question": {
+            "total": result.empty_question.summary.total,
+            "with_answer": result.empty_question.summary.with_answer,
+            "ra1": result.empty_question.summary.ra1,
+            "aa1": result.empty_question.summary.aa1,
+        },
+        "incorrect_forms": {
+            form: {"r2": r2, "unique": unique}
+            for form, (r2, unique) in result.incorrect_forms.counts.items()
+        },
+        "top_destinations": [
+            {
+                "ip": row.ip,
+                "count": row.count,
+                "org": row.org_name,
+                "reported": row.reported,
+            }
+            for row in result.top_destinations
+        ],
+        "malicious": {
+            "categories": {
+                row.category: {"unique_ips": row.unique_ips, "r2": row.r2}
+                for row in result.malicious_categories.rows
+            },
+            "flags": {
+                "ra0": result.malicious_flags.ra0,
+                "ra1": result.malicious_flags.ra1,
+                "aa0": result.malicious_flags.aa0,
+                "aa1": result.malicious_flags.aa1,
+            },
+            "countries": result.country_distribution,
+        },
+    }
+
+
+def write_json_results(result, path) -> pathlib.Path:
+    """Serialize :func:`result_to_dict` to ``path``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    return target
+
+
+def load_json_results(path) -> dict:
+    """Load an export written by :func:`write_json_results`."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _flatten(prefix: str, node, out: dict) -> None:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value, out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            _flatten(f"{prefix}[{index}]", value, out)
+    else:
+        out[prefix] = node
+
+
+def diff_results(
+    before: dict, after: dict, rel_tolerance: float = 0.0
+) -> dict[str, tuple]:
+    """Leaf-level differences between two exports.
+
+    Returns ``{path: (before, after)}`` for every leaf that differs by
+    more than ``rel_tolerance`` (numeric leaves) or at all (other
+    leaves). Empty dict means the runs match — the CI regression check.
+    """
+    flat_before: dict = {}
+    flat_after: dict = {}
+    _flatten("", before, flat_before)
+    _flatten("", after, flat_after)
+    differences: dict[str, tuple] = {}
+    for key in sorted(set(flat_before) | set(flat_after)):
+        old = flat_before.get(key)
+        new = flat_after.get(key)
+        if old == new:
+            continue
+        if (
+            isinstance(old, (int, float))
+            and isinstance(new, (int, float))
+            and rel_tolerance > 0
+        ):
+            scale = max(abs(old), abs(new), 1e-12)
+            if abs(old - new) / scale <= rel_tolerance:
+                continue
+        differences[key] = (old, new)
+    return differences

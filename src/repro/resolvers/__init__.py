@@ -1,0 +1,43 @@
+"""Open-resolver behavior models and calibrated populations.
+
+The live Internet's ~3M open resolvers are replaced by an explicit
+taxonomy of behavior classes (:mod:`repro.resolvers.behavior`), hosts
+that enact them on the simulated network (:mod:`repro.resolvers.host`),
+year profiles whose class counts are calibrated to the paper's 2013 and
+2018 tables (:mod:`repro.resolvers.profiles`), and a sampler that
+instantiates a scaled-down population over the probeable address space
+(:mod:`repro.resolvers.population`).
+"""
+
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.resolvers.population import (
+    PopulationSampler,
+    ResolverAssignment,
+    SampledPopulation,
+)
+from repro.resolvers.profiles import (
+    PROFILE_2013,
+    PROFILE_2018,
+    PopulationCell,
+    YearProfile,
+    profile_for_year,
+)
+from repro.resolvers.apportion import largest_remainder, scale_count
+
+__all__ = [
+    "AnswerKind",
+    "BehaviorHost",
+    "BehaviorSpec",
+    "PROFILE_2013",
+    "PROFILE_2018",
+    "PopulationCell",
+    "PopulationSampler",
+    "ResolverAssignment",
+    "ResponseMode",
+    "SampledPopulation",
+    "YearProfile",
+    "largest_remainder",
+    "profile_for_year",
+    "scale_count",
+]

@@ -1,0 +1,56 @@
+"""Largest-remainder apportionment for scaling population counts.
+
+A profile stores full-Internet class counts; a sampled population runs
+at ``1/scale``. Naive per-class rounding would break cross-table
+consistency (cells would no longer sum to their marginals), so scaling
+uses Hamilton's largest-remainder method: the grand total is rounded
+once, and the parts are apportioned to sum to it exactly.
+"""
+
+from __future__ import annotations
+
+
+def scale_count(count: int, scale: int) -> int:
+    """Round-half-up scaling of a single count."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return (count * 2 + scale) // (2 * scale)
+
+
+def largest_remainder(counts: list[int], scale: int, total: int | None = None) -> list[int]:
+    """Scale ``counts`` by ``1/scale`` so they sum to ``total``.
+
+    ``total`` defaults to the scaled sum of ``counts``. Each part gets
+    its floor share; leftover units go to the largest fractional
+    remainders (ties broken by original order, so the result is
+    deterministic).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if any(count < 0 for count in counts):
+        raise ValueError("counts must be non-negative")
+    grand = sum(counts)
+    if total is None:
+        total = scale_count(grand, scale)
+    if grand == 0:
+        if total != 0:
+            raise ValueError("cannot apportion a positive total over zero counts")
+        return [0] * len(counts)
+    floors = [count * total // grand for count in counts]
+    remainders = [
+        (count * total % grand, -index)
+        for index, count in enumerate(counts)
+    ]
+    missing = total - sum(floors)
+    order = sorted(range(len(counts)), key=lambda i: remainders[i], reverse=True)
+    result = list(floors)
+    for index in order[:missing]:
+        result[index] += 1
+    return result
+
+
+def apportion_mapping(counts: dict, scale: int, total: int | None = None) -> dict:
+    """:func:`largest_remainder` over a mapping, preserving keys."""
+    keys = list(counts.keys())
+    values = largest_remainder([counts[key] for key in keys], scale, total)
+    return dict(zip(keys, values))

@@ -1,0 +1,100 @@
+"""The behavior taxonomy: what a probed host does with a DNS query.
+
+Every R2 packet the paper analyzes is the output of some host behavior.
+A :class:`BehaviorSpec` pins down the response completely: the RA/AA
+flag bits, the rcode, whether an answer is included and of what kind
+(correct / wrong IP / URL-as-answer / garbage string / malformed
+bytes), whether the question section is echoed, and whether the host
+performs a *real* recursive resolution (generating the Q2/R1 flows the
+paper captures at its authoritative server) before responding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.dnslib.constants import Rcode
+from repro.threatintel.cymon import ThreatCategory
+
+
+class AnswerKind(enum.Enum):
+    """What the dns_answer section of the R2 contains."""
+
+    NONE = "none"                       # W/O in the paper's tables
+    CORRECT = "correct"                 # ground-truth A record
+    INCORRECT_IP = "incorrect-ip"       # an A record with a wrong address
+    INCORRECT_URL = "incorrect-url"     # a CNAME-style hostname answer
+    INCORRECT_STRING = "incorrect-string"  # garbage text ("wild", "OK", ...)
+    MALFORMED = "malformed"             # bytes libpcap could not decode
+
+    @property
+    def has_answer(self) -> bool:
+        return self is not AnswerKind.NONE
+
+    @property
+    def is_incorrect(self) -> bool:
+        return self.has_answer and self is not AnswerKind.CORRECT
+
+
+class ResponseMode(enum.Enum):
+    """Whether the host consults the real DNS hierarchy first."""
+
+    RESOLVE = "resolve"      # fetch the true answer from the auth server
+    FABRICATE = "fabricate"  # answer immediately from the spec
+
+
+@dataclasses.dataclass(frozen=True)
+class BehaviorSpec:
+    """A complete description of one resolver behavior class.
+
+    ``fixed_answer`` carries the predetermined wrong destination for
+    manipulating resolvers (an IP string, a hostname for URL answers,
+    or the garbage token for string answers). ``malicious_category``
+    links the destination into the Cymon substrate. ``extra_q2`` makes
+    the host send that many duplicate upstream queries per probe —
+    modeling resolver farms and retries, which is how the paper's Q2
+    count exceeds its R2 count.
+    """
+
+    name: str
+    mode: ResponseMode
+    ra: bool
+    aa: bool
+    rcode: int = Rcode.NOERROR
+    answer_kind: AnswerKind = AnswerKind.NONE
+    fixed_answer: str | None = None
+    empty_question: bool = False
+    malicious_category: ThreatCategory | None = None
+    extra_q2: int = 0
+    answer_ttl: int = 300
+
+    def __post_init__(self) -> None:
+        if self.answer_kind is AnswerKind.CORRECT and self.mode is not ResponseMode.RESOLVE:
+            raise ValueError(
+                f"{self.name}: a correct answer requires RESOLVE mode"
+            )
+        needs_destination = (
+            self.answer_kind.is_incorrect
+            and self.answer_kind is not AnswerKind.MALFORMED
+        )
+        if needs_destination and self.fixed_answer is None:
+            raise ValueError(
+                f"{self.name}: incorrect answers need a fixed_answer destination"
+            )
+        if self.malicious_category is not None and self.answer_kind is not AnswerKind.INCORRECT_IP:
+            raise ValueError(
+                f"{self.name}: only wrong-IP answers can be malicious destinations"
+            )
+
+    @property
+    def contacts_auth(self) -> bool:
+        """True when probing this host produces Q2/R1 at the auth server."""
+        return self.mode is ResponseMode.RESOLVE
+
+    def describe(self) -> str:
+        """One-line human summary used by reports and examples."""
+        flags = f"RA={int(self.ra)} AA={int(self.aa)} rcode={Rcode(self.rcode).label}"
+        answer = self.answer_kind.value
+        tail = f" -> {self.fixed_answer}" if self.fixed_answer else ""
+        return f"{self.name}: {flags} answer={answer}{tail}"

@@ -1,0 +1,219 @@
+"""A host that enacts one :class:`BehaviorSpec` on the network.
+
+Hosts in RESOLVE mode perform a real upstream resolution against the
+measurement authoritative server (producing the Q2/R1 flows captured
+there) before answering; FABRICATE hosts answer immediately from their
+spec. Either way the R2 header is written exactly as the spec dictates
+— which is how the population reproduces the paper's deviant flag and
+rcode combinations.
+
+Resolving hosts query the authoritative server directly rather than
+walking root/TLD each time: a real resolver caches the ``.net`` and SLD
+delegations after its first lookup, so steady-state Q2 goes straight to
+the auth server (the only place the paper captures).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.chaos import is_version_bind_query, version_bind_response
+from repro.dnslib.constants import QueryType
+from repro.dnslib.message import DnsMessage, make_query, make_response
+from repro.dnslib.records import AData, CnameData, ResourceRecord, TxtData
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+#: Port behavior hosts use toward the authoritative server.
+HOST_UPSTREAM_PORT = 10055
+
+
+@dataclasses.dataclass
+class _PendingProbe:
+    client: Datagram
+    query: DnsMessage
+
+
+class BehaviorHost:
+    """One probed IP address and the behavior it exhibits.
+
+    ``version_banner`` is the CHAOS TXT ``version.bind`` string the
+    host reveals to fingerprinting scans (None: the host refuses, like
+    a banner-hiding operator).
+    """
+
+    def __init__(
+        self,
+        ip: str,
+        spec: BehaviorSpec,
+        auth_ip: str,
+        version_banner: str | None = None,
+        dnssec_validating: bool = False,
+    ) -> None:
+        self.ip = ip
+        self.spec = spec
+        self.auth_ip = auth_ip
+        self.version_banner = version_banner
+        self.dnssec_validating = dnssec_validating
+        self._network: Network | None = None
+        self._pending: dict[int, _PendingProbe] = {}
+        self._next_id = 1
+        self.queries_received = 0
+        self.responses_sent = 0
+
+    def attach(self, network: Network, port: int = 53) -> None:
+        self._network = network
+        network.bind(self.ip, port, self.handle_query)
+        if self.spec.contacts_auth:
+            network.bind(self.ip, HOST_UPSTREAM_PORT, self.handle_upstream)
+
+    # -- query path ------------------------------------------------------
+
+    def handle_query(self, datagram: Datagram, network: Network) -> None:
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        self.queries_received += 1
+        if is_version_bind_query(query):
+            self.responses_sent += 1
+            network.send(
+                datagram.reply(version_bind_response(query, self.version_banner))
+            )
+            return
+        if self.spec.mode is ResponseMode.FABRICATE:
+            self._respond(datagram, query, resolved=None)
+            return
+        qname = query.qname
+        if qname is None:
+            self._respond(datagram, query, resolved=None)
+            return
+        qtype = query.questions[0].qtype
+        msg_id = self._next_id
+        self._next_id = self._next_id % 0xFFFF + 1
+        self._pending[msg_id] = _PendingProbe(datagram, query)
+        upstream = make_query(qname, qtype=qtype, msg_id=msg_id,
+                              recursion_desired=False)
+        network.send(
+            Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
+                     encode_message(upstream))
+        )
+        # Resolver-farm / retry duplicates: extra upstream queries whose
+        # responses are discarded (they arrive with unknown message IDs).
+        for _ in range(self.spec.extra_q2):
+            ghost = make_query(qname, qtype=qtype, msg_id=0,
+                               recursion_desired=False)
+            network.send(
+                Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
+                         encode_message(ghost))
+            )
+
+    def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+        try:
+            response = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        pending = self._pending.pop(response.header.msg_id, None)
+        if pending is None:
+            return  # ghost duplicate
+        self._respond(pending.client, pending.query, resolved=response)
+
+    # -- response synthesis ----------------------------------------------
+
+    def _respond(
+        self, client: Datagram, query: DnsMessage, resolved: DnsMessage | None
+    ) -> None:
+        network = self._network
+        if network is None:
+            raise RuntimeError("host not attached")
+        payload = self.build_response_wire(query, resolved)
+        self.responses_sent += 1
+        network.send(client.reply(payload))
+
+    def build_response_wire(
+        self, query: DnsMessage, resolved: DnsMessage | None
+    ) -> bytes:
+        """Encode the R2 this behavior produces for ``query``."""
+        spec = self.spec
+        answers = self._answers_for(query, resolved)
+        if spec.answer_kind is AnswerKind.MALFORMED:
+            return self._malformed_wire(query)
+        # A validating resolver marks genuinely resolved answers AD=1 when
+        # the client asked with DO (RFC 6840); fabricated answers never
+        # earn the bit because there is no chain to validate.
+        from repro.dnslib.edns import extract_edns
+
+        edns = extract_edns(query)
+        ad = (
+            self.dnssec_validating
+            and spec.answer_kind is AnswerKind.CORRECT
+            and edns is not None
+            and edns.dnssec_ok
+        )
+        response = make_response(
+            query,
+            rcode=spec.rcode,
+            answers=answers,
+            aa=spec.aa,
+            ra=spec.ra,
+            ad=ad,
+            copy_question=not spec.empty_question,
+        )
+        return encode_message(response)
+
+    def _answers_for(
+        self, query: DnsMessage, resolved: DnsMessage | None
+    ) -> list[ResourceRecord]:
+        spec = self.spec
+        qname = query.qname or "answer.invalid"
+        if spec.answer_kind is AnswerKind.NONE:
+            return []
+        if spec.answer_kind is AnswerKind.CORRECT:
+            return list(resolved.answers) if resolved is not None else []
+        if spec.answer_kind is AnswerKind.INCORRECT_IP:
+            return [
+                ResourceRecord(
+                    qname, QueryType.A, ttl=spec.answer_ttl,
+                    data=AData(spec.fixed_answer),
+                )
+            ]
+        if spec.answer_kind is AnswerKind.INCORRECT_URL:
+            return [
+                ResourceRecord(
+                    qname, QueryType.CNAME, ttl=spec.answer_ttl,
+                    data=CnameData(spec.fixed_answer),
+                )
+            ]
+        if spec.answer_kind is AnswerKind.INCORRECT_STRING:
+            return [
+                ResourceRecord(
+                    qname, QueryType.TXT, ttl=spec.answer_ttl,
+                    data=TxtData((spec.fixed_answer,)),
+                )
+            ]
+        return []
+
+    def _malformed_wire(self, query: DnsMessage) -> bytes:
+        """A response whose header/question decode but whose answer doesn't.
+
+        This reproduces the paper's 8,764 packets "not decoded
+        appropriately" by libpcap: flags and rcode were readable (they
+        appear in Tables IV-VI) while dns_answer was garbage (Table
+        VII's N/A row).
+        """
+        spec = self.spec
+        header_only = make_response(
+            query, rcode=spec.rcode, aa=spec.aa, ra=spec.ra,
+            copy_question=not spec.empty_question,
+        )
+        wire = bytearray(encode_message(header_only))
+        wire[6:8] = (1).to_bytes(2, "big")  # claim ANCOUNT=1 ...
+        wire += b"\xc0\x0c"                 # owner: pointer to the question
+        wire += (1).to_bytes(2, "big")      # TYPE A
+        wire += (1).to_bytes(2, "big")      # CLASS IN
+        wire += (300).to_bytes(4, "big")    # TTL
+        wire += (4).to_bytes(2, "big")      # RDLENGTH 4 ...
+        wire += b"\x00"                     # ... but only 1 octet follows
+        return bytes(wire)

@@ -1,0 +1,416 @@
+"""Sampling a scaled resolver population from a year profile.
+
+``scale`` subsamples the Internet uniformly: a profile cell with
+``count`` hosts at full scale contributes ``count/scale`` hosts,
+apportioned by largest remainder so every marginal stays consistent.
+The sampler also seeds the threat-intel substrates (Cymon reports for
+malicious destinations, Whois orgs for named destinations, geolocation
+for every responding host) so the downstream Tables VIII-X analysis
+sees a world consistent with the population.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.netsim.ipv4 import Ipv4Block, int_to_ip, is_probeable
+from repro.netsim.network import Network
+from repro.resolvers.apportion import largest_remainder, scale_count
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.resolvers.profiles import (
+    POOL_MALICIOUS,
+    Destination,
+    PopulationCell,
+    YearProfile,
+)
+from repro.threatintel.cymon import CymonDatabase, ThreatCategory
+from repro.threatintel.geo import GeoDatabase
+from repro.threatintel.whois import WhoisDatabase
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolverAssignment:
+    """One sampled host: where it lives and how it behaves."""
+
+    ip: str
+    cell_name: str
+    spec: BehaviorSpec
+    country: str
+    asn: int = 0
+    as_name: str = ""
+
+    @property
+    def malicious(self) -> bool:
+        return self.spec.malicious_category is not None
+
+
+@dataclasses.dataclass
+class SampledPopulation:
+    """The sampled world: hosts plus consistent intel databases."""
+
+    profile: YearProfile
+    scale: int
+    seed: int
+    assignments: list[ResolverAssignment]
+    cymon: CymonDatabase
+    geo: GeoDatabase
+    whois: WhoisDatabase
+    scaled_cell_counts: dict[str, int]
+
+    @property
+    def host_count(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def malicious_host_count(self) -> int:
+        return sum(1 for assignment in self.assignments if assignment.malicious)
+
+    def address_set(self) -> set[str]:
+        return {assignment.ip for assignment in self.assignments}
+
+    def deploy(
+        self,
+        network: Network,
+        auth_ip: str,
+        version_banners: dict[str, str | None] | None = None,
+        dnssec_validators: set[str] | None = None,
+    ) -> list[BehaviorHost]:
+        """Instantiate every host on ``network``.
+
+        ``version_banners`` optionally maps host IPs to version.bind
+        banners (see :mod:`repro.fingerprint`); ``dnssec_validators``
+        marks the hosts whose answers carry AD under DO queries (see
+        :mod:`repro.dnssec`).
+        """
+        banners = version_banners or {}
+        validators = dnssec_validators or set()
+        hosts = []
+        for assignment in self.assignments:
+            host = BehaviorHost(
+                assignment.ip, assignment.spec, auth_ip,
+                version_banner=banners.get(assignment.ip),
+                dnssec_validating=assignment.ip in validators,
+            )
+            host.attach(network)
+            hosts.append(host)
+        return hosts
+
+
+class PopulationSampler:
+    """Draws a :class:`SampledPopulation` for (profile, scale, seed)."""
+
+    def __init__(
+        self,
+        profile: YearProfile,
+        scale: int = 1024,
+        seed: int = 0,
+        excluded_ips: set[str] | None = None,
+        universe: list[int] | None = None,
+    ) -> None:
+        """``universe``, when given, is the list of address ints the scan
+        will actually probe (the scaled sample of the IPv4 space); host
+        addresses are drawn from it so that every sampled resolver is
+        reachable by the scaled scan. Without it, hosts are placed
+        anywhere in probeable space."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if universe is not None and not universe:
+            raise ValueError("universe must be non-empty when provided")
+        profile.validate()
+        self.profile = profile
+        self.scale = scale
+        self.seed = seed
+        self.excluded_ips = set(excluded_ips or ())
+        self.universe = universe
+
+    # -- public API --------------------------------------------------------
+
+    def sample(self) -> SampledPopulation:
+        rng = random.Random((self.seed, self.profile.year, self.scale).__hash__())
+        cells = list(self.profile.cells)
+        scaled_counts = largest_remainder(
+            [cell.count for cell in cells], self.scale
+        )
+        scaled_by_name = {
+            cell.name: count for cell, count in zip(cells, scaled_counts)
+        }
+        pool_queues = self._build_pool_queues(cells, scaled_by_name, rng)
+        ghost_budget = self._ghost_budget(cells, scaled_by_name)
+        cymon = CymonDatabase()
+        geo = GeoDatabase()
+        whois = WhoisDatabase()
+        self._seed_destination_intel(pool_queues, cymon, whois, rng)
+        assignments = self._build_assignments(
+            cells, scaled_by_name, pool_queues, ghost_budget, rng
+        )
+        self._assign_countries(assignments, rng)
+        self._assign_asns(assignments, rng)
+        for assignment in assignments:
+            geo.add(
+                f"{assignment.ip}/32", assignment.country,
+                asn=assignment.asn, as_name=assignment.as_name,
+            )
+        return SampledPopulation(
+            profile=self.profile,
+            scale=self.scale,
+            seed=self.seed,
+            assignments=assignments,
+            cymon=cymon,
+            geo=geo,
+            whois=whois,
+            scaled_cell_counts=scaled_by_name,
+        )
+
+    # -- destination pools -------------------------------------------------
+
+    def _build_pool_queues(
+        self,
+        cells: list[PopulationCell],
+        scaled_by_name: dict[str, int],
+        rng: random.Random,
+    ) -> dict[str, list[Destination]]:
+        """Apportion each pool's destinations to its scaled host count."""
+        queues: dict[str, list[Destination]] = {}
+        pools = sorted(
+            {cell.pool for cell in cells if cell.pool is not None}
+        )
+        for pool in pools:
+            target = sum(
+                scaled_by_name[cell.name] for cell in cells if cell.pool == pool
+            )
+            named = [d for d in self.profile.destinations if d.pool == pool]
+            tails = [t for t in self.profile.tails if t.pool == pool]
+            weights = [d.count for d in named] + [t.count for t in tails]
+            shares = largest_remainder(weights, self.scale, total=target)
+            queue: list[Destination] = []
+            for destination, share in zip(named, shares[: len(named)]):
+                queue.extend([destination] * share)
+            for tail, share in zip(tails, shares[len(named):]):
+                queue.extend(self._expand_tail(pool, tail, share, rng))
+            rng.shuffle(queue)
+            queues[pool] = queue
+        return queues
+
+    def _expand_tail(self, pool, tail, share, rng) -> list[Destination]:
+        """Generate ``share`` tail destinations over a scaled unique set.
+
+        Uniform 1/scale packet subsampling keeps each of the tail's
+        ``unique`` values with probability 1-(1-1/scale)^m where m is
+        the per-value multiplicity, so the expected number of distinct
+        sampled values is unique * that — which degenerates to "every
+        sampled packet has its own value" when m << scale (the common
+        case) and to "all values survive" when m >> scale.
+        """
+        if share == 0:
+            return []
+        multiplicity = tail.count / max(tail.unique, 1)
+        survive = 1.0 - (1.0 - 1.0 / self.scale) ** multiplicity
+        expected_distinct = round(tail.unique * survive)
+        unique = max(1, min(share, expected_distinct, tail.unique))
+        values = [
+            self._tail_value(pool, tail.category, index, rng)
+            for index in range(unique)
+        ]
+        expanded = []
+        for index in range(share):
+            value = values[index % unique]
+            expanded.append(
+                Destination(
+                    value=value,
+                    pool=pool,
+                    count=1,
+                    category=tail.category,
+                    org=None,
+                )
+            )
+        return expanded
+
+    def _tail_value(self, pool, category, index, rng) -> str:
+        if pool in (POOL_MALICIOUS, "benign-ip"):
+            return self._random_public_ip(rng)
+        if pool == "url":
+            return f"redir{index}.tail{rng.randrange(10_000)}.example"
+        if pool == "string":
+            return f"tok{rng.randrange(100_000):05x}"
+        return f"blob{index}"  # malformed: value unused on the wire
+
+    def _random_public_ip(self, rng: random.Random) -> str:
+        while True:
+            value = rng.randrange(1 << 32)
+            if is_probeable(value):
+                ip = int_to_ip(value)
+                if ip not in self.excluded_ips:
+                    return ip
+
+    # -- intel seeding ----------------------------------------------------
+
+    def _seed_destination_intel(self, pool_queues, cymon, whois, rng) -> None:
+        seen: set[str] = set()
+        for queue in pool_queues.values():
+            for destination in queue:
+                if destination.value in seen:
+                    continue
+                seen.add(destination.value)
+                if destination.org:
+                    whois.add(f"{destination.value}/32", destination.org)
+                elif destination.category is not None:
+                    whois.add(
+                        f"{destination.value}/32",
+                        f"AS{rng.randrange(1000, 65000)} Hosting",
+                    )
+                if destination.category is not None:
+                    cymon.add_reports(
+                        destination.value, destination.category,
+                        count=rng.randrange(3, 8),
+                    )
+                    # Big sinkholes accumulate cross-category noise (Fig 4).
+                    if destination.count >= 1000:
+                        noise = [
+                            c for c in ThreatCategory if c != destination.category
+                        ]
+                        cymon.add_reports(
+                            destination.value, rng.choice(noise), count=1
+                        )
+
+    # -- host assembly -----------------------------------------------------
+
+    def _ghost_budget(self, cells, scaled_by_name) -> list[int]:
+        """Per-resolving-host extra Q2 counts hitting the scaled target."""
+        resolving = sum(
+            scaled_by_name[cell.name]
+            for cell in cells
+            if cell.answer_kind is AnswerKind.CORRECT
+        )
+        total_ghost = scale_count(self.profile.ghost_q2_total(), self.scale)
+        if resolving == 0:
+            return []
+        base, extra = divmod(total_ghost, resolving)
+        return [base + 1 if index < extra else base for index in range(resolving)]
+
+    def _build_assignments(
+        self, cells, scaled_by_name, pool_queues, ghost_budget, rng
+    ) -> list[ResolverAssignment]:
+        assignments: list[ResolverAssignment] = []
+        used_ips: set[str] = set(self.excluded_ips)
+        ghost_index = 0
+        for cell in cells:
+            for _ in range(scaled_by_name[cell.name]):
+                ip = self._draw_host_ip(rng, used_ips)
+                used_ips.add(ip)
+                destination: Destination | None = None
+                if cell.pool is not None:
+                    destination = pool_queues[cell.pool].pop()
+                extra_q2 = 0
+                if cell.answer_kind is AnswerKind.CORRECT and ghost_budget:
+                    extra_q2 = ghost_budget[ghost_index]
+                    ghost_index += 1
+                spec = self._spec_for(cell, destination, extra_q2, rng)
+                assignments.append(
+                    ResolverAssignment(
+                        ip=ip, cell_name=cell.name, spec=spec, country=""
+                    )
+                )
+        return assignments
+
+    def _draw_host_ip(self, rng: random.Random, used: set[str]) -> str:
+        while True:
+            if self.universe is not None:
+                value = self.universe[rng.randrange(len(self.universe))]
+            else:
+                value = rng.randrange(1 << 32)
+                if not is_probeable(value):
+                    continue
+            ip = int_to_ip(value)
+            if ip not in used:
+                return ip
+
+    def _spec_for(self, cell, destination, extra_q2, rng) -> BehaviorSpec:
+        fixed_answer = None
+        category = None
+        if destination is not None:
+            fixed_answer = destination.value
+            category = destination.category
+        elif cell.fixed_answer is not None:
+            fixed_answer = self._materialize_fixed(cell.fixed_answer, rng)
+        mode = (
+            ResponseMode.RESOLVE
+            if cell.answer_kind is AnswerKind.CORRECT
+            else ResponseMode.FABRICATE
+        )
+        return BehaviorSpec(
+            name=cell.name,
+            mode=mode,
+            ra=cell.ra,
+            aa=cell.aa,
+            rcode=cell.rcode,
+            answer_kind=cell.answer_kind,
+            fixed_answer=fixed_answer,
+            empty_question=cell.empty_question,
+            malicious_category=category,
+            extra_q2=extra_q2,
+        )
+
+    @staticmethod
+    def _materialize_fixed(fixed: str, rng: random.Random) -> str:
+        """A literal value, or a draw from a CIDR block."""
+        if "/" not in fixed:
+            return fixed
+        block = Ipv4Block.parse(fixed)
+        return int_to_ip(block.first + rng.randrange(block.size))
+
+    # -- countries ---------------------------------------------------------
+
+    def _assign_countries(self, assignments, rng) -> None:
+        malicious = [a for a in assignments if a.malicious]
+        benign = [a for a in assignments if not a.malicious]
+        self._apply_country_mix(
+            malicious, self.profile.malicious_countries, rng,
+            total_override=len(malicious),
+        )
+        self._apply_country_mix(
+            benign, self.profile.default_country_mix, rng,
+            total_override=len(benign),
+        )
+
+    def _apply_country_mix(self, group, mix, rng, total_override) -> None:
+        if not group:
+            return
+        codes = list(mix.keys())
+        shares = largest_remainder(
+            [mix[code] for code in codes], 1, total=total_override
+        )
+        labels: list[str] = []
+        for code, share in zip(codes, shares):
+            labels.extend([code] * share)
+        rng.shuffle(labels)
+        for assignment, code in zip(group, labels):
+            object.__setattr__(assignment, "country", code)
+
+    def _assign_asns(self, assignments, rng) -> None:
+        """Give every host a synthetic AS in its country.
+
+        Each country gets a small pool of carrier ASes (private-use
+        numbers), so the AS-level view of section IV-C2 has realistic
+        clumping: many malicious resolvers share a handful of networks.
+        """
+        pools: dict[str, list[tuple[int, str]]] = {}
+        next_asn = 64_512  # start of the private-use ASN range
+        for assignment in assignments:
+            country = assignment.country
+            pool = pools.get(country)
+            if pool is None:
+                pool = []
+                for index in range(3):
+                    pool.append(
+                        (next_asn, f"AS{next_asn} {country} Carrier {index + 1}")
+                    )
+                    next_asn += 1
+                pools[country] = pool
+            # Skewed pick: the first carrier of each country dominates.
+            roll = rng.random()
+            index = 0 if roll < 0.6 else (1 if roll < 0.85 else 2)
+            asn, as_name = pool[index]
+            object.__setattr__(assignment, "asn", asn)
+            object.__setattr__(assignment, "as_name", as_name)

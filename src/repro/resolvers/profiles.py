@@ -1,0 +1,528 @@
+"""Calibrated year profiles: 2013 and 2018 resolver populations.
+
+Each profile encodes a full joint distribution over response behaviors
+— (answer presence/correctness, RA bit, AA bit, rcode, question echo)
+— as an explicit cell table whose *marginals equal the paper's
+published Tables III, IV, V and VI* for that year, plus destination
+pools for the incorrect answers (Tables VII/VIII/IX), the malicious
+flag joint (Table X), the country distribution of malicious resolvers
+(section IV-C2) and the Table II packet totals.
+
+The paper publishes only marginals; the joint here is one consistent
+completion of them. Where the paper's own numbers are internally
+inconsistent we adjusted minimally and record the deltas in
+EXPERIMENTS.md:
+
+- Table VI 2018 W/O row sums to 3,642,095 vs Table III's 3,642,109
+  (14 missing): ServFail W/O is carried as 200,334 (+14).
+- Table VI 2013 W row sums to 11,794,580 vs Table III's 11,792,882
+  (1,698 extra): NoError W is carried as 11,778,877 (-1,698).
+- Table VI 2013 W/O row is 12 short: ServFail W/O is 354,188 (+12).
+- The empty-question counts of section IV-B4 disagree with each other
+  by a few packets; the cells here sum to 494 with NXDomain=3 (vs 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import Rcode
+from repro.resolvers.behavior import AnswerKind, ResponseMode
+from repro.stats import (
+    CorrectnessTable,
+    EmptyQuestionSummary,
+    FlagRow,
+    FlagTable,
+    OpenResolverEstimates,
+    ProbeSummary,
+    RcodeTable,
+)
+from repro.threatintel.cymon import ThreatCategory
+
+#: Destination pool labels.
+POOL_MALICIOUS = "malicious"
+POOL_BENIGN_IP = "benign-ip"
+POOL_URL = "url"
+POOL_STRING = "string"
+POOL_MALFORMED = "malformed"
+
+_FORM_FOR_POOL = {
+    POOL_MALICIOUS: AnswerKind.INCORRECT_IP,
+    POOL_BENIGN_IP: AnswerKind.INCORRECT_IP,
+    POOL_URL: AnswerKind.INCORRECT_URL,
+    POOL_STRING: AnswerKind.INCORRECT_STRING,
+    POOL_MALFORMED: AnswerKind.MALFORMED,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PopulationCell:
+    """One behavior class and its full-Internet host count.
+
+    Incorrect-answer cells either draw destinations from a shared
+    ``pool`` or carry a ``fixed_answer`` of their own (a value, or a
+    CIDR block from which the sampler draws distinct addresses — used
+    for the section IV-B4 private-network answers).
+    """
+
+    name: str
+    count: int
+    ra: bool
+    aa: bool
+    rcode: int = Rcode.NOERROR
+    answer_kind: AnswerKind = AnswerKind.NONE
+    pool: str | None = None
+    fixed_answer: str | None = None
+    empty_question: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"{self.name}: negative count")
+        if self.pool is not None and _FORM_FOR_POOL[self.pool] is not self.answer_kind:
+            raise ValueError(f"{self.name}: pool {self.pool} vs {self.answer_kind}")
+        if self.pool is not None and self.fixed_answer is not None:
+            raise ValueError(f"{self.name}: pool and fixed_answer are exclusive")
+        if self.answer_kind.is_incorrect and self.pool is None and self.fixed_answer is None:
+            raise ValueError(f"{self.name}: incorrect answers need a pool or fixed_answer")
+
+    @property
+    def mode(self) -> ResponseMode:
+        if self.answer_kind is AnswerKind.CORRECT:
+            return ResponseMode.RESOLVE
+        return ResponseMode.FABRICATE
+
+
+@dataclasses.dataclass(frozen=True)
+class Destination:
+    """A named incorrect-answer destination with a full-scale R2 count."""
+
+    value: str
+    pool: str
+    count: int
+    category: ThreatCategory | None = None
+    org: str | None = None
+
+    @property
+    def malicious(self) -> bool:
+        return self.category is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class DestinationTail:
+    """A procedurally generated pool tail: ``unique`` values, ``count`` R2."""
+
+    pool: str
+    count: int
+    unique: int
+    category: ThreatCategory | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class YearProfile:
+    """Everything needed to instantiate one year's population."""
+
+    year: int
+    q1_full: int
+    q2_r1_full: int
+    probe_rate_pps: float
+    cells: tuple[PopulationCell, ...]
+    destinations: tuple[Destination, ...]
+    tails: tuple[DestinationTail, ...]
+    malicious_countries: dict[str, int]
+    default_country_mix: dict[str, int]
+    start_label: str
+
+    # -- structural sums -------------------------------------------------
+
+    def total_r2(self) -> int:
+        return sum(cell.count for cell in self.cells)
+
+    def analyzed_cells(self) -> list[PopulationCell]:
+        """Cells included in the Tables III-VI analysis (question echoed)."""
+        return [cell for cell in self.cells if not cell.empty_question]
+
+    def empty_question_cells(self) -> list[PopulationCell]:
+        return [cell for cell in self.cells if cell.empty_question]
+
+    def resolving_count(self) -> int:
+        """Hosts that perform real recursion (generate Q2/R1)."""
+        return sum(
+            cell.count for cell in self.cells if cell.answer_kind is AnswerKind.CORRECT
+        )
+
+    def ghost_q2_total(self) -> int:
+        """Duplicate/farm upstream queries needed to hit the Q2 target."""
+        return max(0, self.q2_r1_full - self.resolving_count())
+
+    def pool_total(self, pool: str) -> int:
+        """Full-scale R2 carried by a destination pool (named + tail)."""
+        named = sum(dest.count for dest in self.destinations if dest.pool == pool)
+        tail = sum(t.count for t in self.tails if t.pool == pool)
+        return named + tail
+
+    def cell_pool_total(self, pool: str) -> int:
+        return sum(cell.count for cell in self.cells if cell.pool == pool)
+
+    def validate(self) -> None:
+        """Internal consistency: every pool's cells match its destinations."""
+        pools = {cell.pool for cell in self.cells if cell.pool} | {
+            dest.pool for dest in self.destinations
+        } | {tail.pool for tail in self.tails}
+        for pool in pools:
+            cells = self.cell_pool_total(pool)
+            dests = self.pool_total(pool)
+            if cells != dests:
+                raise ValueError(
+                    f"{self.year} pool {pool}: cells {cells} != destinations {dests}"
+                )
+        if sum(self.malicious_countries.values()) != self.cell_pool_total(POOL_MALICIOUS):
+            raise ValueError(f"{self.year}: malicious country distribution mismatch")
+
+    # -- expected tables (full scale) -------------------------------------
+
+    def expected_correctness(self) -> CorrectnessTable:
+        cells = self.analyzed_cells()
+        without = sum(c.count for c in cells if c.answer_kind is AnswerKind.NONE)
+        correct = sum(c.count for c in cells if c.answer_kind is AnswerKind.CORRECT)
+        incorrect = sum(c.count for c in cells if c.answer_kind.is_incorrect)
+        return CorrectnessTable(
+            r2=self.total_r2(),
+            without_answer=without,
+            correct=correct,
+            incorrect=incorrect,
+        )
+
+    def expected_flag_table(self, flag: str) -> FlagTable:
+        if flag not in ("ra", "aa"):
+            raise ValueError(f"flag must be 'ra' or 'aa': {flag!r}")
+        rows = {}
+        for value in (False, True):
+            cells = [
+                c for c in self.analyzed_cells() if getattr(c, flag) is value
+            ]
+            rows[value] = FlagRow(
+                without_answer=sum(
+                    c.count for c in cells if c.answer_kind is AnswerKind.NONE
+                ),
+                correct=sum(
+                    c.count for c in cells if c.answer_kind is AnswerKind.CORRECT
+                ),
+                incorrect=sum(c.count for c in cells if c.answer_kind.is_incorrect),
+            )
+        return FlagTable(flag=flag.upper(), zero=rows[False], one=rows[True])
+
+    def expected_rcode_table(self) -> RcodeTable:
+        with_answer: dict[int, int] = {}
+        without_answer: dict[int, int] = {}
+        for cell in self.analyzed_cells():
+            bucket = (
+                with_answer if cell.answer_kind.has_answer else without_answer
+            )
+            bucket[int(cell.rcode)] = bucket.get(int(cell.rcode), 0) + cell.count
+        return RcodeTable(with_answer=with_answer, without_answer=without_answer)
+
+    def expected_empty_question(self) -> EmptyQuestionSummary:
+        cells = self.empty_question_cells()
+        rcodes: dict[int, int] = {}
+        for cell in cells:
+            rcodes[int(cell.rcode)] = rcodes.get(int(cell.rcode), 0) + cell.count
+        return EmptyQuestionSummary(
+            total=sum(c.count for c in cells),
+            with_answer=sum(c.count for c in cells if c.answer_kind.has_answer),
+            correct=sum(
+                c.count for c in cells if c.answer_kind is AnswerKind.CORRECT
+            ),
+            ra1=sum(c.count for c in cells if c.ra),
+            aa1=sum(c.count for c in cells if c.aa),
+            rcodes=rcodes,
+        )
+
+    def expected_open_resolver_estimates(self) -> OpenResolverEstimates:
+        cells = self.analyzed_cells()
+        ra1 = sum(c.count for c in cells if c.ra)
+        ra1_correct = sum(
+            c.count for c in cells if c.ra and c.answer_kind is AnswerKind.CORRECT
+        )
+        correct = sum(c.count for c in cells if c.answer_kind is AnswerKind.CORRECT)
+        return OpenResolverEstimates(
+            ra_flag_only=ra1, ra_and_correct=ra1_correct, correct_any_flag=correct
+        )
+
+    def expected_probe_summary(self) -> ProbeSummary:
+        return ProbeSummary(
+            year=self.year,
+            duration_seconds=self.q1_full / self.probe_rate_pps,
+            q1=self.q1_full,
+            q2_r1=self.q2_r1_full,
+            r2=self.total_r2(),
+        )
+
+
+def _cell(name, count, ra, aa, rcode=Rcode.NOERROR, kind=AnswerKind.NONE,
+          pool=None, fixed_answer=None, empty_question=False) -> PopulationCell:
+    return PopulationCell(
+        name=name, count=count, ra=ra, aa=aa, rcode=rcode, answer_kind=kind,
+        pool=pool, fixed_answer=fixed_answer, empty_question=empty_question,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2018 profile
+# ---------------------------------------------------------------------------
+
+_CELLS_2018 = (
+    # -- correct answers (Wcorr = 2,752,562) ------------------------------
+    _cell("std-resolver", 2_721_758, ra=True, aa=False, kind=AnswerKind.CORRECT),
+    _cell("answer-servfail", 2_489, ra=True, aa=False, rcode=Rcode.SERVFAIL,
+          kind=AnswerKind.CORRECT),
+    _cell("answer-formerr", 23, ra=True, aa=False, rcode=Rcode.FORMERR,
+          kind=AnswerKind.CORRECT),
+    _cell("answer-nxdomain", 10, ra=True, aa=False, rcode=Rcode.NXDOMAIN,
+          kind=AnswerKind.CORRECT),
+    _cell("answer-refused", 193, ra=True, aa=False, rcode=Rcode.REFUSED,
+          kind=AnswerKind.CORRECT),
+    _cell("aa-spoof-correct", 24_095, ra=True, aa=True, kind=AnswerKind.CORRECT),
+    _cell("stealth-resolver", 2_994, ra=False, aa=False, kind=AnswerKind.CORRECT),
+    _cell("stealth-aa-correct", 1_000, ra=False, aa=True, kind=AnswerKind.CORRECT),
+    # -- incorrect answers, malicious (Table X joint) ----------------------
+    _cell("hijack-ra0-aa1", 14_500, ra=False, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    _cell("hijack-ra0-aa0", 5_034, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    _cell("hijack-ra1-aa1", 4_954, ra=True, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    _cell("hijack-ra1-aa0", 2_438, ra=True, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    # -- incorrect answers, non-malicious ----------------------------------
+    _cell("wrong-ip-ra0-aa1", 40_500, ra=False, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("wrong-ip-ra1-aa1", 34_098, ra=True, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("wrong-ip-ra1-aa0", 4_431, ra=True, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("wrong-ip-ra0-aa0", 4_835, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("url-answer", 231, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_URL, pool=POOL_URL),
+    _cell("string-answer", 72, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_STRING, pool=POOL_STRING),
+    # -- no answer (W/O = 3,642,109) ---------------------------------------
+    _cell("ra-liar-aa1", 30_046, ra=True, aa=True),
+    _cell("ra-liar", 177_648, ra=True, aa=False),
+    _cell("notauth-aa1", 80_032, ra=False, aa=True, rcode=Rcode.NOTAUTH),
+    _cell("refused-aa1", 19_968, ra=False, aa=True, rcode=Rcode.REFUSED),
+    _cell("blank-noerror", 170_109, ra=False, aa=False),
+    _cell("blank-formerr", 233, ra=False, aa=False, rcode=Rcode.FORMERR),
+    _cell("blank-servfail", 200_334, ra=False, aa=False, rcode=Rcode.SERVFAIL),
+    _cell("blank-nxdomain", 48_830, ra=False, aa=False, rcode=Rcode.NXDOMAIN),
+    _cell("blank-notimp", 605, ra=False, aa=False, rcode=Rcode.NOTIMP),
+    _cell("closed-refuser", 2_914_301, ra=False, aa=False, rcode=Rcode.REFUSED),
+    _cell("blank-yxdomain", 1, ra=False, aa=False, rcode=Rcode.YXDOMAIN),
+    _cell("blank-yxrrset", 2, ra=False, aa=False, rcode=Rcode.YXRRSET),
+    # -- empty dns_question (section IV-B4, 494 packets) -------------------
+    _cell("eq-private-192", 13, ra=True, aa=False, kind=AnswerKind.INCORRECT_IP,
+          fixed_answer="192.168.0.0/16", empty_question=True),
+    _cell("eq-private-10", 1, ra=True, aa=False, kind=AnswerKind.INCORRECT_IP,
+          fixed_answer="10.0.0.0/8", empty_question=True),
+    _cell("eq-garbage", 1, ra=True, aa=False, kind=AnswerKind.INCORRECT_STRING,
+          fixed_answer="0000", empty_question=True),
+    _cell("eq-unknown-aa1", 1, ra=True, aa=True, kind=AnswerKind.INCORRECT_IP,
+          fixed_answer="198.51.100.0/24", empty_question=True),
+    _cell("eq-unknown", 3, ra=True, aa=False, kind=AnswerKind.INCORRECT_IP,
+          fixed_answer="198.51.100.0/24", empty_question=True),
+    _cell("eq-blank-ra1", 165, ra=True, aa=False, rcode=Rcode.SERVFAIL,
+          empty_question=True),
+    _cell("eq-refused-aa1", 1, ra=False, aa=True, rcode=Rcode.REFUSED,
+          empty_question=True),
+    _cell("eq-blank-noerror", 7, ra=False, aa=False, empty_question=True),
+    _cell("eq-blank-formerr", 1, ra=False, aa=False, rcode=Rcode.FORMERR,
+          empty_question=True),
+    _cell("eq-blank-servfail", 136, ra=False, aa=False, rcode=Rcode.SERVFAIL,
+          empty_question=True),
+    _cell("eq-blank-nxdomain", 3, ra=False, aa=False, rcode=Rcode.NXDOMAIN,
+          empty_question=True),
+    _cell("eq-blank-refused", 162, ra=False, aa=False, rcode=Rcode.REFUSED,
+          empty_question=True),
+)
+
+_DESTINATIONS_2018 = (
+    # Table VIII named destinations (counts are the paper's).
+    Destination("216.194.64.193", POOL_BENIGN_IP, 23_692, org="Tera-byte Dot Com"),
+    Destination("74.220.199.15", POOL_MALICIOUS, 13_369,
+                category=ThreatCategory.MALWARE, org="Unified Layer"),
+    Destination("208.91.197.91", POOL_MALICIOUS, 8_239,
+                category=ThreatCategory.MALWARE, org="Confluence Network Inc"),
+    Destination("141.8.225.68", POOL_MALICIOUS, 1_197,
+                category=ThreatCategory.PHISHING, org="Rook Media GmbH"),
+    Destination("192.168.1.1", POOL_BENIGN_IP, 1_014),
+    Destination("192.168.2.1", POOL_BENIGN_IP, 741),
+    Destination("114.44.34.86", POOL_BENIGN_IP, 734, org="Chunghwa Telecom"),
+    Destination("172.30.1.254", POOL_BENIGN_IP, 607),
+    Destination("10.0.0.1", POOL_BENIGN_IP, 548),
+    Destination("118.166.1.6", POOL_BENIGN_IP, 528, org="Chunghwa Telecom"),
+    # Named examples from Table VII.
+    Destination("u.dcoin.co", POOL_URL, 20),
+    Destination("wild", POOL_STRING, 12),
+    Destination("ok", POOL_STRING, 10),
+    Destination("ff", POOL_STRING, 8),
+    Destination("04b400000000", POOL_STRING, 6),
+)
+
+_TAILS_2018 = (
+    DestinationTail(POOL_MALICIOUS, 1_581, 168, ThreatCategory.MALWARE),
+    DestinationTail(POOL_MALICIOUS, 1_681, 124, ThreatCategory.PHISHING),
+    DestinationTail(POOL_MALICIOUS, 44, 15, ThreatCategory.SPAM),
+    DestinationTail(POOL_MALICIOUS, 323, 10, ThreatCategory.SSH_BRUTEFORCE),
+    DestinationTail(POOL_MALICIOUS, 388, 9, ThreatCategory.SCAN),
+    DestinationTail(POOL_MALICIOUS, 102, 4, ThreatCategory.BOTNET),
+    DestinationTail(POOL_MALICIOUS, 2, 2, ThreatCategory.EMAIL_BRUTEFORCE),
+    DestinationTail(POOL_BENIGN_IP, 56_000, 14_680),
+    DestinationTail(POOL_URL, 211, 79),
+    DestinationTail(POOL_STRING, 36, 25),
+)
+
+_COUNTRIES_2018 = {
+    "US": 21_819, "IN": 3_596, "HK": 714, "VG": 291, "AE": 162, "CN": 146,
+    "DE": 31, "PL": 24, "RU": 18, "BG": 16, "NL": 14, "IE": 12, "AU": 11,
+    "KY": 11, "CA": 8, "FR": 7, "GB": 7, "JP": 7, "CH": 6, "PT": 6, "IT": 5,
+    "SG": 3, "TR": 3, "VN": 2, "AR": 1, "AT": 1, "ES": 1, "JO": 1, "LT": 1,
+    "MY": 1, "UA": 1,
+}
+
+#: Rough country mix for the non-malicious responding population,
+#: loosely following published open-resolver geography (Shadowserver).
+_DEFAULT_COUNTRY_MIX = {
+    "CN": 30, "US": 12, "KR": 8, "TW": 6, "IN": 6, "RU": 5, "BR": 5,
+    "ID": 4, "JP": 3, "DE": 3, "IT": 2, "FR": 2, "GB": 2, "TR": 2,
+    "VN": 2, "TH": 2, "AR": 1, "MX": 1, "UA": 1, "PL": 1, "OTHER": 2,
+}
+
+PROFILE_2018 = YearProfile(
+    year=2018,
+    q1_full=3_702_258_432,
+    q2_r1_full=13_049_863,
+    probe_rate_pps=100_000.0,
+    cells=_CELLS_2018,
+    destinations=_DESTINATIONS_2018,
+    tails=_TAILS_2018,
+    malicious_countries=_COUNTRIES_2018,
+    default_country_mix=_DEFAULT_COUNTRY_MIX,
+    start_label="04/26/2018 3PM",
+)
+
+
+# ---------------------------------------------------------------------------
+# 2013 profile
+# ---------------------------------------------------------------------------
+
+_CELLS_2013 = (
+    # -- correct answers (Wcorr = 11,671,589) -----------------------------
+    _cell("std-resolver", 11_358_387, ra=True, aa=False, kind=AnswerKind.CORRECT),
+    _cell("answer-servfail", 12_723, ra=True, aa=False, rcode=Rcode.SERVFAIL,
+          kind=AnswerKind.CORRECT),
+    _cell("answer-nxdomain", 10, ra=True, aa=False, rcode=Rcode.NXDOMAIN,
+          kind=AnswerKind.CORRECT),
+    _cell("answer-refused", 1_272, ra=True, aa=False, rcode=Rcode.REFUSED,
+          kind=AnswerKind.CORRECT),
+    _cell("aa-spoof-correct", 133_089, ra=True, aa=True, kind=AnswerKind.CORRECT),
+    _cell("stealth-resolver", 146_108, ra=False, aa=False, kind=AnswerKind.CORRECT),
+    _cell("stealth-aa-correct", 20_000, ra=False, aa=True, kind=AnswerKind.CORRECT),
+    # -- incorrect answers, malicious --------------------------------------
+    _cell("hijack-ra0-aa1", 7_000, ra=False, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    _cell("hijack-ra0-aa0", 2_000, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    _cell("hijack-ra1-aa1", 2_300, ra=True, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    _cell("hijack-ra1-aa0", 1_574, ra=True, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_MALICIOUS),
+    # -- incorrect answers, non-malicious -----------------------------------
+    _cell("wrong-ip-ra0-aa1", 43_000, ra=False, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("wrong-ip-ra1-aa1", 25_979, ra=True, aa=True,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("wrong-ip-ra1-aa0", 15_598, ra=True, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("wrong-ip-ra0-aa0", 14_819, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_IP, pool=POOL_BENIGN_IP),
+    _cell("url-answer", 249, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_URL, pool=POOL_URL),
+    _cell("string-answer", 10, ra=False, aa=False,
+          kind=AnswerKind.INCORRECT_STRING, pool=POOL_STRING),
+    _cell("undecodable-answer", 8_764, ra=False, aa=False,
+          kind=AnswerKind.MALFORMED, pool=POOL_MALFORMED),
+    # -- no answer (W/O = 4,867,241) -----------------------------------------
+    _cell("ra-liar-aa1", 29_756, ra=True, aa=True),
+    _cell("ra-liar", 689_647, ra=True, aa=False),
+    _cell("refused-aa1", 119_989, ra=False, aa=True, rcode=Rcode.REFUSED),
+    _cell("notauth-aa1", 11, ra=False, aa=True, rcode=Rcode.NOTAUTH),
+    _cell("blank-noerror", 479_369, ra=False, aa=False),
+    _cell("blank-formerr", 453, ra=False, aa=False, rcode=Rcode.FORMERR),
+    _cell("blank-servfail", 354_188, ra=False, aa=False, rcode=Rcode.SERVFAIL),
+    _cell("blank-nxdomain", 145_724, ra=False, aa=False, rcode=Rcode.NXDOMAIN),
+    _cell("blank-notimp", 38, ra=False, aa=False, rcode=Rcode.NOTIMP),
+    _cell("closed-refuser", 3_048_064, ra=False, aa=False, rcode=Rcode.REFUSED),
+    _cell("blank-yxrrset", 2, ra=False, aa=False, rcode=Rcode.YXRRSET),
+)
+
+_DESTINATIONS_2013 = (
+    Destination("74.220.199.15", POOL_MALICIOUS, 9_651,
+                category=ThreatCategory.MALWARE, org="Unified Layer"),
+    Destination("192.168.1.254", POOL_BENIGN_IP, 5_200),
+    Destination("20.20.20.20", POOL_BENIGN_IP, 5_100, org="Microsoft"),
+    Destination("192.168.2.1", POOL_BENIGN_IP, 1_400),
+    Destination("0.0.0.0", POOL_BENIGN_IP, 1_032, org="IANA special use"),
+    Destination("67.215.65.132", POOL_BENIGN_IP, 977, org="OpenDNS"),
+    Destination("173.192.59.63", POOL_BENIGN_IP, 995, org="SoftLayer"),
+    Destination("221.238.203.46", POOL_BENIGN_IP, 811, org="China Unicom Tianjin"),
+    Destination("68.87.91.199", POOL_BENIGN_IP, 748, org="Comcast"),
+    Destination("192.168.1.1", POOL_BENIGN_IP, 600),
+    Destination("u.dcoin.co", POOL_URL, 30),
+    Destination("wild", POOL_STRING, 1),
+    Destination("ok", POOL_STRING, 1),
+    Destination("ff", POOL_STRING, 1),
+    Destination("04b400000000", POOL_STRING, 1),
+)
+
+_TAILS_2013 = (
+    DestinationTail(POOL_MALICIOUS, 1_498, 64, ThreatCategory.MALWARE),
+    DestinationTail(POOL_MALICIOUS, 1_092, 19, ThreatCategory.PHISHING),
+    DestinationTail(POOL_MALICIOUS, 67, 4, ThreatCategory.SPAM),
+    DestinationTail(POOL_MALICIOUS, 2, 2, ThreatCategory.SSH_BRUTEFORCE),
+    DestinationTail(POOL_MALICIOUS, 493, 8, ThreatCategory.SCAN),
+    DestinationTail(POOL_MALICIOUS, 70, 1, ThreatCategory.BOTNET),
+    DestinationTail(POOL_MALICIOUS, 1, 1, ThreatCategory.EMAIL_BRUTEFORCE),
+    DestinationTail(POOL_BENIGN_IP, 82_533, 28_334),
+    DestinationTail(POOL_URL, 219, 174),
+    DestinationTail(POOL_STRING, 6, 6),
+    DestinationTail(POOL_MALFORMED, 8_764, 500),
+)
+
+_COUNTRIES_2013 = {
+    "US": 12_616, "TR": 91, "VG": 28, "PL": 24, "IR": 18, "BR": 9, "KR": 8,
+    "TW": 8, "AR": 7, "BG": 6, "ES": 5, "PT": 5, "AT": 4, "CA": 4, "DE": 4,
+    "NL": 4, "VN": 4, "CH": 3, "RU": 3, "SA": 3, "AU": 2, "ID": 2, "KE": 2,
+    "SE": 2, "CN": 1, "FR": 1, "GB": 1, "HK": 1, "MA": 1, "NA": 1, "NI": 1,
+    "PR": 1, "SG": 1, "TH": 1, "VA": 1, "ZA": 1,
+}
+
+PROFILE_2013 = YearProfile(
+    year=2013,
+    q1_full=3_676_724_690,
+    q2_r1_full=38_079_578,
+    probe_rate_pps=5_880.0,
+    cells=_CELLS_2013,
+    destinations=_DESTINATIONS_2013,
+    tails=_TAILS_2013,
+    malicious_countries=_COUNTRIES_2013,
+    default_country_mix=_DEFAULT_COUNTRY_MIX,
+    start_label="10/28/2013 2PM",
+)
+
+
+def profile_for_year(year: int) -> YearProfile:
+    """The calibrated profile for a measurement year."""
+    profiles = {2013: PROFILE_2013, 2018: PROFILE_2018}
+    if year not in profiles:
+        raise ValueError(f"no profile for year {year}; have {sorted(profiles)}")
+    return profiles[year]

@@ -1,0 +1,249 @@
+"""Table structures shared by calibration (expected) and analysis (measured).
+
+Each class mirrors one table of the paper's evaluation section. The
+year profiles compute *expected* instances from their calibrated cell
+counts; the analysis pipeline computes *measured* instances from
+captured flows; benchmarks and EXPERIMENTS.md compare the two against
+the paper's printed values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnslib.constants import Rcode
+
+
+def _percentage(part: int, whole: int) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CorrectnessTable:
+    """Table III: presence and correctness of dns_answer in R2."""
+
+    r2: int
+    without_answer: int
+    correct: int
+    incorrect: int
+
+    @property
+    def with_answer(self) -> int:
+        return self.correct + self.incorrect
+
+    @property
+    def err(self) -> float:
+        """Err(%) = incorrect / with_answer * 100."""
+        return _percentage(self.incorrect, self.with_answer)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlagRow:
+    """One row of Table IV/V: packets with a flag value of 0 or 1."""
+
+    without_answer: int
+    correct: int
+    incorrect: int
+
+    @property
+    def with_answer(self) -> int:
+        return self.correct + self.incorrect
+
+    @property
+    def total(self) -> int:
+        return self.without_answer + self.with_answer
+
+    @property
+    def err(self) -> float:
+        return _percentage(self.incorrect, self.with_answer)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlagTable:
+    """Table IV (flag="RA") or Table V (flag="AA")."""
+
+    flag: str
+    zero: FlagRow
+    one: FlagRow
+
+    @property
+    def total(self) -> int:
+        return self.zero.total + self.one.total
+
+
+@dataclasses.dataclass(frozen=True)
+class RcodeTable:
+    """Table VI: rcode distribution split by answer presence."""
+
+    with_answer: dict[int, int]
+    without_answer: dict[int, int]
+
+    def row_total(self, rcode: int) -> int:
+        return self.with_answer.get(rcode, 0) + self.without_answer.get(rcode, 0)
+
+    @property
+    def total_with(self) -> int:
+        return sum(self.with_answer.values())
+
+    @property
+    def total_without(self) -> int:
+        return sum(self.without_answer.values())
+
+    def nonzero_with_answer(self) -> int:
+        """Packets that carry an answer despite an error rcode."""
+        return sum(
+            count for rcode, count in self.with_answer.items() if rcode != Rcode.NOERROR
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EmptyQuestionSummary:
+    """Section IV-B4: responses with an empty dns_question."""
+
+    total: int
+    with_answer: int
+    correct: int
+    ra1: int
+    aa1: int
+    rcodes: dict[int, int]
+
+    @property
+    def incorrect(self) -> int:
+        return self.with_answer - self.correct
+
+
+@dataclasses.dataclass(frozen=True)
+class IncorrectFormsTable:
+    """Table VII: incorrect answers by form.
+
+    ``counts`` maps a form label (``ip``/``url``/``string``/``na``) to
+    (R2 packet count, unique value count).
+    """
+
+    counts: dict[str, tuple[int, int]]
+
+    @property
+    def total_r2(self) -> int:
+        return sum(r2 for r2, _ in self.counts.values())
+
+    @property
+    def total_unique(self) -> int:
+        return sum(unique for _, unique in self.counts.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class TopDestinationRow:
+    """One row of Table VIII."""
+
+    ip: str
+    count: int
+    org_name: str
+    reported: str  # "Y", "N" or "N/A" (private network)
+
+
+@dataclasses.dataclass(frozen=True)
+class MaliciousCategoryRow:
+    """One row of Table IX."""
+
+    category: str
+    unique_ips: int
+    r2: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MaliciousCategoryTable:
+    """Table IX with both axes of percentage."""
+
+    rows: tuple[MaliciousCategoryRow, ...]
+
+    @property
+    def total_ips(self) -> int:
+        return sum(row.unique_ips for row in self.rows)
+
+    @property
+    def total_r2(self) -> int:
+        return sum(row.r2 for row in self.rows)
+
+    def ip_share(self, category: str) -> float:
+        row = self._row(category)
+        return _percentage(row.unique_ips, self.total_ips)
+
+    def r2_share(self, category: str) -> float:
+        row = self._row(category)
+        return _percentage(row.r2, self.total_r2)
+
+    def _row(self, category: str) -> MaliciousCategoryRow:
+        for row in self.rows:
+            if row.category == category:
+                return row
+        raise KeyError(category)
+
+
+@dataclasses.dataclass(frozen=True)
+class MaliciousFlagTable:
+    """Table X: RA/AA flag values over malicious R2 packets."""
+
+    ra0: int
+    ra1: int
+    aa0: int
+    aa1: int
+
+    @property
+    def total(self) -> int:
+        return self.ra0 + self.ra1
+
+    @property
+    def ra0_share(self) -> float:
+        return _percentage(self.ra0, self.total)
+
+    @property
+    def ra1_share(self) -> float:
+        return _percentage(self.ra1, self.total)
+
+    @property
+    def aa0_share(self) -> float:
+        return _percentage(self.aa0, self.total)
+
+    @property
+    def aa1_share(self) -> float:
+        return _percentage(self.aa1, self.total)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeSummary:
+    """Table II: one year's probing summary."""
+
+    year: int
+    duration_seconds: float
+    q1: int
+    q2_r1: int
+    r2: int
+
+    @property
+    def q2_share(self) -> float:
+        return _percentage(self.q2_r1, self.q1)
+
+    @property
+    def r2_share(self) -> float:
+        return _percentage(self.r2, self.q1)
+
+    @property
+    def duration_text(self) -> str:
+        seconds = int(self.duration_seconds)
+        days, seconds = divmod(seconds, 86400)
+        hours, seconds = divmod(seconds, 3600)
+        minutes, _ = divmod(seconds, 60)
+        if days:
+            return f"{days}d {hours}h"
+        if hours:
+            return f"{hours}h {minutes}m"
+        return f"{minutes}m"
+
+
+@dataclasses.dataclass(frozen=True)
+class OpenResolverEstimates:
+    """Section IV-B1's three counting criteria for "open resolver"."""
+
+    ra_flag_only: int        # RA=1 responses
+    ra_and_correct: int      # RA=1 with a correct answer (strictest)
+    correct_any_flag: int    # correct answer regardless of RA

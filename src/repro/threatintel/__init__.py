@@ -1,0 +1,29 @@
+"""Threat-intelligence substrates.
+
+The paper validates suspicious answers against the Cymon API (Table IX,
+Fig 4), geolocates malicious resolvers with ip2location (section IV-C2)
+and looks up organization names via Whois (Table VIII). All three are
+discontinued or external services, so the reproduction ships synthetic
+equivalents with the same query interfaces and judgment rules; the
+population generator seeds them consistently with the resolver
+behaviors it samples.
+"""
+
+from repro.threatintel.cymon import (
+    CymonDatabase,
+    ThreatCategory,
+    ThreatReport,
+)
+from repro.threatintel.geo import GeoDatabase, GeoEntry, country_name
+from repro.threatintel.whois import WhoisDatabase, WhoisRecord
+
+__all__ = [
+    "CymonDatabase",
+    "GeoDatabase",
+    "GeoEntry",
+    "ThreatCategory",
+    "ThreatReport",
+    "WhoisDatabase",
+    "WhoisRecord",
+    "country_name",
+]

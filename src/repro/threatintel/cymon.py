@@ -1,0 +1,117 @@
+"""A Cymon-like threat-report database.
+
+Cymon aggregated abuse reports per IP address across feeds. The paper
+queried it for every unique incorrect answer IP and judged an address
+malicious if any report existed, electing the *most frequently
+reported* category when several were present (Table IX note). Both
+rules are implemented here verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import Counter
+
+
+class ThreatCategory(enum.Enum):
+    """Report categories, exactly the rows of Table IX."""
+
+    MALWARE = "Malware"
+    PHISHING = "Phishing"
+    SPAM = "Spam"
+    SSH_BRUTEFORCE = "SSH Bruteforce"
+    SCAN = "Scan"
+    BOTNET = "Botnet"
+    EMAIL_BRUTEFORCE = "Email Bruteforce"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Stable ordering used when rendering Table IX.
+CATEGORY_ORDER: tuple[ThreatCategory, ...] = tuple(ThreatCategory)
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreatReport:
+    """One abuse report: address, category, feed, timestamp, free text."""
+
+    ip: str
+    category: ThreatCategory
+    source: str = "feed"
+    reported_at: str = "2018-01-01"
+    description: str = ""
+
+
+class CymonDatabase:
+    """Report store with the paper's maliciousness/judgment rules."""
+
+    def __init__(self) -> None:
+        self._reports: dict[str, list[ThreatReport]] = {}
+        self.api_calls = 0
+
+    def __len__(self) -> int:
+        return sum(len(reports) for reports in self._reports.values())
+
+    @property
+    def reported_address_count(self) -> int:
+        return len(self._reports)
+
+    def add_report(self, report: ThreatReport) -> None:
+        self._reports.setdefault(report.ip, []).append(report)
+
+    def add_reports(
+        self, ip: str, category: ThreatCategory, count: int = 1, source: str = "feed"
+    ) -> None:
+        """Seed ``count`` identical reports (bulk calibration helper)."""
+        for index in range(count):
+            self.add_report(
+                ThreatReport(ip, category, source=f"{source}-{index}")
+            )
+
+    def reports_for(self, ip: str) -> list[ThreatReport]:
+        """The Cymon API lookup (counted, like a real metered API)."""
+        self.api_calls += 1
+        return list(self._reports.get(ip, []))
+
+    def all_reports(self) -> list[ThreatReport]:
+        """Every stored report (for serialization; not API-counted)."""
+        return [report for reports in self._reports.values() for report in reports]
+
+    def is_malicious(self, ip: str) -> bool:
+        """The paper's criterion: any report at all marks the IP."""
+        return bool(self.reports_for(ip))
+
+    def dominant_category(self, ip: str) -> ThreatCategory | None:
+        """Most frequently reported category, ties broken by Table IX order.
+
+        This is the paper's election rule: "When there are multiple
+        reports for different categories, the most frequently reported
+        category is selected."
+        """
+        reports = self.reports_for(ip)
+        if not reports:
+            return None
+        counts = Counter(report.category for report in reports)
+        best_count = max(counts.values())
+        for category in CATEGORY_ORDER:
+            if counts.get(category) == best_count:
+                return category
+        raise AssertionError("unreachable: counts nonempty")
+
+    def render_report(self, ip: str) -> str:
+        """A Fig 4-style textual report card for one address."""
+        reports = self.reports_for(ip)
+        lines = [f"Cymon report for {ip}", "=" * (17 + len(ip))]
+        if not reports:
+            lines.append("No reports found.")
+            return "\n".join(lines)
+        counts = Counter(report.category for report in reports)
+        lines.append(f"Total reports: {len(reports)}")
+        for category in CATEGORY_ORDER:
+            if category in counts:
+                lines.append(f"  {category.value:<18} {counts[category]:>5}")
+        dominant = self.dominant_category(ip)
+        lines.append(f"Dominant category: {dominant.value}")
+        return "\n".join(lines)

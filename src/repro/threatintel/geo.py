@@ -1,0 +1,146 @@
+"""An ip2location-like geolocation / AS database.
+
+Maps CIDR prefixes to (country code, ASN, AS name) with longest-prefix
+lookup. The country codes follow ISO 3166-1 alpha-2 — the paper cites
+the ISO registry for its section IV-C2 breakdowns, and a name map for
+every code the paper mentions ships here.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+from repro.netsim.ipv4 import Ipv4Block, ip_to_int
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoEntry:
+    """One database row: a prefix and its location/AS metadata."""
+
+    block: Ipv4Block
+    country: str
+    asn: int = 0
+    as_name: str = ""
+
+
+class GeoDatabase:
+    """Longest-prefix-match lookup over non-overlapping registrations.
+
+    Registration order is free; lookups are O(log n) after an automatic
+    re-index on first query following a mutation.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[GeoEntry] = []
+        self._starts: list[int] = []
+        self._sorted: list[GeoEntry] = []
+        self._dirty = False
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, cidr: str, country: str, asn: int = 0, as_name: str = "") -> None:
+        """Register a prefix. More-specific prefixes shadow less-specific."""
+        self._entries.append(GeoEntry(Ipv4Block.parse(cidr), country.upper(), asn, as_name))
+        self._dirty = True
+
+    def entries(self) -> list[GeoEntry]:
+        """Every registration, in insertion order (for serialization)."""
+        return list(self._entries)
+
+    def _reindex(self) -> None:
+        # Sort by (start, prefix) so that among blocks with equal start the
+        # most specific comes last; scanning backwards finds best match.
+        self._sorted = sorted(
+            self._entries, key=lambda entry: (entry.block.first, entry.block.prefix)
+        )
+        self._starts = [entry.block.first for entry in self._sorted]
+        self._dirty = False
+
+    def lookup(self, ip: str) -> GeoEntry | None:
+        """Longest-prefix match for ``ip``, or None if unregistered."""
+        self.lookups += 1
+        if self._dirty:
+            self._reindex()
+        value = ip_to_int(ip)
+        index = bisect.bisect_right(self._starts, value) - 1
+        best: GeoEntry | None = None
+        while index >= 0:
+            entry = self._sorted[index]
+            if value in entry.block:
+                if best is None or entry.block.prefix > best.block.prefix:
+                    best = entry
+            elif entry.block.last < value and best is not None:
+                break
+            elif entry.block.last < value and entry.block.prefix <= 8:
+                # No covering block can start earlier than a /8 that ends
+                # before the address.
+                break
+            index -= 1
+        return best
+
+    def country_of(self, ip: str) -> str | None:
+        entry = self.lookup(ip)
+        return entry.country if entry else None
+
+    def asn_of(self, ip: str) -> int | None:
+        entry = self.lookup(ip)
+        return entry.asn if entry else None
+
+
+#: ISO 3166-1 alpha-2 names for every country code the paper mentions.
+COUNTRY_NAMES = {
+    "AE": "United Arab Emirates",
+    "AR": "Argentina",
+    "AT": "Austria",
+    "AU": "Australia",
+    "BG": "Bulgaria",
+    "BR": "Brazil",
+    "CA": "Canada",
+    "CH": "Switzerland",
+    "CN": "China",
+    "DE": "Germany",
+    "ES": "Spain",
+    "FR": "France",
+    "GB": "United Kingdom",
+    "HK": "Hong Kong",
+    "ID": "Indonesia",
+    "IE": "Ireland",
+    "IN": "India",
+    "IR": "Iran",
+    "IT": "Italy",
+    "JO": "Jordan",
+    "JP": "Japan",
+    "KE": "Kenya",
+    "KR": "South Korea",
+    "KY": "Cayman Islands",
+    "LT": "Lithuania",
+    "MA": "Morocco",
+    "MY": "Malaysia",
+    "NA": "Namibia",
+    "NI": "Nicaragua",
+    "NL": "Netherlands",
+    "PL": "Poland",
+    "PR": "Puerto Rico",
+    "PT": "Portugal",
+    "RU": "Russia",
+    "SA": "Saudi Arabia",
+    "SE": "Sweden",
+    "SG": "Singapore",
+    "TH": "Thailand",
+    "TR": "Turkey",
+    "TW": "Taiwan",
+    "UA": "Ukraine",
+    "US": "United States",
+    "VA": "Vatican City",
+    "VG": "Virgin Islands",
+    "VN": "Vietnam",
+    "ZA": "South Africa",
+}
+
+
+def country_name(code: str) -> str:
+    """Full name for an ISO alpha-2 code (falls back to the code)."""
+    return COUNTRY_NAMES.get(code.upper(), code.upper())

@@ -1,0 +1,76 @@
+"""A Whois-like organization database.
+
+Table VIII annotates each top-10 incorrect answer address with its
+"Org Name" — and notes that some addresses "could not be found in
+Whois". The database therefore distinguishes private-network
+addresses (reported as "private network", as the table does), found
+organizations, and genuinely unregistered space.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+from repro.netsim.ipv4 import Ipv4Block, ip_to_int, is_private
+
+
+@dataclasses.dataclass(frozen=True)
+class WhoisRecord:
+    """One allocation: a prefix and the organization holding it."""
+
+    block: Ipv4Block
+    org_name: str
+
+
+#: The string Table VIII prints for RFC1918 addresses.
+PRIVATE_NETWORK = "private network"
+
+
+class WhoisDatabase:
+    """Prefix-to-organization lookup with private-space awareness."""
+
+    def __init__(self) -> None:
+        self._records: list[WhoisRecord] = []
+        self._starts: list[int] = []
+        self._sorted: list[WhoisRecord] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, cidr: str, org_name: str) -> None:
+        self._records.append(WhoisRecord(Ipv4Block.parse(cidr), org_name))
+        self._dirty = True
+
+    def records(self) -> list[WhoisRecord]:
+        """Every allocation, in insertion order (for serialization)."""
+        return list(self._records)
+
+    def _reindex(self) -> None:
+        self._sorted = sorted(
+            self._records, key=lambda record: (record.block.first, record.block.prefix)
+        )
+        self._starts = [record.block.first for record in self._sorted]
+        self._dirty = False
+
+    def org_name(self, ip: str) -> str | None:
+        """Organization for ``ip``; "private network" for RFC1918; None
+        when the address is absent from the registry (the paper's
+        "could not be found in Whois" case)."""
+        if is_private(ip):
+            return PRIVATE_NETWORK
+        if self._dirty:
+            self._reindex()
+        value = ip_to_int(ip)
+        index = bisect.bisect_right(self._starts, value) - 1
+        best: WhoisRecord | None = None
+        while index >= 0:
+            record = self._sorted[index]
+            if value in record.block:
+                if best is None or record.block.prefix > best.block.prefix:
+                    best = record
+            elif record.block.last < value and record.block.prefix <= 8:
+                break
+            index -= 1
+        return best.org_name if best else None

@@ -1,0 +1,251 @@
+"""Unit tests for the table analyzers over synthetic R2 views."""
+
+import pytest
+
+from repro.analysis.correctness import is_correct, measure_correctness
+from repro.analysis.empty_question import measure_empty_question
+from repro.analysis.headers import (
+    measure_flag_table,
+    measure_open_resolver_estimates,
+    measure_rcode_table,
+)
+from repro.analysis.incorrect import (
+    incorrect_views,
+    measure_incorrect_forms,
+    measure_top_destinations,
+)
+from repro.analysis.malicious import (
+    malicious_views,
+    measure_country_distribution,
+    measure_malicious_categories,
+    measure_malicious_flags,
+)
+from repro.dnslib.constants import Rcode
+from repro.prober.capture import R2View
+from repro.threatintel.cymon import CymonDatabase, ThreatCategory
+from repro.threatintel.geo import GeoDatabase
+from repro.threatintel.whois import WhoisDatabase
+
+TRUTH = "45.76.1.10"
+
+
+def view(
+    answers=(),
+    ra=False,
+    aa=False,
+    rcode=Rcode.NOERROR,
+    qname="or000.0000001.ucfsealresearch.net",
+    src="1.2.3.4",
+    malformed=False,
+):
+    return R2View(
+        timestamp=0.0,
+        src_ip=src,
+        ra=ra,
+        aa=aa,
+        rcode=int(rcode),
+        has_question=qname is not None,
+        qname=qname,
+        answers=list(answers),
+        malformed_answer=malformed,
+    )
+
+
+def correct_view(**kwargs):
+    kwargs.setdefault("ra", True)
+    return view(answers=[("ip", TRUTH)], **kwargs)
+
+
+def wrong_view(address="6.6.6.6", **kwargs):
+    return view(answers=[("ip", address)], **kwargs)
+
+
+class TestCorrectness:
+    def test_is_correct(self):
+        assert is_correct(correct_view(), TRUTH)
+        assert not is_correct(wrong_view(), TRUTH)
+        assert not is_correct(view(), TRUTH)
+        assert not is_correct(view(malformed=True), TRUTH)
+
+    def test_table(self):
+        views = [correct_view(), correct_view(), wrong_view(), view(), view()]
+        table = measure_correctness(views, TRUTH)
+        assert table.r2 == 5
+        assert table.without_answer == 2
+        assert table.correct == 2
+        assert table.incorrect == 1
+        assert table.err == pytest.approx(100.0 / 3)
+
+    def test_malformed_counts_as_incorrect(self):
+        table = measure_correctness([view(malformed=True)], TRUTH)
+        assert table.incorrect == 1
+
+    def test_url_answer_is_incorrect(self):
+        table = measure_correctness([view(answers=[("url", "u.dcoin.co")])], TRUTH)
+        assert table.incorrect == 1
+
+
+class TestFlagTables:
+    def test_ra_split(self):
+        views = [
+            correct_view(),                       # RA1 correct
+            wrong_view(ra=True),                  # RA1 incorrect
+            wrong_view(ra=False),                 # RA0 incorrect
+            view(ra=False, rcode=Rcode.REFUSED),  # RA0 without
+        ]
+        table = measure_flag_table(views, TRUTH, "ra")
+        assert table.one.correct == 1
+        assert table.one.incorrect == 1
+        assert table.zero.incorrect == 1
+        assert table.zero.without_answer == 1
+        assert table.total == 4
+
+    def test_aa_split(self):
+        views = [wrong_view(aa=True), correct_view(aa=False)]
+        table = measure_flag_table(views, TRUTH, "aa")
+        assert table.one.incorrect == 1
+        assert table.zero.correct == 1
+
+    def test_bad_flag_name(self):
+        with pytest.raises(ValueError):
+            measure_flag_table([], TRUTH, "tc")
+
+    def test_rcode_table(self):
+        views = [
+            correct_view(rcode=Rcode.SERVFAIL),
+            view(rcode=Rcode.REFUSED),
+            view(rcode=Rcode.REFUSED),
+            view(rcode=Rcode.NOERROR),
+        ]
+        table = measure_rcode_table(views)
+        assert table.with_answer[Rcode.SERVFAIL] == 1
+        assert table.without_answer[Rcode.REFUSED] == 2
+        assert table.nonzero_with_answer() == 1
+        assert table.row_total(Rcode.REFUSED) == 2
+
+    def test_estimates(self):
+        views = [
+            correct_view(),                 # ra1 + correct
+            wrong_view(ra=True),            # ra1
+            correct_view(ra=False),         # correct, ra0
+            view(ra=True),                  # ra1, no answer
+        ]
+        est = measure_open_resolver_estimates(views, TRUTH)
+        assert est.ra_flag_only == 3
+        assert est.ra_and_correct == 1
+        assert est.correct_any_flag == 2
+
+
+class TestEmptyQuestion:
+    def test_detail(self):
+        unjoinable = [
+            view(qname=None, answers=[("ip", "192.168.5.5")], ra=True),
+            view(qname=None, answers=[("ip", "10.1.1.1")], ra=True),
+            view(qname=None, answers=[("ip", "198.51.100.9")], ra=True),
+            view(qname=None, answers=[("string", "0000")], ra=True),
+            view(qname=None, rcode=Rcode.SERVFAIL),
+            view(qname=None, rcode=Rcode.REFUSED, aa=True),
+        ]
+        detail = measure_empty_question(unjoinable)
+        assert detail.summary.total == 6
+        assert detail.summary.with_answer == 4
+        assert detail.summary.ra1 == 4
+        assert detail.summary.aa1 == 1
+        assert detail.private_answers == 2
+        assert detail.private_by_block == {"192.168.0.0/16": 1, "10.0.0.0/8": 1}
+        assert detail.garbage_answers == 1
+        assert detail.public_answers == 1
+        assert detail.summary.rcodes[Rcode.SERVFAIL] == 1
+
+    def test_empty_input(self):
+        detail = measure_empty_question([])
+        assert detail.summary.total == 0
+        assert detail.answer_total == 0
+
+
+class TestIncorrect:
+    def test_incorrect_subset(self):
+        views = [correct_view(), wrong_view(), view()]
+        assert len(incorrect_views(views, TRUTH)) == 1
+
+    def test_forms_table(self):
+        views = [
+            wrong_view("6.6.6.6"),
+            wrong_view("6.6.6.6"),
+            wrong_view("7.7.7.7"),
+            view(answers=[("url", "u.dcoin.co")]),
+            view(answers=[("string", "wild")]),
+            view(malformed=True),
+        ]
+        table = measure_incorrect_forms(views, TRUTH)
+        assert table.counts["ip"] == (3, 2)
+        assert table.counts["url"] == (1, 1)
+        assert table.counts["string"] == (1, 1)
+        assert table.counts["na"] == (1, 0)
+        assert table.total_r2 == 6
+
+    def test_top_destinations(self):
+        whois = WhoisDatabase()
+        whois.add("6.6.6.0/24", "Evil Hosting")
+        cymon = CymonDatabase()
+        cymon.add_reports("6.6.6.6", ThreatCategory.MALWARE, 3)
+        views = (
+            [wrong_view("6.6.6.6") for _ in range(5)]
+            + [wrong_view("192.168.1.1") for _ in range(3)]
+            + [wrong_view("9.9.9.9")]
+        )
+        rows = measure_top_destinations(views, TRUTH, whois, cymon, top=3)
+        assert [row.ip for row in rows] == ["6.6.6.6", "192.168.1.1", "9.9.9.9"]
+        assert rows[0].org_name == "Evil Hosting"
+        assert rows[0].reported == "Y"
+        assert rows[1].org_name == "private network"
+        assert rows[1].reported == "N/A"
+        assert rows[2].reported == "N"
+        assert rows[2].org_name == "(not in whois)"
+
+
+class TestMalicious:
+    def make_world(self):
+        cymon = CymonDatabase()
+        cymon.add_reports("6.6.6.6", ThreatCategory.MALWARE, 5)
+        cymon.add_reports("7.7.7.7", ThreatCategory.PHISHING, 2)
+        geo = GeoDatabase()
+        geo.add("1.0.0.0/8", "US")
+        geo.add("2.0.0.0/8", "IN")
+        views = [
+            wrong_view("6.6.6.6", src="1.1.1.1", ra=False, aa=True),
+            wrong_view("6.6.6.6", src="1.1.1.2", ra=False, aa=True),
+            wrong_view("7.7.7.7", src="2.1.1.1", ra=True, aa=False),
+            wrong_view("8.8.8.8", src="1.1.1.3"),  # incorrect but unreported
+            correct_view(src="1.1.1.4"),
+        ]
+        return cymon, geo, views
+
+    def test_malicious_subset(self):
+        cymon, _, views = self.make_world()
+        subset = malicious_views(views, TRUTH, cymon)
+        assert len(subset) == 3
+
+    def test_category_table(self):
+        cymon, _, views = self.make_world()
+        table = measure_malicious_categories(views, TRUTH, cymon)
+        assert table.total_ips == 2
+        assert table.total_r2 == 3
+        assert table._row("Malware").r2 == 2
+        assert table._row("Phishing").unique_ips == 1
+        assert table.ip_share("Malware") == 50.0
+        assert table.r2_share("Malware") == pytest.approx(200.0 / 3)
+
+    def test_flag_table(self):
+        cymon, _, views = self.make_world()
+        flags = measure_malicious_flags(views, TRUTH, cymon)
+        assert flags.total == 3
+        assert flags.ra0 == 2
+        assert flags.ra1 == 1
+        assert flags.aa1 == 2
+        assert flags.ra0_share == pytest.approx(200.0 / 3)
+
+    def test_country_distribution(self):
+        cymon, geo, views = self.make_world()
+        countries = measure_country_distribution(views, TRUTH, cymon, geo)
+        assert countries == {"US": 2, "IN": 1}

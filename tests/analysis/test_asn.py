@@ -1,0 +1,61 @@
+"""AS-level malicious-resolver distribution tests (section IV-C2)."""
+
+import pytest
+
+from repro.analysis.malicious import measure_asn_distribution
+from repro.core import Campaign, CampaignConfig
+from repro.threatintel.cymon import CymonDatabase, ThreatCategory
+from repro.threatintel.geo import GeoDatabase
+from tests.analysis.test_analyzers import TRUTH, wrong_view
+
+
+class TestAsnAnalyzer:
+    def test_counts_by_as(self):
+        cymon = CymonDatabase()
+        cymon.add_reports("6.6.6.6", ThreatCategory.MALWARE, 2)
+        geo = GeoDatabase()
+        geo.add("1.0.0.0/8", "US", asn=64512, as_name="AS64512 US Carrier 1")
+        geo.add("2.0.0.0/8", "US", asn=64513, as_name="AS64513 US Carrier 2")
+        views = [
+            wrong_view("6.6.6.6", src="1.1.1.1"),
+            wrong_view("6.6.6.6", src="1.1.1.2"),
+            wrong_view("6.6.6.6", src="2.1.1.1"),
+            wrong_view("6.6.6.6", src="9.9.9.9"),  # unregistered space
+        ]
+        distribution = measure_asn_distribution(views, TRUTH, cymon, geo)
+        assert distribution["AS64512 US Carrier 1"] == 2
+        assert distribution["AS64513 US Carrier 2"] == 1
+        assert distribution["(unregistered)"] == 1
+
+    def test_empty_when_no_malicious(self):
+        assert measure_asn_distribution([], TRUTH, CymonDatabase(), GeoDatabase()) == {}
+
+
+class TestPopulationAsns:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Campaign(CampaignConfig(year=2018, scale=8192, seed=17)).run()
+
+    def test_every_host_has_an_asn(self, result):
+        for assignment in result.population.assignments:
+            assert assignment.asn >= 64_512
+            assert assignment.country in assignment.as_name
+
+    def test_geo_lookup_carries_asn(self, result):
+        assignment = result.population.assignments[0]
+        entry = result.population.geo.lookup(assignment.ip)
+        assert entry.asn == assignment.asn
+        assert entry.as_name == assignment.as_name
+
+    def test_campaign_asn_distribution(self, result):
+        distribution = measure_asn_distribution(
+            result.flow_set.views,
+            result.hierarchy.auth.ip,
+            result.population.cymon,
+            result.population.geo,
+        )
+        assert sum(distribution.values()) == result.malicious_flags.total
+        if distribution:
+            # Skewed carrier pick: the head AS dominates its country.
+            head = max(distribution.values())
+            assert head >= 1

@@ -1,0 +1,56 @@
+"""Temporal comparison logic tests."""
+
+from repro.analysis.compare import TemporalComparison, compare_years
+from repro.stats import (
+    CorrectnessTable,
+    MaliciousCategoryRow,
+    MaliciousCategoryTable,
+    OpenResolverEstimates,
+)
+
+
+def paper_comparison() -> TemporalComparison:
+    """The comparison built from the paper's own full-scale numbers."""
+    return compare_years(
+        CorrectnessTable(16_660_123, 4_867_241, 11_671_589, 121_293),
+        CorrectnessTable(6_506_258, 3_642_109, 2_752_562, 111_093),
+        OpenResolverEstimates(12_270_335, 11_505_481, 11_671_589),
+        OpenResolverEstimates(3_002_183, 2_748_568, 2_752_562),
+        MaliciousCategoryTable(
+            rows=(MaliciousCategoryRow("Malware", 100, 12_874),)
+        ),
+        MaliciousCategoryTable(
+            rows=(MaliciousCategoryRow("Malware", 335, 26_926),)
+        ),
+    )
+
+
+class TestTemporalComparison:
+    def test_paper_headlines_hold(self):
+        comparison = paper_comparison()
+        assert comparison.open_resolvers_declined
+        assert comparison.incorrect_stayed_flat
+        assert comparison.malicious_increased
+
+    def test_paper_ratios(self):
+        comparison = paper_comparison()
+        assert round(comparison.open_resolver_ratio, 2) == 0.24  # ~4x decline
+        assert round(comparison.incorrect_ratio, 2) == 0.92      # flat
+        assert round(comparison.malicious_r2_ratio, 2) == 2.09   # doubled
+
+    def test_headline_text(self):
+        text = paper_comparison().headline()
+        assert "11,505,481" in text
+        assert "26,926" in text
+
+    def test_zero_denominators(self):
+        comparison = TemporalComparison(0, 0, 0, 0, 0, 0, 0, 0)
+        assert comparison.open_resolver_ratio == 0.0
+        assert comparison.incorrect_ratio == 0.0
+        assert comparison.malicious_r2_ratio == 0.0
+
+    def test_flat_band_edges(self):
+        comparison = TemporalComparison(1, 1, 100, 74, 1, 1, 1, 1)
+        assert not comparison.incorrect_stayed_flat
+        comparison = TemporalComparison(1, 1, 100, 80, 1, 1, 1, 1)
+        assert comparison.incorrect_stayed_flat

@@ -1,0 +1,94 @@
+"""Cross-tabulation tests."""
+
+import pytest
+
+from repro.analysis.crosstab import ATTRIBUTES, cross_tabulate
+from tests.analysis.test_analyzers import correct_view, view, wrong_view
+
+
+def sample_views():
+    return (
+        [correct_view() for _ in range(40)]              # RA1 AA0
+        + [wrong_view(aa=True) for _ in range(10)]       # RA0 AA1
+        + [view(rcode=5) for _ in range(50)]             # RA0 AA0 no answer
+    )
+
+
+class TestCrossTab:
+    def test_cells_and_margins(self):
+        table = cross_tabulate(sample_views(), "ra", "aa")
+        assert table.total == 100
+        assert table.cell(True, False) == 40
+        assert table.cell(False, True) == 10
+        assert table.cell(False, False) == 50
+        assert table.row_total(False) == 60
+        assert table.column_total(True) == 10
+
+    def test_association_detected(self):
+        # RA and AA are strongly dependent in this sample.
+        table = cross_tabulate(sample_views(), "ra", "aa")
+        # Hand-computed for this table: chi2 ~ 7.41, V ~ 0.27.
+        assert table.chi_square() == pytest.approx(7.41, abs=0.1)
+        assert table.cramers_v() == pytest.approx(0.272, abs=0.01)
+
+    def test_independence_gives_zero(self):
+        views = (
+            [view(ra=True, aa=True), view(ra=True, aa=False),
+             view(ra=False, aa=True), view(ra=False, aa=False)]
+        )
+        table = cross_tabulate(views, "ra", "aa")
+        assert table.chi_square() == pytest.approx(0.0)
+        assert table.cramers_v() == pytest.approx(0.0)
+
+    def test_empty(self):
+        table = cross_tabulate([], "ra", "aa")
+        assert table.total == 0
+        assert table.chi_square() == 0.0
+        assert table.cramers_v() == 0.0
+
+    def test_callable_extractors(self):
+        table = cross_tabulate(
+            sample_views(),
+            lambda v: v.rcode,
+            "has_answer",
+        )
+        assert table.cell(5, False) == 50
+        assert table.cell(0, True) == 50
+
+    def test_answer_form_attribute(self):
+        views = [correct_view(), wrong_view(), view()]
+        table = cross_tabulate(views, "answer_form", "ra")
+        assert table.row_total("ip") == 2
+        assert table.row_total("-") == 1
+
+    def test_render(self):
+        text = cross_tabulate(sample_views(), "ra", "aa").render(
+            title="observed RA x AA"
+        )
+        assert "observed RA x AA" in text
+        assert "chi2=" in text
+        assert "total" in text
+
+    def test_known_attributes_cover_paper_axes(self):
+        for name in ("ra", "aa", "rcode", "has_answer", "answer_form"):
+            assert name in ATTRIBUTES
+
+
+class TestOnCampaign:
+    def test_observed_joint_matches_calibration(self):
+        """The measured RA x AA joint equals the deployed cell counts."""
+        from repro.core import Campaign, CampaignConfig
+
+        result = Campaign(
+            CampaignConfig(year=2018, scale=16384, seed=29)
+        ).run()
+        table = cross_tabulate(result.flow_set.views, "ra", "aa")
+        expected = {}
+        for assignment in result.population.assignments:
+            spec = assignment.spec
+            if spec.empty_question:
+                continue  # unjoinable: not in flow_set.views
+            key = (spec.ra, spec.aa)
+            expected[key] = expected.get(key, 0) + 1
+        for key, count in expected.items():
+            assert table.cell(*key) == count

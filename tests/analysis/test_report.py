@@ -1,0 +1,124 @@
+"""Rendering tests: the ASCII tables must carry the paper's structure."""
+
+from repro.dnslib.constants import Rcode
+from repro.analysis.report import (
+    render_correctness,
+    render_country_distribution,
+    render_empty_question,
+    render_flag_table,
+    render_incorrect_forms,
+    render_malicious_categories,
+    render_malicious_flags,
+    render_probe_summary,
+    render_rcode_table,
+    render_top_destinations,
+)
+from repro.stats import (
+    CorrectnessTable,
+    EmptyQuestionSummary,
+    FlagRow,
+    FlagTable,
+    IncorrectFormsTable,
+    MaliciousCategoryRow,
+    MaliciousCategoryTable,
+    MaliciousFlagTable,
+    ProbeSummary,
+    TopDestinationRow,
+)
+
+
+class TestRenderers:
+    def test_probe_summary(self):
+        text = render_probe_summary(
+            [ProbeSummary(2018, 38_100, 3_702_258_432, 13_049_863, 6_506_258)]
+        )
+        assert "3,702,258,432" in text
+        assert "Q2, R1 (%)" in text
+        assert "0.1757" in text  # the paper's R2 share
+
+    def test_correctness_multi_year(self):
+        text = render_correctness(
+            {
+                2013: CorrectnessTable(16_660_123, 4_867_241, 11_671_589, 121_293),
+                2018: CorrectnessTable(6_506_258, 3_642_109, 2_752_562, 111_093),
+            }
+        )
+        assert "2013" in text and "2018" in text
+        assert "1.029" in text
+        assert "3.879" in text
+
+    def test_flag_table_titles(self):
+        ra = FlagTable("RA", FlagRow(1, 2, 3), FlagRow(4, 5, 6))
+        aa = FlagTable("AA", FlagRow(1, 2, 3), FlagRow(4, 5, 6))
+        assert "Table IV" in render_flag_table({2018: ra})
+        assert "Table V" in render_flag_table({2018: aa})
+        assert "RA0" in render_flag_table({2018: ra})
+
+    def test_rcode_table_columns(self):
+        from repro.analysis.report import RCODE_COLUMNS
+
+        table_text = render_rcode_table(
+            {2018: __import__("repro.stats", fromlist=["RcodeTable"]).RcodeTable(
+                with_answer={0: 10}, without_answer={5: 7}
+            )}
+        )
+        for rcode in RCODE_COLUMNS:
+            assert rcode.label in table_text
+        assert "NXRRSet" not in table_text  # omitted, as in the paper
+
+    def test_empty_question(self):
+        summary = EmptyQuestionSummary(
+            total=494, with_answer=19, correct=0, ra1=184, aa1=2,
+            rcodes={int(Rcode.SERVFAIL): 301},
+        )
+        text = render_empty_question(summary)
+        assert "494" in text
+        assert "ServFail=301" in text
+
+    def test_incorrect_forms(self):
+        table = IncorrectFormsTable(
+            counts={"ip": (110_790, 15_022), "url": (231, 80),
+                    "string": (72, 29), "na": (0, 0)}
+        )
+        text = render_incorrect_forms({2018: table})
+        assert "110,790" in text
+        assert "N/A" in text
+        assert "Total" in text
+
+    def test_top_destinations(self):
+        rows = [
+            TopDestinationRow("216.194.64.193", 23_692, "Tera-byte Dot Com", "N"),
+            TopDestinationRow("192.168.1.1", 1_014, "private network", "N/A"),
+        ]
+        text = render_top_destinations(rows)
+        assert "216.194.64.193" in text
+        assert "N/A" in text
+        assert "24,706" in text  # total row
+
+    def test_malicious_categories(self):
+        table = MaliciousCategoryTable(
+            rows=(
+                MaliciousCategoryRow("Malware", 170, 23_189),
+                MaliciousCategoryRow("Phishing", 125, 2_878),
+            )
+        )
+        text = render_malicious_categories({2018: table})
+        assert "Malware" in text
+        assert "23,189" in text
+
+    def test_malicious_flags(self):
+        text = render_malicious_flags(
+            MaliciousFlagTable(ra0=19_534, ra1=7_392, aa0=7_472, aa1=19_454)
+        )
+        assert "19,534" in text
+        assert "72.5" in text  # the paper's RA0 share
+
+    def test_country_distribution_top_cut(self):
+        distribution = {f"C{i}": 100 - i for i in range(15)}
+        text = render_country_distribution(distribution, top=10)
+        assert "(5 more)" in text
+
+    def test_country_names_resolved(self):
+        text = render_country_distribution({"US": 5, "IN": 2})
+        assert "United States" in text
+        assert "India" in text

@@ -1,0 +1,66 @@
+"""Probe-summary and extrapolation tests."""
+
+import pytest
+
+from repro.analysis.summary import extrapolate, measure_probe_summary
+from repro.prober.capture import FlowSet, ProbeFlow
+from repro.prober.probe import ProbeCapture
+from repro.prober.subdomain import ClusterStats
+from repro.stats import ProbeSummary
+
+
+def make_capture(q1=1000, duration=10.0):
+    return ProbeCapture(
+        q1_sent=q1,
+        q1_bytes=q1 * 79,
+        r2_records=[],
+        start_time=0.0,
+        end_time=duration,
+        cluster_stats=ClusterStats(),
+        sent_log={},
+    )
+
+
+def make_flow_set(with_r2=3, q2_each=2, unjoinable=0):
+    flows = {}
+    for index in range(with_r2):
+        flow = ProbeFlow(f"q{index}.example")
+        flow.r2 = object()  # presence is all the counters need
+        flow.q2_timestamps = [0.1] * q2_each
+        flow.r1_count = q2_each
+        flows[flow.qname] = flow
+    return FlowSet(flows=flows, unjoinable=[object()] * unjoinable)
+
+
+class TestMeasureProbeSummary:
+    def test_counts(self):
+        summary = measure_probe_summary(
+            2018, make_capture(q1=2000), make_flow_set(with_r2=4, q2_each=3)
+        )
+        assert summary.year == 2018
+        assert summary.q1 == 2000
+        assert summary.r2 == 4
+        assert summary.q2_r1 == 12
+        assert summary.duration_seconds == 10.0
+
+    def test_unjoinable_counted_in_r2(self):
+        summary = measure_probe_summary(
+            2018, make_capture(), make_flow_set(with_r2=2, unjoinable=3)
+        )
+        assert summary.r2 == 5
+
+
+class TestExtrapolate:
+    def test_counts_scale_durations_dont(self):
+        summary = ProbeSummary(2018, 38_100.0, 1000, 35, 17)
+        full = extrapolate(summary, 4096)
+        assert full.q1 == 1000 * 4096
+        assert full.q2_r1 == 35 * 4096
+        assert full.r2 == 17 * 4096
+        assert full.duration_seconds == 38_100.0
+
+    def test_shares_invariant_under_extrapolation(self):
+        summary = ProbeSummary(2018, 1.0, 1000, 35, 17)
+        full = extrapolate(summary, 1024)
+        assert full.q2_share == pytest.approx(summary.q2_share)
+        assert full.r2_share == pytest.approx(summary.r2_share)

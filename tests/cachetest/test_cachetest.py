@@ -1,0 +1,105 @@
+"""Cache-behavior probe tests."""
+
+import pytest
+
+from repro.cachetest import (
+    CachePolicy,
+    CacheProbeExperiment,
+    render_cache_report,
+)
+from repro.dnssrv.cache import DnsCache
+
+
+class TestCachePolicyKnobs:
+    def test_min_ttl_clamps_up(self):
+        from repro.dnslib.constants import QueryType
+        from repro.dnslib.records import AData, ResourceRecord
+
+        cache = DnsCache(min_ttl=1000)
+        record = ResourceRecord("x.example.com", QueryType.A, ttl=5,
+                                data=AData("1.2.3.4"))
+        cache.put("x.example.com", QueryType.A, [record], now=0.0)
+        # Alive long after the record's own TTL.
+        assert cache.get("x.example.com", QueryType.A, now=900.0) is not None
+
+    def test_max_ttl_zero_disables_caching(self):
+        from repro.dnslib.constants import QueryType
+        from repro.dnslib.records import AData, ResourceRecord
+
+        cache = DnsCache(min_ttl=0, max_ttl=0)
+        record = ResourceRecord("x.example.com", QueryType.A, ttl=300,
+                                data=AData("1.2.3.4"))
+        cache.put("x.example.com", QueryType.A, [record], now=0.0)
+        assert len(cache) == 0
+
+    def test_serve_stale(self):
+        from repro.dnslib.constants import QueryType
+        from repro.dnslib.records import AData, ResourceRecord
+
+        cache = DnsCache(serve_stale=True)
+        record = ResourceRecord("x.example.com", QueryType.A, ttl=5,
+                                data=AData("1.2.3.4"))
+        cache.put("x.example.com", QueryType.A, [record], now=0.0)
+        assert cache.get("x.example.com", QueryType.A, now=100.0) is not None
+        assert cache.stats.stale_serves == 1
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            DnsCache(min_ttl=-1)
+        with pytest.raises(ValueError):
+            DnsCache(min_ttl=10, max_ttl=5)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return CacheProbeExperiment(
+        fleet={
+            CachePolicy.COMPLIANT: 6,
+            CachePolicy.TTL_EXTENDER: 3,
+            CachePolicy.STALE_SERVER: 3,
+            CachePolicy.NO_CACHE: 2,
+        },
+        seed=4,
+    ).run()
+
+
+class TestCacheProbe:
+    def test_every_resolver_judged(self, report):
+        assert report.total == 14
+
+    def test_compliant_resolvers(self, report):
+        for verdict in report.by_policy(CachePolicy.COMPLIANT):
+            assert verdict.caches
+            assert not verdict.serves_ghost
+            assert verdict.fetches == 2  # seed + post-expiry refetch
+
+    def test_ttl_extenders_serve_ghosts(self, report):
+        for verdict in report.by_policy(CachePolicy.TTL_EXTENDER):
+            assert verdict.caches
+            assert verdict.serves_ghost
+            assert verdict.fetches == 1  # never refetched
+
+    def test_stale_servers_serve_ghosts(self, report):
+        for verdict in report.by_policy(CachePolicy.STALE_SERVER):
+            assert verdict.serves_ghost
+
+    def test_no_cache_refetches(self, report):
+        for verdict in report.by_policy(CachePolicy.NO_CACHE):
+            assert not verdict.caches
+            assert not verdict.serves_ghost
+            assert verdict.fetches >= 2
+
+    def test_summary_counts(self, report):
+        assert report.count_ghost_servers() == 6  # 3 extenders + 3 stale
+        assert report.count_caching() >= 9
+
+    def test_render(self, report):
+        text = render_cache_report(report)
+        assert "ghost" in text
+        assert "ttl-extender" in text
+
+    def test_fleet_validation(self):
+        with pytest.raises(ValueError):
+            CacheProbeExperiment(fleet={})
+        with pytest.raises(ValueError):
+            CacheProbeExperiment(fleet={CachePolicy.COMPLIANT: -1})

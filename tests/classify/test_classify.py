@@ -1,0 +1,75 @@
+"""Recursive-vs-proxy classification tests."""
+
+import pytest
+
+from repro.classify import (
+    ResolverClass,
+    ResolverClassifier,
+    build_classification_world,
+    render_classification,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    network, hierarchy, targets = build_classification_world(
+        recursives=8, proxies=20, fabricators=4, shared_upstreams=3, seed=1
+    )
+    classifier = ResolverClassifier(network, hierarchy)
+    report = classifier.classify(targets)
+    return network, hierarchy, targets, report
+
+
+class TestClassification:
+    def test_counts_match_deployment(self, world):
+        _, _, _, report = world
+        assert report.count(ResolverClass.RECURSIVE) == 8
+        assert report.count(ResolverClass.PROXY) == 20
+        assert report.count(ResolverClass.FABRICATOR) == 4
+        assert report.count(ResolverClass.UNRESPONSIVE) == 0
+
+    def test_recursives_identified_by_source_match(self, world):
+        _, _, _, report = world
+        for ip, cls in report.classes.items():
+            if cls is ResolverClass.RECURSIVE:
+                assert ip.startswith("203.20.")
+
+    def test_proxies_expose_their_upstreams(self, world):
+        _, _, _, report = world
+        assert set(report.proxy_upstreams) == {
+            ip for ip, cls in report.classes.items()
+            if cls is ResolverClass.PROXY
+        }
+        for upstream in report.proxy_upstreams.values():
+            assert upstream.startswith("203.10.")
+
+    def test_fan_in_structure(self, world):
+        # 20 proxies over 3 shared upstreams: 7/7/6.
+        _, _, _, report = world
+        fan_in = sorted(report.upstream_fan_in.values(), reverse=True)
+        assert sum(fan_in) == 20
+        assert fan_in == [7, 7, 6]
+
+    def test_shares(self, world):
+        _, _, _, report = world
+        assert report.share(ResolverClass.PROXY) == pytest.approx(20 / 32)
+
+    def test_unresponsive_targets(self):
+        network, hierarchy, targets = build_classification_world(
+            recursives=2, proxies=2, fabricators=0, seed=2
+        )
+        dead = ["203.99.0.1", "203.99.0.2"]
+        classifier = ResolverClassifier(network, hierarchy)
+        report = classifier.classify(targets + dead)
+        for ip in dead:
+            assert report.classes[ip] is ResolverClass.UNRESPONSIVE
+
+    def test_render(self, world):
+        _, _, _, report = world
+        text = render_classification(report)
+        assert "forwarding proxy" in text
+        assert "fan-in" in text
+
+    def test_world_validation(self):
+        with pytest.raises(ValueError):
+            build_classification_world(shared_upstreams=0)

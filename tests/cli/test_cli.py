@@ -1,0 +1,116 @@
+"""CLI tests: every subcommand runs end to end at a coarse scale."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scan_defaults(self):
+        args = build_parser().parse_args(["scan"])
+        assert args.year == 2018
+        assert args.scale == 8192
+
+    def test_year_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--year", "2020"])
+
+
+class TestCommands:
+    def test_scan_summary(self, capsys):
+        assert main(["scan", "--scale", "65536", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "open resolvers" in out
+
+    def test_scan_full_report(self, capsys):
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1", "--full-report"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Table X" in out
+
+    def test_scan_save_then_analyze(self, capsys, tmp_path):
+        dataset_dir = str(tmp_path / "ds")
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1", "--save", dataset_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", dataset_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Offline analysis" in out
+        assert "Table VIII" in out or "IP address" in out
+
+    def test_scan_markdown(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1", "--markdown",
+             str(target)]
+        ) == 0
+        assert target.exists()
+        assert "# Open-resolver scan report" in target.read_text()
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--scale", "32768", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Open resolvers" in out
+        assert "declined" in out
+
+    def test_fingerprint(self, capsys):
+        assert main(["fingerprint", "--scale", "32768", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "version.bind census" in out
+
+    def test_monitor(self, capsys):
+        assert main(
+            ["monitor", "--epochs", "2", "--scale", "65536", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epoch 0" in out
+        assert "Trend:" in out
+
+    def test_exposure(self, capsys):
+        assert main(
+            ["exposure", "--clients", "30", "--queries", "3",
+             "--resolvers", "10", "--malicious-share", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hijacked" in out
+
+    def test_amplify(self, capsys):
+        assert main(["amplify", "--resolvers", "5", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Amplification factors" in out
+        assert "victim absorbed" in out
+
+    def test_dnssec(self, capsys):
+        assert main(["dnssec", "--scale", "32768", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DNSSEC validator census" in out
+
+    def test_classify(self, capsys):
+        assert main(
+            ["classify", "--recursives", "3", "--proxies", "6",
+             "--fabricators", "2", "--upstreams", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "forwarding proxy" in out
+
+    def test_inject(self, capsys):
+        assert main(["inject", "--resolvers", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Record-injection test" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--scale", "65536", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Seed sweep" in out
+        assert "open_resolvers" in out

@@ -1,0 +1,148 @@
+"""Client workload and exposure experiment tests."""
+
+import pytest
+
+from repro.clients import (
+    ClientWorkload,
+    ExposureExperiment,
+    WorkloadConfig,
+    render_exposure,
+)
+
+
+class TestWorkload:
+    def make(self, **overrides):
+        config_kwargs = dict(clients=50, queries_per_client=5, domains=20)
+        config_kwargs.update(overrides)
+        config = WorkloadConfig(**config_kwargs)
+        return ClientWorkload(config, [f"100.0.0.{i}" for i in range(1, 11)], seed=3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(clients=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(domains=0)
+        with pytest.raises(ValueError):
+            ClientWorkload(WorkloadConfig(), [], seed=0)
+
+    def test_stream_size(self):
+        workload = self.make()
+        assert len(workload.queries()) == 50 * 5
+
+    def test_deterministic(self):
+        first = self.make().queries()
+        second = self.make().queries()
+        assert first == second
+
+    def test_every_client_bound_to_one_resolver(self):
+        workload = self.make()
+        for query in workload.queries():
+            assert workload.client_resolver[query.client_id] == query.resolver_ip
+
+    def test_zipf_popularity_skew(self):
+        from collections import Counter
+
+        workload = self.make(clients=200, queries_per_client=20)
+        counts = Counter(q.qname for q in workload.queries())
+        ranked = [count for _, count in counts.most_common()]
+        # Head domain much hotter than the tail.
+        assert ranked[0] > 3 * ranked[-1]
+
+    def test_clients_using(self):
+        workload = self.make()
+        some_resolver = workload.client_resolver[0]
+        users = workload.clients_using({some_resolver})
+        assert 0 in users
+
+
+class TestExposureExperiment:
+    def test_no_malicious_no_exposure(self):
+        experiment = ExposureExperiment(
+            workload=WorkloadConfig(clients=30, queries_per_client=4, domains=10),
+            resolver_count=10,
+            malicious_share=0.0,
+            seed=1,
+        )
+        report = experiment.run()
+        assert report.malicious_resolvers == 0
+        assert report.queries_hijacked == 0
+        assert report.clients_exposed == 0
+        # Standard resolvers answered essentially everything.
+        assert report.queries_answered > 0.9 * report.queries_total
+
+    def test_exposure_tracks_binding_share(self):
+        experiment = ExposureExperiment(
+            workload=WorkloadConfig(clients=60, queries_per_client=5, domains=10),
+            resolver_count=10,
+            malicious_share=0.2,
+            seed=2,
+        )
+        report = experiment.run()
+        assert report.malicious_resolvers == 2
+        # Every client bound to a manipulator gets hijacked on every query.
+        assert report.clients_exposed == report.clients_on_malicious
+        assert report.client_exposure_rate == pytest.approx(
+            report.expected_client_share
+        )
+        assert report.queries_hijacked > 0
+
+    def test_full_malicious_fleet(self):
+        experiment = ExposureExperiment(
+            workload=WorkloadConfig(clients=20, queries_per_client=3, domains=5),
+            resolver_count=5,
+            malicious_share=1.0,
+            seed=3,
+        )
+        report = experiment.run()
+        assert report.queries_hijacked == report.queries_answered
+        assert report.clients_exposed == report.clients_total
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ExposureExperiment(malicious_share=1.5)
+        with pytest.raises(ValueError):
+            ExposureExperiment(resolver_count=0)
+        with pytest.raises(ValueError):
+            ExposureExperiment(malicious_popularity="sideways")
+
+    def test_popularity_placement_drives_exposure(self):
+        """Same manipulator count, wildly different exposure: the paper's
+        passivity argument, quantified."""
+
+        def run(placement):
+            return ExposureExperiment(
+                workload=WorkloadConfig(
+                    clients=120, queries_per_client=4, domains=10,
+                    resolver_zipf_s=1.4,
+                ),
+                resolver_count=20,
+                malicious_share=0.1,
+                seed=6,
+                malicious_popularity=placement,
+            ).run()
+
+        head = run("head")
+        tail = run("tail")
+        assert head.malicious_resolvers == tail.malicious_resolvers == 2
+        assert head.clients_exposed > 3 * max(tail.clients_exposed, 1)
+
+    def test_random_placement_deterministic(self):
+        kwargs = dict(
+            workload=WorkloadConfig(clients=30, queries_per_client=2, domains=5),
+            resolver_count=10, malicious_share=0.2, seed=8,
+            malicious_popularity="random",
+        )
+        first = ExposureExperiment(**kwargs).run()
+        second = ExposureExperiment(**kwargs).run()
+        assert first == second
+
+    def test_render(self):
+        experiment = ExposureExperiment(
+            workload=WorkloadConfig(clients=20, queries_per_client=2, domains=5),
+            resolver_count=5,
+            malicious_share=0.2,
+            seed=4,
+        )
+        text = render_exposure(experiment.run())
+        assert "Client exposure" in text
+        assert "hijacked" in text

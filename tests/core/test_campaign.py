@@ -1,0 +1,173 @@
+"""End-to-end campaign tests.
+
+These run the full pipeline — population, scan, flow join, analysis —
+at a coarse scale and check measured tables against the calibrated
+expectations (scaled), i.e. against the paper's shape.
+"""
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig, run_both_years
+from repro.resolvers.apportion import scale_count
+
+SCALE = 16384
+
+
+@pytest.fixture(scope="module")
+def result_2018():
+    return Campaign(CampaignConfig(year=2018, scale=SCALE, seed=11)).run()
+
+
+@pytest.fixture(scope="module")
+def both_years():
+    # A finer scale than the single-year tests so the malicious tail
+    # (12,874 / 26,926 R2 at full scale) survives subsampling; the
+    # simulated clock is compressed to keep the run fast.
+    from repro.analysis.compare import compare_years
+
+    result_2013 = Campaign(
+        CampaignConfig(year=2013, scale=2048, seed=11, time_compression=64.0)
+    ).run()
+    result_2018 = Campaign(
+        CampaignConfig(year=2018, scale=2048, seed=11, time_compression=8.0)
+    ).run()
+    comparison = compare_years(
+        result_2013.correctness,
+        result_2018.correctness,
+        result_2013.estimates,
+        result_2018.estimates,
+        result_2013.malicious_categories,
+        result_2018.malicious_categories,
+    )
+    return result_2013, result_2018, comparison
+
+
+class TestCampaign2018(object):
+    def test_q1_matches_scaled_probe_space(self, result_2018):
+        expected = scale_count(3_702_258_432, SCALE)
+        assert result_2018.probe_summary.q1 == expected
+
+    def test_every_deployed_host_responded(self, result_2018):
+        assert result_2018.flow_set.r2_count == result_2018.population.host_count
+
+    def test_r2_share_matches_paper(self, result_2018):
+        # Paper: R2 is 0.1757% of Q1 in 2018.
+        assert result_2018.probe_summary.r2_share == pytest.approx(0.1757, abs=0.01)
+
+    def test_q2_share_matches_paper(self, result_2018):
+        # Paper: Q2/R1 is 0.3525% of Q1 in 2018.
+        assert result_2018.probe_summary.q2_share == pytest.approx(0.3525, abs=0.03)
+
+    def test_correctness_table_shape(self, result_2018):
+        table = result_2018.correctness
+        expected = result_2018.profile.expected_correctness()
+        # The scaled counts track the calibrated shares.
+        assert table.without_answer == pytest.approx(
+            expected.without_answer / SCALE, rel=0.05
+        )
+        assert table.correct == pytest.approx(expected.correct / SCALE, rel=0.05)
+        # Err% is scale-free and should be close to the paper's 3.879.
+        assert table.err == pytest.approx(expected.err, rel=0.5)
+
+    def test_ra_error_asymmetry(self, result_2018):
+        # Paper's key RA finding: Err(RA0) >> Err(RA1).
+        ra = result_2018.ra_table
+        assert ra.zero.err > 50.0
+        assert ra.one.err < 10.0
+
+    def test_aa_error_asymmetry(self, result_2018):
+        # Paper: AA1 answers are wrong ~79% of the time; AA0 under 1%.
+        aa = result_2018.aa_table
+        assert aa.one.err > 40.0
+        assert aa.zero.err < 5.0
+
+    def test_refused_dominates_rcodes_without_answer(self, result_2018):
+        from repro.dnslib.constants import Rcode
+
+        table = result_2018.rcode_table
+        without = table.without_answer
+        assert without[Rcode.REFUSED] == max(without.values())
+
+    def test_open_resolver_estimate_ordering(self, result_2018):
+        est = result_2018.estimates
+        # Section IV-B1: RA-flag-only >= correct-any >= RA-and-correct.
+        assert est.ra_flag_only >= est.ra_and_correct
+        assert est.correct_any_flag >= est.ra_and_correct
+
+    def test_extrapolated_open_resolvers_about_3m(self, result_2018):
+        full = result_2018.estimates.ra_flag_only * SCALE
+        assert 2_500_000 < full < 3_500_000
+
+    def test_malicious_flags_lean_ra0_aa1(self, result_2018):
+        flags = result_2018.malicious_flags
+        if flags.total >= 5:
+            # Table X: malicious responses mostly RA=0 and AA=1.
+            assert flags.ra0 >= flags.ra1
+            assert flags.aa1 >= flags.aa0
+
+    def test_malicious_mostly_us(self, result_2018):
+        countries = result_2018.country_distribution
+        if countries:
+            assert max(countries, key=countries.get) == "US"
+
+    def test_report_renders_all_tables(self, result_2018):
+        report = result_2018.report()
+        for marker in (
+            "Table II", "Table III", "Table IV", "Table V", "Table VI",
+            "Table VII", "Table VIII", "Table IX", "Table X",
+            "dns_question", "Malicious resolver countries",
+        ):
+            assert marker in report
+
+    def test_summary_mentions_key_numbers(self, result_2018):
+        text = result_2018.summary()
+        assert "open resolvers" in text
+        assert "malicious" in text
+
+    def test_determinism(self):
+        first = Campaign(CampaignConfig(year=2018, scale=65536, seed=3)).run()
+        second = Campaign(CampaignConfig(year=2018, scale=65536, seed=3)).run()
+        assert first.correctness == second.correctness
+        assert first.probe_summary == second.probe_summary
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(scale=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(time_compression=0)
+
+
+class TestTemporalComparison(object):
+    def test_open_resolvers_declined_about_4x(self, both_years):
+        _, _, comparison = both_years
+        assert comparison.open_resolvers_declined
+        assert 0.15 < comparison.open_resolver_ratio < 0.35  # paper: ~0.24
+
+    def test_incorrect_stayed_flat(self, both_years):
+        _, _, comparison = both_years
+        assert comparison.incorrect_stayed_flat
+
+    def test_malicious_increased(self, both_years):
+        _, _, comparison = both_years
+        assert comparison.malicious_increased
+        # Paper: malicious R2 roughly doubled (12,874 -> 26,926).
+        assert comparison.malicious_r2_ratio > 1.4
+
+    def test_2013_larger_population(self, both_years):
+        result_2013, result_2018, _ = both_years
+        assert result_2013.flow_set.r2_count > 2 * result_2018.flow_set.r2_count
+
+    def test_2013_has_malformed_answers(self, both_years):
+        result_2013, _, _ = both_years
+        na_r2, _ = result_2013.incorrect_forms.counts["na"]
+        assert na_r2 > 0
+
+    def test_2013_duration_near_seven_days(self, both_years):
+        result_2013, _, _ = both_years
+        assert 6 * 86400 < result_2013.probe_summary.duration_seconds < 9 * 86400
+
+    def test_headline_text(self, both_years):
+        _, _, comparison = both_years
+        text = comparison.headline()
+        assert "Open resolvers" in text
+        assert "Malicious" in text

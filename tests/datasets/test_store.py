@@ -1,0 +1,100 @@
+"""Dataset persistence and offline analysis tests."""
+
+import json
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.datasets import (
+    analyze_dataset,
+    compare_datasets,
+    load_campaign,
+    save_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(CampaignConfig(year=2018, scale=16384, seed=5)).run()
+
+
+@pytest.fixture(scope="module")
+def saved(result, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("dataset") / "campaign-2018"
+    save_campaign(result, directory)
+    return directory
+
+
+class TestSaveLoad:
+    def test_artifacts_exist(self, saved):
+        for name in ("metadata.json", "r2.pcap", "auth_log.jsonl",
+                     "cymon.jsonl", "geo.jsonl", "whois.jsonl"):
+            assert (saved / name).exists(), name
+
+    def test_metadata(self, result, saved):
+        metadata = json.loads((saved / "metadata.json").read_text())
+        assert metadata["year"] == 2018
+        assert metadata["scale"] == 16384
+        assert metadata["r2_count"] == result.capture.r2_count
+        assert metadata["truth_ip"] == result.hierarchy.auth.ip
+
+    def test_r2_records_roundtrip(self, result, saved):
+        dataset = load_campaign(saved)
+        assert len(dataset.r2_records) == len(result.capture.r2_records)
+        original = sorted(r.payload for r in result.capture.r2_records)
+        loaded = sorted(r.payload for r in dataset.r2_records)
+        assert original == loaded
+
+    def test_query_log_roundtrip(self, result, saved):
+        dataset = load_campaign(saved)
+        assert len(dataset.query_log) == len(result.hierarchy.auth.query_log)
+        assert dataset.query_log[0] == result.hierarchy.auth.query_log[0]
+
+    def test_intel_roundtrip(self, result, saved):
+        dataset = load_campaign(saved)
+        assert len(dataset.cymon) == len(result.population.cymon)
+        assert len(dataset.geo) == len(result.population.geo)
+        assert len(dataset.whois) == len(result.population.whois)
+
+    def test_bad_format_version_rejected(self, saved, tmp_path):
+        import shutil
+
+        bad = tmp_path / "bad"
+        shutil.copytree(saved, bad)
+        metadata = json.loads((bad / "metadata.json").read_text())
+        metadata["format_version"] = 99
+        (bad / "metadata.json").write_text(json.dumps(metadata))
+        with pytest.raises(ValueError):
+            load_campaign(bad)
+
+
+class TestOfflineAnalysis:
+    def test_tables_match_live_analysis(self, result, saved):
+        """The offline pipeline reproduces the live tables bit for bit."""
+        analysis = analyze_dataset(load_campaign(saved))
+        assert analysis.correctness == result.correctness
+        assert analysis.ra_table == result.ra_table
+        assert analysis.aa_table == result.aa_table
+        assert analysis.rcode_table == result.rcode_table
+        assert analysis.estimates == result.estimates
+        assert analysis.malicious_flags == result.malicious_flags
+        assert analysis.country_distribution == result.country_distribution
+        assert analysis.incorrect_forms == result.incorrect_forms
+        assert analysis.malicious_categories == result.malicious_categories
+
+    def test_probe_summary_counts(self, result, saved):
+        analysis = analyze_dataset(load_campaign(saved))
+        assert analysis.probe_summary.q1 == result.probe_summary.q1
+        assert analysis.probe_summary.r2 == result.probe_summary.r2
+        assert analysis.probe_summary.q2_r1 == result.probe_summary.q2_r1
+
+    def test_compare_datasets(self, saved, tmp_path_factory):
+        result_2013 = Campaign(
+            CampaignConfig(year=2013, scale=16384, seed=5, time_compression=64.0)
+        ).run()
+        directory = tmp_path_factory.mktemp("dataset") / "campaign-2013"
+        save_campaign(result_2013, directory)
+        before = analyze_dataset(load_campaign(directory))
+        after = analyze_dataset(load_campaign(saved))
+        comparison = compare_datasets(before, after)
+        assert comparison.open_resolvers_declined

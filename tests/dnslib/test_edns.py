@@ -1,0 +1,56 @@
+"""EDNS(0) tests."""
+
+from repro.dnslib.edns import (
+    DEFAULT_PAYLOAD_SIZE,
+    EdnsOptions,
+    add_edns,
+    extract_edns,
+    max_response_size,
+)
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+
+
+class TestEdns:
+    def test_add_and_extract(self):
+        query = make_query("example.com")
+        add_edns(query, payload_size=4096, dnssec_ok=True)
+        options = extract_edns(query)
+        assert options.payload_size == 4096
+        assert options.dnssec_ok
+
+    def test_idempotent(self):
+        query = make_query("example.com")
+        add_edns(query)
+        add_edns(query)
+        assert len(query.additionals) == 1
+
+    def test_survives_wire_roundtrip(self):
+        query = make_query("example.com")
+        add_edns(query, payload_size=1232)
+        decoded = decode_message(encode_message(query))
+        options = extract_edns(decoded)
+        assert options.payload_size == 1232
+        assert options.version == 0
+
+    def test_max_response_size_without_edns(self):
+        assert max_response_size(make_query("example.com")) == 512
+
+    def test_max_response_size_with_edns(self):
+        query = add_edns(make_query("example.com"), payload_size=4096)
+        assert max_response_size(query) == 4096
+
+    def test_tiny_advertised_size_clamped_to_512(self):
+        query = add_edns(make_query("example.com"), payload_size=100)
+        assert max_response_size(query) == 512
+
+    def test_ttl_packing(self):
+        options = EdnsOptions(extended_rcode=3, version=1, dnssec_ok=True)
+        ttl = options.to_ttl()
+        assert ttl >> 24 & 0xFF == 3
+        assert ttl >> 16 & 0xFF == 1
+        assert ttl >> 15 & 1 == 1
+
+    def test_default_payload_size(self):
+        query = add_edns(make_query("example.com"))
+        assert extract_edns(query).payload_size == DEFAULT_PAYLOAD_SIZE

@@ -1,0 +1,74 @@
+"""Fuzzing the wire codec: hostile bytes must fail cleanly.
+
+The prober parses whatever the Internet throws at it; the decoder's
+contract is "return a message or raise DnsWireError" — never crash,
+never hang, never raise anything else. These properties back the
+tolerant-parsing pipeline the analysis relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnslib.buffer import DnsWireError
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.prober.capture import R2Record, parse_r2
+
+
+class TestDecodeFuzz:
+    @given(st.binary(min_size=0, max_size=600))
+    @settings(max_examples=500)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            decode_message(data)
+        except DnsWireError:
+            pass
+
+    @given(st.binary(min_size=12, max_size=64))
+    @settings(max_examples=300)
+    def test_parse_r2_total(self, data):
+        """The tolerant parser accepts literally anything."""
+        view = parse_r2(R2Record(0.0, "9.9.9.9", data))
+        assert view.src_ip == "9.9.9.9"
+
+    @given(
+        st.binary(min_size=0, max_size=40),
+        st.integers(0, 60),
+    )
+    @settings(max_examples=300)
+    def test_truncated_real_packets(self, suffix, cut):
+        """Real packets cut short or with junk appended fail cleanly."""
+        wire = encode_message(make_query("or000.0000001.ucfsealresearch.net"))
+        mutated = wire[:cut] + suffix
+        try:
+            decode_message(mutated)
+        except DnsWireError:
+            pass
+
+    @given(st.binary(min_size=12, max_size=300))
+    @settings(max_examples=300)
+    def test_reencoding_decoded_messages(self, data):
+        """Anything that decodes must re-encode without error."""
+        try:
+            message = decode_message(data)
+        except DnsWireError:
+            return
+        try:
+            reencoded = encode_message(message)
+        except DnsWireError:
+            return  # e.g. a decoded TXT string > 255 octets after merge
+        # And the re-encoded form must decode to the same header.
+        redecoded = decode_message(reencoded)
+        assert redecoded.header.msg_id == message.header.msg_id
+        assert redecoded.header.flags == message.header.flags
+        assert redecoded.rcode == message.rcode
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_flag_word_roundtrip_total(self, word, _):
+        from repro.dnslib.message import DnsFlags
+
+        flags, opcode, rcode = DnsFlags.from_int(word)
+        rebuilt = flags.to_int(opcode, rcode)
+        # Bits 6 (Z) and 4/5 handling: rebuilt must re-decode identically.
+        flags2, opcode2, rcode2 = DnsFlags.from_int(rebuilt)
+        assert (flags2, opcode2, rcode2) == (flags, opcode, rcode)

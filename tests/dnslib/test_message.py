@@ -1,0 +1,62 @@
+"""Tests for the high-level message helpers."""
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.records import AData, ResourceRecord
+
+
+class TestMakeQuery:
+    def test_defaults(self):
+        query = make_query("example.com")
+        assert not query.header.flags.qr
+        assert query.header.flags.rd
+        assert not query.header.flags.ra
+        assert query.questions[0].qtype == QueryType.A
+
+    def test_recursion_desired_off(self):
+        query = make_query("example.com", recursion_desired=False)
+        assert not query.header.flags.rd
+
+    def test_qname_normalized(self):
+        query = make_query("EXAMPLE.COM.")
+        assert query.qname == "example.com"
+
+
+class TestMakeResponse:
+    def test_copies_id_and_question(self):
+        query = make_query("or000.0000001.ucfsealresearch.net", msg_id=42)
+        response = make_response(query)
+        assert response.header.msg_id == 42
+        assert response.header.flags.qr
+        assert response.qname == query.qname
+
+    def test_preserves_rd_from_query(self):
+        query = make_query("example.com", recursion_desired=True)
+        assert make_response(query).header.flags.rd
+        query = make_query("example.com", recursion_desired=False)
+        assert not make_response(query).header.flags.rd
+
+    def test_empty_question_variant(self):
+        query = make_query("example.com")
+        response = make_response(query, copy_question=False, rcode=Rcode.SERVFAIL)
+        assert response.questions == []
+        assert response.qname is None
+
+    def test_flag_overrides(self):
+        query = make_query("example.com")
+        response = make_response(query, aa=True, ra=False)
+        assert response.header.flags.aa
+        assert not response.header.flags.ra
+
+    def test_first_a_record(self):
+        query = make_query("example.com")
+        answers = [
+            ResourceRecord("example.com", QueryType.A, data=AData("9.9.9.9")),
+            ResourceRecord("example.com", QueryType.A, data=AData("8.8.8.8")),
+        ]
+        response = make_response(query, answers=answers)
+        assert response.first_a_record().data.address == "9.9.9.9"
+
+    def test_first_a_record_none_when_empty(self):
+        query = make_query("example.com")
+        assert make_response(query).first_a_record() is None

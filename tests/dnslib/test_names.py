@@ -1,0 +1,98 @@
+"""Unit tests for domain-name handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnslib.names import (
+    DnsNameError,
+    is_subdomain,
+    name_depth,
+    normalize_name,
+    parent_name,
+    split_labels,
+    validate_name,
+)
+
+LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20
+)
+NAME = st.lists(LABEL, min_size=1, max_size=5).map(".".join)
+
+
+class TestNormalizeName:
+    def test_lowercases(self):
+        assert normalize_name("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize_name("example.com.") == "example.com"
+
+    def test_root_forms(self):
+        assert normalize_name("") == ""
+        assert normalize_name(".") == ""
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(DnsNameError):
+            normalize_name("a..b")
+
+    def test_rejects_overlong_label(self):
+        with pytest.raises(DnsNameError):
+            normalize_name("a" * 64 + ".com")
+
+    def test_rejects_overlong_name(self):
+        name = ".".join(["a" * 60] * 5)
+        with pytest.raises(DnsNameError):
+            normalize_name(name)
+
+    def test_accepts_max_label(self):
+        assert normalize_name("a" * 63 + ".com") == "a" * 63 + ".com"
+
+    @given(NAME)
+    def test_idempotent(self, name):
+        assert normalize_name(normalize_name(name)) == normalize_name(name)
+
+
+class TestValidateName:
+    def test_root_is_valid(self):
+        validate_name("")
+
+    def test_permissive_characters(self):
+        # The paper's dataset has garbage answers like 'wild' and '04b4...'.
+        validate_name("04b400000000")
+        validate_name("u.dcoin.co")
+
+
+class TestHierarchy:
+    def test_split_labels(self):
+        assert split_labels("www.example.com") == ["www", "example", "com"]
+        assert split_labels("") == []
+
+    def test_name_depth(self):
+        assert name_depth("") == 0
+        assert name_depth("com") == 1
+        assert name_depth("www.example.com") == 3
+
+    def test_parent_name(self):
+        assert parent_name("www.example.com") == "example.com"
+        assert parent_name("com") == ""
+        with pytest.raises(DnsNameError):
+            parent_name("")
+
+    def test_is_subdomain(self):
+        assert is_subdomain("a.example.com", "example.com")
+        assert is_subdomain("example.com", "example.com")
+        assert not is_subdomain("notexample.com", "example.com")
+        assert is_subdomain("anything.at.all", "")
+
+    @given(NAME)
+    def test_everything_is_under_root(self, name):
+        assert is_subdomain(name, "")
+
+    @given(NAME)
+    def test_name_is_under_its_parent(self, name):
+        if name_depth(name) >= 2:
+            assert is_subdomain(name, parent_name(name))
+
+    @given(NAME)
+    def test_depth_decreases_by_one(self, name):
+        assert name_depth(parent_name(name)) == name_depth(name) - 1

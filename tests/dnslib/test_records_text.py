@@ -1,0 +1,107 @@
+"""Record text rendering and codec edge cases."""
+
+import pytest
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.records import (
+    AData,
+    AaaaData,
+    CnameData,
+    MxData,
+    NsData,
+    PtrData,
+    RawData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+    bytes_to_ipv4,
+    ipv4_to_bytes,
+)
+from repro.dnslib.buffer import DnsWireError
+
+
+class TestIpv4Helpers:
+    def test_roundtrip(self):
+        assert bytes_to_ipv4(ipv4_to_bytes("10.20.30.40")) == "10.20.30.40"
+
+    def test_bad_length(self):
+        with pytest.raises(DnsWireError):
+            bytes_to_ipv4(b"\x01\x02\x03")
+
+    def test_bad_text(self):
+        for bad in ("1.2.3", "a.b.c.d", "1.2.3.256"):
+            with pytest.raises(DnsWireError):
+                ipv4_to_bytes(bad)
+
+
+class TestToText:
+    def test_a(self):
+        record = ResourceRecord("www.example.com", QueryType.A, ttl=60,
+                                data=AData("1.2.3.4"))
+        assert record.to_text() == "www.example.com. 60 IN A 1.2.3.4"
+
+    def test_ns_cname_ptr(self):
+        assert NsData("ns1.example.com").to_text() == "ns1.example.com."
+        assert CnameData("alias.example.com").to_text() == "alias.example.com."
+        assert PtrData("host.example.com").to_text() == "host.example.com."
+
+    def test_mx(self):
+        assert MxData(10, "mail.example.com").to_text() == "10 mail.example.com."
+
+    def test_txt(self):
+        assert TxtData(("a", "b c")).to_text() == '"a" "b c"'
+
+    def test_soa(self):
+        soa = SoaData("ns1.example.com", "hostmaster.example.com",
+                      1, 2, 3, 4, 5)
+        assert soa.to_text() == (
+            "ns1.example.com. hostmaster.example.com. 1 2 3 4 5"
+        )
+
+    def test_aaaa(self):
+        data = AaaaData(bytes(range(16)))
+        text = data.to_text()
+        assert text.count(":") == 7
+
+    def test_raw(self):
+        raw = RawData(rtype=99, payload=b"\x01\x02")
+        assert raw.to_text() == "\\# 2 0102"
+
+    def test_unknown_type_label(self):
+        record = ResourceRecord("x.example.com", 99, data=RawData(99, b""))
+        assert "TYPE99" in record.to_text()
+
+    def test_root_owner_renders_as_dot(self):
+        record = ResourceRecord("", QueryType.A, data=AData("1.2.3.4"))
+        assert record.to_text().startswith(". ")
+
+
+class TestAaaaCodec:
+    def test_wire_roundtrip(self):
+        from repro.dnslib.message import DnsMessage, DnsHeader, DnsFlags
+        from repro.dnslib.wire import decode_message, encode_message
+
+        record = ResourceRecord(
+            "v6.example.com", QueryType.AAAA, data=AaaaData(b"\x20\x01" + b"\x00" * 14)
+        )
+        message = DnsMessage(
+            header=DnsHeader(flags=DnsFlags(qr=True)), answers=[record]
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == record.data
+
+    def test_bad_length_rejected(self):
+        from repro.dnslib.message import DnsMessage
+        from repro.dnslib.wire import encode_message
+
+        with pytest.raises(DnsWireError):
+            encode_message(
+                DnsMessage(
+                    answers=[
+                        ResourceRecord(
+                            "x.example.com", QueryType.AAAA,
+                            data=AaaaData(b"\x01"),
+                        )
+                    ]
+                )
+            )

@@ -1,0 +1,260 @@
+"""Wire-format codec tests, including compression and corruption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnslib.buffer import WireReader, WireWriter
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import DnsFlags, DnsHeader, DnsMessage, Question, make_query
+from repro.dnslib.records import (
+    AData,
+    CnameData,
+    MxData,
+    NsData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+from repro.dnslib.wire import (
+    DnsWireError,
+    decode_message,
+    decode_name,
+    encode_message,
+    encode_name,
+)
+
+LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=15
+)
+NAME = st.lists(LABEL, min_size=0, max_size=4).map(".".join)
+IPV4 = st.tuples(*[st.integers(0, 255)] * 4).map(
+    lambda t: ".".join(str(o) for o in t)
+)
+
+
+class TestNameCodec:
+    def test_root_name(self):
+        assert encode_name("") == b"\x00"
+        assert decode_name(b"\x00") == ("", 1)
+
+    def test_simple_name(self):
+        wire = encode_name("example.com")
+        assert wire == b"\x07example\x03com\x00"
+        assert decode_name(wire) == ("example.com", len(wire))
+
+    @given(NAME)
+    def test_roundtrip(self, name):
+        wire = encode_name(name)
+        decoded, offset = decode_name(wire)
+        assert decoded == name
+        assert offset == len(wire)
+
+    def test_compression_pointer_decodes(self):
+        # "example.com" at offset 0, then a pointer to it.
+        wire = b"\x07example\x03com\x00" + b"\x03www\xc0\x00"
+        name, offset = decode_name(wire, 13)
+        assert name == "www.example.com"
+        assert offset == len(wire)
+
+    def test_pointer_loop_rejected(self):
+        # Pointer at offset 2 pointing back to offset 0 which points to 2.
+        wire = b"\xc0\x02\xc0\x00"
+        with pytest.raises(DnsWireError):
+            decode_name(wire, 0)
+
+    def test_forward_pointer_rejected(self):
+        wire = b"\xc0\x02\x00\x00"
+        with pytest.raises(DnsWireError):
+            decode_name(wire, 0)
+
+    def test_truncated_label_rejected(self):
+        with pytest.raises(DnsWireError):
+            decode_name(b"\x07exam")
+
+    def test_compression_shrinks_repeated_names(self):
+        writer = WireWriter(compress=True)
+        writer.write_name("a.example.com")
+        writer.write_name("b.example.com")
+        compressed = len(writer.getvalue())
+        writer2 = WireWriter(compress=False)
+        writer2.write_name("a.example.com")
+        writer2.write_name("b.example.com")
+        assert compressed < len(writer2.getvalue())
+
+    def test_compressed_names_decode_identically(self):
+        writer = WireWriter(compress=True)
+        names = ["a.example.com", "b.example.com", "example.com", "com"]
+        for name in names:
+            writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        assert [reader.read_name() for _ in names] == names
+
+
+class TestMessageCodec:
+    def test_query_roundtrip(self):
+        query = make_query("or000.0000001.ucfsealresearch.net", msg_id=0x1234)
+        decoded = decode_message(encode_message(query))
+        assert decoded.header.msg_id == 0x1234
+        assert decoded.header.flags.rd
+        assert not decoded.header.flags.qr
+        assert decoded.qname == "or000.0000001.ucfsealresearch.net"
+        assert decoded.questions[0].qtype == QueryType.A
+
+    def test_response_with_all_sections(self):
+        message = DnsMessage(
+            header=DnsHeader(
+                msg_id=7,
+                flags=DnsFlags(qr=True, aa=True, ra=True, rd=True),
+                rcode=Rcode.NOERROR,
+            ),
+            questions=[Question("www.example.com")],
+            answers=[
+                ResourceRecord(
+                    "www.example.com", QueryType.CNAME, data=CnameData("example.com")
+                ),
+                ResourceRecord("example.com", QueryType.A, data=AData("1.2.3.4")),
+            ],
+            authorities=[
+                ResourceRecord(
+                    "example.com", QueryType.NS, data=NsData("ns1.example.com")
+                )
+            ],
+            additionals=[
+                ResourceRecord("ns1.example.com", QueryType.A, data=AData("5.6.7.8"))
+            ],
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.header.flags.aa and decoded.header.flags.ra
+        assert len(decoded.answers) == 2
+        assert decoded.answers[0].data == CnameData("example.com")
+        assert decoded.answers[1].data == AData("1.2.3.4")
+        assert decoded.authorities[0].data == NsData("ns1.example.com")
+        assert decoded.additionals[0].data == AData("5.6.7.8")
+
+    def test_empty_question_response_roundtrip(self):
+        # Section IV-B4: real resolvers send responses with no question.
+        message = DnsMessage(
+            header=DnsHeader(
+                msg_id=1, flags=DnsFlags(qr=True), rcode=Rcode.SERVFAIL
+            )
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.questions == []
+        assert decoded.qname is None
+        assert decoded.rcode == Rcode.SERVFAIL
+
+    def test_flags_word_all_bits(self):
+        for field in ("qr", "aa", "tc", "rd", "ra", "ad", "cd"):
+            flags = DnsFlags(**{field: True})
+            word = flags.to_int(0, 0)
+            recovered, _, _ = DnsFlags.from_int(word)
+            assert recovered == flags, field
+
+    def test_rcode_roundtrip(self):
+        for rcode in Rcode:
+            flags = DnsFlags(qr=True)
+            word = flags.to_int(0, rcode)
+            _, _, recovered = DnsFlags.from_int(word)
+            assert recovered == rcode
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(DnsWireError):
+            decode_message(b"\x00" * 11)
+
+    def test_garbage_counts_rejected(self):
+        query = make_query("example.com")
+        wire = bytearray(encode_message(query))
+        wire[4:6] = b"\x00\x09"  # claim 9 questions
+        with pytest.raises(DnsWireError):
+            decode_message(bytes(wire))
+
+    @given(
+        st.integers(0, 0xFFFF),
+        NAME.filter(lambda n: n != ""),
+        st.sampled_from(list(QueryType)),
+    )
+    def test_query_roundtrip_property(self, msg_id, qname, qtype):
+        query = make_query(qname, qtype=qtype, msg_id=msg_id)
+        decoded = decode_message(encode_message(query))
+        assert decoded.header.msg_id == msg_id
+        assert decoded.qname == qname
+        assert decoded.questions[0].qtype == qtype
+
+    @given(st.lists(IPV4, min_size=0, max_size=8))
+    def test_answer_section_roundtrip_property(self, addresses):
+        query = make_query("probe.ucfsealresearch.net", msg_id=9)
+        message = DnsMessage(
+            header=DnsHeader(msg_id=9, flags=DnsFlags(qr=True, ra=True)),
+            questions=list(query.questions),
+            answers=[
+                ResourceRecord(
+                    "probe.ucfsealresearch.net", QueryType.A, data=AData(address)
+                )
+                for address in addresses
+            ],
+        )
+        decoded = decode_message(encode_message(message))
+        assert [record.data.address for record in decoded.answers] == addresses
+
+
+class TestRdataCodecs:
+    def test_mx_roundtrip(self):
+        record = ResourceRecord(
+            "example.com", QueryType.MX, data=MxData(10, "mail.example.com")
+        )
+        message = DnsMessage(
+            header=DnsHeader(flags=DnsFlags(qr=True)),
+            questions=[Question("example.com", QueryType.MX)],
+            answers=[record],
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == MxData(10, "mail.example.com")
+
+    def test_soa_roundtrip(self):
+        soa = SoaData("ns1.example.com", "hostmaster.example.com", 1, 2, 3, 4, 5)
+        message = DnsMessage(
+            header=DnsHeader(flags=DnsFlags(qr=True)),
+            questions=[Question("example.com", QueryType.SOA)],
+            answers=[ResourceRecord("example.com", QueryType.SOA, data=soa)],
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == soa
+
+    def test_txt_roundtrip(self):
+        txt = TxtData(("hello world", "second string"))
+        message = DnsMessage(
+            header=DnsHeader(flags=DnsFlags(qr=True)),
+            answers=[ResourceRecord("example.com", QueryType.TXT, data=txt)],
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == txt
+
+    def test_unknown_type_roundtrips_raw(self):
+        from repro.dnslib.records import RawData
+
+        raw = RawData(rtype=99, payload=b"\x01\x02\x03")
+        message = DnsMessage(
+            header=DnsHeader(flags=DnsFlags(qr=True)),
+            answers=[ResourceRecord("example.com", 99, data=raw)],
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == raw
+
+    def test_invalid_ipv4_rejected(self):
+        with pytest.raises(DnsWireError):
+            encode_message(
+                DnsMessage(
+                    answers=[
+                        ResourceRecord("x.com", QueryType.A, data=AData("1.2.3"))
+                    ]
+                )
+            )
+        with pytest.raises(DnsWireError):
+            encode_message(
+                DnsMessage(
+                    answers=[
+                        ResourceRecord("x.com", QueryType.A, data=AData("1.2.3.999"))
+                    ]
+                )
+            )

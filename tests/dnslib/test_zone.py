@@ -1,0 +1,148 @@
+"""Zone model and master-file parser tests."""
+
+import pytest
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.records import AData, NsData, ResourceRecord, SoaData
+from repro.dnslib.zone import Zone, ZoneError, parse_master_file, serialize_zone
+
+MASTER = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 600
+@   IN SOA ns1 hostmaster (
+        2018042601 ; serial
+        3600 900 604800 300 )
+@   IN NS ns1
+ns1 IN A  45.76.1.10
+or000.0000000 IN A 45.76.1.10
+or000.0000001 IN A 45.76.1.10
+alias IN CNAME or000.0000000
+mail IN MX 10 mx1
+mx1 IN A 45.76.1.11
+txt IN TXT "probe marker"
+"""
+
+
+class TestZoneBasics:
+    def test_add_and_lookup(self):
+        zone = Zone("example.com")
+        zone.add_a("www.example.com", "1.2.3.4")
+        disposition, records = zone.lookup("www.example.com", QueryType.A)
+        assert disposition == "answer"
+        assert records[0].data == AData("1.2.3.4")
+
+    def test_out_of_zone_add_rejected(self):
+        zone = Zone("example.com")
+        with pytest.raises(ZoneError):
+            zone.add_a("www.other.com", "1.2.3.4")
+
+    def test_nxdomain(self):
+        zone = Zone("example.com")
+        zone.add_a("www.example.com", "1.2.3.4")
+        disposition, _ = zone.lookup("missing.example.com", QueryType.A)
+        assert disposition == "nxdomain"
+
+    def test_nodata(self):
+        zone = Zone("example.com")
+        zone.add_a("www.example.com", "1.2.3.4")
+        disposition, _ = zone.lookup("www.example.com", QueryType.MX)
+        assert disposition == "nodata"
+
+    def test_out_of_zone_lookup(self):
+        zone = Zone("example.com")
+        disposition, _ = zone.lookup("www.other.com", QueryType.A)
+        assert disposition == "out-of-zone"
+
+    def test_cname_disposition(self):
+        zone = parse_master_file(MASTER)
+        disposition, records = zone.lookup(
+            "alias.ucfsealresearch.net", QueryType.A
+        )
+        assert disposition == "cname"
+        assert records[0].rtype == QueryType.CNAME
+
+    def test_any_returns_all_types(self):
+        zone = Zone("example.com")
+        zone.add_a("example.com", "1.2.3.4")
+        zone.add(
+            ResourceRecord(
+                "example.com", QueryType.NS, data=NsData("ns1.example.com")
+            )
+        )
+        disposition, records = zone.lookup("example.com", QueryType.ANY)
+        assert disposition == "answer"
+        assert {int(r.rtype) for r in records} == {QueryType.A, QueryType.NS}
+
+    def test_counts(self):
+        zone = Zone("example.com")
+        zone.add_a("a.example.com", "1.1.1.1")
+        zone.add_a("a.example.com", "2.2.2.2")
+        zone.add_a("b.example.com", "3.3.3.3")
+        assert zone.record_count == 3
+        assert zone.name_count == 2
+        assert "a.example.com" in zone
+        assert "z.example.com" not in zone
+
+
+class TestMasterFile:
+    def test_parse_counts(self):
+        zone = parse_master_file(MASTER)
+        assert zone.origin == "ucfsealresearch.net"
+        assert zone.soa() is not None
+        assert zone.rrset("ns1.ucfsealresearch.net", QueryType.A)
+
+    def test_soa_fields(self):
+        zone = parse_master_file(MASTER)
+        soa = zone.soa().data
+        assert isinstance(soa, SoaData)
+        assert soa.serial == 2018042601
+        assert soa.mname == "ns1.ucfsealresearch.net"
+
+    def test_default_ttl_applied(self):
+        zone = parse_master_file(MASTER)
+        record = zone.rrset("or000.0000000.ucfsealresearch.net", QueryType.A)[0]
+        assert record.ttl == 600
+
+    def test_relative_names_qualified(self):
+        zone = parse_master_file(MASTER)
+        assert zone.rrset("mx1.ucfsealresearch.net", QueryType.A)
+
+    def test_mx_parsed(self):
+        zone = parse_master_file(MASTER)
+        mx = zone.rrset("mail.ucfsealresearch.net", QueryType.MX)[0].data
+        assert mx.preference == 10
+        assert mx.exchange == "mx1.ucfsealresearch.net"
+
+    def test_txt_strips_quotes(self):
+        zone = parse_master_file(MASTER)
+        txt = zone.rrset("txt.ucfsealresearch.net", QueryType.TXT)[0].data
+        assert txt.strings == ("probe", "marker")
+
+    def test_origin_argument(self):
+        zone = parse_master_file("www IN A 1.2.3.4\n", origin="example.com")
+        assert zone.rrset("www.example.com", QueryType.A)
+
+    def test_no_origin_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_master_file("www IN A 1.2.3.4\n")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_master_file("$ORIGIN x.\n@ IN SOA a b ( 1 2 3 4 5\n")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_master_file("$ORIGIN x.\nfoo IN NAPTR something\n")
+
+    def test_serialize_roundtrip(self):
+        zone = parse_master_file(MASTER)
+        text = serialize_zone(zone)
+        reparsed = parse_master_file(text)
+        assert reparsed.record_count == zone.record_count
+        assert reparsed.name_count == zone.name_count
+
+    def test_comments_ignored(self):
+        zone = parse_master_file(
+            "$ORIGIN example.com.\n; full line comment\nwww IN A 1.2.3.4 ; trailing\n"
+        )
+        assert zone.record_count == 1

@@ -1,0 +1,176 @@
+"""Authoritative server tests."""
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnslib.zone import Zone, parse_master_file
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+@ IN NS ns1
+ns1 IN A 45.76.1.10
+or000.0000000 IN A 45.76.1.10
+alias IN CNAME or000.0000000
+"""
+
+
+def make_server():
+    server = AuthoritativeServer("45.76.1.10")
+    server.load_zone(parse_master_file(ZONE_TEXT))
+    return server
+
+
+class TestRespond:
+    def test_authoritative_answer(self):
+        server = make_server()
+        response = server.respond(make_query("or000.0000000.ucfsealresearch.net"), 0.0)
+        assert response.header.flags.aa
+        assert not response.header.flags.ra
+        assert response.rcode == Rcode.NOERROR
+        assert response.answers[0].data.address == "45.76.1.10"
+
+    def test_nxdomain_with_soa(self):
+        server = make_server()
+        response = server.respond(make_query("missing.ucfsealresearch.net"), 0.0)
+        assert response.rcode == Rcode.NXDOMAIN
+        assert response.header.flags.aa
+        assert response.authorities[0].rtype == QueryType.SOA
+
+    def test_nodata(self):
+        server = make_server()
+        response = server.respond(
+            make_query("or000.0000000.ucfsealresearch.net", qtype=QueryType.MX), 0.0
+        )
+        assert response.rcode == Rcode.NOERROR
+        assert response.answers == []
+
+    def test_refused_out_of_zone(self):
+        server = make_server()
+        response = server.respond(make_query("www.google.com"), 0.0)
+        assert response.rcode == Rcode.REFUSED
+        assert not response.header.flags.aa
+
+    def test_cname_chain_included(self):
+        server = make_server()
+        response = server.respond(make_query("alias.ucfsealresearch.net"), 0.0)
+        types = [int(record.rtype) for record in response.answers]
+        assert types == [QueryType.CNAME, QueryType.A]
+
+    def test_empty_question_gets_formerr(self):
+        from repro.dnslib.message import DnsMessage
+
+        server = make_server()
+        response = server.respond(DnsMessage(), 0.0)
+        assert response.rcode == Rcode.FORMERR
+
+
+class TestClusters:
+    def test_servfail_during_hard_reload_window(self):
+        server = AuthoritativeServer("45.76.1.10", cluster_load_seconds=60.0)
+        zone = Zone("ucfsealresearch.net")
+        for index in range(100):
+            zone.add_a(f"or000.{index:07d}.ucfsealresearch.net", "45.76.1.10")
+        ready_at = server.install_cluster(zone, now=0.0, graceful=False)
+        assert 0 < ready_at < 60.0  # scaled by cluster size
+        during = server.respond(
+            make_query("or000.0000000.ucfsealresearch.net"), ready_at / 2
+        )
+        assert during.rcode == Rcode.SERVFAIL
+        after = server.respond(make_query("or000.0000000.ucfsealresearch.net"), ready_at)
+        assert after.rcode == Rcode.NOERROR
+        assert server.queries_during_reload == 1
+
+    def test_graceful_reload_keeps_serving(self):
+        server = AuthoritativeServer("45.76.1.10", cluster_load_seconds=60.0)
+        first = Zone("ucfsealresearch.net")
+        first.add_a("or000.0000000.ucfsealresearch.net", "45.76.1.10")
+        server.install_cluster(first, now=0.0)
+        second = Zone("ucfsealresearch.net")
+        second.add_a("or001.0000000.ucfsealresearch.net", "45.76.1.10")
+        ready_at = server.install_cluster(second, now=10.0, graceful=True)
+        # During the graceful load both clusters answer.
+        old = server.respond(make_query("or000.0000000.ucfsealresearch.net"), 10.001)
+        assert old.rcode == Rcode.NOERROR
+        new = server.respond(make_query("or001.0000000.ucfsealresearch.net"), ready_at)
+        assert new.rcode == Rcode.NOERROR
+        assert server.queries_during_reload == 0
+
+    def test_reload_time_scales_with_size(self):
+        server = AuthoritativeServer("45.76.1.10", cluster_load_seconds=60.0)
+        small = Zone("ucfsealresearch.net")
+        small.add_a("a.ucfsealresearch.net", "1.2.3.4")
+        big = Zone("ucfsealresearch.net")
+        for index in range(1000):
+            big.add_a(f"b{index}.ucfsealresearch.net", "1.2.3.4")
+        t_small = server.install_cluster(small, now=0.0)
+        t_big = server.install_cluster(big, now=100.0) - 100.0
+        assert t_big > t_small
+
+    def test_zone_history_bounded(self):
+        server = AuthoritativeServer("45.76.1.10", zone_history=2)
+        zones = []
+        for number in range(3):
+            zone = Zone("ucfsealresearch.net")
+            zone.add_a(f"or{number:03d}.0000000.ucfsealresearch.net", "1.1.1.1")
+            zones.append(zone)
+            server.install_cluster(zone, now=float(number))
+        # The newest two clusters remain queryable; the oldest is gone.
+        assert server.has_subdomain_loaded("or002.0000000.ucfsealresearch.net")
+        assert server.has_subdomain_loaded("or001.0000000.ucfsealresearch.net")
+        assert not server.has_subdomain_loaded("or000.0000000.ucfsealresearch.net")
+        assert server.zone_count == 1  # one origin
+
+    def test_zone_history_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AuthoritativeServer("45.76.1.10", zone_history=0)
+
+
+class TestOverNetwork:
+    def test_query_logged_and_answered(self):
+        network = Network()
+        server = make_server()
+        server.attach(network)
+        responses = []
+        network.bind("9.9.9.9", 4000, lambda dg, net: responses.append(dg))
+        query = make_query("or000.0000000.ucfsealresearch.net", msg_id=55)
+        network.send(
+            Datagram("9.9.9.9", 4000, "45.76.1.10", 53, encode_message(query))
+        )
+        network.run()
+        assert len(responses) == 1
+        decoded = decode_message(responses[0].payload)
+        assert decoded.header.msg_id == 55
+        assert decoded.answers
+        assert len(server.query_log) == 1
+        entry = server.query_log[0]
+        assert entry.src_ip == "9.9.9.9"
+        assert entry.qname == "or000.0000000.ucfsealresearch.net"
+
+    def test_garbage_payload_dropped(self):
+        network = Network()
+        server = make_server()
+        server.attach(network)
+        network.send(Datagram("9.9.9.9", 4000, "45.76.1.10", 53, b"nonsense"))
+        network.run()
+        assert server.query_log == []
+
+    def test_queries_for_join_key(self):
+        network = Network()
+        server = make_server()
+        server.attach(network)
+        network.bind("9.9.9.9", 4000, lambda dg, net: None)
+        for qname in ("or000.0000000.ucfsealresearch.net", "missing.ucfsealresearch.net"):
+            network.send(
+                Datagram(
+                    "9.9.9.9", 4000, "45.76.1.10", 53, encode_message(make_query(qname))
+                )
+            )
+        network.run()
+        assert len(server.queries_for("or000.0000000.ucfsealresearch.net")) == 1

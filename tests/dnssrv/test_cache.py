@@ -1,0 +1,104 @@
+"""DNS cache tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.records import AData, ResourceRecord
+from repro.dnssrv.cache import DnsCache
+
+
+def a_record(name="x.example.com", address="1.2.3.4", ttl=60):
+    return ResourceRecord(name, QueryType.A, ttl=ttl, data=AData(address))
+
+
+class TestDnsCache:
+    def test_hit_before_expiry(self):
+        cache = DnsCache()
+        cache.put("x.example.com", QueryType.A, [a_record(ttl=60)], now=0.0)
+        records = cache.get("x.example.com", QueryType.A, now=59.0)
+        assert records[0].data.address == "1.2.3.4"
+        assert cache.stats.hits == 1
+
+    def test_miss_after_expiry(self):
+        cache = DnsCache()
+        cache.put("x.example.com", QueryType.A, [a_record(ttl=60)], now=0.0)
+        assert cache.get("x.example.com", QueryType.A, now=60.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_min_ttl_of_set_governs(self):
+        cache = DnsCache()
+        records = [a_record(ttl=300), a_record(address="5.6.7.8", ttl=10)]
+        cache.put("x.example.com", QueryType.A, records, now=0.0)
+        assert cache.get("x.example.com", QueryType.A, now=11.0) is None
+
+    def test_zero_ttl_not_cached(self):
+        cache = DnsCache()
+        cache.put("x.example.com", QueryType.A, [a_record(ttl=0)], now=0.0)
+        assert len(cache) == 0
+
+    def test_empty_rrset_not_cached(self):
+        cache = DnsCache()
+        cache.put("x.example.com", QueryType.A, [], now=0.0)
+        assert len(cache) == 0
+
+    def test_qname_case_insensitive(self):
+        cache = DnsCache()
+        cache.put("X.Example.COM", QueryType.A, [a_record()], now=0.0)
+        assert cache.get("x.example.com", QueryType.A, now=1.0) is not None
+
+    def test_type_is_part_of_key(self):
+        cache = DnsCache()
+        cache.put("x.example.com", QueryType.A, [a_record()], now=0.0)
+        assert cache.get("x.example.com", QueryType.MX, now=1.0) is None
+
+    def test_lru_eviction(self):
+        cache = DnsCache(max_entries=2)
+        cache.put("a.example.com", QueryType.A, [a_record("a.example.com")], now=0.0)
+        cache.put("b.example.com", QueryType.A, [a_record("b.example.com")], now=0.0)
+        cache.get("a.example.com", QueryType.A, now=1.0)  # refresh a
+        cache.put("c.example.com", QueryType.A, [a_record("c.example.com")], now=1.0)
+        assert cache.contains("a.example.com")
+        assert not cache.contains("b.example.com")
+        assert cache.stats.evictions == 1
+
+    def test_purge_expired(self):
+        cache = DnsCache()
+        cache.put("a.example.com", QueryType.A, [a_record("a.example.com", ttl=5)], 0.0)
+        cache.put("b.example.com", QueryType.A, [a_record("b.example.com", ttl=500)], 0.0)
+        assert cache.purge_expired(now=10.0) == 1
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = DnsCache()
+        cache.put("a.example.com", QueryType.A, [a_record("a.example.com")], 0.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_returned_list_is_a_copy(self):
+        cache = DnsCache()
+        cache.put("a.example.com", QueryType.A, [a_record("a.example.com")], 0.0)
+        first = cache.get("a.example.com", QueryType.A, 1.0)
+        first.append("junk")
+        second = cache.get("a.example.com", QueryType.A, 1.0)
+        assert len(second) == 1
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            DnsCache(max_entries=0)
+
+    def test_hit_rate(self):
+        cache = DnsCache()
+        cache.put("a.example.com", QueryType.A, [a_record("a.example.com")], 0.0)
+        cache.get("a.example.com", QueryType.A, 1.0)
+        cache.get("missing.example.com", QueryType.A, 1.0)
+        assert cache.stats.hit_rate == 0.5
+
+    @given(st.integers(1, 20), st.integers(1, 40))
+    def test_size_never_exceeds_max(self, max_entries, inserts):
+        cache = DnsCache(max_entries=max_entries)
+        for index in range(inserts):
+            name = f"h{index}.example.com"
+            cache.put(name, QueryType.A, [a_record(name)], now=0.0)
+        assert len(cache) <= max_entries

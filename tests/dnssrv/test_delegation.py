@@ -1,0 +1,65 @@
+"""Root/TLD delegation server tests."""
+
+import pytest
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnssrv.delegation import Delegation, DelegationServer
+
+
+def make_root():
+    return DelegationServer(
+        "198.41.0.4",
+        "",
+        [Delegation("net", (("a.gtld-servers.net", "192.5.6.30"),))],
+    )
+
+
+class TestDelegationServer:
+    def test_referral_structure(self):
+        root = make_root()
+        response = root.respond(make_query("or000.x.ucfsealresearch.net"))
+        assert response.rcode == Rcode.NOERROR
+        assert response.answers == []
+        assert response.authorities[0].rtype == QueryType.NS
+        assert response.authorities[0].name == "net"
+        assert response.additionals[0].data.address == "192.5.6.30"
+        assert not response.header.flags.aa
+        assert not response.header.flags.ra
+
+    def test_nxdomain_for_unknown_tld(self):
+        root = make_root()
+        response = root.respond(make_query("example.nosuchtld"))
+        assert response.rcode == Rcode.NXDOMAIN
+
+    def test_out_of_bailiwick_refused(self):
+        tld = DelegationServer(
+            "192.5.6.30",
+            "net",
+            [Delegation("ucfsealresearch.net", (("ns1.ucfsealresearch.net", "45.76.1.10"),))],
+        )
+        response = tld.respond(make_query("www.example.com"))
+        assert response.rcode == Rcode.REFUSED
+
+    def test_most_specific_delegation_wins(self):
+        tld = DelegationServer("192.5.6.30", "net")
+        tld.add_delegation(Delegation("example.net", (("ns.example.net", "1.1.1.1"),)))
+        tld.add_delegation(
+            Delegation("deep.example.net", (("ns.deep.example.net", "2.2.2.2"),))
+        )
+        delegation = tld.delegation_for("www.deep.example.net")
+        assert delegation.zone == "deep.example.net"
+
+    def test_delegation_must_be_in_zone(self):
+        tld = DelegationServer("192.5.6.30", "net")
+        with pytest.raises(ValueError):
+            tld.add_delegation(Delegation("example.com", (("ns", "1.1.1.1"),)))
+
+    def test_empty_question_formerr(self):
+        from repro.dnslib.message import DnsMessage
+
+        root = make_root()
+        assert root.respond(DnsMessage()).rcode == Rcode.FORMERR
+
+    def test_delegation_count(self):
+        assert make_root().delegation_count == 1

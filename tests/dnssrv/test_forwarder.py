@@ -1,0 +1,78 @@
+"""Forwarding resolver (DNS proxy) tests."""
+
+import dataclasses
+
+from repro.dnslib.constants import Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnslib.zone import parse_master_file
+from repro.dnssrv.forwarder import ForwardingResolver
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+or000.0000000 IN A 45.76.1.10
+"""
+
+PROXY_IP = "201.10.0.5"
+UPSTREAM_IP = "93.184.10.1"
+CLIENT_IP = "8.8.4.100"
+
+
+def build_world(mangle=None):
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    upstream = RecursiveResolver(UPSTREAM_IP, hierarchy.root_servers)
+    upstream.attach(network)
+    proxy = ForwardingResolver(PROXY_IP, UPSTREAM_IP, mangle=mangle)
+    proxy.attach(network)
+    return network, proxy
+
+
+def ask(network, qname, msg_id=9):
+    responses = []
+    network.bind(CLIENT_IP, 5555, lambda dg, net: responses.append(dg))
+    query = make_query(qname, msg_id=msg_id)
+    network.send(Datagram(CLIENT_IP, 5555, PROXY_IP, 53, encode_message(query)))
+    network.run()
+    return [decode_message(dg.payload) for dg in responses]
+
+
+class TestForwarder:
+    def test_relays_answer_with_original_id(self):
+        network, proxy = build_world()
+        (response,) = ask(network, "or000.0000000.ucfsealresearch.net", msg_id=321)
+        assert response.header.msg_id == 321
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "45.76.1.10"
+        assert proxy.forwarded == 1
+        assert proxy.relayed == 1
+
+    def test_mangle_hook_applies(self):
+        def strip_ra(message):
+            flags = dataclasses.replace(message.header.flags, ra=False)
+            message.header = dataclasses.replace(message.header, flags=flags)
+            return message
+
+        network, _ = build_world(mangle=strip_ra)
+        (response,) = ask(network, "or000.0000000.ucfsealresearch.net")
+        assert not response.header.flags.ra  # CPE firmware rewrote the bit
+
+    def test_dead_upstream_means_silence(self):
+        network = Network()
+        proxy = ForwardingResolver(PROXY_IP, "203.0.113.77")
+        proxy.attach(network)
+        responses = ask(network, "x.ucfsealresearch.net")
+        assert responses == []
+
+    def test_garbage_client_query_ignored(self):
+        network, proxy = build_world()
+        network.send(Datagram(CLIENT_IP, 5555, PROXY_IP, 53, b"garbage"))
+        network.run()
+        assert proxy.forwarded == 0

@@ -1,0 +1,51 @@
+"""Hierarchy assembly tests."""
+
+import pytest
+
+from repro.dnslib.message import make_query
+from repro.dnssrv.hierarchy import (
+    AUTH_IP,
+    MEASUREMENT_SLD,
+    ROOT_IP,
+    TLD_IP,
+    build_hierarchy,
+)
+from repro.netsim.network import Network
+
+
+class TestBuildHierarchy:
+    def test_default_addresses(self):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        assert hierarchy.root.ip == ROOT_IP
+        assert hierarchy.tld.ip == TLD_IP
+        assert hierarchy.auth.ip == AUTH_IP
+        assert hierarchy.sld == MEASUREMENT_SLD
+        assert hierarchy.root_servers == [ROOT_IP]
+
+    def test_all_servers_bound(self):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        for ip in (hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip):
+            assert network.is_bound(ip, 53)
+
+    def test_delegation_chain(self):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        root_referral = hierarchy.root.respond(
+            make_query("x.ucfsealresearch.net")
+        )
+        assert root_referral.additionals[0].data.address == hierarchy.tld.ip
+        tld_referral = hierarchy.tld.respond(make_query("x.ucfsealresearch.net"))
+        assert tld_referral.additionals[0].data.address == hierarchy.auth.ip
+
+    def test_custom_sld(self):
+        network = Network()
+        hierarchy = build_hierarchy(network, sld="probe.example")
+        assert hierarchy.sld == "probe.example"
+        assert hierarchy.tld.zone == "example"
+
+    def test_sld_must_have_tld(self):
+        network = Network()
+        with pytest.raises(ValueError):
+            build_hierarchy(network, sld="bare")

@@ -1,0 +1,86 @@
+"""Response rate limiting tests."""
+
+import pytest
+
+from repro.dnssrv.ratelimit import ResponseRateLimiter
+
+
+class TestTokenBucket:
+    def test_burst_then_block(self):
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=3.0)
+        results = [limiter.allow("9.9.9.9", 0.0) for _ in range(5)]
+        assert results == [True, True, True, False, False]
+        assert limiter.dropped == 2
+
+    def test_refill_over_time(self):
+        limiter = ResponseRateLimiter(rate_per_second=2.0, burst=2.0)
+        assert limiter.allow("9.9.9.9", 0.0)
+        assert limiter.allow("9.9.9.9", 0.0)
+        assert not limiter.allow("9.9.9.9", 0.0)
+        # 1 second at 2 tokens/s refills two responses.
+        assert limiter.allow("9.9.9.9", 1.0)
+        assert limiter.allow("9.9.9.9", 1.0)
+        assert not limiter.allow("9.9.9.9", 1.0)
+
+    def test_per_client_isolation(self):
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=1.0)
+        assert limiter.allow("1.1.1.1", 0.0)
+        assert limiter.allow("2.2.2.2", 0.0)  # separate bucket
+        assert not limiter.allow("1.1.1.1", 0.0)
+
+    def test_tokens_capped_at_burst(self):
+        limiter = ResponseRateLimiter(rate_per_second=100.0, burst=2.0)
+        limiter.allow("9.9.9.9", 0.0)
+        # A long quiet period cannot bank more than the burst.
+        assert limiter.allow("9.9.9.9", 100.0)
+        assert limiter.allow("9.9.9.9", 100.0)
+        assert not limiter.allow("9.9.9.9", 100.0)
+
+    def test_drop_rate(self):
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=1.0)
+        limiter.allow("9.9.9.9", 0.0)
+        limiter.allow("9.9.9.9", 0.0)
+        assert limiter.drop_rate == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResponseRateLimiter(rate_per_second=0)
+        with pytest.raises(ValueError):
+            ResponseRateLimiter(burst=-1)
+
+
+class TestRrlOnResolver:
+    def test_rrl_caps_amplification(self):
+        from repro.amplification import AmplificationAttack, build_rich_zone
+        from repro.dnssrv.hierarchy import build_hierarchy
+        from repro.dnssrv.recursive import RecursiveResolver
+        from repro.netsim.network import Network
+
+        def attack(limited: bool):
+            network = Network(seed=2)
+            hierarchy = build_hierarchy(
+                network, sld="amp.example", auth_ip="198.51.100.53"
+            )
+            hierarchy.auth.load_zone(build_rich_zone("amp.example"))
+            limiter = (
+                ResponseRateLimiter(rate_per_second=1.0, burst=2.0)
+                if limited
+                else None
+            )
+            ips = []
+            for index in range(3):
+                ip = f"100.0.0.{index + 1}"
+                RecursiveResolver(
+                    ip, hierarchy.root_servers, rate_limiter=limiter
+                ).attach(network)
+                ips.append(ip)
+            return AmplificationAttack(
+                network, "6.6.6.6", "203.0.113.9", ips, "amp.example"
+            ).launch(rounds=20)
+
+        unlimited = attack(limited=False)
+        limited = attack(limited=True)
+        assert unlimited.victim_packets == unlimited.queries_sent
+        # RRL suppresses most of the reflected flood.
+        assert limited.victim_packets < 0.35 * unlimited.victim_packets
+        assert limited.victim_bytes < 0.35 * unlimited.victim_bytes

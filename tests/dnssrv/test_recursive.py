@@ -1,0 +1,135 @@
+"""End-to-end recursive resolution tests (Fig 1 of the paper)."""
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnslib.zone import parse_master_file
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+@ IN NS ns1
+ns1 IN A 45.76.1.10
+or000.0000000 IN A 45.76.1.10
+alias IN CNAME or000.0000000
+"""
+
+RESOLVER_IP = "93.184.10.1"
+CLIENT_IP = "8.8.4.100"
+
+
+def build_world(record_traces=False):
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    resolver = RecursiveResolver(
+        RESOLVER_IP, hierarchy.root_servers, record_traces=record_traces
+    )
+    resolver.attach(network)
+    return network, hierarchy, resolver
+
+
+def ask(network, qname, msg_id=1, qtype=QueryType.A):
+    responses = []
+    if not network.is_bound(CLIENT_IP, 5555):
+        network.bind(CLIENT_IP, 5555, lambda dg, net: responses.append(dg))
+    query = make_query(qname, qtype=qtype, msg_id=msg_id)
+    network.send(Datagram(CLIENT_IP, 5555, RESOLVER_IP, 53, encode_message(query)))
+    network.run()
+    return [decode_message(dg.payload) for dg in responses]
+
+
+class TestRecursiveResolution:
+    def test_full_chain_resolves(self):
+        network, hierarchy, resolver = build_world()
+        (response,) = ask(network, "or000.0000000.ucfsealresearch.net", msg_id=77)
+        assert response.header.msg_id == 77
+        assert response.header.flags.ra
+        assert not response.header.flags.aa
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "45.76.1.10"
+        # Each tier of the hierarchy was consulted exactly once.
+        assert hierarchy.root.queries_served == 1
+        assert hierarchy.tld.queries_served == 1
+        assert len(hierarchy.auth.query_log) == 1
+        assert hierarchy.auth.query_log[0].src_ip == RESOLVER_IP
+
+    def test_trace_matches_fig1(self):
+        network, hierarchy, resolver = build_world(record_traces=True)
+        ask(network, "or000.0000000.ucfsealresearch.net")
+        (trace,) = resolver.traces
+        assert trace.outcome == "answered"
+        assert [step for step in trace.steps] == [
+            (hierarchy.root.ip, "referral"),
+            (hierarchy.tld.ip, "referral"),
+            (hierarchy.auth.ip, "answer"),
+        ]
+
+    def test_nxdomain_propagates(self):
+        network, _, _ = build_world()
+        (response,) = ask(network, "missing.ucfsealresearch.net")
+        assert response.rcode == Rcode.NXDOMAIN
+        assert response.header.flags.ra
+
+    def test_cache_short_circuits_second_query(self):
+        network, hierarchy, resolver = build_world()
+        ask(network, "or000.0000000.ucfsealresearch.net", msg_id=1)
+        ask(network, "or000.0000000.ucfsealresearch.net", msg_id=2)
+        assert hierarchy.root.queries_served == 1  # only the first walk
+        assert resolver.stats.cache_answers == 1
+
+    def test_unique_subdomains_defeat_cache(self):
+        # The paper's core methodology: fresh qnames can never be cache hits.
+        network, hierarchy, resolver = build_world()
+        ask(network, "or000.0000000.ucfsealresearch.net", msg_id=1)
+        ask(network, "alias.ucfsealresearch.net", msg_id=2)
+        assert resolver.stats.cache_answers == 0
+
+    def test_cname_chain_resolves(self):
+        network, _, resolver = build_world()
+        (response,) = ask(network, "alias.ucfsealresearch.net")
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "45.76.1.10"
+
+    def test_unreachable_root_servfails(self):
+        network = Network()
+        resolver = RecursiveResolver(RESOLVER_IP, ["203.0.113.99"], timeout=0.5)
+        resolver.attach(network)
+        (response,) = ask(network, "x.ucfsealresearch.net")
+        assert response.rcode == Rcode.SERVFAIL
+        assert resolver.stats.servfail == 1
+
+    def test_fallback_to_second_root(self):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+        resolver = RecursiveResolver(
+            RESOLVER_IP, ["203.0.113.99", hierarchy.root.ip], timeout=0.5
+        )
+        resolver.attach(network)
+        (response,) = ask(network, "or000.0000000.ucfsealresearch.net")
+        assert response.rcode == Rcode.NOERROR
+
+    def test_stats_counters(self):
+        network, _, resolver = build_world()
+        ask(network, "or000.0000000.ucfsealresearch.net")
+        assert resolver.stats.client_queries == 1
+        assert resolver.stats.upstream_queries == 3  # root, tld, auth
+        assert resolver.stats.answered == 1
+
+    def test_requires_root_servers(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RecursiveResolver(RESOLVER_IP, [])
+
+    def test_malformed_client_query_ignored(self):
+        network, _, resolver = build_world()
+        network.send(Datagram(CLIENT_IP, 5555, RESOLVER_IP, 53, b"junk"))
+        network.run()
+        assert resolver.stats.client_queries == 0

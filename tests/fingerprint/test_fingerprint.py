@@ -1,0 +1,141 @@
+"""version.bind fingerprinting tests."""
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.dnslib.chaos import (
+    VERSION_BIND,
+    extract_banner,
+    is_version_bind_query,
+    version_bind_response,
+)
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message
+from repro.fingerprint import (
+    SOFTWARE_MIX,
+    SoftwareIdentity,
+    VersionScanner,
+    assign_software,
+    classify_banner,
+    render_census,
+    take_census,
+)
+from repro.fingerprint.identities import vulnerabilities_for
+
+
+def version_query(qclass=DnsClass.CH, qtype=QueryType.TXT, qname=VERSION_BIND):
+    return make_query(qname, qtype=qtype, qclass=qclass, recursion_desired=False)
+
+
+class TestChaosHelpers:
+    def test_detects_version_bind(self):
+        assert is_version_bind_query(version_query())
+        assert is_version_bind_query(version_query(qtype=QueryType.ANY))
+
+    def test_rejects_wrong_class_or_name(self):
+        assert not is_version_bind_query(version_query(qclass=DnsClass.IN))
+        assert not is_version_bind_query(version_query(qname="version.server"))
+        assert not is_version_bind_query(version_query(qtype=QueryType.A))
+
+    def test_banner_roundtrip(self):
+        query = version_query()
+        wire = version_bind_response(query, "dnsmasq-2.76")
+        response = decode_message(wire)
+        assert extract_banner(response) == "dnsmasq-2.76"
+        assert response.header.flags.aa
+        assert response.answers[0].rclass == DnsClass.CH
+
+    def test_hidden_banner_refused(self):
+        wire = version_bind_response(version_query(), None)
+        response = decode_message(wire)
+        assert response.rcode == Rcode.REFUSED
+        assert extract_banner(response) is None
+
+
+class TestIdentities:
+    def test_banner_format(self):
+        bind = SoftwareIdentity("ISC", "bind", "9.11.4-P2")
+        assert bind.banner == "9.11.4-P2"
+        dnsmasq = SoftwareIdentity("Thekelleys", "dnsmasq", "2.76")
+        assert dnsmasq.banner == "dnsmasq-2.76"
+        hidden = SoftwareIdentity("unknown", "hidden", "", hidden=True)
+        assert hidden.banner is None
+
+    def test_classify_banner(self):
+        assert classify_banner("dnsmasq-2.76") == ("Thekelleys", "dnsmasq")
+        assert classify_banner("9.9.4-RedHat-9.9.4-61.el7") == ("ISC", "bind")
+        assert classify_banner("Microsoft DNS 6.1.7601")[0] == "Microsoft"
+        assert classify_banner(None) == ("unknown", "hidden")
+
+    def test_vulnerabilities_longest_prefix(self):
+        assert "CVE-2017-14491" in vulnerabilities_for("dnsmasq-2.76")
+        assert vulnerabilities_for("9.9.4-RedHat-9.9.4-61.el7") == (
+            "CVE-2015-5477", "CVE-2016-2776",
+        )
+        assert vulnerabilities_for("dnsmasq-2.99") == ()
+        assert vulnerabilities_for(None) == ()
+
+    def test_mix_weights_positive(self):
+        assert all(weight > 0 for _, weight in SOFTWARE_MIX)
+        assert any(identity.hidden for identity, _ in SOFTWARE_MIX)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(CampaignConfig(year=2018, scale=16384, seed=9)).run()
+
+
+class TestScannerOverCampaign:
+    def test_assignment_deterministic(self, campaign):
+        first = assign_software(campaign.population, seed=1)
+        second = assign_software(campaign.population, seed=1)
+        assert first == second
+
+    def test_every_host_assigned(self, campaign):
+        assert set(campaign.software_map) == campaign.population.address_set()
+
+    def test_scan_recovers_banners(self, campaign):
+        targets = sorted(campaign.population.address_set())
+        scanner = VersionScanner(campaign.network)
+        result = scanner.scan(targets)
+        # Every host answers version.bind (banner or REFUSED).
+        assert result.responded == len(targets)
+        assert result.silent == []
+        for ip, banner in result.banners.items():
+            assert campaign.software_map[ip].banner == banner
+        for ip in result.refused:
+            assert campaign.software_map[ip].banner is None
+
+    def test_census_shape(self, campaign):
+        targets = sorted(campaign.population.address_set())
+        result = VersionScanner(
+            campaign.network, scanner_ip="132.170.3.16", source_port=31400
+        ).scan(targets)
+        census = take_census(result, total_targets=len(targets))
+        assert census.revealing + census.refused == len(targets)
+        # dnsmasq is the dominant revealed product in the mix.
+        assert max(census.by_product, key=census.by_product.get) == "dnsmasq"
+        # Old versions dominate: a substantial vulnerable share.
+        assert census.vulnerable_share > 0.3
+        assert 0.1 < census.hiding_rate < 0.35
+
+    def test_render_census(self, campaign):
+        targets = sorted(campaign.population.address_set())[:50]
+        result = VersionScanner(
+            campaign.network, scanner_ip="132.170.3.17", source_port=31401
+        ).scan(targets)
+        census = take_census(result, total_targets=len(targets))
+        text = render_census(census)
+        assert "version.bind census" in text
+        assert "product distribution" in text
+
+    def test_fingerprinting_can_be_disabled(self):
+        result = Campaign(
+            CampaignConfig(year=2018, scale=65536, seed=2, fingerprinting=False)
+        ).run()
+        assert result.software_map == {}
+        targets = sorted(result.population.address_set())
+        scan = VersionScanner(result.network).scan(targets)
+        assert scan.banners == {}
+        assert len(scan.refused) == len(targets)

@@ -1,0 +1,65 @@
+"""Record-injection experiment tests."""
+
+import pytest
+
+from repro.injection import InjectionExperiment, render_injection
+from repro.injection.experiment import POISON_ADDRESS, REAL_VICTIM_ADDRESS
+
+
+class TestInjectionExperiment:
+    def test_detects_exactly_the_vulnerable_resolvers(self):
+        experiment = InjectionExperiment(
+            resolver_count=20, vulnerable_share=0.5, seed=3
+        )
+        report = experiment.run()
+        assert set(report.vulnerable) == experiment.truly_vulnerable
+        assert report.unresponsive == ()
+        assert len(report.vulnerable) + len(report.safe) == 20
+
+    def test_all_safe_fleet(self):
+        report = InjectionExperiment(
+            resolver_count=10, vulnerable_share=0.0, seed=1
+        ).run()
+        assert report.vulnerable == ()
+        assert report.vulnerable_share == 0.0
+        assert len(report.safe) == 10
+
+    def test_all_vulnerable_fleet(self):
+        report = InjectionExperiment(
+            resolver_count=10, vulnerable_share=1.0, seed=1
+        ).run()
+        assert len(report.vulnerable) == 10
+        assert report.vulnerable_share == 1.0
+
+    def test_klein_calibration(self):
+        # Default share mirrors Klein et al.'s ">92%".
+        experiment = InjectionExperiment(resolver_count=100, seed=7)
+        report = experiment.run()
+        assert 0.85 <= report.vulnerable_share <= 1.0
+
+    def test_safe_resolvers_answer_honestly(self):
+        experiment = InjectionExperiment(
+            resolver_count=12, vulnerable_share=0.5, seed=5
+        )
+        report = experiment.run()
+        # Safe resolvers must have resolved the true victim address
+        # (not just refused) for the check to be meaningful.
+        assert report.safe
+        assert POISON_ADDRESS != REAL_VICTIM_ADDRESS
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            InjectionExperiment(resolver_count=0)
+        with pytest.raises(ValueError):
+            InjectionExperiment(vulnerable_share=-0.1)
+
+    def test_render(self):
+        report = InjectionExperiment(resolver_count=8, seed=2).run()
+        text = render_injection(report)
+        assert "Record-injection test" in text
+        assert "Klein" in text
+
+    def test_deterministic(self):
+        first = InjectionExperiment(resolver_count=15, seed=9).run()
+        second = InjectionExperiment(resolver_count=15, seed=9).run()
+        assert first == second

@@ -1,0 +1,102 @@
+"""Scheduler tests."""
+
+import pytest
+
+from repro.netsim.events import Scheduler
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(3.0, lambda: fired.append("c"))
+        scheduler.at(1.0, lambda: fired.append("a"))
+        scheduler.at(2.0, lambda: fired.append("b"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_stable_tie_breaking(self):
+        scheduler = Scheduler()
+        fired = []
+        for index in range(10):
+            scheduler.at(1.0, lambda i=index: fired.append(i))
+        scheduler.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances(self):
+        scheduler = Scheduler()
+        times = []
+        scheduler.at(2.5, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [2.5]
+        assert scheduler.now == 2.5
+
+    def test_after_is_relative(self):
+        scheduler = Scheduler(start_time=10.0)
+        times = []
+        scheduler.after(0.5, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [10.5]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = Scheduler(start_time=5.0)
+        with pytest.raises(ValueError):
+            scheduler.at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.after(-1.0, lambda: None)
+
+    def test_cancel(self):
+        scheduler = Scheduler()
+        fired = []
+        event = scheduler.at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        scheduler.run()
+        assert fired == []
+        assert scheduler.processed == 0
+
+    def test_events_can_schedule_events(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.after(1.0, lambda: fired.append("second"))
+
+        scheduler.at(1.0, first)
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler.now == 2.0
+
+    def test_run_until_stops_at_deadline(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(1.0, lambda: fired.append(1))
+        scheduler.at(2.0, lambda: fired.append(2))
+        scheduler.at(3.0, lambda: fired.append(3))
+        count = scheduler.run_until(2.0)
+        assert count == 2
+        assert fired == [1, 2]
+        assert scheduler.now == 2.0
+        assert scheduler.pending == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        scheduler = Scheduler()
+        scheduler.run_until(42.0)
+        assert scheduler.now == 42.0
+
+    def test_max_events(self):
+        scheduler = Scheduler()
+        fired = []
+        for index in range(5):
+            scheduler.at(float(index), lambda i=index: fired.append(i))
+        assert scheduler.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+
+    def test_counters(self):
+        scheduler = Scheduler()
+        scheduler.at(1.0, lambda: None)
+        scheduler.at(2.0, lambda: None)
+        assert scheduler.pending == 2
+        scheduler.run()
+        assert scheduler.pending == 0
+        assert scheduler.processed == 2

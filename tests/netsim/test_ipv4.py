@@ -1,0 +1,152 @@
+"""IPv4 arithmetic and Table I exclusion-list tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.ipv4 import (
+    Ipv4Block,
+    RESERVED_BLOCKS,
+    int_to_ip,
+    ip_to_int,
+    is_private,
+    is_probeable,
+    is_reserved,
+    probeable_space_size,
+    reserved_union_size,
+)
+
+
+class TestConversions:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("1.2.3.4") == 0x01020304
+        assert int_to_ip(0x01020304) == "1.2.3.4"
+
+    def test_bad_addresses_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestIpv4Block:
+    def test_parse_and_size(self):
+        block = Ipv4Block.parse("192.168.0.0/16")
+        assert block.size == 65536
+        assert "192.168.1.1" in block
+        assert "192.169.0.0" not in block
+
+    def test_network_is_masked(self):
+        block = Ipv4Block.parse("10.5.6.7/8")
+        assert int_to_ip(block.network) == "10.0.0.0"
+
+    def test_slash32(self):
+        block = Ipv4Block.parse("255.255.255.255/32")
+        assert block.size == 1
+        assert "255.255.255.255" in block
+
+    def test_slash0_covers_everything(self):
+        block = Ipv4Block.parse("0.0.0.0/0")
+        assert block.size == 1 << 32
+        assert "8.8.8.8" in block
+
+    def test_bare_address_is_slash32(self):
+        assert Ipv4Block.parse("1.2.3.4").size == 1
+
+    def test_str(self):
+        assert str(Ipv4Block.parse("172.16.0.0/12")) == "172.16.0.0/12"
+
+    def test_addresses_iteration(self):
+        block = Ipv4Block.parse("10.0.0.0/30")
+        assert [int_to_ip(a) for a in block.addresses()] == [
+            "10.0.0.0",
+            "10.0.0.1",
+            "10.0.0.2",
+            "10.0.0.3",
+        ]
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Block.parse("1.2.3.4/33")
+
+
+class TestTable1:
+    def test_sixteen_rows(self):
+        assert len(RESERVED_BLOCKS) == 16
+
+    def test_individual_row_sizes_match_paper(self):
+        # Per-row counts printed in Table I of the paper.
+        expected = {
+            "0.0.0.0/8": 16_777_216,
+            "10.0.0.0/8": 16_777_216,
+            "100.64.0.0/10": 4_194_304,
+            "127.0.0.0/8": 16_777_216,
+            "169.254.0.0/16": 65_536,
+            "172.16.0.0/12": 1_048_576,
+            "192.0.0.0/24": 256,
+            "192.0.2.0/24": 256,
+            "192.88.99.0/24": 256,
+            "192.168.0.0/16": 65_536,
+            "198.18.0.0/15": 131_072,
+            "198.51.100.0/24": 256,
+            "203.0.113.0/24": 256,
+            "224.0.0.0/4": 268_435_456,
+            "240.0.0.0/4": 268_435_456,
+            "255.255.255.255/32": 1,
+        }
+        for row in RESERVED_BLOCKS:
+            assert row.size == expected[str(row.block)]
+
+    def test_probeable_space_matches_2018_q1(self):
+        # The deduplicated exclusion union leaves exactly the paper's
+        # 2018 Q1 packet count (see module docstring for the Table I
+        # total discrepancy).
+        assert probeable_space_size() == 3_702_258_432
+
+    def test_union_smaller_than_naive_sum(self):
+        naive = sum(row.size for row in RESERVED_BLOCKS)
+        assert reserved_union_size() == naive - 1  # /32 nested in 240/4
+
+    def test_reserved_membership(self):
+        assert is_reserved("10.1.2.3")
+        assert is_reserved("224.0.0.1")
+        assert is_reserved("255.255.255.255")
+        assert is_reserved("192.88.99.7")
+        assert not is_reserved("8.8.8.8")
+        assert not is_reserved("1.0.0.0")
+
+    def test_probeable_is_complement(self):
+        assert is_probeable("8.8.8.8")
+        assert not is_probeable("127.0.0.1")
+
+    def test_boundaries(self):
+        assert is_reserved("198.18.0.0")
+        assert is_reserved("198.19.255.255")
+        assert not is_reserved("198.20.0.0")
+        assert not is_reserved("198.17.255.255")
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_membership_agrees_with_blocks(self, value):
+        in_any_block = any(value in row.block for row in RESERVED_BLOCKS)
+        assert is_reserved(value) == in_any_block
+
+
+class TestPrivate:
+    def test_rfc1918(self):
+        assert is_private("10.0.0.1")
+        assert is_private("172.30.1.254")
+        assert is_private("192.168.1.1")
+        assert not is_private("172.15.0.1")
+        assert not is_private("11.0.0.1")
+        assert not is_private("8.8.8.8")

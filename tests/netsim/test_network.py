@@ -1,0 +1,219 @@
+"""Network delivery, taps, loss and latency tests."""
+
+import random
+
+import pytest
+
+from repro.netsim.latency import FixedLatency, LogNormalLatency, UniformLatency
+from repro.netsim.loss import BernoulliLoss, NoLoss
+from repro.netsim.network import Network, PortInUseError
+from repro.netsim.packet import UDP_IP_OVERHEAD, Datagram
+from repro.netsim.pcap import PacketTap
+
+
+def make_datagram(payload=b"hello", src="1.1.1.1", dst="2.2.2.2"):
+    return Datagram(src, 40000, dst, 53, payload)
+
+
+class TestDatagram:
+    def test_wire_size(self):
+        datagram = make_datagram(b"x" * 100)
+        assert datagram.payload_size == 100
+        assert datagram.wire_size == 100 + UDP_IP_OVERHEAD
+
+    def test_reply_swaps_endpoints(self):
+        datagram = make_datagram()
+        reply = datagram.reply(b"resp")
+        assert reply.src_ip == "2.2.2.2"
+        assert reply.dst_ip == "1.1.1.1"
+        assert reply.src_port == 53
+        assert reply.dst_port == 40000
+        assert reply.payload == b"resp"
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        network = Network()
+        received = []
+        network.bind("2.2.2.2", 53, lambda dg, net: received.append(dg))
+        network.send(make_datagram())
+        network.run()
+        assert len(received) == 1
+        assert received[0].payload == b"hello"
+
+    def test_reply_path(self):
+        network = Network()
+        answers = []
+        network.bind("2.2.2.2", 53, lambda dg, net: net.send(dg.reply(b"pong")))
+        network.bind("1.1.1.1", 40000, lambda dg, net: answers.append(dg))
+        network.send(make_datagram(b"ping"))
+        network.run()
+        assert answers[0].payload == b"pong"
+
+    def test_unbound_destination_counted(self):
+        network = Network()
+        network.send(make_datagram())
+        network.run()
+        assert network.stats.unbound == 1
+        assert network.stats.delivered == 0
+
+    def test_double_bind_rejected(self):
+        network = Network()
+        network.bind("2.2.2.2", 53, lambda dg, net: None)
+        with pytest.raises(PortInUseError):
+            network.bind("2.2.2.2", 53, lambda dg, net: None)
+
+    def test_unbind(self):
+        network = Network()
+        network.bind("2.2.2.2", 53, lambda dg, net: None)
+        network.unbind("2.2.2.2", 53)
+        assert not network.is_bound("2.2.2.2", 53)
+
+    def test_latency_orders_delivery(self):
+        network = Network(latency=FixedLatency(0.5))
+        times = []
+        network.bind("2.2.2.2", 53, lambda dg, net: times.append(net.now))
+        network.send(make_datagram())
+        network.run()
+        assert times == [0.5]
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            network = Network(latency=UniformLatency(0.01, 0.3), seed=seed)
+            times = []
+            network.bind("2.2.2.2", 53, lambda dg, net: times.append(net.now))
+            for _ in range(20):
+                network.send(make_datagram())
+            network.run()
+            return times
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_bernoulli_loss_drops_roughly_rate(self):
+        network = Network(loss=BernoulliLoss(0.3), seed=1)
+        received = []
+        network.bind("2.2.2.2", 53, lambda dg, net: received.append(dg))
+        for _ in range(1000):
+            network.send(make_datagram())
+        network.run()
+        assert network.stats.lost + len(received) == 1000
+        assert 200 < network.stats.lost < 400
+
+    def test_stats_bytes(self):
+        network = Network()
+        network.bind("2.2.2.2", 53, lambda dg, net: None)
+        network.send(make_datagram(b"x" * 10))
+        network.run()
+        assert network.stats.bytes_sent == 10 + UDP_IP_OVERHEAD
+        assert network.stats.bytes_delivered == 10 + UDP_IP_OVERHEAD
+
+
+class TestTaps:
+    def test_tap_captures_both_directions(self):
+        network = Network()
+        tap = PacketTap("prober")
+        network.attach_tap("1.1.1.1", tap)
+        network.bind("2.2.2.2", 53, lambda dg, net: net.send(dg.reply(b"pong")))
+        network.bind("1.1.1.1", 40000, lambda dg, net: None)
+        network.send(make_datagram(b"ping"))
+        network.run()
+        assert [record.direction for record in tap] == ["out", "in"]
+        assert tap.outbound()[0].datagram.payload == b"ping"
+        assert tap.inbound()[0].datagram.payload == b"pong"
+
+    def test_spoofed_packet_captured_at_true_origin(self):
+        network = Network()
+        attacker_tap = PacketTap("attacker")
+        victim_tap = PacketTap("victim")
+        network.attach_tap("6.6.6.6", attacker_tap)
+        network.attach_tap("9.9.9.9", victim_tap)
+        spoofed = Datagram("9.9.9.9", 1234, "2.2.2.2", 53, b"spoof")
+        network.send(spoofed, origin="6.6.6.6")
+        network.run()
+        assert len(attacker_tap.outbound()) == 1
+        assert victim_tap.outbound() == []
+
+    def test_tap_filter(self):
+        network = Network()
+        tap = PacketTap("dns-only", predicate=lambda dg: dg.dst_port == 53)
+        network.attach_tap("1.1.1.1", tap)
+        network.send(make_datagram())
+        network.send(Datagram("1.1.1.1", 40000, "2.2.2.2", 80, b"web"))
+        network.run()
+        assert len(tap) == 1
+
+    def test_detach_tap(self):
+        network = Network()
+        tap = PacketTap("t")
+        network.attach_tap("1.1.1.1", tap)
+        network.detach_tap("1.1.1.1", tap)
+        network.send(make_datagram())
+        network.run()
+        assert len(tap) == 0
+
+    def test_on_port(self):
+        network = Network()
+        tap = PacketTap("t")
+        network.attach_tap("1.1.1.1", tap)
+        network.send(make_datagram())
+        network.run()
+        assert len(tap.on_port(53)) == 1
+        assert tap.on_port(80) == []
+
+    def test_bad_direction_rejected(self):
+        tap = PacketTap("t")
+        with pytest.raises(ValueError):
+            tap.record(0.0, "sideways", make_datagram())
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert FixedLatency(0.1).sample(random.Random(0)) == 0.1
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-0.1)
+
+    def test_uniform_in_range(self):
+        model = UniformLatency(0.01, 0.2)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.01 <= model.sample(rng) <= 0.2
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_lognormal_capped(self):
+        model = LogNormalLatency(median=0.05, sigma=2.0, cap=1.0)
+        rng = random.Random(0)
+        assert all(model.sample(rng) <= 1.0 for _ in range(1000))
+
+    def test_lognormal_median_roughly_right(self):
+        model = LogNormalLatency(median=0.05, sigma=0.5, cap=5.0)
+        rng = random.Random(3)
+        samples = sorted(model.sample(rng) for _ in range(2001))
+        assert 0.03 < samples[1000] < 0.08
+
+    def test_lognormal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.1, cap=0.05)
+
+
+class TestLossModels:
+    def test_no_loss(self):
+        assert not NoLoss().is_lost(random.Random(0))
+
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.1)
+
+    def test_bernoulli_extremes(self):
+        rng = random.Random(0)
+        assert not any(BernoulliLoss(0.0).is_lost(rng) for _ in range(100))
+        assert all(BernoulliLoss(1.0).is_lost(rng) for _ in range(100))

@@ -1,0 +1,152 @@
+"""Binary pcap format tests."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.packet import Datagram
+from repro.netsim.pcapfile import (
+    LINKTYPE_RAW,
+    PCAP_MAGIC,
+    PcapError,
+    PcapWriter,
+    decode_ipv4_udp,
+    encode_ipv4_udp,
+    read_pcap,
+    read_pcap_file,
+    verify_checksums,
+    write_pcap_file,
+)
+
+IPV4 = st.tuples(*[st.integers(0, 255)] * 4).map(
+    lambda t: ".".join(str(o) for o in t)
+)
+DATAGRAMS = st.builds(
+    Datagram,
+    src_ip=IPV4,
+    src_port=st.integers(0, 65535),
+    dst_ip=IPV4,
+    dst_port=st.integers(0, 65535),
+    payload=st.binary(min_size=0, max_size=200),
+)
+
+
+def sample_datagram(payload=b"\x12\x34" + b"dns payload"):
+    return Datagram("132.170.3.14", 31337, "8.8.8.8", 53, payload)
+
+
+class TestIpv4UdpCodec:
+    def test_roundtrip(self):
+        datagram = sample_datagram()
+        packet = encode_ipv4_udp(datagram)
+        assert decode_ipv4_udp(packet) == datagram
+
+    def test_checksums_verify(self):
+        packet = encode_ipv4_udp(sample_datagram())
+        assert verify_checksums(packet)
+
+    def test_corrupted_checksum_detected(self):
+        packet = bytearray(encode_ipv4_udp(sample_datagram()))
+        packet[30] ^= 0xFF  # flip a payload byte
+        assert not verify_checksums(bytes(packet))
+
+    def test_header_fields(self):
+        packet = encode_ipv4_udp(sample_datagram(b"x" * 10))
+        assert packet[0] == 0x45                       # IPv4, IHL 5
+        assert packet[9] == 17                         # UDP
+        total_length = struct.unpack("!H", packet[2:4])[0]
+        assert total_length == 20 + 8 + 10
+
+    def test_rejects_short_packet(self):
+        with pytest.raises(PcapError):
+            decode_ipv4_udp(b"\x45" * 20)
+
+    def test_rejects_non_ipv4(self):
+        packet = bytearray(encode_ipv4_udp(sample_datagram()))
+        packet[0] = 0x65  # claim IPv6
+        with pytest.raises(PcapError):
+            decode_ipv4_udp(bytes(packet))
+
+    def test_rejects_non_udp(self):
+        packet = bytearray(encode_ipv4_udp(sample_datagram()))
+        packet[9] = 6  # claim TCP
+        with pytest.raises(PcapError):
+            decode_ipv4_udp(bytes(packet))
+
+    @given(DATAGRAMS)
+    def test_roundtrip_property(self, datagram):
+        packet = encode_ipv4_udp(datagram)
+        assert decode_ipv4_udp(packet) == datagram
+        assert verify_checksums(packet)
+
+
+class TestPcapContainer:
+    def test_write_read_roundtrip(self):
+        stream = io.BytesIO()
+        writer = PcapWriter(stream)
+        writer.write(1.5, sample_datagram(b"first"))
+        writer.write(2.25, sample_datagram(b"second"))
+        stream.seek(0)
+        packets = list(read_pcap(stream))
+        assert len(packets) == 2
+        assert packets[0].timestamp == pytest.approx(1.5)
+        assert packets[0].datagram.payload == b"first"
+        assert packets[1].datagram.payload == b"second"
+
+    def test_global_header(self):
+        stream = io.BytesIO()
+        PcapWriter(stream)
+        header = stream.getvalue()
+        magic, major, minor, _, _, snaplen, linktype = struct.unpack(
+            "!IHHiIII", header
+        )
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        assert linktype == LINKTYPE_RAW
+
+    def test_bad_magic_rejected(self):
+        stream = io.BytesIO(b"\x00" * 24)
+        with pytest.raises(PcapError):
+            list(read_pcap(stream))
+
+    def test_truncated_record_rejected(self):
+        stream = io.BytesIO()
+        writer = PcapWriter(stream)
+        writer.write(0.0, sample_datagram())
+        data = stream.getvalue()[:-4]  # chop the packet body
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(data)))
+
+    def test_empty_capture(self):
+        stream = io.BytesIO()
+        PcapWriter(stream)
+        stream.seek(0)
+        assert list(read_pcap(stream)) == []
+
+    def test_file_helpers(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        pairs = [(0.1, sample_datagram(b"a")), (0.2, sample_datagram(b"b"))]
+        write_pcap_file(path, pairs)
+        packets = read_pcap_file(path)
+        assert [p.datagram.payload for p in packets] == [b"a", b"b"]
+
+    def test_microsecond_rounding(self):
+        stream = io.BytesIO()
+        writer = PcapWriter(stream)
+        writer.write(1.9999999, sample_datagram())
+        stream.seek(0)
+        (packet,) = read_pcap(stream)
+        assert packet.timestamp == pytest.approx(2.0, abs=1e-5)
+
+    @given(st.lists(st.tuples(st.floats(0, 1e6), DATAGRAMS), max_size=10))
+    def test_container_roundtrip_property(self, pairs):
+        stream = io.BytesIO()
+        writer = PcapWriter(stream)
+        for timestamp, datagram in pairs:
+            writer.write(timestamp, datagram)
+        stream.seek(0)
+        packets = list(read_pcap(stream))
+        assert [p.datagram for p in packets] == [d for _, d in pairs]

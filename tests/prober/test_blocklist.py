@@ -1,0 +1,59 @@
+"""Operator opt-out blocklist tests."""
+
+from repro.netsim.ipv4 import Ipv4Block, int_to_ip
+from repro.prober.zmap import probe_order
+
+
+class TestProbeOrderBlocklist:
+    def test_blocked_addresses_never_yielded(self):
+        baseline = list(probe_order(seed=4, limit=2000))
+        # Opt out the /8s that appear earliest in this permutation.
+        blocked_slash8s = {baseline[0] >> 24, baseline[1] >> 24}
+        blocklist = [f"{slash8}.0.0.0/8" for slash8 in blocked_slash8s]
+        filtered = list(probe_order(seed=4, limit=2000, blocklist=blocklist))
+        assert all(address >> 24 not in blocked_slash8s for address in filtered)
+
+    def test_limit_counts_only_probed(self):
+        blocklist = ["0.0.0.0/1"]  # opt out half the Internet
+        filtered = list(probe_order(seed=4, limit=500, blocklist=blocklist))
+        assert len(filtered) == 500
+        assert all(address >> 31 == 1 for address in filtered)
+
+    def test_accepts_block_objects(self):
+        block = Ipv4Block.parse("128.0.0.0/1")
+        filtered = list(probe_order(seed=4, limit=300, blocklist=[block]))
+        assert all(address not in block for address in filtered)
+
+    def test_empty_blocklist_is_identity(self):
+        assert list(probe_order(seed=4, limit=300, blocklist=[])) == list(
+            probe_order(seed=4, limit=300)
+        )
+
+
+class TestProberBlocklist:
+    def test_blocklisted_responder_not_probed(self):
+        from repro.dnssrv.hierarchy import build_hierarchy
+        from repro.netsim.network import Network
+        from repro.prober.probe import ProbeConfig, Prober
+        from repro.resolvers.behavior import BehaviorSpec, ResponseMode
+        from repro.resolvers.host import BehaviorHost
+        from repro.dnslib.constants import Rcode
+
+        network = Network(seed=0)
+        hierarchy = build_hierarchy(network)
+        addresses = list(probe_order(seed=0, limit=50))
+        target_ip = int_to_ip(addresses[5])
+        spec = BehaviorSpec(
+            name="refuser", mode=ResponseMode.FABRICATE, ra=False, aa=False,
+            rcode=Rcode.REFUSED,
+        )
+        host = BehaviorHost(target_ip, spec, hierarchy.auth.ip)
+        host.attach(network)
+        config = ProbeConfig(
+            q1_target=50, rate_pps=50.0, cluster_size=100, seed=0,
+            blocklist=(f"{target_ip}/32",),
+        )
+        capture = Prober(network, hierarchy.auth, config).run()
+        assert capture.q1_sent == 50  # still walks 50 probeable addresses
+        assert host.queries_received == 0
+        assert capture.r2_count == 0

@@ -1,0 +1,109 @@
+"""Subdomain scheme and cluster allocation tests."""
+
+import pytest
+
+from repro.prober.subdomain import ClusterAllocator, SubdomainScheme
+
+
+class TestScheme:
+    def test_format_matches_paper(self):
+        scheme = SubdomainScheme()
+        assert scheme.qname(0, 0) == "or000.0000000.ucfsealresearch.net"
+        assert scheme.qname(0, 1) == "or000.0000001.ucfsealresearch.net"
+        assert scheme.qname(999, 4_999_999) == "or999.4999999.ucfsealresearch.net"
+
+    def test_parse_roundtrip(self):
+        scheme = SubdomainScheme()
+        assert scheme.parse(scheme.qname(12, 34567)) == (12, 34567)
+
+    def test_parse_rejects_foreign_names(self):
+        scheme = SubdomainScheme()
+        assert scheme.parse("www.google.com") is None
+        assert scheme.parse("or00.0000001.ucfsealresearch.net") is None
+        assert scheme.parse("or000.0000001.evil.net") is None
+
+    def test_qname_length_constant(self):
+        scheme = SubdomainScheme()
+        lengths = {
+            len(scheme.qname(c, i))
+            for c, i in [(0, 0), (999, 9_999_999), (5, 123)]
+        }
+        assert lengths == {scheme.qname_length}
+
+    def test_max_clusters(self):
+        assert SubdomainScheme().max_clusters == 1000
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        allocator = ClusterAllocator(SubdomainScheme(), cluster_size=3)
+        assert [allocator.allocate() for _ in range(4)] == [
+            (0, 0), (0, 1), (0, 2), (1, 0)
+        ]
+        assert allocator.stats.clusters_created == 2
+
+    def test_reuse_preferred_over_fresh(self):
+        allocator = ClusterAllocator(SubdomainScheme(), cluster_size=10)
+        first = allocator.allocate()
+        allocator.release(first)
+        assert allocator.allocate() == first
+        assert allocator.stats.reused_allocations == 1
+
+    def test_reuse_disabled_discards_releases(self):
+        allocator = ClusterAllocator(SubdomainScheme(), cluster_size=10, reuse=False)
+        first = allocator.allocate()
+        allocator.release(first)
+        assert allocator.allocate() != first
+        assert allocator.stats.reused_allocations == 0
+
+    def test_reuse_bounds_cluster_consumption(self):
+        # The paper's 800 -> 4 clusters effect: with reuse, cluster burn
+        # tracks the responder count, not the probe count.
+        scheme = SubdomainScheme()
+        with_reuse = ClusterAllocator(scheme, cluster_size=100, reuse=True)
+        without = ClusterAllocator(scheme, cluster_size=100, reuse=False)
+        for index in range(10_000):
+            responded = index % 50 == 0  # 2% responders
+            for allocator in (with_reuse, without):
+                allocation = allocator.allocate()
+                if responded:
+                    allocator.burn(allocation)
+                else:
+                    allocator.release(allocation)
+        assert without.stats.clusters_created == 100
+        assert with_reuse.stats.clusters_created <= 3
+        assert with_reuse.stats.burned == 200
+
+    def test_needs_new_cluster(self):
+        allocator = ClusterAllocator(SubdomainScheme(), cluster_size=1)
+        assert allocator.needs_new_cluster()
+        allocation = allocator.allocate()
+        assert allocator.needs_new_cluster()
+        allocator.release(allocation)
+        assert not allocator.needs_new_cluster()
+
+    def test_namespace_exhaustion(self):
+        scheme = SubdomainScheme(cluster_digits=1)
+        allocator = ClusterAllocator(scheme, cluster_size=1, reuse=False)
+        for _ in range(10):
+            allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_build_cluster_zone(self):
+        scheme = SubdomainScheme()
+        allocator = ClusterAllocator(scheme, cluster_size=5)
+        zone = allocator.build_cluster_zone(2, "45.76.1.10")
+        assert zone.record_count == 5
+        assert zone.rrset("or002.0000003.ucfsealresearch.net", 1)
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            ClusterAllocator(SubdomainScheme(), cluster_size=0)
+
+    def test_stats_reuse_rate(self):
+        allocator = ClusterAllocator(SubdomainScheme(), cluster_size=10)
+        a = allocator.allocate()
+        allocator.release(a)
+        allocator.allocate()
+        assert allocator.stats.reuse_rate == 0.5

@@ -1,0 +1,62 @@
+"""JSON export / regression-diff tests."""
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.reporting.jsonio import (
+    diff_results,
+    load_json_results,
+    result_to_dict,
+    write_json_results,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(CampaignConfig(year=2018, scale=32768, seed=31)).run()
+
+
+class TestExport:
+    def test_dict_structure(self, result):
+        data = result_to_dict(result)
+        assert data["meta"]["year"] == 2018
+        assert data["correctness"]["r2"] == result.correctness.r2
+        assert data["estimates"]["ra_and_correct"] == \
+            result.estimates.ra_and_correct
+        assert "Malware" in data["malicious"]["categories"]
+        assert data["ra"]["one"]["correct"] == result.ra_table.one.correct
+
+    def test_roundtrip_via_file(self, result, tmp_path):
+        target = write_json_results(result, tmp_path / "out" / "results.json")
+        loaded = load_json_results(target)
+        assert loaded == result_to_dict(result)
+
+    def test_rcodes_use_paper_labels(self, result):
+        data = result_to_dict(result)
+        assert set(data["rcodes"]["without_answer"]) <= {
+            "NoError", "FormErr", "ServFail", "NXDomain", "NotImp",
+            "Refused", "YXDomain", "YXRRSet", "NXRRSet", "Not Auth",
+        }
+
+
+class TestDiff:
+    def test_identical_runs_diff_empty(self, result):
+        again = Campaign(CampaignConfig(year=2018, scale=32768, seed=31)).run()
+        differences = diff_results(result_to_dict(result), result_to_dict(again))
+        assert differences == {}
+
+    def test_different_seed_detected(self, result):
+        other = Campaign(CampaignConfig(year=2018, scale=32768, seed=32)).run()
+        differences = diff_results(result_to_dict(result), result_to_dict(other))
+        assert any(key.startswith("meta.seed") for key in differences)
+
+    def test_tolerance_suppresses_small_drift(self):
+        before = {"a": 100, "b": {"c": 1.00}}
+        after = {"a": 101, "b": {"c": 1.004}}
+        assert diff_results(before, after, rel_tolerance=0.02) == {}
+        strict = diff_results(before, after)
+        assert set(strict) == {"a", "b.c"}
+
+    def test_missing_keys_reported(self):
+        differences = diff_results({"a": 1}, {"b": 2})
+        assert differences == {"a": (1, None), "b": (None, 2)}

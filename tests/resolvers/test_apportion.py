@@ -1,0 +1,84 @@
+"""Largest-remainder apportionment tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.resolvers.apportion import apportion_mapping, largest_remainder, scale_count
+
+
+class TestScaleCount:
+    def test_rounds_half_up(self):
+        assert scale_count(10, 4) == 3  # 2.5 -> 3
+        assert scale_count(9, 4) == 2   # 2.25 -> 2
+        assert scale_count(0, 4) == 0
+
+    def test_identity_at_scale_one(self):
+        assert scale_count(12345, 1) == 12345
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scale_count(10, 0)
+
+
+class TestLargestRemainder:
+    def test_exact_division(self):
+        assert largest_remainder([100, 200, 300], 100) == [1, 2, 3]
+
+    def test_parts_sum_to_scaled_total(self):
+        counts = [7, 13, 29, 51, 1]
+        result = largest_remainder(counts, 10)
+        assert sum(result) == scale_count(sum(counts), 10)
+
+    def test_total_override(self):
+        result = largest_remainder([50, 50], 10, total=11)
+        assert sum(result) == 11
+
+    def test_deterministic(self):
+        counts = [3, 3, 3, 3]
+        assert largest_remainder(counts, 2) == largest_remainder(counts, 2)
+
+    def test_zero_counts(self):
+        assert largest_remainder([0, 0], 5) == [0, 0]
+
+    def test_zero_counts_with_positive_total_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder([0, 0], 5, total=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder([-1, 2], 5)
+
+    def test_proportionality(self):
+        # A 9:1 split stays roughly 9:1.
+        result = largest_remainder([900, 100], 10)
+        assert result == [90, 10]
+
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=30),
+        st.integers(1, 1000),
+    )
+    def test_invariants(self, counts, scale):
+        result = largest_remainder(counts, scale)
+        assert sum(result) == scale_count(sum(counts), scale)
+        assert all(part >= 0 for part in result)
+        # No part exceeds its ceiling share by more than one unit.
+        total = sum(counts)
+        if total:
+            scaled_total = scale_count(total, scale)
+            for part, count in zip(result, counts):
+                assert part <= count * scaled_total // total + 1
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=10))
+    def test_zero_stays_zero(self, counts):
+        result = largest_remainder(counts, 7)
+        for part, count in zip(result, counts):
+            if count == 0:
+                assert part == 0
+
+
+class TestApportionMapping:
+    def test_preserves_keys(self):
+        mapping = {"a": 100, "b": 300}
+        result = apportion_mapping(mapping, 100)
+        assert result == {"a": 1, "b": 3}

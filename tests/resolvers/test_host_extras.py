@@ -1,0 +1,119 @@
+"""BehaviorHost extras: version.bind and AD-bit behavior."""
+
+from repro.dnslib.chaos import VERSION_BIND, extract_banner
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
+from repro.dnslib.edns import add_edns
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnslib.zone import parse_master_file
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+or000.0000000 IN A 45.76.1.10
+"""
+
+HOST_IP = "77.88.99.2"
+PROBER_IP = "132.170.1.2"
+QNAME = "or000.0000000.ucfsealresearch.net"
+
+
+def build_host(spec_kwargs=None, **host_kwargs):
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    base = dict(
+        name="h", mode=ResponseMode.RESOLVE, ra=True, aa=False,
+        answer_kind=AnswerKind.CORRECT,
+    )
+    base.update(spec_kwargs or {})
+    host = BehaviorHost(HOST_IP, BehaviorSpec(**base), hierarchy.auth.ip,
+                        **host_kwargs)
+    host.attach(network)
+    responses = []
+    network.bind(PROBER_IP, 40000, lambda dg, net: responses.append(dg))
+    return network, responses
+
+
+def send(network, message):
+    network.send(
+        Datagram(PROBER_IP, 40000, HOST_IP, 53, encode_message(message))
+    )
+    network.run()
+
+
+class TestVersionBind:
+    def test_banner_revealed(self):
+        network, responses = build_host(version_banner="dnsmasq-2.52")
+        query = make_query(
+            VERSION_BIND, qtype=QueryType.TXT, qclass=DnsClass.CH,
+            recursion_desired=False,
+        )
+        send(network, query)
+        (raw,) = responses
+        response = decode_message(raw.payload)
+        assert extract_banner(response) == "dnsmasq-2.52"
+
+    def test_hidden_banner_refused(self):
+        network, responses = build_host(version_banner=None)
+        query = make_query(
+            VERSION_BIND, qtype=QueryType.TXT, qclass=DnsClass.CH,
+            recursion_desired=False,
+        )
+        send(network, query)
+        (raw,) = responses
+        assert decode_message(raw.payload).rcode == Rcode.REFUSED
+
+    def test_in_class_version_bind_not_intercepted(self):
+        # version.bind in the IN class is an ordinary (failing) lookup.
+        network, responses = build_host(version_banner="dnsmasq-2.52")
+        send(network, make_query(VERSION_BIND))
+        (raw,) = responses
+        response = decode_message(raw.payload)
+        assert extract_banner(response) is None
+
+
+class TestAdBit:
+    def test_validator_sets_ad_under_do(self):
+        network, responses = build_host(dnssec_validating=True)
+        query = make_query(QNAME, msg_id=1)
+        add_edns(query, dnssec_ok=True)
+        send(network, query)
+        response = decode_message(responses[0].payload)
+        assert response.header.flags.ad
+        assert response.first_a_record() is not None
+
+    def test_no_ad_without_do(self):
+        network, responses = build_host(dnssec_validating=True)
+        send(network, make_query(QNAME, msg_id=2))
+        response = decode_message(responses[0].payload)
+        assert not response.header.flags.ad
+
+    def test_non_validator_never_sets_ad(self):
+        network, responses = build_host(dnssec_validating=False)
+        query = make_query(QNAME, msg_id=3)
+        add_edns(query, dnssec_ok=True)
+        send(network, query)
+        assert not decode_message(responses[0].payload).header.flags.ad
+
+    def test_fabricated_answers_never_earn_ad(self):
+        network, responses = build_host(
+            spec_kwargs=dict(
+                mode=ResponseMode.FABRICATE,
+                answer_kind=AnswerKind.INCORRECT_IP,
+                fixed_answer="208.91.197.91",
+            ),
+            dnssec_validating=True,
+        )
+        query = make_query(QNAME, msg_id=4)
+        add_edns(query, dnssec_ok=True)
+        send(network, query)
+        response = decode_message(responses[0].payload)
+        assert response.first_a_record() is not None
+        assert not response.header.flags.ad

@@ -1,0 +1,145 @@
+"""Population sampler tests."""
+
+import pytest
+
+from repro.netsim.ipv4 import is_probeable
+from repro.resolvers.apportion import scale_count
+from repro.resolvers.behavior import AnswerKind
+from repro.resolvers.population import PopulationSampler
+from repro.resolvers.profiles import PROFILE_2013, PROFILE_2018, POOL_MALICIOUS
+
+SCALE = 4096
+
+
+def sample_2018(seed=0, scale=SCALE):
+    return PopulationSampler(PROFILE_2018, scale=scale, seed=seed).sample()
+
+
+class TestSampling:
+    def test_host_count_matches_scaled_r2(self):
+        population = sample_2018()
+        assert population.host_count == scale_count(PROFILE_2018.total_r2(), SCALE)
+
+    def test_cell_counts_sum(self):
+        population = sample_2018()
+        assert sum(population.scaled_cell_counts.values()) == population.host_count
+
+    def test_deterministic_for_seed(self):
+        first = sample_2018(seed=5)
+        second = sample_2018(seed=5)
+        assert [a.ip for a in first.assignments] == [a.ip for a in second.assignments]
+        assert [a.spec for a in first.assignments] == [
+            a.spec for a in second.assignments
+        ]
+
+    def test_different_seed_different_layout(self):
+        assert sample_2018(seed=1).address_set() != sample_2018(seed=2).address_set()
+
+    def test_all_hosts_probeable_and_unique(self):
+        population = sample_2018()
+        ips = [a.ip for a in population.assignments]
+        assert len(set(ips)) == len(ips)
+        assert all(is_probeable(ip) for ip in ips)
+
+    def test_excluded_ips_respected(self):
+        population = sample_2018()
+        forbidden = next(iter(population.address_set()))
+        redone = PopulationSampler(
+            PROFILE_2018, scale=SCALE, seed=0, excluded_ips={forbidden}
+        ).sample()
+        assert forbidden not in redone.address_set()
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationSampler(PROFILE_2018, scale=0)
+
+    def test_malicious_hosts_scaled(self):
+        population = sample_2018()
+        expected = scale_count(PROFILE_2018.cell_pool_total(POOL_MALICIOUS), SCALE)
+        # Largest remainder across four malicious cells can shift by a unit.
+        assert abs(population.malicious_host_count - expected) <= 2
+
+    def test_every_incorrect_host_has_destination(self):
+        population = sample_2018()
+        for assignment in population.assignments:
+            if assignment.spec.answer_kind.is_incorrect:
+                if assignment.spec.answer_kind is not AnswerKind.MALFORMED:
+                    assert assignment.spec.fixed_answer
+
+    def test_ghost_budget_distributed(self):
+        population = sample_2018()
+        resolving = [
+            a for a in population.assignments
+            if a.spec.answer_kind is AnswerKind.CORRECT
+        ]
+        ghost_total = sum(a.spec.extra_q2 for a in resolving)
+        expected = scale_count(PROFILE_2018.ghost_q2_total(), SCALE)
+        assert ghost_total == expected
+        # Budget is spread evenly, not lumped on one host.
+        assert max(a.spec.extra_q2 for a in resolving) <= min(
+            a.spec.extra_q2 for a in resolving
+        ) + 1
+
+
+class TestIntelSeeding:
+    def test_malicious_destinations_reported_in_cymon(self):
+        population = sample_2018()
+        for assignment in population.assignments:
+            if assignment.malicious:
+                assert population.cymon.is_malicious(assignment.spec.fixed_answer)
+
+    def test_benign_named_destinations_not_reported(self):
+        population = sample_2018(scale=1024)
+        assert not population.cymon.is_malicious("216.194.64.193")
+
+    def test_named_orgs_in_whois(self):
+        population = sample_2018(scale=1024)
+        assert population.whois.org_name("216.194.64.193") == "Tera-byte Dot Com"
+        assert population.whois.org_name("74.220.199.15") == "Unified Layer"
+
+    def test_every_host_geolocated(self):
+        population = sample_2018()
+        for assignment in population.assignments:
+            assert population.geo.country_of(assignment.ip) == assignment.country
+            assert assignment.country
+
+    def test_malicious_country_mix_dominated_by_us(self):
+        population = sample_2018(scale=1024)
+        from collections import Counter
+
+        countries = Counter(
+            a.country for a in population.assignments if a.malicious
+        )
+        assert countries["US"] > sum(countries.values()) * 0.6
+
+    def test_dominant_categories_match_assignment(self):
+        population = sample_2018(scale=1024)
+        for assignment in population.assignments:
+            if assignment.malicious:
+                dominant = population.cymon.dominant_category(
+                    assignment.spec.fixed_answer
+                )
+                assert dominant == assignment.spec.malicious_category
+
+
+class TestDeploy:
+    def test_deploy_binds_all_hosts(self):
+        from repro.netsim.network import Network
+
+        population = sample_2018(scale=16384)
+        network = Network()
+        hosts = population.deploy(network, auth_ip="45.76.1.10")
+        assert len(hosts) == population.host_count
+        for host in hosts:
+            assert network.is_bound(host.ip, 53)
+
+
+class Test2013Profile:
+    def test_2013_population_samples(self):
+        population = PopulationSampler(PROFILE_2013, scale=16384, seed=3).sample()
+        assert population.host_count == scale_count(PROFILE_2013.total_r2(), 16384)
+        malformed = [
+            a for a in population.assignments
+            if a.spec.answer_kind is AnswerKind.MALFORMED
+        ]
+        assert malformed  # the 2013 undecodable class exists

@@ -1,0 +1,55 @@
+"""Destination-tail scaling regime tests."""
+
+import random
+
+import pytest
+
+from repro.resolvers.population import PopulationSampler
+from repro.resolvers.profiles import DestinationTail, PROFILE_2018
+from repro.threatintel.cymon import ThreatCategory
+
+
+def expand(tail, scale, share, seed=0):
+    sampler = PopulationSampler(PROFILE_2018, scale=scale, seed=seed)
+    rng = random.Random(seed)
+    return sampler._expand_tail(tail.pool, tail, share, rng)
+
+
+class TestTailRegimes:
+    def test_low_multiplicity_all_distinct(self):
+        # m = 56,000/14,680 ~ 3.8 << scale 1024: every sampled packet
+        # should land on its own value.
+        tail = DestinationTail("benign-ip", 56_000, 14_680)
+        expanded = expand(tail, scale=1024, share=55)
+        values = {destination.value for destination in expanded}
+        assert len(expanded) == 55
+        assert len(values) == 55
+
+    def test_high_multiplicity_values_survive(self):
+        # m = 10_000/10 = 1000 >> scale 16: all ten values survive and
+        # each carries many packets.
+        tail = DestinationTail("benign-ip", 10_000, 10)
+        expanded = expand(tail, scale=16, share=625)
+        values = {destination.value for destination in expanded}
+        assert len(expanded) == 625
+        assert len(values) == 10
+
+    def test_zero_share(self):
+        tail = DestinationTail("benign-ip", 100, 10)
+        assert expand(tail, scale=1024, share=0) == []
+
+    def test_category_propagates(self):
+        tail = DestinationTail("malicious", 1_581, 168, ThreatCategory.MALWARE)
+        expanded = expand(tail, scale=1024, share=2)
+        assert all(
+            destination.category is ThreatCategory.MALWARE
+            for destination in expanded
+        )
+
+    def test_unique_never_exceeds_share_or_pool(self):
+        tail = DestinationTail("benign-ip", 1_000, 5)
+        expanded = expand(tail, scale=2, share=500)
+        values = {destination.value for destination in expanded}
+        assert len(values) <= 5
+        expanded = expand(tail, scale=999, share=1)
+        assert len({d.value for d in expanded}) == 1

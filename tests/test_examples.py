@@ -1,0 +1,37 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly (no stale APIs) and expose ``main``.
+Execution is covered by the heavier subsystem tests; importability is
+what rots silently.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        assert len(EXAMPLES) >= 10
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_and_has_main(self, path):
+        module = load(path)
+        assert callable(getattr(module, "main", None)), path.name
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_has_usage_docstring(self, path):
+        module = load(path)
+        assert module.__doc__, path.name
+        assert "Usage" in module.__doc__ or "usage" in module.__doc__, path.name

@@ -1,0 +1,90 @@
+"""End-to-end integration: scan -> save -> reload -> re-scan fidelity.
+
+One coarse campaign exercised through every major subsystem in a
+single flow: the scan itself, fingerprinting, the DNSSEC census,
+dataset persistence, offline re-analysis, markdown reporting, and a
+monitoring epoch — asserting cross-subsystem consistency rather than
+any one module's behavior.
+"""
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.datasets import analyze_dataset, load_campaign, save_campaign
+from repro.dnssec import ValidatorScanner
+from repro.fingerprint import VersionScanner, take_census
+from repro.monitor import ChurnModel, evolve_population, snapshot_from_result
+from repro.reporting import campaign_markdown
+
+SCALE = 16384
+SEED = 23
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(CampaignConfig(year=2018, scale=SCALE, seed=SEED)).run()
+
+
+class TestEndToEnd:
+    def test_cross_table_consistency(self, result):
+        """Every table must agree with every other table."""
+        correctness = result.correctness
+        ra, aa = result.ra_table, result.aa_table
+        rcode = result.rcode_table
+        # Flag tables partition the same universe.
+        assert ra.total == aa.total == correctness.r2
+        assert ra.zero.incorrect + ra.one.incorrect == correctness.incorrect
+        assert aa.zero.correct + aa.one.correct == correctness.correct
+        # rcode rows partition by answer presence.
+        assert rcode.total_with == correctness.with_answer
+        assert rcode.total_without == correctness.without_answer
+        # Table VII covers exactly the incorrect subset.
+        assert result.incorrect_forms.total_r2 == correctness.incorrect
+        # Malicious tables agree with each other.
+        assert result.malicious_flags.total == result.malicious_categories.total_r2
+        assert sum(result.country_distribution.values()) == \
+            result.malicious_flags.total
+
+    def test_flows_consistent_with_population(self, result):
+        assert result.flow_set.r2_count == result.population.host_count
+        # Q2 equals resolving hosts plus their ghost duplicates.
+        resolving = [
+            a for a in result.population.assignments
+            if a.spec.contacts_auth
+        ]
+        expected_q2 = len(resolving) + sum(a.spec.extra_q2 for a in resolving)
+        assert result.flow_set.q2_count == expected_q2
+
+    def test_scanners_compose_on_one_network(self, result):
+        targets = sorted(result.population.address_set())
+        census = take_census(
+            VersionScanner(result.network).scan(targets), len(targets)
+        )
+        validators = ValidatorScanner(
+            result.network, result.hierarchy.auth, result.hierarchy.sld
+        ).scan(targets)
+        assert census.revealing + census.refused == len(targets)
+        assert validators.validating <= result.dnssec_validators
+
+    def test_persistence_roundtrip_preserves_tables(self, result, tmp_path):
+        directory = save_campaign(result, tmp_path / "ds")
+        analysis = analyze_dataset(load_campaign(directory))
+        assert analysis.correctness == result.correctness
+        assert analysis.malicious_categories == result.malicious_categories
+
+    def test_markdown_report_quotes_measured_numbers(self, result):
+        document = campaign_markdown(result)
+        assert f"{result.estimates.ra_and_correct:,}" in document
+
+    def test_monitoring_epoch_on_top(self, result):
+        snapshot = snapshot_from_result(result)
+        assert snapshot.open_resolvers == result.estimates.ra_and_correct
+        universe = Campaign(
+            CampaignConfig(year=2018, scale=SCALE, seed=SEED)
+        ).build_universe()
+        evolved = evolve_population(
+            result.population, ChurnModel(death_rate=0.1, birth_rate=0.1),
+            seed=1, universe=universe,
+        )
+        assert evolved.host_count > 0
+        assert evolved.cymon is result.population.cymon  # shared intel

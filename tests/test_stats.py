@@ -1,0 +1,127 @@
+"""Tests for the shared table structures."""
+
+import pytest
+
+from repro.dnslib.constants import Rcode
+from repro.stats import (
+    CorrectnessTable,
+    FlagRow,
+    FlagTable,
+    MaliciousCategoryRow,
+    MaliciousCategoryTable,
+    MaliciousFlagTable,
+    OpenResolverEstimates,
+    ProbeSummary,
+    RcodeTable,
+)
+
+
+class TestCorrectnessTable:
+    def test_derived_fields(self):
+        table = CorrectnessTable(r2=100, without_answer=40, correct=50, incorrect=10)
+        assert table.with_answer == 60
+        assert table.err == pytest.approx(100 * 10 / 60)
+
+    def test_err_zero_when_no_answers(self):
+        table = CorrectnessTable(r2=5, without_answer=5, correct=0, incorrect=0)
+        assert table.err == 0.0
+
+
+class TestFlagTable:
+    def test_row_math(self):
+        row = FlagRow(without_answer=10, correct=5, incorrect=15)
+        assert row.with_answer == 20
+        assert row.total == 30
+        assert row.err == 75.0
+
+    def test_table_total(self):
+        table = FlagTable(
+            flag="RA",
+            zero=FlagRow(1, 2, 3),
+            one=FlagRow(4, 5, 6),
+        )
+        assert table.total == 21
+
+
+class TestRcodeTable:
+    def test_totals(self):
+        table = RcodeTable(
+            with_answer={0: 90, 2: 10},
+            without_answer={0: 5, 5: 100},
+        )
+        assert table.total_with == 100
+        assert table.total_without == 105
+        assert table.row_total(0) == 95
+        assert table.row_total(5) == 100
+        assert table.nonzero_with_answer() == 10
+
+    def test_missing_rcode_is_zero(self):
+        table = RcodeTable(with_answer={}, without_answer={})
+        assert table.row_total(Rcode.REFUSED) == 0
+
+
+class TestMaliciousCategoryTable:
+    def make(self):
+        return MaliciousCategoryTable(
+            rows=(
+                MaliciousCategoryRow("Malware", unique_ips=3, r2=90),
+                MaliciousCategoryRow("Phishing", unique_ips=1, r2=10),
+            )
+        )
+
+    def test_totals_and_shares(self):
+        table = self.make()
+        assert table.total_ips == 4
+        assert table.total_r2 == 100
+        assert table.ip_share("Malware") == 75.0
+        assert table.r2_share("Phishing") == 10.0
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            self.make().ip_share("Botnet")
+
+
+class TestMaliciousFlagTable:
+    def test_shares(self):
+        table = MaliciousFlagTable(ra0=75, ra1=25, aa0=30, aa1=70)
+        assert table.total == 100
+        assert table.ra0_share == 75.0
+        assert table.ra1_share == 25.0
+        assert table.aa1_share == 70.0
+
+    def test_empty(self):
+        table = MaliciousFlagTable(0, 0, 0, 0)
+        assert table.ra0_share == 0.0
+
+
+class TestProbeSummary:
+    def test_shares(self):
+        summary = ProbeSummary(
+            year=2018, duration_seconds=38_100, q1=1000, q2_r1=35, r2=17
+        )
+        assert summary.q2_share == 3.5
+        assert summary.r2_share == 1.7
+
+    def test_duration_text_days(self):
+        summary = ProbeSummary(2013, 7 * 86400 + 5 * 3600, 1, 1, 1)
+        assert summary.duration_text == "7d 5h"
+
+    def test_duration_text_hours(self):
+        summary = ProbeSummary(2018, 10 * 3600 + 35 * 60, 1, 1, 1)
+        assert summary.duration_text == "10h 35m"
+
+    def test_duration_text_minutes(self):
+        summary = ProbeSummary(2018, 125, 1, 1, 1)
+        assert summary.duration_text == "2m"
+
+    def test_zero_q1(self):
+        summary = ProbeSummary(2018, 0, 0, 0, 0)
+        assert summary.q2_share == 0.0
+
+
+class TestEstimates:
+    def test_fields(self):
+        est = OpenResolverEstimates(
+            ra_flag_only=3, ra_and_correct=1, correct_any_flag=2
+        )
+        assert est.ra_flag_only >= est.ra_and_correct

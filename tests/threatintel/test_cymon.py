@@ -1,0 +1,68 @@
+"""Cymon substrate tests."""
+
+from repro.threatintel.cymon import CymonDatabase, ThreatCategory, ThreatReport
+
+
+class TestCymonDatabase:
+    def test_empty_address_not_malicious(self):
+        db = CymonDatabase()
+        assert not db.is_malicious("8.8.8.8")
+        assert db.dominant_category("8.8.8.8") is None
+
+    def test_single_report_marks_malicious(self):
+        db = CymonDatabase()
+        db.add_report(ThreatReport("208.91.197.91", ThreatCategory.MALWARE))
+        assert db.is_malicious("208.91.197.91")
+
+    def test_dominant_category_by_frequency(self):
+        # The paper's rule: most frequently reported category wins.
+        db = CymonDatabase()
+        db.add_reports("208.91.197.91", ThreatCategory.PHISHING, count=2)
+        db.add_reports("208.91.197.91", ThreatCategory.MALWARE, count=5)
+        db.add_reports("208.91.197.91", ThreatCategory.BOTNET, count=1)
+        assert db.dominant_category("208.91.197.91") == ThreatCategory.MALWARE
+
+    def test_tie_broken_by_table9_order(self):
+        db = CymonDatabase()
+        db.add_reports("1.2.3.4", ThreatCategory.PHISHING, count=3)
+        db.add_reports("1.2.3.4", ThreatCategory.MALWARE, count=3)
+        assert db.dominant_category("1.2.3.4") == ThreatCategory.MALWARE
+
+    def test_counts(self):
+        db = CymonDatabase()
+        db.add_reports("1.1.1.1", ThreatCategory.SPAM, count=4)
+        db.add_reports("2.2.2.2", ThreatCategory.SCAN, count=2)
+        assert len(db) == 6
+        assert db.reported_address_count == 2
+
+    def test_api_calls_counted(self):
+        db = CymonDatabase()
+        db.reports_for("1.1.1.1")
+        db.is_malicious("1.1.1.1")
+        assert db.api_calls == 2
+
+    def test_render_report_mentions_categories(self):
+        db = CymonDatabase()
+        db.add_reports("208.91.197.91", ThreatCategory.MALWARE, count=7)
+        db.add_reports("208.91.197.91", ThreatCategory.PHISHING, count=2)
+        text = db.render_report("208.91.197.91")
+        assert "208.91.197.91" in text
+        assert "Malware" in text
+        assert "Phishing" in text
+        assert "Dominant category: Malware" in text
+
+    def test_render_report_for_clean_address(self):
+        db = CymonDatabase()
+        assert "No reports found." in db.render_report("9.9.9.9")
+
+    def test_all_seven_categories_exist(self):
+        labels = {category.value for category in ThreatCategory}
+        assert labels == {
+            "Malware",
+            "Phishing",
+            "Spam",
+            "SSH Bruteforce",
+            "Scan",
+            "Botnet",
+            "Email Bruteforce",
+        }

@@ -1,0 +1,84 @@
+"""Geolocation database tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.ipv4 import int_to_ip
+from repro.threatintel.geo import COUNTRY_NAMES, GeoDatabase, country_name
+
+
+def make_db():
+    db = GeoDatabase()
+    db.add("74.220.0.0/16", "US", asn=46606, as_name="Unified Layer")
+    db.add("208.91.196.0/22", "US", asn=40034, as_name="Confluence Networks")
+    db.add("141.8.224.0/21", "CH", asn=201693, as_name="Rook Media")
+    db.add("114.32.0.0/11", "TW", asn=3462, as_name="Chunghwa Telecom")
+    return db
+
+
+class TestGeoDatabase:
+    def test_basic_lookup(self):
+        db = make_db()
+        entry = db.lookup("74.220.199.15")
+        assert entry.country == "US"
+        assert entry.as_name == "Unified Layer"
+
+    def test_miss_returns_none(self):
+        db = make_db()
+        assert db.lookup("5.5.5.5") is None
+        assert db.country_of("5.5.5.5") is None
+
+    def test_country_of(self):
+        db = make_db()
+        assert db.country_of("141.8.225.68") == "CH"
+        assert db.asn_of("141.8.225.68") == 201693
+
+    def test_longest_prefix_wins(self):
+        db = GeoDatabase()
+        db.add("10.0.0.0/8", "US")
+        db.add("10.1.0.0/16", "DE")
+        assert db.country_of("10.1.2.3") == "DE"
+        assert db.country_of("10.2.0.1") == "US"
+
+    def test_boundaries(self):
+        db = GeoDatabase()
+        db.add("192.0.2.0/24", "FR")
+        assert db.country_of("192.0.2.0") == "FR"
+        assert db.country_of("192.0.2.255") == "FR"
+        assert db.country_of("192.0.3.0") is None
+
+    def test_lookup_counter(self):
+        db = make_db()
+        db.lookup("74.220.199.15")
+        db.country_of("1.1.1.1")
+        assert db.lookups == 2
+
+    def test_country_codes_uppercased(self):
+        db = GeoDatabase()
+        db.add("1.0.0.0/8", "us")
+        assert db.country_of("1.2.3.4") == "US"
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_lookup_agrees_with_linear_scan(self, value):
+        db = make_db()
+        ip = int_to_ip(value)
+        entry = db.lookup(ip)
+        covering = [e for e in db._entries if value in e.block]
+        if not covering:
+            assert entry is None
+        else:
+            expected = max(covering, key=lambda e: e.block.prefix)
+            assert entry == expected
+
+
+class TestCountryNames:
+    def test_paper_countries_present(self):
+        for code in ("US", "IN", "HK", "VG", "AE", "CN", "TR", "IR", "KY"):
+            assert code in COUNTRY_NAMES
+
+    def test_country_name_lookup(self):
+        assert country_name("us") == "United States"
+        assert country_name("IN") == "India"
+
+    def test_unknown_code_falls_back(self):
+        assert country_name("xx") == "XX"

@@ -1,0 +1,43 @@
+"""Whois database tests."""
+
+from repro.threatintel.whois import PRIVATE_NETWORK, WhoisDatabase
+
+
+def make_db():
+    db = WhoisDatabase()
+    db.add("216.194.64.0/20", "Tera-byte Dot Com")
+    db.add("74.220.192.0/19", "Unified Layer")
+    db.add("208.91.196.0/22", "Confluence Network Inc")
+    db.add("141.8.224.0/21", "Rook Media GmbH")
+    db.add("114.32.0.0/11", "Chunghwa Telecom")
+    return db
+
+
+class TestWhoisDatabase:
+    def test_table8_orgs(self):
+        # Spot checks against Table VIII of the paper.
+        db = make_db()
+        assert db.org_name("216.194.64.193") == "Tera-byte Dot Com"
+        assert db.org_name("74.220.199.15") == "Unified Layer"
+        assert db.org_name("208.91.197.91") == "Confluence Network Inc"
+        assert db.org_name("141.8.225.68") == "Rook Media GmbH"
+        assert db.org_name("114.44.34.86") == "Chunghwa Telecom"
+
+    def test_private_addresses(self):
+        db = make_db()
+        for ip in ("192.168.1.1", "192.168.2.1", "172.30.1.254", "10.0.0.1"):
+            assert db.org_name(ip) == PRIVATE_NETWORK
+
+    def test_unregistered_space(self):
+        db = make_db()
+        assert db.org_name("5.5.5.5") is None
+
+    def test_longest_prefix(self):
+        db = WhoisDatabase()
+        db.add("20.0.0.0/8", "Big Org")
+        db.add("20.20.20.0/24", "Small Org")
+        assert db.org_name("20.20.20.20") == "Small Org"
+        assert db.org_name("20.30.0.1") == "Big Org"
+
+    def test_len(self):
+        assert len(make_db()) == 5
