@@ -70,8 +70,12 @@ def measure_top_destinations(
         form, value = _form_of(view)
         if form == FORM_IP:
             counter[value] += 1
+    # Deterministic ranking: most_common breaks count ties on insertion
+    # (i.e. arrival) order, which differs between serial and sharded
+    # runs. Rank on (-count, ip) so the table depends on content only.
+    ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
     rows = []
-    for ip, count in counter.most_common(top):
+    for ip, count in ranked[:top]:
         if is_private(ip):
             org, reported = "private network", "N/A"
         else:

@@ -71,6 +71,12 @@ def measure_malicious_flags(
     )
 
 
+def _ranked(counter: Counter[str]) -> dict[str, int]:
+    """Count-descending with a key tie-break, so the rendered order does
+    not depend on arrival (Counter insertion) order."""
+    return dict(sorted(counter.items(), key=lambda item: (-item[1], item[0])))
+
+
 def measure_asn_distribution(
     views: list[R2View],
     truth_ip: str,
@@ -87,7 +93,7 @@ def measure_asn_distribution(
         else:
             label = entry.as_name or f"AS{entry.asn}"
             counter[label] += 1
-    return dict(counter.most_common())
+    return _ranked(counter)
 
 
 def measure_country_distribution(
@@ -105,4 +111,4 @@ def measure_country_distribution(
     for view in malicious_views(views, truth_ip, cymon):
         country = geo.country_of(view.src_ip) or "??"
         counter[country] += 1
-    return dict(counter.most_common())
+    return _ranked(counter)

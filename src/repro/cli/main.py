@@ -35,6 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--compression", type=float, default=None,
                       help="simulated-clock compression (default: 1 for "
                       "2018, 64 for the week-long 2013 scan)")
+    scan.add_argument("--workers", type=int, default=1,
+                      help="shard the scan across N parallel simulations "
+                      "(identical tables at any worker count)")
     scan.add_argument("--save", metavar="DIR", default=None,
                       help="save the dataset to DIR")
     scan.add_argument("--markdown", metavar="FILE", default=None,
@@ -126,8 +129,13 @@ def _cmd_scan(args) -> int:
         scale=args.scale,
         seed=args.seed,
         time_compression=_default_compression(args.year, args.compression),
+        workers=args.workers,
     )
-    print(f"Scanning (year {args.year}, scale 1/{args.scale}, seed {args.seed})...")
+    workers_note = f", workers {args.workers}" if args.workers > 1 else ""
+    print(
+        f"Scanning (year {args.year}, scale 1/{args.scale}, "
+        f"seed {args.seed}{workers_note})..."
+    )
     result = Campaign(config).run()
     print(result.report() if args.full_report else result.summary())
     if args.save:

@@ -1,6 +1,7 @@
 """End-to-end campaign API: population -> scan -> analysis -> report."""
 
 from repro.core.campaign import Campaign, CampaignConfig, CampaignResult, run_both_years
+from repro.core.shard import ShardOutcome, ShardTask, run_shard, run_sharded, shard_universe
 from repro.core.sweep import MetricStats, SweepResult, run_seed_sweep
 
 __all__ = [
@@ -8,7 +9,12 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "MetricStats",
+    "ShardOutcome",
+    "ShardTask",
     "SweepResult",
     "run_both_years",
     "run_seed_sweep",
+    "run_shard",
+    "run_sharded",
+    "shard_universe",
 ]

@@ -74,6 +74,11 @@ class CampaignConfig:
     ``fast`` enables the responder-hint accelerator (see
     :class:`repro.prober.probe.Prober`); measurements are identical
     either way, covered by tests.
+
+    ``workers`` shards the scan across that many independent
+    simulations (see :mod:`repro.core.shard`); at ``loss_rate == 0``
+    every worker count renders identical Tables II–X for the same
+    ``(seed, scale, year)``.
     """
 
     year: int = 2018
@@ -87,6 +92,7 @@ class CampaignConfig:
     fingerprinting: bool = True
     dnssec: bool = True
     loss_rate: float = 0.0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -95,6 +101,8 @@ class CampaignConfig:
             raise ValueError("time_compression must be positive")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
 
 @dataclasses.dataclass
@@ -122,6 +130,10 @@ class CampaignResult:
     malicious_categories: MaliciousCategoryTable
     malicious_flags: MaliciousFlagTable
     country_distribution: dict[str, int]
+    #: The auth-side Q2/R1 capture (merged across shards when sharded);
+    #: the serial run's hierarchy.auth.query_log, hoisted here so that
+    #: persistence does not depend on which network ran the scan.
+    query_log: list = dataclasses.field(default_factory=list)
 
     @property
     def year(self) -> int:
@@ -188,7 +200,9 @@ class Campaign:
         return list(probe_order(seed=self.config.seed, limit=q1_target))
 
     def run(
-        self, population_override: SampledPopulation | None = None
+        self,
+        population_override: SampledPopulation | None = None,
+        workers: int | None = None,
     ) -> CampaignResult:
         """Run the campaign.
 
@@ -196,8 +210,20 @@ class Campaign:
         used by :mod:`repro.monitor` to re-scan an evolved world. Its
         hosts must live inside this campaign's universe (e.g. produced
         by evolving a population sampled with the same seed/scale).
+
+        ``workers`` overrides the config's worker count for this run;
+        any value above 1 dispatches to the sharded engine
+        (:func:`repro.core.shard.run_sharded`), which produces
+        byte-identical tables at ``loss_rate == 0``.
         """
         config = self.config
+        worker_count = config.workers if workers is None else workers
+        if worker_count > 1:
+            from repro.core.shard import run_sharded
+
+            if config.workers != worker_count:
+                config = dataclasses.replace(config, workers=worker_count)
+            return run_sharded(config, population_override=population_override)
         loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
         network = Network(
             seed=config.seed,
@@ -266,7 +292,7 @@ class Campaign:
         flow_set = join_flows(capture.r2_records, hierarchy.auth)
         return self._analyze(
             population, hierarchy, network, software_map, validators,
-            capture, flow_set,
+            capture, flow_set, query_log=list(hierarchy.auth.query_log),
         )
 
     def _analyze(
@@ -278,6 +304,7 @@ class Campaign:
         dnssec_validators: set[str],
         capture: ProbeCapture,
         flow_set: FlowSet,
+        query_log: list | None = None,
     ) -> CampaignResult:
         truth = hierarchy.auth.ip
         views = flow_set.views
@@ -313,6 +340,7 @@ class Campaign:
             country_distribution=measure_country_distribution(
                 views, truth, population.cymon, population.geo
             ),
+            query_log=query_log if query_log is not None else [],
         )
 
 

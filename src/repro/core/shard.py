@@ -1,0 +1,323 @@
+"""Sharded parallel campaign engine.
+
+The paper's scan covers the routable IPv4 space from one box; ZMap's
+cyclic-group permutation is what makes that embarrassingly parallel:
+any strided slice of the permutation is itself a uniform sample of the
+space. This module partitions the campaign universe into ``N``
+deterministic shards — shard ``i`` probes ``universe[i::N]`` at
+``rate/N`` — runs each shard as an independent :class:`Prober` +
+:class:`Network` discrete-event simulation (in a
+``ProcessPoolExecutor`` worker when the platform allows, in-process
+otherwise), and merges the per-shard captures and flows into a single
+:class:`CampaignResult`.
+
+Determinism contract (see DESIGN.md §6): for a given
+``(seed, scale, year)`` and ``loss_rate == 0`` the merged run renders
+Tables II–X byte-identically to the serial run, for any worker count.
+The guarantee holds because
+
+- the population is sampled once per (seed, scale, year) from the full
+  universe, identically in every worker, and each host lands in
+  exactly one shard (the one probing its address);
+- resolver behavior is a deterministic function of the spec and the
+  query, so per-probe outcomes do not depend on interleaving (the auth
+  server retains every installed cluster zone for exactly this reason:
+  a reused subdomain must resolve the same whenever its Q2 lands);
+- each shard paces ``1/N`` of the probes at ``rate/N``, so the merged
+  scan spans the same wall clock as the serial scan;
+- analysis tables are order-independent: each shard mints qnames from
+  a private slice of the cluster namespace (so merged flows union
+  collision-free), and every analyzer sorts on content, never on
+  arrival order.
+
+Per-shard randomness (latency draws) is seeded by the derivation rule
+``derive_seed(seed, index, workers)`` — shards never replay each
+other's streams. With ``loss_rate > 0`` the sharded run is
+statistically, but not byte-for-byte, equivalent to the serial run
+(loss coin-flips land on different packets).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import pickle
+
+from repro.dnssrv.auth import QueryLogEntry
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.netsim.ipv4 import int_to_ip
+from repro.netsim.latency import LogNormalLatency
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.network import Network
+from repro.netsim.seeds import derive_seed
+from repro.prober.capture import FlowSet, join_flows, merge_flow_sets
+from repro.prober.probe import (
+    PROBER_IP,
+    ProbeCapture,
+    ProbeConfig,
+    Prober,
+    merge_captures,
+)
+from repro.prober.subdomain import SubdomainScheme
+from repro.prober.zmap import probe_order
+from repro.resolvers.apportion import scale_count
+from repro.resolvers.population import PopulationSampler, SampledPopulation
+from repro.resolvers.profiles import profile_for_year
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """One worker's assignment: which slice of which campaign.
+
+    Small by construction — workers rebuild the universe and the
+    population from the config instead of unpickling them, except for
+    an explicit ``population_override`` (an evolved world cannot be
+    re-derived from the seed).
+    """
+
+    config: "CampaignConfig"  # noqa: F821 - imported lazily to avoid a cycle
+    index: int
+    workers: int
+    population_override: SampledPopulation | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not 0 <= self.index < self.workers:
+            raise ValueError(f"shard index {self.index} outside [0, {self.workers})")
+
+
+@dataclasses.dataclass
+class ShardOutcome:
+    """What one shard ships back to the parent for merging."""
+
+    index: int
+    capture: ProbeCapture
+    flow_set: FlowSet
+    query_log: list[QueryLogEntry]
+
+
+def shard_universe(universe: list[int], index: int, workers: int) -> list[int]:
+    """Shard ``index``'s strided slice of the probe universe."""
+    return universe[index::workers]
+
+
+def cluster_namespace_slice(index: int, workers: int) -> tuple[int, int]:
+    """Shard ``index``'s private ``[base, limit)`` cluster-number range.
+
+    Disjoint ranges make every shard's qnames globally unique without
+    any cross-shard coordination, which keeps merged flows join-safe
+    and persisted datasets rejoinable offline. With subdomain reuse a
+    shard opens only a handful of clusters, so even a thin slice of the
+    1000-cluster namespace is roomy.
+    """
+    max_clusters = SubdomainScheme().max_clusters
+    span = max_clusters // workers
+    if span == 0:
+        raise ValueError(
+            f"{workers} workers cannot share a {max_clusters}-cluster namespace"
+        )
+    return index * span, (index + 1) * span
+
+
+def _campaign_universe(config) -> list[int]:
+    profile = profile_for_year(config.year)
+    q1_target = scale_count(profile.q1_full, config.scale)
+    return list(probe_order(seed=config.seed, limit=q1_target))
+
+
+def _build_world(config, network: Network, universe, population_override=None):
+    """Hierarchy + full population + intel maps, as the serial run builds them.
+
+    Returns (hierarchy, population, software_map, banners, validators).
+    Deterministic in (seed, scale, year): every shard and the parent
+    compute identical worlds, so behavior does not depend on which
+    process deploys which host.
+    """
+    hierarchy = build_hierarchy(network)
+    infrastructure = {
+        hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP
+    }
+    if population_override is not None:
+        population = population_override
+    else:
+        population = PopulationSampler(
+            profile_for_year(config.year),
+            scale=config.scale,
+            seed=config.seed,
+            excluded_ips=infrastructure,
+            universe=universe,
+        ).sample()
+    software_map: dict[str, object] = {}
+    banners: dict[str, str | None] = {}
+    if config.fingerprinting:
+        from repro.fingerprint.identities import assign_software
+
+        software_map = assign_software(population, seed=config.seed)
+        banners = {ip: identity.banner for ip, identity in software_map.items()}
+    validators: set[str] = set()
+    if config.dnssec:
+        from repro.dnssec.census import assign_validators
+
+        validators = assign_validators(
+            population, year=config.year, seed=config.seed
+        )
+    return hierarchy, population, software_map, banners, validators
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Execute one shard's scan to completion (worker entry point).
+
+    Top-level and argument-picklable so it can run under
+    ``ProcessPoolExecutor`` with either the fork or spawn start method.
+    """
+    config = task.config
+    profile = profile_for_year(config.year)
+    loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
+    network = Network(
+        seed=derive_seed(config.seed, task.index, task.workers),
+        latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
+        loss=loss,
+    )
+    universe = _campaign_universe(config)
+    hierarchy, population, _, banners, validators = _build_world(
+        config, network, universe, task.population_override
+    )
+    addresses = shard_universe(universe, task.index, task.workers)
+    cluster_base, cluster_limit = cluster_namespace_slice(
+        task.index, task.workers
+    )
+    slice_ips = {int_to_ip(address) for address in addresses}
+    local = dataclasses.replace(
+        population,
+        assignments=[
+            assignment
+            for assignment in population.assignments
+            if assignment.ip in slice_ips
+        ],
+    )
+    local.deploy(
+        network, auth_ip=hierarchy.auth.ip, version_banners=banners,
+        dnssec_validators=validators,
+    )
+    probe_config = ProbeConfig(
+        q1_target=len(addresses),
+        rate_pps=profile.probe_rate_pps
+        * config.time_compression
+        / config.scale
+        / task.workers,
+        cluster_size=max(50, scale_count(5_000_000, config.scale)),
+        reuse_subdomains=config.reuse_subdomains,
+        seed=config.seed,
+        sld=hierarchy.sld,
+        record_sent_log=config.record_sent_log,
+        addresses=tuple(addresses),
+        cluster_base=cluster_base,
+        cluster_limit=cluster_limit,
+    )
+    hint = local.address_set() if config.fast else None
+    prober = Prober(
+        network, hierarchy.auth, probe_config, ip=PROBER_IP,
+        responder_hint=hint,
+    )
+    capture = prober.run()
+    flow_set = join_flows(capture.r2_records, hierarchy.auth)
+    return ShardOutcome(
+        index=task.index,
+        capture=capture,
+        flow_set=flow_set,
+        query_log=list(hierarchy.auth.query_log),
+    )
+
+
+def _supports_process_pool() -> bool:
+    try:
+        return bool(multiprocessing.get_all_start_methods())
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def _run_tasks(tasks: list[ShardTask], parallelism: str) -> list[ShardOutcome]:
+    """Run every shard task, in worker processes or in-process.
+
+    ``parallelism``: ``"process"`` forces the pool, ``"inline"`` forces
+    in-process execution, ``"auto"`` picks the pool when the platform
+    has one and more than one shard exists. Pool failures that predate
+    any shard work (sandboxed semaphores, unpicklable overrides) fall
+    back to inline execution — the result is identical either way.
+    """
+    if parallelism not in ("auto", "process", "inline"):
+        raise ValueError(f"unknown parallelism mode: {parallelism!r}")
+    use_pool = parallelism == "process" or (
+        parallelism == "auto" and len(tasks) > 1 and _supports_process_pool()
+    )
+    if use_pool:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(len(tasks), max(1, os.cpu_count() or 1))
+            ) as pool:
+                return list(pool.map(run_shard, tasks))
+        except (OSError, pickle.PicklingError, concurrent.futures.BrokenExecutor):
+            if parallelism == "process":
+                raise
+    return [run_shard(task) for task in tasks]
+
+
+def run_sharded(
+    config,
+    population_override: SampledPopulation | None = None,
+    parallelism: str = "auto",
+) -> "CampaignResult":  # noqa: F821
+    """Run a campaign as ``config.workers`` shards and merge the results.
+
+    The merged :class:`CampaignResult` carries a live parent world —
+    population deployed on a (never-scanned) parent network — so
+    follow-up scans (fingerprinting, DNSSEC census) work exactly as
+    they do on a serial result.
+    """
+    from repro.core.campaign import Campaign
+
+    workers = config.workers
+    cluster_namespace_slice(0, workers)  # reject impossible splits up front
+    tasks = [
+        ShardTask(
+            config=config,
+            index=index,
+            workers=workers,
+            population_override=population_override,
+        )
+        for index in range(workers)
+    ]
+    outcomes = _run_tasks(tasks, parallelism)
+    outcomes.sort(key=lambda outcome: outcome.index)
+    capture = merge_captures([outcome.capture for outcome in outcomes])
+    if config.time_compression != 1.0:
+        capture = dataclasses.replace(
+            capture,
+            end_time=capture.start_time
+            + capture.duration * config.time_compression,
+        )
+    flow_set = merge_flow_sets([outcome.flow_set for outcome in outcomes])
+    query_log = [
+        entry for outcome in outcomes for entry in outcome.query_log
+    ]
+    loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
+    network = Network(
+        seed=config.seed,
+        latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
+        loss=loss,
+    )
+    hierarchy, population, software_map, banners, validators = _build_world(
+        config, network, _campaign_universe(config), population_override
+    )
+    population.deploy(
+        network, auth_ip=hierarchy.auth.ip, version_banners=banners,
+        dnssec_validators=validators,
+    )
+    campaign = Campaign(config)
+    return campaign._analyze(
+        population, hierarchy, network, software_map, validators,
+        capture, flow_set, query_log=query_log,
+    )

@@ -125,7 +125,7 @@ def save_campaign(result, directory) -> pathlib.Path:
                 "qtype": entry.qtype,
                 "rcode": entry.rcode,
             }
-            for entry in result.hierarchy.auth.query_log
+            for entry in result.query_log
         ),
     )
     _write_jsonl(

@@ -43,9 +43,13 @@ class AuthoritativeServer:
         self,
         ip: str,
         cluster_load_seconds: float = 60.0,
-        zone_history: int = 2,
+        zone_history: int | None = 2,
     ) -> None:
-        if zone_history < 1:
+        """``zone_history`` bounds how many same-origin zone versions stay
+        queryable (BIND-style reload retention); ``None`` retains every
+        version — the campaign setting, where each subdomain cluster is a
+        distinct zone file that is never unloaded."""
+        if zone_history is not None and zone_history < 1:
             raise ValueError("zone_history must be at least 1")
         self.ip = ip
         self.cluster_load_seconds = cluster_load_seconds
@@ -63,7 +67,8 @@ class AuthoritativeServer:
         """Serve ``zone``, retiring (but retaining) same-origin predecessors."""
         history = self._zones.setdefault(zone.origin, [])
         history.insert(0, zone)
-        del history[self.zone_history:]
+        if self.zone_history is not None:
+            del history[self.zone_history:]
 
     def unload_zone(self, origin: str) -> None:
         self._zones.pop(origin, None)

@@ -62,7 +62,15 @@ def build_hierarchy(
         tld,
         [Delegation(canonical_sld, ((f"ns1.{canonical_sld}", auth_ip),))],
     )
-    auth = AuthoritativeServer(auth_ip, cluster_load_seconds=cluster_load_seconds)
+    # zone_history=None: every installed subdomain cluster stays
+    # queryable for the whole campaign. Clusters share the SLD origin,
+    # and a reused subdomain can be re-probed long after its cluster was
+    # superseded — evicting old clusters would turn those probes into
+    # NXDOMAINs whose incidence depends on install timing, breaking the
+    # serial-vs-sharded determinism contract (core.shard).
+    auth = AuthoritativeServer(
+        auth_ip, cluster_load_seconds=cluster_load_seconds, zone_history=None
+    )
     root.attach(network)
     tld_server.attach(network)
     auth.attach(network)

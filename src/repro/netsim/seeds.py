@@ -1,0 +1,37 @@
+"""Deterministic seed derivation for independent simulation components.
+
+Sharded campaigns run one event scheduler and one latency RNG per
+shard; each must be seeded independently of the others (so shards do
+not replay each other's draws) yet reproducibly from the campaign's
+root seed (so a run is fully determined by its config). Python's
+``hash()`` is unsuitable — string hashing is randomized per process —
+so the derivation is a fixed-width splitmix64 chain over the lane
+values, stable across processes, platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> int:
+    """One splitmix64 output step (Steele et al., public domain)."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def derive_seed(root: int, *lanes: int) -> int:
+    """Derive a child seed from ``root`` and a tuple of integer lanes.
+
+    The same (root, lanes) always yields the same 64-bit seed; distinct
+    lane tuples yield (with overwhelming probability) distinct seeds.
+    Shard ``i`` of ``n`` uses ``derive_seed(seed, i, n)`` — the rule
+    documented in DESIGN.md's determinism section.
+    """
+    state = root & _MASK64
+    for lane in lanes:
+        state = _splitmix64(state ^ (lane & _MASK64))
+    return _splitmix64(state)

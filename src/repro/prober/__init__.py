@@ -13,8 +13,14 @@
   flows on the qname key (Fig 2).
 """
 
-from repro.prober.capture import FlowSet, ProbeFlow, R2Record, join_flows
-from repro.prober.probe import ProbeCapture, ProbeConfig, Prober
+from repro.prober.capture import (
+    FlowSet,
+    ProbeFlow,
+    R2Record,
+    join_flows,
+    merge_flow_sets,
+)
+from repro.prober.probe import ProbeCapture, ProbeConfig, Prober, merge_captures
 from repro.prober.subdomain import ClusterAllocator, ClusterStats, SubdomainScheme
 from repro.prober.zmap import AddressPermutation, GROUP_PRIME, probe_order
 
@@ -31,5 +37,7 @@ __all__ = [
     "R2Record",
     "SubdomainScheme",
     "join_flows",
+    "merge_captures",
+    "merge_flow_sets",
     "probe_order",
 ]

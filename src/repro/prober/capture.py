@@ -153,15 +153,27 @@ class ProbeFlow:
 
 @dataclasses.dataclass
 class FlowSet:
-    """All joined flows plus the responses that could not be joined."""
+    """All joined flows plus the responses that could not be joined.
+
+    Iteration products are *order-independent*: ``views`` sorts on the
+    qname join key, never on arrival order, so any permutation of the
+    captured packets — or any merge of per-shard captures — yields the
+    same analysis tables byte for byte.
+    """
 
     flows: dict[str, ProbeFlow]
     unjoinable: list[R2View]  # empty-question responses (section IV-B4)
 
     @property
     def views(self) -> list[R2View]:
-        """Every parsed R2 with a question (the Tables III-VI universe)."""
-        return [flow.r2 for flow in self.flows.values() if flow.r2 is not None]
+        """Every parsed R2 with a question (the Tables III-VI universe).
+
+        Sorted by qname so downstream analyzers see a capture-order- and
+        shard-independent sequence.
+        """
+        responded = [flow for flow in self.flows.values() if flow.r2 is not None]
+        responded.sort(key=lambda flow: flow.qname)  # qnames are unique keys
+        return [flow.r2 for flow in responded]
 
     @property
     def all_views(self) -> list[R2View]:
@@ -202,4 +214,31 @@ def join_flows(
             flow = flows.setdefault(entry.qname, ProbeFlow(entry.qname))
             flow.q2_timestamps.append(entry.timestamp)
             flow.r1_count += 1  # the auth server answers every logged query
+    return FlowSet(flows=flows, unjoinable=unjoinable)
+
+
+def _unjoinable_sort_key(view: R2View) -> tuple:
+    """A content-based (never arrival-based) order for unjoinable views."""
+    return (view.src_ip, view.timestamp, view.rcode, view.ra, view.aa)
+
+
+def merge_flow_sets(flow_sets: list[FlowSet]) -> FlowSet:
+    """Merge per-shard flow sets into one campaign-wide :class:`FlowSet`.
+
+    Shards allocate qnames from disjoint cluster-namespace slices, so
+    the flow dicts union without collisions (guarded, since a collision
+    would silently drop a probe's flow); the unjoinable views are
+    re-sorted on content so the merged set is independent of shard
+    completion order.
+    """
+    if len(flow_sets) == 1:
+        return flow_sets[0]
+    flows: dict[str, ProbeFlow] = {}
+    unjoinable: list[R2View] = []
+    for flow_set in flow_sets:
+        if flows.keys() & flow_set.flows.keys():
+            raise ValueError("flow sets overlap: shards shared a qname")
+        flows.update(flow_set.flows)
+        unjoinable.extend(flow_set.unjoinable)
+    unjoinable.sort(key=_unjoinable_sort_key)
     return FlowSet(flows=flows, unjoinable=unjoinable)

@@ -34,7 +34,16 @@ PROBER_IP = "132.170.3.14"
 
 @dataclasses.dataclass
 class ProbeConfig:
-    """Scan parameters. Rates/sizes are in *scaled* units."""
+    """Scan parameters. Rates/sizes are in *scaled* units.
+
+    ``addresses``, when given, replaces the internal permutation walk
+    with an explicit target list — how a sharded campaign hands each
+    worker its strided slice of the shared universe.
+    ``cluster_base``/``cluster_limit`` give the allocator a private
+    slice of the cluster namespace so concurrent shards mint globally
+    unique qnames. The config is a plain picklable dataclass so it can
+    cross a process boundary.
+    """
 
     q1_target: int
     rate_pps: float
@@ -46,17 +55,30 @@ class ProbeConfig:
     sld: str = "ucfsealresearch.net"
     record_sent_log: bool = False
     blocklist: tuple[str, ...] = ()
+    addresses: tuple[int, ...] | None = None
+    cluster_base: int = 0
+    cluster_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.q1_target < 0:
             raise ValueError("q1_target must be non-negative")
         if self.rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
+        if self.addresses is not None and len(self.addresses) != self.q1_target:
+            raise ValueError(
+                "explicit address list must match q1_target: "
+                f"{len(self.addresses)} != {self.q1_target}"
+            )
 
 
 @dataclasses.dataclass
 class ProbeCapture:
-    """Everything the prober measured during one scan."""
+    """Everything the prober measured during one scan.
+
+    A plain picklable value object: sharded campaigns ship one capture
+    per worker back to the parent and fold them with
+    :func:`merge_captures`.
+    """
 
     q1_sent: int
     q1_bytes: int
@@ -73,6 +95,48 @@ class ProbeCapture:
     @property
     def r2_count(self) -> int:
         return len(self.r2_records)
+
+
+def merge_captures(captures: list[ProbeCapture]) -> ProbeCapture:
+    """Fold per-shard captures into one campaign-wide capture.
+
+    Counters add; the scan spans min(start) .. max(end) because every
+    shard paces itself at ``rate/N`` over ``1/N`` of the universe and
+    therefore walks the same wall clock as the serial scan. The merged
+    record list is re-sorted on (timestamp, source, payload) so its
+    order does not depend on shard completion order. Cluster stats add
+    too — each shard runs its own allocator, so the merged
+    ``clusters_created`` counts zones installed across all shard auth
+    servers. Sent-log keys union directly: shards allocate from
+    disjoint cluster-namespace slices, so qnames never collide.
+    """
+    if not captures:
+        raise ValueError("cannot merge zero captures")
+    if len(captures) == 1:
+        return captures[0]
+    records = [
+        record for capture in captures for record in capture.r2_records
+    ]
+    records.sort(key=lambda r: (r.timestamp, r.src_ip, r.payload))
+    stats = ClusterStats()
+    sent_log: dict[str, str] = {}
+    for capture in captures:
+        stats.clusters_created += capture.cluster_stats.clusters_created
+        stats.fresh_allocations += capture.cluster_stats.fresh_allocations
+        stats.reused_allocations += capture.cluster_stats.reused_allocations
+        stats.burned += capture.cluster_stats.burned
+        if sent_log.keys() & capture.sent_log.keys():
+            raise ValueError("sent logs overlap: shards shared a qname")
+        sent_log.update(capture.sent_log)
+    return ProbeCapture(
+        q1_sent=sum(capture.q1_sent for capture in captures),
+        q1_bytes=sum(capture.q1_bytes for capture in captures),
+        r2_records=records,
+        start_time=min(capture.start_time for capture in captures),
+        end_time=max(capture.end_time for capture in captures),
+        cluster_stats=stats,
+        sent_log=sent_log,
+    )
 
 
 class Prober:
@@ -96,11 +160,16 @@ class Prober:
             self.scheme,
             cluster_size=config.cluster_size,
             reuse=config.reuse_subdomains,
+            cluster_base=config.cluster_base,
+            cluster_limit=config.cluster_limit,
         )
-        self._addresses = probe_order(
-            seed=config.seed, limit=config.q1_target,
-            blocklist=config.blocklist,
-        )
+        if config.addresses is not None:
+            self._addresses = iter(config.addresses)
+        else:
+            self._addresses = probe_order(
+                seed=config.seed, limit=config.q1_target,
+                blocklist=config.blocklist,
+            )
         self._q1_sent = 0
         self._q1_bytes = 0
         self._accumulator = 0.0

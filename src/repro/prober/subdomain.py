@@ -98,14 +98,31 @@ class ClusterAllocator:
         scheme: SubdomainScheme,
         cluster_size: int = 5_000_000,
         reuse: bool = True,
+        cluster_base: int = 0,
+        cluster_limit: int | None = None,
     ) -> None:
+        """``cluster_base``/``cluster_limit`` carve out a private slice
+        ``[base, limit)`` of the cluster namespace — how sharded scans
+        keep their qnames globally unique without coordination (shard
+        ``i`` of ``n`` numbers clusters from ``i * (max_clusters // n)``).
+        """
         if cluster_size <= 0:
             raise ValueError("cluster_size must be positive")
+        if cluster_base < 0:
+            raise ValueError("cluster_base must be non-negative")
+        if cluster_limit is None:
+            cluster_limit = scheme.max_clusters
+        if not cluster_base < cluster_limit <= scheme.max_clusters:
+            raise ValueError(
+                f"cluster range [{cluster_base}, {cluster_limit}) invalid "
+                f"for a {scheme.max_clusters}-cluster namespace"
+            )
         self.scheme = scheme
         self.cluster_size = cluster_size
         self.reuse = reuse
+        self.cluster_limit = cluster_limit
         self.stats = ClusterStats()
-        self._cluster = -1
+        self._cluster = cluster_base - 1
         self._next_index = cluster_size  # force a cluster on first allocation
         self._free: deque[tuple[int, int]] = deque()
 
@@ -140,9 +157,9 @@ class ClusterAllocator:
 
     def _open_cluster(self) -> None:
         self._cluster += 1
-        if self._cluster >= self.scheme.max_clusters:
+        if self._cluster >= self.cluster_limit:
             raise RuntimeError(
-                f"exhausted the {self.scheme.max_clusters}-cluster namespace"
+                f"exhausted the cluster namespace slice at {self.cluster_limit}"
             )
         self._next_index = 0
         self.stats.clusters_created += 1

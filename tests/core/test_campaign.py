@@ -2,44 +2,16 @@
 
 These run the full pipeline — population, scan, flow join, analysis —
 at a coarse scale and check measured tables against the calibrated
-expectations (scaled), i.e. against the paper's shape.
+expectations (scaled), i.e. against the paper's shape. The campaign
+fixtures (``result_2018``, ``both_years``) are session-scoped in
+``tests/conftest.py`` and shared with the golden-table pins.
 """
 
 import pytest
 
 from repro.core import Campaign, CampaignConfig, run_both_years
 from repro.resolvers.apportion import scale_count
-
-SCALE = 16384
-
-
-@pytest.fixture(scope="module")
-def result_2018():
-    return Campaign(CampaignConfig(year=2018, scale=SCALE, seed=11)).run()
-
-
-@pytest.fixture(scope="module")
-def both_years():
-    # A finer scale than the single-year tests so the malicious tail
-    # (12,874 / 26,926 R2 at full scale) survives subsampling; the
-    # simulated clock is compressed to keep the run fast.
-    from repro.analysis.compare import compare_years
-
-    result_2013 = Campaign(
-        CampaignConfig(year=2013, scale=2048, seed=11, time_compression=64.0)
-    ).run()
-    result_2018 = Campaign(
-        CampaignConfig(year=2018, scale=2048, seed=11, time_compression=8.0)
-    ).run()
-    comparison = compare_years(
-        result_2013.correctness,
-        result_2018.correctness,
-        result_2013.estimates,
-        result_2018.estimates,
-        result_2013.malicious_categories,
-        result_2018.malicious_categories,
-    )
-    return result_2013, result_2018, comparison
+from tests.conftest import E2E_SCALE as SCALE
 
 
 class TestCampaign2018(object):

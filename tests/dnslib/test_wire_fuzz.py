@@ -1,0 +1,263 @@
+"""Seeded round-trip fuzzing of the wire codec.
+
+Complements the hostile-bytes fuzz in ``test_fuzz.py``: here the
+inputs are randomly generated *valid* messages — random names with
+shared suffixes (forcing compression pointers), EDNS OPT records, and
+every supported RDATA type — and the property is exact:
+``decode(encode(m)) == m``, with and without name compression. A
+second family of properties mutates the valid wire forms (truncation,
+bit flips, length-field corruption) and requires a clean
+``DnsWireError`` or a successful decode — never any other exception.
+
+Deterministic by construction (``random.Random(seed)``), so a failure
+reproduces from the printed seed alone.
+"""
+
+import random
+
+import pytest
+
+from repro.dnslib.buffer import DnsWireError
+from repro.dnslib.constants import DnsClass, Opcode, QueryType, Rcode
+from repro.dnslib.edns import add_edns, extract_edns
+from repro.dnslib.message import (
+    DnsFlags,
+    DnsHeader,
+    DnsMessage,
+    Question,
+)
+from repro.dnslib.records import (
+    AData,
+    AaaaData,
+    CnameData,
+    MxData,
+    NsData,
+    PtrData,
+    RawData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+from repro.dnslib.wire import decode_message, encode_message
+
+_LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+#: Shared suffixes: drawing owner names from a small pool of parent
+#: domains guarantees repeated suffixes inside one message, which is
+#: exactly what makes the compressing encoder emit pointers.
+_SUFFIX_POOL = (
+    "example.com",
+    "sub.example.com",
+    "resolver-test.net",
+    "a.long.chain.of.labels.org",
+)
+
+
+def _label(rng: random.Random) -> str:
+    length = rng.randint(1, 12)
+    label = "".join(rng.choice(_LABEL_ALPHABET) for _ in range(length))
+    # Leading hyphens are fine for this permissive codec, but keep the
+    # labels canonical-lowercase so normalize_name is the identity.
+    return label
+
+
+def _name(rng: random.Random) -> str:
+    suffix = rng.choice(_SUFFIX_POOL)
+    depth = rng.randint(0, 2)
+    labels = [_label(rng) for _ in range(depth)]
+    return ".".join(labels + [suffix])
+
+
+def _ipv4(rng: random.Random) -> str:
+    return ".".join(str(rng.randint(0, 255)) for _ in range(4))
+
+
+def _rdata(rng: random.Random, rtype):
+    if rtype == QueryType.A:
+        return AData(_ipv4(rng))
+    if rtype == QueryType.AAAA:
+        return AaaaData(rng.randbytes(16))
+    if rtype == QueryType.NS:
+        return NsData(_name(rng))
+    if rtype == QueryType.CNAME:
+        return CnameData(_name(rng))
+    if rtype == QueryType.PTR:
+        return PtrData(_name(rng))
+    if rtype == QueryType.MX:
+        return MxData(rng.randint(0, 0xFFFF), _name(rng))
+    if rtype == QueryType.TXT:
+        return TxtData(
+            tuple(
+                "".join(rng.choice(_LABEL_ALPHABET) for _ in range(rng.randint(0, 40)))
+                for _ in range(rng.randint(1, 3))
+            )
+        )
+    if rtype == QueryType.SOA:
+        return SoaData(
+            mname=_name(rng),
+            rname=_name(rng),
+            serial=rng.randint(0, 0xFFFFFFFF),
+            refresh=rng.randint(0, 0xFFFFFFFF),
+            retry=rng.randint(0, 0xFFFFFFFF),
+            expire=rng.randint(0, 0xFFFFFFFF),
+            minimum=rng.randint(0, 0xFFFFFFFF),
+        )
+    # An unregistered type: opaque RDATA must survive the round trip.
+    return RawData(int(rtype), rng.randbytes(rng.randint(0, 24)))
+
+
+_RECORD_TYPES = (
+    QueryType.A,
+    QueryType.AAAA,
+    QueryType.NS,
+    QueryType.CNAME,
+    QueryType.PTR,
+    QueryType.MX,
+    QueryType.TXT,
+    QueryType.SOA,
+    99,  # TYPE99 — no codec, exercises the RawData path
+)
+
+
+def _record(rng: random.Random) -> ResourceRecord:
+    rtype = rng.choice(_RECORD_TYPES)
+    return ResourceRecord(
+        name=_name(rng),
+        rtype=QueryType.from_value(int(rtype)),
+        rclass=DnsClass.IN,
+        ttl=rng.randint(0, 0xFFFFFFFF),
+        data=_rdata(rng, rtype),
+    )
+
+
+def _message(rng: random.Random) -> DnsMessage:
+    flags = DnsFlags(
+        qr=rng.random() < 0.5,
+        aa=rng.random() < 0.5,
+        tc=rng.random() < 0.1,
+        rd=rng.random() < 0.5,
+        ra=rng.random() < 0.5,
+        ad=rng.random() < 0.2,
+        cd=rng.random() < 0.2,
+    )
+    header = DnsHeader(
+        msg_id=rng.randint(0, 0xFFFF),
+        flags=flags,
+        opcode=rng.choice((Opcode.QUERY, Opcode.STATUS)),
+        rcode=rng.choice(
+            (Rcode.NOERROR, Rcode.SERVFAIL, Rcode.NXDOMAIN, Rcode.REFUSED)
+        ),
+    )
+    questions = [
+        Question(_name(rng), rng.choice((QueryType.A, QueryType.ANY)), DnsClass.IN)
+        for _ in range(rng.randint(0, 2))
+    ]
+    message = DnsMessage(
+        header=header,
+        questions=questions,
+        answers=[_record(rng) for _ in range(rng.randint(0, 4))],
+        authorities=[_record(rng) for _ in range(rng.randint(0, 2))],
+        additionals=[_record(rng) for _ in range(rng.randint(0, 2))],
+    )
+    if rng.random() < 0.4:
+        add_edns(
+            message,
+            payload_size=rng.choice((512, 1232, 4096)),
+            dnssec_ok=rng.random() < 0.5,
+        )
+    return message
+
+
+class TestRoundTrip(object):
+    @pytest.mark.parametrize("seed", range(30))
+    def test_compressed_round_trip_exact(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            message = _message(rng)
+            wire = encode_message(message, compress=True)
+            assert decode_message(wire) == message, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(30, 45))
+    def test_uncompressed_round_trip_exact(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            message = _message(rng)
+            wire = encode_message(message, compress=False)
+            assert decode_message(wire) == message, f"seed={seed}"
+
+    def test_compression_actually_fires(self):
+        # Sanity for the suffix-pool design: with shared suffixes the
+        # compressed form must be strictly smaller and contain pointers.
+        rng = random.Random(1234)
+        message = DnsMessage(
+            questions=[Question(_name(rng))],
+            answers=[_record(rng) for _ in range(6)],
+        )
+        compressed = encode_message(message, compress=True)
+        flat = encode_message(message, compress=False)
+        assert len(compressed) < len(flat)
+        assert any(byte & 0xC0 == 0xC0 for byte in compressed[12:])
+
+    def test_edns_survives_round_trip(self):
+        rng = random.Random(77)
+        for _ in range(20):
+            message = _message(rng)
+            # add_edns is idempotent, so drop any OPT _message minted.
+            message.additionals = [
+                record
+                for record in message.additionals
+                if record.rtype != QueryType.OPT
+            ]
+            add_edns(message, payload_size=1232, dnssec_ok=True)
+            decoded = decode_message(encode_message(message))
+            options = extract_edns(decoded)
+            assert options is not None
+            assert options.payload_size == 1232
+            assert options.dnssec_ok
+
+
+class TestMutatedWire(object):
+    """Corrupting valid wire forms must raise DnsWireError or decode."""
+
+    @staticmethod
+    def _decodes_cleanly(data: bytes) -> None:
+        try:
+            decode_message(data)
+        except DnsWireError:
+            pass  # the only acceptable exception
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_truncations(self, seed):
+        rng = random.Random(seed)
+        wire = encode_message(_message(rng))
+        for cut in range(0, len(wire), max(1, len(wire) // 40)):
+            self._decodes_cleanly(wire[:cut])
+
+    @pytest.mark.parametrize("seed", range(20, 35))
+    def test_bit_flips(self, seed):
+        rng = random.Random(seed)
+        wire = bytearray(encode_message(_message(rng)))
+        for _ in range(60):
+            position = rng.randrange(len(wire))
+            mutated = bytearray(wire)
+            mutated[position] ^= 1 << rng.randrange(8)
+            self._decodes_cleanly(bytes(mutated))
+
+    @pytest.mark.parametrize("seed", range(35, 45))
+    def test_section_count_corruption(self, seed):
+        # Inflated section counts make the decoder walk past the end of
+        # the buffer; it must diagnose that, not wander or crash.
+        rng = random.Random(seed)
+        wire = bytearray(encode_message(_message(rng)))
+        for offset in (4, 6, 8, 10):
+            mutated = bytearray(wire)
+            mutated[offset:offset + 2] = (0xFFFF).to_bytes(2, "big")
+            self._decodes_cleanly(bytes(mutated))
+
+    def test_pointer_loop_rejected(self):
+        # A name that points at itself must terminate with an error.
+        header = (0).to_bytes(2, "big") + (0x8000).to_bytes(2, "big")
+        counts = (1).to_bytes(2, "big") + (0).to_bytes(2, "big") * 3
+        loop = b"\xc0\x0c" + (1).to_bytes(2, "big") + (1).to_bytes(2, "big")
+        with pytest.raises(DnsWireError):
+            decode_message(header + counts + loop)

@@ -125,6 +125,20 @@ class TestClusters:
         assert not server.has_subdomain_loaded("or000.0000000.ucfsealresearch.net")
         assert server.zone_count == 1  # one origin
 
+    def test_zone_history_none_retains_every_cluster(self):
+        # The campaign setting (build_hierarchy): clusters share an
+        # origin but are never unloaded, so a subdomain reused long
+        # after its cluster was superseded still resolves.
+        server = AuthoritativeServer("45.76.1.10", zone_history=None)
+        for number in range(10):
+            zone = Zone("ucfsealresearch.net")
+            zone.add_a(f"or{number:03d}.0000000.ucfsealresearch.net", "1.1.1.1")
+            server.install_cluster(zone, now=float(number))
+        for number in range(10):
+            assert server.has_subdomain_loaded(
+                f"or{number:03d}.0000000.ucfsealresearch.net"
+            )
+
     def test_zone_history_validation(self):
         import pytest
 
