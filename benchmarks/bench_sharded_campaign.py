@@ -12,6 +12,7 @@ record is the honest number, not a flattering one.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import time
 
@@ -79,3 +80,26 @@ def test_sharded_campaign(benchmark, results_dir):
             f"got {speedup:.2f}x"
         )
     write_result(results_dir, "sharded_campaign.txt", "\n".join(lines))
+    # Machine-readable mirror of the record above, for dashboards and
+    # regression tracking across CI runs.
+    write_result(
+        results_dir,
+        "BENCH_sharded_campaign.json",
+        json.dumps(
+            {
+                "benchmark": "sharded_campaign",
+                "year": 2018,
+                "scale": BENCH_SCALE,
+                "seed": SEED,
+                "workers": WORKERS,
+                "host_cores": cores,
+                "serial_s": round(serial_s, 4),
+                "inline_s": round(inline_s, 4),
+                "pooled_s": round(pooled_s, 4),
+                "speedup_vs_serial": round(speedup, 4),
+                "reports_byte_identical": True,
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )

@@ -38,6 +38,24 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--workers", type=int, default=1,
                       help="shard the scan across N parallel simulations "
                       "(identical tables at any worker count)")
+    scan.add_argument("--fault-profile", default="none",
+                      choices=("none", "bursty", "hostile"),
+                      help="inject network faults: bursty (Gilbert-Elliott "
+                      "loss) or hostile (loss + latency spikes + "
+                      "duplication + reordering + blackholes); both enable "
+                      "Q1 retransmission")
+    scan.add_argument("--max-shard-retries", type=int, default=2,
+                      metavar="N",
+                      help="requeue a crashed shard worker up to N times "
+                      "(same seed, byte-identical re-run) before declaring "
+                      "the campaign degraded")
+    scan.add_argument("--checkpoint", metavar="DIR", default=None,
+                      help="persist each completed shard to DIR as it "
+                      "finishes")
+    scan.add_argument("--resume", metavar="DIR", default=None,
+                      help="resume from a checkpoint DIR: re-execute only "
+                      "the missing shards (config must match the one that "
+                      "wrote the checkpoints)")
     scan.add_argument("--save", metavar="DIR", default=None,
                       help="save the dataset to DIR")
     scan.add_argument("--markdown", metavar="FILE", default=None,
@@ -130,13 +148,29 @@ def _cmd_scan(args) -> int:
         seed=args.seed,
         time_compression=_default_compression(args.year, args.compression),
         workers=args.workers,
+        fault_profile=args.fault_profile,
+        max_shard_retries=args.max_shard_retries,
     )
     workers_note = f", workers {args.workers}" if args.workers > 1 else ""
+    faults_note = (
+        f", faults '{args.fault_profile}'"
+        if args.fault_profile != "none" else ""
+    )
+    resume_note = f", resuming from {args.resume}" if args.resume else ""
     print(
         f"Scanning (year {args.year}, scale 1/{args.scale}, "
-        f"seed {args.seed}{workers_note})..."
+        f"seed {args.seed}{workers_note}{faults_note}{resume_note})..."
     )
-    result = Campaign(config).run()
+    try:
+        result = Campaign(config).run(
+            checkpoint_dir=args.checkpoint,
+            resume_from=args.resume,
+        )
+    except ValueError as error:
+        if args.resume is None:
+            raise
+        print(f"Cannot resume from {args.resume}: {error}")
+        return 2
     print(result.report() if args.full_report else result.summary())
     if args.save:
         from repro.datasets import save_campaign

@@ -40,11 +40,18 @@ from repro.analysis.report import (
 )
 from repro.analysis.summary import extrapolate, measure_probe_summary
 from repro.dnssrv.hierarchy import Hierarchy, build_hierarchy
+from repro.netsim.faults import build_injector, fault_profile
 from repro.netsim.latency import LogNormalLatency
 from repro.netsim.loss import BernoulliLoss
 from repro.netsim.network import Network
 from repro.prober.capture import FlowSet, join_flows
-from repro.prober.probe import PROBER_IP, ProbeCapture, ProbeConfig, Prober
+from repro.prober.probe import (
+    PROBER_IP,
+    ProbeCapture,
+    ProbeConfig,
+    Prober,
+    RetryPolicy,
+)
 from repro.prober.zmap import probe_order
 from repro.resolvers.apportion import scale_count
 from repro.resolvers.population import PopulationSampler, SampledPopulation
@@ -79,6 +86,15 @@ class CampaignConfig:
     simulations (see :mod:`repro.core.shard`); at ``loss_rate == 0``
     every worker count renders identical Tables II–X for the same
     ``(seed, scale, year)``.
+
+    ``fault_profile`` names a :data:`repro.netsim.faults.FAULT_PROFILES`
+    entry (``none`` / ``bursty`` / ``hostile``): bursty loss, latency
+    spikes, duplication/reordering and per-address blackholes, plus the
+    Q1 retransmission policy tuned for that regime. ``max_shard_retries``
+    is how many times a crashed/killed shard worker is requeued (with
+    the same derived seed, so the re-run is byte-identical) before the
+    campaign gives the shard up and reports it in the result's
+    ``degraded`` manifest.
     """
 
     year: int = 2018
@@ -93,6 +109,8 @@ class CampaignConfig:
     dnssec: bool = True
     loss_rate: float = 0.0
     workers: int = 1
+    fault_profile: str = "none"
+    max_shard_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -103,6 +121,67 @@ class CampaignConfig:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be non-negative")
+        fault_profile(self.fault_profile)  # reject unknown names up front
+
+    def retry_policy(self) -> RetryPolicy:
+        """The Q1 retransmission policy of this config's fault profile."""
+        profile = fault_profile(self.fault_profile)
+        return RetryPolicy(
+            max_retries=profile.retry_max,
+            timeout=profile.retry_timeout,
+            backoff=profile.retry_backoff,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardFailureRecord:
+    """One shard that exhausted its retries and was abandoned."""
+
+    index: int
+    seed: int
+    attempts: int
+    probes_lost: int
+    error: str
+
+
+@dataclasses.dataclass
+class DegradedManifest:
+    """What a partially-failed sharded campaign could not measure.
+
+    Attached to :class:`CampaignResult` instead of raising: a week-long
+    scan that loses one worker still produced six sevenths of the
+    Internet, and the analysis pipeline runs fine over the surviving
+    shards — the manifest makes the coverage gap explicit so no one
+    mistakes a degraded run for a complete one.
+    """
+
+    failed_shards: list[ShardFailureRecord]
+    probes_planned: int
+    probes_lost: int
+
+    @property
+    def probes_completed(self) -> int:
+        return self.probes_planned - self.probes_lost
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of planned probes actually executed."""
+        if self.probes_planned == 0:
+            return 1.0
+        return self.probes_completed / self.probes_planned
+
+    def summary(self) -> str:
+        shards = ", ".join(
+            f"#{record.index} ({record.attempts} attempts: {record.error})"
+            for record in self.failed_shards
+        )
+        return (
+            f"DEGRADED: {len(self.failed_shards)} shard(s) lost [{shards}]; "
+            f"{self.probes_lost:,} of {self.probes_planned:,} probes "
+            f"unexecuted (coverage {self.coverage:.2%})"
+        )
 
 
 @dataclasses.dataclass
@@ -134,6 +213,9 @@ class CampaignResult:
     #: the serial run's hierarchy.auth.query_log, hoisted here so that
     #: persistence does not depend on which network ran the scan.
     query_log: list = dataclasses.field(default_factory=list)
+    #: Set when a sharded campaign lost shards past their retry budget;
+    #: None means full coverage.
+    degraded: DegradedManifest | None = None
 
     @property
     def year(self) -> int:
@@ -150,7 +232,7 @@ class CampaignResult:
     def summary(self) -> str:
         """A short human-readable campaign summary."""
         full = self.extrapolated_summary()
-        return (
+        text = (
             f"[{self.year}] scanned {self.probe_summary.q1:,} addresses "
             f"(1/{self.scale} of {full.q1:,}) in {self.probe_summary.duration_text}; "
             f"R2={self.probe_summary.r2:,} ({self.probe_summary.r2_share:.4f}%), "
@@ -160,6 +242,9 @@ class CampaignResult:
             f"incorrect answers: {self.correctness.incorrect:,}; "
             f"malicious R2: {self.malicious_categories.total_r2:,}."
         )
+        if self.degraded is not None:
+            text += f"\n{self.degraded.summary()}"
+        return text
 
     def report(self) -> str:
         """The full multi-table text report for this year."""
@@ -203,6 +288,8 @@ class Campaign:
         self,
         population_override: SampledPopulation | None = None,
         workers: int | None = None,
+        checkpoint_dir=None,
+        resume_from=None,
     ) -> CampaignResult:
         """Run the campaign.
 
@@ -215,15 +302,29 @@ class Campaign:
         any value above 1 dispatches to the sharded engine
         (:func:`repro.core.shard.run_sharded`), which produces
         byte-identical tables at ``loss_rate == 0``.
+
+        ``checkpoint_dir`` persists each completed shard to disk as it
+        finishes; ``resume_from`` loads such a directory, re-executes
+        only the shards missing from it, and keeps checkpointing there.
+        Either option routes through the sharded engine (a serial run
+        is a one-shard campaign). A resumed run must use the same
+        (seed, scale, year, workers, fault profile) — the checkpoint
+        manifest enforces this.
         """
         config = self.config
         worker_count = config.workers if workers is None else workers
-        if worker_count > 1:
+        if worker_count > 1 or checkpoint_dir is not None or resume_from is not None:
             from repro.core.shard import run_sharded
 
             if config.workers != worker_count:
                 config = dataclasses.replace(config, workers=worker_count)
-            return run_sharded(config, population_override=population_override)
+            return run_sharded(
+                config,
+                population_override=population_override,
+                checkpoint_dir=checkpoint_dir if checkpoint_dir is not None
+                else resume_from,
+                resume=resume_from is not None,
+            )
         loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
         network = Network(
             seed=config.seed,
@@ -234,6 +335,12 @@ class Campaign:
         infrastructure = {
             hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP
         }
+        network.attach_faults(
+            build_injector(
+                config.fault_profile, config.seed, 0, 1,
+                exempt=infrastructure,
+            )
+        )
         q1_target = scale_count(self.profile.q1_full, config.scale)
         universe = self.build_universe()
         if population_override is not None:
@@ -276,6 +383,7 @@ class Campaign:
             seed=config.seed,
             sld=hierarchy.sld,
             record_sent_log=config.record_sent_log,
+            retry=config.retry_policy(),
         )
         hint = population.address_set() if config.fast else None
         prober = Prober(

@@ -1,4 +1,4 @@
-"""Sharded parallel campaign engine.
+"""Sharded parallel campaign engine with crash-tolerant execution.
 
 The paper's scan covers the routable IPv4 space from one box; ZMap's
 cyclic-group permutation is what makes that embarrassingly parallel:
@@ -30,11 +30,24 @@ The guarantee holds because
   collision-free), and every analyzer sorts on content, never on
   arrival order.
 
-Per-shard randomness (latency draws) is seeded by the derivation rule
-``derive_seed(seed, index, workers)`` — shards never replay each
-other's streams. With ``loss_rate > 0`` the sharded run is
-statistically, but not byte-for-byte, equivalent to the serial run
-(loss coin-flips land on different packets).
+Per-shard randomness (latency draws, fault schedules) is seeded by the
+derivation rule ``derive_seed(seed, index, workers)`` — shards never
+replay each other's streams, and a *re-run* shard replays exactly its
+own. That second property is the failure-domain story: a shard worker
+that crashes or is killed is requeued up to
+``config.max_shard_retries`` times, and because the re-run is
+byte-identical, recovery is invisible in the merged tables. Shards
+that exhaust their retries are reported in the result's ``degraded``
+manifest instead of aborting the campaign, and every completed shard
+can be checkpointed to disk (``checkpoint_dir=``) so an interrupted
+campaign resumes by re-executing only the missing shards
+(``resume=True``).
+
+With ``loss_rate > 0`` the sharded run is statistically, but not
+byte-for-byte, equivalent to the serial run (loss coin-flips land on
+different packets). The same holds for the stochastic parts of a fault
+profile — but blackholed addresses are identical at every worker
+count, because their selection hashes the address, not the shard.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ import pickle
 
 from repro.dnssrv.auth import QueryLogEntry
 from repro.dnssrv.hierarchy import build_hierarchy
+from repro.netsim.faults import build_injector
 from repro.netsim.ipv4 import int_to_ip
 from repro.netsim.latency import LogNormalLatency
 from repro.netsim.loss import BernoulliLoss
@@ -66,6 +80,41 @@ from repro.resolvers.apportion import scale_count
 from repro.resolvers.population import PopulationSampler, SampledPopulation
 from repro.resolvers.profiles import profile_for_year
 
+#: Chaos-testing hooks, read by every shard worker (the environment
+#: crosses the process boundary, so they work under both inline and
+#: pool execution). Format: ``"index:count,index:count"`` — shard
+#: ``index`` fails while its attempt number is below ``count``.
+#: ``REPRO_CHAOS_RAISE`` raises inside the worker (a crashing shard);
+#: ``REPRO_CHAOS_EXIT`` hard-kills the worker process with
+#: ``os._exit`` (a dying worker — only use under process parallelism,
+#: inline execution would take the whole interpreter down).
+CHAOS_RAISE_ENV = "REPRO_CHAOS_RAISE"
+CHAOS_EXIT_ENV = "REPRO_CHAOS_EXIT"
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard worker failed.
+
+    Carries the shard coordinates and the derived seed so the failure
+    is reproducible from the message alone:
+    ``run_shard(ShardTask(config, index=i, workers=n))`` replays the
+    exact simulation, faults included.
+    """
+
+    def __init__(self, index: int, workers: int, seed: int, message: str) -> None:
+        super().__init__(
+            f"shard {index}/{workers} failed (derived seed {seed:#x}; "
+            f"reproduce with run_shard(ShardTask(config, index={index}, "
+            f"workers={workers}))): {message}"
+        )
+        self.index = index
+        self.workers = workers
+        self.seed = seed
+        self.message = message
+
+    def __reduce__(self):  # exceptions with extra args need explicit pickling
+        return (ShardExecutionError, (self.index, self.workers, self.seed, self.message))
+
 
 @dataclasses.dataclass(frozen=True)
 class ShardTask:
@@ -74,13 +123,16 @@ class ShardTask:
     Small by construction — workers rebuild the universe and the
     population from the config instead of unpickling them, except for
     an explicit ``population_override`` (an evolved world cannot be
-    re-derived from the seed).
+    re-derived from the seed). ``attempt`` counts previous failures of
+    this shard; it never feeds the seed derivation, so a requeued shard
+    re-runs byte-identically.
     """
 
     config: "CampaignConfig"  # noqa: F821 - imported lazily to avoid a cycle
     index: int
     workers: int
     population_override: SampledPopulation | None = None
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -120,6 +172,17 @@ def cluster_namespace_slice(index: int, workers: int) -> tuple[int, int]:
             f"{workers} workers cannot share a {max_clusters}-cluster namespace"
         )
     return index * span, (index + 1) * span
+
+
+def checkpoint_fingerprint(config) -> dict:
+    """The config fields that shape shard bytes, for manifest matching.
+
+    ``max_shard_retries`` is deliberately excluded: retrying harder is
+    a legitimate thing to change between a crash and its resume.
+    """
+    fingerprint = dataclasses.asdict(config)
+    fingerprint.pop("max_shard_retries", None)
+    return fingerprint
 
 
 def _campaign_universe(config) -> list[int]:
@@ -167,23 +230,67 @@ def _build_world(config, network: Network, universe, population_override=None):
     return hierarchy, population, software_map, banners, validators
 
 
+def _chaos_fail_count(env_name: str, index: int) -> int:
+    """Parse a chaos directive: how many attempts shard ``index`` fails."""
+    for part in os.environ.get(env_name, "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        shard, _, count = part.partition(":")
+        if int(shard) == index:
+            return int(count) if count else 1
+    return 0
+
+
 def run_shard(task: ShardTask) -> ShardOutcome:
     """Execute one shard's scan to completion (worker entry point).
 
     Top-level and argument-picklable so it can run under
     ``ProcessPoolExecutor`` with either the fork or spawn start method.
+    Any failure is re-raised as :class:`ShardExecutionError` carrying
+    the shard index and derived seed, so the crash is reproducible from
+    the error message alone.
     """
+    shard_seed = derive_seed(task.config.seed, task.index, task.workers)
+    if task.attempt < _chaos_fail_count(CHAOS_RAISE_ENV, task.index):
+        raise ShardExecutionError(
+            task.index, task.workers, shard_seed,
+            f"injected chaos failure ({CHAOS_RAISE_ENV})",
+        )
+    if task.attempt < _chaos_fail_count(CHAOS_EXIT_ENV, task.index):
+        os._exit(13)
+    try:
+        return _run_shard_scan(task, shard_seed)
+    except ShardExecutionError:
+        raise
+    except Exception as exc:
+        raise ShardExecutionError(
+            task.index, task.workers, shard_seed,
+            f"{type(exc).__name__}: {exc}",
+        ) from exc
+
+
+def _run_shard_scan(task: ShardTask, shard_seed: int) -> ShardOutcome:
     config = task.config
     profile = profile_for_year(config.year)
     loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
     network = Network(
-        seed=derive_seed(config.seed, task.index, task.workers),
+        seed=shard_seed,
         latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
         loss=loss,
     )
     universe = _campaign_universe(config)
     hierarchy, population, _, banners, validators = _build_world(
         config, network, universe, task.population_override
+    )
+    network.attach_faults(
+        build_injector(
+            config.fault_profile, config.seed, task.index, task.workers,
+            exempt={
+                hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip,
+                PROBER_IP,
+            },
+        )
     )
     addresses = shard_universe(universe, task.index, task.workers)
     cluster_base, cluster_limit = cluster_namespace_slice(
@@ -216,6 +323,7 @@ def run_shard(task: ShardTask) -> ShardOutcome:
         addresses=tuple(addresses),
         cluster_base=cluster_base,
         cluster_limit=cluster_limit,
+        retry=config.retry_policy(),
     )
     hint = local.address_set() if config.fast else None
     prober = Prober(
@@ -239,17 +347,23 @@ def _supports_process_pool() -> bool:
         return False
 
 
-def _run_tasks(tasks: list[ShardTask], parallelism: str) -> list[ShardOutcome]:
-    """Run every shard task, in worker processes or in-process.
+def _run_tasks(
+    tasks: list[ShardTask], parallelism: str
+) -> list[tuple[ShardTask, "ShardOutcome | BaseException"]]:
+    """Run one round of shard tasks, capturing per-shard failures.
 
-    ``parallelism``: ``"process"`` forces the pool, ``"inline"`` forces
-    in-process execution, ``"auto"`` picks the pool when the platform
-    has one and more than one shard exists. Pool failures that predate
-    any shard work (sandboxed semaphores, unpicklable overrides) fall
-    back to inline execution — the result is identical either way.
+    Returns (task, outcome-or-exception) pairs — a failed shard never
+    aborts its siblings; the recovery loop in :func:`run_sharded`
+    decides whether to requeue it. ``parallelism``: ``"process"``
+    forces the pool, ``"inline"`` forces in-process execution,
+    ``"auto"`` picks the pool when the platform has one and more than
+    one task exists. A worker killed outright breaks the whole
+    ``ProcessPoolExecutor`` — every task still in flight surfaces as
+    ``BrokenExecutor`` and is retried in a fresh pool on the next
+    round. Pool failures that predate any shard work (sandboxed
+    semaphores, unpicklable overrides) fall back to inline execution —
+    the result is identical either way.
     """
-    if parallelism not in ("auto", "process", "inline"):
-        raise ValueError(f"unknown parallelism mode: {parallelism!r}")
     use_pool = parallelism == "process" or (
         parallelism == "auto" and len(tasks) > 1 and _supports_process_pool()
     )
@@ -258,17 +372,40 @@ def _run_tasks(tasks: list[ShardTask], parallelism: str) -> list[ShardOutcome]:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(len(tasks), max(1, os.cpu_count() or 1))
             ) as pool:
-                return list(pool.map(run_shard, tasks))
+                futures = {pool.submit(run_shard, task): task for task in tasks}
+                results = []
+                unpicklable = False
+                for future in concurrent.futures.as_completed(futures):
+                    task = futures[future]
+                    try:
+                        results.append((task, future.result()))
+                    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                        # The task could not cross the process boundary;
+                        # a pool retry would fail forever.
+                        unpicklable = True
+                        results.append((task, exc))
+                    except BaseException as exc:
+                        results.append((task, exc))
+                if not (unpicklable and parallelism == "auto"):
+                    return results
         except (OSError, pickle.PicklingError, concurrent.futures.BrokenExecutor):
             if parallelism == "process":
                 raise
-    return [run_shard(task) for task in tasks]
+    results = []
+    for task in tasks:
+        try:
+            results.append((task, run_shard(task)))
+        except Exception as exc:
+            results.append((task, exc))
+    return results
 
 
 def run_sharded(
     config,
     population_override: SampledPopulation | None = None,
     parallelism: str = "auto",
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> "CampaignResult":  # noqa: F821
     """Run a campaign as ``config.workers`` shards and merge the results.
 
@@ -276,22 +413,82 @@ def run_sharded(
     population deployed on a (never-scanned) parent network — so
     follow-up scans (fingerprinting, DNSSEC census) work exactly as
     they do on a serial result.
-    """
-    from repro.core.campaign import Campaign
 
+    Failure domains: a shard whose worker raises or dies is requeued
+    with the same derived seed up to ``config.max_shard_retries``
+    times (the re-run is byte-identical, so recovery cannot skew the
+    tables). With ``checkpoint_dir`` every completed shard is persisted
+    as it finishes and ``resume=True`` re-executes only the shards
+    missing from that directory. Shards that exhaust their retries are
+    recorded in the result's ``degraded`` manifest — which shards, how
+    many probes went unexecuted — instead of raising; only a campaign
+    with *zero* surviving shards raises :class:`ShardExecutionError`.
+    """
+    from repro.core.campaign import (
+        Campaign,
+        DegradedManifest,
+        ShardFailureRecord,
+    )
+
+    if parallelism not in ("auto", "process", "inline"):
+        raise ValueError(f"unknown parallelism mode: {parallelism!r}")
     workers = config.workers
     cluster_namespace_slice(0, workers)  # reject impossible splits up front
-    tasks = [
-        ShardTask(
-            config=config,
-            index=index,
-            workers=workers,
-            population_override=population_override,
+    fingerprint = checkpoint_fingerprint(config)
+    completed: dict[int, ShardOutcome] = {}
+    if resume:
+        if checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+        from repro.datasets.store import load_shard_checkpoints
+
+        completed = {
+            index: outcome
+            for index, outcome in load_shard_checkpoints(
+                checkpoint_dir, fingerprint
+            ).items()
+            if 0 <= index < workers
+        }
+    if checkpoint_dir is not None:
+        from repro.datasets.store import save_shard_checkpoint
+
+    pending = [index for index in range(workers) if index not in completed]
+    attempts = dict.fromkeys(pending, 0)
+    failures: dict[int, tuple[int, BaseException]] = {}
+    while pending:
+        tasks = [
+            ShardTask(
+                config=config,
+                index=index,
+                workers=workers,
+                population_override=population_override,
+                attempt=attempts[index],
+            )
+            for index in pending
+        ]
+        requeue = []
+        for task, result in _run_tasks(tasks, parallelism):
+            if isinstance(result, ShardOutcome):
+                completed[result.index] = result
+                if checkpoint_dir is not None:
+                    save_shard_checkpoint(
+                        checkpoint_dir, fingerprint, result.index, result
+                    )
+                continue
+            attempts[task.index] += 1
+            if attempts[task.index] > config.max_shard_retries:
+                failures[task.index] = (attempts[task.index], result)
+            else:
+                requeue.append(task.index)
+        pending = sorted(requeue)
+    if not completed:
+        index, (tries, error) = sorted(failures.items())[0]
+        raise ShardExecutionError(
+            index, workers, derive_seed(config.seed, index, workers),
+            f"all {workers} shard(s) failed after {tries} attempt(s); "
+            f"first error: {error}",
         )
-        for index in range(workers)
-    ]
-    outcomes = _run_tasks(tasks, parallelism)
-    outcomes.sort(key=lambda outcome: outcome.index)
+
+    outcomes = [completed[index] for index in sorted(completed)]
     capture = merge_captures([outcome.capture for outcome in outcomes])
     if config.time_compression != 1.0:
         capture = dataclasses.replace(
@@ -309,15 +506,33 @@ def run_sharded(
         latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
         loss=loss,
     )
+    universe = _campaign_universe(config)
     hierarchy, population, software_map, banners, validators = _build_world(
-        config, network, _campaign_universe(config), population_override
+        config, network, universe, population_override
     )
     population.deploy(
         network, auth_ip=hierarchy.auth.ip, version_banners=banners,
         dnssec_validators=validators,
     )
     campaign = Campaign(config)
-    return campaign._analyze(
+    result = campaign._analyze(
         population, hierarchy, network, software_map, validators,
         capture, flow_set, query_log=query_log,
     )
+    if failures:
+        records = [
+            ShardFailureRecord(
+                index=index,
+                seed=derive_seed(config.seed, index, workers),
+                attempts=tries,
+                probes_lost=len(shard_universe(universe, index, workers)),
+                error=str(error),
+            )
+            for index, (tries, error) in sorted(failures.items())
+        ]
+        result.degraded = DegradedManifest(
+            failed_shards=records,
+            probes_planned=len(universe),
+            probes_lost=sum(record.probes_lost for record in records),
+        )
+    return result

@@ -14,7 +14,9 @@ from repro.datasets.store import (
     analyze_dataset,
     compare_datasets,
     load_campaign,
+    load_shard_checkpoints,
     save_campaign,
+    save_shard_checkpoint,
 )
 
 __all__ = [
@@ -23,5 +25,7 @@ __all__ = [
     "analyze_dataset",
     "compare_datasets",
     "load_campaign",
+    "load_shard_checkpoints",
     "save_campaign",
+    "save_shard_checkpoint",
 ]

@@ -11,13 +11,21 @@ Directory layout (one campaign per directory)::
 
 The offline path re-runs the *same* analyzers the live campaign uses,
 so a loaded dataset reproduces the tables bit for bit.
+
+Checkpoint layout (one sharded campaign per directory, see
+:func:`save_shard_checkpoint`)::
+
+    shards.json       checkpoint version + the campaign fingerprint
+    shard_NNNN.pkl    one completed ShardOutcome, written atomically
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
+import pickle
 
 from repro.analysis.compare import TemporalComparison, compare_years
 from repro.analysis.correctness import measure_correctness
@@ -61,6 +69,92 @@ _WHOIS = "whois.jsonl"
 
 #: Format version, bumped on layout changes.
 FORMAT_VERSION = 1
+
+_SHARD_MANIFEST = "shards.json"
+
+#: Checkpoint format version, bumped on layout changes.
+CHECKPOINT_VERSION = 1
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard_{index:04d}.pkl"
+
+
+def save_shard_checkpoint(
+    directory, fingerprint: dict, index: int, outcome
+) -> pathlib.Path:
+    """Persist one completed shard outcome, atomically.
+
+    The first checkpoint writes a manifest carrying the campaign
+    ``fingerprint`` (every config field that shapes shard bytes);
+    later writes — and :func:`load_shard_checkpoints` — verify against
+    it, so a checkpoint directory can never silently mix shards from
+    two different campaigns. The pickle is written to a temp file and
+    renamed into place: a crash mid-write leaves no half-checkpoint
+    for a resume to trip over.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest_path = path / _SHARD_MANIFEST
+    manifest = {"checkpoint_version": CHECKPOINT_VERSION, "campaign": fingerprint}
+    if manifest_path.exists():
+        _verify_shard_manifest(manifest_path, fingerprint)
+    else:
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    target = path / _shard_filename(index)
+    temporary = path / (target.name + ".tmp")
+    with open(temporary, "wb") as stream:
+        pickle.dump(outcome, stream, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temporary, target)
+    return target
+
+
+def _verify_shard_manifest(manifest_path: pathlib.Path, fingerprint: dict) -> None:
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("checkpoint_version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            "unsupported checkpoint version: "
+            f"{manifest.get('checkpoint_version')}"
+        )
+    recorded = manifest.get("campaign")
+    if recorded != fingerprint:
+        changed = sorted(
+            key
+            for key in set(recorded or {}) | set(fingerprint)
+            if (recorded or {}).get(key) != fingerprint.get(key)
+        )
+        raise ValueError(
+            "checkpoint directory belongs to a different campaign "
+            f"(differs in: {', '.join(changed)})"
+        )
+
+
+def load_shard_checkpoints(directory, fingerprint: dict) -> dict[int, object]:
+    """Load every completed shard checkpoint under ``directory``.
+
+    Returns ``{shard_index: outcome}``. An empty or nonexistent
+    directory resumes to nothing (a fresh run); a directory whose
+    manifest names a different campaign raises. A checkpoint that fails
+    to unpickle is treated as not completed — crash tolerance means a
+    torn file costs a shard re-run, never the campaign.
+    """
+    path = pathlib.Path(directory)
+    manifest_path = path / _SHARD_MANIFEST
+    if not manifest_path.exists():
+        return {}
+    _verify_shard_manifest(manifest_path, fingerprint)
+    outcomes: dict[int, object] = {}
+    for checkpoint in sorted(path.glob("shard_*.pkl")):
+        try:
+            index = int(checkpoint.stem.split("_", 1)[1])
+        except ValueError:
+            continue
+        try:
+            with open(checkpoint, "rb") as stream:
+                outcomes[index] = pickle.load(stream)
+        except Exception:
+            continue  # torn or foreign file: re-run that shard
+    return outcomes
 
 
 @dataclasses.dataclass

@@ -7,6 +7,16 @@ latency/loss models, and packet taps (the simulation's tcpdump).
 """
 
 from repro.netsim.events import Scheduler, ScheduledEvent
+from repro.netsim.faults import (
+    BLACKHOLE_LANE,
+    FAULT_LANE,
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultPlan,
+    FaultProfile,
+    build_injector,
+    fault_profile,
+)
 from repro.netsim.ipv4 import (
     Ipv4Block,
     RESERVED_BLOCKS,
@@ -20,16 +30,23 @@ from repro.netsim.ipv4 import (
     reserved_union_size,
 )
 from repro.netsim.latency import FixedLatency, LogNormalLatency, UniformLatency
-from repro.netsim.loss import BernoulliLoss, NoLoss
+from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
 from repro.netsim.packet import UDP_IP_OVERHEAD, Datagram
 from repro.netsim.pcap import CaptureRecord, PacketTap
 from repro.netsim.network import Network, PortInUseError
 
 __all__ = [
+    "BLACKHOLE_LANE",
     "BernoulliLoss",
     "CaptureRecord",
     "Datagram",
+    "FAULT_LANE",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProfile",
     "FixedLatency",
+    "GilbertElliottLoss",
     "Ipv4Block",
     "LogNormalLatency",
     "Network",
@@ -42,6 +59,8 @@ __all__ = [
     "Scheduler",
     "UDP_IP_OVERHEAD",
     "UniformLatency",
+    "build_injector",
+    "fault_profile",
     "int_to_ip",
     "ip_to_int",
     "is_private",

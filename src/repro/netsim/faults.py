@@ -1,0 +1,251 @@
+"""Composable network fault injection.
+
+The paper's scan ran for a week against a hostile, lossy Internet;
+independent Bernoulli loss is far too kind a model for it. A
+:class:`FaultPlan` composes the failure modes a long-running scan
+actually meets:
+
+- **Bursty loss** — a Gilbert–Elliott chain (congestion events kill
+  packets in clumps, not independently);
+- **Latency-spike windows** — periodic intervals where every delivery
+  is slowed by a multiplicative factor (route flaps, queue buildup);
+- **Duplication** — a datagram occasionally arrives twice;
+- **Reordering** — extra per-packet jitter lets later packets overtake
+  earlier ones;
+- **Per-address blackholes** — a deterministic fraction of destination
+  addresses silently eat every packet (dead hosts, broken paths).
+
+A plan is a frozen, picklable description; :meth:`FaultPlan.build`
+turns it into a stateful :class:`FaultInjector` for one network. Both
+injector seeds come from the campaign's splitmix64 lane chain
+(:func:`repro.netsim.seeds.derive_seed`):
+
+- ``schedule_seed`` — per shard (``derive_seed(seed, FAULT_LANE, i,
+  N)``), so shards never replay each other's fault schedules and a
+  re-run shard replays *exactly* its own (the crash-recovery
+  byte-identity contract);
+- ``blackhole_seed`` — campaign-global (``derive_seed(seed,
+  BLACKHOLE_LANE)``), so whether an address is blackholed is a property
+  of the address, stable across shard counts and serial/sharded runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.netsim.ipv4 import ip_to_int
+from repro.netsim.loss import GilbertElliottLoss, _validate_probability
+from repro.netsim.seeds import derive_seed
+
+#: Lane tags for the splitmix64 seed chain (arbitrary, fixed forever:
+#: changing them changes every fault schedule).
+FAULT_LANE = 0xFA17
+BLACKHOLE_LANE = 0xB1AC
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, picklable composition of network fault models.
+
+    All-zero defaults are the identity plan (inject nothing); each
+    field switches on one fault family. ``blackhole_exempt`` lists
+    addresses that must never be blackholed — the campaign passes its
+    DNS infrastructure and the prober, since blackholing the
+    authoritative server would kill the simulation, not degrade it.
+    """
+
+    burst_loss: bool = False
+    p_good_to_bad: float = 0.01
+    p_bad_to_good: float = 0.25
+    loss_good: float = 0.001
+    loss_bad: float = 0.35
+    spike_period: float = 0.0
+    spike_duration: float = 0.0
+    spike_factor: float = 1.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_jitter: float = 0.0
+    blackhole_rate: float = 0.0
+    blackhole_exempt: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good",
+                     "loss_bad", "duplicate_rate", "reorder_rate",
+                     "blackhole_rate"):
+            _validate_probability(name, getattr(self, name))
+        if self.spike_period < 0 or self.spike_duration < 0:
+            raise ValueError("spike period/duration must be non-negative")
+        if self.spike_duration > 0 and self.spike_period < self.spike_duration:
+            raise ValueError("spike_period must cover spike_duration")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1 (spikes slow, never speed)")
+        if self.reorder_jitter < 0:
+            raise ValueError("reorder_jitter must be non-negative")
+        if self.reorder_rate > 0 and self.reorder_jitter == 0:
+            raise ValueError("reordering needs a positive reorder_jitter")
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            not self.burst_loss
+            and self.spike_duration == 0
+            and self.duplicate_rate == 0
+            and self.reorder_rate == 0
+            and self.blackhole_rate == 0
+        )
+
+    def build(
+        self, schedule_seed: int, blackhole_seed: int,
+        exempt: frozenset[str] | set[str] = frozenset(),
+    ) -> "FaultInjector":
+        """Instantiate the stateful injector for one network."""
+        return FaultInjector(
+            self, schedule_seed, blackhole_seed,
+            exempt=frozenset(exempt) | frozenset(self.blackhole_exempt),
+        )
+
+
+class FaultInjector:
+    """The stateful realization of a :class:`FaultPlan` on one network.
+
+    The schedule RNG drives loss/duplication/reordering draws; the
+    blackhole decision is a pure hash of (blackhole_seed, address), so
+    it needs no RNG and is identical in every shard.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        schedule_seed: int,
+        blackhole_seed: int,
+        exempt: frozenset[str] = frozenset(),
+    ) -> None:
+        self.plan = plan
+        self._rng = random.Random(schedule_seed)
+        self._blackhole_seed = blackhole_seed
+        self._exempt = exempt
+        self._ge = (
+            GilbertElliottLoss(
+                plan.p_good_to_bad, plan.p_bad_to_good,
+                plan.loss_good, plan.loss_bad,
+            )
+            if plan.burst_loss else None
+        )
+        self._blackhole_cache: dict[str, bool] = {}
+
+    # -- per-destination faults -----------------------------------------
+
+    def blackholed(self, dst_ip: str) -> bool:
+        """Deterministic per-address blackhole decision (shard-stable)."""
+        if self.plan.blackhole_rate == 0 or dst_ip in self._exempt:
+            return False
+        cached = self._blackhole_cache.get(dst_ip)
+        if cached is None:
+            draw = derive_seed(self._blackhole_seed, ip_to_int(dst_ip))
+            cached = (draw % 1_000_000) < self.plan.blackhole_rate * 1_000_000
+            self._blackhole_cache[dst_ip] = cached
+        return cached
+
+    # -- per-datagram faults --------------------------------------------
+
+    def dropped(self) -> bool:
+        """Advance the bursty-loss chain for one datagram."""
+        return self._ge is not None and self._ge.is_lost(self._rng)
+
+    def shape_delay(self, now: float, delay: float) -> float:
+        """Apply latency spikes and reordering jitter to ``delay``."""
+        plan = self.plan
+        if plan.spike_duration > 0 and (now % plan.spike_period) < plan.spike_duration:
+            delay *= plan.spike_factor
+        if plan.reorder_rate > 0 and self._rng.random() < plan.reorder_rate:
+            delay += self._rng.uniform(0.0, plan.reorder_jitter)
+        return delay
+
+    def duplicated(self) -> float | None:
+        """Extra delay for a duplicate copy, or None for no duplicate."""
+        if self.plan.duplicate_rate > 0 and self._rng.random() < self.plan.duplicate_rate:
+            return self._rng.uniform(0.001, 0.05)
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultProfile:
+    """A named fault plan plus the retransmission policy tuned for it.
+
+    The retry fields are plain numbers (not a prober type) so netsim
+    stays dependency-free; the campaign layer folds them into a
+    :class:`repro.prober.probe.RetryPolicy`.
+    """
+
+    name: str
+    plan: FaultPlan | None
+    retry_max: int = 0
+    retry_timeout: float = 1.5
+    retry_backoff: float = 2.0
+
+
+#: The CLI's ``--fault-profile`` choices.
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none", plan=None),
+    # Bursty loss only: the regime where one retransmission recovers
+    # most probes (the burst has usually cleared by the retry).
+    "bursty": FaultProfile(
+        name="bursty",
+        plan=FaultPlan(burst_loss=True),
+        retry_max=2,
+    ),
+    # Everything at once: clumped loss, latency spikes, duplication,
+    # reordering, and 2% of addresses blackholed outright.
+    "hostile": FaultProfile(
+        name="hostile",
+        plan=FaultPlan(
+            burst_loss=True,
+            p_good_to_bad=0.02,
+            loss_bad=0.5,
+            spike_period=120.0,
+            spike_duration=15.0,
+            spike_factor=4.0,
+            duplicate_rate=0.01,
+            reorder_rate=0.05,
+            reorder_jitter=0.2,
+            blackhole_rate=0.02,
+        ),
+        retry_max=2,
+    ),
+}
+
+
+def fault_profile(name: str) -> FaultProfile:
+    """Look up a named profile; raise a helpful error on typos."""
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; "
+            f"choose from {sorted(FAULT_PROFILES)}"
+        ) from None
+
+
+def build_injector(
+    profile_name: str,
+    seed: int,
+    index: int,
+    workers: int,
+    exempt: frozenset[str] | set[str] = frozenset(),
+) -> FaultInjector | None:
+    """The campaign's injector for shard ``index`` of ``workers``.
+
+    Returns None for the identity profile. The schedule seed is
+    per-shard (re-running a crashed shard replays its exact faults);
+    the blackhole seed ignores the shard lane so the set of dead
+    addresses is a property of the campaign, not of the partition.
+    """
+    profile = fault_profile(profile_name)
+    if profile.plan is None:
+        return None
+    return profile.plan.build(
+        derive_seed(seed, FAULT_LANE, index, workers),
+        derive_seed(seed, BLACKHOLE_LANE),
+        exempt=exempt,
+    )

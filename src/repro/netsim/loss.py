@@ -1,8 +1,27 @@
-"""Packet-loss models."""
+"""Packet-loss models.
+
+Two families: memoryless (:class:`BernoulliLoss`) and bursty
+(:class:`GilbertElliottLoss`). The Gilbert–Elliott model is the classic
+two-state Markov chain for Internet loss: a *good* state where almost
+everything gets through and a *bad* state (a congested queue, a
+flapping link) where losses clump together. Burstiness is what makes
+retransmission policy interesting — independent coin-flips rarely kill
+a probe twice, a bad state kills the retry too.
+"""
 
 from __future__ import annotations
 
+import math
 import random
+
+
+def _validate_probability(name: str, value: float) -> None:
+    """Reject NaN explicitly (NaN fails every comparison, so a bare
+    range check would raise with a misleading message) and range-check."""
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if not 0 <= value <= 1:
+        raise ValueError(f"{name} must be in [0, 1]: {value}")
 
 
 class NoLoss:
@@ -16,9 +35,62 @@ class BernoulliLoss:
     """Drop each datagram independently with probability ``rate``."""
 
     def __init__(self, rate: float) -> None:
-        if not 0 <= rate <= 1:
-            raise ValueError(f"loss rate must be in [0, 1]: {rate}")
+        _validate_probability("loss rate", rate)
         self.rate = rate
 
     def is_lost(self, rng: random.Random) -> bool:
         return rng.random() < self.rate
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) bursty loss.
+
+    Each datagram first advances the chain (good -> bad with probability
+    ``p_good_to_bad``, bad -> good with ``p_bad_to_good``), then flips
+    the current state's loss coin (``loss_good`` / ``loss_bad``). The
+    stationary bad-state share is ``p_gb / (p_gb + p_bg)``, so the
+    long-run loss rate is::
+
+        loss_good * p_bg/(p_gb+p_bg) + loss_bad * p_gb/(p_gb+p_bg)
+
+    The model is stateful: two instances must never share one
+    :class:`random.Random` stream if their schedules are meant to be
+    independent.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.25,
+        loss_good: float = 0.001,
+        loss_bad: float = 0.35,
+    ) -> None:
+        _validate_probability("p_good_to_bad", p_good_to_bad)
+        _validate_probability("p_bad_to_good", p_bad_to_good)
+        _validate_probability("loss_good", loss_good)
+        _validate_probability("loss_bad", loss_bad)
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._bad = False
+
+    @property
+    def in_bad_state(self) -> bool:
+        return self._bad
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """The long-run expected loss rate of the chain."""
+        total = self.p_good_to_bad + self.p_bad_to_good
+        if total == 0:
+            return self.loss_bad if self._bad else self.loss_good
+        bad_share = self.p_good_to_bad / total
+        return self.loss_good * (1 - bad_share) + self.loss_bad * bad_share
+
+    def is_lost(self, rng: random.Random) -> bool:
+        flip = self.p_bad_to_good if self._bad else self.p_good_to_bad
+        if rng.random() < flip:
+            self._bad = not self._bad
+        rate = self.loss_bad if self._bad else self.loss_good
+        return rng.random() < rate

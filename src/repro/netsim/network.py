@@ -37,10 +37,21 @@ class NetworkStats:
     unbound: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    # Fault-injection accounting (all zero without a FaultInjector).
+    blackholed: int = 0
+    burst_lost: int = 0
+    duplicated: int = 0
 
 
 class Network:
-    """A deterministic simulated UDP internet."""
+    """A deterministic simulated UDP internet.
+
+    ``faults`` optionally attaches a
+    :class:`repro.netsim.faults.FaultInjector`; its blackholes, bursty
+    loss, latency spikes, duplication and reordering compose with the
+    base ``loss``/``latency`` models and are accounted separately in
+    :class:`NetworkStats`.
+    """
 
     def __init__(
         self,
@@ -48,11 +59,13 @@ class Network:
         latency=None,
         loss=None,
         seed: int = 0,
+        faults=None,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self._latency = latency if latency is not None else FixedLatency(0.02)
         self._loss = loss if loss is not None else NoLoss()
         self._rng = random.Random(seed)
+        self._faults = faults
         self._bindings: dict[tuple[str, int], Handler] = {}
         self._taps: dict[str, list[PacketTap]] = {}
         self.stats = NetworkStats()
@@ -60,6 +73,15 @@ class Network:
     @property
     def now(self) -> float:
         return self.scheduler.now
+
+    def attach_faults(self, injector) -> None:
+        """Attach (or replace) the fault injector.
+
+        Exists because the campaign can only compute the blackhole
+        exemption set after the DNS hierarchy is built on this network;
+        attach before any traffic flows.
+        """
+        self._faults = injector
 
     # -- binding ---------------------------------------------------------
 
@@ -104,10 +126,27 @@ class Network:
         self.stats.sent += 1
         self.stats.bytes_sent += datagram.wire_size
         self._tap(origin if origin is not None else datagram.src_ip, "out", datagram)
+        faults = self._faults
+        if faults is not None and faults.blackholed(datagram.dst_ip):
+            self.stats.blackholed += 1
+            self.stats.lost += 1
+            return
         if self._loss.is_lost(self._rng):
             self.stats.lost += 1
             return
+        if faults is not None and faults.dropped():
+            self.stats.burst_lost += 1
+            self.stats.lost += 1
+            return
         delay = self._latency.sample(self._rng)
+        if faults is not None:
+            delay = faults.shape_delay(self.scheduler.now, delay)
+            extra = faults.duplicated()
+            if extra is not None:
+                self.stats.duplicated += 1
+                self.scheduler.after(
+                    delay + extra, lambda: self._deliver(datagram)
+                )
         self.scheduler.after(delay, lambda: self._deliver(datagram))
 
     def _deliver(self, datagram: Datagram) -> None:

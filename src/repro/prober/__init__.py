@@ -20,7 +20,13 @@ from repro.prober.capture import (
     join_flows,
     merge_flow_sets,
 )
-from repro.prober.probe import ProbeCapture, ProbeConfig, Prober, merge_captures
+from repro.prober.probe import (
+    ProbeCapture,
+    ProbeConfig,
+    Prober,
+    RetryPolicy,
+    merge_captures,
+)
 from repro.prober.subdomain import ClusterAllocator, ClusterStats, SubdomainScheme
 from repro.prober.zmap import AddressPermutation, GROUP_PRIME, probe_order
 
@@ -35,6 +41,7 @@ __all__ = [
     "ProbeFlow",
     "Prober",
     "R2Record",
+    "RetryPolicy",
     "SubdomainScheme",
     "join_flows",
     "merge_captures",

@@ -17,6 +17,7 @@ covered by tests.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from repro.dnslib.message import make_query
 from repro.dnslib.wire import encode_message
@@ -30,6 +31,60 @@ from repro.netsim.ipv4 import int_to_ip
 
 #: Default prober address (a university /16, like the authors').
 PROBER_IP = "132.170.3.14"
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Q1 retransmission policy (ZDNS-style retry/timeout machinery).
+
+    Disabled by default (``max_retries=0``) — plain ZMap behavior, one
+    datagram per target, which keeps every table exact under
+    ``NoLoss``. When enabled, a probe still unanswered ``timeout``
+    seconds after it was sent is retransmitted with the *same* qname
+    (so its flows join) up to ``max_retries`` times, the k-th retry
+    waiting ``timeout * backoff**k``. Retransmissions are accounted in
+    :class:`ProbeCapture` (``retries_sent`` / ``retries_exhausted``),
+    never in ``q1_sent`` — Table II counts targets, not datagrams.
+
+    The whole retry schedule should fit inside
+    ``ProbeConfig.response_window``: after the window the subdomain may
+    be reused for a different target, at which point retrying the old
+    probe would be wrong. :class:`ProbeConfig` validates this.
+    """
+
+    max_retries: int = 0
+    timeout: float = 1.5
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if math.isnan(self.timeout) or self.timeout <= 0:
+            raise ValueError(f"retry timeout must be positive: {self.timeout}")
+        if math.isnan(self.backoff) or self.backoff < 1.0:
+            raise ValueError(f"retry backoff must be >= 1: {self.backoff}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_retries > 0
+
+    def delay_for_attempt(self, attempt: int) -> float:
+        """Seconds to wait after the ``attempt``-th transmission (0-based)."""
+        return self.timeout * self.backoff**attempt
+
+    def total_horizon(self) -> float:
+        """Worst-case seconds from first send to giving up."""
+        return sum(
+            self.delay_for_attempt(attempt)
+            for attempt in range(self.max_retries + 1)
+        )
+
+    def last_retransmission_offset(self) -> float:
+        """Seconds from first send to the final retransmission."""
+        return sum(
+            self.delay_for_attempt(attempt)
+            for attempt in range(self.max_retries)
+        )
 
 
 @dataclasses.dataclass
@@ -58,16 +113,30 @@ class ProbeConfig:
     addresses: tuple[int, ...] | None = None
     cluster_base: int = 0
     cluster_limit: int | None = None
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.q1_target < 0:
             raise ValueError("q1_target must be non-negative")
         if self.rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
+        if math.isnan(self.response_window) or self.response_window <= 0:
+            raise ValueError(
+                f"response_window must be positive: {self.response_window}"
+            )
         if self.addresses is not None and len(self.addresses) != self.q1_target:
             raise ValueError(
                 "explicit address list must match q1_target: "
                 f"{len(self.addresses)} != {self.q1_target}"
+            )
+        if (
+            self.retry.enabled
+            and self.retry.last_retransmission_offset() > self.response_window
+        ):
+            raise ValueError(
+                "retry schedule outlives the response window: last "
+                f"retransmission at +{self.retry.last_retransmission_offset():g}s "
+                f"but subdomains may be reused after {self.response_window:g}s"
             )
 
 
@@ -87,6 +156,12 @@ class ProbeCapture:
     end_time: float
     cluster_stats: ClusterStats
     sent_log: dict[str, str]
+    # Retransmission accounting (all zero with the default RetryPolicy).
+    # ``q1_sent`` stays the number of *targets* probed so Table II is
+    # invariant under retry policy; datagram overhead lands here.
+    retries_sent: int = 0
+    retry_bytes: int = 0
+    retries_exhausted: int = 0
 
     @property
     def duration(self) -> float:
@@ -136,6 +211,11 @@ def merge_captures(captures: list[ProbeCapture]) -> ProbeCapture:
         end_time=max(capture.end_time for capture in captures),
         cluster_stats=stats,
         sent_log=sent_log,
+        retries_sent=sum(capture.retries_sent for capture in captures),
+        retry_bytes=sum(capture.retry_bytes for capture in captures),
+        retries_exhausted=sum(
+            capture.retries_exhausted for capture in captures
+        ),
     )
 
 
@@ -181,6 +261,13 @@ class Prober:
         self._sending_done = False
         self._installed_through = -1
         self._start_time = 0.0
+        self._retries_sent = 0
+        self._retry_bytes = 0
+        self._retries_exhausted = 0
+        # Pending retry-check events by allocation, cancelled on answer
+        # so an answered probe costs no extra datagrams and no extra
+        # simulated time.
+        self._retry_events: dict[tuple[int, int], object] = {}
         # Fixed per-probe wire size: the qname format is constant-length.
         self._q1_wire_size = (
             UDP_IP_OVERHEAD + 12 + (self.scheme.qname_length + 2) + 4
@@ -202,6 +289,9 @@ class Prober:
             end_time=self.network.now,
             cluster_stats=self.allocator.stats,
             sent_log=self._sent_log,
+            retries_sent=self._retries_sent,
+            retry_bytes=self._retry_bytes,
+            retries_exhausted=self._retries_exhausted,
         )
 
     # -- receive path --------------------------------------------------------
@@ -214,6 +304,9 @@ class Prober:
         if allocation is not None and allocation not in self._answered:
             self._answered.add(allocation)
             self.allocator.burn(allocation)
+            event = self._retry_events.pop(allocation, None)
+            if event is not None:
+                event.cancel()
 
     def _allocation_from_payload(self, payload: bytes) -> tuple[int, int] | None:
         """Cheap qname extraction for reuse bookkeeping."""
@@ -285,13 +378,53 @@ class Prober:
         qname = self.scheme.qname(*allocation)
         if self.config.record_sent_log:
             self._sent_log[qname] = target_ip
-        query = make_query(qname, msg_id=self._q1_sent & 0xFFFF)
+        msg_id = self._q1_sent & 0xFFFF
+        query = make_query(qname, msg_id=msg_id)
         self.network.send(
             Datagram(
                 self.ip, self.config.source_port, target_ip, 53,
                 encode_message(query),
             )
         )
+        if self.config.retry.enabled:
+            self._arm_retry(allocation, target_ip, msg_id, attempt=0)
+
+    # -- retransmission -----------------------------------------------------
+
+    def _arm_retry(
+        self, allocation: tuple[int, int], target_ip: str, msg_id: int,
+        attempt: int,
+    ) -> None:
+        """Schedule the post-transmission unanswered check."""
+        existing = self._retry_events.get(allocation)
+        if existing is not None:  # a reused allocation's stale check
+            existing.cancel()
+        self._retry_events[allocation] = self.network.scheduler.after(
+            self.config.retry.delay_for_attempt(attempt),
+            lambda: self._maybe_retry(allocation, target_ip, msg_id, attempt),
+        )
+
+    def _maybe_retry(
+        self, allocation: tuple[int, int], target_ip: str, msg_id: int,
+        attempt: int,
+    ) -> None:
+        """Deadline passed with no answer: retransmit or give up."""
+        self._retry_events.pop(allocation, None)
+        if allocation in self._answered:
+            return  # the answer and the cancel raced one event slot
+        if attempt >= self.config.retry.max_retries:
+            self._retries_exhausted += 1
+            return
+        qname = self.scheme.qname(*allocation)
+        self._retries_sent += 1
+        self._retry_bytes += self._q1_wire_size
+        self.network.send(
+            Datagram(
+                self.ip, self.config.source_port, target_ip, 53,
+                encode_message(make_query(qname, msg_id=msg_id)),
+            )
+        )
+        self._arm_retry(allocation, target_ip, msg_id, attempt + 1)
 
     def _reclaim_unanswered(self, now: float) -> None:
         """Return response-window-expired, unanswered subdomains to the pool."""

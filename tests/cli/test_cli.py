@@ -114,3 +114,53 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Seed sweep" in out
         assert "open_resolvers" in out
+
+
+class TestFaultAndResumeFlags:
+    def test_fault_flag_defaults(self):
+        args = build_parser().parse_args(["scan"])
+        assert args.fault_profile == "none"
+        assert args.max_shard_retries == 2
+        assert args.checkpoint is None
+        assert args.resume is None
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--fault-profile", "chaotic"])
+
+    def test_scan_with_fault_profile(self, capsys):
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1",
+             "--fault-profile", "hostile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults 'hostile'" in out
+        assert "open resolvers" in out
+
+    def test_scan_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        base = ["scan", "--scale", "65536", "--seed", "1", "--workers", "2"]
+        assert main(base + ["--checkpoint", checkpoint_dir]) == 0
+        first = capsys.readouterr().out
+        assert len(list((tmp_path / "ckpt").glob("shard_*.pkl"))) == 2
+        assert main(base + ["--resume", checkpoint_dir]) == 0
+        resumed = capsys.readouterr().out
+        assert "resuming from" in resumed
+        # Same summary lines after the (differing) scan headers.
+        assert first.splitlines()[1:] == resumed.splitlines()[1:]
+
+    def test_resume_from_mismatched_checkpoint_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1", "--workers", "2",
+             "--checkpoint", checkpoint_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "2", "--workers", "2",
+             "--resume", checkpoint_dir]
+        ) == 2
+        out = capsys.readouterr().out
+        assert "Cannot resume from" in out

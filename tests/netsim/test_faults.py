@@ -1,0 +1,217 @@
+"""Fault-injection layer: loss chains, plans, injectors, wiring."""
+
+import random
+
+import pytest
+
+from repro.netsim.faults import (
+    BLACKHOLE_LANE,
+    FAULT_LANE,
+    FAULT_PROFILES,
+    FaultPlan,
+    build_injector,
+    fault_profile,
+)
+from repro.netsim.ipv4 import int_to_ip
+from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.netsim.seeds import derive_seed
+
+
+class TestLossValidation:
+    def test_bernoulli_rejects_nan(self):
+        with pytest.raises(ValueError, match="rate"):
+            BernoulliLoss(float("nan"))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_bernoulli_rejects_out_of_range(self, rate):
+        with pytest.raises(ValueError):
+            BernoulliLoss(rate)
+
+    def test_gilbert_elliott_rejects_nan(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=float("nan"))
+
+    def test_gilbert_elliott_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(loss_bad=1.7)
+
+
+class TestGilbertElliott:
+    def test_deterministic_under_seed(self):
+        draws = []
+        for _ in range(2):
+            chain = GilbertElliottLoss(p_good_to_bad=0.1, loss_bad=0.9)
+            rng = random.Random(42)
+            draws.append([chain.is_lost(rng) for _ in range(500)])
+        assert draws[0] == draws[1]
+
+    def test_losses_cluster_in_bursts(self):
+        """Same average rate, very different clumping vs Bernoulli."""
+        chain = GilbertElliottLoss(
+            p_good_to_bad=0.01, p_bad_to_good=0.25,
+            loss_good=0.0, loss_bad=0.5,
+        )
+        rng = random.Random(7)
+        outcomes = [chain.is_lost(rng) for _ in range(20_000)]
+        # Count loss-after-loss pairs: a bursty chain produces far more
+        # of them than an independent coin at the same marginal rate.
+        losses = sum(outcomes)
+        pairs = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        )
+        marginal = losses / len(outcomes)
+        independent_pairs = marginal * marginal * len(outcomes)
+        assert pairs > 3 * independent_pairs
+
+    def test_stationary_rate_matches_empirical(self):
+        chain = GilbertElliottLoss()
+        rng = random.Random(1)
+        empirical = sum(
+            chain.is_lost(rng) for _ in range(50_000)
+        ) / 50_000
+        assert abs(empirical - chain.stationary_loss_rate) < 0.01
+
+
+class TestFaultPlanValidation:
+    def test_defaults_are_identity(self):
+        assert FaultPlan().is_identity
+        assert not FaultPlan(burst_loss=True).is_identity
+        assert not FaultPlan(blackhole_rate=0.1).is_identity
+
+    def test_rejects_nan_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=float("nan"))
+
+    def test_rejects_spike_period_shorter_than_duration(self):
+        with pytest.raises(ValueError, match="spike_period"):
+            FaultPlan(spike_period=5.0, spike_duration=10.0)
+
+    def test_rejects_speedup_spikes(self):
+        with pytest.raises(ValueError, match="spike_factor"):
+            FaultPlan(
+                spike_period=60.0, spike_duration=5.0, spike_factor=0.5
+            )
+
+    def test_rejects_reordering_without_jitter(self):
+        with pytest.raises(ValueError, match="reorder_jitter"):
+            FaultPlan(reorder_rate=0.1)
+
+
+class TestBlackholes:
+    def test_decision_is_a_property_of_the_address(self):
+        """Two injectors with different schedule seeds (different shards)
+        agree on every address, because the decision hashes only the
+        campaign-global blackhole seed and the address."""
+        plan = FaultPlan(blackhole_rate=0.1)
+        blackhole_seed = derive_seed(3, BLACKHOLE_LANE)
+        shard_a = plan.build(derive_seed(3, FAULT_LANE, 0, 4), blackhole_seed)
+        shard_b = plan.build(derive_seed(3, FAULT_LANE, 3, 8), blackhole_seed)
+        rng = random.Random(9)
+        ips = [int_to_ip(rng.getrandbits(32)) for _ in range(300)]
+        assert [shard_a.blackholed(ip) for ip in ips] == [
+            shard_b.blackholed(ip) for ip in ips
+        ]
+        assert any(shard_a.blackholed(ip) for ip in ips)
+
+    def test_exempt_addresses_never_blackholed(self):
+        plan = FaultPlan(blackhole_rate=1.0)
+        injector = plan.build(1, 2, exempt={"10.0.0.1"})
+        assert not injector.blackholed("10.0.0.1")
+        assert injector.blackholed("10.0.0.2")
+
+    def test_plan_level_exemptions_merge_with_build_exemptions(self):
+        plan = FaultPlan(blackhole_rate=1.0, blackhole_exempt=("10.0.0.3",))
+        injector = plan.build(1, 2, exempt={"10.0.0.1"})
+        assert not injector.blackholed("10.0.0.3")
+        assert not injector.blackholed("10.0.0.1")
+
+    def test_rate_is_approximately_honored(self):
+        plan = FaultPlan(blackhole_rate=0.05)
+        injector = plan.build(1, 2)
+        rng = random.Random(11)
+        hits = sum(
+            injector.blackholed(int_to_ip(rng.getrandbits(32)))
+            for _ in range(5_000)
+        )
+        assert 0.02 < hits / 5_000 < 0.10
+
+
+class TestDelayShaping:
+    def test_spike_window_multiplies_delay(self):
+        plan = FaultPlan(
+            spike_period=60.0, spike_duration=10.0, spike_factor=4.0
+        )
+        injector = plan.build(1, 2)
+        assert injector.shape_delay(65.0, 0.1) == pytest.approx(0.4)
+        assert injector.shape_delay(30.0, 0.1) == pytest.approx(0.1)
+
+    def test_reorder_jitter_only_adds(self):
+        plan = FaultPlan(reorder_rate=1.0, reorder_jitter=0.2)
+        injector = plan.build(1, 2)
+        delays = [injector.shape_delay(0.0, 0.1) for _ in range(100)]
+        assert all(0.1 <= delay <= 0.3 for delay in delays)
+        assert len(set(delays)) > 1  # actually jitters
+
+
+class TestNetworkIntegration:
+    def _sent_to(self, network, dst="10.0.0.9"):
+        received = []
+        network.bind(dst, 53, lambda dgram, net: received.append(dgram))
+        network.send(Datagram("10.0.0.1", 1000, dst, 53, b"x"))
+        network.run()
+        return received
+
+    def test_blackhole_eats_datagram(self):
+        injector = FaultPlan(blackhole_rate=1.0).build(1, 2)
+        network = Network(seed=0, faults=injector)
+        assert self._sent_to(network) == []
+        assert network.stats.blackholed == 1
+        assert network.stats.lost == 1
+
+    def test_duplicate_delivers_twice(self):
+        injector = FaultPlan(duplicate_rate=1.0).build(1, 2)
+        network = Network(seed=0, faults=injector)
+        assert len(self._sent_to(network)) == 2
+        assert network.stats.duplicated == 1
+        assert network.stats.delivered == 2
+
+    def test_burst_loss_counts_separately(self):
+        injector = FaultPlan(
+            burst_loss=True, loss_good=1.0, loss_bad=1.0
+        ).build(1, 2)
+        network = Network(seed=0, faults=injector)
+        assert self._sent_to(network) == []
+        assert network.stats.burst_lost == 1
+        assert network.stats.lost == 1
+
+    def test_attach_faults_after_construction(self):
+        network = Network(seed=0)
+        network.attach_faults(FaultPlan(blackhole_rate=1.0).build(1, 2))
+        assert self._sent_to(network) == []
+        assert network.stats.blackholed == 1
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert sorted(FAULT_PROFILES) == ["bursty", "hostile", "none"]
+        assert fault_profile("none").plan is None
+        assert fault_profile("hostile").plan.blackhole_rate > 0
+        assert fault_profile("bursty").retry_max > 0
+
+    def test_unknown_profile_is_a_helpful_error(self):
+        with pytest.raises(ValueError, match="hostil"):
+            fault_profile("hostil")
+
+    def test_build_injector_identity_profile_is_none(self):
+        assert build_injector("none", seed=3, index=0, workers=4) is None
+
+    def test_build_injector_blackholes_stable_across_worker_counts(self):
+        serial = build_injector("hostile", seed=3, index=0, workers=1)
+        sharded = build_injector("hostile", seed=3, index=2, workers=4)
+        rng = random.Random(5)
+        ips = [int_to_ip(rng.getrandbits(32)) for _ in range(200)]
+        assert [serial.blackholed(ip) for ip in ips] == [
+            sharded.blackholed(ip) for ip in ips
+        ]

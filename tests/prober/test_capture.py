@@ -1,5 +1,7 @@
 """Tolerant R2 parsing tests (the libpcap-equivalent pipeline)."""
 
+import pytest
+
 from repro.dnslib.constants import QueryType, Rcode
 from repro.dnslib.message import DnsFlags, DnsHeader, DnsMessage, Question, make_query, make_response
 from repro.dnslib.records import AData, CnameData, RawData, ResourceRecord, TxtData
@@ -116,3 +118,73 @@ class TestJoinFlows:
         flow_set = join_flows([record_for(make_response(query))], auth=None)
         assert flow_set.q2_count == 0
         assert flow_set.flows[QNAME].r2 is not None
+
+
+class TestShardMerges:
+    """Edge cases the crash-recovery path feeds the merge functions."""
+
+    def _capture(self, q1_sent=0, records=(), start=0.0, end=0.0,
+                 sent_log=None, **extra):
+        from repro.prober.probe import ProbeCapture
+        from repro.prober.subdomain import ClusterStats
+
+        return ProbeCapture(
+            q1_sent=q1_sent, q1_bytes=q1_sent * 75,
+            r2_records=list(records), start_time=start, end_time=end,
+            cluster_stats=ClusterStats(),
+            sent_log=dict(sent_log or {}), **extra,
+        )
+
+    def test_merge_zero_captures_rejected(self):
+        from repro.prober.probe import merge_captures
+
+        with pytest.raises(ValueError, match="zero captures"):
+            merge_captures([])
+
+    def test_merge_single_capture_is_identity(self):
+        from repro.prober.probe import merge_captures
+
+        capture = self._capture(q1_sent=3, end=2.0)
+        assert merge_captures([capture]) is capture
+
+    def test_zero_probe_capture_merges_additively(self):
+        # A degraded campaign can produce an idle shard (all probes
+        # blackholed) — folding it in must not perturb the totals.
+        from repro.prober.probe import merge_captures
+
+        idle = self._capture(start=1.0, end=1.0)
+        busy = self._capture(
+            q1_sent=5, records=[record_for(make_response(make_query(QNAME)))],
+            start=0.0, end=10.0, sent_log={QNAME: "9.9.9.9"},
+            retries_sent=2, retry_bytes=150, retries_exhausted=1,
+        )
+        merged = merge_captures([idle, busy])
+        assert merged.q1_sent == 5
+        assert merged.r2_count == 1
+        assert merged.start_time == 0.0 and merged.end_time == 10.0
+        assert merged.retries_sent == 2
+        assert merged.retries_exhausted == 1
+        assert merged.sent_log == busy.sent_log
+
+    def test_merge_flow_sets_of_nothing_is_empty(self):
+        from repro.prober.capture import merge_flow_sets
+
+        merged = merge_flow_sets([])
+        assert merged.flows == {}
+        assert merged.unjoinable == []
+        assert merged.all_views == []
+
+    def test_merge_flow_sets_missing_shard_subset(self):
+        # Resume/degraded merges fold however many shards survived;
+        # any subset must merge cleanly and keep its flows intact.
+        from repro.prober.capture import merge_flow_sets
+
+        other_qname = QNAME.replace("0000001", "0000002")
+        first = join_flows([record_for(make_response(make_query(QNAME)))])
+        second = join_flows(
+            [record_for(make_response(make_query(other_qname)))]
+        )
+        assert sorted(merge_flow_sets([first, second]).flows) == sorted(
+            [QNAME, other_qname]
+        )
+        assert sorted(merge_flow_sets([first]).flows) == [QNAME]

@@ -1,0 +1,163 @@
+"""Q1 retransmission policy: validation, recovery, accounting."""
+
+import pytest
+
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.netsim.ipv4 import int_to_ip
+from repro.netsim.network import Network
+from repro.prober.probe import ProbeConfig, Prober, RetryPolicy, merge_captures
+from repro.prober.zmap import probe_order
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+
+
+def std_spec():
+    return BehaviorSpec(
+        name="std", mode=ResponseMode.RESOLVE, ra=True, aa=False,
+        answer_kind=AnswerKind.CORRECT,
+    )
+
+
+def scan(specs_by_offset, q1_target=1, injector=None, **config_overrides):
+    """Deploy hosts at probe-order offsets, optionally inject faults, scan."""
+    network = Network(seed=0)
+    hierarchy = build_hierarchy(network)
+    addresses = list(probe_order(seed=0, limit=q1_target))
+    for offset, spec in specs_by_offset.items():
+        host = BehaviorHost(int_to_ip(addresses[offset]), spec, hierarchy.auth.ip)
+        host.attach(network)
+    if injector is not None:
+        network.attach_faults(injector)
+    config = ProbeConfig(
+        q1_target=q1_target, rate_pps=50.0, cluster_size=100, seed=0,
+        **config_overrides,
+    )
+    prober = Prober(network, hierarchy.auth, config)
+    return network, addresses, prober.run()
+
+
+class DropFirstProbeTo:
+    """A minimal fault injector: eat the first datagram to ``target``."""
+
+    def __init__(self, target):
+        self.target = target
+        self.drops = 0
+
+    def blackholed(self, dst_ip):
+        if dst_ip == self.target and self.drops == 0:
+            self.drops += 1
+            return True
+        return False
+
+    def dropped(self):
+        return False
+
+    def shape_delay(self, now, delay):
+        return delay
+
+    def duplicated(self):
+        return None
+
+
+class TestRetryPolicyValidation:
+    def test_disabled_by_default(self):
+        policy = RetryPolicy()
+        assert not policy.enabled
+        assert RetryPolicy(max_retries=1).enabled
+
+    def test_rejects_negative_max_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0, float("nan")])
+    def test_rejects_bad_timeout(self, timeout):
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=timeout)
+
+    @pytest.mark.parametrize("backoff", [0.5, float("nan")])
+    def test_rejects_bad_backoff(self, backoff):
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=backoff)
+
+    def test_schedule_arithmetic(self):
+        policy = RetryPolicy(max_retries=2, timeout=1.5, backoff=2.0)
+        assert policy.delay_for_attempt(0) == 1.5
+        assert policy.delay_for_attempt(1) == 3.0
+        assert policy.last_retransmission_offset() == pytest.approx(4.5)
+        assert policy.total_horizon() == pytest.approx(10.5)
+
+
+class TestProbeConfigValidation:
+    @pytest.mark.parametrize("window", [0.0, -2.0, float("nan")])
+    def test_rejects_bad_response_window(self, window):
+        with pytest.raises(ValueError, match="response_window"):
+            ProbeConfig(q1_target=1, rate_pps=50.0, response_window=window)
+
+    def test_rejects_retry_schedule_outliving_window(self):
+        # Last retransmission at 2 + 4 + 8 = 14s, far past the 5s
+        # window after which the subdomain may be reused.
+        with pytest.raises(ValueError, match="response window"):
+            ProbeConfig(
+                q1_target=1,
+                rate_pps=50.0,
+                retry=RetryPolicy(max_retries=3, timeout=2.0, backoff=2.0),
+            )
+
+    def test_default_retry_fits_default_window(self):
+        ProbeConfig(
+            q1_target=1, rate_pps=50.0, retry=RetryPolicy(max_retries=2)
+        )  # must not raise
+
+
+class TestRetryBehavior:
+    def test_retransmission_recovers_a_lost_probe(self):
+        addresses = list(probe_order(seed=0, limit=1))
+        injector = DropFirstProbeTo(int_to_ip(addresses[0]))
+        network, _, capture = scan(
+            {0: std_spec()}, injector=injector,
+            retry=RetryPolicy(max_retries=2),
+        )
+        assert injector.drops == 1
+        assert capture.r2_count == 1
+        assert capture.q1_sent == 1  # Table II counts targets, not datagrams
+        assert capture.retries_sent == 1
+        assert capture.retries_exhausted == 0
+        assert capture.retry_bytes > 0
+
+    def test_without_retry_the_same_loss_is_fatal(self):
+        addresses = list(probe_order(seed=0, limit=1))
+        injector = DropFirstProbeTo(int_to_ip(addresses[0]))
+        _, _, capture = scan({0: std_spec()}, injector=injector)
+        assert capture.r2_count == 0
+        assert capture.retries_sent == 0
+
+    def test_unanswered_target_exhausts_retries(self):
+        _, _, capture = scan({}, retry=RetryPolicy(max_retries=2))
+        assert capture.r2_count == 0
+        assert capture.retries_sent == 2
+        assert capture.retries_exhausted == 1
+
+    def test_answered_probes_never_retransmit(self):
+        _, _, with_retry = scan(
+            {0: std_spec()}, retry=RetryPolicy(max_retries=2)
+        )
+        _, _, without = scan({0: std_spec()})
+        assert with_retry.retries_sent == 0
+        assert with_retry.retries_exhausted == 0
+        # Cancelled retry timers must not stretch the simulated scan:
+        # the capture is byte-equal in every accounting field.
+        assert with_retry == without
+
+    def test_merge_captures_sums_retry_accounting(self):
+        _, _, lossy = scan({}, retry=RetryPolicy(max_retries=2))
+        _, _, clean = scan(
+            {0: std_spec()}, retry=RetryPolicy(max_retries=2),
+            cluster_base=500, cluster_limit=1000,
+        )
+        merged = merge_captures([lossy, clean])
+        assert merged.retries_sent == lossy.retries_sent + clean.retries_sent
+        assert merged.retry_bytes == lossy.retry_bytes + clean.retry_bytes
+        assert (
+            merged.retries_exhausted
+            == lossy.retries_exhausted + clean.retries_exhausted
+        )
