@@ -1,0 +1,179 @@
+"""Streaming vs batch campaign memory: the bounded-memory claim, measured.
+
+Two memory axes, measured honestly:
+
+* **Retained scan state** — the bytes a campaign must keep (and a
+  shard must ship/checkpoint) to produce its tables. This is where the
+  streaming pipeline changes the asymptotics: batch retains raw
+  captures, the auth query log and the joined flow set (O(probes));
+  ``--drop-captures`` streaming retains one mergeable accumulator
+  (O(distinct destinations), a few KB, flat in the probe count). It is
+  measured from the shard checkpoint files the engine actually writes.
+* **Whole-process peak** — RSS and Python-heap high-water mark. Both
+  modes share the simulator's own O(probes) terms (the probe universe,
+  the sampled population, in-flight datagrams), so the streaming win
+  here is the retention delta, not an asymptotic one; the numbers are
+  recorded as measured.
+
+Each measurement runs in a fresh subprocess because ``ru_maxrss`` is a
+process-lifetime high-water mark — a second campaign in the same
+interpreter would hide behind the first one's peak. Per (mode, scale)
+cell two subprocesses run: a clean one for wall-clock, RSS and
+checkpoint sizes, and one under ``tracemalloc`` (which slows the run)
+for the heap peak.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from benchmarks.conftest import SEED, write_result
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+#: Scale divisors, largest workload last (scale=4096 probes 4x more of
+#: the population than scale=16384).
+SCALES = (16384, 8192, 4096)
+
+_DRIVER = """
+import hashlib, json, pathlib, resource, sys, tempfile, time
+mode, scale, trace = sys.argv[1], int(sys.argv[2]), sys.argv[3] == "trace"
+from repro.core import CampaignConfig
+from repro.core.shard import run_sharded
+config = CampaignConfig(
+    year=2018, scale=scale, seed={seed}, time_compression=4.0, workers=1,
+    mode="stream" if mode == "stream" else "batch",
+    drop_captures=mode == "stream",
+)
+if trace:
+    import tracemalloc
+    tracemalloc.start()
+checkpoint_dir = pathlib.Path(tempfile.mkdtemp())
+start = time.perf_counter()
+result = run_sharded(config, parallelism="inline",
+                     checkpoint_dir=checkpoint_dir)
+wall = time.perf_counter() - start
+out = {{
+    "wall_s": wall,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "state_bytes": sum(
+        path.stat().st_size for path in checkpoint_dir.glob("shard_*.pkl")
+    ),
+    "report_sha": hashlib.sha256(result.report().encode()).hexdigest(),
+}}
+if trace:
+    out["heap_peak_bytes"] = tracemalloc.get_traced_memory()[1]
+print(json.dumps(out))
+""".format(seed=SEED)
+
+
+def _run(mode: str, scale: int, trace: bool) -> dict:
+    completed = subprocess.run(
+        [sys.executable, "-c", _DRIVER, mode, str(scale),
+         "trace" if trace else "clean"],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    return json.loads(completed.stdout)
+
+
+def _measure(mode: str, scale: int) -> dict:
+    clean = _run(mode, scale, trace=False)
+    traced = _run(mode, scale, trace=True)
+    assert traced["report_sha"] == clean["report_sha"]
+    return {
+        "wall_s": round(clean["wall_s"], 4),
+        "ru_maxrss_kb": clean["ru_maxrss_kb"],
+        "state_bytes": clean["state_bytes"],
+        "heap_peak_bytes": traced["heap_peak_bytes"],
+        "report_sha": clean["report_sha"],
+    }
+
+
+def test_stream_memory(results_dir):
+    cells = {}
+    for scale in SCALES:
+        batch = _measure("batch", scale)
+        stream = _measure("stream", scale)
+        # The tables must survive the memory diet untouched.
+        assert stream["report_sha"] == batch["report_sha"]
+        cells[scale] = {"batch": batch, "stream": stream}
+
+    # Linear vs bounded: quadrupling the probe count must grow the
+    # batch retention linearly while the streaming accumulator stays
+    # near-flat and orders of magnitude smaller.
+    batch_growth = (
+        cells[SCALES[-1]]["batch"]["state_bytes"]
+        / cells[SCALES[0]]["batch"]["state_bytes"]
+    )
+    stream_growth = (
+        cells[SCALES[-1]]["stream"]["state_bytes"]
+        / cells[SCALES[0]]["stream"]["state_bytes"]
+    )
+    assert batch_growth > 2.5, f"batch retention should scale, {batch_growth=}"
+    assert stream_growth < 2.0, (
+        f"streaming retention should stay near-flat, {stream_growth=}"
+    )
+    for scale in SCALES:
+        assert (
+            cells[scale]["stream"]["state_bytes"]
+            < cells[scale]["batch"]["state_bytes"] / 20
+        )
+        assert (
+            cells[scale]["stream"]["heap_peak_bytes"]
+            <= cells[scale]["batch"]["heap_peak_bytes"]
+        )
+
+    lines = [
+        f"streaming vs batch campaign memory @ year=2018 seed={SEED} "
+        "(stream runs use --drop-captures; state = shard checkpoint bytes)",
+        f"{'scale':>8} {'mode':>7} {'retained state':>15} {'heap peak':>12} "
+        f"{'max RSS':>10} {'wall':>8}",
+    ]
+    for scale in SCALES:
+        for mode in ("batch", "stream"):
+            cell = cells[scale][mode]
+            lines.append(
+                f"1/{scale:<6} {mode:>7} "
+                f"{cell['state_bytes'] / 1e3:>13.1f}KB "
+                f"{cell['heap_peak_bytes'] / 1e6:>10.2f}MB "
+                f"{cell['ru_maxrss_kb'] / 1024:>8.1f}MB "
+                f"{cell['wall_s']:>7.2f}s"
+            )
+    lines.append(
+        f"retained-state growth over a 4x probe increase: "
+        f"batch {batch_growth:.2f}x (linear) vs stream {stream_growth:.2f}x "
+        "(bounded)"
+    )
+    lines.append(
+        "whole-process peaks share the simulator's own O(probes) terms "
+        "(probe universe, population, in-flight packets) in both modes; "
+        "the streaming win there is the retention delta above"
+    )
+    lines.append("reports byte-identical batch vs stream at every scale: yes")
+    write_result(results_dir, "stream_memory.txt", "\n".join(lines))
+    write_result(
+        results_dir,
+        "BENCH_stream_memory.json",
+        json.dumps(
+            {
+                "benchmark": "stream_memory",
+                "year": 2018,
+                "seed": SEED,
+                "scales": list(SCALES),
+                "cells": {
+                    str(scale): cells[scale] for scale in SCALES
+                },
+                "batch_state_growth_4x_probes": round(batch_growth, 4),
+                "stream_state_growth_4x_probes": round(stream_growth, 4),
+                "reports_byte_identical": True,
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )

@@ -44,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
                       "loss) or hostile (loss + latency spikes + "
                       "duplication + reordering + blackholes); both enable "
                       "Q1 retransmission")
+    scan.add_argument("--stream", action="store_true",
+                      help="aggregate flows as the scan runs (bounded "
+                      "memory; tables byte-identical to the batch path)")
+    scan.add_argument("--drop-captures", action="store_true",
+                      help="with --stream: do not retain raw R2 records "
+                      "or the auth query log — tables only, peak memory "
+                      "O(resolvers + in-flight flows)")
     scan.add_argument("--max-shard-retries", type=int, default=2,
                       metavar="N",
                       help="requeue a crashed shard worker up to N times "
@@ -142,6 +149,9 @@ def _default_compression(year: int, given: float | None) -> float:
 def _cmd_scan(args) -> int:
     from repro.core import Campaign, CampaignConfig
 
+    if args.drop_captures and not args.stream:
+        print("--drop-captures requires --stream")
+        return 2
     config = CampaignConfig(
         year=args.year,
         scale=args.scale,
@@ -150,16 +160,20 @@ def _cmd_scan(args) -> int:
         workers=args.workers,
         fault_profile=args.fault_profile,
         max_shard_retries=args.max_shard_retries,
+        mode="stream" if args.stream else "batch",
+        drop_captures=args.drop_captures,
     )
     workers_note = f", workers {args.workers}" if args.workers > 1 else ""
     faults_note = (
         f", faults '{args.fault_profile}'"
         if args.fault_profile != "none" else ""
     )
+    stream_note = ", streaming" if args.stream else ""
     resume_note = f", resuming from {args.resume}" if args.resume else ""
     print(
         f"Scanning (year {args.year}, scale 1/{args.scale}, "
-        f"seed {args.seed}{workers_note}{faults_note}{resume_note})..."
+        f"seed {args.seed}{workers_note}{faults_note}{stream_note}"
+        f"{resume_note})..."
     )
     try:
         result = Campaign(config).run(
@@ -172,6 +186,13 @@ def _cmd_scan(args) -> int:
         print(f"Cannot resume from {args.resume}: {error}")
         return 2
     print(result.report() if args.full_report else result.summary())
+    if result.stream_stats is not None:
+        print(result.stream_stats.summary())
+    if args.save and args.drop_captures:
+        print(
+            "Note: --drop-captures retained no raw packets; the saved "
+            "dataset will carry tables and metadata only."
+        )
     if args.save:
         from repro.datasets import save_campaign
 

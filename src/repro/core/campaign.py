@@ -67,6 +67,9 @@ from repro.stats import (
     RcodeTable,
     TopDestinationRow,
 )
+from repro.stream.aggregate import TableAggregate
+from repro.stream.assembler import StreamStats
+from repro.stream.pipeline import StreamPipeline
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,6 +98,16 @@ class CampaignConfig:
     the same derived seed, so the re-run is byte-identical) before the
     campaign gives the shard up and reports it in the result's
     ``degraded`` manifest.
+
+    ``mode="stream"`` computes Tables II–X through the event-driven
+    :mod:`repro.stream` pipeline — identical bytes, bounded memory (see
+    DESIGN.md §7). ``drop_captures`` (streaming only) additionally stops
+    retaining raw ``R2Record``s and the auth ``query_log``, so peak
+    memory is O(distinct destinations + in-flight flows) instead of
+    O(probes); the result then carries an empty ``flow_set``/``capture
+    .r2_records``/``query_log``, tables only. ``retain_query_log=False``
+    leaves the log on the auth server but off the result — for callers
+    that never persist it.
     """
 
     year: int = 2018
@@ -111,6 +124,9 @@ class CampaignConfig:
     workers: int = 1
     fault_profile: str = "none"
     max_shard_retries: int = 1
+    mode: str = "batch"
+    drop_captures: bool = False
+    retain_query_log: bool = True
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -123,6 +139,13 @@ class CampaignConfig:
             raise ValueError("workers must be at least 1")
         if self.max_shard_retries < 0:
             raise ValueError("max_shard_retries must be non-negative")
+        if self.mode not in ("batch", "stream"):
+            raise ValueError(f"mode must be 'batch' or 'stream': {self.mode!r}")
+        if self.drop_captures and self.mode != "stream":
+            raise ValueError(
+                "drop_captures requires mode='stream': the batch analyzers "
+                "read the retained captures"
+            )
         fault_profile(self.fault_profile)  # reject unknown names up front
 
     def retry_policy(self) -> RetryPolicy:
@@ -216,6 +239,11 @@ class CampaignResult:
     #: Set when a sharded campaign lost shards past their retry budget;
     #: None means full coverage.
     degraded: DegradedManifest | None = None
+    #: Streaming-pipeline observability (``mode="stream"`` only): event
+    #: counts, flows opened/evicted, peak live flows. Deliberately not
+    #: part of :meth:`summary`/:meth:`report` — those bytes must match
+    #: the batch path.
+    stream_stats: StreamStats | None = None
 
     @property
     def year(self) -> int:
@@ -342,8 +370,10 @@ class Campaign:
             )
         )
         q1_target = scale_count(self.profile.q1_full, config.scale)
-        universe = self.build_universe()
         if population_override is not None:
+            # The universe list is O(probes) of ints — by far the
+            # largest single allocation in a run. A pre-built
+            # population was sampled from it already, so skip it.
             population = population_override
         else:
             population = PopulationSampler(
@@ -351,7 +381,7 @@ class Campaign:
                 scale=config.scale,
                 seed=config.seed,
                 excluded_ips=infrastructure,
-                universe=universe,
+                universe=self.build_universe(),
             ).sample()
         software_map: dict[str, object] = {}
         banners: dict[str, str | None] = {}
@@ -385,6 +415,17 @@ class Campaign:
             record_sent_log=config.record_sent_log,
             retry=config.retry_policy(),
         )
+        pipeline: StreamPipeline | None = None
+        if config.mode == "stream":
+            if config.drop_captures:
+                probe_config.retain_r2 = False
+                hierarchy.auth.retain_query_log = False
+            pipeline = StreamPipeline(
+                truth_ip=hierarchy.auth.ip,
+                source_port=probe_config.source_port,
+                response_window=probe_config.response_window,
+            )
+            pipeline.attach(network)
         hint = population.address_set() if config.fast else None
         prober = Prober(
             network, hierarchy.auth, probe_config, ip=PROBER_IP,
@@ -397,10 +438,29 @@ class Campaign:
                 end_time=capture.start_time
                 + capture.duration * config.time_compression,
             )
+        if pipeline is not None:
+            aggregate = pipeline.finish()
+            if config.drop_captures:
+                flow_set = FlowSet(flows={}, unjoinable=[])
+                query_log: list = []
+            else:
+                flow_set = join_flows(capture.r2_records, hierarchy.auth)
+                query_log = (
+                    list(hierarchy.auth.query_log)
+                    if config.retain_query_log else []
+                )
+            return self._analyze_stream(
+                population, hierarchy, network, software_map, validators,
+                capture, flow_set, aggregate, pipeline.stats,
+                query_log=query_log,
+            )
         flow_set = join_flows(capture.r2_records, hierarchy.auth)
+        query_log = (
+            list(hierarchy.auth.query_log) if config.retain_query_log else []
+        )
         return self._analyze(
             population, hierarchy, network, software_map, validators,
-            capture, flow_set, query_log=list(hierarchy.auth.query_log),
+            capture, flow_set, query_log=query_log,
         )
 
     def _analyze(
@@ -449,6 +509,63 @@ class Campaign:
                 views, truth, population.cymon, population.geo
             ),
             query_log=query_log if query_log is not None else [],
+        )
+
+    def _analyze_stream(
+        self,
+        population: SampledPopulation,
+        hierarchy: Hierarchy,
+        network: Network,
+        software_map: dict[str, object],
+        dnssec_validators: set[str],
+        capture: ProbeCapture,
+        flow_set: FlowSet,
+        aggregate: TableAggregate,
+        stream_stats: StreamStats,
+        query_log: list | None = None,
+    ) -> CampaignResult:
+        """Build the result from folded accumulators instead of views.
+
+        Finalizes every table from the :class:`TableAggregate`; the
+        golden equivalence tests pin each one byte-identical to
+        :meth:`_analyze` over the same scan.
+        """
+        return CampaignResult(
+            config=self.config,
+            profile=self.profile,
+            population=population,
+            hierarchy=hierarchy,
+            network=network,
+            software_map=software_map,
+            dnssec_validators=dnssec_validators,
+            capture=capture,
+            flow_set=flow_set,
+            probe_summary=ProbeSummary(
+                year=self.config.year,
+                duration_seconds=capture.duration,
+                q1=capture.q1_sent,
+                q2_r1=aggregate.q2_total,
+                r2=aggregate.r2_total,
+            ),
+            correctness=aggregate.correctness_table(),
+            ra_table=aggregate.flag_table("ra"),
+            aa_table=aggregate.flag_table("aa"),
+            rcode_table=aggregate.rcode_table(),
+            estimates=aggregate.estimates(),
+            empty_question=aggregate.empty_question(),
+            incorrect_forms=aggregate.incorrect_forms(),
+            top_destinations=aggregate.top_destinations(
+                population.whois, population.cymon
+            ),
+            malicious_categories=aggregate.malicious_categories(
+                population.cymon
+            ),
+            malicious_flags=aggregate.malicious_flags(population.cymon),
+            country_distribution=aggregate.country_distribution(
+                population.cymon, population.geo
+            ),
+            query_log=query_log if query_log is not None else [],
+            stream_stats=stream_stats,
         )
 
 

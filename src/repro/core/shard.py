@@ -79,6 +79,9 @@ from repro.prober.zmap import probe_order
 from repro.resolvers.apportion import scale_count
 from repro.resolvers.population import PopulationSampler, SampledPopulation
 from repro.resolvers.profiles import profile_for_year
+from repro.stream.aggregate import TableAggregate, merge_aggregates
+from repro.stream.assembler import StreamStats
+from repro.stream.pipeline import StreamPipeline
 
 #: Chaos-testing hooks, read by every shard worker (the environment
 #: crosses the process boundary, so they work under both inline and
@@ -143,12 +146,22 @@ class ShardTask:
 
 @dataclasses.dataclass
 class ShardOutcome:
-    """What one shard ships back to the parent for merging."""
+    """What one shard ships back to the parent for merging.
+
+    A streaming shard (``config.mode == "stream"``) also carries its
+    folded :class:`TableAggregate` — with ``drop_captures`` that is
+    essentially *all* it carries: ``capture.r2_records``, ``flow_set``
+    and ``query_log`` come back empty, so shard checkpoints persist
+    accumulator state instead of raw packets and ``--resume`` stays
+    cheap at any probe count.
+    """
 
     index: int
     capture: ProbeCapture
     flow_set: FlowSet
     query_log: list[QueryLogEntry]
+    aggregate: TableAggregate | None = None
+    stream_stats: StreamStats | None = None
 
 
 def shard_universe(universe: list[int], index: int, workers: int) -> list[int]:
@@ -325,18 +338,46 @@ def _run_shard_scan(task: ShardTask, shard_seed: int) -> ShardOutcome:
         cluster_limit=cluster_limit,
         retry=config.retry_policy(),
     )
+    pipeline: StreamPipeline | None = None
+    if config.mode == "stream":
+        if config.drop_captures:
+            probe_config.retain_r2 = False
+            hierarchy.auth.retain_query_log = False
+        pipeline = StreamPipeline(
+            truth_ip=hierarchy.auth.ip,
+            source_port=probe_config.source_port,
+            response_window=probe_config.response_window,
+        )
+        pipeline.attach(network)
     hint = local.address_set() if config.fast else None
     prober = Prober(
         network, hierarchy.auth, probe_config, ip=PROBER_IP,
         responder_hint=hint,
     )
     capture = prober.run()
-    flow_set = join_flows(capture.r2_records, hierarchy.auth)
+    aggregate = stream_stats = None
+    if pipeline is not None:
+        aggregate = pipeline.finish()
+        stream_stats = pipeline.stats
+    if config.mode == "stream" and config.drop_captures:
+        flow_set = FlowSet(flows={}, unjoinable=[])
+        query_log: list[QueryLogEntry] = []
+    else:
+        flow_set = join_flows(capture.r2_records, hierarchy.auth)
+        # The shard's world dies with this function, so the log needs no
+        # defensive copy before shipping (unlike the serial path, whose
+        # auth server keeps appending during follow-up scans). With
+        # retention opted out it is not shipped at all.
+        query_log = (
+            hierarchy.auth.query_log if config.retain_query_log else []
+        )
     return ShardOutcome(
         index=task.index,
         capture=capture,
         flow_set=flow_set,
-        query_log=list(hierarchy.auth.query_log),
+        query_log=query_log,
+        aggregate=aggregate,
+        stream_stats=stream_stats,
     )
 
 
@@ -515,10 +556,26 @@ def run_sharded(
         dnssec_validators=validators,
     )
     campaign = Campaign(config)
-    result = campaign._analyze(
-        population, hierarchy, network, software_map, validators,
-        capture, flow_set, query_log=query_log,
-    )
+    if config.mode == "stream":
+        # merge_aggregates folds into its first element; outcomes are
+        # fresh per run, so the mutation is private. Index order is
+        # cosmetic — the merge laws make any order byte-identical.
+        aggregate = merge_aggregates(
+            [outcome.aggregate for outcome in outcomes]
+        )
+        stream_stats = StreamStats()
+        for outcome in outcomes:
+            stream_stats.merge(outcome.stream_stats)
+        result = campaign._analyze_stream(
+            population, hierarchy, network, software_map, validators,
+            capture, flow_set, aggregate, stream_stats,
+            query_log=query_log,
+        )
+    else:
+        result = campaign._analyze(
+            population, hierarchy, network, software_map, validators,
+            capture, flow_set, query_log=query_log,
+        )
     if failures:
         records = [
             ShardFailureRecord(

@@ -57,6 +57,11 @@ class AuthoritativeServer:
         self._zones: dict[str, list[Zone]] = {}
         self._loading_until = float("-inf")
         self.query_log: list[QueryLogEntry] = []
+        #: Append served queries to :attr:`query_log`. Streaming scans
+        #: that drop captures turn this off — the network event sink
+        #: observes each reply instead, so the log would be a second,
+        #: unread O(queries) copy of the same information.
+        self.retain_query_log = True
         self.clusters_installed = 0
         self.queries_served = 0
         self.queries_during_reload = 0
@@ -124,11 +129,14 @@ class AuthoritativeServer:
         except DnsWireError:
             return
         response = self.respond(query, now)
-        qname = query.qname or ""
-        qtype = query.questions[0].qtype if query.questions else 0
-        self.query_log.append(
-            QueryLogEntry(now, datagram.src_ip, qname, int(qtype), int(response.rcode))
-        )
+        if self.retain_query_log:
+            qname = query.qname or ""
+            qtype = query.questions[0].qtype if query.questions else 0
+            self.query_log.append(
+                QueryLogEntry(
+                    now, datagram.src_ip, qname, int(qtype), int(response.rcode)
+                )
+            )
         network.send(datagram.reply(encode_message(response)))
 
     def respond(self, query: DnsMessage, now: float) -> DnsMessage:

@@ -68,6 +68,7 @@ class Network:
         self._faults = faults
         self._bindings: dict[tuple[str, int], Handler] = {}
         self._taps: dict[str, list[PacketTap]] = {}
+        self._sinks: list = []
         self.stats = NetworkStats()
 
     @property
@@ -82,6 +83,25 @@ class Network:
         attach before any traffic flows.
         """
         self._faults = injector
+
+    # -- event sinks -----------------------------------------------------
+
+    def attach_sink(self, sink) -> None:
+        """Attach a flow-event observer (e.g. a streaming
+        :class:`repro.stream.events.CaptureSink`).
+
+        ``sink.on_send(now, datagram)`` fires for every transmission —
+        *before* the loss/blackhole/fault coin-flips, so the observer
+        sees what the sender sent, like a tap at the sending host.
+        ``sink.on_deliver(now, datagram)`` fires for every delivery
+        that reaches a bound handler (once per duplicated copy), like a
+        capture at the receiving application.
+        """
+        self._sinks.append(sink)
+
+    def detach_sink(self, sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
 
     # -- binding ---------------------------------------------------------
 
@@ -126,6 +146,8 @@ class Network:
         self.stats.sent += 1
         self.stats.bytes_sent += datagram.wire_size
         self._tap(origin if origin is not None else datagram.src_ip, "out", datagram)
+        for sink in self._sinks:
+            sink.on_send(self.scheduler.now, datagram)
         faults = self._faults
         if faults is not None and faults.blackholed(datagram.dst_ip):
             self.stats.blackholed += 1
@@ -157,6 +179,8 @@ class Network:
             return
         self.stats.delivered += 1
         self.stats.bytes_delivered += datagram.wire_size
+        for sink in self._sinks:
+            sink.on_deliver(self.scheduler.now, datagram)
         handler(datagram, self)
 
     # -- running ---------------------------------------------------------

@@ -195,26 +195,56 @@ class FlowSet:
         return [flow for flow in self.flows.values() if flow.r2 is not None]
 
 
+class IncrementalJoin:
+    """The qname join, one packet at a time.
+
+    Equivalent to :func:`join_flows` (which now delegates here), but
+    consumable incrementally — records and query-log entries may arrive
+    in any interleaving, as they do when a network event sink feeds the
+    join during a live scan. Within one qname, R2 records must arrive
+    in capture order for the last-record-wins rule to match the batch
+    join; across qnames, order is free.
+    """
+
+    def __init__(self) -> None:
+        self._flows: dict[str, ProbeFlow] = {}
+        self._unjoinable: list[R2View] = []
+
+    def add_record(self, record: R2Record) -> R2View:
+        """Parse and join one captured response; returns its view."""
+        view = parse_r2(record)
+        self.add_view(view)
+        return view
+
+    def add_view(self, view: R2View) -> None:
+        if view.qname is None:
+            self._unjoinable.append(view)
+            return
+        flow = self._flows.setdefault(view.qname, ProbeFlow(view.qname))
+        flow.r2 = view
+
+    def add_query(self, timestamp: float, qname: str) -> None:
+        """Join one auth-side query-log entry (one Q2 plus one R1)."""
+        flow = self._flows.setdefault(qname, ProbeFlow(qname))
+        flow.q2_timestamps.append(timestamp)
+        flow.r1_count += 1  # the auth server answers every logged query
+
+    def result(self) -> FlowSet:
+        return FlowSet(flows=self._flows, unjoinable=self._unjoinable)
+
+
 def join_flows(
     r2_records: list[R2Record],
     auth: AuthoritativeServer | None = None,
 ) -> FlowSet:
     """Join captured packets into per-probe flows on the qname key."""
-    flows: dict[str, ProbeFlow] = {}
-    unjoinable: list[R2View] = []
+    join = IncrementalJoin()
     for record in r2_records:
-        view = parse_r2(record)
-        if view.qname is None:
-            unjoinable.append(view)
-            continue
-        flow = flows.setdefault(view.qname, ProbeFlow(view.qname))
-        flow.r2 = view
+        join.add_record(record)
     if auth is not None:
         for entry in auth.query_log:
-            flow = flows.setdefault(entry.qname, ProbeFlow(entry.qname))
-            flow.q2_timestamps.append(entry.timestamp)
-            flow.r1_count += 1  # the auth server answers every logged query
-    return FlowSet(flows=flows, unjoinable=unjoinable)
+            join.add_query(entry.timestamp, entry.qname)
+    return join.result()
 
 
 def _unjoinable_sort_key(view: R2View) -> tuple:

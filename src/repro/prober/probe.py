@@ -114,6 +114,11 @@ class ProbeConfig:
     cluster_base: int = 0
     cluster_limit: int | None = None
     retry: RetryPolicy = RetryPolicy()
+    #: Retain raw R2 payloads in the capture. The streaming pipeline's
+    #: ``--drop-captures`` mode turns this off: responses are still
+    #: parsed for reuse bookkeeping (and observed by network sinks) but
+    #: never accumulated, so prober memory stays flat.
+    retain_r2: bool = True
 
     def __post_init__(self) -> None:
         if self.q1_target < 0:
@@ -297,9 +302,10 @@ class Prober:
     # -- receive path --------------------------------------------------------
 
     def _on_response(self, datagram: Datagram, network: Network) -> None:
-        self._r2_records.append(
-            R2Record(network.now, datagram.src_ip, datagram.payload)
-        )
+        if self.config.retain_r2:
+            self._r2_records.append(
+                R2Record(network.now, datagram.src_ip, datagram.payload)
+            )
         allocation = self._allocation_from_payload(datagram.payload)
         if allocation is not None and allocation not in self._answered:
             self._answered.add(allocation)

@@ -1,0 +1,26 @@
+"""Streaming bounded-memory aggregation (the ZDNS-shaped pipeline).
+
+The batch pipeline retains every R2 payload and query-log entry until
+scan end — memory O(probes). This package folds the Q1/Q2/R1/R2 flows
+into mergeable per-table accumulators *as the netsim emits them*, so
+peak memory is O(distinct destinations + in-flight flows) and shard
+checkpoints persist folded state instead of raw captures. Enabled with
+``CampaignConfig(mode="stream")`` / ``scan --stream``; Tables II–X are
+byte-identical to the batch path at any worker count.
+"""
+
+from repro.stream.aggregate import TableAggregate, merge_aggregates
+from repro.stream.assembler import FlowAssembler, StreamFlow, StreamStats
+from repro.stream.events import CaptureSink, qname_from_payload
+from repro.stream.pipeline import StreamPipeline
+
+__all__ = [
+    "CaptureSink",
+    "FlowAssembler",
+    "StreamFlow",
+    "StreamPipeline",
+    "StreamStats",
+    "TableAggregate",
+    "merge_aggregates",
+    "qname_from_payload",
+]

@@ -1,0 +1,394 @@
+"""Incremental, mergeable accumulators for Tables II-X.
+
+A :class:`TableAggregate` is the streaming pipeline's replacement for
+the materialized ``FlowSet.views`` list: every joined flow is *folded*
+into it exactly once (when the :class:`~repro.stream.assembler.FlowAssembler`
+evicts or finalizes the flow) and every empty-question response is
+folded on arrival. State is O(distinct accumulator keys) — counters,
+per-form unique-value sets and one compact entry per distinct
+incorrect-answer destination — never O(probes).
+
+Three laws make the aggregate safe to shard and checkpoint:
+
+- **Fold/batch equivalence** — folding each flow's final view once
+  produces exactly the numbers the batch analyzers compute over
+  ``FlowSet.views``; covered by the golden equivalence tests.
+- **Merge commutativity** — ``merge`` only adds counters and unions
+  sets, so any merge order (shard completion order included) yields the
+  same state. This is the same discipline the PR 1 capture merge uses.
+- **Deferred classification** — folding never consults the threat-intel
+  databases; the malicious/geo split happens at :meth:`tables` time
+  from per-destination keys, so the folded state is a small, picklable
+  value object that a shard checkpoint can persist cheaply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.empty_question import EmptyQuestionDetail, _private_block
+from repro.netsim.ipv4 import is_private
+from repro.prober.capture import (
+    FORM_IP,
+    FORM_MALFORMED,
+    FORM_STRING,
+    FORM_URL,
+    R2View,
+)
+from repro.stats import (
+    CorrectnessTable,
+    EmptyQuestionSummary,
+    FlagRow,
+    FlagTable,
+    IncorrectFormsTable,
+    MaliciousCategoryRow,
+    MaliciousCategoryTable,
+    MaliciousFlagTable,
+    OpenResolverEstimates,
+    RcodeTable,
+    TopDestinationRow,
+)
+
+#: Table VII's canonical form order (and the key order the batch
+#: analyzer produces, preserved for byte-identical rendering).
+_FORM_ORDER = (FORM_IP, FORM_URL, FORM_STRING, FORM_MALFORMED)
+
+#: Index constants for the per-flag [without, correct, incorrect] cells.
+_WITHOUT, _CORRECT, _INCORRECT = 0, 1, 2
+
+
+def _is_correct(view: R2View, truth_ip: str) -> bool:
+    if view.malformed_answer:
+        return False
+    return any(
+        form == FORM_IP and value == truth_ip for form, value in view.answers
+    )
+
+
+@dataclasses.dataclass
+class _DestinationEntry:
+    """Per incorrect-answer destination IP: R2 count plus flag tallies.
+
+    One entry per *distinct* destination, so Tables VIII-X can be
+    derived at finalize time without having retained a single view.
+    """
+
+    count: int = 0
+    ra1: int = 0
+    aa1: int = 0
+
+
+@dataclasses.dataclass
+class TableAggregate:
+    """The folded state of every per-view analyzer, mergeable by key."""
+
+    truth_ip: str
+    # Table III cells over joined views.
+    without_answer: int = 0
+    correct: int = 0
+    incorrect: int = 0
+    # Tables IV/V: {flag_value: [without, correct, incorrect]}.
+    ra_cells: dict[bool, list[int]] = dataclasses.field(
+        default_factory=lambda: {False: [0, 0, 0], True: [0, 0, 0]}
+    )
+    aa_cells: dict[bool, list[int]] = dataclasses.field(
+        default_factory=lambda: {False: [0, 0, 0], True: [0, 0, 0]}
+    )
+    # Table VI.
+    rcode_with: dict[int, int] = dataclasses.field(default_factory=dict)
+    rcode_without: dict[int, int] = dataclasses.field(default_factory=dict)
+    # Table VII.
+    form_packets: dict[str, int] = dataclasses.field(default_factory=dict)
+    form_uniques: dict[str, set[str]] = dataclasses.field(
+        default_factory=lambda: {form: set() for form in _FORM_ORDER}
+    )
+    # Tables VIII-X keys: per distinct incorrect IP destination.
+    destinations: dict[str, _DestinationEntry] = dataclasses.field(
+        default_factory=dict
+    )
+    # Section IV-C2 keys: (destination, resolver) pairs, so geolocation
+    # of the malicious subset can happen at finalize time.
+    destination_sources: dict[tuple[str, str], int] = dataclasses.field(
+        default_factory=dict
+    )
+    # Section IV-B4 (empty-question responses).
+    unjoinable_total: int = 0
+    unjoinable_with_answer: int = 0
+    unjoinable_ra1: int = 0
+    unjoinable_aa1: int = 0
+    unjoinable_rcodes: dict[int, int] = dataclasses.field(default_factory=dict)
+    unjoinable_private: int = 0
+    unjoinable_private_by_block: dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+    unjoinable_garbage: int = 0
+    unjoinable_public: int = 0
+    # Table II flow totals.
+    joined_views: int = 0
+    q2_total: int = 0
+    r1_total: int = 0
+
+    # -- folding ---------------------------------------------------------
+
+    def add_counts(self, q2: int, r1: int) -> None:
+        """Fold one flow's auth-side query/response counts."""
+        self.q2_total += q2
+        self.r1_total += r1
+
+    def add_view(self, view: R2View) -> None:
+        """Fold one flow's final joined view (call exactly once per flow)."""
+        self.joined_views += 1
+        correct = _is_correct(view, self.truth_ip)
+        if not view.has_answer:
+            cell = _WITHOUT
+        elif correct:
+            cell = _CORRECT
+        else:
+            cell = _INCORRECT
+        self.ra_cells[view.ra][cell] += 1
+        self.aa_cells[view.aa][cell] += 1
+        if cell == _WITHOUT:
+            self.without_answer += 1
+            bucket = self.rcode_without
+        else:
+            if cell == _CORRECT:
+                self.correct += 1
+            else:
+                self.incorrect += 1
+            bucket = self.rcode_with
+        bucket[view.rcode] = bucket.get(view.rcode, 0) + 1
+        if cell == _INCORRECT:
+            self._add_incorrect(view)
+
+    def _add_incorrect(self, view: R2View) -> None:
+        form, value = view.first_answer() or (FORM_MALFORMED, "")
+        if form not in self.form_uniques:
+            form = FORM_STRING  # unknown RR types read as garbage strings
+        self.form_packets[form] = self.form_packets.get(form, 0) + 1
+        if value:
+            self.form_uniques[form].add(value)
+        if form != FORM_IP:
+            return
+        entry = self.destinations.get(value)
+        if entry is None:
+            entry = self.destinations[value] = _DestinationEntry()
+        entry.count += 1
+        entry.ra1 += view.ra
+        entry.aa1 += view.aa
+        pair = (value, view.src_ip)
+        self.destination_sources[pair] = self.destination_sources.get(pair, 0) + 1
+
+    def add_unjoinable(self, view: R2View) -> None:
+        """Fold one empty-question response (call on arrival)."""
+        self.unjoinable_total += 1
+        self.unjoinable_rcodes[view.rcode] = (
+            self.unjoinable_rcodes.get(view.rcode, 0) + 1
+        )
+        if view.ra:
+            self.unjoinable_ra1 += 1
+        if view.aa:
+            self.unjoinable_aa1 += 1
+        if not view.has_answer:
+            return
+        self.unjoinable_with_answer += 1
+        form, value = view.first_answer() or (FORM_MALFORMED, "")
+        if form != FORM_IP:
+            self.unjoinable_garbage += 1
+        elif is_private(value):
+            self.unjoinable_private += 1
+            block = _private_block(value)
+            self.unjoinable_private_by_block[block] = (
+                self.unjoinable_private_by_block.get(block, 0) + 1
+            )
+        else:
+            self.unjoinable_public += 1
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "TableAggregate") -> None:
+        """Fold another shard's aggregate into this one (order-free)."""
+        if other.truth_ip != self.truth_ip:
+            raise ValueError(
+                "cannot merge aggregates with different ground truths: "
+                f"{self.truth_ip} != {other.truth_ip}"
+            )
+        self.without_answer += other.without_answer
+        self.correct += other.correct
+        self.incorrect += other.incorrect
+        for flag_value in (False, True):
+            for cell in range(3):
+                self.ra_cells[flag_value][cell] += other.ra_cells[flag_value][cell]
+                self.aa_cells[flag_value][cell] += other.aa_cells[flag_value][cell]
+        _merge_counts(self.rcode_with, other.rcode_with)
+        _merge_counts(self.rcode_without, other.rcode_without)
+        _merge_counts(self.form_packets, other.form_packets)
+        for form, values in other.form_uniques.items():
+            self.form_uniques.setdefault(form, set()).update(values)
+        for ip, entry in other.destinations.items():
+            mine = self.destinations.get(ip)
+            if mine is None:
+                mine = self.destinations[ip] = _DestinationEntry()
+            mine.count += entry.count
+            mine.ra1 += entry.ra1
+            mine.aa1 += entry.aa1
+        _merge_counts(self.destination_sources, other.destination_sources)
+        self.unjoinable_total += other.unjoinable_total
+        self.unjoinable_with_answer += other.unjoinable_with_answer
+        self.unjoinable_ra1 += other.unjoinable_ra1
+        self.unjoinable_aa1 += other.unjoinable_aa1
+        _merge_counts(self.unjoinable_rcodes, other.unjoinable_rcodes)
+        self.unjoinable_private += other.unjoinable_private
+        _merge_counts(
+            self.unjoinable_private_by_block, other.unjoinable_private_by_block
+        )
+        self.unjoinable_garbage += other.unjoinable_garbage
+        self.unjoinable_public += other.unjoinable_public
+        self.joined_views += other.joined_views
+        self.q2_total += other.q2_total
+        self.r1_total += other.r1_total
+
+    # -- finalizing ------------------------------------------------------
+
+    @property
+    def r2_total(self) -> int:
+        """Joined plus unjoinable responses (``FlowSet.r2_count``)."""
+        return self.joined_views + self.unjoinable_total
+
+    def correctness_table(self) -> CorrectnessTable:
+        return CorrectnessTable(
+            r2=self.joined_views,
+            without_answer=self.without_answer,
+            correct=self.correct,
+            incorrect=self.incorrect,
+        )
+
+    def flag_table(self, flag: str) -> FlagTable:
+        if flag not in ("ra", "aa"):
+            raise ValueError(f"flag must be 'ra' or 'aa': {flag!r}")
+        cells = self.ra_cells if flag == "ra" else self.aa_cells
+        rows = {
+            value: FlagRow(
+                without_answer=bucket[_WITHOUT],
+                correct=bucket[_CORRECT],
+                incorrect=bucket[_INCORRECT],
+            )
+            for value, bucket in cells.items()
+        }
+        return FlagTable(flag=flag.upper(), zero=rows[False], one=rows[True])
+
+    def rcode_table(self) -> RcodeTable:
+        return RcodeTable(
+            with_answer=dict(self.rcode_with),
+            without_answer=dict(self.rcode_without),
+        )
+
+    def estimates(self) -> OpenResolverEstimates:
+        ra_one = self.ra_cells[True]
+        return OpenResolverEstimates(
+            ra_flag_only=sum(ra_one),
+            ra_and_correct=ra_one[_CORRECT],
+            correct_any_flag=self.correct,
+        )
+
+    def empty_question(self) -> EmptyQuestionDetail:
+        summary = EmptyQuestionSummary(
+            total=self.unjoinable_total,
+            with_answer=self.unjoinable_with_answer,
+            correct=0,  # the paper found none of the 19 answers correct
+            ra1=self.unjoinable_ra1,
+            aa1=self.unjoinable_aa1,
+            rcodes=dict(self.unjoinable_rcodes),
+        )
+        return EmptyQuestionDetail(
+            summary=summary,
+            private_answers=self.unjoinable_private,
+            private_by_block=dict(self.unjoinable_private_by_block),
+            garbage_answers=self.unjoinable_garbage,
+            public_answers=self.unjoinable_public,
+        )
+
+    def incorrect_forms(self) -> IncorrectFormsTable:
+        counts = {
+            form: (
+                self.form_packets.get(form, 0),
+                len(self.form_uniques.get(form, ())),
+            )
+            for form in _FORM_ORDER
+        }
+        return IncorrectFormsTable(counts=counts)
+
+    def top_destinations(self, whois, cymon, top: int = 10) -> list[TopDestinationRow]:
+        ranked = sorted(
+            ((ip, entry.count) for ip, entry in self.destinations.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        rows = []
+        for ip, count in ranked[:top]:
+            if is_private(ip):
+                org, reported = "private network", "N/A"
+            else:
+                org = whois.org_name(ip) or "(not in whois)"
+                reported = "Y" if cymon.is_malicious(ip) else "N"
+            rows.append(
+                TopDestinationRow(ip=ip, count=count, org_name=org, reported=reported)
+            )
+        return rows
+
+    def malicious_categories(self, cymon) -> MaliciousCategoryTable:
+        from repro.threatintel.cymon import CATEGORY_ORDER
+
+        unique_by_category: dict[str, int] = {}
+        r2_by_category: dict[str, int] = {}
+        for ip, entry in self.destinations.items():
+            if not cymon.is_malicious(ip):
+                continue
+            category = cymon.dominant_category(ip).value
+            unique_by_category[category] = unique_by_category.get(category, 0) + 1
+            r2_by_category[category] = r2_by_category.get(category, 0) + entry.count
+        rows = tuple(
+            MaliciousCategoryRow(
+                category=category.value,
+                unique_ips=unique_by_category.get(category.value, 0),
+                r2=r2_by_category.get(category.value, 0),
+            )
+            for category in CATEGORY_ORDER
+        )
+        return MaliciousCategoryTable(rows=rows)
+
+    def malicious_flags(self, cymon) -> MaliciousFlagTable:
+        total = ra1 = aa1 = 0
+        for ip, entry in self.destinations.items():
+            if not cymon.is_malicious(ip):
+                continue
+            total += entry.count
+            ra1 += entry.ra1
+            aa1 += entry.aa1
+        return MaliciousFlagTable(
+            ra0=total - ra1, ra1=ra1, aa0=total - aa1, aa1=aa1
+        )
+
+    def country_distribution(self, cymon, geo) -> dict[str, int]:
+        counter: dict[str, int] = {}
+        for (destination, src_ip), count in self.destination_sources.items():
+            if not cymon.is_malicious(destination):
+                continue
+            country = geo.country_of(src_ip) or "??"
+            counter[country] = counter.get(country, 0) + count
+        return dict(
+            sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        )
+
+
+def _merge_counts(into: dict, other: dict) -> None:
+    for key, count in other.items():
+        into[key] = into.get(key, 0) + count
+
+
+def merge_aggregates(aggregates: list[TableAggregate]) -> TableAggregate:
+    """Merge per-shard aggregates (any order yields the same state)."""
+    if not aggregates:
+        raise ValueError("cannot merge zero aggregates")
+    merged = aggregates[0]
+    for aggregate in aggregates[1:]:
+        merged.merge(aggregate)
+    return merged

@@ -1,0 +1,94 @@
+"""Flow-event extraction from the simulated wire (Fig 2, streaming).
+
+The :class:`CaptureSink` implements the network's event-sink protocol
+(:meth:`repro.netsim.network.Network.attach_sink`) and translates raw
+datagram traffic into the paper's four flows, at exactly the points
+where the batch pipeline captures them:
+
+- **Q1** — observed when the prober *transmits* a probe (source is the
+  prober's address and scan port, destination port 53). Counted before
+  loss/blackhole decisions, like ``ProbeCapture.q1_sent``; retransmitted
+  probes appear again, which only refreshes the flow's activity clock.
+- **Q2 + R1** — observed when the authoritative server *transmits* a
+  reply (source is the auth address, port 53). The auth sends exactly
+  one reply per ``query_log`` entry at the same simulated instant, so
+  one reply-send event equals one logged query plus one authoritative
+  response — undecodable junk queries produce neither a log entry nor a
+  reply, and a lost or duplicated reply still counts exactly once, all
+  matching the batch join over ``auth.query_log``.
+- **R2** — observed when a response is *delivered* to the prober's scan
+  port (handler bound), mirroring ``Prober._on_response``: duplicated
+  deliveries fold twice, lost responses never fold.
+
+The qname is lifted from the question section with the same wire reader
+``parse_r2`` uses, so streaming and batch agree on the join key byte
+for byte.
+"""
+
+from __future__ import annotations
+
+from repro.dnslib.buffer import DnsWireError, WireReader
+from repro.netsim.packet import Datagram
+from repro.prober.probe import PROBER_IP
+from repro.stream.assembler import FlowAssembler
+
+#: DNS happens on port 53; replies come *from* it, queries go *to* it.
+DNS_PORT = 53
+
+
+def qname_from_payload(payload: bytes) -> str | None:
+    """The first question's qname, or None for an empty (or truncated)
+    question section — the same answer ``decode_message``/``parse_r2``
+    would give, without decoding the rest of the message."""
+    if len(payload) < 12:
+        return None
+    if int.from_bytes(payload[4:6], "big") == 0:
+        return None
+    try:
+        return WireReader(payload, 12).read_name()
+    except DnsWireError:
+        return None
+
+
+class CaptureSink:
+    """Classifies wire traffic into flow events for a :class:`FlowAssembler`.
+
+    Endpoint filters, not payload heuristics, decide the flow: the
+    prober's (ip, scan port) marks Q1 on send and R2 on delivery, the
+    auth server's (ip, 53) marks a served query on send. Resolver-to-
+    resolver forwarding and root/TLD traffic pass through unobserved,
+    exactly as they are invisible to the batch pipeline's two captures.
+    """
+
+    def __init__(
+        self,
+        assembler: FlowAssembler,
+        auth_ip: str,
+        prober_ip: str = PROBER_IP,
+        source_port: int = 31337,
+    ) -> None:
+        self.assembler = assembler
+        self.auth_ip = auth_ip
+        self.prober_ip = prober_ip
+        self.source_port = source_port
+
+    def on_send(self, now: float, datagram: Datagram) -> None:
+        if datagram.src_ip == self.auth_ip and datagram.src_port == DNS_PORT:
+            # Replies echo the query's question section (or none, for
+            # the FORMERR empty-question case the auth logs as "").
+            self.assembler.on_query_served(
+                now, qname_from_payload(datagram.payload)
+            )
+        elif (
+            datagram.src_ip == self.prober_ip
+            and datagram.src_port == self.source_port
+            and datagram.dst_port == DNS_PORT
+        ):
+            self.assembler.on_q1(now, qname_from_payload(datagram.payload))
+
+    def on_deliver(self, now: float, datagram: Datagram) -> None:
+        if (
+            datagram.dst_ip == self.prober_ip
+            and datagram.dst_port == self.source_port
+        ):
+            self.assembler.on_r2(now, datagram.src_ip, datagram.payload)

@@ -1,0 +1,172 @@
+"""TableAggregate unit laws: fold/batch equivalence and merge algebra."""
+
+import random
+
+import pytest
+
+from repro.analysis.correctness import measure_correctness
+from repro.analysis.empty_question import measure_empty_question
+from repro.analysis.headers import (
+    measure_flag_table,
+    measure_open_resolver_estimates,
+    measure_rcode_table,
+)
+from repro.analysis.incorrect import measure_incorrect_forms
+from repro.prober.capture import R2View
+from repro.stream.aggregate import TableAggregate, merge_aggregates
+
+TRUTH = "10.9.9.9"
+
+
+def _view(
+    qname="or000.0000001.example.net",
+    src_ip="198.51.100.7",
+    answers=None,
+    ra=True,
+    aa=False,
+    rcode=0,
+    malformed=False,
+):
+    answers = answers if answers is not None else [("ip", TRUTH)]
+    return R2View(
+        timestamp=1.0,
+        src_ip=src_ip,
+        ra=ra,
+        aa=aa,
+        rcode=rcode,
+        has_question=qname is not None,
+        qname=qname,
+        answers=answers,
+        malformed_answer=malformed,
+    )
+
+
+def _view_population(seed=1234, count=400):
+    """A messy synthetic view set covering every classification path."""
+    rng = random.Random(seed)
+    views = []
+    for index in range(count):
+        kind = rng.randrange(6)
+        qname = f"or{index:03d}.{index:07d}.example.net"
+        if kind == 0:  # correct
+            views.append(_view(qname=qname, ra=rng.random() < 0.5))
+        elif kind == 1:  # no answer
+            views.append(
+                _view(qname=qname, answers=[], rcode=rng.choice([0, 2, 3, 5]))
+            )
+        elif kind == 2:  # incorrect IP destination (small pool -> collisions)
+            dest = f"203.0.113.{rng.randrange(1, 9)}"
+            views.append(
+                _view(
+                    qname=qname,
+                    src_ip=f"192.0.2.{rng.randrange(1, 60)}",
+                    answers=[("ip", dest)],
+                    ra=rng.random() < 0.7,
+                    aa=rng.random() < 0.2,
+                )
+            )
+        elif kind == 3:  # garbage forms
+            form = rng.choice(["url", "string", "other"])
+            views.append(
+                _view(qname=qname, answers=[(form, f"junk-{rng.randrange(5)}")])
+            )
+        elif kind == 4:  # malformed answer section
+            views.append(_view(qname=qname, answers=[], malformed=True))
+        else:  # unjoinable (empty question)
+            answers = rng.choice(
+                [[], [("ip", "10.0.0.8")], [("ip", "8.8.8.8")],
+                 [("string", "x")]]
+            )
+            views.append(
+                _view(qname=None, answers=answers, rcode=rng.choice([0, 1, 5]))
+            )
+    return views
+
+
+def _fold(views):
+    aggregate = TableAggregate(TRUTH)
+    for view in views:
+        if view.qname is None:
+            aggregate.add_unjoinable(view)
+        else:
+            aggregate.add_view(view)
+    return aggregate
+
+
+def _split(items, parts, rng):
+    buckets = [[] for _ in range(parts)]
+    for item in items:
+        buckets[rng.randrange(parts)].append(item)
+    return buckets
+
+
+class TestFoldBatchEquivalence(object):
+    def test_matches_every_batch_analyzer(self):
+        views = _view_population()
+        joined = [view for view in views if view.qname is not None]
+        unjoinable = [view for view in views if view.qname is None]
+        aggregate = _fold(views)
+        assert aggregate.correctness_table() == measure_correctness(
+            joined, TRUTH
+        )
+        assert aggregate.flag_table("ra") == measure_flag_table(
+            joined, TRUTH, "ra"
+        )
+        assert aggregate.flag_table("aa") == measure_flag_table(
+            joined, TRUTH, "aa"
+        )
+        assert aggregate.rcode_table() == measure_rcode_table(joined)
+        assert aggregate.estimates() == measure_open_resolver_estimates(
+            joined, TRUTH
+        )
+        assert aggregate.incorrect_forms() == measure_incorrect_forms(
+            joined, TRUTH
+        )
+        assert aggregate.empty_question() == measure_empty_question(unjoinable)
+
+    def test_r2_total_counts_joined_plus_unjoinable(self):
+        views = _view_population()
+        aggregate = _fold(views)
+        assert aggregate.r2_total == len(views)
+
+    def test_flag_table_rejects_unknown_flag(self):
+        with pytest.raises(ValueError):
+            TableAggregate(TRUTH).flag_table("rd")
+
+
+class TestMergeLaws(object):
+    def test_merge_equals_single_fold_any_partition(self):
+        views = _view_population()
+        whole = _fold(views)
+        for seed in (1, 2, 3):
+            rng = random.Random(seed)
+            parts = [_fold(bucket) for bucket in _split(views, 4, rng)]
+            rng.shuffle(parts)
+            merged = merge_aggregates(parts)
+            assert merged == whole
+
+    def test_merge_is_commutative(self):
+        views = _view_population()
+        rng = random.Random(99)
+        a_views, b_views = _split(views, 2, rng)
+        ab = _fold(a_views)
+        ab.merge(_fold(b_views))
+        ba = _fold(b_views)
+        ba.merge(_fold(a_views))
+        assert ab == ba
+
+    def test_merge_rejects_mismatched_truth(self):
+        with pytest.raises(ValueError):
+            TableAggregate(TRUTH).merge(TableAggregate("10.1.1.1"))
+
+    def test_merge_zero_aggregates_rejected(self):
+        with pytest.raises(ValueError):
+            merge_aggregates([])
+
+    def test_counts_are_additive(self):
+        left = TableAggregate(TRUTH)
+        left.add_counts(3, 3)
+        right = TableAggregate(TRUTH)
+        right.add_counts(4, 4)
+        left.merge(right)
+        assert left.q2_total == left.r1_total == 7

@@ -1,0 +1,135 @@
+"""FlowAssembler unit behavior: online join, eviction, folding."""
+
+import pytest
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.records import AData, ResourceRecord
+from repro.dnslib.wire import encode_message
+from repro.stream.aggregate import TableAggregate
+from repro.stream.assembler import FlowAssembler
+
+TRUTH = "10.9.9.9"
+QNAME = "or000.0000001.ucfsealresearch.net"
+
+
+def r2_payload(qname=QNAME, answer_ip=TRUTH, ra=True):
+    query = make_query(qname, msg_id=7)
+    answers = (
+        [ResourceRecord(qname, QueryType.A, data=AData(answer_ip))]
+        if answer_ip is not None else []
+    )
+    return encode_message(make_response(query, answers=answers, ra=ra))
+
+
+def empty_question_payload():
+    query = make_query(QNAME, msg_id=9)
+    return encode_message(make_response(query, copy_question=False))
+
+
+def make_assembler(**kwargs):
+    aggregate = TableAggregate(TRUTH)
+    kwargs.setdefault("response_window", 5.0)
+    return FlowAssembler(aggregate, **kwargs), aggregate
+
+
+class TestOnlineJoin(object):
+    def test_answered_flow_folds_once_on_close(self):
+        assembler, aggregate = make_assembler()
+        assembler.on_q1(0.0, QNAME)
+        assembler.on_query_served(0.1, QNAME)
+        assembler.on_r2(0.2, "198.51.100.7", r2_payload())
+        assembler.close()
+        assert aggregate.joined_views == 1
+        assert aggregate.correct == 1
+        assert aggregate.q2_total == aggregate.r1_total == 1
+
+    def test_last_r2_wins_like_batch_join(self):
+        assembler, aggregate = make_assembler()
+        assembler.on_q1(0.0, QNAME)
+        assembler.on_r2(0.2, "198.51.100.7", r2_payload(answer_ip=TRUTH))
+        assembler.on_r2(0.3, "198.51.100.7", r2_payload(answer_ip="6.6.6.6"))
+        assembler.close()
+        assert aggregate.joined_views == 1
+        assert aggregate.correct == 0
+        assert aggregate.incorrect == 1
+
+    def test_empty_question_folds_immediately_as_unjoinable(self):
+        assembler, aggregate = make_assembler()
+        assembler.on_r2(0.1, "198.51.100.7", empty_question_payload())
+        assert aggregate.unjoinable_total == 1
+        assert assembler.live_flows == 0
+
+    def test_formerr_reply_joins_the_empty_qname_flow(self):
+        # The auth logs undecodable-question queries under qname "";
+        # the sink maps a question-less reply send to the same key.
+        assembler, aggregate = make_assembler()
+        assembler.on_query_served(0.1, None)
+        assembler.close()
+        assert aggregate.q2_total == 1
+        assert aggregate.joined_views == 0
+
+
+class TestEviction(object):
+    def test_settled_flow_evicted_after_horizon(self):
+        assembler, aggregate = make_assembler(
+            response_window=5.0, lateness=5.0
+        )
+        assembler.on_q1(0.0, QNAME)
+        assembler.on_r2(0.2, "198.51.100.7", r2_payload())
+        assert assembler.live_flows == 1
+        assembler.on_q1(30.0, "or001.0000002.ucfsealresearch.net")
+        assert assembler.live_flows == 1  # old one gone, new one live
+        assert assembler.stats.flows_evicted == 1
+        assert aggregate.joined_views == 1  # folded at eviction, not close
+
+    def test_activity_within_horizon_blocks_eviction(self):
+        assembler, _ = make_assembler(response_window=5.0, lateness=0.0)
+        assembler.on_q1(0.0, QNAME)
+        for now in (4.0, 8.0, 12.0):
+            assembler.on_query_served(now, QNAME)
+        assembler.sweep(16.9)  # last activity 12.0 + horizon 5.0 = 17.0
+        assert assembler.live_flows == 1
+        assembler.sweep(17.1)
+        assert assembler.live_flows == 0
+
+    def test_unanswered_eviction_keeps_counts_additive(self):
+        # A qname evicted unanswered and later reused must contribute
+        # the sum of both incarnations' Q2/R1 counts, like the batch
+        # join over the full query log.
+        assembler, aggregate = make_assembler(
+            response_window=5.0, lateness=0.0
+        )
+        assembler.on_query_served(0.0, QNAME)
+        assembler.sweep(100.0)
+        assembler.on_query_served(200.0, QNAME)
+        assembler.close()
+        assert aggregate.q2_total == 2
+        assert aggregate.joined_views == 0
+
+    def test_peak_live_flows_tracks_high_water_mark(self):
+        assembler, _ = make_assembler()
+        for index in range(5):
+            assembler.on_q1(0.0, f"or{index:03d}.0000001.ucfsealresearch.net")
+        assembler.close()
+        assert assembler.stats.peak_live_flows == 5
+        assert assembler.live_flows == 0
+
+    def test_close_is_idempotent_for_counts(self):
+        assembler, aggregate = make_assembler()
+        assembler.on_q1(0.0, QNAME)
+        assembler.on_r2(0.2, "198.51.100.7", r2_payload())
+        assembler.close()
+        assembler.close()
+        assert aggregate.joined_views == 1
+
+
+class TestValidation(object):
+    def test_bad_parameters_rejected(self):
+        aggregate = TableAggregate(TRUTH)
+        with pytest.raises(ValueError):
+            FlowAssembler(aggregate, response_window=0.0)
+        with pytest.raises(ValueError):
+            FlowAssembler(aggregate, response_window=5.0, lateness=-1.0)
+        with pytest.raises(ValueError):
+            FlowAssembler(aggregate, response_window=5.0, sweep_interval=0.0)

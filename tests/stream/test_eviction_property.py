@@ -1,0 +1,139 @@
+"""Seeded property test: eviction never races a live response.
+
+The assembler's safety claim (DESIGN.md §7): a flow that will still
+receive an R2 within ``response_window`` of its last activity is never
+evicted first. Each example derives a randomized schedule — staggered
+Q1s, retransmissions, in-window and badly late responses, fault-style
+duplication (≤50 ms extra copies) and reordering jitter — replays it
+through a :class:`FlowAssembler` that records every eviction, and then
+checks the recorded evictions against the ground-truth schedule. It
+also pins the end state to the offline batch join over the same
+events, so "nothing dropped" is verified by equivalence too, not just
+by the eviction log.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.records import AData, ResourceRecord
+from repro.dnslib.wire import encode_message
+from repro.prober.capture import R2Record, join_flows
+from repro.stream.aggregate import TableAggregate
+from repro.stream.assembler import FlowAssembler
+
+TRUTH = "10.9.9.9"
+RESPONSE_WINDOW = 5.0
+#: Same slack the campaign pipeline uses (lateness defaults to the
+#: response window), so the property tests the shipped configuration.
+HORIZON = RESPONSE_WINDOW * 2
+#: faults.py duplicates a delivery 1-50 ms after the original.
+DUPLICATE_EXTRA = 0.05
+
+
+class RecordingAssembler(FlowAssembler):
+    """A FlowAssembler that logs (qname, watermark) for every eviction."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.evictions = []
+
+    def sweep(self, watermark):
+        before = set(self._flows)
+        evicted = super().sweep(watermark)
+        for qname in before - set(self._flows):
+            self.evictions.append((qname, watermark))
+        return evicted
+
+
+def _payload(qname, answer_ip):
+    query = make_query(qname, msg_id=1)
+    answers = (
+        [ResourceRecord(qname, QueryType.A, data=AData(answer_ip))]
+        if answer_ip else []
+    )
+    return encode_message(make_response(query, answers=answers, ra=True))
+
+
+def _schedule(seed):
+    """A randomized, fault-shaped event timeline for ~30 flows."""
+    rng = random.Random(seed)
+    events = []  # (time, kind, qname, payload)
+    activities = {}  # qname -> sorted activity times (Q1/Q2 sends)
+    r2_times = {}  # qname -> list of delivery times
+    for index in range(rng.randrange(10, 35)):
+        qname = f"or{index % 1000:03d}.{index:07d}.ucfsealresearch.net"
+        q1 = rng.uniform(0.0, 60.0)
+        touches = [q1]
+        events.append((q1, "q1", qname, None))
+        if rng.random() < 0.3:  # retransmission, ZDNS-style
+            retry = q1 + 1.5
+            touches.append(retry)
+            events.append((retry, "q1", qname, None))
+        if rng.random() < 0.5:  # the auth served this probe's Q2
+            q2 = q1 + rng.uniform(0.01, 0.5)
+            touches.append(q2)
+            events.append((q2, "q2", qname, None))
+        answered = rng.random() < 0.7
+        if answered:
+            if rng.random() < 0.8:  # within the prober's window
+                delay = rng.uniform(0.01, RESPONSE_WINDOW)
+            else:  # badly late: past the full eviction horizon
+                delay = rng.uniform(HORIZON + 1.0, HORIZON + 30.0)
+            answer = rng.choice([TRUTH, "203.0.113.9", None])
+            base = max(touches) + delay + rng.uniform(0.0, 0.2)  # jitter
+            deliveries = [base]
+            if rng.random() < 0.2:  # fault-injected duplicate copy
+                deliveries.append(base + rng.uniform(0.001, DUPLICATE_EXTRA))
+            payload = _payload(qname, answer)
+            for at in deliveries:
+                events.append((at, "r2", qname, payload))
+            r2_times[qname] = deliveries
+        activities[qname] = sorted(touches)
+    events.sort(key=lambda event: (event[0], event[1]))
+    return events, activities, r2_times
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_eviction_never_drops_a_flow_awaiting_an_in_window_r2(seed):
+    events, activities, r2_times = _schedule(seed)
+    assembler = RecordingAssembler(
+        TableAggregate(TRUTH), response_window=RESPONSE_WINDOW
+    )
+    records = []
+    for at, kind, qname, payload in events:
+        if kind == "q1":
+            assembler.on_q1(at, qname)
+        elif kind == "q2":
+            assembler.on_query_served(at, qname)
+        else:
+            assembler.on_r2(at, "198.51.100.7", payload)
+            records.append(R2Record(at, "198.51.100.7", payload))
+    aggregate = assembler.close()
+
+    # Safety: no eviction may precede an R2 the flow was still owed.
+    for qname, watermark in assembler.evictions:
+        pre_eviction = [t for t in activities[qname] if t < watermark]
+        last_activity = max(pre_eviction) if pre_eviction else None
+        for delivery in r2_times.get(qname, []):
+            if delivery >= watermark and last_activity is not None:
+                assert delivery > last_activity + RESPONSE_WINDOW, (
+                    f"{qname} evicted at {watermark} but an R2 due at "
+                    f"{delivery} was within the response window of its "
+                    f"last activity {last_activity}"
+                )
+
+    # Equivalence: the folded state matches the offline batch join.
+    flow_set = join_flows(records)
+    expected = TableAggregate(TRUTH)
+    for view in flow_set.views:
+        expected.add_view(view)
+    for view in flow_set.unjoinable:
+        expected.add_unjoinable(view)
+    q2_count = sum(1 for _, kind, _, _ in events if kind == "q2")
+    expected.add_counts(q2_count, q2_count)
+    assert aggregate == expected
