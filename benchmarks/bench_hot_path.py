@@ -1,0 +1,141 @@
+"""Hot-path benchmark: probes/sec, events/sec, allocations per probe.
+
+Times one serial (``--workers 1``) campaign end to end and reports the
+event-loop throughput numbers the wire-level fast paths are judged by:
+
+- **probes/sec** — Q1 targets walked per wall-clock second, the
+  end-to-end figure of merit (permutation walk, subdomain allocation,
+  template encode, scheduler, delivery, analysis all included);
+- **events/sec** — scheduler events fired per second, the pure
+  event-engine rate;
+- **allocations per probe** — tracemalloc-observed allocation traffic
+  of a smaller instrumented run, normalized per probe, so regressions
+  that re-introduce per-datagram garbage are caught even when wall
+  clock hides them on a fast machine.
+
+Results land in ``benchmarks/results/BENCH_hot_path.json`` with two
+sections: ``baseline`` (the committed pre-fast-path measurement, only
+ever rewritten by hand) and ``current`` (rewritten on every run). The
+test fails when current probes/sec regresses more than
+``REGRESSION_TOLERANCE`` against the committed baseline's
+``post_fastpath`` run — the CI perf-smoke contract.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_hot_path.py``)
+or through pytest (``pytest benchmarks/bench_hot_path.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import tracemalloc
+
+from repro.core import Campaign, CampaignConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_hot_path.json"
+
+SEED = 7
+
+#: The timed end-to-end run: big enough that per-probe costs dominate
+#: setup, small enough for a CI smoke job.
+TIMED_CONFIG = CampaignConfig(
+    year=2018, scale=4096, seed=SEED, time_compression=4.0
+)
+
+#: The tracemalloc run is ~4x slower under instrumentation, so it uses
+#: a coarser scale; allocation *per probe* is scale-independent.
+ALLOC_CONFIG = CampaignConfig(
+    year=2018, scale=65536, seed=SEED, time_compression=4.0
+)
+
+#: CI fails when probes/sec drops more than this fraction below the
+#: committed baseline's post-fast-path figure.
+REGRESSION_TOLERANCE = 0.20
+
+
+def measure_timed_run(config: CampaignConfig = TIMED_CONFIG) -> dict:
+    """One serial campaign, timed; returns the throughput record."""
+    start = time.perf_counter()
+    result = Campaign(config).run()
+    wall = time.perf_counter() - start
+    events = result.network.scheduler.processed
+    q1 = result.probe_summary.q1
+    return {
+        "year": config.year,
+        "scale": config.scale,
+        "seed": config.seed,
+        "workers": 1,
+        "q1": q1,
+        "r2": result.probe_summary.r2,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "probes_per_sec": round(q1 / wall, 1),
+        "events_per_sec": round(events / wall, 1),
+    }
+
+
+def measure_allocations(config: CampaignConfig = ALLOC_CONFIG) -> dict:
+    """A tracemalloc-instrumented run; returns per-probe allocation stats."""
+    tracemalloc.start()
+    try:
+        result = Campaign(config).run()
+        snapshot = tracemalloc.take_snapshot()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    q1 = result.probe_summary.q1
+    live_blocks = sum(stat.count for stat in snapshot.statistics("filename"))
+    return {
+        "scale": config.scale,
+        "q1": q1,
+        "peak_bytes": peak,
+        "live_blocks": live_blocks,
+        "peak_bytes_per_probe": round(peak / q1, 2),
+        "live_blocks_per_probe": round(live_blocks / q1, 4),
+    }
+
+
+def run_benchmark() -> dict:
+    """Measure, merge with the committed baseline, write the JSON."""
+    current = {
+        "timed": measure_timed_run(),
+        "allocations": measure_allocations(),
+    }
+    record: dict = {"benchmark": "hot_path"}
+    if RESULT_FILE.exists():
+        record = json.loads(RESULT_FILE.read_text())
+    record["current"] = current
+    baseline = record.get("baseline")
+    if baseline is not None:
+        before = baseline.get("pre_fastpath", {}).get("probes_per_sec")
+        if before:
+            record["speedup_vs_pre_fastpath"] = round(
+                current["timed"]["probes_per_sec"] / before, 2
+            )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def test_hot_path_benchmark():
+    record = run_benchmark()
+    current = record["current"]["timed"]
+    assert current["q1"] > 0
+    baseline = record.get("baseline")
+    if baseline is None:
+        return  # first measurement: nothing to regress against
+    reference = baseline.get("post_fastpath", {}).get("probes_per_sec")
+    if reference:
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        assert current["probes_per_sec"] >= floor, (
+            f"hot-path regression: {current['probes_per_sec']:.0f} probes/s "
+            f"is more than {REGRESSION_TOLERANCE:.0%} below the committed "
+            f"baseline of {reference:.0f} probes/s"
+        )
+
+
+if __name__ == "__main__":
+    report = run_benchmark()
+    print(json.dumps(report, indent=2, sort_keys=True))

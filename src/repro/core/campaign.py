@@ -52,7 +52,7 @@ from repro.prober.probe import (
     Prober,
     RetryPolicy,
 )
-from repro.prober.zmap import probe_order
+from repro.prober.zmap import probe_list
 from repro.resolvers.apportion import scale_count
 from repro.resolvers.population import PopulationSampler, SampledPopulation
 from repro.resolvers.profiles import YearProfile, profile_for_year
@@ -310,7 +310,7 @@ class Campaign:
     def build_universe(self) -> list[int]:
         """The scaled universe: exactly the addresses the prober will walk."""
         q1_target = scale_count(self.profile.q1_full, self.config.scale)
-        return list(probe_order(seed=self.config.seed, limit=q1_target))
+        return probe_list(seed=self.config.seed, limit=q1_target)
 
     def run(
         self,
@@ -370,18 +370,20 @@ class Campaign:
             )
         )
         q1_target = scale_count(self.profile.q1_full, config.scale)
+        universe: list[int] | None = None
         if population_override is not None:
             # The universe list is O(probes) of ints — by far the
             # largest single allocation in a run. A pre-built
             # population was sampled from it already, so skip it.
             population = population_override
         else:
+            universe = self.build_universe()
             population = PopulationSampler(
                 self.profile,
                 scale=config.scale,
                 seed=config.seed,
                 excluded_ips=infrastructure,
-                universe=self.build_universe(),
+                universe=universe,
             ).sample()
         software_map: dict[str, object] = {}
         banners: dict[str, str | None] = {}
@@ -414,6 +416,14 @@ class Campaign:
             sld=hierarchy.sld,
             record_sent_log=config.record_sent_log,
             retry=config.retry_policy(),
+            # The universe IS the prober's walk (same seed, same
+            # limit): hand it over so the prober does not repeat the
+            # whole permutation a second time.
+            addresses=(
+                tuple(universe)
+                if universe is not None and len(universe) == q1_target
+                else None
+            ),
         )
         pipeline: StreamPipeline | None = None
         if config.mode == "stream":

@@ -1,0 +1,493 @@
+"""Wire-level fast paths: template codecs and zero-copy partial parsers.
+
+A campaign simulates millions of datagrams whose DNS payloads are
+almost entirely *shape-constant*: every Q1 query differs only in its
+message id and the fixed-width digits of its subdomain, every
+authoritative answer differs only in the id and the question bytes it
+echoes, and a FABRICATE host's response depends on the query only
+through (msg_id, question). Paying ``DnsMessage`` + ``WireWriter``
+construction per packet is pure overhead — ZMap makes the same
+observation for real probe traffic and reuses one pre-built packet
+buffer per scan.
+
+This module supplies that layer:
+
+- :func:`build_query_wire` — a query encoder that emits exactly the
+  bytes of ``encode_message(make_query(...))`` without building either
+  object;
+- :class:`Q1Template` — a pre-encoded probe query; rendering patches
+  the message id and the fixed-width cluster/index digits into a
+  reusable buffer;
+- :func:`peek_header` / :func:`peek_msg_id` / :func:`peek_qname` —
+  zero-copy partial parsers for the receive paths that only need a
+  field or two;
+- :func:`parse_simple_query` — a strict single-question parser whose
+  acceptance set is a *subset* of ``decode_message``'s, guaranteeing a
+  :class:`FastQuery` is interchangeable with the decoded message;
+- :func:`peek_single_a_response` — recognizer for the canonical
+  single-A authoritative answer shape;
+- :class:`TemplateCache` — verified response templates: responses are
+  encoded once per shape through the slow path, then replayed by
+  patching the id and question span, with the first renders
+  byte-compared against the slow encoder before the template is
+  trusted.
+
+The contract everywhere is *byte identity*: a fast path either
+produces exactly the bytes the object codec would have produced, or it
+steps aside and the slow path runs. Tables II-X cannot tell the
+difference; only the wall clock can.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dnslib.constants import DnsClass, QueryType
+from repro.dnslib.message import DnsFlags, DnsHeader, DnsMessage, Question
+from repro.dnslib.names import normalize_name
+from repro.dnslib.wire import encode_message
+
+__all__ = [
+    "build_query_wire",
+    "Q1Template",
+    "peek_header",
+    "peek_msg_id",
+    "peek_qname",
+    "parse_simple_query",
+    "peek_single_a_response",
+    "FastQuery",
+    "TemplateCache",
+]
+
+_HEADER = struct.Struct(">6H")
+_QUERY_HEAD = struct.Struct(">6H")
+_RD_FLAG = 0x0100
+
+
+def build_query_wire(
+    qname: str,
+    qtype: "QueryType | int" = QueryType.A,
+    msg_id: int = 0,
+    recursion_desired: bool = True,
+    qclass: "DnsClass | int" = DnsClass.IN,
+) -> bytes:
+    """Encode a single-question query directly to bytes.
+
+    Byte-identical to ``encode_message(make_query(qname, qtype, msg_id,
+    recursion_desired))`` — the first name written never compresses, so
+    the wire is a pure function of the arguments.
+    """
+    name = normalize_name(qname)
+    out = bytearray(12)
+    _QUERY_HEAD.pack_into(
+        out, 0,
+        msg_id & 0xFFFF, _RD_FLAG if recursion_desired else 0, 1, 0, 0, 0,
+    )
+    for label in name.split("."):
+        encoded = label.encode("ascii", errors="replace")
+        out.append(len(encoded))
+        out += encoded
+    out.append(0)
+    out += struct.pack(">HH", int(qtype), int(qclass))
+    return bytes(out)
+
+
+def peek_header(wire: bytes) -> tuple[int, int, int, int, int, int] | None:
+    """The six header words (id, flags, qd, an, ns, ar), or None if short."""
+    if len(wire) < 12:
+        return None
+    return _HEADER.unpack_from(wire)
+
+
+def peek_msg_id(wire: bytes) -> int | None:
+    """Just the message id, or None if the wire is shorter than a header."""
+    if len(wire) < 2:
+        return None
+    return wire[0] << 8 | wire[1]
+
+
+def peek_qname(payload: bytes) -> str | None:
+    """Lenient first-qname extraction, tolerant of malformed packets.
+
+    Mirrors the prober's historical inline parser byte for byte: it
+    reads plain labels from offset 12 until a terminator, a pointer, or
+    the end of the buffer, and never raises. Compression pointers and
+    truncation simply end the walk — callers only use the result as a
+    lookup key, so a partial name that fails the lookup is equivalent
+    to a parse failure.
+    """
+    if len(payload) < 14 or payload[4] == 0 and payload[5] == 0:
+        return None
+    labels = []
+    offset = 12
+    length = len(payload)
+    while offset < length:
+        label_len = payload[offset]
+        if label_len == 0 or label_len & 0xC0:
+            break
+        labels.append(
+            payload[offset + 1:offset + 1 + label_len].decode(
+                "ascii", errors="replace"
+            )
+        )
+        offset += 1 + label_len
+    return ".".join(labels).lower()
+
+
+# Characters that survive ``read_name``'s decode + ``.lower()`` and the
+# ``Question`` normalization untouched: printable ASCII, no dot, no
+# uppercase. Queries using anything else take the slow path, where the
+# full codec applies its canonicalization.
+_SAFE_LABEL_BYTE = bytearray(256)
+for _b in range(0x21, 0x7F):
+    _SAFE_LABEL_BYTE[_b] = 1
+_SAFE_LABEL_BYTE[0x2E] = 0  # "."
+for _b in range(0x41, 0x5B):  # A-Z
+    _SAFE_LABEL_BYTE[_b] = 0
+
+#: Classes the fast path will carry; anything exotic goes slow.
+_KNOWN_CLASSES = frozenset(int(member) for member in DnsClass)
+
+
+class FastQuery:
+    """A strictly-parsed single-question query.
+
+    Produced only by :func:`parse_simple_query`; carries the raw fields
+    plus the verbatim question bytes (name + qtype + qclass) so
+    responders can echo the question without re-encoding it.
+    """
+
+    __slots__ = ("msg_id", "flags_word", "qname", "qtype", "qclass",
+                 "question_wire")
+
+    def __init__(self, msg_id, flags_word, qname, qtype, qclass,
+                 question_wire):
+        self.msg_id = msg_id
+        self.flags_word = flags_word
+        self.qname = qname
+        self.qtype = qtype
+        self.qclass = qclass
+        self.question_wire = question_wire
+
+    def to_message(self) -> DnsMessage:
+        """Exactly what ``decode_message`` would build for this query."""
+        flags, opcode, rcode = DnsFlags.from_int(self.flags_word)
+        return DnsMessage(
+            header=DnsHeader(
+                msg_id=self.msg_id, flags=flags, opcode=opcode, rcode=rcode
+            ),
+            questions=[
+                Question(self.qname, QueryType.from_value(self.qtype),
+                         self.qclass)
+            ],
+        )
+
+
+def parse_simple_query(payload: bytes) -> FastQuery | None:
+    """Parse the common probe-query shape, or refuse.
+
+    Accepts only: QUERY opcode, qr=0, exactly one question, zero
+    answer/authority/additional records (hence no EDNS), a non-root
+    name of plain lower-case printable labels totalling at most 254
+    encoded bytes, a known DNS class, and no trailing bytes. Every
+    accepted payload decodes identically under ``decode_message`` —
+    the strict gate is what makes :class:`FastQuery` interchangeable
+    with the slow path. Anything else returns ``None``.
+    """
+    if len(payload) < 17:  # header + 1-byte label + terminator + qtype/qclass
+        return None
+    flags_word = payload[2] << 8 | payload[3]
+    if flags_word & 0xF800:  # response bit or non-QUERY opcode
+        return None
+    if payload[4:12] != b"\x00\x01\x00\x00\x00\x00\x00\x00":
+        return None
+    safe = _SAFE_LABEL_BYTE
+    labels = []
+    offset = 12
+    end = len(payload)
+    while True:
+        if offset >= end:
+            return None
+        label_len = payload[offset]
+        if label_len == 0:
+            offset += 1
+            break
+        if label_len & 0xC0:
+            return None
+        stop = offset + 1 + label_len
+        if stop > end:
+            return None
+        for index in range(offset + 1, stop):
+            if not safe[payload[index]]:
+                return None
+        labels.append(payload[offset + 1:stop].decode("ascii"))
+        offset = stop
+    if not labels or offset - 12 > 254:
+        return None
+    if offset + 4 != end:
+        return None
+    qclass = payload[offset + 2] << 8 | payload[offset + 3]
+    if qclass not in _KNOWN_CLASSES:
+        return None
+    return FastQuery(
+        payload[0] << 8 | payload[1],
+        flags_word,
+        ".".join(labels),
+        payload[offset] << 8 | payload[offset + 1],
+        qclass,
+        payload[12:],
+    )
+
+
+def peek_single_a_response(
+    payload: bytes,
+) -> tuple[int, bytes, int, bytes] | None:
+    """Recognize the canonical single-A authoritative answer.
+
+    Matches exactly the shape ``encode_message`` produces for an
+    aa=1, rd=0, NOERROR response with one plain-label question and one
+    A record owned by the qname (compressed to a pointer at offset 12):
+    returns ``(msg_id, question_wire, ttl, addr_bytes)``. Anything else
+    — other flags, other counts, other record layouts — returns None
+    and the caller falls back to ``decode_message``.
+    """
+    end = len(payload)
+    if end < 12 + 2 + 4 + 16:  # header + shortest name + qsuffix + answer
+        return None
+    if payload[2] != 0x84 or payload[3] != 0x00:
+        return None
+    if payload[4:12] != b"\x00\x01\x00\x01\x00\x00\x00\x00":
+        return None
+    offset = 12
+    while True:
+        if offset >= end:
+            return None
+        label_len = payload[offset]
+        if label_len == 0:
+            offset += 1
+            break
+        if label_len & 0xC0:
+            return None
+        offset += 1 + label_len
+    qend = offset + 4
+    if end - qend != 16:
+        return None
+    answer = payload[qend:]
+    if (
+        answer[0:6] != b"\xc0\x0c\x00\x01\x00\x01"
+        or answer[10:12] != b"\x00\x04"
+    ):
+        return None
+    return (
+        payload[0] << 8 | payload[1],
+        payload[12:qend],
+        int.from_bytes(answer[6:10], "big"),
+        answer[12:16],
+    )
+
+
+class Q1Template:
+    """Pre-encoded probe query: patch msg_id + digits, never re-encode.
+
+    The subdomain scheme mints fixed-width qnames
+    (``or<CCC>x<IIIIIII>.<sld>``), so every probe query in a campaign
+    has identical length and differs only at known offsets. The
+    template is built once from the slow codec and self-checked against
+    ``encode_message(make_query(...))`` at both corners of the digit
+    space; construction raises ``ValueError`` if the scheme's qnames
+    are not fixed-width patchable, and callers fall back to per-probe
+    encoding.
+    """
+
+    __slots__ = ("_buf", "_c0", "_c1", "_i0", "_i1", "_cfmt", "_ifmt",
+                 "wire_size")
+
+    def __init__(self, scheme, qtype=QueryType.A,
+                 recursion_desired: bool = True) -> None:
+        base = build_query_wire(
+            scheme.qname(0, 0), qtype=qtype, msg_id=0,
+            recursion_desired=recursion_desired,
+        )
+        self._buf = bytearray(base)
+        # Layout: header(12) | len | prefix cluster-digits | ... the
+        # first label is "<prefix><CCC>x<IIIIIII>".
+        prefix_len = len(scheme.prefix)
+        self._c0 = 13 + prefix_len
+        self._c1 = self._c0 + scheme.cluster_digits
+        self._i0 = self._c1 + 1
+        self._i1 = self._i0 + scheme.index_digits
+        self._cfmt = b"%%0%dd" % scheme.cluster_digits
+        self._ifmt = b"%%0%dd" % scheme.index_digits
+        self.wire_size = len(base)
+        for cluster, index, msg_id in (
+            (0, 0, 1),
+            (10 ** scheme.cluster_digits - 1,
+             10 ** scheme.index_digits - 1, 0xFFFF),
+        ):
+            got = self.render(cluster, index, msg_id)
+            want = encode_wire_reference(
+                scheme.qname(cluster, index), qtype, msg_id,
+                recursion_desired,
+            )
+            if got != want:
+                raise ValueError("subdomain scheme is not template-patchable")
+
+    def render(self, cluster: int, index: int, msg_id: int) -> bytes:
+        """The wire for probe (cluster, index) with the given id."""
+        buf = self._buf
+        buf[0] = msg_id >> 8 & 0xFF
+        buf[1] = msg_id & 0xFF
+        buf[self._c0:self._c1] = self._cfmt % cluster
+        buf[self._i0:self._i1] = self._ifmt % index
+        return bytes(buf)
+
+
+def encode_wire_reference(qname, qtype, msg_id, recursion_desired) -> bytes:
+    """The slow-path bytes for a query — the oracle templates check against."""
+    from repro.dnslib.message import make_query
+
+    return encode_message(
+        make_query(qname, qtype=qtype, msg_id=msg_id,
+                   recursion_desired=recursion_desired)
+    )
+
+
+def _label_suffixes(name: str) -> list[str]:
+    """Every whole-label suffix of a dotted name, longest first."""
+    labels = name.split(".")
+    return [".".join(labels[start:]) for start in range(len(labels))]
+
+
+def _is_name_suffix(qname: str, suffix: str) -> bool:
+    """True when ``suffix`` is a whole-label suffix of ``qname``."""
+    return qname == suffix or qname.endswith("." + suffix)
+
+
+class _ResponseTemplate:
+    """One verified head|span|tail response template.
+
+    ``encode_message`` lays a response out as a 12-byte header, then
+    the question section (or, with no question, the first answer's
+    owner name) starting at offset 12, then bytes that do not depend on
+    the query: later names referencing the qname compress to a pointer
+    at the *constant* offset 12 no matter what the qname is, because
+    the full name's suffix chain is recorded when the first name is
+    written. So a response is re-rendered for a new query by patching
+    the message id into the head and splicing the new question bytes
+    into the span.
+
+    The one content dependence is rdata *name compression against the
+    qname* (CNAME answers): whether the target compresses depends on
+    whether it is a whole-label suffix of the qname, and the pointer
+    offsets depend on the qname length. ``guard_names`` captures the
+    names at risk; :meth:`matches` only accepts queries whose
+    suffix-match profile (and, when names are guarded, qname length)
+    equals the sample's. On top of the structural argument, the first
+    renders for *distinct* qnames are byte-compared against the slow
+    encoder before the template is trusted (see
+    :class:`TemplateCache`).
+    """
+
+    __slots__ = ("dead", "_head", "_tail", "_span_mode", "sample_qname",
+                 "_sample_len", "_suffixes", "_suffix_hits",
+                 "remaining_verifies")
+
+    SPAN_QUESTION = 0  # span = name + qtype + qclass (question echoed)
+    SPAN_NAME = 1      # span = name only (empty question, answers present)
+    SPAN_NONE = 2      # header-only response
+
+    def __init__(self, sample: FastQuery, slow_wire: bytes,
+                 guard_names: tuple[str, ...], verifies: int) -> None:
+        self.dead = True
+        qspan = sample.question_wire
+        if slow_wire[12:12 + len(qspan)] == qspan:
+            self._span_mode = self.SPAN_QUESTION
+            span_len = len(qspan)
+        elif slow_wire[12:12 + len(qspan) - 4] == qspan[:-4]:
+            self._span_mode = self.SPAN_NAME
+            span_len = len(qspan) - 4
+        elif len(slow_wire) == 12:
+            self._span_mode = self.SPAN_NONE
+            span_len = 0
+        else:
+            return
+        self._head = slow_wire[:12]
+        self._tail = slow_wire[12 + span_len:]
+        self.sample_qname = sample.qname
+        self._sample_len = len(sample.qname)
+        suffixes: list[str] = []
+        hits: list[bool] = []
+        for name in guard_names:
+            for suffix in _label_suffixes(name):
+                suffixes.append(suffix)
+                hits.append(_is_name_suffix(sample.qname, suffix))
+        self._suffixes = tuple(suffixes)
+        self._suffix_hits = tuple(hits)
+        self.remaining_verifies = verifies
+        self.dead = False
+
+    def matches(self, query: FastQuery) -> bool:
+        """True when the structural argument covers this query."""
+        if not self._suffixes:
+            return True
+        qname = query.qname
+        if len(qname) != self._sample_len:
+            return False
+        for suffix, hit in zip(self._suffixes, self._suffix_hits):
+            if _is_name_suffix(qname, suffix) != hit:
+                return False
+        return True
+
+    def render(self, query: FastQuery) -> bytes:
+        if self._span_mode == self.SPAN_QUESTION:
+            span = query.question_wire
+        elif self._span_mode == self.SPAN_NAME:
+            span = query.question_wire[:-4]
+        else:
+            span = b""
+        head = bytearray(self._head)
+        head[0] = query.msg_id >> 8 & 0xFF
+        head[1] = query.msg_id & 0xFF
+        return bytes(head) + span + self._tail
+
+
+class TemplateCache:
+    """Per-shape cache of verified response templates.
+
+    ``render(key, query, slow_render)`` always returns exactly the
+    bytes ``slow_render()`` would: the first call per key runs the slow
+    encoder and derives a template from its output; the next renders
+    for *distinct* qnames are computed both ways and byte-compared
+    (mismatch retires the template permanently and ships the slow
+    bytes); only then does the patched fast render fly solo. Keys must
+    capture everything the response depends on besides (msg_id, qname)
+    — callers put qtype, qclass, the rd bit, and any answer content in
+    the key.
+    """
+
+    __slots__ = ("_entries", "_verifies")
+
+    def __init__(self, verify_renders: int = 2) -> None:
+        self._entries: dict = {}
+        self._verifies = verify_renders
+
+    def render(self, key, query: FastQuery, slow_render,
+               guard_names: tuple[str, ...] = ()) -> bytes:
+        entry = self._entries.get(key)
+        if entry is None:
+            slow = slow_render()
+            self._entries[key] = _ResponseTemplate(
+                query, slow, guard_names, self._verifies
+            )
+            return slow
+        if entry.dead or not entry.matches(query):
+            return slow_render()
+        if entry.remaining_verifies > 0:
+            slow = slow_render()
+            if entry.render(query) != slow:
+                entry.dead = True
+                return slow
+            if query.qname != entry.sample_qname:
+                entry.remaining_verifies -= 1
+            return slow
+        return entry.render(query)

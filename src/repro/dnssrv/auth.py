@@ -18,7 +18,9 @@ from __future__ import annotations
 import dataclasses
 
 from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.fastwire import FastQuery, TemplateCache, parse_simple_query
 from repro.dnslib.message import DnsMessage, make_response
+from repro.dnslib.records import AData
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.dnslib.zone import Zone
 from repro.netsim.network import Network
@@ -65,6 +67,12 @@ class AuthoritativeServer:
         self.clusters_installed = 0
         self.queries_served = 0
         self.queries_during_reload = 0
+        # Verified response templates for the dominant Q2 shape (one A
+        # answer). Only safe while `respond` is ours: a subclass that
+        # overrides response logic (e.g. the poisoning experiment's
+        # server) must see every query go through its own respond().
+        self._templates = TemplateCache()
+        self._fast_ok = type(self).respond is AuthoritativeServer.respond
 
     # -- zone management ---------------------------------------------------
 
@@ -124,6 +132,12 @@ class AuthoritativeServer:
     def handle(self, datagram: Datagram, network: Network) -> None:
         """Decode, answer, log. Unparseable junk is dropped, as BIND does."""
         now = network.now
+        if self._fast_ok and now >= self._loading_until:
+            fast_query = parse_simple_query(datagram.payload)
+            if fast_query is not None and self._serve_fast(
+                fast_query, datagram, network, now
+            ):
+                return
         try:
             query = decode_message(datagram.payload)
         except DnsWireError:
@@ -138,6 +152,61 @@ class AuthoritativeServer:
                 )
             )
         network.send(datagram.reply(encode_message(response)))
+
+    def _serve_fast(self, fast_query: FastQuery, datagram: Datagram,
+                    network: Network, now: float) -> bool:
+        """Answer the canonical single-A query via a verified template.
+
+        Handles only the shape Q2 traffic actually has — zones found,
+        disposition "answer", exactly one A record owned by the qname —
+        and produces byte-for-byte what decode/respond/encode would
+        (:class:`TemplateCache` enforces this). Everything else returns
+        False and takes the slow path, which does all the counting, so
+        this method bumps the same counters only when it fully serves.
+        """
+        zones = self.zones_for(fast_query.qname)
+        if not zones:
+            return False
+        disposition, records = "nxdomain", []
+        for candidate in zones:
+            disposition, records = candidate.lookup(
+                fast_query.qname, fast_query.qtype
+            )
+            if disposition not in ("nxdomain", "out-of-zone"):
+                break
+        if disposition != "answer" or len(records) != 1:
+            return False
+        record = records[0]
+        if (
+            record.rtype != QueryType.A
+            or record.name != fast_query.qname
+            or type(record.data) is not AData
+        ):
+            return False
+        key = (
+            fast_query.qtype, fast_query.qclass,
+            fast_query.flags_word & 0x0100,
+            int(record.rclass), record.ttl, record.data.address,
+        )
+        wire = self._templates.render(
+            key, fast_query,
+            lambda: encode_message(
+                make_response(
+                    fast_query.to_message(), answers=[record],
+                    aa=True, ra=False,
+                )
+            ),
+        )
+        self.queries_served += 1
+        if self.retain_query_log:
+            self.query_log.append(
+                QueryLogEntry(
+                    now, datagram.src_ip, fast_query.qname,
+                    int(fast_query.qtype), 0,
+                )
+            )
+        network.send(datagram.reply(wire))
+        return True
 
     def respond(self, query: DnsMessage, now: float) -> DnsMessage:
         """Pure response logic (no I/O), so tests can drive it directly."""

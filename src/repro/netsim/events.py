@@ -3,28 +3,49 @@
 A binary-heap event queue with stable tie-breaking: events at the same
 simulated time fire in insertion order, so simulation runs are exactly
 reproducible for a given seed.
+
+The heap holds plain ``(time, sequence, callback, arg, handle)``
+tuples — no per-event dataclass. The sequence number is unique, so
+tuple comparison never reaches the callback. Cancellation is lazy: a
+handle (allocated only by :meth:`Scheduler.at` / :meth:`Scheduler.after`,
+the cancellable entry points) flags the tuple dead and it is discarded
+when popped; ``pending`` is a live counter maintained at schedule,
+cancel, and fire time, so monitoring loops read it in O(1).
+
+:meth:`Scheduler.call_at` is the hot-path entry point used by the
+network for datagram delivery: no handle, no past-time validation, and
+the payload rides in the tuple instead of a closure — callers promise
+``time >= now`` and that they will never need to cancel.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
-import itertools
-from typing import Callable
+from typing import Any, Callable
+
+#: Sentinel marking a no-payload event (``callback()`` vs ``callback(arg)``).
+_NO_ARG = object()
 
 
-@dataclasses.dataclass(order=True)
 class ScheduledEvent:
-    """An entry in the event queue. Comparison is (time, sequence)."""
+    """A cancellation handle for a queued event.
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = dataclasses.field(compare=False)
-    cancelled: bool = dataclasses.field(default=False, compare=False)
+    The queue itself stores tuples; this object exists only so callers
+    of :meth:`Scheduler.at` / :meth:`Scheduler.after` can cancel.
+    """
+
+    __slots__ = ("_scheduler", "cancelled", "fired")
+
+    def __init__(self, scheduler: "Scheduler") -> None:
+        self._scheduler = scheduler
+        self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
+            self._scheduler._pending -= 1
 
 
 class Scheduler:
@@ -32,9 +53,10 @@ class Scheduler:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: list[ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._queue: list[tuple] = []
+        self._sequence = 0
         self._processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -43,8 +65,8 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (and not cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-fired (and not cancelled) events. O(1)."""
+        return self._pending
 
     @property
     def processed(self) -> int:
@@ -55,9 +77,11 @@ class Scheduler:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
-        event = ScheduledEvent(time, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return event
+        handle = ScheduledEvent(self)
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, callback, _NO_ARG, handle))
+        self._pending += 1
+        return handle
 
     def after(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` ``delay`` seconds from now."""
@@ -65,36 +89,79 @@ class Scheduler:
             raise ValueError(f"negative delay: {delay}")
         return self.at(self._now + delay, callback)
 
+    def call_at(self, time: float, callback: Callable[..., None],
+                arg: Any = _NO_ARG) -> None:
+        """Hot-path scheduling: no handle, no validation.
+
+        The caller guarantees ``time >= now`` and forgoes cancellation.
+        ``arg``, when given, is passed to ``callback`` at fire time —
+        the tuple carries the payload, so no closure is allocated.
+        """
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, callback, arg, None))
+        self._pending += 1
+
     def step(self) -> bool:
         """Fire the next event. Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            time, _seq, callback, arg, handle = heapq.heappop(queue)
+            if handle is not None:
+                if handle.cancelled:
+                    continue  # pending already decremented at cancel()
+                handle.fired = True
+            self._pending -= 1
+            self._now = time
             self._processed += 1
-            event.callback()
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             return True
         return False
 
     def run(self, max_events: int | None = None) -> int:
         """Run until the queue drains (or ``max_events`` fire)."""
+        if max_events is not None:
+            fired = 0
+            while fired < max_events:
+                if not self.step():
+                    break
+                fired += 1
+            return fired
+        # Unbounded drain: the campaign main loop. Same semantics as
+        # repeated step(), with the pop loop inlined.
+        queue = self._queue
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
         fired = 0
-        while max_events is None or fired < max_events:
-            if not self.step():
-                break
+        while queue:
+            time, _seq, callback, arg, handle = heappop(queue)
+            if handle is not None:
+                if handle.cancelled:
+                    continue
+                handle.fired = True
+            self._pending -= 1
+            self._now = time
+            self._processed += 1
+            if arg is no_arg:
+                callback()
+            else:
+                callback(arg)
             fired += 1
         return fired
 
     def run_until(self, deadline: float) -> int:
         """Run events with time <= ``deadline``; advance the clock to it."""
         fired = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            handle = head[4]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(queue)
                 continue
-            if head.time > deadline:
+            if head[0] > deadline:
                 break
             self.step()
             fired += 1

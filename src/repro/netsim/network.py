@@ -70,10 +70,28 @@ class Network:
         self._taps: dict[str, list[PacketTap]] = {}
         self._sinks: list = []
         self.stats = NetworkStats()
+        self._refresh_fast_path()
 
     @property
     def now(self) -> float:
         return self.scheduler.now
+
+    def _refresh_fast_path(self) -> None:
+        """Recompute, at attach time, whether ``send`` may skip the
+        fault/tap/sink plumbing entirely.
+
+        The common campaign configuration — no fault injector, no
+        sinks, no taps, ``NoLoss`` — draws no loss randomness and
+        observes nothing per packet, so ``send`` reduces to one latency
+        sample and one heap push. Anything attached later flips the
+        flag back off before the next packet flows.
+        """
+        self._fast = (
+            self._faults is None
+            and not self._sinks
+            and not any(self._taps.values())
+            and type(self._loss) is NoLoss
+        )
 
     def attach_faults(self, injector) -> None:
         """Attach (or replace) the fault injector.
@@ -83,6 +101,7 @@ class Network:
         attach before any traffic flows.
         """
         self._faults = injector
+        self._refresh_fast_path()
 
     # -- event sinks -----------------------------------------------------
 
@@ -98,10 +117,12 @@ class Network:
         capture at the receiving application.
         """
         self._sinks.append(sink)
+        self._refresh_fast_path()
 
     def detach_sink(self, sink) -> None:
         if sink in self._sinks:
             self._sinks.remove(sink)
+        self._refresh_fast_path()
 
     # -- binding ---------------------------------------------------------
 
@@ -123,11 +144,13 @@ class Network:
     def attach_tap(self, ip: str, tap: PacketTap) -> None:
         """Capture all traffic sent or received by ``ip``."""
         self._taps.setdefault(ip, []).append(tap)
+        self._refresh_fast_path()
 
     def detach_tap(self, ip: str, tap: PacketTap) -> None:
         taps = self._taps.get(ip, [])
         if tap in taps:
             taps.remove(tap)
+        self._refresh_fast_path()
 
     def _tap(self, ip: str, direction: str, datagram: Datagram) -> None:
         for tap in self._taps.get(ip, []):
@@ -143,44 +166,57 @@ class Network:
         spoofed packet shows up in the attacker's capture, not the
         victim's.
         """
-        self.stats.sent += 1
-        self.stats.bytes_sent += datagram.wire_size
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += datagram.wire_size
+        scheduler = self.scheduler
+        if self._fast:
+            # No faults, no observers, NoLoss (which draws no
+            # randomness): the RNG sequence is sample() alone, exactly
+            # as the general path below would consume it.
+            scheduler.call_at(
+                scheduler.now + self._latency.sample(self._rng),
+                self._deliver, datagram,
+            )
+            return
         self._tap(origin if origin is not None else datagram.src_ip, "out", datagram)
         for sink in self._sinks:
-            sink.on_send(self.scheduler.now, datagram)
+            sink.on_send(scheduler.now, datagram)
         faults = self._faults
         if faults is not None and faults.blackholed(datagram.dst_ip):
-            self.stats.blackholed += 1
-            self.stats.lost += 1
+            stats.blackholed += 1
+            stats.lost += 1
             return
         if self._loss.is_lost(self._rng):
-            self.stats.lost += 1
+            stats.lost += 1
             return
         if faults is not None and faults.dropped():
-            self.stats.burst_lost += 1
-            self.stats.lost += 1
+            stats.burst_lost += 1
+            stats.lost += 1
             return
         delay = self._latency.sample(self._rng)
         if faults is not None:
-            delay = faults.shape_delay(self.scheduler.now, delay)
+            delay = faults.shape_delay(scheduler.now, delay)
             extra = faults.duplicated()
             if extra is not None:
-                self.stats.duplicated += 1
-                self.scheduler.after(
-                    delay + extra, lambda: self._deliver(datagram)
+                stats.duplicated += 1
+                scheduler.call_at(
+                    scheduler.now + delay + extra, self._deliver, datagram
                 )
-        self.scheduler.after(delay, lambda: self._deliver(datagram))
+        scheduler.call_at(scheduler.now + delay, self._deliver, datagram)
 
     def _deliver(self, datagram: Datagram) -> None:
-        self._tap(datagram.dst_ip, "in", datagram)
+        if self._taps:
+            self._tap(datagram.dst_ip, "in", datagram)
         handler = self._bindings.get((datagram.dst_ip, datagram.dst_port))
         if handler is None:
             self.stats.unbound += 1
             return
         self.stats.delivered += 1
         self.stats.bytes_delivered += datagram.wire_size
-        for sink in self._sinks:
-            sink.on_deliver(self.scheduler.now, datagram)
+        if self._sinks:
+            for sink in self._sinks:
+                sink.on_deliver(self.scheduler.now, datagram)
         handler(datagram, self)
 
     # -- running ---------------------------------------------------------

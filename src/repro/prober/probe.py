@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections import deque
+from itertools import islice
 
+from repro.dnslib.fastwire import Q1Template, peek_qname
 from repro.dnslib.message import make_query
 from repro.dnslib.wire import encode_message
 from repro.dnssrv.auth import AuthoritativeServer
@@ -27,7 +30,7 @@ from repro.netsim.packet import UDP_IP_OVERHEAD, Datagram
 from repro.prober.capture import R2Record
 from repro.prober.subdomain import ClusterAllocator, ClusterStats, SubdomainScheme
 from repro.prober.zmap import probe_order
-from repro.netsim.ipv4 import int_to_ip
+from repro.netsim.ipv4 import int_to_ip, ip_to_int
 
 #: Default prober address (a university /16, like the authors').
 PROBER_IP = "132.170.3.14"
@@ -241,6 +244,18 @@ class Prober:
         self.ip = ip
         self.responder_hint = responder_hint
         self.scheme = SubdomainScheme(sld=config.sld)
+        # Integer form of the hint: the send loop works in address ints
+        # and only renders dotted quads for probes it materializes.
+        self._hint_ints = (
+            None if responder_hint is None
+            else {ip_to_int(address) for address in responder_hint}
+        )
+        # The pre-encoded Q1 template; a scheme whose qnames are not
+        # fixed-width patchable falls back to per-probe encoding.
+        try:
+            self._q1_template: Q1Template | None = Q1Template(self.scheme)
+        except ValueError:
+            self._q1_template = None
         self.allocator = ClusterAllocator(
             self.scheme,
             cluster_size=config.cluster_size,
@@ -260,8 +275,14 @@ class Prober:
         self._accumulator = 0.0
         self._r2_records: list[R2Record] = []
         self._answered: set[tuple[int, int]] = set()
-        self._in_flight: list[tuple[float, tuple[int, int]]] = []
-        self._in_flight_head = 0
+        # (answer time, allocation) in arrival order, so _answered can
+        # be pruned once entries are too old to matter (see
+        # _reclaim_unanswered) and prober memory stays flat.
+        self._answered_log: deque[tuple[float, tuple[int, int]]] = deque()
+        # In-flight ledger, one entry per send batch: every probe in a
+        # batch shares its send time, so the ledger holds (time, batch)
+        # rather than a tuple per probe.
+        self._in_flight: deque[tuple[float, list[tuple[int, int]]]] = deque()
         self._sent_log: dict[str, str] = {}
         self._sending_done = False
         self._installed_through = -1
@@ -309,6 +330,7 @@ class Prober:
         allocation = self._allocation_from_payload(datagram.payload)
         if allocation is not None and allocation not in self._answered:
             self._answered.add(allocation)
+            self._answered_log.append((network.now, allocation))
             self.allocator.burn(allocation)
             event = self._retry_events.pop(allocation, None)
             if event is not None:
@@ -316,26 +338,15 @@ class Prober:
 
     def _allocation_from_payload(self, payload: bytes) -> tuple[int, int] | None:
         """Cheap qname extraction for reuse bookkeeping."""
-        if len(payload) < 14 or int.from_bytes(payload[4:6], "big") == 0:
+        qname = peek_qname(payload)
+        if qname is None:
             return None
-        labels = []
-        offset = 12
-        while offset < len(payload):
-            length = payload[offset]
-            if length == 0 or length & 0xC0:
-                break
-            labels.append(
-                payload[offset + 1:offset + 1 + length].decode(
-                    "ascii", errors="replace"
-                )
-            )
-            offset += 1 + length
-        return self.scheme.parse(".".join(labels).lower())
+        return self.scheme.parse(qname)
 
     # -- send path ---------------------------------------------------------
 
     def _schedule_tick(self, at: float) -> None:
-        self.network.scheduler.at(at, self._tick)
+        self.network.scheduler.call_at(at, self._tick)
 
     def _tick(self) -> None:
         """Send one second's worth of probes, then reschedule."""
@@ -344,8 +355,9 @@ class Prober:
         self._accumulator += self.config.rate_pps
         budget = int(self._accumulator)
         self._accumulator -= budget
+        target = self.config.q1_target
         while budget > 0:
-            if self._q1_sent >= self.config.q1_target:
+            if self._q1_sent >= target:
                 self._sending_done = True
                 return
             if self.allocator.needs_new_cluster():
@@ -357,43 +369,81 @@ class Prober:
                     self._installed_through = next_cluster
                     self._schedule_tick(max(ready_at, now + 1.0))
                     return
-            self._probe_one(now)
-            budget -= 1
-        if self._q1_sent < self.config.q1_target:
+                self.allocator.open_next_cluster()
+            batch = min(budget, target - self._q1_sent,
+                        self.allocator.available())
+            sent = self._send_batch(now, batch)
+            if sent < batch:  # permutation walk exhausted mid-batch
+                self._sending_done = True
+                return
+            budget -= sent
+        if self._q1_sent < target:
             self._schedule_tick(now + 1.0)
         else:
             self._sending_done = True
 
-    def _probe_one(self, now: float) -> None:
-        try:
-            address = next(self._addresses)
-        except StopIteration:
+    def _send_batch(self, now: float, count: int) -> int:
+        """Send up to ``count`` probes; returns how many targets remained.
+
+        The batched equivalent of ``count`` single-probe sends: the
+        address chunk is pulled first and exactly that many subdomains
+        are reserved, so an exhausted walk never strands allocations.
+        Per-probe state (msg_id, counters, reuse log) matches the
+        sequential path bit for bit.
+        """
+        chunk = list(islice(self._addresses, count))
+        got = len(chunk)
+        base = self._q1_sent
+        if got == 0:
             self._q1_sent = self.config.q1_target
-            return
-        allocation = self.allocator.allocate()
-        self._in_flight.append((now, allocation))
-        self._q1_sent += 1
-        self._q1_bytes += self._q1_wire_size
-        target_ip = int_to_ip(address)
-        if self.responder_hint is not None and target_ip not in self.responder_hint:
-            # Accounted, not materialized: the network would drop it unbound.
-            self.network.stats.sent += 1
-            self.network.stats.unbound += 1
-            self.network.stats.bytes_sent += self._q1_wire_size
-            return
-        qname = self.scheme.qname(*allocation)
-        if self.config.record_sent_log:
-            self._sent_log[qname] = target_ip
-        msg_id = self._q1_sent & 0xFFFF
-        query = make_query(qname, msg_id=msg_id)
-        self.network.send(
-            Datagram(
-                self.ip, self.config.source_port, target_ip, 53,
-                encode_message(query),
-            )
-        )
-        if self.config.retry.enabled:
-            self._arm_retry(allocation, target_ip, msg_id, attempt=0)
+            return 0
+        allocations = self.allocator.reserve(got)
+        self._in_flight.append((now, allocations))
+        hint = self._hint_ints
+        config = self.config
+        wire_size = self._q1_wire_size
+        template = self._q1_template
+        qname_of = self.scheme.qname
+        send = self.network.send
+        src_ip = self.ip
+        src_port = config.source_port
+        retry_enabled = config.retry.enabled
+        record_log = config.record_sent_log
+        misses = 0
+        if hint is None:
+            offsets = range(got)
+        else:
+            # Hint misses are accounted, not materialized: the network
+            # would drop them unbound anyway.
+            offsets = [o for o in range(got) if chunk[o] in hint]
+            misses = got - len(offsets)
+        for offset in offsets:
+            address = chunk[offset]
+            allocation = allocations[offset]
+            msg_id = (base + offset + 1) & 0xFFFF
+            target_ip = int_to_ip(address)
+            cluster, index = allocation
+            if record_log:
+                self._sent_log[qname_of(cluster, index)] = target_ip
+            if template is not None:
+                payload = template.render(cluster, index, msg_id)
+            else:
+                payload = encode_message(
+                    make_query(qname_of(cluster, index), msg_id=msg_id)
+                )
+            send(Datagram(src_ip, src_port, target_ip, 53, payload))
+            if retry_enabled:
+                self._arm_retry(allocation, target_ip, msg_id, attempt=0)
+        # On exhaustion (got < count) the walk is over: snap q1_sent to
+        # the target exactly as the sequential path's StopIteration did.
+        self._q1_sent = base + got if got == count else self.config.q1_target
+        self._q1_bytes += got * wire_size
+        if misses:
+            stats = self.network.stats
+            stats.sent += misses
+            stats.unbound += misses
+            stats.bytes_sent += misses * wire_size
+        return got
 
     # -- retransmission -----------------------------------------------------
 
@@ -421,31 +471,54 @@ class Prober:
         if attempt >= self.config.retry.max_retries:
             self._retries_exhausted += 1
             return
-        qname = self.scheme.qname(*allocation)
         self._retries_sent += 1
         self._retry_bytes += self._q1_wire_size
+        if self._q1_template is not None:
+            payload = self._q1_template.render(*allocation, msg_id)
+        else:
+            payload = encode_message(
+                make_query(self.scheme.qname(*allocation), msg_id=msg_id)
+            )
         self.network.send(
             Datagram(
-                self.ip, self.config.source_port, target_ip, 53,
-                encode_message(make_query(qname, msg_id=msg_id)),
+                self.ip, self.config.source_port, target_ip, 53, payload
             )
         )
         self._arm_retry(allocation, target_ip, msg_id, attempt + 1)
 
+    #: ``_answered`` entries older than this many response windows are
+    #: pruned. Must be > 1 so an answered probe is always *reclaimed*
+    #: (and its release skipped) before its answered-entry is dropped —
+    #: that ordering is what keeps a burned subdomain out of the reuse
+    #: pool forever.
+    _ANSWERED_RETENTION_WINDOWS = 4.0
+
     def _reclaim_unanswered(self, now: float) -> None:
         """Return response-window-expired, unanswered subdomains to the pool."""
         deadline = now - self.config.response_window
-        head = self._in_flight_head
         in_flight = self._in_flight
-        while head < len(in_flight) and in_flight[head][0] <= deadline:
-            _, allocation = in_flight[head]
-            if allocation not in self._answered:
-                self.allocator.release(allocation)
-            head += 1
-        self._in_flight_head = head
-        if head > 100_000:
-            del in_flight[:head]
-            self._in_flight_head = 0
+        answered = self._answered
+        if in_flight and in_flight[0][0] <= deadline:
+            release_all = self.allocator.release_all
+            while in_flight and in_flight[0][0] <= deadline:
+                batch = in_flight.popleft()[1]
+                if answered:
+                    release_all(
+                        allocation for allocation in batch
+                        if allocation not in answered
+                    )
+                else:
+                    release_all(batch)
+        # Prune long-since-reclaimed answered entries so the set stays
+        # bounded on endless scans. Runs after the reclaim loop: every
+        # pruned entry's probe (sent at or before the answer arrived)
+        # is already past the reclaim deadline, so its release was
+        # skipped while the entry was still present.
+        retire = now - self._ANSWERED_RETENTION_WINDOWS * self.config.response_window
+        answered_log = self._answered_log
+        while answered_log and answered_log[0][0] <= retire:
+            _, allocation = answered_log.popleft()
+            answered.discard(allocation)
 
     def _install_next_cluster(self, now: float) -> float:
         """Generate and load the next subdomain cluster at the auth server."""

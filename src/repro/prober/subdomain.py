@@ -134,6 +134,38 @@ class ClusterAllocator:
         """True when the next allocation would have to open a new cluster."""
         return not self._free and self._next_index >= self.cluster_size
 
+    def available(self) -> int:
+        """Allocations possible without opening a new cluster. O(1)."""
+        remaining = self.cluster_size - self._next_index
+        return len(self._free) + (remaining if remaining > 0 else 0)
+
+    def open_next_cluster(self) -> None:
+        """Explicitly open the next cluster (the batched send path does
+        this itself because :meth:`reserve` never opens one)."""
+        self._open_cluster()
+
+    def reserve(self, count: int) -> list[tuple[int, int]]:
+        """Batch form of ``count`` successive :meth:`allocate` calls.
+
+        Returns exactly the allocations (and stats) the sequential
+        calls would have produced — reuse pool first, then fresh
+        indices — but never opens a cluster: callers bound ``count``
+        by :meth:`available`.
+        """
+        free = self._free
+        reused = min(len(free), count)
+        out = [free.popleft() for _ in range(reused)]
+        if reused:
+            self.stats.reused_allocations += reused
+        fresh = count - reused
+        if fresh:
+            start = self._next_index
+            cluster = self._cluster
+            out.extend((cluster, index) for index in range(start, start + fresh))
+            self._next_index = start + fresh
+            self.stats.fresh_allocations += fresh
+        return out
+
     def allocate(self) -> tuple[int, int]:
         """Hand out a subdomain, preferring the reuse pool."""
         if self._free:
@@ -150,6 +182,13 @@ class ClusterAllocator:
         """Return an unanswered subdomain to the pool (if reuse is on)."""
         if self.reuse:
             self._free.append(allocation)
+
+    def release_all(self, allocations) -> None:
+        """Batch :meth:`release`, preserving order — the reclaim hot path
+        returns a whole send batch at once instead of paying a method
+        call per subdomain."""
+        if self.reuse:
+            self._free.extend(allocations)
 
     def burn(self, allocation: tuple[int, int]) -> None:
         """Mark a subdomain permanently consumed (it got an R2)."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.netsim.ipv4 import is_probeable
+from repro.netsim.ipv4 import OCTET_CLASSES, is_reserved, is_probeable
 
 #: The smallest prime larger than 2^32, as used by ZMap.
 GROUP_PRIME = 4_294_967_311
@@ -113,6 +113,35 @@ def probe_order(
         block if isinstance(block, Ipv4Block) else Ipv4Block.parse(block)
         for block in (blocklist or ())
     ]
+    if not blocks:
+        # The common (no-blocklist) walk, inlined: the group step, the
+        # 2^32 skip, and a per-/8 class table that answers the reserved
+        # check without a bisect for all but the mixed /8s. Yields the
+        # identical address sequence to the general loop below.
+        if limit is not None and limit <= 0:
+            return
+        permutation = AddressPermutation(seed)
+        start = permutation.start
+        generator = permutation.generator
+        prime = GROUP_PRIME
+        classes = OCTET_CLASSES
+        address_max = 1 << 32
+        element = start
+        yielded = 0
+        while True:
+            if element <= address_max:
+                address = element - 1
+                octet_class = classes[address >> 24]
+                if octet_class == 0 or (
+                    octet_class == 2 and not is_reserved(address)
+                ):
+                    yield address
+                    yielded += 1
+                    if limit is not None and yielded >= limit:
+                        return
+            element = element * generator % prime
+            if element == start:
+                return
     yielded = 0
     for address in AddressPermutation(seed):
         if limit is not None and yielded >= limit:
@@ -123,3 +152,37 @@ def probe_order(
             continue
         yield address
         yielded += 1
+
+
+def probe_list(seed: int = 0, limit: int | None = None) -> list[int]:
+    """:func:`probe_order` (no blocklist) materialized into a list.
+
+    Yields-free: a campaign building its whole universe up front pays
+    a generator resumption per address with :func:`probe_order`; this
+    runs the identical walk as one tight loop and returns the same
+    addresses in the same order.
+    """
+    out: list[int] = []
+    if limit is not None and limit <= 0:
+        return out
+    append = out.append
+    permutation = AddressPermutation(seed)
+    start = permutation.start
+    generator = permutation.generator
+    prime = GROUP_PRIME
+    classes = OCTET_CLASSES
+    address_max = 1 << 32
+    element = start
+    while True:
+        if element <= address_max:
+            address = element - 1
+            octet_class = classes[address >> 24]
+            if octet_class == 0 or (
+                octet_class == 2 and not is_reserved(address)
+            ):
+                append(address)
+                if limit is not None and len(out) >= limit:
+                    return out
+        element = element * generator % prime
+        if element == start:
+            return out

@@ -17,10 +17,18 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.dnslib.chaos import is_version_bind_query, version_bind_response
-from repro.dnslib.constants import QueryType
+from repro.dnslib.chaos import VERSION_BIND, is_version_bind_query, version_bind_response
+from repro.dnslib.constants import DnsClass, QueryType
+from repro.dnslib.fastwire import (
+    FastQuery,
+    TemplateCache,
+    build_query_wire,
+    parse_simple_query,
+    peek_single_a_response,
+)
 from repro.dnslib.message import DnsMessage, make_query, make_response
-from repro.dnslib.records import AData, CnameData, ResourceRecord, TxtData
+from repro.dnslib.names import DnsNameError, normalize_name
+from repro.dnslib.records import AData, CnameData, ResourceRecord, TxtData, bytes_to_ipv4
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
 from repro.netsim.network import Network
@@ -33,7 +41,14 @@ HOST_UPSTREAM_PORT = 10055
 @dataclasses.dataclass
 class _PendingProbe:
     client: Datagram
-    query: DnsMessage
+    query: DnsMessage | None
+    fast: FastQuery | None = None
+
+    def message(self) -> DnsMessage:
+        """The client query as a :class:`DnsMessage`, however it arrived."""
+        if self.query is not None:
+            return self.query
+        return self.fast.to_message()
 
 
 class BehaviorHost:
@@ -62,6 +77,18 @@ class BehaviorHost:
         self._next_id = 1
         self.queries_received = 0
         self.responses_sent = 0
+        # Verified response templates (see fastwire.TemplateCache): the
+        # R2 for a given spec depends on the query only through
+        # (msg_id, question), so responses are encoded once per shape
+        # and patched per reply. CNAME targets are the one rdata that
+        # can compress against the qname; guard their suffix profile.
+        self._templates = TemplateCache()
+        self._guard_names: tuple[str, ...] = ()
+        if spec.answer_kind is AnswerKind.INCORRECT_URL and spec.fixed_answer:
+            try:
+                self._guard_names = (normalize_name(spec.fixed_answer),)
+            except DnsNameError:
+                pass  # the slow encoder will raise, template or not
 
     def attach(self, network: Network, port: int = 53) -> None:
         self._network = network
@@ -72,6 +99,58 @@ class BehaviorHost:
     # -- query path ------------------------------------------------------
 
     def handle_query(self, datagram: Datagram, network: Network) -> None:
+        fast_query = parse_simple_query(datagram.payload)
+        if fast_query is None:
+            self._handle_query_slow(datagram, network)
+            return
+        self.queries_received += 1
+        if (
+            fast_query.qname == VERSION_BIND
+            and fast_query.qclass == DnsClass.CH
+            and fast_query.qtype in (QueryType.TXT, QueryType.ANY)
+        ):
+            self.responses_sent += 1
+            network.send(
+                datagram.reply(
+                    version_bind_response(
+                        fast_query.to_message(), self.version_banner
+                    )
+                )
+            )
+            return
+        if self.spec.mode is ResponseMode.FABRICATE:
+            self._respond_fabricated_fast(datagram, fast_query, network)
+            return
+        # RESOLVE: forward upstream. build_query_wire emits exactly the
+        # bytes the make_query/encode_message pair did.
+        msg_id = self._next_id
+        self._next_id = self._next_id % 0xFFFF + 1
+        self._pending[msg_id] = _PendingProbe(datagram, None, fast_query)
+        network.send(
+            Datagram(
+                self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
+                build_query_wire(
+                    fast_query.qname, qtype=fast_query.qtype,
+                    msg_id=msg_id, recursion_desired=False,
+                ),
+            )
+        )
+        if self.spec.extra_q2:
+            # Resolver-farm / retry duplicates: extra upstream queries
+            # whose responses are discarded (unknown message IDs). All
+            # ghosts carry msg_id=0, so one encoding serves them all.
+            ghost = build_query_wire(
+                fast_query.qname, qtype=fast_query.qtype, msg_id=0,
+                recursion_desired=False,
+            )
+            for _ in range(self.spec.extra_q2):
+                network.send(
+                    Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
+                             ghost)
+                )
+
+    def _handle_query_slow(self, datagram: Datagram, network: Network) -> None:
+        """The full-codec query path: anything the strict parser refused."""
         try:
             query = decode_message(datagram.payload)
         except DnsWireError:
@@ -111,6 +190,22 @@ class BehaviorHost:
             )
 
     def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+        fast = peek_single_a_response(datagram.payload)
+        if fast is not None:
+            msg_id, question_wire, ttl, addr = fast
+            pending = self._pending.get(msg_id)
+            if pending is None:
+                return  # ghost duplicate
+            fast_query = pending.fast
+            if (
+                fast_query is not None
+                and fast_query.question_wire == question_wire
+            ):
+                del self._pending[msg_id]
+                self._respond_resolved_fast(
+                    pending.client, fast_query, ttl, addr, network
+                )
+                return
         try:
             response = decode_message(datagram.payload)
         except DnsWireError:
@@ -118,7 +213,61 @@ class BehaviorHost:
         pending = self._pending.pop(response.header.msg_id, None)
         if pending is None:
             return  # ghost duplicate
-        self._respond(pending.client, pending.query, resolved=response)
+        self._respond(pending.client, pending.message(), resolved=response)
+
+    # -- fast response paths ---------------------------------------------
+
+    def _respond_fabricated_fast(
+        self, client: Datagram, fast_query: FastQuery, network: Network
+    ) -> None:
+        """FABRICATE (or resolve-less) responses through the template cache."""
+        key = (fast_query.qtype, fast_query.qclass,
+               fast_query.flags_word & 0x0100)
+        wire = self._templates.render(
+            key, fast_query,
+            lambda: self.build_response_wire(fast_query.to_message(), None),
+            guard_names=self._guard_names,
+        )
+        self.responses_sent += 1
+        network.send(client.reply(wire))
+
+    def _respond_resolved_fast(
+        self, client: Datagram, fast_query: FastQuery, ttl: int,
+        addr: bytes, network: Network,
+    ) -> None:
+        """Answer after a recognized single-A upstream resolution."""
+        spec = self.spec
+        if spec.answer_kind is AnswerKind.CORRECT:
+            # The slow oracle gets a stub carrying exactly the record
+            # decode_message would have produced; the answer bytes are
+            # key material because they land in the template tail.
+            record = ResourceRecord(
+                fast_query.qname, QueryType.A, 1, ttl,
+                AData(bytes_to_ipv4(addr)),
+            )
+            resolved = DnsMessage(answers=[record])
+            key = (
+                AnswerKind.CORRECT, fast_query.qtype, fast_query.qclass,
+                fast_query.flags_word & 0x0100, ttl, addr,
+            )
+            wire = self._templates.render(
+                key, fast_query,
+                lambda: self.build_response_wire(
+                    fast_query.to_message(), resolved
+                ),
+            )
+        else:
+            # Every other answer kind ignores the upstream content, so
+            # this shares the fabricated template shape.
+            key = (fast_query.qtype, fast_query.qclass,
+                   fast_query.flags_word & 0x0100)
+            wire = self._templates.render(
+                key, fast_query,
+                lambda: self.build_response_wire(fast_query.to_message(), None),
+                guard_names=self._guard_names,
+            )
+        self.responses_sent += 1
+        network.send(client.reply(wire))
 
     # -- response synthesis ----------------------------------------------
 

@@ -1,0 +1,249 @@
+"""Fast-path codec equivalence: template bytes vs the object codec.
+
+The fastwire contract is byte identity — every fast encoder must emit
+exactly the bytes of the ``DnsMessage`` pipeline, and every fast parser
+must accept only payloads the full decoder parses identically. These
+tests enforce the contract with seeded fuzzing (``random.Random``, so a
+failure reproduces from the seed alone), mirroring the wire-codec fuzz
+suite's idiom.
+"""
+
+import random
+
+import pytest
+
+from repro.dnslib.constants import DnsClass, QueryType
+from repro.dnslib.fastwire import (
+    Q1Template,
+    build_query_wire,
+    parse_simple_query,
+    peek_header,
+    peek_msg_id,
+    peek_qname,
+    peek_single_a_response,
+)
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.wire import decode_message, encode_message
+from repro.prober.subdomain import SubdomainScheme
+
+_LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-_"
+
+
+def _random_qname(rng: random.Random) -> str:
+    labels = [
+        "".join(rng.choice(_LABEL_ALPHABET) for _ in range(rng.randint(1, 20)))
+        for _ in range(rng.randint(1, 5))
+    ]
+    return ".".join(labels)
+
+
+class TestBuildQueryWire:
+    def test_matches_object_codec_fuzzed(self):
+        rng = random.Random(1234)
+        qtypes = [QueryType.A, QueryType.AAAA, QueryType.TXT, QueryType.ANY]
+        for _ in range(300):
+            qname = _random_qname(rng)
+            qtype = rng.choice(qtypes)
+            msg_id = rng.randint(0, 0xFFFF)
+            rd = rng.random() < 0.5
+            fast = build_query_wire(
+                qname, qtype=qtype, msg_id=msg_id, recursion_desired=rd
+            )
+            slow = encode_message(
+                make_query(qname, qtype=qtype, msg_id=msg_id,
+                           recursion_desired=rd)
+            )
+            assert fast == slow, f"qname={qname!r} qtype={qtype} id={msg_id}"
+
+    def test_roundtrips_through_strict_parser(self):
+        rng = random.Random(99)
+        for _ in range(200):
+            qname = _random_qname(rng)
+            msg_id = rng.randint(0, 0xFFFF)
+            wire = build_query_wire(qname, msg_id=msg_id)
+            fast = parse_simple_query(wire)
+            assert fast is not None
+            assert fast.qname == qname
+            assert fast.msg_id == msg_id
+
+
+class TestQ1Template:
+    def test_matches_object_codec_fuzzed(self):
+        scheme = SubdomainScheme()
+        template = Q1Template(scheme)
+        rng = random.Random(7)
+        for _ in range(300):
+            cluster = rng.randint(0, scheme.max_clusters - 1)
+            index = rng.randint(0, 10**scheme.index_digits - 1)
+            msg_id = rng.randint(0, 0xFFFF)
+            fast = template.render(cluster, index, msg_id)
+            slow = encode_message(
+                make_query(scheme.qname(cluster, index), msg_id=msg_id)
+            )
+            assert fast == slow, f"({cluster}, {index}, {msg_id})"
+
+    def test_nonstandard_scheme(self):
+        scheme = SubdomainScheme(
+            sld="probe.example", prefix="zz", cluster_digits=2, index_digits=4
+        )
+        template = Q1Template(scheme)
+        assert template.render(7, 42, 0x1234) == encode_message(
+            make_query(scheme.qname(7, 42), msg_id=0x1234)
+        )
+
+    def test_wire_size_is_constant(self):
+        scheme = SubdomainScheme()
+        template = Q1Template(scheme)
+        assert template.wire_size == len(template.render(999, 9_999_999, 1))
+
+
+class TestParseSimpleQuery:
+    def test_accepted_queries_decode_identically(self):
+        rng = random.Random(31)
+        for _ in range(200):
+            wire = encode_message(
+                make_query(
+                    _random_qname(rng),
+                    qtype=rng.choice([QueryType.A, QueryType.MX]),
+                    msg_id=rng.randint(0, 0xFFFF),
+                    recursion_desired=rng.random() < 0.5,
+                )
+            )
+            fast = parse_simple_query(wire)
+            assert fast is not None
+            assert fast.to_message() == decode_message(wire)
+            assert fast.question_wire == wire[12:]
+            # A responder echoing the question re-encodes to the same bytes.
+            assert encode_message(fast.to_message()) == wire
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda w: w[:2] + b"\x80" + w[3:],        # QR bit set
+            lambda w: w[:2] + b"\x08" + w[3:],        # IQUERY opcode
+            lambda w: w[:4] + b"\x00\x02" + w[6:],    # qdcount 2
+            lambda w: w[:6] + b"\x00\x01" + w[8:],    # ancount 1
+            lambda w: w + b"\x00",                    # trailing byte
+            lambda w: w[:-1],                         # truncated
+            lambda w: w[:12] + b"\xc0\x0c" + w[-4:],  # compressed name
+            lambda w: w[:-2] + b"\x00\x63",           # unknown class 99
+        ],
+    )
+    def test_rejects_off_shape_payloads(self, mutate):
+        wire = encode_message(make_query("probe.example.net", msg_id=5))
+        assert parse_simple_query(wire) is not None
+        assert parse_simple_query(bytes(mutate(wire))) is None
+
+    def test_rejects_uppercase_labels(self):
+        # The slow path lowercases; the fast path refuses instead.
+        wire = bytearray(encode_message(make_query("probe.example.net")))
+        wire[13] = ord("P")
+        assert parse_simple_query(bytes(wire)) is None
+
+    def test_rejects_root_and_oversized_names(self):
+        root = b"\x00\x00\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00" + (
+            b"\x00\x00\x01\x00\x01"
+        )
+        assert parse_simple_query(root) is None
+        # 8 labels of 31 bytes: 256 encoded name bytes, over the 254
+        # cap the full codec enforces (hand-built: the codec refuses to
+        # encode it in the first place).
+        oversized = bytearray(b"\x00\x00\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00")
+        for _ in range(8):
+            oversized += b"\x1f" + b"a" * 31
+        oversized += b"\x00\x00\x01\x00\x01"
+        assert parse_simple_query(bytes(oversized)) is None
+
+    def test_never_raises_on_junk(self):
+        rng = random.Random(2024)
+        for _ in range(500):
+            payload = bytes(
+                rng.randrange(256) for _ in range(rng.randint(0, 64))
+            )
+            result = parse_simple_query(payload)
+            if result is not None:
+                assert result.to_message() == decode_message(payload)
+
+
+def _reference_peek_qname(payload: bytes) -> str | None:
+    """The prober's historical inline parser, verbatim."""
+    if len(payload) < 14 or payload[4] == 0 and payload[5] == 0:
+        return None
+    labels = []
+    offset = 12
+    while offset < len(payload):
+        label_len = payload[offset]
+        if label_len == 0 or label_len & 0xC0:
+            break
+        labels.append(
+            payload[offset + 1:offset + 1 + label_len].decode(
+                "ascii", errors="replace"
+            )
+        )
+        offset += 1 + label_len
+    return ".".join(labels).lower()
+
+
+class TestPeekParsers:
+    def test_peek_qname_matches_historical_parser_on_junk(self):
+        rng = random.Random(555)
+        for _ in range(500):
+            payload = bytes(
+                rng.randrange(256) for _ in range(rng.randint(0, 48))
+            )
+            assert peek_qname(payload) == _reference_peek_qname(payload)
+
+    def test_peek_qname_on_real_queries(self):
+        wire = encode_message(make_query("OR001.0000042.Example.NET", msg_id=9))
+        assert peek_qname(wire) == "or001.0000042.example.net"
+
+    def test_peek_header_and_msg_id(self):
+        wire = encode_message(make_query("a.example", msg_id=0xBEEF))
+        header = peek_header(wire)
+        assert header is not None and header[0] == 0xBEEF
+        assert header[2] == 1  # qdcount
+        assert peek_msg_id(wire) == 0xBEEF
+        assert peek_header(b"\x01") is None
+        assert peek_msg_id(b"\x01") is None
+
+
+class TestPeekSingleAResponse:
+    def _response_wire(self, answers, qname="or000.0000001.example.net"):
+        # rd=0, matching the upstream queries whose replies this
+        # recognizer is pointed at.
+        query = make_query(qname, msg_id=0x0102, recursion_desired=False)
+        return encode_message(
+            make_response(query, answers=answers, aa=True, ra=False)
+        )
+
+    def test_recognizes_canonical_shape(self):
+        from repro.dnslib.records import AData, ResourceRecord
+
+        qname = "or000.0000001.example.net"
+        wire = self._response_wire(
+            [ResourceRecord(qname, QueryType.A, ttl=300, data=AData("1.2.3.4"))]
+        )
+        peeked = peek_single_a_response(wire)
+        assert peeked is not None
+        msg_id, question_wire, ttl, addr = peeked
+        assert msg_id == 0x0102
+        assert ttl == 300
+        assert addr == bytes([1, 2, 3, 4])
+        assert question_wire == encode_message(
+            make_query(qname, recursion_desired=False)
+        )[12:]
+
+    def test_refuses_other_shapes(self):
+        from repro.dnslib.records import AData, CnameData, ResourceRecord
+
+        qname = "or000.0000001.example.net"
+        record = ResourceRecord(qname, QueryType.A, ttl=60, data=AData("1.2.3.4"))
+        two = self._response_wire([record, record])
+        cname = self._response_wire(
+            [ResourceRecord(qname, QueryType.CNAME, ttl=60,
+                            data=CnameData("other.example.net"))]
+        )
+        assert peek_single_a_response(two) is None
+        assert peek_single_a_response(cname) is None
+        query_only = encode_message(make_query(qname))
+        assert peek_single_a_response(query_only) is None

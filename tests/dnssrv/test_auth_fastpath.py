@@ -1,0 +1,102 @@
+"""Authoritative-server template fast path: equivalence and gating."""
+
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import encode_message
+from repro.dnslib.zone import parse_master_file
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.injection.experiment import PoisoningAuthServer
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+or000.0000000 IN A 45.76.1.10
+or000.0000001 IN A 45.76.1.10
+or000.0000002 IN A 45.76.1.10
+www IN CNAME or000.0000000
+"""
+
+AUTH_IP = "45.76.1.1"
+CLIENT_IP = "10.0.0.9"
+
+QNAMES = [f"or000.000000{i}.ucfsealresearch.net" for i in range(3)]
+
+
+def serve(server_cls=AuthoritativeServer, qnames=QNAMES, repeat=2):
+    network = Network()
+    auth = server_cls(AUTH_IP)
+    auth.load_zone(parse_master_file(ZONE_TEXT))
+    auth.attach(network)
+    replies = []
+    network.bind(CLIENT_IP, 5353, lambda dg, net: replies.append(dg.payload))
+    msg_id = 0
+    for _ in range(repeat):
+        for qname in qnames:
+            msg_id += 1
+            network.send(
+                Datagram(
+                    CLIENT_IP, 5353, AUTH_IP, 53,
+                    encode_message(
+                        make_query(qname, msg_id=msg_id,
+                                   recursion_desired=False)
+                    ),
+                )
+            )
+    network.run()
+    return auth, replies
+
+
+class TestAuthFastPath:
+    def test_fast_replies_match_slow_oracle(self):
+        auth, replies = serve(repeat=3)
+        # An identical server answering through respond()/encode only:
+        # handler bound directly past the template path.
+        oracle = AuthoritativeServer(AUTH_IP)
+        oracle.load_zone(parse_master_file(ZONE_TEXT))
+        oracle._fast_ok = False
+        network = Network()
+        oracle.attach(network)
+        slow_replies = []
+        network.bind(CLIENT_IP, 5353,
+                     lambda dg, net: slow_replies.append(dg.payload))
+        msg_id = 0
+        for _ in range(3):
+            for qname in QNAMES:
+                msg_id += 1
+                network.send(
+                    Datagram(
+                        CLIENT_IP, 5353, AUTH_IP, 53,
+                        encode_message(
+                            make_query(qname, msg_id=msg_id,
+                                       recursion_desired=False)
+                        ),
+                    )
+                )
+        network.run()
+        assert sorted(replies) == sorted(slow_replies)
+        assert auth.queries_served == oracle.queries_served == 9
+
+    def test_counters_and_log_cover_fast_serves(self):
+        auth, replies = serve(repeat=2)
+        assert auth.queries_served == 6
+        assert len(auth.query_log) == 6
+        assert [entry.qname for entry in auth.query_log] == QNAMES * 2
+        assert all(entry.rcode == 0 for entry in auth.query_log)
+
+    def test_cname_answers_stay_on_slow_path(self):
+        # A CNAME lookup is not the single-A shape; it must still be
+        # answered (slow path), never templated wrongly.
+        auth, replies = serve(qnames=["www.ucfsealresearch.net"], repeat=2)
+        assert len(replies) == 2
+        assert replies[0][2:] == replies[1][2:]  # only msg_id differs
+        assert auth.queries_served == 2
+
+    def test_respond_override_disables_fast_path(self):
+        # The poisoning experiment's server overrides respond(); every
+        # query must keep flowing through it.
+        assert PoisoningAuthServer(AUTH_IP)._fast_ok is False
+        auth, replies = serve(server_cls=PoisoningAuthServer)
+        assert len(replies) == 6
+        assert auth.queries_served == 6

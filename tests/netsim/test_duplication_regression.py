@@ -1,0 +1,81 @@
+"""Duplicate-delivery regression pin under a seeded fault injector.
+
+The send path schedules a duplicated datagram's extra copy *before*
+the primary (it lands on the heap with the lower sequence number but a
+later delivery time). Reworking the scheduler or the send fast path
+must not perturb that ordering, the RNG draw sequence, or the fault
+stats — this test pins all three for a fixed seed, so any change to
+the event plumbing that shifts duplicate timing fails loudly instead
+of silently reshaping fault-profile tables.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim.faults import FaultInjector, FaultPlan
+from repro.netsim.latency import FixedLatency
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+
+def _run_duplicating_network(count=40, seed=11):
+    plan = FaultPlan(duplicate_rate=0.5)
+    network = Network(seed=seed, latency=FixedLatency(0.02))
+    network.attach_faults(FaultInjector(plan, schedule_seed=seed,
+                                        blackhole_seed=seed))
+    deliveries: list[tuple[float, int]] = []
+    network.bind(
+        "10.0.0.2", 53,
+        lambda dg, net: deliveries.append((net.now, dg.payload[0])),
+    )
+    for n in range(count):
+        network.send(Datagram("10.0.0.1", 4000, "10.0.0.2", 53, bytes([n])))
+    network.run()
+    return network, deliveries
+
+
+def _expected_deliveries(count=40, seed=11):
+    """Replay the injector's documented RNG protocol independently."""
+    rng = random.Random(seed)
+    deliveries = []
+    for n in range(count):
+        # Per datagram: duplicated() draws the rate coin and, on
+        # success, the extra delay; then the latency sample (fixed, no
+        # draw). The duplicate is scheduled first but delivers later.
+        extra = rng.uniform(0.001, 0.05) if rng.random() < 0.5 else None
+        deliveries.append((0.02, n))
+        if extra is not None:
+            deliveries.append((0.02 + extra, n))
+    deliveries.sort(key=lambda item: item[0])
+    return deliveries
+
+
+class TestDuplicationPin:
+    def test_stats_and_timestamps_are_pinned(self):
+        network, deliveries = _run_duplicating_network()
+        expected = _expected_deliveries()
+        assert network.stats.duplicated == len(expected) - 40
+        assert network.stats.delivered == len(expected)
+        assert network.stats.sent == 40
+        assert [n for _, n in deliveries] == [n for _, n in expected]
+        assert deliveries == [
+            (pytest.approx(t), n) for t, n in expected
+        ]
+
+    def test_duplicate_count_seed_11_regression(self):
+        # Frozen observed value: moving any RNG draw in the send path
+        # (loss coin, duplicate coin, extra-delay draw, latency sample)
+        # changes this count for the same seed.
+        network, deliveries = _run_duplicating_network()
+        assert network.stats.duplicated == 19
+        assert len(deliveries) == 59
+
+    def test_duplicate_delivers_after_primary(self):
+        _, deliveries = _run_duplicating_network()
+        first_seen: dict[int, float] = {}
+        for timestamp, n in deliveries:
+            if n in first_seen:
+                assert timestamp > first_seen[n]
+            else:
+                first_seen[n] = timestamp

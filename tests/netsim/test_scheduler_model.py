@@ -1,0 +1,131 @@
+"""Property test: the tuple-heap scheduler against a reference model.
+
+The production :class:`Scheduler` keeps ``(time, seq, callback, arg,
+handle)`` tuples in a heap with lazy-deletion cancellation and a live
+``pending`` counter. The reference model here is the obvious slow
+implementation — a list of dataclass records, sorted per fire, removed
+eagerly on cancel. Hypothesis drives both with the same randomized
+program of schedules (including exact-tie timestamps), cancellations
+(including double-cancels and cancelling already-fired events) and
+``call_at`` payload deliveries, and requires identical firing order,
+clock, and pending counts throughout.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.events import Scheduler
+
+
+@dataclasses.dataclass
+class _ModelEvent:
+    time: float
+    seq: int
+    label: int
+    cancelled: bool = False
+    fired: bool = False
+
+
+class _ModelScheduler:
+    """Eager, sorted-list reference implementation."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events: list[_ModelEvent] = []
+        self._seq = 0
+
+    def at(self, time: float, label: int) -> _ModelEvent:
+        event = _ModelEvent(time, self._seq, label)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def cancel(self, event: _ModelEvent) -> None:
+        if not event.fired:
+            event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        return sum(
+            1 for e in self.events if not e.cancelled and not e.fired
+        )
+
+    def run(self) -> list[int]:
+        fired = []
+        while True:
+            live = [e for e in self.events if not e.cancelled and not e.fired]
+            if not live:
+                return fired
+            event = min(live, key=lambda e: (e.time, e.seq))
+            event.fired = True
+            self.now = event.time
+            fired.append(event.label)
+
+
+# Times are drawn from a tiny grid so exact ties are common — tie
+# order (insertion order) is exactly what the tuple heap must preserve.
+_PROGRAM = st.lists(
+    st.one_of(
+        st.tuples(st.just("at"), st.sampled_from([0.0, 1.0, 1.0, 2.0, 3.0])),
+        st.tuples(st.just("call_at"), st.sampled_from([0.0, 1.0, 2.0])),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=40)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(_PROGRAM)
+@settings(max_examples=200, deadline=None)
+def test_tuple_heap_matches_reference_model(program):
+    scheduler = Scheduler()
+    model = _ModelScheduler()
+    real_fired: list[int] = []
+    handles: list = []
+    model_events: list[_ModelEvent] = []
+    label = 0
+    for op, value in program:
+        if op == "at":
+            fire = (lambda n: lambda: real_fired.append(n))(label)
+            handles.append(scheduler.at(value, fire))
+            model_events.append(model.at(value, label))
+            label += 1
+        elif op == "call_at":
+            # call_at carries its argument in the event tuple and
+            # returns no handle; the model treats it as uncancellable.
+            scheduler.call_at(value, real_fired.append, label)
+            model.at(value, label)
+            handles.append(None)
+            model_events.append(None)
+            label += 1
+        else:  # cancel the value-th handle, if it exists and is cancellable
+            if value < len(handles) and handles[value] is not None:
+                handles[value].cancel()
+                model.cancel(model_events[value])
+                # double cancel must be a no-op on the pending count
+                handles[value].cancel()
+                model.cancel(model_events[value])
+        assert scheduler.pending == model.pending
+    model_fired = model.run()
+    scheduler.run()
+    assert real_fired == model_fired
+    assert scheduler.now == model.now
+    assert scheduler.pending == 0 == model.pending
+
+
+@given(_PROGRAM)
+@settings(max_examples=100, deadline=None)
+def test_cancel_after_fire_is_harmless(program):
+    """Cancelling fired handles never corrupts the pending count."""
+    scheduler = Scheduler()
+    handles = []
+    for op, value in program:
+        if op == "at":
+            handles.append(scheduler.at(value, lambda: None))
+    scheduler.run()
+    for handle in handles:
+        handle.cancel()
+        handle.cancel()
+    assert scheduler.pending == 0

@@ -1,0 +1,73 @@
+"""The answered-set prune: bounded memory, identical results.
+
+``Prober._answered`` exists to keep a burned subdomain from re-entering
+the reuse pool; once a probe's entry is older than the retention
+horizon it can no longer affect any reclaim decision, so it is pruned.
+These tests check both halves of that claim: the set actually shrinks
+on a long scan, and pruning changes nothing observable — the capture
+with the default retention is identical to one with retention
+effectively disabled.
+"""
+
+from repro.dnslib.constants import Rcode
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.netsim.network import Network
+from repro.prober.probe import ProbeConfig, Prober
+from repro.prober.zmap import probe_order
+from repro.resolvers.behavior import BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.netsim.ipv4 import int_to_ip
+
+
+def _run_scan(retention_windows=None, q1_target=600, responders=30, seed=3):
+    """Scan a world with responders spread across the whole walk."""
+    network = Network(seed=seed)
+    hierarchy = build_hierarchy(network)
+    addresses = list(probe_order(seed=seed, limit=q1_target))
+    spec = BehaviorSpec(
+        name="refuser", mode=ResponseMode.FABRICATE, ra=False, aa=False,
+        rcode=Rcode.REFUSED,
+    )
+    step = q1_target // responders
+    for offset in range(0, q1_target, step):
+        BehaviorHost(
+            int_to_ip(addresses[offset]), spec, hierarchy.auth.ip
+        ).attach(network)
+    config = ProbeConfig(
+        q1_target=q1_target, rate_pps=50.0, cluster_size=100,
+        response_window=2.0, seed=seed,
+    )
+    prober = Prober(network, hierarchy.auth, config)
+    if retention_windows is not None:
+        prober._ANSWERED_RETENTION_WINDOWS = retention_windows
+    capture = prober.run()
+    return prober, capture
+
+
+class TestAnsweredPruning:
+    def test_answered_set_is_pruned_on_long_scans(self):
+        prober, capture = _run_scan()
+        burned = capture.cluster_stats.burned
+        assert burned >= 25  # the responders actually answered
+        # With the scan lasting ~12s and retention 4 response windows
+        # (8s), the early answers must have been dropped from the set.
+        assert len(prober._answered) < burned
+        assert len(prober._answered_log) == len(prober._answered)
+
+    def test_pruning_does_not_change_the_capture(self):
+        pruned_prober, pruned = _run_scan()
+        kept_prober, kept = _run_scan(retention_windows=1e9)
+        assert len(kept_prober._answered) == kept.cluster_stats.burned
+        assert pruned.q1_sent == kept.q1_sent
+        assert pruned.q1_bytes == kept.q1_bytes
+        assert pruned.r2_records == kept.r2_records
+        assert pruned.cluster_stats == kept.cluster_stats
+        assert pruned.end_time == kept.end_time
+
+    def test_burned_subdomains_never_reused(self):
+        prober, capture = _run_scan()
+        # Every answered subdomain was burned exactly once: reuse of a
+        # burned allocation would re-answer and double-burn it.
+        assert capture.cluster_stats.burned == len(
+            {r.src_ip for r in capture.r2_records}
+        )

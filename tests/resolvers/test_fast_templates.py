@@ -1,0 +1,199 @@
+"""Response-template equivalence: fast host vs forced-slow host.
+
+Every BehaviorHost R2 must be byte-identical whether it went through
+the template cache or the full ``DnsMessage`` pipeline. Each test here
+deploys the *same* spec twice on one network — once normally and once
+with the handler bound straight to ``_handle_query_slow`` so no fast
+path can run — fires an identical query sequence at both (enough
+distinct qnames to exhaust the template's verify renders, so later
+replies come from the patched fast render), and requires the two reply
+streams to match byte for byte.
+"""
+
+import pytest
+
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import encode_message
+from repro.dnslib.zone import parse_master_file
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+FAST_IP = "77.88.99.1"
+SLOW_IP = "77.88.99.2"
+PROBER_IP = "132.170.1.1"
+
+#: Five same-length probe names (template fast path) plus one of a
+#: different length, which a guarded template must handle via the slow
+#: path without drifting a byte.
+QNAMES = [f"or000.000000{i}.ucfsealresearch.net" for i in range(5)] + [
+    "or000.00000099.ucfsealresearch.net"
+]
+
+ZONE_TEXT = "\n".join(
+    ["$ORIGIN ucfsealresearch.net.", "$TTL 300",
+     "@ IN SOA ns1 hostmaster 1 2 3 4 5"]
+    + [f"{qname.split('.ucfsealresearch')[0]} IN A 45.76.1.10"
+       for qname in QNAMES]
+) + "\n"
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="test", mode=ResponseMode.FABRICATE, ra=False, aa=False,
+        rcode=Rcode.NOERROR, answer_kind=AnswerKind.NONE,
+    )
+    base.update(overrides)
+    return BehaviorSpec(**base)
+
+
+def dual_probe(spec, queries, banner=None):
+    """Replies from a fast host and a slow-forced twin, paired by msg_id."""
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    fast_host = BehaviorHost(FAST_IP, spec, hierarchy.auth.ip,
+                             version_banner=banner)
+    fast_host.attach(network)
+    slow_host = BehaviorHost(SLOW_IP, spec, hierarchy.auth.ip,
+                             version_banner=banner)
+    slow_host._network = network
+    network.bind(SLOW_IP, 53, slow_host._handle_query_slow)
+    if spec.contacts_auth:
+        from repro.resolvers.host import HOST_UPSTREAM_PORT
+
+        network.bind(SLOW_IP, HOST_UPSTREAM_PORT, slow_host.handle_upstream)
+    replies: dict[str, dict[int, bytes]] = {FAST_IP: {}, SLOW_IP: {}}
+    network.bind(
+        PROBER_IP, 40000,
+        lambda dg, net: replies[dg.src_ip].__setitem__(
+            dg.payload[0] << 8 | dg.payload[1], dg.payload
+        ),
+    )
+    for msg_id, wire in enumerate(queries, start=1):
+        patched = bytes([msg_id >> 8, msg_id & 0xFF]) + wire[2:]
+        for ip in (FAST_IP, SLOW_IP):
+            network.send(Datagram(PROBER_IP, 40000, ip, 53, patched))
+    network.run()
+    return replies
+
+
+def assert_byte_identical(spec, queries=None, banner=None):
+    queries = queries if queries is not None else [
+        encode_message(make_query(qname)) for qname in QNAMES
+    ]
+    replies = dual_probe(spec, queries, banner=banner)
+    assert replies[FAST_IP], "no replies captured"
+    assert replies[FAST_IP].keys() == replies[SLOW_IP].keys()
+    for msg_id, payload in replies[FAST_IP].items():
+        assert payload == replies[SLOW_IP][msg_id], f"msg_id {msg_id} drifted"
+    return replies[FAST_IP]
+
+
+class TestFabricatedTemplates:
+    def test_refused_no_answer(self):
+        assert_byte_identical(make_spec(rcode=Rcode.REFUSED))
+
+    def test_incorrect_ip(self):
+        assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.INCORRECT_IP,
+                      fixed_answer="208.91.197.91", aa=True)
+        )
+
+    def test_incorrect_string(self):
+        assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.INCORRECT_STRING,
+                      fixed_answer="wild", ra=True)
+        )
+
+    def test_malformed(self):
+        replies = assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.MALFORMED, rcode=Rcode.NOERROR)
+        )
+        # the malformed tail really is present in the templated replies
+        assert all(payload.endswith(b"\x00") for payload in replies.values())
+
+    def test_empty_question_header_only(self):
+        assert_byte_identical(
+            make_spec(rcode=Rcode.SERVFAIL, empty_question=True)
+        )
+
+    def test_empty_question_with_answer(self):
+        assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.INCORRECT_IP,
+                      fixed_answer="6.6.6.6", empty_question=True)
+        )
+
+
+class TestCnameSuffixGuard:
+    def test_incorrect_url_plain_target(self):
+        assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.INCORRECT_URL,
+                      fixed_answer="landing.parked.example")
+        )
+
+    def test_incorrect_url_target_compresses_against_qname(self):
+        # The CNAME target shares the probe SLD: the rdata compresses
+        # against the qname, so the template tail depends on suffix
+        # overlap — the guard must keep every qname byte-identical,
+        # including the different-length one.
+        assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.INCORRECT_URL,
+                      fixed_answer="landing.ucfsealresearch.net")
+        )
+
+    def test_incorrect_url_target_equals_a_qname(self):
+        assert_byte_identical(
+            make_spec(answer_kind=AnswerKind.INCORRECT_URL,
+                      fixed_answer=QNAMES[0])
+        )
+
+
+class TestResolvedTemplates:
+    def test_correct_resolution(self):
+        assert_byte_identical(
+            make_spec(mode=ResponseMode.RESOLVE,
+                      answer_kind=AnswerKind.CORRECT, ra=True)
+        )
+
+    def test_resolve_then_ignore_answer(self):
+        # RESOLVE mode whose answer kind discards the upstream content
+        # shares the fabricate-template shape.
+        assert_byte_identical(
+            make_spec(mode=ResponseMode.RESOLVE,
+                      answer_kind=AnswerKind.INCORRECT_IP,
+                      fixed_answer="1.2.3.4", ra=True)
+        )
+
+    def test_resolve_with_extra_q2(self):
+        assert_byte_identical(
+            make_spec(mode=ResponseMode.RESOLVE,
+                      answer_kind=AnswerKind.CORRECT, ra=True, extra_q2=2)
+        )
+
+
+class TestVersionBind:
+    def _queries(self):
+        probe = [encode_message(make_query(qname)) for qname in QNAMES[:2]]
+        chaos = [
+            encode_message(
+                make_query("version.bind", qtype=qtype, qclass=DnsClass.CH)
+            )
+            for qtype in (QueryType.TXT, QueryType.ANY)
+        ]
+        return probe + chaos
+
+    def test_banner_revealed(self):
+        assert_byte_identical(
+            make_spec(rcode=Rcode.REFUSED), queries=self._queries(),
+            banner="dnsmasq-2.51",
+        )
+
+    def test_banner_refused(self):
+        assert_byte_identical(
+            make_spec(rcode=Rcode.REFUSED), queries=self._queries(),
+            banner=None,
+        )
