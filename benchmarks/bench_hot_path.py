@@ -13,9 +13,12 @@ event-loop throughput numbers the wire-level fast paths are judged by:
   that re-introduce per-datagram garbage are caught even when wall
   clock hides them on a fast machine.
 
-Results land in ``benchmarks/results/BENCH_hot_path.json`` with two
-sections: ``baseline`` (the committed pre-fast-path measurement, only
-ever rewritten by hand) and ``current`` (rewritten on every run). The
+Results land in ``benchmarks/results/BENCH_hot_path.json`` — and a
+copy is published to the repo root as ``BENCH_hot_path.json``, the
+``BENCH_*.json`` convention CI artifacts and the README point at —
+with two sections: ``baseline`` (the committed pre-fast-path
+measurement, only ever rewritten by hand) and ``current`` (rewritten
+on every run). The
 test fails when current probes/sec regresses more than
 ``REGRESSION_TOLERANCE`` against the committed baseline's
 ``post_fastpath`` run — the CI perf-smoke contract.
@@ -35,6 +38,9 @@ from repro.core import Campaign, CampaignConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULT_FILE = RESULTS_DIR / "BENCH_hot_path.json"
+
+#: Repo-root copy — the published ``BENCH_*.json`` convention.
+ROOT_RESULT_FILE = pathlib.Path(__file__).parent.parent / "BENCH_hot_path.json"
 
 SEED = 7
 
@@ -115,7 +121,9 @@ def run_benchmark() -> dict:
                 current["timed"]["probes_per_sec"] / before, 2
             )
     RESULTS_DIR.mkdir(exist_ok=True)
-    RESULT_FILE.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    RESULT_FILE.write_text(payload)
+    ROOT_RESULT_FILE.write_text(payload)
     return record
 
 

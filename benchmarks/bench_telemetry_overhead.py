@@ -1,0 +1,187 @@
+"""Telemetry overhead benchmark: the <2% disabled-path contract.
+
+Times the same serial campaign in four interleaved arms and publishes
+the ratios:
+
+- **off_a / off_b** — two identical arms of ``Campaign.run()`` with no
+  telemetry argument. The spread between them is the machine's own
+  same-code timing noise, measured live;
+- **disabled** — ``TelemetryConfig(enabled=False)`` passed explicitly.
+  ``as_hub`` collapses a disabled config to ``None``, so this MUST be
+  the identical code path: no sink attached, no closures rebuilt, the
+  wire-level fast path untouched;
+- **enabled** — full telemetry (metrics + spans + flight recorder +
+  latency histogram), reported for information, gated loosely.
+
+The contract is ``disabled`` vs ``off``: median probes/sec within
+``DISABLED_OVERHEAD_LIMIT`` (2%). Wall-clock noise on shared CI boxes
+regularly exceeds 2% for *identical* code, so the gate widens itself
+to the observed off_a/off_b spread when that spread is larger — the
+2% figure is enforced exactly on machines quiet enough to measure it,
+and the structural assertion (``as_hub(disabled) is None``, so nothing
+can attach) guarantees the contract even where timing cannot. Arms are
+interleaved round-robin rather than run as blocks so slow drift
+(frequency scaling, page cache) cancels instead of biasing one arm.
+
+Results land in ``benchmarks/results/BENCH_telemetry_overhead.json``
+and are published to the repo root as ``BENCH_telemetry_overhead.json``
+(the ``BENCH_*.json`` convention).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py``)
+or through pytest (``pytest benchmarks/bench_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import statistics
+import time
+
+from repro.core import Campaign, CampaignConfig
+from repro.telemetry import TelemetryConfig, as_hub
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_telemetry_overhead.json"
+
+#: Repo-root copy — the published ``BENCH_*.json`` convention.
+ROOT_RESULT_FILE = pathlib.Path(__file__).parent.parent / "BENCH_telemetry_overhead.json"
+
+SEED = 7
+
+#: Same shape as bench_hot_path's timed run, so the ``off`` figure is
+#: directly comparable with the committed hot-path baseline.
+TIMED_CONFIG = CampaignConfig(
+    year=2018, scale=4096, seed=SEED, time_compression=4.0
+)
+
+#: Interleaved rounds per arm; the median of N interleaved runs is
+#: far less noisy than any single run or best-of block.
+REPEATS = 5
+
+#: The contract: disabled telemetry may cost at most this fraction of
+#: probes/sec against the plain run (widened to the live-measured
+#: same-code noise floor when the machine is noisier than this).
+DISABLED_OVERHEAD_LIMIT = 0.02
+
+#: Informational bound for full telemetry — generous, it only exists
+#: to catch an accidental per-probe hot-path regression.
+ENABLED_OVERHEAD_LIMIT = 0.50
+
+
+def _timed_run(telemetry) -> dict:
+    start = time.perf_counter()
+    result = Campaign(TIMED_CONFIG).run(telemetry=telemetry)
+    wall = time.perf_counter() - start
+    q1 = result.probe_summary.q1
+    return {
+        "q1": q1,
+        "r2": result.probe_summary.r2,
+        "wall_s": round(wall, 4),
+        "probes_per_sec": round(q1 / wall, 1),
+        "report_sha256": hashlib.sha256(
+            result.report().encode("utf-8")
+        ).hexdigest()[:16],
+    }
+
+
+def measure_arms(repeats: int = REPEATS) -> dict[str, dict]:
+    """Interleaved median-of-``repeats`` timing for the four arms."""
+    arms = {
+        "off_a": None,
+        "disabled": TelemetryConfig(enabled=False),
+        "off_b": None,
+        "enabled": TelemetryConfig(),
+    }
+    _timed_run(None)  # warm-up: page cache, allocator pools, imports
+    runs: dict[str, list[dict]] = {name: [] for name in arms}
+    for _ in range(repeats):
+        for name, telemetry in arms.items():
+            runs[name].append(_timed_run(telemetry))
+    measured: dict[str, dict] = {}
+    for name, samples in runs.items():
+        rates = [sample["probes_per_sec"] for sample in samples]
+        median = statistics.median(rates)
+        # Report the sample closest to the median as the arm's record.
+        representative = min(
+            samples, key=lambda run: abs(run["probes_per_sec"] - median)
+        )
+        measured[name] = {
+            **representative,
+            "probes_per_sec": round(median, 1),
+            "runs": rates,
+        }
+    return measured
+
+
+def run_benchmark() -> dict:
+    """Measure all four arms, write and publish the JSON record."""
+    measured = measure_arms()
+    off_rates = measured["off_a"]["runs"] + measured["off_b"]["runs"]
+    off_pps = statistics.median(off_rates)
+    disabled_pps = measured["disabled"]["probes_per_sec"]
+    enabled_pps = measured["enabled"]["probes_per_sec"]
+    noise = abs(
+        measured["off_a"]["probes_per_sec"] - measured["off_b"]["probes_per_sec"]
+    ) / off_pps
+    record = {
+        "benchmark": "telemetry_overhead",
+        "config": {
+            "year": TIMED_CONFIG.year,
+            "scale": TIMED_CONFIG.scale,
+            "seed": TIMED_CONFIG.seed,
+            "repeats": REPEATS,
+        },
+        "arms": measured,
+        "off_probes_per_sec": round(off_pps, 1),
+        "same_code_noise_pct": round(noise * 100, 2),
+        "disabled_overhead_pct": round((1.0 - disabled_pps / off_pps) * 100, 2),
+        "enabled_overhead_pct": round((1.0 - enabled_pps / off_pps) * 100, 2),
+        "disabled_overhead_limit_pct": DISABLED_OVERHEAD_LIMIT * 100,
+        "effective_limit_pct": round(
+            max(DISABLED_OVERHEAD_LIMIT, noise) * 100, 2
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    RESULT_FILE.write_text(payload)
+    ROOT_RESULT_FILE.write_text(payload)
+    return record
+
+
+def test_disabled_config_attaches_nothing():
+    """The structural half of the contract: a disabled config IS the
+    plain path — ``as_hub`` collapses it to None, so no sink, span or
+    recorder can exist to be paid for."""
+    assert as_hub(None) is None
+    assert as_hub(TelemetryConfig(enabled=False)) is None
+
+
+def test_telemetry_overhead_gate():
+    record = run_benchmark()
+    arms = record["arms"]
+    off = record["off_probes_per_sec"]
+    disabled = arms["disabled"]["probes_per_sec"]
+    enabled = arms["enabled"]["probes_per_sec"]
+    assert arms["off_a"]["q1"] > 0
+    # Identical output bytes in every arm (the byte-identity contract
+    # is tested exactly in tests/telemetry; this is the cheap tripwire).
+    hashes = {arm["report_sha256"] for arm in arms.values()}
+    assert len(hashes) == 1, f"reports diverged across arms: {hashes}"
+    limit = record["effective_limit_pct"] / 100.0
+    assert disabled >= off * (1.0 - limit), (
+        f"telemetry-disabled overhead gate: {disabled:.0f} probes/s is more "
+        f"than {limit:.1%} below the plain run's {off:.0f} probes/s "
+        f"(same-code noise floor was {record['same_code_noise_pct']:.2f}%) "
+        f"— the disabled path must be the plain path"
+    )
+    assert enabled >= off * (1.0 - ENABLED_OVERHEAD_LIMIT), (
+        f"telemetry-enabled overhead: {enabled:.0f} probes/s is more than "
+        f"{ENABLED_OVERHEAD_LIMIT:.0%} below the plain run's {off:.0f} probes/s"
+    )
+
+
+if __name__ == "__main__":
+    report = run_benchmark()
+    print(json.dumps(report, indent=2, sort_keys=True))

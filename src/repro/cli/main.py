@@ -63,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="resume from a checkpoint DIR: re-execute only "
                       "the missing shards (config must match the one that "
                       "wrote the checkpoints)")
+    scan.add_argument("--metrics-out", metavar="FILE", default=None,
+                      help="enable telemetry and write the metrics "
+                      "document (counters, gauges, histograms, "
+                      "heartbeats) to FILE as JSON")
+    scan.add_argument("--trace-out", metavar="FILE", default=None,
+                      help="enable telemetry and write the campaign "
+                      "phase trace (nested spans) to FILE as JSON")
+    scan.add_argument("--flight-dir", metavar="DIR", default=None,
+                      help="enable telemetry and dump a failing "
+                      "shard's flight-recorder window (last-N wire "
+                      "events) to DIR for post-mortem")
     scan.add_argument("--save", metavar="DIR", default=None,
                       help="save the dataset to DIR")
     scan.add_argument("--markdown", metavar="FILE", default=None,
@@ -169,16 +180,23 @@ def _cmd_scan(args) -> int:
         if args.fault_profile != "none" else ""
     )
     stream_note = ", streaming" if args.stream else ""
+    telemetry = None
+    if args.metrics_out or args.trace_out or args.flight_dir:
+        from repro.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(flight_dump_dir=args.flight_dir)
     resume_note = f", resuming from {args.resume}" if args.resume else ""
+    telemetry_note = ", telemetry" if telemetry is not None else ""
     print(
         f"Scanning (year {args.year}, scale 1/{args.scale}, "
         f"seed {args.seed}{workers_note}{faults_note}{stream_note}"
-        f"{resume_note})..."
+        f"{resume_note}{telemetry_note})..."
     )
     try:
         result = Campaign(config).run(
             checkpoint_dir=args.checkpoint,
             resume_from=args.resume,
+            telemetry=telemetry,
         )
     except ValueError as error:
         if args.resume is None:
@@ -188,6 +206,13 @@ def _cmd_scan(args) -> int:
     print(result.report() if args.full_report else result.summary())
     if result.stream_stats is not None:
         print(result.stream_stats.summary())
+    if result.telemetry is not None:
+        if args.metrics_out:
+            target = result.telemetry.write_metrics(args.metrics_out)
+            print(f"Metrics written to {target}")
+        if args.trace_out:
+            target = result.telemetry.write_trace(args.trace_out)
+            print(f"Trace written to {target}")
     if args.save and args.drop_captures:
         print(
             "Note: --drop-captures retained no raw packets; the saved "

@@ -70,6 +70,7 @@ from repro.stats import (
 from repro.stream.aggregate import TableAggregate
 from repro.stream.assembler import StreamStats
 from repro.stream.pipeline import StreamPipeline
+from repro.telemetry.hub import TelemetrySnapshot, as_hub, maybe_span
 
 
 @dataclasses.dataclass(frozen=True)
@@ -244,6 +245,12 @@ class CampaignResult:
     #: part of :meth:`summary`/:meth:`report` — those bytes must match
     #: the batch path.
     stream_stats: StreamStats | None = None
+    #: Telemetry snapshot (``run(telemetry=...)`` only): merged
+    #: counters/gauges/histograms, phase spans and per-shard
+    #: heartbeats. Like ``stream_stats``, never part of
+    #: :meth:`summary`/:meth:`report` — those bytes must not depend on
+    #: whether the campaign was being watched.
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def year(self) -> int:
@@ -318,6 +325,7 @@ class Campaign:
         workers: int | None = None,
         checkpoint_dir=None,
         resume_from=None,
+        telemetry=None,
     ) -> CampaignResult:
         """Run the campaign.
 
@@ -338,8 +346,19 @@ class Campaign:
         is a one-shard campaign). A resumed run must use the same
         (seed, scale, year, workers, fault profile) — the checkpoint
         manifest enforces this.
+
+        ``telemetry`` switches on the observability layer
+        (:mod:`repro.telemetry`): pass a
+        :class:`~repro.telemetry.hub.TelemetryConfig` or a ready
+        :class:`~repro.telemetry.hub.TelemetryHub`; the result then
+        carries a :class:`~repro.telemetry.hub.TelemetrySnapshot` on
+        ``result.telemetry``. Tables are byte-identical either way —
+        telemetry observes the wire, it never touches the simulation.
+        With the default ``None`` nothing attaches and the hot path is
+        exactly the untelemetered one.
         """
         config = self.config
+        hub = as_hub(telemetry)
         worker_count = config.workers if workers is None else workers
         if worker_count > 1 or checkpoint_dir is not None or resume_from is not None:
             from repro.core.shard import run_sharded
@@ -352,13 +371,32 @@ class Campaign:
                 checkpoint_dir=checkpoint_dir if checkpoint_dir is not None
                 else resume_from,
                 resume=resume_from is not None,
+                telemetry=hub,
             )
+        with maybe_span(
+            hub, "campaign", year=config.year, scale=config.scale,
+            seed=config.seed, mode=config.mode, workers=1,
+        ):
+            result = self._run_serial(config, population_override, hub)
+        if hub is not None:
+            result.telemetry = hub.snapshot()
+        return result
+
+    def _run_serial(
+        self,
+        config: CampaignConfig,
+        population_override: SampledPopulation | None,
+        hub=None,
+    ) -> CampaignResult:
+        """The single-simulation scan (the ``workers == 1`` engine)."""
         loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
         network = Network(
             seed=config.seed,
             latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
             loss=loss,
         )
+        if hub is not None:
+            hub.tracer.clock = lambda: network.scheduler.now
         hierarchy = build_hierarchy(network)
         infrastructure = {
             hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP
@@ -371,20 +409,21 @@ class Campaign:
         )
         q1_target = scale_count(self.profile.q1_full, config.scale)
         universe: list[int] | None = None
-        if population_override is not None:
-            # The universe list is O(probes) of ints — by far the
-            # largest single allocation in a run. A pre-built
-            # population was sampled from it already, so skip it.
-            population = population_override
-        else:
-            universe = self.build_universe()
-            population = PopulationSampler(
-                self.profile,
-                scale=config.scale,
-                seed=config.seed,
-                excluded_ips=infrastructure,
-                universe=universe,
-            ).sample()
+        with maybe_span(hub, "universe_walk", q1_target=q1_target):
+            if population_override is not None:
+                # The universe list is O(probes) of ints — by far the
+                # largest single allocation in a run. A pre-built
+                # population was sampled from it already, so skip it.
+                population = population_override
+            else:
+                universe = self.build_universe()
+                population = PopulationSampler(
+                    self.profile,
+                    scale=config.scale,
+                    seed=config.seed,
+                    excluded_ips=infrastructure,
+                    universe=universe,
+                ).sample()
         software_map: dict[str, object] = {}
         banners: dict[str, str | None] = {}
         if config.fingerprinting:
@@ -401,10 +440,11 @@ class Campaign:
             validators = assign_validators(
                 population, year=config.year, seed=config.seed
             )
-        population.deploy(
-            network, auth_ip=hierarchy.auth.ip, version_banners=banners,
-            dnssec_validators=validators,
-        )
+        with maybe_span(hub, "deploy", hosts=len(population.assignments)):
+            population.deploy(
+                network, auth_ip=hierarchy.auth.ip, version_banners=banners,
+                dnssec_validators=validators,
+            )
         probe_config = ProbeConfig(
             q1_target=q1_target,
             rate_pps=self.profile.probe_rate_pps
@@ -439,39 +479,73 @@ class Campaign:
         hint = population.address_set() if config.fast else None
         prober = Prober(
             network, hierarchy.auth, probe_config, ip=PROBER_IP,
-            responder_hint=hint,
+            responder_hint=hint, telemetry=hub,
         )
-        capture = prober.run()
+        if hub is not None:
+            hub.attach(
+                network,
+                auth_ip=hierarchy.auth.ip,
+                prober_ip=PROBER_IP,
+                source_port=probe_config.source_port,
+                response_window=probe_config.response_window,
+            )
+            hub.add_sampler(
+                "scheduler.pending_events",
+                lambda: network.scheduler.pending,
+            )
+            hub.add_sampler(
+                "prober.in_flight_batches", lambda: len(prober._in_flight)
+            )
+            if pipeline is not None:
+                hub.add_sampler(
+                    "stream.live_flows",
+                    lambda: pipeline.assembler.live_flows,
+                )
+        with maybe_span(hub, "scan"):
+            capture = prober.run()
+        if hub is not None:
+            hub.detach()
+            hub.heartbeat(network.now)  # the final progress mark
+            hub.add_fault_window_spans(
+                fault_profile(config.fault_profile).plan,
+                capture.start_time, network.now,
+            )
+            hub.finalize_network(network)
+            hub.finalize_capture(capture)
         if config.time_compression != 1.0:
             capture = dataclasses.replace(
                 capture,
                 end_time=capture.start_time
                 + capture.duration * config.time_compression,
             )
-        if pipeline is not None:
-            aggregate = pipeline.finish()
-            if config.drop_captures:
-                flow_set = FlowSet(flows={}, unjoinable=[])
-                query_log: list = []
-            else:
-                flow_set = join_flows(capture.r2_records, hierarchy.auth)
-                query_log = (
-                    list(hierarchy.auth.query_log)
-                    if config.retain_query_log else []
+        with maybe_span(hub, "merge_and_analyze"):
+            if pipeline is not None:
+                aggregate = pipeline.finish()
+                if hub is not None:
+                    hub.finalize_stream(pipeline.stats)
+                if config.drop_captures:
+                    flow_set = FlowSet(flows={}, unjoinable=[])
+                    query_log: list = []
+                else:
+                    flow_set = join_flows(capture.r2_records, hierarchy.auth)
+                    query_log = (
+                        list(hierarchy.auth.query_log)
+                        if config.retain_query_log else []
+                    )
+                return self._analyze_stream(
+                    population, hierarchy, network, software_map, validators,
+                    capture, flow_set, aggregate, pipeline.stats,
+                    query_log=query_log,
                 )
-            return self._analyze_stream(
-                population, hierarchy, network, software_map, validators,
-                capture, flow_set, aggregate, pipeline.stats,
-                query_log=query_log,
+            flow_set = join_flows(capture.r2_records, hierarchy.auth)
+            query_log = (
+                list(hierarchy.auth.query_log)
+                if config.retain_query_log else []
             )
-        flow_set = join_flows(capture.r2_records, hierarchy.auth)
-        query_log = (
-            list(hierarchy.auth.query_log) if config.retain_query_log else []
-        )
-        return self._analyze(
-            population, hierarchy, network, software_map, validators,
-            capture, flow_set, query_log=query_log,
-        )
+            return self._analyze(
+                population, hierarchy, network, software_map, validators,
+                capture, flow_set, query_log=query_log,
+            )
 
     def _analyze(
         self,

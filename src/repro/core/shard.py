@@ -56,11 +56,12 @@ import concurrent.futures
 import dataclasses
 import multiprocessing
 import os
+import pathlib
 import pickle
 
 from repro.dnssrv.auth import QueryLogEntry
 from repro.dnssrv.hierarchy import build_hierarchy
-from repro.netsim.faults import build_injector
+from repro.netsim.faults import build_injector, fault_profile
 from repro.netsim.ipv4 import int_to_ip
 from repro.netsim.latency import LogNormalLatency
 from repro.netsim.loss import BernoulliLoss
@@ -82,6 +83,13 @@ from repro.resolvers.profiles import profile_for_year
 from repro.stream.aggregate import TableAggregate, merge_aggregates
 from repro.stream.assembler import StreamStats
 from repro.stream.pipeline import StreamPipeline
+from repro.telemetry.hub import (
+    TelemetryConfig,
+    TelemetryHub,
+    TelemetrySnapshot,
+    as_hub,
+    maybe_span,
+)
 
 #: Chaos-testing hooks, read by every shard worker (the environment
 #: crosses the process boundary, so they work under both inline and
@@ -136,6 +144,11 @@ class ShardTask:
     workers: int
     population_override: SampledPopulation | None = None
     attempt: int = 0
+    #: Optional observability config (picklable, crosses the process
+    #: boundary); the worker builds its own TelemetryHub from it and
+    #: ships the snapshot back on the outcome. Deliberately not part
+    #: of CampaignConfig — it never shapes shard bytes.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -162,6 +175,9 @@ class ShardOutcome:
     query_log: list[QueryLogEntry]
     aggregate: TableAggregate | None = None
     stream_stats: StreamStats | None = None
+    #: Per-shard telemetry snapshot (metrics + spans + heartbeats),
+    #: merged into the parent hub; ~KBs, so checkpoints stay cheap.
+    telemetry: TelemetrySnapshot | None = None
 
 
 def shard_universe(universe: list[int], index: int, workers: int) -> list[int]:
@@ -255,6 +271,29 @@ def _chaos_fail_count(env_name: str, index: int) -> int:
     return 0
 
 
+def _dump_flight_recorder(
+    hub: TelemetryHub | None, task: ShardTask, reason: str
+) -> None:
+    """Post-mortem: write the shard's last-N wire events to disk.
+
+    Fires when a shard worker fails or a chaos hook raises; a
+    hard-killed worker (``REPRO_CHAOS_EXIT``) gets no dump — nothing
+    survives ``os._exit``, which is the point of that chaos mode.
+    Dump failures are swallowed: post-mortem telemetry must never turn
+    a recoverable shard crash into an unrecoverable one.
+    """
+    if hub is None or hub.config.flight_dump_dir is None:
+        return
+    target = (
+        pathlib.Path(hub.config.flight_dump_dir)
+        / f"flight_shard_{task.index:04d}_attempt{task.attempt}.json"
+    )
+    try:
+        hub.recorder.dump(target, reason=reason)
+    except OSError:
+        pass
+
+
 def run_shard(task: ShardTask) -> ShardOutcome:
     """Execute one shard's scan to completion (worker entry point).
 
@@ -262,10 +301,18 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     ``ProcessPoolExecutor`` with either the fork or spawn start method.
     Any failure is re-raised as :class:`ShardExecutionError` carrying
     the shard index and derived seed, so the crash is reproducible from
-    the error message alone.
+    the error message alone. When the task carries a telemetry config
+    with a ``flight_dump_dir``, any failure (chaos hooks included) also
+    dumps the shard's flight-recorder window there for post-mortem.
     """
     shard_seed = derive_seed(task.config.seed, task.index, task.workers)
+    hub: TelemetryHub | None = None
+    if task.telemetry is not None and task.telemetry.enabled:
+        hub = TelemetryHub(task.telemetry)
     if task.attempt < _chaos_fail_count(CHAOS_RAISE_ENV, task.index):
+        _dump_flight_recorder(
+            hub, task, f"injected chaos failure ({CHAOS_RAISE_ENV})"
+        )
         raise ShardExecutionError(
             task.index, task.workers, shard_seed,
             f"injected chaos failure ({CHAOS_RAISE_ENV})",
@@ -273,17 +320,21 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     if task.attempt < _chaos_fail_count(CHAOS_EXIT_ENV, task.index):
         os._exit(13)
     try:
-        return _run_shard_scan(task, shard_seed)
-    except ShardExecutionError:
+        return _run_shard_scan(task, shard_seed, hub)
+    except ShardExecutionError as exc:
+        _dump_flight_recorder(hub, task, str(exc))
         raise
     except Exception as exc:
+        _dump_flight_recorder(hub, task, f"{type(exc).__name__}: {exc}")
         raise ShardExecutionError(
             task.index, task.workers, shard_seed,
             f"{type(exc).__name__}: {exc}",
         ) from exc
 
 
-def _run_shard_scan(task: ShardTask, shard_seed: int) -> ShardOutcome:
+def _run_shard_scan(
+    task: ShardTask, shard_seed: int, hub: TelemetryHub | None = None
+) -> ShardOutcome:
     config = task.config
     profile = profile_for_year(config.year)
     loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
@@ -292,6 +343,8 @@ def _run_shard_scan(task: ShardTask, shard_seed: int) -> ShardOutcome:
         latency=LogNormalLatency(median=config.latency_median, sigma=0.5),
         loss=loss,
     )
+    if hub is not None:
+        hub.tracer.clock = lambda: network.scheduler.now
     universe = _campaign_universe(config)
     hierarchy, population, _, banners, validators = _build_world(
         config, network, universe, task.population_override
@@ -352,13 +405,46 @@ def _run_shard_scan(task: ShardTask, shard_seed: int) -> ShardOutcome:
     hint = local.address_set() if config.fast else None
     prober = Prober(
         network, hierarchy.auth, probe_config, ip=PROBER_IP,
-        responder_hint=hint,
+        responder_hint=hint, telemetry=hub,
     )
-    capture = prober.run()
+    if hub is not None:
+        hub.attach(
+            network,
+            auth_ip=hierarchy.auth.ip,
+            prober_ip=PROBER_IP,
+            source_port=probe_config.source_port,
+            response_window=probe_config.response_window,
+        )
+        hub.add_sampler(
+            "scheduler.pending_events", lambda: network.scheduler.pending
+        )
+        hub.add_sampler(
+            "prober.in_flight_batches", lambda: len(prober._in_flight)
+        )
+        if pipeline is not None:
+            hub.add_sampler(
+                "stream.live_flows", lambda: pipeline.assembler.live_flows
+            )
+    with maybe_span(
+        hub, "shard", index=task.index, workers=task.workers,
+        attempt=task.attempt, seed=shard_seed,
+    ):
+        capture = prober.run()
+    if hub is not None:
+        hub.detach()
+        hub.heartbeat(network.now)  # the final progress mark
+        hub.add_fault_window_spans(
+            fault_profile(config.fault_profile).plan,
+            capture.start_time, network.now,
+        )
+        hub.finalize_network(network)
+        hub.finalize_capture(capture)
     aggregate = stream_stats = None
     if pipeline is not None:
         aggregate = pipeline.finish()
         stream_stats = pipeline.stats
+        if hub is not None:
+            hub.finalize_stream(stream_stats)
     if config.mode == "stream" and config.drop_captures:
         flow_set = FlowSet(flows={}, unjoinable=[])
         query_log: list[QueryLogEntry] = []
@@ -378,6 +464,7 @@ def _run_shard_scan(task: ShardTask, shard_seed: int) -> ShardOutcome:
         query_log=query_log,
         aggregate=aggregate,
         stream_stats=stream_stats,
+        telemetry=hub.snapshot() if hub is not None else None,
     )
 
 
@@ -447,6 +534,7 @@ def run_sharded(
     parallelism: str = "auto",
     checkpoint_dir=None,
     resume: bool = False,
+    telemetry=None,
 ) -> "CampaignResult":  # noqa: F821
     """Run a campaign as ``config.workers`` shards and merge the results.
 
@@ -464,6 +552,14 @@ def run_sharded(
     recorded in the result's ``degraded`` manifest — which shards, how
     many probes went unexecuted — instead of raising; only a campaign
     with *zero* surviving shards raises :class:`ShardExecutionError`.
+
+    ``telemetry`` (a :class:`~repro.telemetry.hub.TelemetryConfig` or
+    :class:`~repro.telemetry.hub.TelemetryHub`) instruments every shard
+    worker: each runs its own hub and ships a mergeable snapshot back
+    on its outcome; the parent folds them (counters add, shard spans
+    nest under the parent trace, heartbeats are shard-tagged) and the
+    merged snapshot lands on ``result.telemetry``. A failing worker
+    with a configured ``flight_dump_dir`` dumps its flight recorder.
     """
     from repro.core.campaign import (
         Campaign,
@@ -473,6 +569,7 @@ def run_sharded(
 
     if parallelism not in ("auto", "process", "inline"):
         raise ValueError(f"unknown parallelism mode: {parallelism!r}")
+    hub = as_hub(telemetry)
     workers = config.workers
     cluster_namespace_slice(0, workers)  # reject impossible splits up front
     fingerprint = checkpoint_fingerprint(config)
@@ -495,32 +592,46 @@ def run_sharded(
     pending = [index for index in range(workers) if index not in completed]
     attempts = dict.fromkeys(pending, 0)
     failures: dict[int, tuple[int, BaseException]] = {}
-    while pending:
-        tasks = [
-            ShardTask(
-                config=config,
-                index=index,
-                workers=workers,
-                population_override=population_override,
-                attempt=attempts[index],
-            )
-            for index in pending
-        ]
-        requeue = []
-        for task, result in _run_tasks(tasks, parallelism):
-            if isinstance(result, ShardOutcome):
-                completed[result.index] = result
-                if checkpoint_dir is not None:
-                    save_shard_checkpoint(
-                        checkpoint_dir, fingerprint, result.index, result
-                    )
-                continue
-            attempts[task.index] += 1
-            if attempts[task.index] > config.max_shard_retries:
-                failures[task.index] = (attempts[task.index], result)
-            else:
-                requeue.append(task.index)
-        pending = sorted(requeue)
+    with maybe_span(
+        hub, "shard_execution", workers=workers,
+        resumed=len(completed), pending=len(pending),
+    ):
+        while pending:
+            tasks = [
+                ShardTask(
+                    config=config,
+                    index=index,
+                    workers=workers,
+                    population_override=population_override,
+                    attempt=attempts[index],
+                    telemetry=hub.config if hub is not None else None,
+                )
+                for index in pending
+            ]
+            requeue = []
+            for task, result in _run_tasks(tasks, parallelism):
+                if isinstance(result, ShardOutcome):
+                    completed[result.index] = result
+                    if checkpoint_dir is not None:
+                        save_shard_checkpoint(
+                            checkpoint_dir, fingerprint, result.index, result
+                        )
+                    continue
+                attempts[task.index] += 1
+                if hub is not None:
+                    hub.registry.counter("campaign.shard_attempts_failed").inc()
+                if attempts[task.index] > config.max_shard_retries:
+                    failures[task.index] = (attempts[task.index], result)
+                else:
+                    requeue.append(task.index)
+            pending = sorted(requeue)
+        if hub is not None:
+            # Fold every shard's snapshot (resumed checkpoints included;
+            # pre-telemetry checkpoints lack the attribute entirely).
+            for index in sorted(completed):
+                hub.merge_snapshot(
+                    getattr(completed[index], "telemetry", None), shard=index
+                )
     if not completed:
         index, (tries, error) = sorted(failures.items())[0]
         raise ShardExecutionError(
@@ -530,17 +641,18 @@ def run_sharded(
         )
 
     outcomes = [completed[index] for index in sorted(completed)]
-    capture = merge_captures([outcome.capture for outcome in outcomes])
-    if config.time_compression != 1.0:
-        capture = dataclasses.replace(
-            capture,
-            end_time=capture.start_time
-            + capture.duration * config.time_compression,
-        )
-    flow_set = merge_flow_sets([outcome.flow_set for outcome in outcomes])
-    query_log = [
-        entry for outcome in outcomes for entry in outcome.query_log
-    ]
+    with maybe_span(hub, "merge", shards=len(outcomes)):
+        capture = merge_captures([outcome.capture for outcome in outcomes])
+        if config.time_compression != 1.0:
+            capture = dataclasses.replace(
+                capture,
+                end_time=capture.start_time
+                + capture.duration * config.time_compression,
+            )
+        flow_set = merge_flow_sets([outcome.flow_set for outcome in outcomes])
+        query_log = [
+            entry for outcome in outcomes for entry in outcome.query_log
+        ]
     loss = BernoulliLoss(config.loss_rate) if config.loss_rate else None
     network = Network(
         seed=config.seed,
@@ -548,34 +660,40 @@ def run_sharded(
         loss=loss,
     )
     universe = _campaign_universe(config)
-    hierarchy, population, software_map, banners, validators = _build_world(
-        config, network, universe, population_override
-    )
-    population.deploy(
-        network, auth_ip=hierarchy.auth.ip, version_banners=banners,
-        dnssec_validators=validators,
-    )
+    with maybe_span(hub, "build_parent_world"):
+        hierarchy, population, software_map, banners, validators = _build_world(
+            config, network, universe, population_override
+        )
+        population.deploy(
+            network, auth_ip=hierarchy.auth.ip, version_banners=banners,
+            dnssec_validators=validators,
+        )
     campaign = Campaign(config)
-    if config.mode == "stream":
-        # merge_aggregates folds into its first element; outcomes are
-        # fresh per run, so the mutation is private. Index order is
-        # cosmetic — the merge laws make any order byte-identical.
-        aggregate = merge_aggregates(
-            [outcome.aggregate for outcome in outcomes]
-        )
-        stream_stats = StreamStats()
-        for outcome in outcomes:
-            stream_stats.merge(outcome.stream_stats)
-        result = campaign._analyze_stream(
-            population, hierarchy, network, software_map, validators,
-            capture, flow_set, aggregate, stream_stats,
-            query_log=query_log,
-        )
-    else:
-        result = campaign._analyze(
-            population, hierarchy, network, software_map, validators,
-            capture, flow_set, query_log=query_log,
-        )
+    with maybe_span(hub, "analyze", mode=config.mode):
+        if config.mode == "stream":
+            # merge_aggregates folds into its first element; outcomes are
+            # fresh per run, so the mutation is private. Index order is
+            # cosmetic — the merge laws make any order byte-identical.
+            aggregate = merge_aggregates(
+                [outcome.aggregate for outcome in outcomes]
+            )
+            stream_stats = StreamStats()
+            for outcome in outcomes:
+                stream_stats.merge(outcome.stream_stats)
+            result = campaign._analyze_stream(
+                population, hierarchy, network, software_map, validators,
+                capture, flow_set, aggregate, stream_stats,
+                query_log=query_log,
+            )
+        else:
+            result = campaign._analyze(
+                population, hierarchy, network, software_map, validators,
+                capture, flow_set, query_log=query_log,
+            )
+    if hub is not None:
+        hub.registry.counter("campaign.shards_completed").inc(len(outcomes))
+        hub.registry.counter("campaign.shards_failed").inc(len(failures))
+        result.telemetry = hub.snapshot()
     if failures:
         records = [
             ShardFailureRecord(

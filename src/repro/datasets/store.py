@@ -80,18 +80,54 @@ def _shard_filename(index: int) -> str:
     return f"shard_{index:04d}.pkl"
 
 
+def _fsync_directory(path: pathlib.Path) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Some filesystems don't support fsync on a directory fd; treat that
+    as best-effort rather than failing the checkpoint.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_atomic(target: pathlib.Path, payload: bytes) -> None:
+    """Write ``payload`` to ``target`` via tmp-file + fsync + rename.
+
+    The data hits the disk before the rename is issued, and the
+    directory entry is flushed after, so a crash at any point leaves
+    either the old file (or nothing) or the complete new file — never
+    a torn one under the real name.
+    """
+    temporary = target.parent / (target.name + ".tmp")
+    with open(temporary, "wb") as stream:
+        stream.write(payload)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(temporary, target)
+    _fsync_directory(target.parent)
+
+
 def save_shard_checkpoint(
     directory, fingerprint: dict, index: int, outcome
 ) -> pathlib.Path:
-    """Persist one completed shard outcome, atomically.
+    """Persist one completed shard outcome, crash-durably.
 
     The first checkpoint writes a manifest carrying the campaign
     ``fingerprint`` (every config field that shapes shard bytes);
     later writes — and :func:`load_shard_checkpoints` — verify against
     it, so a checkpoint directory can never silently mix shards from
-    two different campaigns. The pickle is written to a temp file and
-    renamed into place: a crash mid-write leaves no half-checkpoint
-    for a resume to trip over.
+    two different campaigns. Both the manifest and the pickle are
+    written to a temp file, fsynced, and renamed into place (with the
+    directory entry flushed after): a crash mid-write leaves no torn
+    manifest or half-checkpoint for a resume to trip over.
     """
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
@@ -100,12 +136,14 @@ def save_shard_checkpoint(
     if manifest_path.exists():
         _verify_shard_manifest(manifest_path, fingerprint)
     else:
-        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        _write_atomic(
+            manifest_path,
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+        )
     target = path / _shard_filename(index)
-    temporary = path / (target.name + ".tmp")
-    with open(temporary, "wb") as stream:
-        pickle.dump(outcome, stream, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(temporary, target)
+    _write_atomic(
+        target, pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+    )
     return target
 
 
@@ -135,7 +173,8 @@ def load_shard_checkpoints(directory, fingerprint: dict) -> dict[int, object]:
     Returns ``{shard_index: outcome}``. An empty or nonexistent
     directory resumes to nothing (a fresh run); a directory whose
     manifest names a different campaign raises. A checkpoint that fails
-    to unpickle is treated as not completed — crash tolerance means a
+    to unpickle is treated as not completed, and stray ``*.tmp`` files
+    left by a crash mid-write are quarantined — crash tolerance means a
     torn file costs a shard re-run, never the campaign.
     """
     path = pathlib.Path(directory)
@@ -143,6 +182,14 @@ def load_shard_checkpoints(directory, fingerprint: dict) -> dict[int, object]:
     if not manifest_path.exists():
         return {}
     _verify_shard_manifest(manifest_path, fingerprint)
+    for leftover in sorted(path.glob("*.tmp")):
+        # A crash between tmp-write and rename leaves a torn tmp file.
+        # Quarantine it so it can never be mistaken for a checkpoint;
+        # the shard it belonged to simply re-runs.
+        try:
+            os.replace(leftover, leftover.with_name(leftover.name + ".quarantined"))
+        except OSError:
+            pass
     outcomes: dict[int, object] = {}
     for checkpoint in sorted(path.glob("shard_*.pkl")):
         try:

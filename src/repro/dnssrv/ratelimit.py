@@ -37,9 +37,14 @@ class ResponseRateLimiter:
             bucket = _Bucket(tokens=self.burst, updated=now)
             self._buckets[client_ip] = bucket
         else:
-            elapsed = max(0.0, now - bucket.updated)
-            bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
-            bucket.updated = now
+            elapsed = now - bucket.updated
+            if elapsed > 0.0:
+                # Only refill — and only advance the refill watermark —
+                # when the clock moved forward. A clock regression must
+                # not drag ``updated`` backwards, or the next forward
+                # call would re-credit the same interval (free tokens).
+                bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+                bucket.updated = now
         if bucket.tokens >= 1.0:
             bucket.tokens -= 1.0
             self.allowed += 1

@@ -237,12 +237,17 @@ class Prober:
         config: ProbeConfig,
         ip: str = PROBER_IP,
         responder_hint: set[str] | None = None,
+        telemetry=None,
     ) -> None:
         self.network = network
         self.auth = auth
         self.config = config
         self.ip = ip
         self.responder_hint = responder_hint
+        # Optional repro.telemetry.TelemetryHub; consulted only at
+        # cluster-install time (once per ~cluster_size probes), never
+        # in the per-probe loop, so the disabled path costs nothing.
+        self._telemetry = telemetry
         self.scheme = SubdomainScheme(sld=config.sld)
         # Integer form of the hint: the send loop works in address ints
         # and only renders dotted quads for probes it materializes.
@@ -524,4 +529,7 @@ class Prober:
         """Generate and load the next subdomain cluster at the auth server."""
         next_cluster = self.allocator.current_cluster + 1
         zone = self.allocator.build_cluster_zone(next_cluster, self.auth.ip)
-        return self.auth.install_cluster(zone, now, graceful=True)
+        ready_at = self.auth.install_cluster(zone, now, graceful=True)
+        if self._telemetry is not None:
+            self._telemetry.record_zone_install(now, ready_at, next_cluster)
+        return ready_at

@@ -1,0 +1,44 @@
+"""Campaign observability: metrics, tracing, and a flight recorder.
+
+The paper's multi-hour scans were watched live (probe rates, zone
+reloads, timeout behavior — §III); this package gives the reproduction
+the same runtime visibility at near-zero cost. See DESIGN.md §9 for
+the architecture and the overhead contract, and the README's
+"Monitoring a campaign" quickstart for the CLI surface
+(``scan --metrics-out metrics.json --trace-out trace.json``).
+"""
+
+from repro.telemetry.hub import (
+    TelemetryConfig,
+    TelemetryHub,
+    TelemetrySink,
+    TelemetrySnapshot,
+    as_hub,
+    maybe_span,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanRecord",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "TelemetrySink",
+    "TelemetrySnapshot",
+    "Tracer",
+    "as_hub",
+    "maybe_span",
+]

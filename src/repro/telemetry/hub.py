@@ -1,0 +1,459 @@
+"""The campaign-facing telemetry surface: config, sink, hub, snapshot.
+
+One :class:`TelemetryHub` owns the three observability organs for one
+process — a :class:`~repro.telemetry.metrics.MetricsRegistry`, a
+:class:`~repro.telemetry.tracing.Tracer` and a
+:class:`~repro.telemetry.recorder.FlightRecorder` — and wires them to
+the simulation through the exact same choke points the streaming
+pipeline uses: a network event sink (:class:`TelemetrySink`, attached
+via :meth:`repro.netsim.network.Network.attach_sink`) plus pull-style
+*samplers* polled at heartbeats (scheduler pending depth, prober
+in-flight ledger, assembler live flows).
+
+Overhead contract (see DESIGN.md §9):
+
+- **Disabled is free.** A campaign run without a hub attaches nothing:
+  no sink (so the PR-4 closure-free ``Network.send`` fast path stays
+  closure-free), no samplers, no per-probe branches in the prober's
+  batch loop. The CI gate pins the disabled overhead under 2%.
+- **Enabled is bounded.** The sink does endpoint comparisons, counter
+  increments, one bounded-deque append, and (for probe traffic) one
+  qname peek; the in-flight latency map is pruned every heartbeat, so
+  enabled-mode memory is O(in-flight probes + ring capacity +
+  heartbeat cap), never O(probes).
+- **Invisible to the tables.** Telemetry never schedules a simulation
+  event, draws randomness, or perturbs delivery order — heartbeats
+  piggyback on traffic the scan was sending anyway — so Tables II–X
+  are byte-identical with telemetry on or off (golden-tested).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Callable
+
+from repro.netsim.packet import Datagram
+from repro.stream.events import DNS_PORT, qname_from_payload
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.recorder import DEFAULT_CAPACITY, FlightRecorder
+from repro.telemetry.tracing import Tracer
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs for one campaign's telemetry. Plain and picklable — it
+    crosses the shard process boundary on :class:`ShardTask`.
+
+    ``heartbeat_interval`` is in *simulated* seconds: heartbeats mark
+    scan progress (probes walked, queue depth) at points of the scan,
+    not of the host's wall clock. ``flight_dump_dir`` enables the
+    automatic post-mortem dump: when a shard worker fails (or a chaos
+    hook fires) its flight-recorder window is written there as
+    ``flight_shard_NNNN_attemptK.json``.
+
+    Deliberately *not* part of :class:`CampaignConfig`: telemetry never
+    shapes shard bytes, so it stays out of the checkpoint fingerprint
+    and a resumed campaign may change its observability freely.
+    """
+
+    enabled: bool = True
+    heartbeat_interval: float = 5.0
+    max_heartbeats: int = 1024
+    flight_capacity: int = DEFAULT_CAPACITY
+    track_latency: bool = True
+    flight_dump_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.max_heartbeats < 2:
+            raise ValueError("max_heartbeats must be at least 2")
+        if self.flight_capacity <= 0:
+            raise ValueError("flight_capacity must be positive")
+
+
+@dataclasses.dataclass
+class TelemetrySnapshot:
+    """Everything a hub measured, as plain mergeable data.
+
+    Rides home on :class:`~repro.core.shard.ShardOutcome` (so it is in
+    shard checkpoints too) and on ``CampaignResult.telemetry``. Merge
+    laws match the stream accumulators: any grouping of shards folds to
+    the same totals.
+    """
+
+    metrics: MetricsSnapshot = dataclasses.field(default_factory=MetricsSnapshot)
+    spans: list[dict] = dataclasses.field(default_factory=list)
+    heartbeats: list[dict] = dataclasses.field(default_factory=list)
+
+    def metrics_dict(self) -> dict:
+        """JSON-ready metrics document (``scan --metrics-out``)."""
+        document = self.metrics.to_dict()
+        document["heartbeats"] = list(self.heartbeats)
+        return document
+
+    def trace_dict(self) -> dict:
+        """JSON-ready trace document (``scan --trace-out``)."""
+        return {"spans": list(self.spans)}
+
+    def write_metrics(self, path) -> pathlib.Path:
+        target = pathlib.Path(path)
+        target.write_text(json.dumps(self.metrics_dict(), indent=2) + "\n")
+        return target
+
+    def write_trace(self, path) -> pathlib.Path:
+        target = pathlib.Path(path)
+        target.write_text(json.dumps(self.trace_dict(), indent=2) + "\n")
+        return target
+
+
+class TelemetrySink:
+    """Network event sink: classifies wire traffic into metrics.
+
+    Endpoint filters, identical to the streaming
+    :class:`~repro.stream.events.CaptureSink`: the prober's (ip, scan
+    port) marks Q1 on send and R2 on delivery; the auth server's
+    (ip, 53) marks a served query (one Q2 + one R1) on send. Heartbeats
+    piggyback on observed traffic — the sink never schedules events, so
+    the simulation's event sequence (and its end time) is untouched.
+    """
+
+    def __init__(
+        self,
+        hub: "TelemetryHub",
+        auth_ip: str,
+        prober_ip: str,
+        source_port: int,
+        response_window: float = 5.0,
+    ) -> None:
+        self.hub = hub
+        self.auth_ip = auth_ip
+        self.prober_ip = prober_ip
+        self.source_port = source_port
+        self._track_latency = hub.config.track_latency
+        #: qname -> first-transmission sim time, pruned every heartbeat.
+        self._in_flight: dict[str, float] = {}
+        self._latency_horizon = 2.0 * response_window
+        registry = hub.registry
+        self._q1_sent = registry.counter("prober.q1_wire_sent")
+        self._q2_r1 = registry.counter("auth.queries_served")
+        self._r2 = registry.counter("prober.r2_delivered")
+        self._latency = registry.histogram("prober.q1_to_r2_latency_s")
+        self._recorder = hub.recorder
+
+    def on_send(self, now: float, datagram: Datagram) -> None:
+        self._recorder.record(
+            now, "send", datagram.src_ip, datagram.src_port,
+            datagram.dst_ip, datagram.dst_port, datagram.wire_size,
+        )
+        if datagram.src_ip == self.auth_ip and datagram.src_port == DNS_PORT:
+            self._q2_r1.inc()
+        elif (
+            datagram.src_ip == self.prober_ip
+            and datagram.src_port == self.source_port
+            and datagram.dst_port == DNS_PORT
+        ):
+            self._q1_sent.inc()
+            if self._track_latency:
+                qname = qname_from_payload(datagram.payload)
+                if qname is not None:
+                    # First transmission wins: a retry's R2 closes the
+                    # latency clock its original probe started.
+                    self._in_flight.setdefault(qname, now)
+        if now >= self.hub._next_heartbeat:
+            self.hub.heartbeat(now)
+
+    def on_deliver(self, now: float, datagram: Datagram) -> None:
+        self._recorder.record(
+            now, "deliver", datagram.src_ip, datagram.src_port,
+            datagram.dst_ip, datagram.dst_port, datagram.wire_size,
+        )
+        if (
+            datagram.dst_ip == self.prober_ip
+            and datagram.dst_port == self.source_port
+        ):
+            self._r2.inc()
+            if self._track_latency:
+                qname = qname_from_payload(datagram.payload)
+                if qname is not None:
+                    started = self._in_flight.pop(qname, None)
+                    if started is not None:
+                        self._latency.observe(now - started)
+
+    def prune(self, now: float) -> None:
+        """Forget unanswered probes past the latency horizon — their
+        subdomains may be reused, and a reused qname must start a fresh
+        latency clock. Keeps the in-flight map O(live probes)."""
+        deadline = now - self._latency_horizon
+        if not self._in_flight:
+            return
+        expired = [
+            qname
+            for qname, started in self._in_flight.items()
+            if started <= deadline
+        ]
+        for qname in expired:
+            del self._in_flight[qname]
+
+
+class TelemetryHub:
+    """One process's telemetry: registry + tracer + flight recorder."""
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.recorder = FlightRecorder(self.config.flight_capacity)
+        self.heartbeats: list[dict] = []
+        self._samplers: dict[str, Callable[[], float]] = {}
+        self._sink: TelemetrySink | None = None
+        self._network = None
+        self._heartbeat_interval = self.config.heartbeat_interval
+        self._next_heartbeat = self.config.heartbeat_interval
+        self._last_beat_sim = 0.0
+        self._last_beat_q1 = 0
+        self._start_wall = time.perf_counter()
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(
+        self,
+        network,
+        auth_ip: str,
+        prober_ip: str,
+        source_port: int,
+        response_window: float = 5.0,
+    ) -> TelemetrySink:
+        """Attach the wire sink and point the tracer's simulated clock
+        at ``network``. Call once per simulation, before traffic."""
+        self.tracer.clock = lambda: network.scheduler.now
+        self._sink = TelemetrySink(
+            self, auth_ip, prober_ip, source_port, response_window
+        )
+        self._network = network
+        network.attach_sink(self._sink)
+        return self._sink
+
+    def detach(self) -> None:
+        if self._network is not None and self._sink is not None:
+            self._network.detach_sink(self._sink)
+        self._sink = None
+
+    def add_sampler(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge polled at every heartbeat (queue depths,
+        ledger sizes — anything cheap and instantaneous)."""
+        self._samplers[name] = fn
+
+    # -- heartbeats ------------------------------------------------------
+
+    def heartbeat(self, now: float) -> dict:
+        """Record one progress heartbeat at simulated time ``now``."""
+        registry = self.registry
+        gauges: dict[str, float] = {}
+        for name, fn in self._samplers.items():
+            value = float(fn())
+            registry.gauge(name).set(value)
+            gauges[name] = value
+        q1 = registry.counter("prober.q1_wire_sent").value
+        elapsed = now - self._last_beat_sim
+        if elapsed > 0:
+            rate = (q1 - self._last_beat_q1) / elapsed
+            registry.gauge("prober.probes_per_sim_sec").set(rate)
+            gauges["prober.probes_per_sim_sec"] = rate
+        beat = {
+            "sim_time": now,
+            "wall_time": round(time.perf_counter() - self._start_wall, 6),
+            "q1_wire_sent": q1,
+            "queries_served": registry.counter("auth.queries_served").value,
+            "r2_delivered": registry.counter("prober.r2_delivered").value,
+            "gauges": gauges,
+        }
+        self.heartbeats.append(beat)
+        self._last_beat_sim = now
+        self._last_beat_q1 = q1
+        if len(self.heartbeats) >= self.config.max_heartbeats:
+            # Decimate: halve resolution, double the interval. Keeps
+            # the heartbeat log bounded on arbitrarily long scans while
+            # preserving full-scan coverage.
+            self.heartbeats = self.heartbeats[::2]
+            self._heartbeat_interval *= 2.0
+        self._next_heartbeat = now + self._heartbeat_interval
+        if self._sink is not None:
+            self._sink.prune(now)
+        return beat
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name: str, **meta):
+        return self.tracer.span(name, **meta)
+
+    def record_zone_install(
+        self, now: float, ready_at: float, cluster: int
+    ) -> None:
+        """One zone cluster installed/reloaded at the auth server: a
+        span covering the load window plus a counter (called by the
+        prober, once per ~cluster_size probes)."""
+        self.registry.counter("auth.zone_installs").inc()
+        self.tracer.add_span(
+            "auth:zone_install", now, ready_at, cluster=cluster
+        )
+
+    def add_fault_window_spans(
+        self, plan, start: float, end: float, limit: int = 64
+    ) -> int:
+        """Record a fault plan's deterministic latency-spike windows
+        inside [start, end] as spans.
+
+        Spans are capped at ``limit`` (long scans cross thousands of
+        windows; the trace wants the pattern, not every instance) —
+        the ``fault.latency_spike_windows`` counter always carries the
+        true total."""
+        if plan is None or plan.spike_duration <= 0 or end <= start:
+            return 0
+        period = plan.spike_period
+        index = int(start // period)
+        added = 0
+        total = 0
+        while True:
+            window_start = index * period
+            if window_start >= end:
+                break
+            window_end = window_start + plan.spike_duration
+            if window_end > start:
+                total += 1
+                if added < limit:
+                    self.tracer.add_span(
+                        "fault:latency_spike",
+                        max(window_start, start),
+                        min(window_end, end),
+                        factor=plan.spike_factor,
+                    )
+                    added += 1
+            index += 1
+        self.registry.counter("fault.latency_spike_windows").inc(total)
+        return added
+
+    # -- finalization ----------------------------------------------------
+
+    def finalize_network(self, network) -> None:
+        """Fold the network's lifetime stats into counters."""
+        stats = network.stats
+        registry = self.registry
+        for name in (
+            "sent", "delivered", "lost", "unbound", "bytes_sent",
+            "bytes_delivered", "blackholed", "burst_lost", "duplicated",
+        ):
+            registry.counter(f"net.{name}").inc(getattr(stats, name))
+        registry.counter("scheduler.events_processed").inc(
+            network.scheduler.processed
+        )
+
+    def finalize_capture(self, capture) -> None:
+        """Fold the prober's ledger into counters."""
+        registry = self.registry
+        registry.counter("prober.q1_targets").inc(capture.q1_sent)
+        registry.counter("prober.retries_sent").inc(capture.retries_sent)
+        registry.counter("prober.retries_exhausted").inc(
+            capture.retries_exhausted
+        )
+        registry.counter("prober.retry_bytes").inc(capture.retry_bytes)
+        registry.counter("prober.clusters_installed").inc(
+            capture.cluster_stats.clusters_created
+        )
+        registry.counter("prober.subdomains_reused").inc(
+            capture.cluster_stats.reused_allocations
+        )
+
+    def finalize_stream(self, stream_stats) -> None:
+        """Fold the assembler's eviction accounting into counters."""
+        if stream_stats is None:
+            return
+        registry = self.registry
+        registry.counter("stream.flows_opened").inc(stream_stats.flows_opened)
+        registry.counter("stream.flows_evicted").inc(
+            stream_stats.flows_evicted
+        )
+        registry.counter("stream.peak_live_flows").inc(
+            stream_stats.peak_live_flows
+        )
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            metrics=self.registry.snapshot(),
+            spans=self.tracer.export(),
+            heartbeats=list(self.heartbeats),
+        )
+
+    def merge_snapshot(
+        self, snapshot: TelemetrySnapshot | None, shard: int | None = None
+    ) -> None:
+        """Fold one shard's snapshot into this (parent) hub.
+
+        Shard spans are re-parented under the currently open span and
+        tagged; shard heartbeats are tagged and kept in sim-time order
+        at read time (they interleave across concurrent shards)."""
+        if snapshot is None:
+            return
+        parent = self.registry.snapshot()
+        parent.merge(snapshot.metrics)
+        # Registry is the source of truth; write merged counters back.
+        for name, value in parent.counters.items():
+            counter = self.registry.counter(name)
+            counter.value = value
+        for name, gauge in parent.gauges.items():
+            mine = self.registry.gauge(name)
+            mine.last = gauge["last"]
+            mine.min = gauge["min"]
+            mine.max = gauge["max"]
+            mine.samples = gauge["samples"]
+        for name, histogram in parent.histograms.items():
+            mine = self.registry.histogram(
+                name, bounds=tuple(histogram["bounds"])
+            )
+            mine.counts = list(histogram["counts"])
+            mine.count = histogram["count"]
+            mine.sum = histogram["sum"]
+            mine.min = histogram["min"]
+            mine.max = histogram["max"]
+        meta = {} if shard is None else {"shard": shard}
+        self.tracer.adopt(snapshot.spans, **meta)
+        for beat in snapshot.heartbeats:
+            tagged = dict(beat)
+            if shard is not None:
+                tagged["shard"] = shard
+            self.heartbeats.append(tagged)
+
+
+def as_hub(telemetry) -> TelemetryHub | None:
+    """Normalize ``Campaign.run(telemetry=...)``'s argument.
+
+    Accepts None (telemetry off), a :class:`TelemetryConfig` (a hub is
+    built for it; a disabled config yields None), or a ready
+    :class:`TelemetryHub`.
+    """
+    if telemetry is None:
+        return None
+    if isinstance(telemetry, TelemetryHub):
+        return telemetry if telemetry.config.enabled else None
+    if isinstance(telemetry, TelemetryConfig):
+        return TelemetryHub(telemetry) if telemetry.enabled else None
+    raise TypeError(
+        "telemetry must be None, a TelemetryConfig or a TelemetryHub: "
+        f"{telemetry!r}"
+    )
+
+
+def maybe_span(hub: TelemetryHub | None, name: str, **meta):
+    """A span when telemetry is on, a no-op context otherwise."""
+    if hub is None:
+        return contextlib.nullcontext()
+    return hub.span(name, **meta)

@@ -1,0 +1,261 @@
+"""Low-overhead metric primitives: counters, gauges, histograms.
+
+The paper's campaign was a multi-hour Internet-wide scan whose health
+(probe rate, zone reloads, timeout behavior) had to be watched live;
+this module provides the primitives the :mod:`repro.telemetry` layer
+records that health with. Everything here is deliberately boring:
+
+- a metric is a plain mutable object, updated by direct method calls
+  (no locks — one simulation, one thread);
+- a :class:`MetricsRegistry` snapshot is a plain-data
+  :class:`MetricsSnapshot` (dicts and lists only), so it pickles across
+  the shard process boundary and merges associatively — the same laws
+  the :mod:`repro.stream` accumulators obey;
+- histograms use fixed bucket boundaries chosen at registration, so two
+  shards' histograms always merge bucket-for-bucket.
+
+Nothing in this module touches the simulation: recording a metric
+never schedules an event, draws randomness, or advances a clock, which
+is what keeps Tables II–X byte-identical with telemetry enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Default histogram bucket upper bounds (seconds): log-ish spacing
+#: from sub-millisecond to a whole response window and beyond. The
+#: final implicit bucket is +inf.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A sampled instantaneous value with min/max/last tracking."""
+
+    __slots__ = ("last", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; one extra overflow bucket
+    catches everything past the last edge. Observation is two
+    comparisons and a bisect — cheap enough for per-R2 latency.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS) -> None:
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Linear scan beats bisect for ~a dozen buckets, and most
+        # latency samples land in the first few.
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket midpoints (diagnostic only)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            upper = (
+                self.bounds[index] if index < len(self.bounds) else self.max
+            )
+            if seen >= rank:
+                return (lower + upper) / 2.0
+            lower = upper
+        return self.max
+
+
+@dataclasses.dataclass
+class MetricsSnapshot:
+    """Plain-data, picklable, mergeable registry state.
+
+    Merging obeys the accumulator laws the streaming pipeline relies
+    on: counters and histogram buckets add, gauge extrema combine, so
+    per-shard snapshots fold into one campaign snapshot in any order.
+    """
+
+    counters: dict[str, int] = dataclasses.field(default_factory=dict)
+    gauges: dict[str, dict] = dataclasses.field(default_factory=dict)
+    histograms: dict[str, dict] = dataclasses.field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> None:
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, gauge in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = dict(gauge)
+                continue
+            if gauge["samples"]:
+                mine["last"] = gauge["last"]
+                mine["min"] = min(mine["min"], gauge["min"]) if mine["samples"] else gauge["min"]
+                mine["max"] = max(mine["max"], gauge["max"]) if mine["samples"] else gauge["max"]
+                mine["samples"] += gauge["samples"]
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = {
+                    "bounds": list(histogram["bounds"]),
+                    "counts": list(histogram["counts"]),
+                    "count": histogram["count"],
+                    "sum": histogram["sum"],
+                    "min": histogram["min"],
+                    "max": histogram["max"],
+                }
+                continue
+            if mine["bounds"] != list(histogram["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket boundaries differ; "
+                    "snapshots are not mergeable"
+                )
+            mine["counts"] = [
+                a + b for a, b in zip(mine["counts"], histogram["counts"])
+            ]
+            mine["count"] += histogram["count"]
+            mine["sum"] += histogram["sum"]
+            mine["min"] = min(mine["min"], histogram["min"])
+            mine["max"] = max(mine["max"], histogram["max"])
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (infinities rendered as None)."""
+
+        def finite(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {
+                name: {
+                    "last": gauge["last"],
+                    "min": finite(gauge["min"]),
+                    "max": finite(gauge["max"]),
+                    "samples": gauge["samples"],
+                }
+                for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(histogram["bounds"]),
+                    "counts": list(histogram["counts"]),
+                    "count": histogram["count"],
+                    "sum": histogram["sum"],
+                    "min": finite(histogram["min"]),
+                    "max": finite(histogram["max"]),
+                }
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics for one simulation (one shard, or the parent)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(bounds)
+        return metric
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={
+                name: counter.value
+                for name, counter in self._counters.items()
+            },
+            gauges={
+                name: {
+                    "last": gauge.last,
+                    "min": gauge.min,
+                    "max": gauge.max,
+                    "samples": gauge.samples,
+                }
+                for name, gauge in self._gauges.items()
+            },
+            histograms={
+                name: {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                }
+                for name, histogram in self._histograms.items()
+            },
+        )

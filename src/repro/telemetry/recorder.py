@@ -1,0 +1,90 @@
+"""Bounded ring-buffer flight recorder for netsim traffic.
+
+When a multi-hour campaign shard dies, the final tables are gone and
+the only question that matters is *what was on the wire just before*.
+The :class:`FlightRecorder` keeps the last N network events — sends
+and deliveries, with simulated timestamps, endpoints and sizes — in a
+``deque(maxlen=N)``, so memory is constant no matter how long the scan
+runs. The shard runner dumps it to JSON automatically when a shard
+worker fails or a chaos hook fires (see
+:func:`repro.core.shard.run_shard`).
+
+Events are stored as plain tuples, not dataclasses: the recorder sits
+on the per-datagram path when telemetry is enabled, and a tuple append
+into a bounded deque is about as cheap as observation gets.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+
+#: Default ring capacity — enough to cover several response windows of
+#: hostile-profile traffic at test scales without growing the snapshot.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Last-N wire events, constant memory."""
+
+    __slots__ = ("capacity", "_ring", "recorded")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque[tuple] = deque(maxlen=capacity)
+        #: Total events ever recorded (exceeds ``len(events())`` once
+        #: the ring wraps — the dump reports how much history was lost).
+        self.recorded = 0
+
+    def record(
+        self,
+        now: float,
+        kind: str,
+        src_ip: str,
+        src_port: int,
+        dst_ip: str,
+        dst_port: int,
+        size: int,
+    ) -> None:
+        self.recorded += 1
+        self._ring.append((now, kind, src_ip, src_port, dst_ip, dst_port, size))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> list[dict]:
+        """The retained window, oldest first, JSON-ready."""
+        return [
+            {
+                "sim_time": event[0],
+                "kind": event[1],
+                "src": f"{event[2]}:{event[3]}",
+                "dst": f"{event[4]}:{event[5]}",
+                "bytes": event[6],
+            }
+            for event in self._ring
+        ]
+
+    def to_dict(self, reason: str | None = None) -> dict:
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": max(0, self.recorded - len(self._ring)),
+            "reason": reason,
+            "events": self.events(),
+        }
+
+    def dump(self, path, reason: str | None = None) -> pathlib.Path:
+        """Write the retained window to ``path`` as JSON (atomically —
+        a post-mortem artifact must never itself be torn)."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temporary = target.with_name(target.name + ".tmp")
+        temporary.write_text(
+            json.dumps(self.to_dict(reason=reason), indent=2) + "\n"
+        )
+        temporary.replace(target)
+        return target

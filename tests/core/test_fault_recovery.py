@@ -54,7 +54,7 @@ class TestShardFailureReporting:
     def test_unexpected_exceptions_are_wrapped(self, monkeypatch):
         monkeypatch.setattr(
             "repro.core.shard._run_shard_scan",
-            lambda task, seed: (_ for _ in ()).throw(KeyError("boom")),
+            lambda task, seed, hub=None: (_ for _ in ()).throw(KeyError("boom")),
         )
         with pytest.raises(ShardExecutionError, match="KeyError"):
             run_shard(ShardTask(config=CONFIG, index=2, workers=4))
@@ -228,6 +228,44 @@ class TestCheckpointResume:
         )
         assert executed == [2]
         assert resumed.report() == serial.report()
+
+    def test_crash_between_tmp_write_and_rename_re_runs_only_that_shard(
+        self, serial, monkeypatch, tmp_path
+    ):
+        # Simulate a worker killed mid-checkpoint: the shard's pickle
+        # was written to its temp name but the rename never happened,
+        # so the directory holds a stray *.tmp and no shard_0002.pkl.
+        checkpoint_dir = tmp_path / "ckpt"
+        run_sharded(
+            sharded_config(), parallelism="inline",
+            checkpoint_dir=checkpoint_dir,
+        )
+        committed = checkpoint_dir / "shard_0002.pkl"
+        torn = checkpoint_dir / "shard_0002.pkl.tmp"
+        torn.write_bytes(committed.read_bytes()[:64])
+        committed.unlink()
+        executed = []
+
+        def counting_run_shard(task):
+            executed.append(task.index)
+            return run_shard(task)
+
+        monkeypatch.setattr(
+            "repro.core.shard.run_shard", counting_run_shard
+        )
+        resumed = run_sharded(
+            sharded_config(), parallelism="inline",
+            checkpoint_dir=checkpoint_dir, resume=True,
+        )
+        assert executed == [2]
+        assert resumed.report() == serial.report()
+        # The torn temp file was quarantined, never adopted.
+        assert not torn.exists()
+        assert (checkpoint_dir / "shard_0002.pkl.tmp.quarantined").exists()
+        saved = load_shard_checkpoints(
+            checkpoint_dir, checkpoint_fingerprint(sharded_config())
+        )
+        assert sorted(saved) == [0, 1, 2, 3]
 
 
 class TestFaultProfileCampaigns:

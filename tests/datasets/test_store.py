@@ -98,3 +98,78 @@ class TestOfflineAnalysis:
         after = analyze_dataset(load_campaign(saved))
         comparison = compare_datasets(before, after)
         assert comparison.open_resolvers_declined
+
+
+class TestShardCheckpointDurability:
+    """Crash-durability of the checkpoint store: atomic writes, fsync,
+    quarantine of torn temp files."""
+
+    FINGERPRINT = {"year": 2018, "scale": 4096, "seed": 3, "workers": 4}
+
+    def _save(self, directory, index, outcome="outcome"):
+        from repro.datasets.store import save_shard_checkpoint
+
+        return save_shard_checkpoint(
+            directory, self.FINGERPRINT, index, outcome
+        )
+
+    def _load(self, directory):
+        from repro.datasets.store import load_shard_checkpoints
+
+        return load_shard_checkpoints(directory, self.FINGERPRINT)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        self._save(tmp_path, 0)
+        self._save(tmp_path, 1)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert sorted(self._load(tmp_path)) == [0, 1]
+
+    def test_save_fsyncs_data_before_rename(self, tmp_path, monkeypatch):
+        import os as real_os
+
+        import repro.datasets.store as store
+
+        calls = []
+        original_fsync = real_os.fsync
+
+        def recording_fsync(fd):
+            calls.append(fd)
+            return original_fsync(fd)
+
+        monkeypatch.setattr(store.os, "fsync", recording_fsync)
+        self._save(tmp_path, 0)
+        # First save writes manifest and pickle: each fsyncs its data
+        # file and the containing directory entry.
+        assert len(calls) >= 4
+
+    def test_crash_before_manifest_rename_leaves_no_torn_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.datasets.store as store
+
+        def exploding_replace(src, dst):
+            raise KeyboardInterrupt("crash between tmp-write and rename")
+
+        monkeypatch.setattr(store.os, "replace", exploding_replace)
+        with pytest.raises(KeyboardInterrupt):
+            self._save(tmp_path, 0)
+        # The real name never exists torn; only the tmp file does.
+        assert not (tmp_path / "shards.json").exists()
+        monkeypatch.undo()
+        # A later (post-restart) load quarantines the leftover and
+        # resumes to nothing rather than choking on torn JSON.
+        assert self._load(tmp_path) == {}
+
+    def test_load_quarantines_stray_tmp_files(self, tmp_path):
+        self._save(tmp_path, 0)
+        self._save(tmp_path, 1)
+        torn = tmp_path / "shard_0002.pkl.tmp"
+        torn.write_bytes(b"\x80\x05half-a-pickle")
+        outcomes = self._load(tmp_path)
+        assert sorted(outcomes) == [0, 1]
+        assert not torn.exists()
+        quarantined = tmp_path / "shard_0002.pkl.tmp.quarantined"
+        assert quarantined.exists()
+        # Quarantined leftovers stay quarantined on the next load.
+        assert sorted(self._load(tmp_path)) == [0, 1]
+        assert quarantined.exists()

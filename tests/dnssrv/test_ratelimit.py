@@ -84,3 +84,28 @@ class TestRrlOnResolver:
         # RRL suppresses most of the reflected flood.
         assert limited.victim_packets < 0.35 * unlimited.victim_packets
         assert limited.victim_bytes < 0.35 * unlimited.victim_bytes
+
+
+class TestClockRegression:
+    def test_backwards_clock_mints_no_free_tokens(self):
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=2.0)
+        # Drain the burst at t=10.
+        assert limiter.allow("9.9.9.9", 10.0)
+        assert limiter.allow("9.9.9.9", 10.0)
+        assert not limiter.allow("9.9.9.9", 10.0)
+        # The clock jumps backwards (reordered events, a resync): the
+        # refill watermark must not move back with it...
+        assert not limiter.allow("9.9.9.9", 5.0)
+        # ...or returning to the original time would re-credit the
+        # 10s-5s "elapsed" interval as free tokens.
+        assert not limiter.allow("9.9.9.9", 10.0)
+        # Genuine forward progress still refills from the watermark.
+        assert limiter.allow("9.9.9.9", 11.0)
+
+    def test_regression_then_partial_recovery_charges_nothing(self):
+        limiter = ResponseRateLimiter(rate_per_second=2.0, burst=1.0)
+        assert limiter.allow("9.9.9.9", 100.0)
+        assert not limiter.allow("9.9.9.9", 0.0)
+        # Time seen so far peaked at 100; 99.9 is still the past.
+        assert not limiter.allow("9.9.9.9", 99.9)
+        assert limiter.allow("9.9.9.9", 100.5)

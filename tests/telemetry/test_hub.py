@@ -1,0 +1,173 @@
+"""TelemetryHub unit behavior: config, heartbeats, fault spans, merge."""
+
+import pickle
+
+import pytest
+
+from repro.netsim.faults import FaultPlan
+from repro.telemetry import (
+    TelemetryConfig,
+    TelemetryHub,
+    TelemetrySnapshot,
+    as_hub,
+    maybe_span,
+)
+
+
+class TestConfig:
+    def test_defaults_enabled_and_picklable(self):
+        config = TelemetryConfig()
+        assert config.enabled
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(max_heartbeats=1)
+        with pytest.raises(ValueError):
+            TelemetryConfig(flight_capacity=0)
+
+
+class TestAsHub:
+    def test_none_and_disabled_collapse_to_none(self):
+        assert as_hub(None) is None
+        assert as_hub(TelemetryConfig(enabled=False)) is None
+        assert as_hub(TelemetryHub(TelemetryConfig(enabled=False))) is None
+
+    def test_config_builds_hub(self):
+        hub = as_hub(TelemetryConfig(heartbeat_interval=2.0))
+        assert isinstance(hub, TelemetryHub)
+        assert hub.config.heartbeat_interval == 2.0
+
+    def test_ready_hub_passes_through(self):
+        hub = TelemetryHub()
+        assert as_hub(hub) is hub
+
+    def test_anything_else_rejected(self):
+        with pytest.raises(TypeError):
+            as_hub(True)
+
+
+class TestMaybeSpan:
+    def test_none_hub_is_noop(self):
+        with maybe_span(None, "phase"):
+            pass
+
+    def test_hub_records_span(self):
+        hub = TelemetryHub()
+        with maybe_span(hub, "phase", seed=3):
+            pass
+        (span,) = hub.tracer.spans
+        assert span.name == "phase"
+        assert span.meta == {"seed": 3}
+
+
+class TestHeartbeats:
+    def test_heartbeat_polls_samplers_and_rates(self):
+        hub = TelemetryHub()
+        depth = {"value": 17.0}
+        hub.add_sampler("scheduler.pending_events", lambda: depth["value"])
+        hub.registry.counter("prober.q1_wire_sent").inc(100)
+        beat = hub.heartbeat(10.0)
+        assert beat["sim_time"] == 10.0
+        assert beat["q1_wire_sent"] == 100
+        assert beat["gauges"]["scheduler.pending_events"] == 17.0
+        assert beat["gauges"]["prober.probes_per_sim_sec"] == pytest.approx(10.0)
+        depth["value"] = 3.0
+        hub.registry.counter("prober.q1_wire_sent").inc(50)
+        beat = hub.heartbeat(15.0)
+        # Rate is per-interval, not cumulative.
+        assert beat["gauges"]["prober.probes_per_sim_sec"] == pytest.approx(10.0)
+        gauge = hub.registry.gauge("scheduler.pending_events")
+        assert gauge.min == 3.0 and gauge.max == 17.0
+
+    def test_decimation_bounds_the_log(self):
+        hub = TelemetryHub(TelemetryConfig(max_heartbeats=8, heartbeat_interval=1.0))
+        now = 0.0
+        for _ in range(100):
+            now = hub._next_heartbeat
+            hub.heartbeat(now)
+        assert len(hub.heartbeats) < 8
+        # Decimation doubled the interval instead of dropping coverage.
+        assert hub._heartbeat_interval > 1.0
+        times = [beat["sim_time"] for beat in hub.heartbeats]
+        assert times == sorted(times)
+
+
+class TestFaultWindowSpans:
+    def _plan(self):
+        return FaultPlan(
+            spike_period=100.0, spike_duration=10.0, spike_factor=4.0
+        )
+
+    def test_windows_inside_range_become_spans(self):
+        hub = TelemetryHub()
+        added = hub.add_fault_window_spans(self._plan(), 0.0, 350.0)
+        assert added == 4  # windows at 0, 100, 200, 300
+        spans = [s for s in hub.tracer.spans if s.name == "fault:latency_spike"]
+        assert len(spans) == 4
+        assert spans[1].start_sim == 100.0
+        assert spans[1].end_sim == 110.0
+        counter = hub.registry.counter("fault.latency_spike_windows")
+        assert counter.value == 4
+
+    def test_span_cap_keeps_true_total_in_counter(self):
+        hub = TelemetryHub()
+        added = hub.add_fault_window_spans(self._plan(), 0.0, 100_000.0, limit=64)
+        assert added == 64
+        assert hub.registry.counter("fault.latency_spike_windows").value == 1000
+
+    def test_no_plan_or_empty_range_is_zero(self):
+        hub = TelemetryHub()
+        assert hub.add_fault_window_spans(None, 0.0, 100.0) == 0
+        assert hub.add_fault_window_spans(self._plan(), 50.0, 50.0) == 0
+
+
+class TestMergeSnapshot:
+    def _shard_snapshot(self, q1: int) -> TelemetrySnapshot:
+        shard = TelemetryHub()
+        shard.registry.counter("prober.q1_wire_sent").inc(q1)
+        shard.registry.histogram("prober.q1_to_r2_latency_s").observe(0.05)
+        with shard.span("shard", index=0):
+            pass
+        shard.heartbeat(5.0)
+        return shard.snapshot()
+
+    def test_counters_spans_heartbeats_fold_in(self):
+        parent = TelemetryHub()
+        with parent.span("campaign"):
+            parent.merge_snapshot(self._shard_snapshot(10), shard=0)
+            parent.merge_snapshot(self._shard_snapshot(32), shard=1)
+        snapshot = parent.snapshot()
+        assert snapshot.metrics.counters["prober.q1_wire_sent"] == 42
+        histogram = snapshot.metrics.histograms["prober.q1_to_r2_latency_s"]
+        assert histogram["count"] == 2
+        shard_spans = [
+            span for span in snapshot.spans if span["name"] == "shard"
+        ]
+        assert {span["meta"]["shard"] for span in shard_spans} == {0, 1}
+        assert {beat["shard"] for beat in snapshot.heartbeats} == {0, 1}
+
+    def test_merging_none_is_noop(self):
+        parent = TelemetryHub()
+        parent.merge_snapshot(None)
+        assert parent.snapshot().metrics.counters == {}
+
+    def test_snapshot_documents(self, tmp_path):
+        snapshot = self._shard_snapshot(5)
+        metrics_path = snapshot.write_metrics(tmp_path / "metrics.json")
+        trace_path = snapshot.write_trace(tmp_path / "trace.json")
+        import json
+
+        metrics = json.loads(metrics_path.read_text())
+        trace = json.loads(trace_path.read_text())
+        assert metrics["counters"]["prober.q1_wire_sent"] == 5
+        assert len(metrics["heartbeats"]) == 1
+        assert trace["spans"][0]["name"] == "shard"
+
+    def test_snapshot_pickles(self):
+        snapshot = self._shard_snapshot(5)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.metrics.counters == snapshot.metrics.counters
+        assert clone.spans == snapshot.spans

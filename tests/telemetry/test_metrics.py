@@ -1,0 +1,174 @@
+"""Metric primitives: counters, gauges, histograms, mergeable snapshots."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+
+class TestGauge:
+    def test_tracks_last_min_max_samples(self):
+        gauge = Gauge()
+        assert gauge.samples == 0
+        for value in (3.0, -1.0, 7.0):
+            gauge.set(value)
+        assert gauge.last == 7.0
+        assert gauge.min == -1.0
+        assert gauge.max == 7.0
+        assert gauge.samples == 3
+
+    def test_unsampled_extrema_are_infinite(self):
+        gauge = Gauge()
+        assert gauge.min == math.inf
+        assert gauge.max == -math.inf
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # Bounds are inclusive upper edges; the last bucket is overflow.
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.0)
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+
+    def test_quantile_bounds_checked(self):
+        histogram = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        assert histogram.quantile(0.5) == 0.0  # empty histogram
+
+    def test_quantile_monotone(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 2.5, 3.0, 5.0, 7.0, 9.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[-1] <= histogram.max
+
+
+class TestMetricsSnapshotMerge:
+    def _snapshot(self, q1: int, latencies: list[float]) -> MetricsSnapshot:
+        registry = MetricsRegistry()
+        registry.counter("prober.q1").inc(q1)
+        registry.gauge("queue.depth").set(float(q1))
+        histogram = registry.histogram("lat", bounds=(1.0, 2.0))
+        for value in latencies:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_counters_add(self):
+        merged = self._snapshot(10, [])
+        merged.merge(self._snapshot(32, []))
+        assert merged.counters["prober.q1"] == 42
+
+    def test_gauges_combine_extrema(self):
+        merged = self._snapshot(10, [])
+        merged.merge(self._snapshot(32, []))
+        gauge = merged.gauges["queue.depth"]
+        assert gauge["min"] == 10.0
+        assert gauge["max"] == 32.0
+        assert gauge["last"] == 32.0
+        assert gauge["samples"] == 2
+
+    def test_histogram_buckets_add(self):
+        merged = self._snapshot(1, [0.5, 1.5])
+        merged.merge(self._snapshot(1, [0.7, 5.0]))
+        histogram = merged.histograms["lat"]
+        assert histogram["counts"] == [2, 1, 1]
+        assert histogram["count"] == 4
+        assert histogram["min"] == 0.5
+        assert histogram["max"] == 5.0
+
+    def test_merge_is_associative(self):
+        parts = [self._snapshot(n, [float(n)]) for n in (1, 2, 3)]
+        left = self._snapshot(0, [])
+        for part in parts:
+            left.merge(part)
+        right_tail = self._snapshot(0, [])
+        right_tail.merge(parts[1])
+        right_tail.merge(parts[2])
+        right = parts[0]
+        right.merge(right_tail)
+        assert left.counters == right.counters
+        assert left.histograms == right.histograms
+
+    def test_mismatched_histogram_bounds_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", bounds=(1.0, 3.0)).observe(0.5)
+        other = registry.snapshot()
+        merged = self._snapshot(1, [0.5])
+        with pytest.raises(ValueError, match="boundaries differ"):
+            merged.merge(other)
+
+    def test_merge_into_empty_copies(self):
+        merged = MetricsSnapshot()
+        part = self._snapshot(7, [0.5])
+        merged.merge(part)
+        assert merged.counters == part.counters
+        assert merged.histograms == part.histograms
+        # A copy, not an alias: mutating the merged side must not leak.
+        merged.histograms["lat"]["counts"][0] += 1
+        assert part.histograms["lat"]["counts"][0] == 1
+
+    def test_snapshot_pickles(self):
+        snapshot = self._snapshot(7, [0.5])
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.counters == snapshot.counters
+        assert clone.histograms == snapshot.histograms
+
+
+class TestToDict:
+    def test_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("g")  # never set: infinite extrema
+        document = registry.snapshot().to_dict()
+        assert list(document["counters"]) == ["a", "b"]
+        # Infinities are unrepresentable in JSON; rendered as None.
+        assert document["gauges"]["g"]["min"] is None
+        assert document["gauges"]["g"]["max"] is None
+
+
+class TestMetricsRegistry:
+    def test_metrics_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("x") is registry.gauge("x")
+        assert registry.histogram("x") is registry.histogram("x")
+
+    def test_default_latency_bounds_increase(self):
+        assert all(
+            a < b
+            for a, b in zip(DEFAULT_LATENCY_BOUNDS, DEFAULT_LATENCY_BOUNDS[1:])
+        )

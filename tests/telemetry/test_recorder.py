@@ -1,0 +1,67 @@
+"""Flight recorder: bounded ring, drop accounting, atomic dumps."""
+
+import json
+
+import pytest
+
+from repro.telemetry.recorder import DEFAULT_CAPACITY, FlightRecorder
+
+
+def _fill(recorder: FlightRecorder, count: int) -> None:
+    for index in range(count):
+        recorder.record(
+            float(index), "send", "1.2.3.4", 31337, "8.8.8.8", 53, 64
+        )
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_keeps_last_n_oldest_first(self):
+        recorder = FlightRecorder(capacity=4)
+        _fill(recorder, 10)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        times = [event["sim_time"] for event in recorder.events()]
+        assert times == [6.0, 7.0, 8.0, 9.0]
+
+    def test_event_shape(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record(1.5, "deliver", "8.8.8.8", 53, "1.2.3.4", 31337, 120)
+        (event,) = recorder.events()
+        assert event == {
+            "sim_time": 1.5,
+            "kind": "deliver",
+            "src": "8.8.8.8:53",
+            "dst": "1.2.3.4:31337",
+            "bytes": 120,
+        }
+
+    def test_drop_accounting(self):
+        recorder = FlightRecorder(capacity=3)
+        _fill(recorder, 2)
+        assert recorder.to_dict()["dropped"] == 0
+        _fill(recorder, 5)
+        document = recorder.to_dict(reason="chaos")
+        assert document["recorded"] == 7
+        assert document["dropped"] == 4
+        assert document["reason"] == "chaos"
+        assert document["capacity"] == 3
+
+
+class TestDump:
+    def test_dump_writes_json_and_no_tmp_remains(self, tmp_path):
+        recorder = FlightRecorder(capacity=8)
+        _fill(recorder, 3)
+        target = recorder.dump(
+            tmp_path / "post" / "flight.json", reason="shard 2 died"
+        )
+        document = json.loads(target.read_text())
+        assert document["reason"] == "shard 2 died"
+        assert len(document["events"]) == 3
+        assert list(tmp_path.glob("**/*.tmp")) == []

@@ -1,0 +1,118 @@
+"""Span tracing: nesting, elapsed-interval spans, shard adoption."""
+
+from repro.telemetry.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanNesting:
+    def test_children_reference_parents(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("campaign") as campaign:
+            clock.now = 1.0
+            with tracer.span("scan", year=2018) as scan:
+                clock.now = 5.0
+            with tracer.span("merge"):
+                clock.now = 6.0
+        assert campaign.parent_id is None
+        assert scan.parent_id == campaign.span_id
+        assert scan.meta == {"year": 2018}
+        assert scan.start_sim == 1.0 and scan.end_sim == 5.0
+        assert scan.sim_duration == 4.0
+        assert campaign.end_sim == 6.0
+        assert campaign.wall_duration >= scan.wall_duration >= 0.0
+
+    def test_siblings_after_close_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        root, a, b = tracer.spans
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (span,) = tracer.spans
+        assert span.end_sim is not None
+        assert tracer._stack == []
+
+    def test_default_clock_is_zero(self):
+        tracer = Tracer()
+        with tracer.span("x") as span:
+            pass
+        assert span.start_sim == 0.0 and span.end_sim == 0.0
+
+
+class TestAddSpan:
+    def test_records_closed_simulated_interval(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            record = tracer.add_span("fault:spike", 120.0, 135.0, factor=4.0)
+        assert record.start_sim == 120.0
+        assert record.end_sim == 135.0
+        assert record.meta == {"factor": 4.0}
+        # The interval existed in simulated time only.
+        assert record.wall_duration == 0.0
+        assert record.parent_id == tracer.spans[0].span_id
+
+
+class TestAdopt:
+    def _shard_spans(self):
+        clock = FakeClock()
+        shard = Tracer(clock)
+        with shard.span("shard", index=1):
+            clock.now = 3.0
+            with shard.span("scan"):
+                clock.now = 9.0
+        return shard.export()
+
+    def test_renumbers_and_reparents(self):
+        parent = Tracer()
+        with parent.span("campaign"):
+            with parent.span("shard_execution") as holder:
+                parent.adopt(self._shard_spans(), shard=1)
+        spans = {span.name: span for span in parent.spans}
+        shard_root = spans["shard"]
+        shard_scan = spans["scan"]
+        # Roots of the adopted forest hang off the open span.
+        assert shard_root.parent_id == holder.span_id
+        assert shard_scan.parent_id == shard_root.span_id
+        assert shard_root.meta == {"index": 1, "shard": 1}
+        # Renumbering keeps ids unique across the whole trace.
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_adopting_twice_never_collides(self):
+        parent = Tracer()
+        with parent.span("campaign"):
+            parent.adopt(self._shard_spans(), shard=0)
+            parent.adopt(self._shard_spans(), shard=1)
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+        with parent.span("after"):
+            pass
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_export_round_trips_through_dicts(self):
+        exported = self._shard_spans()
+        parent = Tracer()
+        parent.adopt(exported)
+        assert [span.name for span in parent.spans] == ["shard", "scan"]
+        assert parent.spans[0].start_sim == 0.0
+        assert parent.spans[1].end_sim == 9.0
