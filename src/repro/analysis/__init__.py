@@ -18,10 +18,12 @@ Table VIII                :func:`measure_top_destinations`
 Table IX                  :func:`measure_malicious_categories`
 Table X                   :func:`measure_malicious_flags`
 section IV-C2 countries   :func:`measure_country_distribution`
+forwarder census (new)    :func:`measure_forwarders`
 ========================  =====================================
 """
 
 from repro.analysis.correctness import is_correct, measure_correctness
+from repro.analysis.forwarders import measure_forwarders
 from repro.analysis.headers import (
     measure_flag_table,
     measure_open_resolver_estimates,
@@ -48,12 +50,14 @@ from repro.analysis.report import (
     render_country_distribution,
     render_empty_question,
     render_flag_table,
+    render_forwarder_table,
     render_incorrect_forms,
     render_malicious_categories,
     render_malicious_flags,
     render_probe_summary,
     render_rcode_table,
     render_top_destinations,
+    render_validation_table,
 )
 
 __all__ = [
@@ -70,6 +74,7 @@ __all__ = [
     "measure_country_distribution",
     "measure_empty_question",
     "measure_flag_table",
+    "measure_forwarders",
     "measure_incorrect_forms",
     "measure_malicious_categories",
     "measure_malicious_flags",
@@ -81,10 +86,12 @@ __all__ = [
     "render_country_distribution",
     "render_empty_question",
     "render_flag_table",
+    "render_forwarder_table",
     "render_incorrect_forms",
     "render_malicious_categories",
     "render_malicious_flags",
     "render_probe_summary",
     "render_rcode_table",
     "render_top_destinations",
+    "render_validation_table",
 ]

@@ -1,0 +1,52 @@
+"""Transparent-forwarder census from the batch capture (§IV, new table).
+
+A transparent forwarder does not resolve: it relays the probe upstream
+with the *original client source address*, so the recursive answer
+returns to the prober from an address that never received a probe.
+The census therefore joins each flow's final R2 source against the
+capture's send-time target log (``ProbeCapture.targets``): a match is
+an *on-path* answer, a mismatch is *off-path* and attributes one more
+probed target to the answering upstream's fan-in.
+
+The streaming pipeline computes the same census online
+(:meth:`repro.stream.aggregate.TableAggregate.forwarder_table`); the
+conformance suite pins the two byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.prober.capture import FlowSet
+from repro.stats import ForwarderRow, ForwarderTable
+
+
+def measure_forwarders(
+    flow_set: FlowSet, targets: dict[str, str]
+) -> ForwarderTable:
+    """Split joined answers into on-path / off-path and rank upstreams.
+
+    ``targets`` maps each probe qname to the destination of its latest
+    transmission; flows whose qname has no recorded target (the
+    FORMERR empty-qname flow, or a ``--drop-captures`` run with an
+    empty log) contribute to neither bucket.
+    """
+    on_path = 0
+    off_path = 0
+    fan_in: dict[str, set[str]] = {}
+    for view in flow_set.views:
+        if view.qname is None:
+            continue
+        target = targets.get(view.qname)
+        if target is None:
+            continue
+        if view.src_ip == target:
+            on_path += 1
+        else:
+            off_path += 1
+            fan_in.setdefault(view.src_ip, set()).add(target)
+    rows = tuple(
+        ForwarderRow(upstream=upstream, fan_in=len(answered))
+        for upstream, answered in sorted(
+            fan_in.items(), key=lambda item: (-len(item[1]), item[0])
+        )
+    )
+    return ForwarderTable(on_path=on_path, off_path=off_path, rows=rows)

@@ -12,12 +12,14 @@ from repro.stats import (
     CorrectnessTable,
     EmptyQuestionSummary,
     FlagTable,
+    ForwarderTable,
     IncorrectFormsTable,
     MaliciousCategoryTable,
     MaliciousFlagTable,
     ProbeSummary,
     RcodeTable,
     TopDestinationRow,
+    ValidationTable,
 )
 from repro.threatintel.geo import country_name
 
@@ -213,6 +215,44 @@ def render_malicious_flags(table: MaliciousFlagTable, title="Table X") -> str:
          "AA1", f"{table.aa1:,}", f"{table.aa1_share:.1f}"],
     ]
     return _table(["RA", "#R", "%R", "AA", "#A", "%A"], rows, title)
+
+
+def render_forwarder_table(
+    table: ForwarderTable, title="Transparent forwarders (off-path R2)",
+    top: int = 10,
+) -> str:
+    rows = [
+        ["on-path", f"{table.on_path:,}", "-"],
+        ["off-path", f"{table.off_path:,}", f"{table.off_path_share:.3f}"],
+    ]
+    for row in table.rows[:top]:
+        rows.append([row.upstream, f"{row.fan_in:,}", "fan-in"])
+    if len(table.rows) > top:
+        rest = sum(row.fan_in for row in table.rows[top:])
+        rows.append([f"({len(table.rows) - top} more)", f"{rest:,}", "fan-in"])
+    return _table(["R2 source", "#", "%/role"], rows, title)
+
+
+def render_validation_table(
+    tables: dict[int, ValidationTable],
+    title="DNSSEC validation behavior",
+) -> str:
+    rows = [
+        [
+            str(year),
+            f"{t.targets:,}",
+            f"{t.responsive:,}",
+            f"{t.validating:,}",
+            f"{t.non_validating:,}",
+            f"{t.unresponsive:,}",
+            f"{t.validating_share:.3f}",
+        ]
+        for year, t in sorted(tables.items())
+    ]
+    header = [
+        "Year", "Targets", "Resp", "Validating", "Non-val", "Unresp", "Val(%)"
+    ]
+    return _table(header, rows, title)
 
 
 def render_country_distribution(

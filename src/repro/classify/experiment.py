@@ -23,6 +23,10 @@ class ResolverClass(enum.Enum):
 
     RECURSIVE = "recursive"        # Q2 source == probed address
     PROXY = "forwarding proxy"     # Q2 source != probed address
+    #: The answer itself arrives from an address that was never probed:
+    #: the target relayed the query upstream *with the scanner's source
+    #: address*, so the upstream resolved and replied directly.
+    TRANSPARENT_FORWARDER = "transparent forwarder"
     FABRICATOR = "no-recursion"    # answered without any Q2
     UNRESPONSIVE = "unresponsive"  # no R2 at all
 
@@ -36,6 +40,10 @@ class ClassificationReport:
 
     classes: dict[str, ResolverClass]
     proxy_upstreams: dict[str, str]  # proxy ip -> observed upstream ip
+    #: transparent-forwarder ip -> the unprobed address that answered.
+    transparent_upstreams: dict[str, str] = dataclasses.field(
+        default_factory=dict
+    )
 
     def count(self, cls: ResolverClass) -> int:
         return sum(1 for value in self.classes.values() if value is cls)
@@ -44,6 +52,11 @@ class ClassificationReport:
     def upstream_fan_in(self) -> dict[str, int]:
         """How many proxies share each upstream resolver."""
         return dict(Counter(self.proxy_upstreams.values()))
+
+    @property
+    def transparent_fan_in(self) -> dict[str, int]:
+        """How many transparent forwarders share each answering upstream."""
+        return dict(Counter(self.transparent_upstreams.values()))
 
     def share(self, cls: ResolverClass) -> float:
         total = len(self.classes)
@@ -66,7 +79,7 @@ class ResolverClassifier:
         self.scanner_ip = scanner_ip
         self.source_port = source_port
         self.probe_prefix = probe_prefix
-        self._responses: dict[str, bool] = {}  # qname -> answered
+        self._responses: dict[str, str] = {}  # qname -> responder src ip
 
     def _qname(self, index: int) -> str:
         return f"{self.probe_prefix}-{index:06d}.{self.hierarchy.sld}"
@@ -100,12 +113,20 @@ class ResolverClassifier:
             q2_sources.setdefault(entry.qname, entry.src_ip)
         classes: dict[str, ResolverClass] = {}
         proxy_upstreams: dict[str, str] = {}
+        transparent_upstreams: dict[str, str] = {}
         for target in targets:
             qname = qname_for[target]
-            answered = self._responses.get(qname, False)
+            responder = self._responses.get(qname)
             source = q2_sources.get(qname)
-            if not answered and source is None:
+            if responder is None and source is None:
                 classes[target] = ResolverClass.UNRESPONSIVE
+            elif responder is not None and responder != target:
+                # Off-path answer: the probe's unique qname came back
+                # from an address the scan never touched — the
+                # transparent-forwarder signature. The Q2 source (when
+                # captured) is that same upstream.
+                classes[target] = ResolverClass.TRANSPARENT_FORWARDER
+                transparent_upstreams[target] = responder
             elif source is None:
                 classes[target] = ResolverClass.FABRICATOR
             elif source == target:
@@ -114,7 +135,9 @@ class ResolverClassifier:
                 classes[target] = ResolverClass.PROXY
                 proxy_upstreams[target] = source
         return ClassificationReport(
-            classes=classes, proxy_upstreams=proxy_upstreams
+            classes=classes,
+            proxy_upstreams=proxy_upstreams,
+            transparent_upstreams=transparent_upstreams,
         )
 
     def _on_response(self, datagram: Datagram, network: Network) -> None:
@@ -123,7 +146,9 @@ class ResolverClassifier:
         except DnsWireError:
             return
         if response.qname is not None:
-            self._responses[response.qname] = True
+            # Last responder wins, mirroring the campaign join's
+            # last-record-wins view of duplicate R2s.
+            self._responses[response.qname] = datagram.src_ip
 
 
 def build_classification_world(
@@ -131,12 +156,15 @@ def build_classification_world(
     proxies: int = 30,
     fabricators: int = 5,
     shared_upstreams: int = 3,
+    transparent: int = 0,
     seed: int = 0,
 ) -> tuple[Network, Hierarchy, list[str]]:
     """A world with the Schomp-style resolver-population structure.
 
     Proxies dominate; each forwards to one of a few shared upstream
     (ISP) recursives that are not themselves in the probe list.
+    Transparent forwarders relay with the client's source address to
+    the same shared upstreams, so their answers arrive off-path.
     """
     if shared_upstreams <= 0:
         raise ValueError("need at least one shared upstream")
@@ -166,6 +194,15 @@ def build_classification_world(
         )
         BehaviorHost(ip, spec, hierarchy.auth.ip).attach(network)
         targets.append(ip)
+    for index in range(transparent):
+        ip = f"203.50.{index // 250}.{index % 250 + 1}"
+        spec = BehaviorSpec(
+            name="transparent", mode=ResponseMode.TRANSPARENT, ra=True,
+            aa=False, answer_kind=AnswerKind.CORRECT,
+            forward_to=upstream_ips[index % shared_upstreams],
+        )
+        BehaviorHost(ip, spec, hierarchy.auth.ip).attach(network)
+        targets.append(ip)
     return network, hierarchy, targets
 
 
@@ -183,4 +220,12 @@ def render_classification(report: ClassificationReport) -> str:
         lines.append("  proxy fan-in (upstream <- proxies):")
         for upstream, count in sorted(fan_in.items(), key=lambda kv: -kv[1]):
             lines.append(f"    {upstream:<16} <- {count:,} proxies")
+    transparent_fan_in = report.transparent_fan_in
+    if transparent_fan_in:
+        lines.append("")
+        lines.append("  transparent fan-in (upstream <- forwarders):")
+        for upstream, count in sorted(
+            transparent_fan_in.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"    {upstream:<16} <- {count:,} forwarders")
     return "\n".join(lines)

@@ -123,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     dnssec.add_argument("--year", type=int, default=2018, choices=(2013, 2018))
     dnssec.add_argument("--scale", type=int, default=8192)
     dnssec.add_argument("--seed", type=int, default=7)
+    dnssec.add_argument("--validation", action="store_true",
+                        help="also run the bogus-RRSIG validation-behavior "
+                        "probe: who blocks a name with a broken signature "
+                        "while answering the valid control")
 
     classify = sub.add_parser(
         "classify", help="recursive-vs-proxy classification"
@@ -130,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--recursives", type=int, default=15)
     classify.add_argument("--proxies", type=int, default=60)
     classify.add_argument("--fabricators", type=int, default=10)
+    classify.add_argument("--transparent", type=int, default=0,
+                          help="plant N transparent forwarders (answers "
+                          "arrive off-path from their shared upstreams)")
     classify.add_argument("--upstreams", type=int, default=4)
     classify.add_argument("--seed", type=int, default=7)
 
@@ -404,6 +411,14 @@ def _cmd_dnssec(args) -> int:
     )
     census = scanner.scan(targets)
     print(render_validator_census(census, args.year))
+    if args.validation:
+        from repro.dnssec import render_validation_census, run_validation_census
+
+        print(f"Probing {len(targets):,} responders with a bogus-RRSIG zone...")
+        validation = run_validation_census(
+            config, result.population, result.dnssec_validators or None
+        )
+        print(render_validation_census(validation, args.year))
     return 0
 
 
@@ -419,6 +434,7 @@ def _cmd_classify(args) -> int:
         proxies=args.proxies,
         fabricators=args.fabricators,
         shared_upstreams=args.upstreams,
+        transparent=args.transparent,
         seed=args.seed,
     )
     report = ResolverClassifier(network, hierarchy).classify(targets)

@@ -26,17 +26,20 @@ from repro.analysis.malicious import (
     measure_malicious_categories,
     measure_malicious_flags,
 )
+from repro.analysis.forwarders import measure_forwarders
 from repro.analysis.report import (
     render_correctness,
     render_country_distribution,
     render_empty_question,
     render_flag_table,
+    render_forwarder_table,
     render_incorrect_forms,
     render_malicious_categories,
     render_malicious_flags,
     render_probe_summary,
     render_rcode_table,
     render_top_destinations,
+    render_validation_table,
 )
 from repro.analysis.summary import extrapolate, measure_probe_summary
 from repro.dnssrv.hierarchy import Hierarchy, build_hierarchy
@@ -54,11 +57,17 @@ from repro.prober.probe import (
 )
 from repro.prober.zmap import probe_list
 from repro.resolvers.apportion import scale_count
-from repro.resolvers.population import PopulationSampler, SampledPopulation
+from repro.resolvers.population import (
+    PopulationSampler,
+    SampledPopulation,
+    assign_transparent_forwarders,
+    deploy_forwarder_upstreams,
+)
 from repro.resolvers.profiles import YearProfile, profile_for_year
 from repro.stats import (
     CorrectnessTable,
     FlagTable,
+    ForwarderTable,
     IncorrectFormsTable,
     MaliciousCategoryTable,
     MaliciousFlagTable,
@@ -66,6 +75,7 @@ from repro.stats import (
     ProbeSummary,
     RcodeTable,
     TopDestinationRow,
+    ValidationTable,
 )
 from repro.stream.aggregate import TableAggregate
 from repro.stream.assembler import StreamStats
@@ -233,6 +243,16 @@ class CampaignResult:
     malicious_categories: MaliciousCategoryTable
     malicious_flags: MaliciousFlagTable
     country_distribution: dict[str, int]
+    #: Transparent-forwarder census: on-path vs off-path R2 split and
+    #: per-upstream fan-in (batch: :func:`measure_forwarders` over the
+    #: send-time target log; stream: folded online). None only for
+    #: results built before the census existed (old pickles).
+    forwarder_table: ForwarderTable | None = None
+    #: Bogus-probe validation census (``config.dnssec`` only): who
+    #: blocks a deliberately broken RRSIG while resolving the control
+    #: name. Computed on its own derived-seed network, so it is
+    #: byte-identical across serial/sharded/stream/resume runs.
+    validation_table: ValidationTable | None = None
     #: The auth-side Q2/R1 capture (merged across shards when sharded);
     #: the serial run's hierarchy.auth.query_log, hoisted here so that
     #: persistence does not depend on which network ran the scan.
@@ -304,6 +324,12 @@ class CampaignResult:
             render_malicious_flags(self.malicious_flags),
             render_country_distribution(self.country_distribution),
         ]
+        if self.forwarder_table is not None:
+            sections.append(render_forwarder_table(self.forwarder_table))
+        if self.validation_table is not None:
+            sections.append(
+                render_validation_table({year: self.validation_table})
+            )
         return "\n\n".join(sections)
 
 
@@ -399,7 +425,11 @@ class Campaign:
             hub.tracer.clock = lambda: network.scheduler.now
         hierarchy = build_hierarchy(network)
         infrastructure = {
-            hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP
+            hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP,
+            # The shared forwarder upstreams are infrastructure too:
+            # blackholing one would silently convert its whole
+            # transparent fan-in into unresponsive hosts.
+            *self.profile.forwarder_upstreams,
         }
         network.attach_faults(
             build_injector(
@@ -440,11 +470,17 @@ class Campaign:
             validators = assign_validators(
                 population, year=config.year, seed=config.seed
             )
+        # Post-sampling overlay: flip the calibrated share of
+        # std-resolvers into transparent forwarders. Idempotent (an
+        # independent string-seeded lane re-derives the same flips), so
+        # re-deploying an overridden population is safe.
+        assign_transparent_forwarders(population, seed=config.seed)
         with maybe_span(hub, "deploy", hosts=len(population.assignments)):
             population.deploy(
                 network, auth_ip=hierarchy.auth.ip, version_banners=banners,
                 dnssec_validators=validators,
             )
+            deploy_forwarder_upstreams(network, self.profile, hierarchy.auth.ip)
         probe_config = ProbeConfig(
             q1_target=q1_target,
             rate_pps=self.profile.probe_rate_pps
@@ -474,6 +510,7 @@ class Campaign:
                 truth_ip=hierarchy.auth.ip,
                 source_port=probe_config.source_port,
                 response_window=probe_config.response_window,
+                upstream_ips=frozenset(self.profile.forwarder_upstreams),
             )
             pipeline.attach(network)
         hint = population.address_set() if config.fast else None
@@ -488,6 +525,7 @@ class Campaign:
                 prober_ip=PROBER_IP,
                 source_port=probe_config.source_port,
                 response_window=probe_config.response_window,
+                upstream_ips=frozenset(self.profile.forwarder_upstreams),
             )
             hub.add_sampler(
                 "scheduler.pending_events",
@@ -561,6 +599,10 @@ class Campaign:
         truth = hierarchy.auth.ip
         views = flow_set.views
         return CampaignResult(
+            forwarder_table=measure_forwarders(flow_set, capture.targets),
+            validation_table=self._validation_table(
+                population, dnssec_validators
+            ),
             config=self.config,
             profile=self.profile,
             population=population,
@@ -615,6 +657,10 @@ class Campaign:
         :meth:`_analyze` over the same scan.
         """
         return CampaignResult(
+            forwarder_table=aggregate.forwarder_table(),
+            validation_table=self._validation_table(
+                population, dnssec_validators
+            ),
             config=self.config,
             profile=self.profile,
             population=population,
@@ -651,6 +697,28 @@ class Campaign:
             query_log=query_log if query_log is not None else [],
             stream_stats=stream_stats,
         )
+
+    def _validation_table(
+        self,
+        population: SampledPopulation,
+        dnssec_validators: set[str],
+    ) -> ValidationTable | None:
+        """The bogus-probe census table, when DNSSEC probing is on.
+
+        Runs on its own derived-seed network
+        (:func:`repro.dnssec.validation.run_validation_census`), a pure
+        function of ``(year, seed, latency_median, loss_rate,
+        fault_profile)`` and the population — so every execution mode
+        of the same campaign reports the same bytes.
+        """
+        if not self.config.dnssec:
+            return None
+        from repro.dnssec.validation import run_validation_census
+
+        census = run_validation_census(
+            self.config, population, dnssec_validators or None
+        )
+        return census.table()
 
 
 def run_both_years(

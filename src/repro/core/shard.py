@@ -78,7 +78,12 @@ from repro.prober.probe import (
 from repro.prober.subdomain import SubdomainScheme
 from repro.prober.zmap import probe_order
 from repro.resolvers.apportion import scale_count
-from repro.resolvers.population import PopulationSampler, SampledPopulation
+from repro.resolvers.population import (
+    PopulationSampler,
+    SampledPopulation,
+    assign_transparent_forwarders,
+    deploy_forwarder_upstreams,
+)
 from repro.resolvers.profiles import profile_for_year
 from repro.stream.aggregate import TableAggregate, merge_aggregates
 from repro.stream.assembler import StreamStats
@@ -256,6 +261,10 @@ def _build_world(config, network: Network, universe, population_override=None):
         validators = assign_validators(
             population, year=config.year, seed=config.seed
         )
+    # Transparent-forwarder overlay, exactly as the serial engine
+    # applies it: an independent seeded lane, idempotent, so every
+    # shard and the parent flip the same hosts to the same upstreams.
+    assign_transparent_forwarders(population, seed=config.seed)
     return hierarchy, population, software_map, banners, validators
 
 
@@ -354,7 +363,7 @@ def _run_shard_scan(
             config.fault_profile, config.seed, task.index, task.workers,
             exempt={
                 hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip,
-                PROBER_IP,
+                PROBER_IP, *profile.forwarder_upstreams,
             },
         )
     )
@@ -375,6 +384,10 @@ def _run_shard_scan(
         network, auth_ip=hierarchy.auth.ip, version_banners=banners,
         dnssec_validators=validators,
     )
+    # The shared upstreams answer relays from *any* shard's transparent
+    # hosts, so every shard deploys all of them (they are never probed
+    # — TEST-NET-1 is outside the universe — hence never double-counted).
+    deploy_forwarder_upstreams(network, profile, hierarchy.auth.ip)
     probe_config = ProbeConfig(
         q1_target=len(addresses),
         rate_pps=profile.probe_rate_pps
@@ -400,6 +413,7 @@ def _run_shard_scan(
             truth_ip=hierarchy.auth.ip,
             source_port=probe_config.source_port,
             response_window=probe_config.response_window,
+            upstream_ips=frozenset(profile.forwarder_upstreams),
         )
         pipeline.attach(network)
     hint = local.address_set() if config.fast else None
@@ -414,6 +428,7 @@ def _run_shard_scan(
             prober_ip=PROBER_IP,
             source_port=probe_config.source_port,
             response_window=probe_config.response_window,
+            upstream_ips=frozenset(profile.forwarder_upstreams),
         )
         hub.add_sampler(
             "scheduler.pending_events", lambda: network.scheduler.pending
@@ -667,6 +682,11 @@ def run_sharded(
         population.deploy(
             network, auth_ip=hierarchy.auth.ip, version_banners=banners,
             dnssec_validators=validators,
+        )
+        # Follow-up scans against the parent world (fingerprinting, the
+        # DNSSEC censuses) must see the upstreams a serial network has.
+        deploy_forwarder_upstreams(
+            network, population.profile, hierarchy.auth.ip
         )
     campaign = Campaign(config)
     with maybe_span(hub, "analyze", mode=config.mode):

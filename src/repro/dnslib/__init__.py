@@ -35,9 +35,15 @@ from repro.dnslib.records import (
     PtrData,
     RawData,
     ResourceRecord,
+    RrsigData,
     SoaData,
     TxtData,
     rdata_for_type,
+)
+from repro.dnslib.signing import (
+    corrupt_rrsig,
+    sign_rrset,
+    verify_rrsig,
 )
 from repro.dnslib.message import (
     DnsFlags,
@@ -82,11 +88,13 @@ __all__ = [
     "RawData",
     "Rcode",
     "ResourceRecord",
+    "RrsigData",
     "SoaData",
     "TxtData",
     "Zone",
     "ZoneError",
     "add_edns",
+    "corrupt_rrsig",
     "decode_message",
     "decode_name",
     "encode_message",
@@ -101,6 +109,8 @@ __all__ = [
     "parse_master_file",
     "rdata_for_type",
     "serialize_zone",
+    "sign_rrset",
     "split_labels",
     "validate_name",
+    "verify_rrsig",
 ]

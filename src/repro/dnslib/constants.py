@@ -35,6 +35,7 @@ class QueryType(enum.IntEnum):
     TXT = 16
     AAAA = 28
     OPT = 41
+    RRSIG = 46
     ANY = 255
 
     @classmethod

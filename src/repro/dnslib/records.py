@@ -230,6 +230,72 @@ class SoaData:
 
 
 @dataclasses.dataclass(frozen=True)
+class RrsigData:
+    """An RRset signature (RFC 4034 section 3.1).
+
+    The signature itself is an opaque blob, so a deliberately corrupted
+    signature survives a decode/encode round trip byte for byte — the
+    property the bogus-RRSIG validation probe depends on.
+    """
+
+    type_covered: int
+    algorithm: int
+    labels: int
+    original_ttl: int
+    expiration: int
+    inception: int
+    key_tag: int
+    signer_name: str
+    signature: bytes
+
+    TYPE = QueryType.RRSIG
+
+    def encode(self, writer: WireWriter) -> None:
+        writer.write_u16(int(self.type_covered))
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.labels)
+        writer.write_u32(self.original_ttl)
+        writer.write_u32(self.expiration)
+        writer.write_u32(self.inception)
+        writer.write_u16(self.key_tag)
+        writer.write_name(self.signer_name)
+        writer.write_bytes(self.signature)
+
+    @classmethod
+    def decode(cls, reader: WireReader, rdlength: int) -> "RrsigData":
+        start = reader.offset
+        type_covered = reader.read_u16()
+        algorithm = reader.read_u8()
+        labels = reader.read_u8()
+        original_ttl = reader.read_u32()
+        expiration = reader.read_u32()
+        inception = reader.read_u32()
+        key_tag = reader.read_u16()
+        signer_name = reader.read_name()
+        consumed = reader.offset - start
+        if consumed > rdlength:
+            raise DnsWireError("RRSIG RDATA overran its RDLENGTH")
+        signature = reader.read_bytes(rdlength - consumed)
+        return cls(
+            QueryType.from_value(type_covered), algorithm, labels,
+            original_ttl, expiration, inception, key_tag, signer_name,
+            signature,
+        )
+
+    def to_text(self) -> str:
+        covered = (
+            self.type_covered.name
+            if isinstance(self.type_covered, QueryType)
+            else f"TYPE{self.type_covered}"
+        )
+        return (
+            f"{covered} {self.algorithm} {self.labels} {self.original_ttl} "
+            f"{self.expiration} {self.inception} {self.key_tag} "
+            f"{self.signer_name}. {self.signature.hex()}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class OptData:
     """EDNS(0) OPT pseudo-record payload (RFC 6891).
 
@@ -280,6 +346,7 @@ _RDATA_CODECS = {
     QueryType.MX: MxData,
     QueryType.TXT: TxtData,
     QueryType.SOA: SoaData,
+    QueryType.RRSIG: RrsigData,
     QueryType.OPT: OptData,
 }
 

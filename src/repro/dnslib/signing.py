@@ -1,0 +1,128 @@
+"""Toy RRset signing for the DNSSEC validation probe.
+
+The validation-behavior census (PAPERS.md: "Measuring DNSSEC
+validation") needs exactly one cryptographic property: a resolver that
+*checks* signatures must be able to tell a good RRSIG from a corrupted
+one, deterministically, with no real key material in the simulator.
+A keyed SHA-256 over the canonical RRset serialization provides that —
+the "key" is a constant, so signing and verification are the same
+computation and the whole scheme is reproducible from the zone content
+alone. It is *not* DNSSEC crypto; it is the smallest stand-in with the
+same observable behavior (RFC 4034 wire layout, verifiable vs bogus).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.dnslib.buffer import WireWriter
+from repro.dnslib.names import normalize_name
+from repro.dnslib.records import ResourceRecord, RrsigData
+
+#: Private-use algorithm number (RFC 4034 appendix A.1: 253 = PRIVATEDNS).
+TOY_ALGORITHM = 253
+
+#: Fixed validity window; the simulator has no wall clock, so the
+#: timestamps are constants (2018-01-01 .. 2019-01-01, matching the
+#: paper's second scan year).
+SIG_INCEPTION = 1514764800
+SIG_EXPIRATION = 1546300800
+
+#: The shared "zone key" every signer and validator in the simulation
+#: knows. A constant keeps the census a pure function of the zone.
+_ZONE_KEY = b"repro-toy-zone-key"
+
+
+def _canonical_rrset(
+    records: list[ResourceRecord], signer_name: str, original_ttl: int
+) -> bytes:
+    """Serialize an RRset the way both signer and validator hash it."""
+    writer = WireWriter(compress=False)
+    writer.write_name(normalize_name(signer_name))
+    rows = []
+    for record in records:
+        rdata = WireWriter(compress=False)
+        if record.data is not None:
+            record.data.encode(rdata)
+        rows.append((record.name, int(record.rtype), int(record.rclass),
+                     rdata.getvalue()))
+    for name, rtype, rclass, rdata_wire in sorted(rows):
+        writer.write_name(name)
+        writer.write_u16(rtype)
+        writer.write_u16(rclass)
+        writer.write_u32(original_ttl)
+        writer.write_u16(len(rdata_wire))
+        writer.write_bytes(rdata_wire)
+    return writer.getvalue()
+
+
+def _digest(records: list[ResourceRecord], signer_name: str,
+            original_ttl: int) -> bytes:
+    payload = _canonical_rrset(records, signer_name, original_ttl)
+    return hashlib.sha256(_ZONE_KEY + payload).digest()
+
+
+def key_tag_for(signer_name: str) -> int:
+    """A deterministic 16-bit key tag derived from the signer name."""
+    digest = hashlib.sha256(_ZONE_KEY + normalize_name(signer_name).encode()).digest()
+    return int.from_bytes(digest[:2], "big")
+
+
+def sign_rrset(
+    records: list[ResourceRecord], signer_name: str
+) -> ResourceRecord:
+    """Produce the RRSIG record covering ``records`` (one RRset).
+
+    All records must share owner, type, class and TTL — the RFC 4034
+    preconditions for a single signature.
+    """
+    if not records:
+        raise ValueError("cannot sign an empty RRset")
+    owners = {record.name for record in records}
+    rtypes = {int(record.rtype) for record in records}
+    if len(owners) != 1 or len(rtypes) != 1:
+        raise ValueError("RRset spans multiple owners or types")
+    first = records[0]
+    data = RrsigData(
+        type_covered=first.rtype,
+        algorithm=TOY_ALGORITHM,
+        labels=len([label for label in first.name.split(".") if label]),
+        original_ttl=first.ttl,
+        expiration=SIG_EXPIRATION,
+        inception=SIG_INCEPTION,
+        key_tag=key_tag_for(signer_name),
+        signer_name=normalize_name(signer_name),
+        signature=_digest(records, signer_name, first.ttl),
+    )
+    return ResourceRecord(
+        first.name, data.TYPE, first.rclass, first.ttl, data
+    )
+
+
+def corrupt_rrsig(rrsig: ResourceRecord) -> ResourceRecord:
+    """Return a copy of ``rrsig`` whose signature can never verify.
+
+    Every signature octet is inverted, so the corruption survives
+    truncation, re-encoding and partial comparisons.
+    """
+    import dataclasses
+
+    data = rrsig.data
+    broken = dataclasses.replace(
+        data, signature=bytes(octet ^ 0xFF for octet in data.signature)
+    )
+    return dataclasses.replace(rrsig, data=broken)
+
+
+def verify_rrsig(
+    rrsig_data: RrsigData, records: list[ResourceRecord]
+) -> bool:
+    """True when the RRSIG's signature matches the covered RRset."""
+    if not records:
+        return False
+    if rrsig_data.algorithm != TOY_ALGORITHM:
+        return False
+    expected = _digest(
+        records, rrsig_data.signer_name, rrsig_data.original_ttl
+    )
+    return rrsig_data.signature == expected

@@ -6,7 +6,15 @@ INFOCOM'13; Yu et al. "Check-Repeat"). This subpackage reproduces the
 DO-probe variant: query each responder for a signed name with the
 EDNS(0) DO bit set and count AD=1 answers. Validation is rare among
 open resolvers — most are forwarding CPE boxes — and the assigned
-shares reflect published estimates (~3% in 2013, ~12% in 2018).
+shares reflect published estimates (~3% in 2013, ~12% in 2018),
+calibrated through the year profiles
+(:attr:`repro.resolvers.profiles.YearProfile.validator_share`).
+
+:mod:`repro.dnssec.validation` reproduces the stronger bogus-probe
+technique: serve one correctly signed and one deliberately
+broken-RRSIG name, and classify each target by whether it blocks the
+bogus answer while resolving the control — observing what resolvers
+*do* with signatures rather than what the AD bit claims.
 """
 
 from repro.dnssec.census import (
@@ -16,11 +24,25 @@ from repro.dnssec.census import (
     render_validator_census,
     validator_share_for_year,
 )
+from repro.dnssec.validation import (
+    SigningAuthoritativeServer,
+    ValidationCensus,
+    ValidationScanner,
+    build_validation_zone,
+    render_validation_census,
+    run_validation_census,
+)
 
 __all__ = [
+    "SigningAuthoritativeServer",
+    "ValidationCensus",
+    "ValidationScanner",
     "ValidatorCensus",
     "ValidatorScanner",
     "assign_validators",
+    "build_validation_zone",
+    "render_validation_census",
     "render_validator_census",
+    "run_validation_census",
     "validator_share_for_year",
 ]

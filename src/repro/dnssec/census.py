@@ -13,9 +13,16 @@ from repro.dnssrv.auth import AuthoritativeServer
 from repro.netsim.network import Network
 from repro.netsim.packet import Datagram
 from repro.resolvers.population import SampledPopulation
+from repro.resolvers.profiles import PROFILE_2013, PROFILE_2018
 
-#: Published-estimate validating shares by measurement year.
-_VALIDATOR_SHARES = {2013: 0.03, 2018: 0.12}
+#: Published-estimate validating shares by measurement year, calibrated
+#: alongside the transparent-forwarder shares in
+#: :mod:`repro.resolvers.profiles` (same values: changing a profile's
+#: ``validator_share`` moves this census too).
+_VALIDATOR_SHARES = {
+    2013: PROFILE_2013.validator_share,
+    2018: PROFILE_2018.validator_share,
+}
 
 
 def validator_share_for_year(year: int) -> float:

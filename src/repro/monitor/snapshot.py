@@ -68,19 +68,31 @@ class Snapshot:
 
 
 def snapshot_from_result(result, label: str | None = None) -> Snapshot:
-    """Build a snapshot from a completed campaign result."""
+    """Build a snapshot from a completed campaign result.
+
+    Records are keyed by the *probed* address (the capture's send-time
+    target log), not the R2 source: a transparent forwarder's answer
+    arrives from its shared upstream, and keying on the source would
+    collapse every forwarder behind one upstream into a single record
+    — breaking the one-record-per-responder invariant churn tracking
+    relies on. Flows without a logged target (unjoinable views, or a
+    ``--drop-captures`` run) fall back to the source address.
+    """
     truth = result.hierarchy.auth.ip
     cymon = result.population.cymon
+    targets = result.capture.targets
     records: dict[str, ResolverRecord] = {}
     for view in result.flow_set.all_views:
+        probed = targets.get(view.qname) if view.qname is not None else None
         correct = is_correct(view, truth)
         malicious = False
         if view.has_answer and not correct:
             first = view.first_answer()
             if first is not None and first[0] == FORM_IP:
                 malicious = cymon.is_malicious(first[1])
-        records[view.src_ip] = ResolverRecord(
-            ip=view.src_ip,
+        key = probed if probed is not None else view.src_ip
+        records[key] = ResolverRecord(
+            ip=key,
             ra=view.ra,
             aa=view.aa,
             rcode=view.rcode,

@@ -164,6 +164,12 @@ class ProbeCapture:
     end_time: float
     cluster_stats: ClusterStats
     sent_log: dict[str, str]
+    #: qname -> probed destination of its *latest* materialized probe
+    #: (reuse overwrites). The batch forwarder census joins a flow's
+    #: final R2 source against this to spot off-path answers; with
+    #: ``retain_r2=False`` (streaming ``--drop-captures``) it stays
+    #: empty — the aggregate tracks targets online instead.
+    targets: dict[str, str] = dataclasses.field(default_factory=dict)
     # Retransmission accounting (all zero with the default RetryPolicy).
     # ``q1_sent`` stays the number of *targets* probed so Table II is
     # invariant under retry policy; datagram overhead lands here.
@@ -203,6 +209,7 @@ def merge_captures(captures: list[ProbeCapture]) -> ProbeCapture:
     records.sort(key=lambda r: (r.timestamp, r.src_ip, r.payload))
     stats = ClusterStats()
     sent_log: dict[str, str] = {}
+    targets: dict[str, str] = {}
     for capture in captures:
         stats.clusters_created += capture.cluster_stats.clusters_created
         stats.fresh_allocations += capture.cluster_stats.fresh_allocations
@@ -211,6 +218,9 @@ def merge_captures(captures: list[ProbeCapture]) -> ProbeCapture:
         if sent_log.keys() & capture.sent_log.keys():
             raise ValueError("sent logs overlap: shards shared a qname")
         sent_log.update(capture.sent_log)
+        if targets.keys() & capture.targets.keys():
+            raise ValueError("target logs overlap: shards shared a qname")
+        targets.update(capture.targets)
     return ProbeCapture(
         q1_sent=sum(capture.q1_sent for capture in captures),
         q1_bytes=sum(capture.q1_bytes for capture in captures),
@@ -219,6 +229,7 @@ def merge_captures(captures: list[ProbeCapture]) -> ProbeCapture:
         end_time=max(capture.end_time for capture in captures),
         cluster_stats=stats,
         sent_log=sent_log,
+        targets=targets,
         retries_sent=sum(capture.retries_sent for capture in captures),
         retry_bytes=sum(capture.retry_bytes for capture in captures),
         retries_exhausted=sum(
@@ -289,6 +300,7 @@ class Prober:
         # rather than a tuple per probe.
         self._in_flight: deque[tuple[float, list[tuple[int, int]]]] = deque()
         self._sent_log: dict[str, str] = {}
+        self._targets: dict[str, str] = {}
         self._sending_done = False
         self._installed_through = -1
         self._start_time = 0.0
@@ -320,6 +332,7 @@ class Prober:
             end_time=self.network.now,
             cluster_stats=self.allocator.stats,
             sent_log=self._sent_log,
+            targets=self._targets,
             retries_sent=self._retries_sent,
             retry_bytes=self._retry_bytes,
             retries_exhausted=self._retries_exhausted,
@@ -414,6 +427,8 @@ class Prober:
         src_port = config.source_port
         retry_enabled = config.retry.enabled
         record_log = config.record_sent_log
+        record_targets = config.retain_r2
+        targets_log = self._targets
         misses = 0
         if hint is None:
             offsets = range(got)
@@ -428,8 +443,12 @@ class Prober:
             msg_id = (base + offset + 1) & 0xFFFF
             target_ip = int_to_ip(address)
             cluster, index = allocation
-            if record_log:
-                self._sent_log[qname_of(cluster, index)] = target_ip
+            if record_targets or record_log:
+                qname = qname_of(cluster, index)
+                if record_targets:
+                    targets_log[qname] = target_ip
+                if record_log:
+                    self._sent_log[qname] = target_ip
             if template is not None:
                 payload = template.render(cluster, index, msg_id)
             else:

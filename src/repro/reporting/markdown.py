@@ -15,12 +15,14 @@ from repro.analysis.report import (
     render_country_distribution,
     render_empty_question,
     render_flag_table,
+    render_forwarder_table,
     render_incorrect_forms,
     render_malicious_categories,
     render_malicious_flags,
     render_probe_summary,
     render_rcode_table,
     render_top_destinations,
+    render_validation_table,
 )
 
 #: Paper reference values quoted in the generated documents.
@@ -91,6 +93,22 @@ def campaign_markdown(result) -> str:
         "",
         _fence(render_country_distribution(result.country_distribution)),
         "",
+    ]
+    if result.forwarder_table is not None:
+        lines += [
+            "## Transparent forwarders (off-path R2 join)",
+            "",
+            _fence(render_forwarder_table(result.forwarder_table)),
+            "",
+        ]
+    if result.validation_table is not None:
+        lines += [
+            "## DNSSEC validation behavior (bogus-RRSIG probe)",
+            "",
+            _fence(render_validation_table({year: result.validation_table})),
+            "",
+        ]
+    lines += [
         "## Open-resolver estimates (section IV-B1)",
         "",
         f"- RA flag only: **{result.estimates.ra_flag_only:,}** "

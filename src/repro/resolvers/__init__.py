@@ -15,6 +15,9 @@ from repro.resolvers.population import (
     PopulationSampler,
     ResolverAssignment,
     SampledPopulation,
+    assign_transparent_forwarders,
+    deploy_forwarder_upstreams,
+    forwarder_upstream_spec,
 )
 from repro.resolvers.profiles import (
     PROFILE_2013,
@@ -37,6 +40,9 @@ __all__ = [
     "ResponseMode",
     "SampledPopulation",
     "YearProfile",
+    "assign_transparent_forwarders",
+    "deploy_forwarder_upstreams",
+    "forwarder_upstream_spec",
     "largest_remainder",
     "profile_for_year",
     "scale_count",

@@ -42,6 +42,7 @@ class ResponseMode(enum.Enum):
 
     RESOLVE = "resolve"      # fetch the true answer from the auth server
     FABRICATE = "fabricate"  # answer immediately from the spec
+    TRANSPARENT = "transparent-forward"  # relay upstream, client src kept
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,6 +56,13 @@ class BehaviorSpec:
     the host send that many duplicate upstream queries per probe —
     modeling resolver farms and retries, which is how the paper's Q2
     count exceeds its R2 count.
+
+    ``TRANSPARENT`` mode models the transparent forwarders of the
+    sibling measurement work: the host relays the query to
+    ``forward_to`` *preserving the client's source address*, so the
+    upstream's answer reaches the prober from an IP that never received
+    a probe. The spec's flag/answer fields then describe the upstream's
+    response, which is what the prober captures as R2.
     """
 
     name: str
@@ -68,11 +76,24 @@ class BehaviorSpec:
     malicious_category: ThreatCategory | None = None
     extra_q2: int = 0
     answer_ttl: int = 300
+    forward_to: str | None = None
 
     def __post_init__(self) -> None:
-        if self.answer_kind is AnswerKind.CORRECT and self.mode is not ResponseMode.RESOLVE:
+        resolves_upstream = self.mode in (
+            ResponseMode.RESOLVE, ResponseMode.TRANSPARENT
+        )
+        if self.answer_kind is AnswerKind.CORRECT and not resolves_upstream:
             raise ValueError(
                 f"{self.name}: a correct answer requires RESOLVE mode"
+            )
+        if self.mode is ResponseMode.TRANSPARENT and self.forward_to is None:
+            raise ValueError(
+                f"{self.name}: transparent forwarding needs a forward_to "
+                "upstream address"
+            )
+        if self.mode is not ResponseMode.TRANSPARENT and self.forward_to is not None:
+            raise ValueError(
+                f"{self.name}: forward_to only applies to TRANSPARENT mode"
             )
         needs_destination = (
             self.answer_kind.is_incorrect
@@ -89,8 +110,13 @@ class BehaviorSpec:
 
     @property
     def contacts_auth(self) -> bool:
-        """True when probing this host produces Q2/R1 at the auth server."""
-        return self.mode is ResponseMode.RESOLVE
+        """True when probing this host produces Q2/R1 at the auth server.
+
+        A transparent forwarder contacts the auth only through its
+        upstream, but it still sends its own ``extra_q2`` ghosts, so it
+        keeps the upstream port bound like a resolving host.
+        """
+        return self.mode in (ResponseMode.RESOLVE, ResponseMode.TRANSPARENT)
 
     def describe(self) -> str:
         """One-line human summary used by reports and examples."""

@@ -28,7 +28,15 @@ from repro.dnslib.fastwire import (
 )
 from repro.dnslib.message import DnsMessage, make_query, make_response
 from repro.dnslib.names import DnsNameError, normalize_name
-from repro.dnslib.records import AData, CnameData, ResourceRecord, TxtData, bytes_to_ipv4
+from repro.dnslib.records import (
+    AData,
+    CnameData,
+    ResourceRecord,
+    RrsigData,
+    TxtData,
+    bytes_to_ipv4,
+)
+from repro.dnslib.signing import verify_rrsig
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
 from repro.netsim.network import Network
@@ -118,6 +126,16 @@ class BehaviorHost:
                 )
             )
             return
+        if self.spec.mode is ResponseMode.TRANSPARENT:
+            ghost = (
+                build_query_wire(
+                    fast_query.qname, qtype=fast_query.qtype, msg_id=0,
+                    recursion_desired=False,
+                )
+                if self.spec.extra_q2 else None
+            )
+            self._relay_transparent(datagram, ghost, network)
+            return
         if self.spec.mode is ResponseMode.FABRICATE:
             self._respond_fabricated_fast(datagram, fast_query, network)
             return
@@ -162,6 +180,16 @@ class BehaviorHost:
                 datagram.reply(version_bind_response(query, self.version_banner))
             )
             return
+        if self.spec.mode is ResponseMode.TRANSPARENT:
+            qname = query.qname
+            ghost = None
+            if self.spec.extra_q2 and qname is not None:
+                ghost = encode_message(
+                    make_query(qname, qtype=query.questions[0].qtype,
+                               msg_id=0, recursion_desired=False)
+                )
+            self._relay_transparent(datagram, ghost, network)
+            return
         if self.spec.mode is ResponseMode.FABRICATE:
             self._respond(datagram, query, resolved=None)
             return
@@ -189,6 +217,31 @@ class BehaviorHost:
                          encode_message(ghost))
             )
 
+    def _relay_transparent(
+        self, datagram: Datagram, ghost: bytes | None, network: Network
+    ) -> None:
+        """Relay the query upstream with the *client's* source address.
+
+        The upstream resolves and answers the client directly, so the
+        prober's R2 arrives from an address that never received a probe
+        — the transparent-forwarder signature. The host still emits its
+        own ``extra_q2`` ghosts toward the auth server from its real
+        address, exactly like a resolving farm member.
+        """
+        network.send(
+            Datagram(
+                datagram.src_ip, datagram.src_port,
+                self.spec.forward_to, 53, datagram.payload,
+            ),
+            origin=self.ip,
+        )
+        if ghost is not None:
+            for _ in range(self.spec.extra_q2):
+                network.send(
+                    Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
+                             ghost)
+                )
+
     def handle_upstream(self, datagram: Datagram, network: Network) -> None:
         fast = peek_single_a_response(datagram.payload)
         if fast is not None:
@@ -213,7 +266,46 @@ class BehaviorHost:
         pending = self._pending.pop(response.header.msg_id, None)
         if pending is None:
             return  # ghost duplicate
+        if self.dnssec_validating and not self._resolved_validates(response):
+            self._respond_servfail(pending.client, pending.message())
+            return
         self._respond(pending.client, pending.message(), resolved=response)
+
+    def _resolved_validates(self, response: DnsMessage) -> bool:
+        """Check every RRSIG in the upstream answer against its RRset.
+
+        Unsigned answers validate trivially (the toy model has no
+        chain-of-trust, so "insecure" and "secure" both pass); a
+        signature that fails verification makes the whole response
+        bogus, which a validating resolver reports as SERVFAIL
+        (RFC 4035 section 5.5).
+        """
+        answers = response.answers
+        for record in answers:
+            if not isinstance(record.data, RrsigData):
+                continue
+            covered = [
+                other for other in answers
+                if other.name == record.name
+                and int(other.rtype) == int(record.data.type_covered)
+            ]
+            if not verify_rrsig(record.data, covered):
+                return False
+        return True
+
+    def _respond_servfail(self, client: Datagram, query: DnsMessage) -> None:
+        """The validator's bogus-signature verdict: SERVFAIL, no answer."""
+        from repro.dnslib.constants import Rcode
+
+        network = self._network
+        if network is None:
+            raise RuntimeError("host not attached")
+        response = make_response(
+            query, rcode=Rcode.SERVFAIL, answers=[],
+            aa=False, ra=self.spec.ra,
+        )
+        self.responses_sent += 1
+        network.send(client.reply(encode_message(response)))
 
     # -- fast response paths ---------------------------------------------
 

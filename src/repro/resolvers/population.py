@@ -98,6 +98,87 @@ class SampledPopulation:
         return hosts
 
 
+#: RNG lane for the transparent-forwarder overlay (kept distinct from
+#: the base sampling RNG and from the dnssec validator lane).
+TRANSPARENT_LANE = "transparent"
+
+
+def assign_transparent_forwarders(
+    population: SampledPopulation, seed: int
+) -> dict[str, str]:
+    """Flip a seeded share of ``std-resolver`` hosts to TRANSPARENT mode.
+
+    Returns ``{host_ip: upstream_ip}`` for the flipped hosts. This is a
+    *post-sampling overlay*: it mutates the assignments' specs in place
+    with an independent string-seeded RNG, so the base sampling draws —
+    and therefore every previously pinned table — are untouched. The
+    flipped hosts keep their cell name, country, ASN and ghost budget;
+    only the response path changes (relay upstream with the client's
+    source address instead of resolving themselves).
+    """
+    profile = population.profile
+    share = profile.transparent_share
+    if share <= 0.0 or not profile.forwarder_upstreams:
+        return {}
+    rng = random.Random((seed, TRANSPARENT_LANE, profile.year).__str__())
+    upstreams = profile.forwarder_upstreams
+    mapping: dict[str, str] = {}
+    for assignment in population.assignments:
+        if assignment.cell_name != "std-resolver":
+            continue
+        if rng.random() >= share:
+            continue
+        upstream = upstreams[rng.randrange(len(upstreams))]
+        spec = dataclasses.replace(
+            assignment.spec,
+            mode=ResponseMode.TRANSPARENT,
+            forward_to=upstream,
+        )
+        object.__setattr__(assignment, "spec", spec)
+        mapping[assignment.ip] = upstream
+    return mapping
+
+
+def forwarder_upstream_spec(profile: YearProfile) -> BehaviorSpec:
+    """The behavior of a shared forwarder upstream: a standard resolver.
+
+    Its R2 must be byte-identical to what the transparent host itself
+    would have sent as a ``std-resolver`` — same flags, rcode and
+    resolved answer — because only the source address may differ.
+    """
+    std = next(
+        (cell for cell in profile.cells if cell.name == "std-resolver"), None
+    )
+    return BehaviorSpec(
+        name="forwarder-upstream",
+        mode=ResponseMode.RESOLVE,
+        ra=std.ra if std is not None else True,
+        aa=std.aa if std is not None else False,
+        rcode=std.rcode if std is not None else 0,
+        answer_kind=AnswerKind.CORRECT,
+    )
+
+
+def deploy_forwarder_upstreams(
+    network: Network, profile: YearProfile, auth_ip: str
+) -> list[BehaviorHost]:
+    """Attach one shared upstream resolver per profile upstream address.
+
+    The upstreams live in TEST-NET-1, which the probeable universe
+    excludes, so they are never probed directly — their only traffic is
+    relayed Q1s from transparent forwarders.
+    """
+    if not profile.forwarder_upstreams:
+        return []
+    spec = forwarder_upstream_spec(profile)
+    hosts = []
+    for ip in profile.forwarder_upstreams:
+        host = BehaviorHost(ip, spec, auth_ip)
+        host.attach(network)
+        hosts.append(host)
+    return hosts
+
+
 class PopulationSampler:
     """Draws a :class:`SampledPopulation` for (profile, scale, seed)."""
 

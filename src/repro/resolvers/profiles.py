@@ -131,6 +131,19 @@ class YearProfile:
     malicious_countries: dict[str, int]
     default_country_mix: dict[str, int]
     start_label: str
+    #: Fraction of ``std-resolver`` hosts that are really transparent
+    #: forwarders (relay with the client's source address; PAPERS.md:
+    #: "Transparent Forwarders"). Applied as a post-sampling overlay so
+    #: it never perturbs the base cell marginals.
+    transparent_share: float = 0.0
+    #: The shared public resolvers transparent forwarders relay to.
+    #: Drawn from TEST-NET-1 (RFC 5737), which the probeable universe
+    #: excludes, so an upstream is never itself a probe target.
+    forwarder_upstreams: tuple[str, ...] = ()
+    #: Fraction of responding resolvers that validate DNSSEC (KSK
+    #: sentinel / bogus-probe studies: low single digits in 2013,
+    #: roughly an eighth by 2018).
+    validator_share: float = 0.0
 
     # -- structural sums -------------------------------------------------
 
@@ -177,6 +190,14 @@ class YearProfile:
                 )
         if sum(self.malicious_countries.values()) != self.cell_pool_total(POOL_MALICIOUS):
             raise ValueError(f"{self.year}: malicious country distribution mismatch")
+        if not 0.0 <= self.transparent_share < 1.0:
+            raise ValueError(f"{self.year}: transparent_share out of range")
+        if self.transparent_share > 0.0 and not self.forwarder_upstreams:
+            raise ValueError(
+                f"{self.year}: transparent_share needs forwarder_upstreams"
+            )
+        if not 0.0 <= self.validator_share < 1.0:
+            raise ValueError(f"{self.year}: validator_share out of range")
 
     # -- expected tables (full scale) -------------------------------------
 
@@ -408,6 +429,9 @@ PROFILE_2018 = YearProfile(
     malicious_countries=_COUNTRIES_2018,
     default_country_mix=_DEFAULT_COUNTRY_MIX,
     start_label="04/26/2018 3PM",
+    transparent_share=0.10,
+    forwarder_upstreams=("192.0.2.1", "192.0.2.2", "192.0.2.3"),
+    validator_share=0.12,
 )
 
 
@@ -517,6 +541,9 @@ PROFILE_2013 = YearProfile(
     malicious_countries=_COUNTRIES_2013,
     default_country_mix=_DEFAULT_COUNTRY_MIX,
     start_label="10/28/2013 2PM",
+    transparent_share=0.04,
+    forwarder_upstreams=("192.0.2.1", "192.0.2.2"),
+    validator_share=0.03,
 )
 
 

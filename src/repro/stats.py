@@ -247,3 +247,66 @@ class OpenResolverEstimates:
     ra_flag_only: int        # RA=1 responses
     ra_and_correct: int      # RA=1 with a correct answer (strictest)
     correct_any_flag: int    # correct answer regardless of RA
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwarderRow:
+    """One upstream resolver and its transparent-forwarder fan-in."""
+
+    upstream: str
+    fan_in: int  # distinct probed targets answered from this upstream
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwarderTable:
+    """Transparent-forwarder census: off-path R2 sources and fan-in.
+
+    A transparent forwarder relays the probe upstream with the original
+    client source address, so the answer (R2) returns from an address
+    that never received a probe. ``on_path`` counts joined responses
+    whose source matches the probed target; ``off_path`` counts the
+    rest; ``rows`` lists each off-path source with the number of
+    distinct probed targets it answered for, largest fan-in first.
+    """
+
+    on_path: int
+    off_path: int
+    rows: tuple[ForwarderRow, ...]
+
+    @property
+    def joined(self) -> int:
+        return self.on_path + self.off_path
+
+    @property
+    def off_path_share(self) -> float:
+        return _percentage(self.off_path, self.joined)
+
+    @property
+    def upstreams(self) -> int:
+        return len(self.rows)
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationTable:
+    """DNSSEC validation-behavior census over one target population.
+
+    Targets are probed twice from the validation zone: a control name
+    with a valid signature and a bogus name whose RRSIG is corrupted.
+    A *validating* resolver answers the control but SERVFAILs the
+    bogus name; a *non-validating* one answers both; the rest never
+    answered the control (rcode-only and silent hosts).
+    """
+
+    targets: int
+    validating: int
+    non_validating: int
+    unresponsive: int
+
+    @property
+    def responsive(self) -> int:
+        return self.validating + self.non_validating
+
+    @property
+    def validating_share(self) -> float:
+        """Validators as a share of resolvers that answered the control."""
+        return _percentage(self.validating, self.responsive)

@@ -40,6 +40,8 @@ from repro.stats import (
     EmptyQuestionSummary,
     FlagRow,
     FlagTable,
+    ForwarderRow,
+    ForwarderTable,
     IncorrectFormsTable,
     MaliciousCategoryRow,
     MaliciousCategoryTable,
@@ -127,6 +129,14 @@ class TableAggregate:
     joined_views: int = 0
     q2_total: int = 0
     r1_total: int = 0
+    # Transparent-forwarder census: joined views whose R2 source did /
+    # did not match the probed target, plus per-upstream fan-in (the
+    # set of probed targets whose answers arrived from that upstream).
+    on_path_r2: int = 0
+    off_path_r2: int = 0
+    off_path_fan_in: dict[str, set[str]] = dataclasses.field(
+        default_factory=dict
+    )
 
     # -- folding ---------------------------------------------------------
 
@@ -135,9 +145,23 @@ class TableAggregate:
         self.q2_total += q2
         self.r1_total += r1
 
-    def add_view(self, view: R2View) -> None:
-        """Fold one flow's final joined view (call exactly once per flow)."""
+    def add_view(self, view: R2View, target: str | None = None) -> None:
+        """Fold one flow's final joined view (call exactly once per flow).
+
+        ``target`` is the address the probe was sent to, when known;
+        an R2 sourced elsewhere is *off-path* — the signature of a
+        transparent forwarder whose upstream answered the prober
+        directly — and feeds the fan-in census.
+        """
         self.joined_views += 1
+        if target is not None:
+            if view.src_ip == target:
+                self.on_path_r2 += 1
+            else:
+                self.off_path_r2 += 1
+                self.off_path_fan_in.setdefault(view.src_ip, set()).add(
+                    target
+                )
         correct = _is_correct(view, self.truth_ip)
         if not view.has_answer:
             cell = _WITHOUT
@@ -246,6 +270,10 @@ class TableAggregate:
         self.joined_views += other.joined_views
         self.q2_total += other.q2_total
         self.r1_total += other.r1_total
+        self.on_path_r2 += other.on_path_r2
+        self.off_path_r2 += other.off_path_r2
+        for upstream, targets in other.off_path_fan_in.items():
+            self.off_path_fan_in.setdefault(upstream, set()).update(targets)
 
     # -- finalizing ------------------------------------------------------
 
@@ -288,6 +316,18 @@ class TableAggregate:
             ra_flag_only=sum(ra_one),
             ra_and_correct=ra_one[_CORRECT],
             correct_any_flag=self.correct,
+        )
+
+    def forwarder_table(self) -> ForwarderTable:
+        rows = tuple(
+            ForwarderRow(upstream=upstream, fan_in=len(targets))
+            for upstream, targets in sorted(
+                self.off_path_fan_in.items(),
+                key=lambda item: (-len(item[1]), item[0]),
+            )
+        )
+        return ForwarderTable(
+            on_path=self.on_path_r2, off_path=self.off_path_r2, rows=rows
         )
 
     def empty_question(self) -> EmptyQuestionDetail:

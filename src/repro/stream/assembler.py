@@ -42,13 +42,22 @@ from repro.stream.aggregate import TableAggregate
 
 @dataclasses.dataclass
 class StreamFlow:
-    """The live, compact join state of one probe qname."""
+    """The live, compact join state of one probe qname.
+
+    ``target`` is the address the probe was sent *to*; comparing it
+    with the R2's source address at fold time is what detects
+    transparent forwarders, whose answer arrives from an address that
+    never received a probe.
+    """
 
     qname: str
     r2: R2View | None = None
     q2_count: int = 0
     r1_count: int = 0
     last_activity: float = 0.0
+    #: Probed destination of the *latest* Q1 (reuse rebinds it), so the
+    #: pairing matches the batch capture's send-time target log.
+    target: str | None = None
 
 
 @dataclasses.dataclass
@@ -58,6 +67,7 @@ class StreamStats:
     q1_events: int = 0
     q2_events: int = 0
     r2_events: int = 0
+    forward_events: int = 0
     flows_opened: int = 0
     flows_evicted: int = 0
     peak_live_flows: int = 0
@@ -66,6 +76,7 @@ class StreamStats:
         self.q1_events += other.q1_events
         self.q2_events += other.q2_events
         self.r2_events += other.r2_events
+        self.forward_events += other.forward_events
         self.flows_opened += other.flows_opened
         self.flows_evicted += other.flows_evicted
         # Shards run concurrently in simulated time, so the campaign's
@@ -119,11 +130,38 @@ class FlowAssembler:
 
     # -- event intake ----------------------------------------------------
 
-    def on_q1(self, now: float, qname: str | None) -> None:
-        """A probe (or retransmission) left the prober for ``qname``."""
+    def on_q1(
+        self, now: float, qname: str | None, dst_ip: str | None = None
+    ) -> None:
+        """A probe (or retransmission) left the prober for ``qname``.
+
+        ``dst_ip`` records the probed target. The *latest* Q1 wins:
+        a subdomain reused after its response window rebinds the live
+        flow to the new target, exactly as the batch capture's
+        send-time target log overwrites the qname's entry — so batch
+        and stream pair the final view with the same target. (A
+        retransmission rebinds the same value, harmlessly.) Folding
+        compares it against the R2 source to spot off-path answers.
+        """
         self.stats.q1_events += 1
         if qname is not None:
-            self._touch(qname, now)
+            flow = self._touch(qname, now)
+            if dst_ip is not None:
+                flow.target = dst_ip
+        self._maybe_sweep(now)
+
+    def on_forward(self, now: float, qname: str | None) -> None:
+        """A transparent forwarder relayed the probe toward its upstream.
+
+        The relay datagram carries the prober's source address, so on
+        the wire it looks exactly like a Q1 — only the destination (a
+        known upstream, never a probe target) tells it apart. It
+        refreshes the flow's activity clock without opening a new flow
+        binding or re-counting a probe transmission.
+        """
+        self.stats.forward_events += 1
+        if qname is not None and qname in self._flows:
+            self._flows[qname].last_activity = now
         self._maybe_sweep(now)
 
     def on_query_served(self, now: float, qname: str | None) -> None:
@@ -163,12 +201,26 @@ class FlowAssembler:
             self.sweep(now)
 
     def sweep(self, watermark: float) -> int:
-        """Evict every flow settled before ``watermark - horizon``."""
+        """Evict every flow settled before ``watermark - horizon``.
+
+        A flow that has a probed target bound, saw the auth serve its
+        query, but has no R2 yet is *still pending*: a transparent
+        forwarder's answer travels an extra relay hop from an address
+        the horizon heuristic knows nothing about, so evicting the flow
+        would discard the target binding the off-path join needs.
+        Those flows ride out the sweep and fold at :meth:`close` (or
+        when their R2 finally lands and a later sweep retires them).
+        """
         deadline = watermark - self.horizon
         expired = [
             qname
             for qname, flow in self._flows.items()
             if flow.last_activity <= deadline
+            and not (
+                flow.r2 is None
+                and flow.target is not None
+                and flow.q2_count > 0
+            )
         ]
         for qname in expired:
             self._fold(self._flows.pop(qname))
@@ -180,7 +232,7 @@ class FlowAssembler:
         if flow.q2_count or flow.r1_count:
             self.aggregate.add_counts(flow.q2_count, flow.r1_count)
         if flow.r2 is not None:
-            self.aggregate.add_view(flow.r2)
+            self.aggregate.add_view(flow.r2, target=flow.target)
 
     def close(self) -> TableAggregate:
         """Fold every remaining live flow; the aggregate is now final."""

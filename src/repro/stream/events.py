@@ -66,11 +66,18 @@ class CaptureSink:
         auth_ip: str,
         prober_ip: str = PROBER_IP,
         source_port: int = 31337,
+        upstream_ips: frozenset[str] = frozenset(),
     ) -> None:
+        """``upstream_ips`` are the forwarder upstreams' addresses.
+        A transparent forwarder relays the probe verbatim — prober
+        source address included — so its relay is wire-identical to a
+        Q1 except for the destination; since upstreams live outside the
+        probeable space, the destination alone tells the two apart."""
         self.assembler = assembler
         self.auth_ip = auth_ip
         self.prober_ip = prober_ip
         self.source_port = source_port
+        self.upstream_ips = upstream_ips
 
     def on_send(self, now: float, datagram: Datagram) -> None:
         if datagram.src_ip == self.auth_ip and datagram.src_port == DNS_PORT:
@@ -84,7 +91,11 @@ class CaptureSink:
             and datagram.src_port == self.source_port
             and datagram.dst_port == DNS_PORT
         ):
-            self.assembler.on_q1(now, qname_from_payload(datagram.payload))
+            qname = qname_from_payload(datagram.payload)
+            if datagram.dst_ip in self.upstream_ips:
+                self.assembler.on_forward(now, qname)
+            else:
+                self.assembler.on_q1(now, qname, dst_ip=datagram.dst_ip)
 
     def on_deliver(self, now: float, datagram: Datagram) -> None:
         if (

@@ -25,9 +25,12 @@ class StreamPipeline:
         prober_ip: str = PROBER_IP,
         source_port: int = 31337,
         response_window: float = 5.0,
+        upstream_ips: frozenset[str] = frozenset(),
     ) -> None:
         """``truth_ip`` is the authoritative server's address — both the
-        ground truth for correctness and the source filter for Q2/R1."""
+        ground truth for correctness and the source filter for Q2/R1.
+        ``upstream_ips`` (forwarder upstreams) lets the sink tell
+        transparent-forwarder relays apart from fresh probes."""
         self.aggregate = TableAggregate(truth_ip)
         self.assembler = FlowAssembler(
             self.aggregate, response_window=response_window
@@ -37,6 +40,7 @@ class StreamPipeline:
             auth_ip=truth_ip,
             prober_ip=prober_ip,
             source_port=source_port,
+            upstream_ips=upstream_ips,
         )
         self._network: Network | None = None
 

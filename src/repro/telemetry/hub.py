@@ -132,17 +132,24 @@ class TelemetrySink:
         prober_ip: str,
         source_port: int,
         response_window: float = 5.0,
+        upstream_ips: frozenset[str] = frozenset(),
     ) -> None:
+        """``upstream_ips`` names the shared forwarder upstreams: a
+        transparent forwarder's relay keeps the prober's spoofed source
+        endpoint, so only its destination distinguishes it from a real
+        Q1 transmission — counted separately, never as wire Q1."""
         self.hub = hub
         self.auth_ip = auth_ip
         self.prober_ip = prober_ip
         self.source_port = source_port
+        self.upstream_ips = upstream_ips
         self._track_latency = hub.config.track_latency
         #: qname -> first-transmission sim time, pruned every heartbeat.
         self._in_flight: dict[str, float] = {}
         self._latency_horizon = 2.0 * response_window
         registry = hub.registry
         self._q1_sent = registry.counter("prober.q1_wire_sent")
+        self._relays = registry.counter("forwarder.relays_observed")
         self._q2_r1 = registry.counter("auth.queries_served")
         self._r2 = registry.counter("prober.r2_delivered")
         self._latency = registry.histogram("prober.q1_to_r2_latency_s")
@@ -160,13 +167,16 @@ class TelemetrySink:
             and datagram.src_port == self.source_port
             and datagram.dst_port == DNS_PORT
         ):
-            self._q1_sent.inc()
-            if self._track_latency:
-                qname = qname_from_payload(datagram.payload)
-                if qname is not None:
-                    # First transmission wins: a retry's R2 closes the
-                    # latency clock its original probe started.
-                    self._in_flight.setdefault(qname, now)
+            if datagram.dst_ip in self.upstream_ips:
+                self._relays.inc()
+            else:
+                self._q1_sent.inc()
+                if self._track_latency:
+                    qname = qname_from_payload(datagram.payload)
+                    if qname is not None:
+                        # First transmission wins: a retry's R2 closes
+                        # the latency clock its original probe started.
+                        self._in_flight.setdefault(qname, now)
         if now >= self.hub._next_heartbeat:
             self.hub.heartbeat(now)
 
@@ -230,12 +240,14 @@ class TelemetryHub:
         prober_ip: str,
         source_port: int,
         response_window: float = 5.0,
+        upstream_ips: frozenset[str] = frozenset(),
     ) -> TelemetrySink:
         """Attach the wire sink and point the tracer's simulated clock
         at ``network``. Call once per simulation, before traffic."""
         self.tracer.clock = lambda: network.scheduler.now
         self._sink = TelemetrySink(
-            self, auth_ip, prober_ip, source_port, response_window
+            self, auth_ip, prober_ip, source_port, response_window,
+            upstream_ips=upstream_ips,
         )
         self._network = network
         network.attach_sink(self._sink)

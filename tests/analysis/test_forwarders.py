@@ -1,0 +1,105 @@
+"""Unit behavior of the batch forwarder census and the two renderers."""
+
+import pytest
+
+from repro.analysis.forwarders import measure_forwarders
+from repro.analysis.report import render_forwarder_table, render_validation_table
+from repro.prober.capture import FlowSet, ProbeFlow, R2View
+from repro.stats import ForwarderRow, ForwarderTable, ValidationTable
+
+
+def _view(qname, src_ip):
+    return R2View(
+        timestamp=1.0, src_ip=src_ip, ra=True, aa=False, rcode=0,
+        has_question=True, qname=qname, answers=[("ip", "10.9.9.9")],
+    )
+
+
+def _flow_set(pairs):
+    """pairs: (qname, r2 source or None)."""
+    flows = {}
+    for qname, src_ip in pairs:
+        flows[qname] = ProbeFlow(
+            qname=qname,
+            r2=_view(qname, src_ip) if src_ip is not None else None,
+        )
+    return FlowSet(flows=flows, unjoinable=[])
+
+
+class TestMeasureForwarders:
+    def test_split_and_fan_in(self):
+        flow_set = _flow_set([
+            ("q1", "198.18.0.1"),   # on-path
+            ("q2", "192.0.2.1"),    # off-path via upstream .1
+            ("q3", "192.0.2.1"),    # off-path via upstream .1
+            ("q4", "192.0.2.2"),    # off-path via upstream .2
+            ("q5", None),           # unanswered: no bucket
+        ])
+        targets = {
+            "q1": "198.18.0.1", "q2": "198.18.0.2", "q3": "198.18.0.3",
+            "q4": "198.18.0.4", "q5": "198.18.0.5",
+        }
+        table = measure_forwarders(flow_set, targets)
+        assert (table.on_path, table.off_path) == (1, 3)
+        assert table.joined == 4
+        assert table.off_path_share == pytest.approx(75.0)
+        assert [(row.upstream, row.fan_in) for row in table.rows] == [
+            ("192.0.2.1", 2), ("192.0.2.2", 1),
+        ]
+
+    def test_fan_in_counts_distinct_targets_not_answers(self):
+        # Two answers for the *same* probed target through one upstream
+        # cannot happen per-qname (last R2 wins), but two qnames probed
+        # at the same target can: fan-in deduplicates by target.
+        flow_set = _flow_set([("q1", "192.0.2.1"), ("q2", "192.0.2.1")])
+        targets = {"q1": "198.18.0.7", "q2": "198.18.0.7"}
+        table = measure_forwarders(flow_set, targets)
+        assert table.rows == (ForwarderRow(upstream="192.0.2.1", fan_in=1),)
+        assert table.off_path == 2
+
+    def test_unlogged_qnames_contribute_nothing(self):
+        flow_set = _flow_set([("q1", "198.18.0.1")])
+        table = measure_forwarders(flow_set, targets={})
+        assert (table.on_path, table.off_path) == (0, 0)
+        assert table.off_path_share == 0.0
+
+    def test_ties_rank_lexicographically(self):
+        flow_set = _flow_set([("q1", "192.0.2.9"), ("q2", "192.0.2.1")])
+        targets = {"q1": "198.18.0.1", "q2": "198.18.0.2"}
+        table = measure_forwarders(flow_set, targets)
+        assert [row.upstream for row in table.rows] == [
+            "192.0.2.1", "192.0.2.9",
+        ]
+
+
+class TestRenderers:
+    def test_forwarder_table_lists_upstreams(self):
+        table = ForwarderTable(
+            on_path=96, off_path=3,
+            rows=(
+                ForwarderRow("192.0.2.3", 2), ForwarderRow("192.0.2.2", 1),
+            ),
+        )
+        text = render_forwarder_table(table)
+        assert "Transparent forwarders (off-path R2)" in text
+        assert "3.030" in text
+        assert "192.0.2.3" in text and "fan-in" in text
+
+    def test_forwarder_table_truncates_long_tails(self):
+        rows = tuple(
+            ForwarderRow(f"192.0.2.{index}", 1) for index in range(1, 14)
+        )
+        text = render_forwarder_table(
+            ForwarderTable(on_path=0, off_path=13, rows=rows), top=10
+        )
+        assert "(3 more)" in text
+
+    def test_validation_table_renders_per_year(self):
+        text = render_validation_table({
+            2018: ValidationTable(
+                targets=99, validating=3, non_validating=37, unresponsive=59
+            ),
+        })
+        assert "DNSSEC validation behavior" in text
+        assert "| 2018 |" in text
+        assert "7.500" in text

@@ -1,0 +1,144 @@
+"""Classifier accuracy on planted mixes, transparent forwarders included.
+
+Every world here is built with a known ground-truth composition; under
+``NoLoss`` (the default lossless network) the classifier must recover
+the planted counts *exactly* — the confusion matrix is diagonal. The
+matrix helper doubles as the failure diagnostic: when a class leaks,
+the off-diagonal cell names both the truth and the mistake.
+"""
+
+import pytest
+
+from repro.classify import (
+    ResolverClass,
+    ResolverClassifier,
+    build_classification_world,
+    render_classification,
+)
+
+#: Address block -> planted class, mirroring build_classification_world.
+_BLOCK_TRUTH = {
+    "203.20.": ResolverClass.RECURSIVE,
+    "203.30.": ResolverClass.PROXY,
+    "203.40.": ResolverClass.FABRICATOR,
+    "203.50.": ResolverClass.TRANSPARENT_FORWARDER,
+}
+
+
+def ground_truth(target: str) -> ResolverClass:
+    for prefix, cls in _BLOCK_TRUTH.items():
+        if target.startswith(prefix):
+            return cls
+    raise AssertionError(f"target outside planted blocks: {target}")
+
+
+def confusion_matrix(report) -> dict[tuple[ResolverClass, ResolverClass], int]:
+    """(truth, predicted) -> count, from the planted address blocks."""
+    matrix: dict[tuple[ResolverClass, ResolverClass], int] = {}
+    for target, predicted in report.classes.items():
+        key = (ground_truth(target), predicted)
+        matrix[key] = matrix.get(key, 0) + 1
+    return matrix
+
+
+def off_diagonal(matrix) -> dict[tuple[ResolverClass, ResolverClass], int]:
+    return {
+        key: count for key, count in matrix.items()
+        if key[0] is not key[1]
+    }
+
+
+@pytest.fixture(scope="module")
+def mixed_world():
+    network, hierarchy, targets = build_classification_world(
+        recursives=8, proxies=20, fabricators=4, shared_upstreams=3,
+        transparent=6, seed=5,
+    )
+    report = ResolverClassifier(network, hierarchy).classify(targets)
+    return targets, report
+
+
+class TestExactRecovery:
+    def test_confusion_matrix_is_diagonal(self, mixed_world):
+        _, report = mixed_world
+        assert off_diagonal(confusion_matrix(report)) == {}
+
+    def test_planted_counts_recovered_exactly(self, mixed_world):
+        _, report = mixed_world
+        assert report.count(ResolverClass.RECURSIVE) == 8
+        assert report.count(ResolverClass.PROXY) == 20
+        assert report.count(ResolverClass.FABRICATOR) == 4
+        assert report.count(ResolverClass.TRANSPARENT_FORWARDER) == 6
+        assert report.count(ResolverClass.UNRESPONSIVE) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 9])
+    def test_recovery_is_seed_independent(self, seed):
+        network, hierarchy, targets = build_classification_world(
+            recursives=3, proxies=5, fabricators=2, shared_upstreams=2,
+            transparent=4, seed=seed,
+        )
+        report = ResolverClassifier(network, hierarchy).classify(targets)
+        assert off_diagonal(confusion_matrix(report)) == {}
+
+    def test_transparent_only_world(self):
+        network, hierarchy, targets = build_classification_world(
+            recursives=0, proxies=0, fabricators=0, shared_upstreams=2,
+            transparent=5, seed=3,
+        )
+        report = ResolverClassifier(network, hierarchy).classify(targets)
+        assert report.count(ResolverClass.TRANSPARENT_FORWARDER) == 5
+        assert len(report.classes) == 5
+
+
+class TestTransparentSignature:
+    def test_answer_arrives_off_path(self, mixed_world):
+        # The defining evidence: the recorded answering address is a
+        # shared upstream, never the probed forwarder itself.
+        _, report = mixed_world
+        for target, upstream in report.transparent_upstreams.items():
+            assert report.classes[target] is (
+                ResolverClass.TRANSPARENT_FORWARDER
+            )
+            assert upstream != target
+            assert upstream.startswith("203.10.")
+
+    def test_every_transparent_target_has_an_upstream(self, mixed_world):
+        _, report = mixed_world
+        transparent = {
+            target for target, cls in report.classes.items()
+            if cls is ResolverClass.TRANSPARENT_FORWARDER
+        }
+        assert set(report.transparent_upstreams) == transparent
+
+    def test_fan_in_bookkeeping(self, mixed_world):
+        # 6 forwarders round-robined over 3 upstreams: 2/2/2.
+        _, report = mixed_world
+        assert sorted(report.transparent_fan_in.values()) == [2, 2, 2]
+        assert sum(report.transparent_fan_in.values()) == 6
+
+    def test_proxies_not_reclassified(self, mixed_world):
+        # A forwarding proxy answers on-path from its own address; only
+        # its Q2 exposes the upstream. It must stay PROXY even though
+        # it shares upstreams with the transparent forwarders.
+        _, report = mixed_world
+        assert set(report.proxy_upstreams).isdisjoint(
+            report.transparent_upstreams
+        )
+        assert len(report.proxy_upstreams) == 20
+
+
+class TestRendering:
+    def test_render_includes_transparent_fan_in(self, mixed_world):
+        _, report = mixed_world
+        text = render_classification(report)
+        assert "transparent forwarder" in text
+        assert "transparent fan-in (upstream <- forwarders):" in text
+        assert "<- 2 forwarders" in text
+
+    def test_render_omits_empty_fan_in(self):
+        network, hierarchy, targets = build_classification_world(
+            recursives=2, proxies=2, fabricators=0, shared_upstreams=1,
+            transparent=0, seed=4,
+        )
+        report = ResolverClassifier(network, hierarchy).classify(targets)
+        assert "transparent fan-in" not in render_classification(report)

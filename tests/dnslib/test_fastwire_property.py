@@ -1,0 +1,192 @@
+"""Property-based fastwire conformance (Hypothesis).
+
+The seeded-fuzz suite in ``test_fastwire.py`` walks a fixed sample of
+the input space; these properties let Hypothesis search it. The
+contract under test is the same everywhere: a fast codec either emits
+exactly the reference codec's bytes or refuses, and a fast parser
+accepts only payloads the full decoder parses identically. The
+RRSIG-bearing cases matter doubly — the validation probe's bogus
+responses must (a) round-trip through the reference codec without
+losing their corruption and (b) be *refused* by the single-A peek, so
+hosts fall back to the slow path where the signature is actually
+inspected.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnslib.constants import DnsClass, QueryType
+from repro.dnslib.fastwire import (
+    TemplateCache,
+    build_query_wire,
+    parse_simple_query,
+    peek_header,
+    peek_msg_id,
+    peek_qname,
+    peek_single_a_response,
+)
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.records import AData, ResourceRecord
+from repro.dnslib.signing import corrupt_rrsig, sign_rrset, verify_rrsig
+from repro.dnslib.wire import decode_message, encode_message
+
+# Lower-case plain labels: the subset parse_simple_query promises to
+# accept and the subset the measurement's subdomain scheme mints.
+_label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1, max_size=20
+)
+_qname = st.lists(_label, min_size=1, max_size=5).map(".".join)
+_msg_id = st.integers(min_value=0, max_value=0xFFFF)
+_qtype = st.sampled_from(
+    [QueryType.A, QueryType.AAAA, QueryType.TXT, QueryType.NS, QueryType.ANY]
+)
+_ipv4 = st.tuples(
+    st.integers(1, 254), st.integers(0, 255),
+    st.integers(0, 255), st.integers(1, 254),
+).map(lambda parts: ".".join(str(part) for part in parts))
+
+
+class TestQueryCodecRoundTrip:
+    @given(qname=_qname, qtype=_qtype, msg_id=_msg_id, rd=st.booleans())
+    def test_build_query_wire_matches_reference(self, qname, qtype, msg_id, rd):
+        fast = build_query_wire(
+            qname, qtype=qtype, msg_id=msg_id, recursion_desired=rd
+        )
+        slow = encode_message(
+            make_query(qname, qtype=qtype, msg_id=msg_id, recursion_desired=rd)
+        )
+        assert fast == slow
+
+    @given(qname=_qname, qtype=_qtype, msg_id=_msg_id, rd=st.booleans())
+    def test_parse_simple_query_inverts_the_encoder(
+        self, qname, qtype, msg_id, rd
+    ):
+        wire = build_query_wire(
+            qname, qtype=qtype, msg_id=msg_id, recursion_desired=rd
+        )
+        fast = parse_simple_query(wire)
+        assert fast is not None
+        assert (fast.qname, fast.qtype, fast.msg_id) == (
+            qname, int(qtype), msg_id
+        )
+        reference = decode_message(wire)
+        assert encode_message(fast.to_message()) == encode_message(reference)
+
+    @given(payload=st.binary(max_size=64))
+    def test_peeks_never_raise_and_agree_when_strict_parse_accepts(
+        self, payload
+    ):
+        header = peek_header(payload)
+        msg_id = peek_msg_id(payload)
+        peek_qname(payload)  # lenient: must simply not raise
+        fast = parse_simple_query(payload)
+        if fast is not None:
+            assert header is not None and header[0] == fast.msg_id
+            assert msg_id == fast.msg_id
+            # Strict acceptance implies the full decoder agrees.
+            reference = decode_message(payload)
+            assert reference.qname == fast.qname
+
+
+def _signed_answer(qname, address, corrupt):
+    a_record = ResourceRecord(qname, QueryType.A, ttl=300, data=AData(address))
+    rrsig = sign_rrset([a_record], signer_name=qname)
+    if corrupt:
+        rrsig = corrupt_rrsig(rrsig)
+    return [a_record, rrsig]
+
+
+class TestRrsigResponses:
+    @given(
+        qname=_qname, msg_id=_msg_id, address=_ipv4, corrupt=st.booleans()
+    )
+    def test_round_trip_preserves_signature_bytes(
+        self, qname, msg_id, address, corrupt
+    ):
+        answers = _signed_answer(qname, address, corrupt)
+        response = make_response(
+            make_query(qname, msg_id=msg_id), answers=answers, aa=True
+        )
+        wire = encode_message(response)
+        decoded = decode_message(wire)
+        assert encode_message(decoded) == wire
+        rrsigs = [
+            record for record in decoded.answers
+            if int(record.rtype) == int(QueryType.RRSIG)
+        ]
+        assert len(rrsigs) == 1
+        assert rrsigs[0].data.signature == answers[1].data.signature
+        a_records = [
+            record for record in decoded.answers
+            if int(record.rtype) == int(QueryType.A)
+        ]
+        assert verify_rrsig(rrsigs[0].data, a_records) is (not corrupt)
+
+    @given(qname=_qname, msg_id=_msg_id, address=_ipv4, corrupt=st.booleans())
+    def test_single_a_peek_refuses_rrsig_bearing_responses(
+        self, qname, msg_id, address, corrupt
+    ):
+        # The validation gate: a host that trusted the single-A fast
+        # path on an A+RRSIG answer would skip signature inspection.
+        response = make_response(
+            make_query(qname, msg_id=msg_id, recursion_desired=False),
+            answers=_signed_answer(qname, address, corrupt),
+            aa=True, ra=False,
+        )
+        assert peek_single_a_response(encode_message(response)) is None
+
+    @given(qname=_qname, msg_id=_msg_id, address=_ipv4)
+    def test_single_a_peek_accepts_the_unsigned_shape(
+        self, qname, msg_id, address
+    ):
+        response = make_response(
+            make_query(qname, msg_id=msg_id, recursion_desired=False),
+            answers=[
+                ResourceRecord(qname, QueryType.A, ttl=300, data=AData(address))
+            ],
+            aa=True, ra=False,
+        )
+        wire = encode_message(response)
+        peeked = peek_single_a_response(wire)
+        assert peeked is not None
+        got_id, _, ttl, addr = peeked
+        assert got_id == msg_id
+        assert ttl == 300
+        assert ".".join(str(octet) for octet in addr) == address
+
+
+class TestTemplateCacheWithSignatures:
+    @settings(max_examples=30)
+    @given(
+        qnames=st.lists(_qname, min_size=3, max_size=8, unique=True),
+        msg_ids=st.lists(_msg_id, min_size=3, max_size=8),
+        address=_ipv4,
+        corrupt=st.booleans(),
+    )
+    def test_rendered_bytes_always_match_slow_path(
+        self, qnames, msg_ids, address, corrupt
+    ):
+        # Same-shape responses (A + RRSIG over varying qnames) through
+        # one cache key: every render must equal the slow encoding,
+        # before and after the template graduates from verification.
+        cache = TemplateCache(verify_renders=2)
+        for index, qname in enumerate(qnames):
+            msg_id = msg_ids[index % len(msg_ids)]
+            wire = build_query_wire(qname, msg_id=msg_id)
+            fast = parse_simple_query(wire)
+            assert fast is not None
+
+            def slow_render(fast=fast, qname=qname):
+                return encode_message(
+                    make_response(
+                        fast.to_message(),
+                        answers=_signed_answer(qname, address, corrupt),
+                        aa=True,
+                    )
+                )
+
+            rendered = cache.render(
+                ("signed-a", address, corrupt), fast, slow_render,
+                guard_names=(qname,),
+            )
+            assert rendered == slow_render()

@@ -1,0 +1,197 @@
+"""Bogus-probe validation census: zone, signing server, classification.
+
+A hand-built mini world with known ground truth — one validating
+resolver, one non-validating resolver, one transparent forwarder, one
+dead host — must classify exactly. The zone itself is checked for the
+one property the whole census rests on: the control name verifies, the
+bogus name can never verify, and nothing else differs.
+"""
+
+import pytest
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.signing import verify_rrsig
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnssec.validation import (
+    BOGUS_LABEL,
+    CONTROL_LABEL,
+    SigningAuthoritativeServer,
+    ValidationScanner,
+    build_validation_zone,
+    render_validation_census,
+)
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+
+SLD = "ucfsealresearch.net"
+ORIGIN = f"dnssec-validation.{SLD}"
+CONTROL = f"{CONTROL_LABEL}.{ORIGIN}"
+BOGUS = f"{BOGUS_LABEL}.{ORIGIN}"
+
+
+class TestValidationZone:
+    def test_control_signature_verifies(self):
+        zone = build_validation_zone(SLD)
+        a_records = zone.rrset(CONTROL, QueryType.A)
+        [rrsig] = zone.rrset(CONTROL, QueryType.RRSIG)
+        assert verify_rrsig(rrsig.data, a_records)
+
+    def test_bogus_signature_never_verifies(self):
+        zone = build_validation_zone(SLD)
+        a_records = zone.rrset(BOGUS, QueryType.A)
+        [rrsig] = zone.rrset(BOGUS, QueryType.RRSIG)
+        assert not verify_rrsig(rrsig.data, a_records)
+
+    def test_both_names_uncacheable(self):
+        zone = build_validation_zone(SLD)
+        for name in (CONTROL, BOGUS):
+            [record] = zone.rrset(name, QueryType.A)
+            assert record.ttl == 0
+
+
+class TestSigningServer:
+    def _respond(self, qname):
+        server = SigningAuthoritativeServer("45.76.1.10")
+        server.load_zone(build_validation_zone(SLD))
+        return server.respond(make_query(qname, msg_id=3), now=0.0)
+
+    def test_answers_carry_the_matching_rrsig(self):
+        response = self._respond(CONTROL)
+        rtypes = sorted(int(record.rtype) for record in response.answers)
+        assert rtypes == [int(QueryType.A), int(QueryType.RRSIG)]
+        [rrsig] = [
+            record for record in response.answers
+            if int(record.rtype) == int(QueryType.RRSIG)
+        ]
+        assert int(rrsig.data.type_covered) == int(QueryType.A)
+
+    def test_bogus_rrsig_shipped_verbatim(self):
+        response = self._respond(BOGUS)
+        zone = build_validation_zone(SLD)
+        [stored] = zone.rrset(BOGUS, QueryType.RRSIG)
+        [shipped] = [
+            record for record in response.answers
+            if int(record.rtype) == int(QueryType.RRSIG)
+        ]
+        assert shipped.data.signature == stored.data.signature
+
+    def test_unanswered_query_gains_no_rrsig(self):
+        response = self._respond(f"missing.{ORIGIN}")
+        assert response.answers == []
+
+    def test_response_round_trips_through_the_codec(self):
+        response = self._respond(BOGUS)
+        wire = encode_message(response)
+        assert encode_message(decode_message(wire)) == wire
+
+
+def _resolve_spec(name="open"):
+    return BehaviorSpec(
+        name=name, mode=ResponseMode.RESOLVE, ra=True, aa=False,
+        answer_kind=AnswerKind.CORRECT,
+    )
+
+
+@pytest.fixture()
+def mini_world():
+    network = Network(seed=4)
+    hierarchy = build_hierarchy(network)
+    auth = hierarchy.auth
+    # Swap the hierarchy's auth for the signing variant at the same ip.
+    signing = SigningAuthoritativeServer(auth.ip, zone_history=None)
+    network.unbind(auth.ip, 53)
+    signing.attach(network)
+
+    validating = "198.18.0.1"
+    plain = "198.18.0.2"
+    forwarder = "198.18.0.3"
+    dead = "198.18.0.4"
+    upstream = "203.10.0.9"
+    BehaviorHost(
+        validating, _resolve_spec("validator"), signing.ip,
+        dnssec_validating=True,
+    ).attach(network)
+    BehaviorHost(plain, _resolve_spec(), signing.ip).attach(network)
+    BehaviorHost(upstream, _resolve_spec("upstream"), signing.ip).attach(
+        network
+    )
+    BehaviorHost(
+        forwarder,
+        BehaviorSpec(
+            name="transparent", mode=ResponseMode.TRANSPARENT, ra=True,
+            aa=False, answer_kind=AnswerKind.CORRECT, forward_to=upstream,
+        ),
+        signing.ip,
+    ).attach(network)
+    targets = [validating, plain, forwarder, dead]
+    return network, signing, targets
+
+
+class TestScannerClassification:
+    def test_planted_mix_recovered_exactly(self, mini_world):
+        network, signing, targets = mini_world
+        validating, plain, forwarder, dead = targets
+        census = ValidationScanner(network, signing, sld=SLD).scan(targets)
+        assert census.validating == {validating}
+        assert census.non_validating == {plain}
+        # The forwarder's answers return from its unprobed upstream and
+        # are filtered out of the target join; on this probe it is
+        # indistinguishable from a dead host.
+        assert census.unresponsive == {forwarder, dead}
+        assert census.targets == 4
+
+    def test_table_mirrors_the_sets(self, mini_world):
+        network, signing, targets = mini_world
+        census = ValidationScanner(network, signing, sld=SLD).scan(targets)
+        table = census.table()
+        assert table.targets == 4
+        assert (table.validating, table.non_validating) == (1, 1)
+        assert table.unresponsive == 2
+        assert table.responsive == 2
+        assert table.validating_share == pytest.approx(50.0)
+
+    def test_render_mentions_every_bucket(self, mini_world):
+        network, signing, targets = mini_world
+        census = ValidationScanner(network, signing, sld=SLD).scan(targets)
+        text = render_validation_census(census, 2018)
+        assert "DNSSEC validation behavior (2018)" in text
+        assert "validating (bogus blocked): 1" in text
+        assert "unresponsive:               2" in text
+
+    def test_zone_unloaded_after_the_scan(self, mini_world):
+        network, signing, targets = mini_world
+        ValidationScanner(network, signing, sld=SLD).scan(targets)
+        response = signing.respond(make_query(CONTROL, msg_id=1), now=0.0)
+        assert response.rcode != Rcode.NOERROR or not response.answers
+
+
+class TestValidatorEndToEnd:
+    def test_validator_servfails_the_bogus_name_only(self, mini_world):
+        network, signing, targets = mini_world
+        validating = targets[0]
+        signing.load_zone(build_validation_zone(SLD))
+        replies = []
+        network.bind(
+            "132.170.9.9", 4000, lambda dgram, net: replies.append(dgram)
+        )
+        for msg_id, qname in enumerate((CONTROL, BOGUS)):
+            network.send(
+                Datagram(
+                    "132.170.9.9", 4000, validating, 53,
+                    encode_message(make_query(qname, msg_id=msg_id)),
+                )
+            )
+        network.run()
+        by_qname = {
+            decoded.qname: decoded
+            for decoded in map(
+                lambda dgram: decode_message(dgram.payload), replies
+            )
+        }
+        assert by_qname[CONTROL].first_a_record() is not None
+        assert by_qname[BOGUS].rcode == Rcode.SERVFAIL
+        assert by_qname[BOGUS].first_a_record() is None

@@ -1,0 +1,142 @@
+"""TRANSPARENT behavior-host semantics: the off-path relay.
+
+A transparent forwarder never answers from its own address: it relays
+the probe to ``forward_to`` carrying the *client's* source endpoint, so
+the upstream's answer reaches the prober directly. These tests pin the
+wire-level signature — relay source spoofing, off-path R2 origin, the
+upstream port staying bound for ghost Q2s — and the spec-level
+invariants the population overlay relies on.
+"""
+
+import pytest
+
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
+from repro.resolvers.host import BehaviorHost
+
+PROBER = "132.170.3.1"
+FORWARDER = "198.51.100.80"
+UPSTREAM = "203.10.0.1"
+QNAME = "or000x0000001"
+
+
+def transparent_spec(**overrides):
+    fields = dict(
+        name="transparent", mode=ResponseMode.TRANSPARENT, ra=True, aa=False,
+        answer_kind=AnswerKind.CORRECT, forward_to=UPSTREAM,
+    )
+    fields.update(overrides)
+    return BehaviorSpec(**fields)
+
+
+@pytest.fixture()
+def world():
+    network = Network(seed=9)
+    hierarchy = build_hierarchy(network)
+    RecursiveResolver(UPSTREAM, hierarchy.root_servers).attach(network)
+    qname = f"{QNAME}.{hierarchy.sld}"
+    from repro.dnslib.zone import Zone
+
+    zone = Zone(hierarchy.sld)
+    zone.add_a(qname, hierarchy.auth.ip)
+    hierarchy.auth.load_zone(zone)
+    return network, hierarchy, qname
+
+
+def probe(network, qname, responses):
+    network.bind(PROBER, 40000, lambda dgram, net: responses.append(dgram))
+    network.send(
+        Datagram(
+            PROBER, 40000, FORWARDER, 53,
+            encode_message(make_query(qname, msg_id=77)),
+        )
+    )
+    network.run()
+
+
+class TestRelaySignature:
+    def test_answer_arrives_from_the_upstream_not_the_target(self, world):
+        network, hierarchy, qname = world
+        BehaviorHost(FORWARDER, transparent_spec(), hierarchy.auth.ip).attach(
+            network
+        )
+        responses = []
+        probe(network, qname, responses)
+        assert len(responses) == 1
+        assert responses[0].src_ip == UPSTREAM
+        assert responses[0].src_ip != FORWARDER
+        decoded = decode_message(responses[0].payload)
+        assert decoded.header.msg_id == 77
+        assert decoded.qname == qname
+        assert decoded.first_a_record() is not None
+
+    def test_q2_reaches_auth_from_the_upstream(self, world):
+        network, hierarchy, qname = world
+        BehaviorHost(FORWARDER, transparent_spec(), hierarchy.auth.ip).attach(
+            network
+        )
+        log_start = len(hierarchy.auth.query_log)
+        probe(network, qname, [])
+        sources = {
+            entry.src_ip for entry in hierarchy.auth.query_log[log_start:]
+            if entry.qname == qname
+        }
+        assert sources == {UPSTREAM}
+
+    def test_forwarder_counts_the_query_but_sends_no_response(self, world):
+        network, hierarchy, qname = world
+        host = BehaviorHost(FORWARDER, transparent_spec(), hierarchy.auth.ip)
+        host.attach(network)
+        probe(network, qname, [])
+        assert host.queries_received == 1
+        assert host.responses_sent == 0
+
+    def test_extra_q2_ghosts_come_from_the_forwarder_itself(self, world):
+        network, hierarchy, qname = world
+        BehaviorHost(
+            FORWARDER, transparent_spec(extra_q2=2), hierarchy.auth.ip
+        ).attach(network)
+        log_start = len(hierarchy.auth.query_log)
+        probe(network, qname, [])
+        sources = [
+            entry.src_ip for entry in hierarchy.auth.query_log[log_start:]
+            if entry.qname == qname
+        ]
+        assert sources.count(FORWARDER) == 2
+        assert sources.count(UPSTREAM) == 1
+
+
+class TestSpecInvariants:
+    def test_transparent_mode_contacts_auth(self):
+        assert transparent_spec().contacts_auth
+
+    def test_relay_preserves_client_endpoint_on_the_wire(self, world):
+        network, hierarchy, qname = world
+        seen = []
+
+        class _Tap:
+            def on_send(self, now, datagram):
+                seen.append(datagram)
+
+            def on_deliver(self, now, datagram):
+                pass
+
+        network.attach_sink(_Tap())
+        BehaviorHost(FORWARDER, transparent_spec(), hierarchy.auth.ip).attach(
+            network
+        )
+        probe(network, qname, [])
+        relays = [
+            dgram for dgram in seen
+            if dgram.dst_ip == UPSTREAM and dgram.dst_port == 53
+        ]
+        assert relays
+        assert all(
+            (dgram.src_ip, dgram.src_port) == (PROBER, 40000)
+            for dgram in relays
+        )

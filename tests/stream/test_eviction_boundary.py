@@ -1,0 +1,107 @@
+"""Eviction-boundary regression: the off-path R2 that arrives late.
+
+A transparent forwarder's answer travels an extra relay hop, so its R2
+can land *after* the flow's activity clock has gone quiet for a full
+horizon. The sweep must not evict a pending forwarder flow (target
+bound, Q2 served, no R2 yet) — evicting it would discard the target
+binding, and the late answer would fold as an on-path view from the
+upstream's address instead of an off-path view for the probed target.
+These tests pin the exact boundary: a sweep at ``last_activity +
+horizon`` (and far beyond) with the R2 still in flight.
+"""
+
+from repro.stream.aggregate import TableAggregate
+from repro.stream.assembler import FlowAssembler
+
+TRUTH = "10.9.9.9"
+QNAME = "or000x0000001.ucfsealresearch.net"
+TARGET = "198.51.100.7"   # the probed transparent forwarder
+UPSTREAM = "192.0.2.3"    # the shared upstream that answers off-path
+
+
+def r2_payload(qname=QNAME, answer_ip=TRUTH):
+    from repro.dnslib.constants import QueryType
+    from repro.dnslib.message import make_query, make_response
+    from repro.dnslib.records import AData, ResourceRecord
+    from repro.dnslib.wire import encode_message
+
+    return encode_message(
+        make_response(
+            make_query(qname, msg_id=7),
+            answers=[ResourceRecord(qname, QueryType.A, data=AData(answer_ip))],
+        )
+    )
+
+
+def make_assembler(**kwargs):
+    aggregate = TableAggregate(TRUTH)
+    kwargs.setdefault("response_window", 5.0)
+    return FlowAssembler(aggregate, **kwargs), aggregate
+
+
+def start_forwarder_flow(assembler):
+    """Q1 to the forwarder, relay to the upstream, Q2 at the auth."""
+    assembler.on_q1(0.0, QNAME, dst_ip=TARGET)
+    assembler.on_forward(0.1, QNAME)
+    assembler.on_query_served(0.2, QNAME)
+
+
+class TestPendingFlowSurvivesTheBoundary:
+    def test_sweep_at_exact_horizon_keeps_the_flow(self):
+        assembler, _ = make_assembler()
+        start_forwarder_flow(assembler)
+        # Watermark exactly one horizon past the last activity — the
+        # first instant an ordinary settled flow becomes evictable.
+        assert assembler.sweep(0.2 + assembler.horizon) == 0
+        assert assembler.live_flows == 1
+
+    def test_high_latency_r2_joins_after_many_horizons(self):
+        assembler, aggregate = make_assembler()
+        start_forwarder_flow(assembler)
+        assembler.sweep(0.2 + assembler.horizon)
+        assembler.sweep(0.2 + 3 * assembler.horizon)
+        # The off-path answer finally lands, far past every sweep.
+        assembler.on_r2(0.2 + 5 * assembler.horizon, UPSTREAM, r2_payload())
+        assembler.close()
+        assert aggregate.joined_views == 1
+        assert aggregate.off_path_r2 == 1
+        assert aggregate.on_path_r2 == 0
+        assert dict(aggregate.off_path_fan_in) == {UPSTREAM: {TARGET}}
+
+    def test_answered_flow_is_evictable_again(self):
+        assembler, aggregate = make_assembler()
+        start_forwarder_flow(assembler)
+        assembler.on_r2(0.3, UPSTREAM, r2_payload())
+        # Once the R2 landed the pending guard no longer applies.
+        assert assembler.sweep(0.3 + assembler.horizon) == 1
+        assert assembler.live_flows == 0
+        assert aggregate.off_path_r2 == 1
+
+    def test_unanswered_flow_without_target_still_evicts(self):
+        # The guard is narrow: a flow with no target binding (e.g. a
+        # Q2 whose Q1 was never observed) must not leak forever.
+        assembler, aggregate = make_assembler()
+        assembler.on_query_served(0.0, QNAME)
+        assert assembler.sweep(assembler.horizon) == 1
+        assert assembler.live_flows == 0
+        assert aggregate.q2_total == 1
+
+    def test_probed_flow_without_q2_still_evicts(self):
+        # Dead target: Q1 went out, nothing ever came back or was
+        # served. Pending status requires the Q2 evidence that an
+        # answer may still be in flight.
+        assembler, aggregate = make_assembler()
+        assembler.on_q1(0.0, QNAME, dst_ip=TARGET)
+        assert assembler.sweep(assembler.horizon) == 1
+        assert assembler.live_flows == 0
+
+    def test_pending_flow_folds_off_path_at_close_without_r2(self):
+        # If the answer never arrives at all, close() folds the counts
+        # and the flow contributes no view — same as the batch join's
+        # unanswered target.
+        assembler, aggregate = make_assembler()
+        start_forwarder_flow(assembler)
+        assembler.sweep(0.2 + 10 * assembler.horizon)
+        assembler.close()
+        assert aggregate.joined_views == 0
+        assert aggregate.q2_total == 1
