@@ -4,14 +4,28 @@ The flip side of section II-C: the same spoofed-source attack run
 against an unprotected fleet and an RRL-protected fleet. The token
 bucket caps what the victim absorbs, cutting the effective
 amplification by an order of magnitude.
+
+Alongside the human-readable table, the measured ablation is published
+as machine-readable ``BENCH_rrl_defense.json`` (results/ and repo
+root, the ``BENCH_*.json`` convention). The attack is fully seeded, so
+the ``current`` section is a determinism artifact, not a timing: a
+drift against the committed ``baseline`` means the defense layer or
+the attack schedule changed behavior. The gate skips cleanly on a
+fresh clone with no committed baseline.
 """
+
+import pytest
 
 from repro.amplification import AmplificationAttack, build_rich_zone
 from repro.dnssrv.hierarchy import build_hierarchy
 from repro.dnssrv.ratelimit import ResponseRateLimiter
 from repro.dnssrv.recursive import RecursiveResolver
 from repro.netsim.network import Network
-from benchmarks.conftest import write_result
+from benchmarks.conftest import (
+    load_bench_record,
+    publish_bench_record,
+    write_result,
+)
 
 ORIGIN = "amp.example"
 
@@ -57,3 +71,47 @@ def test_rrl_defense(benchmark, results_dir):
         f"{protected.amplification_factor:>13.1f}x",
     ]
     write_result(results_dir, "rrl_defense.txt", "\n".join(lines))
+
+    def arm(report):
+        return {
+            "queries_sent": report.queries_sent,
+            "victim_packets": report.victim_packets,
+            "victim_bytes": report.victim_bytes,
+            "amplification_factor": round(report.amplification_factor, 3),
+        }
+
+    record = load_bench_record("rrl_defense") or {
+        "benchmark": "rrl_defense"
+    }
+    record["current"] = {
+        "attack": {"resolvers": 10, "rounds": 25, "seed": 5},
+        "rrl": {"rate_per_second": 1.0, "burst": 3.0},
+        "unprotected": arm(unprotected),
+        "protected": arm(protected),
+        "mitigation_factor": round(
+            unprotected.amplification_factor
+            / max(protected.amplification_factor, 1e-9),
+            2,
+        ),
+    }
+    publish_bench_record("rrl_defense", record)
+
+
+def test_rrl_defense_matches_committed_baseline(results_dir):
+    """Determinism gate: the seeded ablation must reproduce the
+    committed record exactly — any drift is a behavior change in the
+    defense layer, not measurement noise."""
+    baseline = load_bench_record("rrl_defense").get("baseline")
+    if baseline is None:
+        pytest.skip(
+            "no committed rrl_defense baseline (fresh clone); "
+            "run test_rrl_defense to record one"
+        )
+    protected = run_attack(True)
+    unprotected = run_attack(False)
+    assert baseline["unprotected"]["victim_packets"] == (
+        unprotected.victim_packets
+    )
+    assert baseline["unprotected"]["victim_bytes"] == unprotected.victim_bytes
+    assert baseline["protected"]["victim_packets"] == protected.victim_packets
+    assert baseline["protected"]["victim_bytes"] == protected.victim_bytes

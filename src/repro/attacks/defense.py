@@ -1,0 +1,127 @@
+"""Defense postures: named bundles of resolver-hardening knobs.
+
+The paper's warning — "the open resolver acts as an attack amplifier" —
+is only actionable if the amplification can be *measured against
+defenses*. A :class:`DefensePosture` names one configuration of the
+fabric's mitigation knobs; :data:`DEFENSE_POSTURES` is the ladder the
+attack matrix walks, from a wide-open resolver to one with every
+mitigation engaged:
+
+- ``undefended`` — answers everyone, chases every glueless NS name,
+  caches nothing negative, queues without bound (pre-RRL BIND with the
+  pre-NXNS delegation handling);
+- ``rrl`` — BIND-style response rate limiting only: spoofed-source
+  reflection is blunted, but inbound floods still do full recursions;
+- ``quota`` — per-client inbound query quotas only: single-source
+  floods (water torture, NXNS driver queries) get REFUSED before any
+  recursion starts;
+- ``hardened`` — RRL + quotas + negative caching + a small glueless
+  fan-out cap + a bounded pending table with load shedding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dnssrv.ratelimit import ClientQueryQuota, ResponseRateLimiter
+
+
+@dataclasses.dataclass(frozen=True)
+class DefensePosture:
+    """One named configuration of the fabric's mitigation knobs.
+
+    The RRL/quota fields are parameters, not limiter instances: each
+    resolver in a deployed fleet gets its *own* limiter (real fleets do
+    not share token buckets), built by :meth:`rate_limiter` /
+    :meth:`query_quota`.
+    """
+
+    name: str
+    #: Response rate limiting (outbound): tokens/s and burst, or None.
+    rrl_rate: float | None = None
+    rrl_burst: float = 6.0
+    #: Per-client inbound query quota: tokens/s and burst, or None.
+    quota_rate: float | None = None
+    quota_burst: float = 10.0
+    #: NXDOMAIN/SERVFAIL caching horizon (0 disables).
+    negative_ttl: float = 0.0
+    #: Glueless-NS fan-out cap per referral (the NXNSAttack fix).
+    max_glueless: int = 0
+    #: Bound on in-flight resolutions (None = unbounded).
+    max_pending: int | None = None
+    #: Idle-bucket eviction horizon handed to both limiters.
+    idle_horizon: float = 60.0
+
+    def rate_limiter(self) -> ResponseRateLimiter | None:
+        if self.rrl_rate is None:
+            return None
+        return ResponseRateLimiter(
+            rate_per_second=self.rrl_rate,
+            burst=self.rrl_burst,
+            idle_horizon=self.idle_horizon,
+        )
+
+    def query_quota(self) -> ClientQueryQuota | None:
+        if self.quota_rate is None:
+            return None
+        return ClientQueryQuota(
+            queries_per_second=self.quota_rate,
+            burst=self.quota_burst,
+            idle_horizon=self.idle_horizon,
+        )
+
+    def resolver_kwargs(self, max_glueless_undefended: int) -> dict:
+        """Constructor kwargs for one RecursiveResolver under this posture.
+
+        ``max_glueless_undefended`` is the attack world's uncapped
+        fan-out: a posture that does not explicitly cap glueless
+        chasing still *performs* it (that is what makes NXNS land), so
+        "no cap" means "the world's fan-out", not zero.
+        """
+        return {
+            "rate_limiter": self.rate_limiter(),
+            "query_quota": self.query_quota(),
+            "negative_ttl": self.negative_ttl,
+            "max_glueless": (
+                self.max_glueless if self.max_glueless else
+                max_glueless_undefended
+            ),
+            "max_pending": self.max_pending,
+        }
+
+
+#: The ladder the attack matrix walks, least to most defended.
+DEFENSE_POSTURES: tuple[DefensePosture, ...] = (
+    DefensePosture(name="undefended"),
+    DefensePosture(name="rrl", rrl_rate=2.0, rrl_burst=6.0),
+    DefensePosture(name="quota", quota_rate=2.0, quota_burst=10.0),
+    DefensePosture(
+        name="hardened",
+        rrl_rate=2.0,
+        rrl_burst=6.0,
+        quota_rate=2.0,
+        quota_burst=10.0,
+        negative_ttl=30.0,
+        max_glueless=2,
+        max_pending=64,
+    ),
+)
+
+#: Stable lane index per posture name — part of the seed derivation, so
+#: adding or reordering postures never reshuffles existing cells.
+POSTURE_LANES = {
+    "undefended": 0,
+    "rrl": 1,
+    "quota": 2,
+    "hardened": 3,
+}
+
+
+def posture_by_name(name: str) -> DefensePosture:
+    for posture in DEFENSE_POSTURES:
+        if posture.name == name:
+            return posture
+    raise ValueError(
+        f"unknown defense posture {name!r}; "
+        f"known: {', '.join(p.name for p in DEFENSE_POSTURES)}"
+    )

@@ -1,0 +1,74 @@
+"""Rendering of the attack × defense matrix (text and markdown)."""
+
+from __future__ import annotations
+
+from repro.attacks.matrix import AttackMatrix
+
+#: Section header; tests and the campaign report key on this string.
+MATRIX_HEADER = "Attack x defense matrix"
+
+_COLUMNS = (
+    ("family", 14),
+    ("posture", 11),
+    ("amp", 8),
+    ("auth qps", 9),
+    ("victim KB", 10),
+    ("benign%", 8),
+    ("rrl drop", 9),
+    ("refused", 8),
+    ("shed", 5),
+    ("glueless", 9),
+)
+
+
+def _row(values) -> str:
+    return "  ".join(
+        f"{value:>{width}}" if index >= 2 else f"{value:<{width}}"
+        for index, ((_, width), value) in enumerate(zip(_COLUMNS, values))
+    )
+
+
+def render_attack_matrix(matrix: AttackMatrix) -> str:
+    """Fixed-width text table, one row per (family, posture) cell."""
+    lines = [
+        f"{MATRIX_HEADER} (seed {matrix.seed})",
+        "  " + _row([name for name, _ in _COLUMNS]),
+    ]
+    for cell in matrix.rows:
+        glueless = (
+            f"{cell.glueless_launched}/{cell.glueless_capped}"
+            if cell.glueless_launched or cell.glueless_capped else "-"
+        )
+        lines.append(
+            "  " + _row([
+                cell.family,
+                cell.posture,
+                f"{cell.amplification:.2f}",
+                f"{cell.auth_qps:.1f}",
+                f"{cell.victim_bytes / 1024:.1f}",
+                f"{cell.benign_answer_rate * 100:.1f}",
+                f"{cell.rrl_dropped:,}",
+                f"{cell.quota_refused:,}",
+                f"{cell.load_shed:,}",
+                glueless,
+            ])
+        )
+    lines.append(
+        "  (amp: auth queries per attacker query, or victim/attacker "
+        "bytes for reflection; glueless: launched/capped)"
+    )
+    return "\n".join(lines)
+
+
+def attack_markdown(matrix: AttackMatrix) -> str:
+    """The matrix as a standalone markdown section."""
+    return "\n".join(
+        [
+            f"## {MATRIX_HEADER}",
+            "",
+            "```",
+            render_attack_matrix(matrix),
+            "```",
+            "",
+        ]
+    )

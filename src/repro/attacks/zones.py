@@ -1,0 +1,141 @@
+"""The adversarial world: victim hierarchy plus attacker infrastructure.
+
+One attack cell simulates a small Internet: a root, the ``net`` TLD, a
+victim second-level domain with its authoritative server (the paper's
+measurement hierarchy, recast as the attack target), a fleet of open
+recursive resolvers, benign stub clients — and the attacker's pieces:
+
+- an authoritative server for a throwaway attacker zone whose only
+  job is to answer every query with a referral listing ``fanout``
+  glueless NS names *under the victim's domain* (the NXNSAttack
+  delegation bomb);
+- the victim zone itself, which carries the benign sites the client
+  workload resolves plus a record-rich ``amp`` subzone whose ANY
+  response is the reflection payload.
+
+Every attack-induced query carries a recognizable qname prefix
+(``nx-`` for NXNS children, ``wt`` for water-torture names), so the
+victim auth server's query log separates attack traffic from benign
+traffic exactly, without statistical subtraction.
+"""
+
+from __future__ import annotations
+
+from repro.amplification.factor import build_rich_zone
+from repro.clients.workload import ClientWorkload
+from repro.dnslib.constants import QueryType
+from repro.dnslib.message import make_response
+from repro.dnslib.records import NsData, ResourceRecord
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.dnslib.zone import Zone
+from repro.dnssrv.delegation import Delegation
+from repro.dnssrv.hierarchy import Hierarchy, build_hierarchy
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+#: The domain under attack (its auth server is the "victim auth").
+VICTIM_SLD = "victim-sld.net"
+
+#: The attacker's delegated zone (the NXNS launch pad).
+NXNS_ZONE = "atk-nxns.net"
+
+#: Addresses: attacker infrastructure on TEST-NET-3, resolvers on the
+#: documentation-adjacent 93.184/16 the amplification demo already uses.
+ATTACKER_AUTH_IP = "203.0.113.66"
+ATTACKER_IP = "203.0.113.99"
+REFLECTION_VICTIM_IP = "203.0.113.7"
+
+#: Origin of the record-rich subzone reflected at the victim host.
+AMP_ORIGIN = f"amp.{VICTIM_SLD}"
+
+#: Qname prefixes marking attack-induced lookups at the victim auth.
+NXNS_CHILD_PREFIX = "nx-"
+WATER_PREFIX = "wt"
+
+
+class NxnsAuthServer:
+    """The attacker's authoritative server: every answer is a bomb.
+
+    Whatever is asked under its zone, it responds NOERROR with
+    ``fanout`` NS records in the authority section — each a fresh name
+    under the *victim's* domain — and no glue. A resolver that chases
+    glueless NS names then performs ``fanout`` full root-to-auth walks
+    against the victim hierarchy per attacker query (NXNSAttack).
+    """
+
+    def __init__(
+        self,
+        ip: str = ATTACKER_AUTH_IP,
+        zone: str = NXNS_ZONE,
+        fanout: int = 16,
+        victim_sld: str = VICTIM_SLD,
+    ) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be positive")
+        self.ip = ip
+        self.zone = zone
+        self.fanout = fanout
+        self.victim_sld = victim_sld
+        self.queries_served = 0
+
+    def attach(self, network: Network, port: int = 53) -> None:
+        network.bind(self.ip, port, self.handle)
+
+    def handle(self, datagram: Datagram, network: Network) -> None:
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        if not query.questions:
+            return
+        self.queries_served += 1
+        # The queried label seeds the NS names, so every attacker query
+        # fans out into *distinct* victim-domain names — no resolver
+        # cache, positive or negative, ever absorbs a repeat.
+        label = query.questions[0].qname.split(".", 1)[0]
+        authorities = [
+            ResourceRecord(
+                query.questions[0].qname,
+                QueryType.NS,
+                ttl=60,
+                data=NsData(
+                    f"{NXNS_CHILD_PREFIX}{label}-{index}.{self.victim_sld}"
+                ),
+            )
+            for index in range(self.fanout)
+        ]
+        response = make_response(
+            query, authorities=authorities, aa=True, ra=False
+        )
+        network.send(datagram.reply(encode_message(response)))
+
+
+def build_victim_zone(workload: ClientWorkload) -> Zone:
+    """The victim SLD zone: one A record per benign workload domain."""
+    zone = Zone(VICTIM_SLD)
+    for index, domain in enumerate(workload.domains):
+        zone.add_a(domain, f"198.51.100.{index % 200 + 1}", ttl=300)
+    return zone
+
+
+def build_attack_world(
+    network: Network,
+    workload: ClientWorkload,
+    fanout: int,
+) -> tuple[Hierarchy, NxnsAuthServer]:
+    """Assemble the victim hierarchy plus the attacker's auth server.
+
+    The victim hierarchy is :func:`build_hierarchy` with the victim
+    SLD; the attacker zone is delegated (with glue) from the same TLD,
+    exactly as a real registrar would — the attack needs nothing
+    special from the infrastructure above the attacker's own server.
+    """
+    hierarchy = build_hierarchy(network, sld=VICTIM_SLD)
+    hierarchy.auth.load_zone(build_victim_zone(workload))
+    hierarchy.auth.load_zone(build_rich_zone(AMP_ORIGIN))
+    attacker_auth = NxnsAuthServer(fanout=fanout)
+    hierarchy.tld.add_delegation(
+        Delegation(NXNS_ZONE, ((f"ns1.{NXNS_ZONE}", attacker_auth.ip),))
+    )
+    attacker_auth.attach(network)
+    return hierarchy, attacker_auth

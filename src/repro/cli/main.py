@@ -10,6 +10,8 @@ Commands::
     monitor      multi-epoch continuous monitoring with churn
     exposure     client-workload exposure to manipulating resolvers
     amplify      amplification factors and a spoofed-source attack demo
+    attack       adversarial workload suite (NXNS / water torture /
+                 reflection) against the defense-posture ladder
 """
 
 from __future__ import annotations
@@ -80,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a standalone markdown report to FILE")
     scan.add_argument("--full-report", action="store_true",
                       help="print every table, not just the summary")
+    scan.add_argument("--attacks", action="store_true",
+                      help="also run the adversarial workload suite and "
+                      "report the attack x defense matrix")
+    scan.add_argument("--min-coverage", type=float, default=None,
+                      metavar="FRAC",
+                      help="exit with code 3 when shard coverage falls "
+                      "below FRAC (a degraded manifest alone already "
+                      "exits 3)")
 
     analyze = sub.add_parser("analyze", help="offline analysis of a dataset")
     analyze.add_argument("dataset", help="directory written by 'scan --save'")
@@ -116,6 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
     amplify = sub.add_parser("amplify", help="amplification quantification")
     amplify.add_argument("--resolvers", type=int, default=25)
     amplify.add_argument("--rounds", type=int, default=4)
+
+    attack = sub.add_parser(
+        "attack",
+        help="adversarial workload suite: NXNS, water torture and "
+        "reflection vs the defense-posture ladder",
+    )
+    attack.add_argument("--seed", type=int, default=7)
+    attack.add_argument("--resolvers", type=int, default=6)
+    attack.add_argument("--fanout", type=int, default=12,
+                        help="glueless NS names per NXNS referral")
+    attack.add_argument("--attack-queries", type=int, default=96,
+                        help="flood size for single-source families")
+    attack.add_argument("--families", default=None,
+                        help="comma-separated subset of "
+                        "nxns,water_torture,reflection (default: all)")
+    attack.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write attack telemetry counters to FILE "
+                        "as JSON")
+    attack.add_argument("--markdown", metavar="FILE", default=None,
+                        help="write the matrix as a markdown report to "
+                        "FILE")
 
     dnssec = sub.add_parser(
         "dnssec", help="DNSSEC validator census over the responders"
@@ -170,6 +201,9 @@ def _cmd_scan(args) -> int:
     if args.drop_captures and not args.stream:
         print("--drop-captures requires --stream")
         return 2
+    if args.min_coverage is not None and not 0.0 <= args.min_coverage <= 1.0:
+        print("--min-coverage must be a fraction in [0, 1]")
+        return 2
     config = CampaignConfig(
         year=args.year,
         scale=args.scale,
@@ -180,6 +214,7 @@ def _cmd_scan(args) -> int:
         max_shard_retries=args.max_shard_retries,
         mode="stream" if args.stream else "batch",
         drop_captures=args.drop_captures,
+        attack_suite=args.attacks,
     )
     workers_note = f", workers {args.workers}" if args.workers > 1 else ""
     faults_note = (
@@ -234,6 +269,77 @@ def _cmd_scan(args) -> int:
         from repro.reporting import write_markdown_report
 
         target = write_markdown_report(result, args.markdown)
+        print(f"Markdown report written to {target}")
+    coverage = 1.0 if result.degraded is None else result.degraded.coverage
+    if result.degraded is not None or (
+        args.min_coverage is not None and coverage < args.min_coverage
+    ):
+        # Exit code 3 (distinct from argument errors' 2): the campaign
+        # completed but with shards missing — scripting around `scan`
+        # must not mistake a degraded run for a full one.
+        print(
+            f"scan: degraded campaign (coverage {coverage:.2%}"
+            + (
+                f", threshold {args.min_coverage:.2%}"
+                if args.min_coverage is not None else ""
+            )
+            + "); exiting 3",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import (
+        ATTACK_FAMILIES,
+        AttackSuiteConfig,
+        attack_markdown,
+        render_attack_matrix,
+        run_attack_matrix,
+    )
+
+    if args.families:
+        families = tuple(
+            name.strip() for name in args.families.split(",") if name.strip()
+        )
+        unknown = [f for f in families if f not in ATTACK_FAMILIES]
+        if unknown:
+            print(
+                f"unknown attack families: {', '.join(unknown)} "
+                f"(known: {', '.join(ATTACK_FAMILIES)})"
+            )
+            return 2
+    else:
+        families = ATTACK_FAMILIES
+    config = AttackSuiteConfig(
+        seed=args.seed,
+        resolvers=args.resolvers,
+        fanout=args.fanout,
+        attack_queries=args.attack_queries,
+        families=families,
+    )
+    telemetry = None
+    if args.metrics_out:
+        from repro.telemetry import TelemetryConfig
+        from repro.telemetry.hub import as_hub
+
+        telemetry = as_hub(TelemetryConfig())
+    print(
+        f"Running attack suite (seed {args.seed}, {args.resolvers} "
+        f"resolvers, families {', '.join(families)})..."
+    )
+    matrix = run_attack_matrix(config, telemetry=telemetry)
+    print(render_attack_matrix(matrix))
+    if telemetry is not None and args.metrics_out:
+        target = telemetry.snapshot().write_metrics(args.metrics_out)
+        print(f"Metrics written to {target}")
+    if args.markdown:
+        import pathlib
+
+        target = pathlib.Path(args.markdown)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(attack_markdown(matrix))
         print(f"Markdown report written to {target}")
     return 0
 
@@ -483,6 +589,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "exposure": _cmd_exposure,
     "amplify": _cmd_amplify,
+    "attack": _cmd_attack,
 }
 
 

@@ -42,6 +42,8 @@ from repro.analysis.report import (
     render_validation_table,
 )
 from repro.analysis.summary import extrapolate, measure_probe_summary
+from repro.attacks.matrix import AttackMatrix
+from repro.attacks.report import render_attack_matrix
 from repro.dnssrv.hierarchy import Hierarchy, build_hierarchy
 from repro.netsim.faults import build_injector, fault_profile
 from repro.netsim.latency import LogNormalLatency
@@ -138,6 +140,12 @@ class CampaignConfig:
     mode: str = "batch"
     drop_captures: bool = False
     retain_query_log: bool = True
+    #: Run the adversarial workload suite (:mod:`repro.attacks`) and
+    #: attach the attack × defense matrix to the result. Default-off:
+    #: Tables II–X are byte-identical with or without it — the matrix
+    #: runs on its own derived-seed networks (lane 0xA77C) and never
+    #: touches the scan simulation.
+    attack_suite: bool = False
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -253,6 +261,12 @@ class CampaignResult:
     #: name. Computed on its own derived-seed network, so it is
     #: byte-identical across serial/sharded/stream/resume runs.
     validation_table: ValidationTable | None = None
+    #: Attack × defense matrix (``config.attack_suite`` only): the
+    #: adversarial workload suite's measurements, computed like the
+    #: validation census on dedicated derived-seed networks — a pure
+    #: function of mode-invariant config knobs, byte-identical across
+    #: serial/sharded/stream/resume runs.
+    attack_matrix: AttackMatrix | None = None
     #: The auth-side Q2/R1 capture (merged across shards when sharded);
     #: the serial run's hierarchy.auth.query_log, hoisted here so that
     #: persistence does not depend on which network ran the scan.
@@ -330,6 +344,8 @@ class CampaignResult:
             sections.append(
                 render_validation_table({year: self.validation_table})
             )
+        if self.attack_matrix is not None:
+            sections.append(render_attack_matrix(self.attack_matrix))
         return "\n\n".join(sections)
 
 
@@ -603,6 +619,7 @@ class Campaign:
             validation_table=self._validation_table(
                 population, dnssec_validators
             ),
+            attack_matrix=self._attack_matrix(),
             config=self.config,
             profile=self.profile,
             population=population,
@@ -661,6 +678,7 @@ class Campaign:
             validation_table=self._validation_table(
                 population, dnssec_validators
             ),
+            attack_matrix=self._attack_matrix(),
             config=self.config,
             profile=self.profile,
             population=population,
@@ -719,6 +737,27 @@ class Campaign:
             self.config, population, dnssec_validators or None
         )
         return census.table()
+
+    def _attack_matrix(self) -> AttackMatrix | None:
+        """The adversarial suite's matrix, when ``attack_suite`` is on.
+
+        Like the validation census, a pure function of mode-invariant
+        knobs (``seed``, ``latency_median``): serial, sharded,
+        streaming and resumed executions of the same campaign config
+        all render the identical matrix. Both ``_analyze`` variants
+        call this, which is exactly the merge path every execution
+        mode funnels through.
+        """
+        if not self.config.attack_suite:
+            return None
+        from repro.attacks.matrix import AttackSuiteConfig, run_attack_matrix
+
+        return run_attack_matrix(
+            AttackSuiteConfig(
+                seed=self.config.seed,
+                latency_median=self.config.latency_median,
+            )
+        )
 
 
 def run_both_years(

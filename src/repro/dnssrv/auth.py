@@ -46,16 +46,21 @@ class AuthoritativeServer:
         ip: str,
         cluster_load_seconds: float = 60.0,
         zone_history: int | None = 2,
+        rate_limiter=None,
     ) -> None:
         """``zone_history`` bounds how many same-origin zone versions stay
         queryable (BIND-style reload retention); ``None`` retains every
         version — the campaign setting, where each subdomain cluster is a
-        distinct zone file that is never unloaded."""
+        distinct zone file that is never unloaded. ``rate_limiter`` is an
+        optional :class:`~repro.dnssrv.ratelimit.ResponseRateLimiter`:
+        queries are still served and logged, but the response to an
+        over-budget client address is suppressed (BIND RRL semantics)."""
         if zone_history is not None and zone_history < 1:
             raise ValueError("zone_history must be at least 1")
         self.ip = ip
         self.cluster_load_seconds = cluster_load_seconds
         self.zone_history = zone_history
+        self.rate_limiter = rate_limiter
         self._zones: dict[str, list[Zone]] = {}
         self._loading_until = float("-inf")
         self.query_log: list[QueryLogEntry] = []
@@ -151,6 +156,10 @@ class AuthoritativeServer:
                     now, datagram.src_ip, qname, int(qtype), int(response.rcode)
                 )
             )
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            datagram.src_ip, now
+        ):
+            return  # RRL: served and logged, response suppressed
         network.send(datagram.reply(encode_message(response)))
 
     def _serve_fast(self, fast_query: FastQuery, datagram: Datagram,
@@ -205,6 +214,10 @@ class AuthoritativeServer:
                     int(fast_query.qtype), 0,
                 )
             )
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            datagram.src_ip, now
+        ):
+            return True  # served (counted/logged); response suppressed
         network.send(datagram.reply(wire))
         return True
 

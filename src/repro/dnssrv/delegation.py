@@ -34,13 +34,21 @@ class Delegation:
 class DelegationServer:
     """A referral-only server for one zone (the root or a TLD)."""
 
-    def __init__(self, ip: str, zone: str, delegations: list[Delegation] | None = None) -> None:
+    def __init__(
+        self,
+        ip: str,
+        zone: str,
+        delegations: list[Delegation] | None = None,
+        rate_limiter=None,
+    ) -> None:
         self.ip = ip
         self.zone = normalize_name(zone)
         self._delegations: dict[str, Delegation] = {}
         for delegation in delegations or []:
             self.add_delegation(delegation)
         self.queries_served = 0
+        #: Optional RRL: referrals to over-budget clients are suppressed.
+        self.rate_limiter = rate_limiter
 
     def add_delegation(self, delegation: Delegation) -> None:
         if not is_subdomain(delegation.zone, self.zone):
@@ -72,6 +80,10 @@ class DelegationServer:
         except DnsWireError:
             return
         response = self.respond(query)
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            datagram.src_ip, network.now
+        ):
+            return  # RRL: response suppressed
         network.send(datagram.reply(encode_message(response)))
 
     def respond(self, query: DnsMessage) -> DnsMessage:

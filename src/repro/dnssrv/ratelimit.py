@@ -5,6 +5,21 @@ any single client address per second, which blunts spoofed-source
 amplification: the victim's address quickly exhausts its budget and
 further responses are dropped (or truncated). The token-bucket
 implementation here attaches to any resolver or authoritative server.
+
+The same bucket also serves as a per-client *query quota* on the
+inbound side (:class:`ClientQueryQuota`): a resolver that meters what
+each client may ask — rather than what it answers — shuts down
+single-source floods (random-subdomain "water torture", NXNS driver
+queries) without touching well-behaved clients.
+
+State is bounded: a week-long campaign sees millions of distinct
+client addresses, and a bucket that has idled past ``burst / rate``
+seconds would refill to exactly ``burst`` on its next use — identical
+to a freshly created bucket — so evicting it is lossless. The limiter
+sweeps such buckets on a configurable horizon, keeping memory
+O(recently active clients) while every ``allow`` decision (and the
+``allowed``/``dropped`` counters) stays exactly what an unbounded
+table would have produced.
 """
 
 from __future__ import annotations
@@ -19,19 +34,48 @@ class _Bucket:
 
 
 class ResponseRateLimiter:
-    """A per-client token bucket over simulated time."""
+    """A per-client token bucket over simulated time.
 
-    def __init__(self, rate_per_second: float = 5.0, burst: float = 10.0) -> None:
+    ``idle_horizon`` enables bucket eviction: any bucket untouched for
+    at least ``max(idle_horizon, burst / rate)`` seconds is dropped
+    during an amortized sweep. The floor at ``burst / rate`` is what
+    makes eviction *exact* — an idle bucket past that age holds a full
+    burst again, indistinguishable from no bucket at all. ``None``
+    (the default) never evicts, preserving the historical behavior.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float = 5.0,
+        burst: float = 10.0,
+        idle_horizon: float | None = None,
+    ) -> None:
         if rate_per_second <= 0 or burst <= 0:
             raise ValueError("rate and burst must be positive")
+        if idle_horizon is not None and idle_horizon <= 0:
+            raise ValueError("idle_horizon must be positive (or None)")
         self.rate = rate_per_second
         self.burst = burst
+        #: Effective eviction age: never below the full-refill time, so
+        #: a swept bucket is provably equivalent to a fresh one.
+        self.idle_horizon = (
+            max(idle_horizon, burst / rate_per_second)
+            if idle_horizon is not None else None
+        )
         self._buckets: dict[str, _Bucket] = {}
+        self._last_sweep = float("-inf")
         self.allowed = 0
         self.dropped = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        """Live bucket count (the bounded-state figure of merit)."""
+        return len(self._buckets)
 
     def allow(self, client_ip: str, now: float) -> bool:
         """True if a response to ``client_ip`` may be sent at ``now``."""
+        if self.idle_horizon is not None and now - self._last_sweep >= self.idle_horizon:
+            self._sweep(now)
         bucket = self._buckets.get(client_ip)
         if bucket is None:
             bucket = _Bucket(tokens=self.burst, updated=now)
@@ -52,7 +96,52 @@ class ResponseRateLimiter:
         self.dropped += 1
         return False
 
+    def _sweep(self, now: float) -> None:
+        """Drop buckets idle past the horizon (amortized O(1) per allow).
+
+        Clock regressions never trigger a sweep (``now`` below the last
+        sweep mark leaves the elapsed check negative), so a bucket's
+        ``updated`` watermark can only be older than ``now`` by genuine
+        idle time — exactly the condition that makes eviction lossless.
+        """
+        self._last_sweep = now
+        horizon = self.idle_horizon
+        dead = [
+            ip for ip, bucket in self._buckets.items()
+            if now - bucket.updated >= horizon
+        ]
+        for ip in dead:
+            del self._buckets[ip]
+        self.evicted += len(dead)
+
     @property
     def drop_rate(self) -> float:
         total = self.allowed + self.dropped
         return self.dropped / total if total else 0.0
+
+
+class ClientQueryQuota(ResponseRateLimiter):
+    """A per-client budget on *inbound* queries.
+
+    Same token-bucket mechanics, applied before any work is done: a
+    client over budget gets REFUSED (the resolver spends one cheap
+    response instead of a full recursion). Kept as its own type so
+    server stats and reports can name the two defenses separately
+    even when both are active.
+    """
+
+    def __init__(
+        self,
+        queries_per_second: float = 5.0,
+        burst: float = 20.0,
+        idle_horizon: float | None = None,
+    ) -> None:
+        super().__init__(
+            rate_per_second=queries_per_second, burst=burst,
+            idle_horizon=idle_horizon,
+        )
+
+    @property
+    def refused(self) -> int:
+        """Queries rejected over budget (alias of ``dropped``)."""
+        return self.dropped

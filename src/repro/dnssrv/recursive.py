@@ -42,8 +42,8 @@ class ResolutionTrace:
 
 @dataclasses.dataclass
 class _Pending:
-    client: Datagram
-    query: DnsMessage
+    client: Datagram | None
+    query: DnsMessage | None
     qname: str
     qtype: int
     servers: list[str]
@@ -52,6 +52,14 @@ class _Pending:
     restarts: int = 0
     timeout_event: ScheduledEvent | None = None
     trace: ResolutionTrace | None = None
+    #: Set on internal sub-resolutions spawned to chase a glueless NS
+    #: name (the NXNSAttack vector); completion feeds the parent
+    #: instead of answering a client.
+    parent: "_Pending | None" = None
+    #: On a parent awaiting glueless NS children: how many are still in
+    #: flight, and whether one already resumed the referral walk.
+    ns_outstanding: int = 0
+    ns_resumed: bool = False
 
 
 @dataclasses.dataclass
@@ -62,6 +70,12 @@ class ResolverStats:
     answered: int = 0
     servfail: int = 0
     nxdomain: int = 0
+    #: Defense/degradation accounting (all zero with the knobs off).
+    quota_refused: int = 0
+    negative_hits: int = 0
+    load_shed: int = 0
+    glueless_launched: int = 0
+    glueless_capped: int = 0
 
 
 class RecursiveResolver:
@@ -79,18 +93,51 @@ class RecursiveResolver:
         version_banner: str | None = None,
         accept_unsolicited_additionals: bool = False,
         rate_limiter=None,
+        query_quota=None,
+        negative_ttl: float = 0.0,
+        max_negative_entries: int = 10_000,
+        max_glueless: int = 0,
+        max_pending: int | None = None,
     ) -> None:
         """``accept_unsolicited_additionals=True`` models the record-
         injection vulnerability of Schomp et al. / Klein et al.: the
         resolver caches A records from a response's additional section
         without a bailiwick check, letting a malicious authoritative
-        server plant answers for *other* domains."""
+        server plant answers for *other* domains.
+
+        The remaining knobs are the defense matrix (DESIGN.md §11):
+
+        - ``query_quota`` — a :class:`~repro.dnssrv.ratelimit
+          .ClientQueryQuota`; clients over budget get REFUSED before
+          any recursion starts;
+        - ``negative_ttl`` — cache NXDOMAIN/SERVFAIL outcomes for that
+          many seconds (RFC 2308 in miniature), so repeated junk names
+          stop reaching the authoritative hierarchy;
+        - ``max_glueless`` — how many glueless NS names one referral
+          may fan out into sub-resolutions (0 disables the chase
+          entirely, the historical behavior; NXNSAttack's fix caps
+          this small);
+        - ``max_pending`` — bound on the in-flight resolution table;
+          at the bound new work is shed with SERVFAIL (counted in
+          ``stats.load_shed``) instead of growing without limit.
+        """
         if not root_servers:
             raise ValueError("need at least one root server address")
+        if negative_ttl < 0:
+            raise ValueError("negative_ttl must be non-negative")
+        if max_glueless < 0:
+            raise ValueError("max_glueless must be non-negative")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive (or None)")
         self.ip = ip
         self.version_banner = version_banner
         self.accept_unsolicited_additionals = accept_unsolicited_additionals
         self.rate_limiter = rate_limiter
+        self.query_quota = query_quota
+        self.negative_ttl = negative_ttl
+        self.max_negative_entries = max_negative_entries
+        self.max_glueless = max_glueless
+        self.max_pending = max_pending
         self.root_servers = list(root_servers)
         self.cache = cache if cache is not None else DnsCache()
         self.timeout = timeout
@@ -101,6 +148,7 @@ class RecursiveResolver:
         self.stats = ResolverStats()
         self._network: Network | None = None
         self._pending: dict[int, _Pending] = {}
+        self._negative: dict[tuple[str, int], tuple[float, int]] = {}
         self._next_id = 1
 
     # -- wiring ------------------------------------------------------------
@@ -127,12 +175,42 @@ class RecursiveResolver:
                 datagram.reply(version_bind_response(query, self.version_banner))
             )
             return
+        if self.query_quota is not None and not self.query_quota.allow(
+            datagram.src_ip, network.now
+        ):
+            self.stats.quota_refused += 1
+            self._reply(
+                datagram, make_response(query, rcode=Rcode.REFUSED, ra=True)
+            )
+            return
         question = query.questions[0]
         cached = self.cache.get(question.qname, question.qtype, network.now)
         if cached is not None:
             self.stats.cache_answers += 1
             self.stats.answered += 1
             self._reply(datagram, make_response(query, answers=cached, ra=True))
+            return
+        if self.negative_ttl > 0.0:
+            entry = self._negative.get((question.qname, int(question.qtype)))
+            if entry is not None:
+                expires, rcode = entry
+                if network.now < expires:
+                    self.stats.negative_hits += 1
+                    if rcode == Rcode.NXDOMAIN:
+                        self.stats.nxdomain += 1
+                    else:
+                        self.stats.servfail += 1
+                    self._reply(
+                        datagram, make_response(query, rcode=rcode, ra=True)
+                    )
+                    return
+                del self._negative[(question.qname, int(question.qtype))]
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            self.stats.load_shed += 1
+            self.stats.servfail += 1
+            self._reply(
+                datagram, make_response(query, rcode=Rcode.SERVFAIL, ra=True)
+            )
             return
         pending = _Pending(
             client=datagram,
@@ -232,9 +310,49 @@ class RecursiveResolver:
             pending.server_index = 0
             self._send_upstream(pending)
             return
+        ns_names = [
+            record.data.nsdname
+            for record in response.authorities
+            if record.rtype == QueryType.NS
+        ]
+        if ns_names and self.max_glueless > 0:
+            self._chase_glueless(pending, server_ip, ns_names)
+            return
         # NOERROR, no answers, no usable referral: NODATA.
         self._trace(pending, server_ip, "nodata")
         self._finish_answer(pending, [])
+
+    def _chase_glueless(
+        self, pending: _Pending, server_ip: str, ns_names: list[str]
+    ) -> None:
+        """Resolve glueless NS names with internal sub-resolutions.
+
+        This is the NXNSAttack surface: one referral listing N glueless
+        NS names fans out into up to N full root-to-auth walks for
+        names the zone owner controls. ``max_glueless`` is the fan-out
+        cap (the post-NXNS fix in production resolvers); the parent's
+        depth counter still bounds chained referrals.
+        """
+        self._trace(pending, server_ip, "glueless")
+        pending.depth += 1
+        if pending.depth > self.max_depth:
+            self._finish_error(pending, Rcode.SERVFAIL)
+            return
+        names = ns_names[: self.max_glueless]
+        self.stats.glueless_capped += len(ns_names) - len(names)
+        pending.ns_outstanding = len(names)
+        pending.ns_resumed = False
+        for name in names:
+            self.stats.glueless_launched += 1
+            child = _Pending(
+                client=None,
+                query=None,
+                qname=name,
+                qtype=int(QueryType.A),
+                servers=list(self.root_servers),
+                parent=pending,
+            )
+            self._send_upstream(child)
 
     def _restart(self, pending: _Pending, new_qname: str) -> None:
         """Chase a CNAME by restarting resolution at the root."""
@@ -264,6 +382,9 @@ class RecursiveResolver:
         network = self._require_network()
         if answers:
             self.cache.put(pending.qname, pending.qtype, answers, network.now)
+        if pending.parent is not None:
+            self._finish_glueless(pending, answers)
+            return
         self.stats.answered += 1
         if pending.trace is not None:
             pending.trace.outcome = "answered"
@@ -272,13 +393,56 @@ class RecursiveResolver:
         )
 
     def _finish_error(self, pending: _Pending, rcode: int) -> None:
+        if self.negative_ttl > 0.0 and rcode in (Rcode.NXDOMAIN, Rcode.SERVFAIL):
+            self._store_negative(pending.qname, pending.qtype, int(rcode))
+        if pending.trace is not None:
+            pending.trace.outcome = Rcode(rcode).name.lower()
+        if pending.parent is not None:
+            self._finish_glueless(pending, [])
+            return
         if rcode == Rcode.NXDOMAIN:
             self.stats.nxdomain += 1
         else:
             self.stats.servfail += 1
-        if pending.trace is not None:
-            pending.trace.outcome = Rcode(rcode).name.lower()
         self._reply(pending.client, make_response(pending.query, rcode=rcode, ra=True))
+
+    def _finish_glueless(self, child: _Pending, answers) -> None:
+        """Fold a glueless-NS sub-resolution back into its parent.
+
+        The first child to produce an address resumes the parent's
+        referral walk against that address; children completing after
+        the resume are no-ops. If every child fails the parent
+        SERVFAILs — there is no server left to ask.
+        """
+        parent = child.parent
+        if parent is None:  # pragma: no cover - guarded by callers
+            return
+        parent.ns_outstanding -= 1
+        if parent.ns_resumed:
+            return
+        addresses = [
+            record.data.address
+            for record in answers
+            if record.rtype == QueryType.A
+        ]
+        if addresses:
+            parent.ns_resumed = True
+            parent.servers = addresses
+            parent.server_index = 0
+            self._send_upstream(parent)
+            return
+        if parent.ns_outstanding == 0:
+            self._finish_error(parent, Rcode.SERVFAIL)
+
+    def _store_negative(self, qname: str, qtype: int, rcode: int) -> None:
+        """Bounded RFC 2308-style negative cache (NXDOMAIN/SERVFAIL)."""
+        if len(self._negative) >= self.max_negative_entries:
+            # Deterministic FIFO eviction: dicts preserve insert order.
+            self._negative.pop(next(iter(self._negative)))
+        network = self._require_network()
+        self._negative[(qname, qtype)] = (
+            network.now + self.negative_ttl, rcode,
+        )
 
     def _reply(self, client: Datagram, response: DnsMessage) -> None:
         network = self._require_network()

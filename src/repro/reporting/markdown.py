@@ -108,6 +108,15 @@ def campaign_markdown(result) -> str:
             _fence(render_validation_table({year: result.validation_table})),
             "",
         ]
+    if getattr(result, "attack_matrix", None) is not None:
+        from repro.attacks.report import render_attack_matrix
+
+        lines += [
+            "## Attack x defense matrix (adversarial workload suite)",
+            "",
+            _fence(render_attack_matrix(result.attack_matrix)),
+            "",
+        ]
     lines += [
         "## Open-resolver estimates (section IV-B1)",
         "",

@@ -1,0 +1,194 @@
+"""Attack x defense matrix tests.
+
+The acceptance bar for the adversarial suite: defenses must produce
+*measurable* mitigation (asserted here, not just printed), benign
+clients must stay within the documented collateral bound, and the whole
+matrix must be deterministic for a given seed.
+
+One matrix run (~3 s) is shared module-wide via a fixture.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.attacks import (
+    ATTACK_FAMILIES,
+    AttackSuiteConfig,
+    MATRIX_HEADER,
+    attack_markdown,
+    render_attack_matrix,
+    run_attack_matrix,
+)
+
+#: Documented collateral bound: defenses may cost benign clients at
+#: most 10% of their answers (the paper-style "collateral damage" axis).
+COLLATERAL_FLOOR = 0.9
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_attack_matrix(AttackSuiteConfig(seed=3))
+
+
+class TestMatrixShape:
+    def test_full_grid(self, matrix):
+        assert matrix.families == ("baseline",) + ATTACK_FAMILIES
+        assert matrix.postures == ("undefended", "rrl", "quota", "hardened")
+        assert len(matrix.rows) == 16
+
+    def test_baseline_rows_carry_no_attack(self, matrix):
+        for posture in matrix.postures:
+            cell = matrix.cell("baseline", posture)
+            assert cell.attack_queries == 0
+            assert cell.amplification == 0.0
+
+    def test_cell_lookup_unknown_raises(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.cell("nxns", "tinfoil")
+
+
+class TestNxnsMitigation:
+    def test_undefended_amplifies(self, matrix):
+        cell = matrix.cell("nxns", "undefended")
+        # Each flood query fans out into glueless chases; the victim
+        # auth sees an order of magnitude more queries than the
+        # attacker sent.
+        assert cell.amplification >= 8.0
+        assert cell.glueless_launched > 0
+        assert cell.glueless_capped == 0
+
+    def test_hardened_caps_fanout(self, matrix):
+        undefended = matrix.cell("nxns", "undefended")
+        hardened = matrix.cell("nxns", "hardened")
+        assert hardened.amplification <= undefended.amplification / 4
+        assert hardened.glueless_capped > 0
+        assert hardened.auth_qps < undefended.auth_qps / 4
+
+    def test_quota_alone_already_helps(self, matrix):
+        undefended = matrix.cell("nxns", "undefended")
+        quota = matrix.cell("nxns", "quota")
+        assert quota.quota_refused > 0
+        assert quota.auth_queries < undefended.auth_queries
+
+
+class TestWaterTortureMitigation:
+    def test_hardened_cuts_auth_qps(self, matrix):
+        undefended = matrix.cell("water_torture", "undefended")
+        hardened = matrix.cell("water_torture", "hardened")
+        assert hardened.auth_qps < undefended.auth_qps * 0.8
+        assert hardened.quota_refused > 0
+
+    def test_negative_cache_absorbs_repeats(self, matrix):
+        # The flood draws from a small name pool, so NXDOMAIN caching
+        # (hardened posture only) starts absorbing repeats.
+        assert matrix.cell("water_torture", "hardened").negative_hits > 0
+        assert matrix.cell("water_torture", "undefended").negative_hits == 0
+
+
+class TestReflectionMitigation:
+    def test_undefended_reflects_amplified_bytes(self, matrix):
+        cell = matrix.cell("reflection", "undefended")
+        assert cell.amplification > 10.0
+        assert cell.victim_bytes > cell.attacker_bytes
+
+    def test_rrl_halves_amplification(self, matrix):
+        undefended = matrix.cell("reflection", "undefended")
+        rrl = matrix.cell("reflection", "rrl")
+        assert rrl.amplification < undefended.amplification * 0.5
+        assert rrl.rrl_dropped > 0
+        assert rrl.victim_packets < undefended.victim_packets
+
+    def test_hardened_at_least_as_good_as_rrl(self, matrix):
+        rrl = matrix.cell("reflection", "rrl")
+        hardened = matrix.cell("reflection", "hardened")
+        assert hardened.amplification <= rrl.amplification * 1.1
+
+
+class TestBenignCollateral:
+    def test_all_cells_within_collateral_bound(self, matrix):
+        for cell in matrix.rows:
+            assert cell.benign_sent > 0
+            assert cell.benign_answer_rate >= COLLATERAL_FLOOR, (
+                f"{cell.family}/{cell.posture} dropped too much benign "
+                f"traffic: {cell.benign_answer_rate:.2%}"
+            )
+
+
+class TestDeterminism:
+    def test_rerun_is_identical(self, matrix):
+        again = run_attack_matrix(AttackSuiteConfig(seed=3))
+        assert again.rows == matrix.rows
+        assert render_attack_matrix(again) == render_attack_matrix(matrix)
+
+    def test_family_subset_cells_unmoved(self, matrix):
+        # Lane-derived seeds are keyed by family/posture *name*, so
+        # running a subset must reproduce the full run's cells exactly.
+        subset = run_attack_matrix(
+            AttackSuiteConfig(seed=3, families=("reflection",))
+        )
+        for posture in subset.postures:
+            assert subset.cell("reflection", posture) == matrix.cell(
+                "reflection", posture
+            )
+
+    def test_different_seed_differs(self, matrix):
+        other = run_attack_matrix(AttackSuiteConfig(seed=4))
+        assert other.rows != matrix.rows
+
+
+class TestRendering:
+    def test_text_table(self, matrix):
+        text = render_attack_matrix(matrix)
+        assert text.startswith(MATRIX_HEADER)
+        for family in ("baseline",) + ATTACK_FAMILIES:
+            assert family in text
+        assert "hardened" in text
+
+    def test_markdown_fences_table(self, matrix):
+        doc = attack_markdown(matrix)
+        assert doc.count("```") == 2
+        assert MATRIX_HEADER in doc
+
+
+class TestTelemetry:
+    def test_counters_populated(self):
+        from repro.telemetry import TelemetryConfig, as_hub
+
+        hub = as_hub(TelemetryConfig())
+        run_attack_matrix(
+            AttackSuiteConfig(
+                seed=5,
+                resolvers=3,
+                benign_clients=6,
+                benign_queries_per_client=2,
+                attack_queries=24,
+                reflection_rounds=6,
+                families=("nxns",),
+                postures=("undefended",),
+            ),
+            telemetry=hub,
+        )
+        counters = hub.snapshot().metrics.counters
+        assert counters.get("attacks.cells_run") == 2
+        assert counters.get("attacks.nxns.auth_queries", 0) > 0
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            AttackSuiteConfig(families=("slowloris",))
+
+    def test_rejects_unknown_posture(self):
+        with pytest.raises(ValueError):
+            AttackSuiteConfig(postures=("tinfoil",))
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            AttackSuiteConfig(resolvers=0)
+        with pytest.raises(ValueError):
+            AttackSuiteConfig(attack_qps=0.0)
+
+    def test_cells_are_frozen(self, matrix):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            matrix.rows[0].amplification = 99.0

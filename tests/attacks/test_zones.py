@@ -1,0 +1,154 @@
+"""Unit tests for the attack-world substrate (zones, attacker auth)."""
+
+import pytest
+
+from repro.attacks import NXNS_ZONE, NxnsAuthServer, VICTIM_SLD, build_attack_world
+from repro.attacks.defense import DEFENSE_POSTURES, posture_by_name
+from repro.attacks.zones import ATTACKER_AUTH_IP, NXNS_CHILD_PREFIX
+from repro.clients.workload import ClientWorkload, WorkloadConfig
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+CLIENT_IP = "8.8.4.100"
+
+
+def _query_server(server_ip, qname, network):
+    if not network.is_bound(CLIENT_IP, 5555):
+        inbox = []
+        network.bind(
+            CLIENT_IP, 5555,
+            lambda dg, net: inbox.append(decode_message(dg.payload)),
+        )
+        network._test_inbox = inbox
+    before = len(network._test_inbox)
+    network.send(
+        Datagram(
+            CLIENT_IP, 5555, server_ip, 53,
+            encode_message(make_query(qname)),
+        )
+    )
+    network.run()
+    return network._test_inbox[before:]
+
+
+class TestNxnsAuthServer:
+    def test_referrals_fan_out_under_victim_sld(self):
+        network = Network()
+        server = NxnsAuthServer(
+            ATTACKER_AUTH_IP, NXNS_ZONE, fanout=5, victim_sld=VICTIM_SLD
+        )
+        server.attach(network)
+        responses = _query_server(
+            ATTACKER_AUTH_IP, f"p7.{NXNS_ZONE}", network
+        )
+        assert len(responses) == 1
+        reply = responses[0]
+        assert reply.rcode == Rcode.NOERROR
+        assert not reply.answers
+        ns_targets = [
+            record.data.nsdname
+            for record in reply.authorities
+            if record.rtype == QueryType.NS
+        ]
+        assert len(ns_targets) == 5
+        assert all(
+            name.startswith(f"{NXNS_CHILD_PREFIX}p7-")
+            and name.endswith(f".{VICTIM_SLD}")
+            for name in ns_targets
+        )
+        # Glueless by construction: no A records ride along.
+        assert not reply.additionals
+        assert server.queries_served == 1
+
+    def test_distinct_qnames_get_distinct_children(self):
+        network = Network()
+        server = NxnsAuthServer(
+            ATTACKER_AUTH_IP, NXNS_ZONE, fanout=3, victim_sld=VICTIM_SLD
+        )
+        server.attach(network)
+        first = _query_server(ATTACKER_AUTH_IP, f"p0.{NXNS_ZONE}", network)
+        second = _query_server(ATTACKER_AUTH_IP, f"p1.{NXNS_ZONE}", network)
+        names = lambda reply: {r.data.nsdname for r in reply.authorities}
+        # Every flood query fans into fresh child names, so no resolver
+        # cache can absorb the amplification.
+        assert names(first[0]).isdisjoint(names(second[0]))
+
+
+class TestBuildAttackWorld:
+    def _world(self):
+        network = Network(seed=11)
+        workload = ClientWorkload(
+            WorkloadConfig(clients=2, queries_per_client=1, domains=4),
+            ["93.184.10.1"],
+            seed=11,
+            domain_suffix=VICTIM_SLD,
+        )
+        hierarchy, attacker = build_attack_world(network, workload, fanout=4)
+        return network, workload, hierarchy, attacker
+
+    def test_victim_zone_serves_workload_domains(self):
+        network, workload, hierarchy, _ = self._world()
+        qname = workload.domains[0]
+        responses = _query_server(hierarchy.auth.ip, qname, network)
+        assert responses[0].rcode == Rcode.NOERROR
+        assert responses[0].first_a_record() is not None
+
+    def test_nxns_zone_delegated_to_attacker(self):
+        network, _, hierarchy, attacker = self._world()
+        responses = _query_server(
+            hierarchy.tld.ip, f"p0.{NXNS_ZONE}", network
+        )
+        referral_ips = [
+            record.data.address
+            for record in responses[0].additionals
+            if record.rtype == QueryType.A
+        ]
+        assert attacker.ip in referral_ips
+
+    def test_victim_auth_nxdomains_children(self):
+        network, _, hierarchy, _ = self._world()
+        responses = _query_server(
+            hierarchy.auth.ip,
+            f"{NXNS_CHILD_PREFIX}p0-0.{VICTIM_SLD}",
+            network,
+        )
+        assert responses[0].rcode == Rcode.NXDOMAIN
+
+
+class TestDefensePostures:
+    def test_registry_shape(self):
+        assert [p.name for p in DEFENSE_POSTURES] == [
+            "undefended", "rrl", "quota", "hardened",
+        ]
+
+    def test_undefended_builds_nothing(self):
+        posture = posture_by_name("undefended")
+        assert posture.rate_limiter() is None
+        assert posture.query_quota() is None
+        kwargs = posture.resolver_kwargs(max_glueless_undefended=9)
+        # Uncapped postures chase the world's full fan-out so NXNS has
+        # something to amplify through.
+        assert kwargs["max_glueless"] == 9
+        assert kwargs["rate_limiter"] is None
+        assert kwargs["max_pending"] is None
+
+    def test_hardened_builds_every_defense(self):
+        posture = posture_by_name("hardened")
+        assert posture.rate_limiter() is not None
+        assert posture.query_quota() is not None
+        kwargs = posture.resolver_kwargs(max_glueless_undefended=9)
+        assert kwargs["max_glueless"] == 2
+        assert kwargs["max_pending"] == 64
+        assert kwargs["negative_ttl"] == 30.0
+
+    def test_fresh_instances_per_call(self):
+        # Fleet deployments must not share token buckets.
+        posture = posture_by_name("rrl")
+        assert posture.rate_limiter() is not posture.rate_limiter()
+
+    def test_unknown_posture_raises(self):
+        with pytest.raises(ValueError):
+            posture_by_name("tinfoil")

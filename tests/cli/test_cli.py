@@ -164,3 +164,69 @@ class TestFaultAndResumeFlags:
         ) == 2
         out = capsys.readouterr().out
         assert "Cannot resume from" in out
+
+
+class TestScanExitCodes:
+    def test_degraded_campaign_exits_3(self, capsys, monkeypatch):
+        from repro.core.shard import CHAOS_RAISE_ENV
+
+        # Kill shard 1 on every attempt with retries off: the scan
+        # completes degraded and must say so in its exit code.
+        monkeypatch.setenv(CHAOS_RAISE_ENV, "1:99")
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1", "--workers", "2",
+             "--max-shard-retries", "0"]
+        ) == 3
+        captured = capsys.readouterr()
+        assert "degraded campaign" in captured.err
+        assert "exiting 3" in captured.err
+
+    def test_min_coverage_above_healthy_run_passes(self, capsys):
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1",
+             "--min-coverage", "0.99"]
+        ) == 0
+        assert "degraded" not in capsys.readouterr().err
+
+    def test_min_coverage_rejects_bad_fraction(self, capsys):
+        assert main(
+            ["scan", "--scale", "65536", "--min-coverage", "1.5"]
+        ) == 2
+        assert "fraction" in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    #: Cheap matrix: 1 family x 4 postures at a small schedule.
+    FAST = ["attack", "--seed", "5", "--resolvers", "3",
+            "--attack-queries", "24", "--families", "nxns"]
+
+    def test_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Attack x defense matrix" in out
+        assert "nxns" in out
+        assert "hardened" in out
+
+    def test_unknown_family_rejected(self, capsys):
+        assert main(["attack", "--families", "slowloris"]) == 2
+        assert "unknown attack families" in capsys.readouterr().out
+
+    def test_markdown_and_metrics_outputs(self, capsys, tmp_path):
+        import json
+
+        markdown = tmp_path / "attack.md"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            self.FAST
+            + ["--markdown", str(markdown), "--metrics-out", str(metrics)]
+        ) == 0
+        assert "Attack x defense matrix" in markdown.read_text()
+        document = json.loads(metrics.read_text())
+        assert document["counters"]["attacks.cells_run"] == 8
+
+    def test_scan_attacks_flag_appends_matrix(self, capsys):
+        assert main(
+            ["scan", "--scale", "65536", "--seed", "1", "--attacks",
+             "--full-report"]
+        ) == 0
+        assert "Attack x defense matrix" in capsys.readouterr().out

@@ -1,0 +1,341 @@
+"""Unit tests for the resolver defense knobs (PR 7 substrate).
+
+Covers per-client query quotas, bounded negative caching, pending-table
+load shedding, the glueless-NS chase with its fan-out cap, and RRL on
+the authoritative/delegation serving paths.
+"""
+
+import pytest
+
+from repro.dnslib.constants import QueryType, Rcode
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.records import NsData, ResourceRecord
+from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.dnslib.zone import Zone, parse_master_file
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.dnssrv.delegation import Delegation, DelegationServer
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.dnssrv.ratelimit import ClientQueryQuota, ResponseRateLimiter
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+@ IN NS ns1
+ns1 IN A 45.76.1.10
+or000.0000000 IN A 45.76.1.10
+"""
+
+RESOLVER_IP = "93.184.10.1"
+CLIENT_IP = "8.8.4.100"
+
+
+def build_world(**resolver_kwargs):
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    resolver = RecursiveResolver(
+        RESOLVER_IP, hierarchy.root_servers, **resolver_kwargs
+    )
+    resolver.attach(network)
+    return network, hierarchy, resolver
+
+
+def collect_responses(network):
+    responses = []
+    if not network.is_bound(CLIENT_IP, 5555):
+        network.bind(
+            CLIENT_IP, 5555,
+            lambda dg, net: responses.append(decode_message(dg.payload)),
+        )
+    return responses
+
+
+def send_query(network, qname, msg_id=1):
+    query = make_query(qname, msg_id=msg_id)
+    network.send(
+        Datagram(CLIENT_IP, 5555, RESOLVER_IP, 53, encode_message(query))
+    )
+
+
+class TestClientQueryQuota:
+    def test_over_budget_queries_refused(self):
+        network, _, resolver = build_world(
+            query_quota=ClientQueryQuota(queries_per_second=1.0, burst=2.0)
+        )
+        responses = collect_responses(network)
+        for index in range(5):
+            send_query(
+                network, f"or000.0000000.ucfsealresearch.net", msg_id=index
+            )
+        network.run()
+        refused = [r for r in responses if r.rcode == Rcode.REFUSED]
+        assert len(refused) == 3
+        assert resolver.stats.quota_refused == 3
+        assert resolver.query_quota.refused == 3
+
+    def test_within_budget_untouched(self):
+        network, _, resolver = build_world(
+            query_quota=ClientQueryQuota(queries_per_second=5.0, burst=10.0)
+        )
+        responses = collect_responses(network)
+        send_query(network, "or000.0000000.ucfsealresearch.net")
+        network.run()
+        assert resolver.stats.quota_refused == 0
+        assert responses[0].rcode == Rcode.NOERROR
+
+
+class TestNegativeCache:
+    def test_second_nxdomain_served_from_cache(self):
+        network, hierarchy, resolver = build_world(negative_ttl=300.0)
+        responses = collect_responses(network)
+        send_query(network, "missing.ucfsealresearch.net", msg_id=1)
+        network.run()
+        walks_after_first = hierarchy.root.queries_served
+        send_query(network, "missing.ucfsealresearch.net", msg_id=2)
+        network.run()
+        assert hierarchy.root.queries_served == walks_after_first
+        assert resolver.stats.negative_hits == 1
+        assert [r.rcode for r in responses] == [Rcode.NXDOMAIN, Rcode.NXDOMAIN]
+
+    def test_disabled_by_default(self):
+        network, hierarchy, resolver = build_world()
+        collect_responses(network)
+        send_query(network, "missing.ucfsealresearch.net", msg_id=1)
+        network.run()
+        send_query(network, "missing.ucfsealresearch.net", msg_id=2)
+        network.run()
+        assert resolver.stats.negative_hits == 0
+        assert hierarchy.root.queries_served == 2
+
+    def test_store_is_bounded(self):
+        network, _, resolver = build_world(
+            negative_ttl=300.0, max_negative_entries=2
+        )
+        collect_responses(network)
+        for index in range(4):
+            send_query(
+                network, f"missing{index}.ucfsealresearch.net", msg_id=index
+            )
+            network.run()
+        assert len(resolver._negative) <= 2
+
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            RecursiveResolver(RESOLVER_IP, ["198.41.0.4"], negative_ttl=-1.0)
+
+
+class TestLoadShedding:
+    def test_pending_bound_sheds_with_servfail(self):
+        network, _, resolver = build_world(max_pending=1)
+        responses = collect_responses(network)
+        # Three concurrent resolutions for distinct (uncached) names:
+        # only one fits the pending table; the rest shed immediately.
+        for index in range(3):
+            send_query(
+                network, f"fresh{index}.ucfsealresearch.net", msg_id=index
+            )
+        network.run()
+        assert resolver.stats.load_shed == 2
+        servfails = [r for r in responses if r.rcode == Rcode.SERVFAIL]
+        assert len(servfails) == 2
+
+    def test_unbounded_by_default(self):
+        network, _, resolver = build_world()
+        collect_responses(network)
+        for index in range(3):
+            send_query(
+                network, f"fresh{index}.ucfsealresearch.net", msg_id=index
+            )
+        network.run()
+        assert resolver.stats.load_shed == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            RecursiveResolver(RESOLVER_IP, ["198.41.0.4"], max_pending=0)
+
+
+class _GluelessReferrer:
+    """Answers every query with glueless NS referrals (NXNS shape)."""
+
+    def __init__(self, ip, ns_names):
+        self.ip = ip
+        self.ns_names = ns_names
+        self.queries_served = 0
+
+    def attach(self, network):
+        network.bind(self.ip, 53, self.handle)
+
+    def handle(self, datagram, network):
+        try:
+            query = decode_message(datagram.payload)
+        except DnsWireError:
+            return
+        self.queries_served += 1
+        authorities = [
+            ResourceRecord(
+                query.questions[0].qname, QueryType.NS, ttl=60,
+                data=NsData(name),
+            )
+            for name in self.ns_names
+        ]
+        network.send(
+            datagram.reply(
+                encode_message(
+                    make_response(
+                        query, authorities=authorities, aa=True, ra=False
+                    )
+                )
+            )
+        )
+
+
+def build_glueless_world(ns_names, **resolver_kwargs):
+    """A zone cut whose referral carries NS names but no glue.
+
+    ``glueless.net`` is delegated (with glue) to a referrer that
+    answers only with glueless NS records; the *content* for the zone
+    lives on the measurement auth server, which is also where the NS
+    name ``ns1.ucfsealresearch.net`` resolves to — so a resolver that
+    chases the glueless name ends up at a server that can answer.
+    """
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    content = Zone("glueless.net")
+    content.add_a("www.glueless.net", "198.51.100.77", ttl=300)
+    hierarchy.auth.load_zone(content)
+    referrer = _GluelessReferrer("203.0.113.50", ns_names)
+    referrer.attach(network)
+    hierarchy.tld.add_delegation(
+        Delegation("glueless.net", (("ns1.glueless.net", referrer.ip),))
+    )
+    resolver = RecursiveResolver(
+        RESOLVER_IP, hierarchy.root_servers, **resolver_kwargs
+    )
+    resolver.attach(network)
+    return network, hierarchy, resolver, referrer
+
+
+class TestGluelessChase:
+    def test_disabled_by_default_yields_nodata(self):
+        # The historical behavior: a glue-free referral is a dead end.
+        network, _, resolver, _ = build_glueless_world(
+            ["ns1.ucfsealresearch.net"]
+        )
+        responses = collect_responses(network)
+        send_query(network, "www.glueless.net")
+        network.run()
+        assert responses[0].rcode == Rcode.NOERROR
+        assert not responses[0].answers
+        assert resolver.stats.glueless_launched == 0
+
+    def test_chase_resolves_ns_then_answers(self):
+        network, _, resolver, _ = build_glueless_world(
+            ["ns1.ucfsealresearch.net"], max_glueless=4
+        )
+        responses = collect_responses(network)
+        send_query(network, "www.glueless.net")
+        network.run()
+        assert responses[0].rcode == Rcode.NOERROR
+        assert responses[0].first_a_record().data.address == "198.51.100.77"
+        assert resolver.stats.glueless_launched == 1
+        assert resolver.stats.glueless_capped == 0
+
+    def test_fanout_capped(self):
+        ns_names = [
+            f"ns{i}.nowhere.ucfsealresearch.net" for i in range(6)
+        ] + ["ns1.ucfsealresearch.net"]
+        network, _, resolver, _ = build_glueless_world(
+            ns_names, max_glueless=2
+        )
+        collect_responses(network)
+        send_query(network, "www.glueless.net")
+        network.run()
+        assert resolver.stats.glueless_launched == 2
+        assert resolver.stats.glueless_capped == 5
+
+    def test_all_children_fail_servfails(self):
+        network, _, resolver, _ = build_glueless_world(
+            ["ns1.missing.ucfsealresearch.net"], max_glueless=4
+        )
+        responses = collect_responses(network)
+        send_query(network, "www.glueless.net")
+        network.run()
+        assert responses[0].rcode == Rcode.SERVFAIL
+        assert resolver.stats.glueless_launched == 1
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            RecursiveResolver(RESOLVER_IP, ["198.41.0.4"], max_glueless=-1)
+
+
+class TestAuthRateLimiter:
+    def _serve(self, limiter, queries=5):
+        network = Network()
+        auth = AuthoritativeServer("45.76.1.10", rate_limiter=limiter)
+        auth.load_zone(parse_master_file(ZONE_TEXT))
+        auth.attach(network)
+        received = []
+        network.bind(CLIENT_IP, 5555, lambda dg, net: received.append(dg))
+        for index in range(queries):
+            query = make_query(
+                "or000.0000000.ucfsealresearch.net", msg_id=index
+            )
+            network.send(
+                Datagram(
+                    CLIENT_IP, 5555, auth.ip, 53, encode_message(query)
+                )
+            )
+        network.run()
+        return auth, received
+
+    def test_responses_suppressed_past_burst(self):
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=2.0)
+        auth, received = self._serve(limiter, queries=5)
+        assert len(received) == 2
+        assert limiter.dropped == 3
+        # Served and logged regardless: RRL suppresses the response,
+        # not the work (BIND semantics).
+        assert auth.queries_served == 5
+        assert len(auth.query_log) == 5
+
+    def test_fast_path_also_limited(self):
+        # The single-A template fast path must consult the limiter too:
+        # it still reports "served" so the slow path never double-counts.
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=1.0)
+        auth, received = self._serve(limiter, queries=3)
+        assert len(received) == 1
+        assert auth.queries_served == 3
+
+    def test_no_limiter_answers_everything(self):
+        auth, received = self._serve(None, queries=5)
+        assert len(received) == 5
+
+
+class TestDelegationRateLimiter:
+    def test_referrals_suppressed_past_burst(self):
+        network = Network()
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=1.0)
+        server = DelegationServer(
+            "198.41.0.4", "",
+            [Delegation("net", (("a.gtld-servers.net", "192.5.6.30"),))],
+            rate_limiter=limiter,
+        )
+        server.attach(network)
+        received = []
+        network.bind(CLIENT_IP, 5555, lambda dg, net: received.append(dg))
+        for index in range(4):
+            query = make_query("www.example.net", msg_id=index)
+            network.send(
+                Datagram(
+                    CLIENT_IP, 5555, server.ip, 53, encode_message(query)
+                )
+            )
+        network.run()
+        assert len(received) == 1
+        assert limiter.dropped == 3
+        assert server.queries_served == 4

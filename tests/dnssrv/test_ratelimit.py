@@ -86,6 +86,57 @@ class TestRrlOnResolver:
         assert limited.victim_bytes < 0.35 * unlimited.victim_bytes
 
 
+class TestIdleEviction:
+    def test_bucket_table_stays_bounded(self):
+        limiter = ResponseRateLimiter(
+            rate_per_second=10.0, burst=5.0, idle_horizon=2.0
+        )
+        # A slow scan over many one-shot clients: each bucket goes idle
+        # long before the sweep, so the table never holds the full
+        # client population.
+        for index in range(500):
+            limiter.allow(f"10.0.{index // 250}.{index % 250}", index * 1.0)
+        assert len(limiter) < 10
+        assert limiter.evicted > 400
+        assert limiter.allowed == 500
+
+    def test_horizon_clamped_to_full_refill(self):
+        # A horizon shorter than burst/rate would evict buckets that
+        # still owe drops; the ctor clamps it so eviction is lossless.
+        limiter = ResponseRateLimiter(
+            rate_per_second=1.0, burst=10.0, idle_horizon=1.0
+        )
+        assert limiter.idle_horizon == 10.0
+
+    def test_eviction_matches_unbounded_counters(self):
+        bounded = ResponseRateLimiter(
+            rate_per_second=1.0, burst=2.0, idle_horizon=3.0
+        )
+        unbounded = ResponseRateLimiter(rate_per_second=1.0, burst=2.0)
+        trace = [
+            ("1.1.1.1", t * 0.5) for t in range(40)
+        ] + [("2.2.2.2", 20.0 + t) for t in range(40)]
+        for ip, now in trace:
+            assert bounded.allow(ip, now) == unbounded.allow(ip, now)
+        assert (bounded.allowed, bounded.dropped) == (
+            unbounded.allowed,
+            unbounded.dropped,
+        )
+
+    def test_unbounded_by_default(self):
+        limiter = ResponseRateLimiter(rate_per_second=1.0, burst=1.0)
+        for index in range(100):
+            limiter.allow(f"10.1.0.{index}", index * 100.0)
+        assert len(limiter) == 100
+        assert limiter.evicted == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResponseRateLimiter(idle_horizon=0.0)
+        with pytest.raises(ValueError):
+            ResponseRateLimiter(idle_horizon=-5.0)
+
+
 class TestClockRegression:
     def test_backwards_clock_mints_no_free_tokens(self):
         limiter = ResponseRateLimiter(rate_per_second=1.0, burst=2.0)

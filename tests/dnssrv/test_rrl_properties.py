@@ -1,0 +1,132 @@
+"""Property-based tests for :mod:`repro.dnssrv.ratelimit`.
+
+Pins the token-bucket invariants the defense matrix leans on:
+
+* tokens never exceed ``burst`` regardless of call pattern;
+* a clock that jumps backwards never mints tokens (the PR 5
+  regression), so total admissions are bounded by the forward progress
+  of the clock;
+* drop decisions are a pure function of each client's own event
+  subsequence — interleaving traffic from other clients cannot change
+  them (this is what makes scheduler-ordered replays deterministic);
+* the bounded (idle-evicting) limiter is *lossless*: on any
+  monotone clock its decisions and exact counters match an unbounded
+  twin, because the idle horizon is clamped to at least the full
+  refill time ``burst / rate``.
+
+The monotone-clock restriction on the eviction property mirrors the
+simulator: the event-driven scheduler only moves time forward; the
+adversarial-clock properties above cover hostile inputs.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnssrv.ratelimit import ClientQueryQuota, ResponseRateLimiter
+
+#: A small IP pool keeps collisions (shared buckets) likely.
+_IPS = st.sampled_from([f"198.51.100.{i}" for i in range(1, 6)])
+
+#: Arbitrary — including backwards — clock readings.
+_TIMES = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+_EVENTS = st.lists(st.tuples(_IPS, _TIMES), min_size=1, max_size=80)
+
+_RATES = st.floats(min_value=0.1, max_value=50.0)
+_BURSTS = st.floats(min_value=1.0, max_value=50.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(events=_EVENTS, rate=_RATES, burst=_BURSTS)
+def test_tokens_never_exceed_burst(events, rate, burst):
+    limiter = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+    for ip, now in events:
+        limiter.allow(ip, now)
+        for bucket in limiter._buckets.values():
+            assert bucket.tokens <= burst + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(events=_EVENTS, rate=_RATES, burst=_BURSTS)
+def test_clock_regressions_never_mint_tokens(events, rate, burst):
+    # Refill is driven by the per-bucket high-water mark, so the total
+    # number of admissions for one client is bounded by the initial
+    # burst plus rate x (max clock seen - first clock seen) — a bound a
+    # backwards-jumping clock cannot inflate.
+    limiter = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+    first_seen = {}
+    max_seen = {}
+    allowed = {}
+    for ip, now in events:
+        first_seen.setdefault(ip, now)
+        max_seen[ip] = max(max_seen.get(ip, now), now)
+        if limiter.allow(ip, now):
+            allowed[ip] = allowed.get(ip, 0) + 1
+    for ip, count in allowed.items():
+        budget = burst + rate * (max_seen[ip] - first_seen[ip])
+        assert count <= math.floor(budget + 1e-6) + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(events=_EVENTS, rate=_RATES, burst=_BURSTS)
+def test_decisions_independent_of_other_clients(events, rate, burst):
+    interleaved = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+    full_trace = [
+        (ip, now, interleaved.allow(ip, now)) for ip, now in events
+    ]
+    for target in {ip for ip, _ in events}:
+        solo = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+        for ip, now, decision in full_trace:
+            if ip == target:
+                assert solo.allow(ip, now) == decision
+
+
+@settings(max_examples=200, deadline=None)
+@given(events=_EVENTS, rate=_RATES, burst=_BURSTS)
+def test_equal_timestamp_decisions_are_order_deterministic(
+    events, rate, burst
+):
+    # Flatten every event onto one timestamp: replaying the same
+    # sequence must reproduce the same decision vector, byte for byte.
+    flat = [(ip, 10.0) for ip, _ in events]
+    first = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+    second = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+    assert [first.allow(ip, now) for ip, now in flat] == [
+        second.allow(ip, now) for ip, now in flat
+    ]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    events=_EVENTS,
+    rate=_RATES,
+    burst=_BURSTS,
+    horizon=st.floats(min_value=0.1, max_value=30.0),
+)
+def test_bounded_limiter_is_lossless_on_monotone_clock(
+    events, rate, burst, horizon
+):
+    ordered = sorted(events, key=lambda event: event[1])
+    bounded = ResponseRateLimiter(
+        rate_per_second=rate, burst=burst, idle_horizon=horizon
+    )
+    unbounded = ResponseRateLimiter(rate_per_second=rate, burst=burst)
+    for ip, now in ordered:
+        assert bounded.allow(ip, now) == unbounded.allow(ip, now)
+    assert bounded.allowed == unbounded.allowed
+    assert bounded.dropped == unbounded.dropped
+    assert len(bounded) <= len(unbounded)
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=_EVENTS, rate=_RATES, burst=_BURSTS)
+def test_quota_counters_are_exact(events, rate, burst):
+    quota = ClientQueryQuota(queries_per_second=rate, burst=burst)
+    decisions = [quota.allow(ip, now) for ip, now in events]
+    assert quota.allowed == sum(decisions)
+    assert quota.refused == len(decisions) - sum(decisions)
+    assert quota.allowed + quota.dropped == len(events)
