@@ -12,6 +12,7 @@ Commands::
     amplify      amplification factors and a spoofed-source attack demo
     attack       adversarial workload suite (NXNS / water torture /
                  reflection) against the defense-posture ladder
+    serve        run a resolver profile live on a real UDP port
 """
 
 from __future__ import annotations
@@ -177,6 +178,52 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--resolvers", type=int, default=50)
     inject.add_argument("--vulnerable-share", type=float, default=0.92)
     inject.add_argument("--seed", type=int, default=7)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a resolver profile on a real UDP port (loopback "
+        "daemon; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--profile", default="recursive",
+                       choices=("recursive", "forwarder", "transparent",
+                                "dnssec"),
+                       help="which resolver behavior to run in front of "
+                       "the in-process root/TLD/auth hierarchy")
+    serve.add_argument("--ip", default="127.0.0.1",
+                       help="client-facing address (default loopback)")
+    serve.add_argument("--port", type=int, default=5300,
+                       help="client-facing UDP port; 0 picks an "
+                       "ephemeral one (read it from --ready-file)")
+    serve.add_argument("--sld", default=None,
+                       help="zone origin the fixture records live under "
+                       "(default: the measurement SLD)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       metavar="RPS",
+                       help="BIND-style RRL: suppress responses to a "
+                       "client above RPS responses/second (0: off)")
+    serve.add_argument("--quota", type=float, default=0.0, metavar="QPS",
+                       help="per-client query quota: REFUSED above QPS "
+                       "queries/second (0: off)")
+    serve.add_argument("--negative-ttl", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="cache NXDOMAIN/SERVFAIL outcomes for "
+                       "SECONDS (0: off)")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="shed load (SERVFAIL) beyond N in-flight "
+                       "resolutions")
+    serve.add_argument("--max-glueless", type=int, default=0, metavar="N",
+                       help="chase up to N glueless NS names per "
+                       "referral (0: never)")
+    serve.add_argument("--drain-grace", type=float, default=3.0,
+                       metavar="SECONDS",
+                       help="how long a SIGTERM waits for in-flight "
+                       "resolutions before closing")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the serving metrics document to FILE "
+                       "as JSON at drain")
+    serve.add_argument("--ready-file", metavar="FILE", default=None,
+                       help="write {profile, ip, port, pid} JSON to FILE "
+                       "once the socket is bound (for scripts and CI)")
 
     sweep = sub.add_parser(
         "sweep", help="seed sweep: sampling-noise quantification"
@@ -560,6 +607,32 @@ def _cmd_inject(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported lazily: the daemon pulls in asyncio/socket machinery the
+    # batch commands never need.
+    from repro.transport.serve import DnsService, ServeConfig
+
+    config = ServeConfig(
+        profile=args.profile,
+        ip=args.ip,
+        port=args.port,
+        sld=args.sld if args.sld else ServeConfig.sld,
+        rate_limit=args.rate_limit,
+        quota=args.quota,
+        negative_ttl=args.negative_ttl,
+        max_pending=args.max_pending,
+        max_glueless=args.max_glueless,
+        drain_grace=args.drain_grace,
+        metrics_out=args.metrics_out,
+        ready_file=args.ready_file,
+    )
+    service = DnsService(config)
+    code = service.run()
+    if args.metrics_out:
+        print(f"Metrics written to {args.metrics_out}")
+    return code
+
+
 def _cmd_sweep(args) -> int:
     from repro.core.sweep import run_seed_sweep
 
@@ -590,6 +663,7 @@ _COMMANDS = {
     "exposure": _cmd_exposure,
     "amplify": _cmd_amplify,
     "attack": _cmd_attack,
+    "serve": _cmd_serve,
 }
 
 

@@ -23,8 +23,8 @@ from repro.dnslib.message import DnsMessage, make_response
 from repro.dnslib.records import AData
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.dnslib.zone import Zone
-from repro.netsim.network import Network
 from repro.netsim.packet import Datagram
+from repro.transport.base import Transport
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,11 +130,11 @@ class AuthoritativeServer:
 
     # -- serving -----------------------------------------------------------
 
-    def attach(self, network: Network, port: int = 53) -> None:
-        """Bind the server's handler on (ip, 53)."""
-        network.bind(self.ip, port, self.handle)
+    def attach(self, network: Transport, port: int = 53):
+        """Bind the server's handler on (ip, port)."""
+        return network.bind(self.ip, port, self.handle)
 
-    def handle(self, datagram: Datagram, network: Network) -> None:
+    def handle(self, datagram: Datagram, network: Transport) -> None:
         """Decode, answer, log. Unparseable junk is dropped, as BIND does."""
         now = network.now
         if self._fast_ok and now >= self._loading_until:
@@ -163,7 +163,7 @@ class AuthoritativeServer:
         network.send(datagram.reply(encode_message(response)))
 
     def _serve_fast(self, fast_query: FastQuery, datagram: Datagram,
-                    network: Network, now: float) -> bool:
+                    network: Transport, now: float) -> bool:
         """Answer the canonical single-A query via a verified template.
 
         Handles only the shape Q2 traffic actually has — zones found,

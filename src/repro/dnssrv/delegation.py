@@ -16,8 +16,8 @@ from repro.dnslib.message import DnsMessage, make_response
 from repro.dnslib.names import is_subdomain, normalize_name
 from repro.dnslib.records import AData, NsData, ResourceRecord
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
-from repro.netsim.network import Network
 from repro.netsim.packet import Datagram
+from repro.transport.base import Transport
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,10 +71,10 @@ class DelegationServer:
                     best = delegation
         return best
 
-    def attach(self, network: Network, port: int = 53) -> None:
-        network.bind(self.ip, port, self.handle)
+    def attach(self, network: Transport, port: int = 53):
+        return network.bind(self.ip, port, self.handle)
 
-    def handle(self, datagram: Datagram, network: Network) -> None:
+    def handle(self, datagram: Datagram, network: Transport) -> None:
         try:
             query = decode_message(datagram.payload)
         except DnsWireError:

@@ -14,8 +14,8 @@ import dataclasses
 
 from repro.dnslib.message import DnsMessage
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
-from repro.netsim.network import Network
 from repro.netsim.packet import Datagram
+from repro.transport.base import Transport
 
 #: Port the proxy uses toward its upstream resolver.
 FORWARD_PORT = 10054
@@ -34,22 +34,42 @@ class ForwardingResolver:
     flag-rewriting CPE firmware.
     """
 
-    def __init__(self, ip: str, upstream_ip: str, mangle=None) -> None:
+    def __init__(
+        self,
+        ip: str,
+        upstream_ip: str,
+        mangle=None,
+        forward_port: int = FORWARD_PORT,
+        upstream_port: int = 53,
+    ) -> None:
+        """``forward_port`` is the proxy's source port toward the
+        upstream (0 on the socket backend picks an ephemeral one);
+        ``upstream_port`` is where the upstream resolver listens."""
         self.ip = ip
         self.upstream_ip = upstream_ip
         self.mangle = mangle
-        self._network: Network | None = None
+        self.forward_port = forward_port
+        self.upstream_port = upstream_port
+        self._network: Transport | None = None
         self._outstanding: dict[int, _Outstanding] = {}
         self._next_id = 1
         self.forwarded = 0
         self.relayed = 0
 
-    def attach(self, network: Network, port: int = 53) -> None:
+    def attach(self, network: Transport, port: int = 53):
         self._network = network
-        network.bind(self.ip, port, self.handle_client)
-        network.bind(self.ip, FORWARD_PORT, self.handle_upstream)
+        listener = network.bind(self.ip, port, self.handle_client)
+        forward = network.bind(self.ip, self.forward_port, self.handle_upstream)
+        if forward is not None:
+            self.forward_port = forward.endpoint.port
+        return listener
 
-    def handle_client(self, datagram: Datagram, network: Network) -> None:
+    @property
+    def pending_count(self) -> int:
+        """Queries relayed upstream and not yet answered."""
+        return len(self._outstanding)
+
+    def handle_client(self, datagram: Datagram, network: Transport) -> None:
         try:
             query = decode_message(datagram.payload)
         except DnsWireError:
@@ -64,11 +84,12 @@ class ForwardingResolver:
         self.forwarded += 1
         network.send(
             Datagram(
-                self.ip, FORWARD_PORT, self.upstream_ip, 53, encode_message(rewritten)
+                self.ip, self.forward_port, self.upstream_ip,
+                self.upstream_port, encode_message(rewritten),
             )
         )
 
-    def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+    def handle_upstream(self, datagram: Datagram, network: Transport) -> None:
         try:
             response = decode_message(datagram.payload)
         except DnsWireError:

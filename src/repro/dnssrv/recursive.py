@@ -20,9 +20,8 @@ from repro.dnslib.constants import QueryType, Rcode
 from repro.dnslib.message import DnsMessage, make_query, make_response
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.dnssrv.cache import DnsCache
-from repro.netsim.events import ScheduledEvent
-from repro.netsim.network import Network
 from repro.netsim.packet import Datagram
+from repro.transport.base import CancelHandle, Transport
 
 #: Port the engine uses for its upstream (iterative) queries.
 UPSTREAM_PORT = 10053
@@ -50,7 +49,7 @@ class _Pending:
     server_index: int = 0
     depth: int = 0
     restarts: int = 0
-    timeout_event: ScheduledEvent | None = None
+    timeout_event: CancelHandle | None = None
     trace: ResolutionTrace | None = None
     #: Set on internal sub-resolutions spawned to chase a glueless NS
     #: name (the NXNSAttack vector); completion feeds the parent
@@ -98,6 +97,8 @@ class RecursiveResolver:
         max_negative_entries: int = 10_000,
         max_glueless: int = 0,
         max_pending: int | None = None,
+        upstream_port: int = UPSTREAM_PORT,
+        server_port: int = 53,
     ) -> None:
         """``accept_unsolicited_additionals=True`` models the record-
         injection vulnerability of Schomp et al. / Klein et al.: the
@@ -120,6 +121,12 @@ class RecursiveResolver:
         - ``max_pending`` — bound on the in-flight resolution table;
           at the bound new work is shed with SERVFAIL (counted in
           ``stats.load_shed``) instead of growing without limit.
+
+        ``upstream_port`` is the source port for iterative queries
+        (``0`` on the socket backend picks an ephemeral port — attach
+        records the resolved one); ``server_port`` is where the
+        root/TLD/authoritative servers listen. Both default to the
+        historical simulator values.
         """
         if not root_servers:
             raise ValueError("need at least one root server address")
@@ -144,24 +151,41 @@ class RecursiveResolver:
         self.max_depth = max_depth
         self.max_restarts = max_restarts
         self.record_traces = record_traces
+        self.upstream_port = upstream_port
+        self.server_port = server_port
         self.traces: list[ResolutionTrace] = []
         self.stats = ResolverStats()
-        self._network: Network | None = None
+        self._network: Transport | None = None
         self._pending: dict[int, _Pending] = {}
         self._negative: dict[tuple[str, int], tuple[float, int]] = {}
         self._next_id = 1
 
     # -- wiring ------------------------------------------------------------
 
-    def attach(self, network: Network, port: int = 53) -> None:
-        """Bind the client-facing port and the upstream port."""
+    def attach(self, network: Transport, port: int = 53):
+        """Bind the client-facing port and the upstream port.
+
+        Returns the client-facing :class:`~repro.transport.base
+        .Listener` on transports that produce one (the bare simulated
+        network returns None). Binding an ephemeral upstream port
+        (``upstream_port=0``) records the resolved port so outgoing
+        iterative queries carry the address their socket really has.
+        """
         self._network = network
-        network.bind(self.ip, port, self.handle_client)
-        network.bind(self.ip, UPSTREAM_PORT, self.handle_upstream)
+        listener = network.bind(self.ip, port, self.handle_client)
+        upstream = network.bind(self.ip, self.upstream_port, self.handle_upstream)
+        if upstream is not None:
+            self.upstream_port = upstream.endpoint.port
+        return listener
+
+    @property
+    def pending_count(self) -> int:
+        """In-flight resolutions (the daemon's drain gate)."""
+        return len(self._pending)
 
     # -- client side ---------------------------------------------------------
 
-    def handle_client(self, datagram: Datagram, network: Network) -> None:
+    def handle_client(self, datagram: Datagram, network: Transport) -> None:
         try:
             query = decode_message(datagram.payload)
         except DnsWireError:
@@ -233,7 +257,7 @@ class RecursiveResolver:
         self._pending[msg_id] = pending
         if pending.timeout_event is not None:
             pending.timeout_event.cancel()
-        pending.timeout_event = network.scheduler.after(
+        pending.timeout_event = network.schedule(
             self.timeout, lambda: self._on_timeout(msg_id)
         )
         server_ip = pending.servers[pending.server_index]
@@ -242,10 +266,13 @@ class RecursiveResolver:
         )
         self.stats.upstream_queries += 1
         network.send(
-            Datagram(self.ip, UPSTREAM_PORT, server_ip, 53, encode_message(upstream))
+            Datagram(
+                self.ip, self.upstream_port, server_ip, self.server_port,
+                encode_message(upstream),
+            )
         )
 
-    def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+    def handle_upstream(self, datagram: Datagram, network: Transport) -> None:
         try:
             response = decode_message(datagram.payload)
         except DnsWireError:
@@ -456,7 +483,7 @@ class RecursiveResolver:
         if pending.trace is not None:
             pending.trace.visit(server_ip, disposition)
 
-    def _require_network(self) -> Network:
+    def _require_network(self) -> Transport:
         if self._network is None:
             raise RuntimeError("resolver not attached to a network")
         return self._network

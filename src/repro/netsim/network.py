@@ -76,6 +76,17 @@ class Network:
     def now(self) -> float:
         return self.scheduler.now
 
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        """Run ``callback`` after ``delay`` simulated seconds.
+
+        The cancellable half of the :class:`repro.transport.base
+        .Transport` protocol: serving code calls this instead of
+        reaching into :attr:`scheduler`, so the same code runs behind
+        asyncio timers on the socket backend. Pure delegation — the
+        event order is exactly what ``scheduler.after`` always gave.
+        """
+        return self.scheduler.after(delay, callback)
+
     def _refresh_fast_path(self) -> None:
         """Recompute, at attach time, whether ``send`` may skip the
         fault/tap/sink plumbing entirely.

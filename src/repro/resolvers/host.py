@@ -39,8 +39,8 @@ from repro.dnslib.records import (
 from repro.dnslib.signing import verify_rrsig
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
-from repro.netsim.network import Network
 from repro.netsim.packet import Datagram
+from repro.transport.base import Transport
 
 #: Port behavior hosts use toward the authoritative server.
 HOST_UPSTREAM_PORT = 10055
@@ -74,13 +74,24 @@ class BehaviorHost:
         auth_ip: str,
         version_banner: str | None = None,
         dnssec_validating: bool = False,
+        upstream_port: int = HOST_UPSTREAM_PORT,
+        auth_port: int = 53,
+        forward_port: int = 53,
     ) -> None:
+        """``upstream_port`` is the host's source port toward the auth
+        server (0 on the socket backend picks an ephemeral one);
+        ``auth_port`` is where that server listens; ``forward_port``
+        is where a TRANSPARENT spec's ``forward_to`` upstream listens.
+        Defaults are the historical simulator values."""
         self.ip = ip
         self.spec = spec
         self.auth_ip = auth_ip
         self.version_banner = version_banner
         self.dnssec_validating = dnssec_validating
-        self._network: Network | None = None
+        self.upstream_port = upstream_port
+        self.auth_port = auth_port
+        self.forward_port = forward_port
+        self._network: Transport | None = None
         self._pending: dict[int, _PendingProbe] = {}
         self._next_id = 1
         self.queries_received = 0
@@ -98,15 +109,25 @@ class BehaviorHost:
             except DnsNameError:
                 pass  # the slow encoder will raise, template or not
 
-    def attach(self, network: Network, port: int = 53) -> None:
+    def attach(self, network: Transport, port: int = 53):
         self._network = network
-        network.bind(self.ip, port, self.handle_query)
+        listener = network.bind(self.ip, port, self.handle_query)
         if self.spec.contacts_auth:
-            network.bind(self.ip, HOST_UPSTREAM_PORT, self.handle_upstream)
+            upstream = network.bind(
+                self.ip, self.upstream_port, self.handle_upstream
+            )
+            if upstream is not None:
+                self.upstream_port = upstream.endpoint.port
+        return listener
+
+    @property
+    def pending_count(self) -> int:
+        """Probes awaiting an upstream response (the drain gate)."""
+        return len(self._pending)
 
     # -- query path ------------------------------------------------------
 
-    def handle_query(self, datagram: Datagram, network: Network) -> None:
+    def handle_query(self, datagram: Datagram, network: Transport) -> None:
         fast_query = parse_simple_query(datagram.payload)
         if fast_query is None:
             self._handle_query_slow(datagram, network)
@@ -146,7 +167,7 @@ class BehaviorHost:
         self._pending[msg_id] = _PendingProbe(datagram, None, fast_query)
         network.send(
             Datagram(
-                self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
+                self.ip, self.upstream_port, self.auth_ip, self.auth_port,
                 build_query_wire(
                     fast_query.qname, qtype=fast_query.qtype,
                     msg_id=msg_id, recursion_desired=False,
@@ -163,11 +184,11 @@ class BehaviorHost:
             )
             for _ in range(self.spec.extra_q2):
                 network.send(
-                    Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
-                             ghost)
+                    Datagram(self.ip, self.upstream_port, self.auth_ip,
+                             self.auth_port, ghost)
                 )
 
-    def _handle_query_slow(self, datagram: Datagram, network: Network) -> None:
+    def _handle_query_slow(self, datagram: Datagram, network: Transport) -> None:
         """The full-codec query path: anything the strict parser refused."""
         try:
             query = decode_message(datagram.payload)
@@ -204,8 +225,8 @@ class BehaviorHost:
         upstream = make_query(qname, qtype=qtype, msg_id=msg_id,
                               recursion_desired=False)
         network.send(
-            Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
-                     encode_message(upstream))
+            Datagram(self.ip, self.upstream_port, self.auth_ip,
+                     self.auth_port, encode_message(upstream))
         )
         # Resolver-farm / retry duplicates: extra upstream queries whose
         # responses are discarded (they arrive with unknown message IDs).
@@ -213,12 +234,12 @@ class BehaviorHost:
             ghost = make_query(qname, qtype=qtype, msg_id=0,
                                recursion_desired=False)
             network.send(
-                Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
-                         encode_message(ghost))
+                Datagram(self.ip, self.upstream_port, self.auth_ip,
+                         self.auth_port, encode_message(ghost))
             )
 
     def _relay_transparent(
-        self, datagram: Datagram, ghost: bytes | None, network: Network
+        self, datagram: Datagram, ghost: bytes | None, network: Transport
     ) -> None:
         """Relay the query upstream with the *client's* source address.
 
@@ -231,18 +252,18 @@ class BehaviorHost:
         network.send(
             Datagram(
                 datagram.src_ip, datagram.src_port,
-                self.spec.forward_to, 53, datagram.payload,
+                self.spec.forward_to, self.forward_port, datagram.payload,
             ),
             origin=self.ip,
         )
         if ghost is not None:
             for _ in range(self.spec.extra_q2):
                 network.send(
-                    Datagram(self.ip, HOST_UPSTREAM_PORT, self.auth_ip, 53,
-                             ghost)
+                    Datagram(self.ip, self.upstream_port, self.auth_ip,
+                             self.auth_port, ghost)
                 )
 
-    def handle_upstream(self, datagram: Datagram, network: Network) -> None:
+    def handle_upstream(self, datagram: Datagram, network: Transport) -> None:
         fast = peek_single_a_response(datagram.payload)
         if fast is not None:
             msg_id, question_wire, ttl, addr = fast
@@ -310,7 +331,7 @@ class BehaviorHost:
     # -- fast response paths ---------------------------------------------
 
     def _respond_fabricated_fast(
-        self, client: Datagram, fast_query: FastQuery, network: Network
+        self, client: Datagram, fast_query: FastQuery, network: Transport
     ) -> None:
         """FABRICATE (or resolve-less) responses through the template cache."""
         key = (fast_query.qtype, fast_query.qclass,
@@ -325,7 +346,7 @@ class BehaviorHost:
 
     def _respond_resolved_fast(
         self, client: Datagram, fast_query: FastQuery, ttl: int,
-        addr: bytes, network: Network,
+        addr: bytes, network: Transport,
     ) -> None:
         """Answer after a recognized single-A upstream resolution."""
         spec = self.spec

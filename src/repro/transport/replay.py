@@ -1,0 +1,190 @@
+"""Recorded-trace replay: the third transport backend.
+
+A replay run feeds a recorded sequence of inbound datagrams to the
+serving stack on a deterministic clock and captures everything the
+stack emits toward the outside world. It is the regression harness the
+live daemon needs: record a workload once (from a simulation sink or a
+live capture), then re-run it against a changed serving stack and diff
+the output bytes — pcap replay without a pcap dependency.
+
+Delivery semantics sit between the simulator and the wire: a sent
+datagram whose destination is bound *on this transport* is delivered
+to it after ``internal_latency`` (default zero — same-instant, in
+send order), so multi-component worlds (resolver + hierarchy) replay
+whole; a datagram addressed anywhere else is appended to
+:attr:`ReplayTransport.sent` as captured output.
+
+Traces serialize to JSON-lines (one event per line, hex payloads) via
+:func:`save_trace` / :func:`load_trace`; :class:`TraceRecorder` is a
+network event sink that records a simulation's traffic toward chosen
+endpoints, which is how a golden trace is minted from the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Callable, Iterable
+
+from repro.netsim.events import Scheduler
+from repro.netsim.packet import Datagram
+from repro.transport.base import Endpoint, Handler, Listener, TransportError
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded inbound datagram and when it arrived."""
+
+    time: float
+    datagram: Datagram
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.time,
+            "src": self.datagram.src_ip,
+            "sport": self.datagram.src_port,
+            "dst": self.datagram.dst_ip,
+            "dport": self.datagram.dst_port,
+            "payload": self.datagram.payload.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TraceEvent":
+        return cls(
+            time=float(raw["t"]),
+            datagram=Datagram(
+                src_ip=raw["src"], src_port=int(raw["sport"]),
+                dst_ip=raw["dst"], dst_port=int(raw["dport"]),
+                payload=bytes.fromhex(raw["payload"]),
+            ),
+        )
+
+
+def save_trace(path, events: Iterable[TraceEvent]) -> pathlib.Path:
+    """Write a trace as JSON-lines."""
+    target = pathlib.Path(path)
+    lines = [json.dumps(event.to_dict(), sort_keys=True) for event in events]
+    target.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return target
+
+
+def load_trace(path) -> list[TraceEvent]:
+    """Read a JSON-lines trace back into events."""
+    events = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+class TraceRecorder:
+    """A network event sink recording traffic toward chosen endpoints.
+
+    Attach to a :class:`~repro.netsim.network.Network` with
+    ``attach_sink`` and every *delivered* datagram destined to one of
+    ``endpoints`` becomes a :class:`TraceEvent` — delivery-side
+    recording, so lost packets stay out of the trace exactly as they
+    stayed out of the serving stack's input.
+    """
+
+    def __init__(self, endpoints: Iterable[Endpoint | tuple[str, int]]) -> None:
+        self._endpoints = {
+            (e.ip, e.port) if isinstance(e, Endpoint) else (e[0], int(e[1]))
+            for e in endpoints
+        }
+        self.events: list[TraceEvent] = []
+
+    def on_send(self, now: float, datagram: Datagram) -> None:
+        pass  # send-side traffic is not input to the recorded stack
+
+    def on_deliver(self, now: float, datagram: Datagram) -> None:
+        if (datagram.dst_ip, datagram.dst_port) in self._endpoints:
+            self.events.append(TraceEvent(now, datagram))
+
+
+class ReplayTransport:
+    """Replay recorded inbound datagrams against bound handlers.
+
+    ``run()`` schedules every trace event at its recorded time and
+    drains the deterministic event queue; :attr:`sent` then holds, in
+    emission order, every datagram the serving stack addressed to an
+    endpoint not bound here — the replayed stack's observable output.
+    """
+
+    def __init__(
+        self,
+        trace: Iterable[TraceEvent] = (),
+        internal_latency: float = 0.0,
+    ) -> None:
+        if internal_latency < 0:
+            raise ValueError("internal_latency must be non-negative")
+        self.trace = list(trace)
+        self.internal_latency = internal_latency
+        self.scheduler = Scheduler()
+        self._bindings: dict[tuple[str, int], Handler] = {}
+        #: Captured output: (emission time, datagram) toward the world.
+        self.sent: list[tuple[float, Datagram]] = []
+        #: Inbound trace events whose endpoint had no handler.
+        self.undelivered: int = 0
+        self._ran = False
+
+    @classmethod
+    def from_file(cls, path, internal_latency: float = 0.0) -> "ReplayTransport":
+        return cls(load_trace(path), internal_latency=internal_latency)
+
+    # -- transport protocol ----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def bind(self, ip: str, port: int, handler: Handler) -> Listener:
+        key = (ip, port)
+        if key in self._bindings:
+            raise TransportError(f"{ip}:{port} already bound")
+        self._bindings[key] = handler
+        return Listener(self, Endpoint(ip, port))
+
+    def unbind(self, ip: str, port: int) -> None:
+        self._bindings.pop((ip, port), None)
+
+    def is_bound(self, ip: str, port: int) -> bool:
+        return (ip, port) in self._bindings
+
+    def send(self, datagram: Datagram, origin: str | None = None) -> None:
+        handler = self._bindings.get((datagram.dst_ip, datagram.dst_port))
+        if handler is not None:
+            self.scheduler.call_at(
+                self.scheduler.now + self.internal_latency,
+                self._deliver, datagram,
+            )
+            return
+        self.sent.append((self.scheduler.now, datagram))
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        return self.scheduler.after(delay, callback)
+
+    # -- replay ----------------------------------------------------------
+
+    def _deliver(self, datagram: Datagram) -> None:
+        handler = self._bindings.get((datagram.dst_ip, datagram.dst_port))
+        if handler is None:
+            self.undelivered += 1
+            return
+        handler(datagram, self)
+
+    def run(self) -> list[tuple[float, Datagram]]:
+        """Replay the whole trace; returns the captured output."""
+        if self._ran:
+            raise TransportError("a ReplayTransport replays exactly once")
+        self._ran = True
+        for event in self.trace:
+            self.scheduler.call_at(event.time, self._deliver, event.datagram)
+        self.scheduler.run()
+        return self.sent
+
+    def sent_payloads(self) -> list[bytes]:
+        """Just the output bytes, in emission order."""
+        return [datagram.payload for _, datagram in self.sent]

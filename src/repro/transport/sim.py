@@ -1,0 +1,54 @@
+"""The simulator as a transport backend.
+
+:class:`SimTransport` wraps a :class:`~repro.netsim.network.Network`
+without changing a single behavior: every call delegates, the event
+order is untouched, and the golden tables stay byte-identical. What it
+adds over the bare network is protocol completeness — ``bind`` returns
+a :class:`~repro.transport.base.Listener` like the socket backend does,
+so backend-generic code (the serve daemon's world builder, the interop
+tests) can run unmodified on simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.transport.base import Endpoint, Handler, Listener
+
+
+class SimTransport:
+    """A :class:`Network` adapter satisfying the full transport protocol."""
+
+    def __init__(self, network: Network | None = None) -> None:
+        self.network = network if network is not None else Network()
+
+    @property
+    def now(self) -> float:
+        return self.network.now
+
+    @property
+    def scheduler(self):
+        """The underlying event queue (sim-only introspection)."""
+        return self.network.scheduler
+
+    def bind(self, ip: str, port: int, handler: Handler) -> Listener:
+        self.network.bind(ip, port, handler)
+        return Listener(self, Endpoint(ip, port))
+
+    def unbind(self, ip: str, port: int) -> None:
+        self.network.unbind(ip, port)
+
+    def is_bound(self, ip: str, port: int) -> bool:
+        return self.network.is_bound(ip, port)
+
+    def send(self, datagram: Datagram, origin: str | None = None) -> None:
+        self.network.send(datagram, origin=origin)
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        return self.network.schedule(delay, callback)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the simulated event queue (delegates to the network)."""
+        return self.network.run(max_events)

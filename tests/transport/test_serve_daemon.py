@@ -1,0 +1,193 @@
+"""Daemon lifecycle: ready files, graceful drain, metrics, defenses."""
+
+import json
+import socket
+
+import pytest
+
+from repro.dnslib.constants import Rcode
+from repro.dnslib.fastwire import build_query_wire
+from repro.dnslib.wire import decode_message
+from repro.transport.serve import (
+    DEFAULT_SLD,
+    DnsService,
+    ServeConfig,
+    build_serve_zone,
+)
+
+
+def make_client(timeout=2.0):
+    client = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    client.settimeout(timeout)
+    client.bind(("127.0.0.1", 0))
+    return client
+
+
+def query_wire(label="www", msg_id=1):
+    return build_query_wire(f"{label}.{DEFAULT_SLD}", msg_id=msg_id)
+
+
+class TestConfigValidation:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            ServeConfig(profile="authoritative-only")
+
+    def test_negative_drain_grace_rejected(self):
+        with pytest.raises(ValueError, match="drain_grace"):
+            ServeConfig(drain_grace=-1.0)
+
+    def test_fixture_zone_matches_declared_records(self):
+        zone = build_serve_zone()
+        assert zone.record_count == 3
+
+
+class TestLifecycle:
+    def test_ready_file_reports_the_live_endpoint(self, tmp_path):
+        ready = tmp_path / "ready.json"
+        service = DnsService(
+            ServeConfig(port=0, ready_file=str(ready), drain_grace=0.5)
+        )
+        endpoint = service.start()
+        try:
+            info = json.loads(ready.read_text())
+            assert info["profile"] == "recursive"
+            assert info["ip"] == endpoint.ip
+            assert info["port"] == endpoint.port
+            assert info["infra_port"] > 0
+        finally:
+            service.stop()
+
+    def test_stop_drains_and_folds_metrics(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        service = DnsService(
+            ServeConfig(port=0, metrics_out=str(metrics_path), drain_grace=1.0)
+        )
+        endpoint = service.start()
+        client = make_client()
+        sent = 3
+        try:
+            for index in range(sent):
+                client.sendto(
+                    query_wire(msg_id=index + 1), (endpoint.ip, endpoint.port)
+                )
+                client.recvfrom(65535)
+        finally:
+            client.close()
+            service.stop()
+        assert service.drained
+        document = json.loads(metrics_path.read_text())
+        counters = document["counters"]
+        # The metrics document must be consistent with the workload:
+        # every query answered, nothing pending at drain, UDP traffic
+        # accounted (sent queries + replies at minimum).
+        assert counters["serve.client_queries"] == sent
+        assert counters["serve.answered"] == sent
+        assert counters["auth.queries_served"] >= 1
+        assert counters["udp.received"] >= sent
+        assert counters["udp.sent"] >= sent
+        assert document["gauges"]["serve.drain_pending_left"]["last"] == 0.0
+
+    def test_drain_unbinds_the_client_port(self):
+        service = DnsService(ServeConfig(port=0, drain_grace=0.2))
+        endpoint = service.start()
+        client = make_client(timeout=0.5)
+        try:
+            service.stop()
+            client.sendto(query_wire(), (endpoint.ip, endpoint.port))
+            with pytest.raises(socket.timeout):
+                client.recvfrom(65535)
+        finally:
+            client.close()
+
+    def test_start_twice_is_an_error(self):
+        service = DnsService(ServeConfig(port=0, drain_grace=0.2))
+        service.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                service.start()
+        finally:
+            service.stop()
+
+    def test_unbindable_address_surfaces_at_start(self):
+        # 203.0.113.0/24 is TEST-NET-3: never a local interface, so the
+        # daemon thread's bind failure must propagate to the caller.
+        service = DnsService(ServeConfig(ip="203.0.113.7", port=0))
+        with pytest.raises(Exception, match="cannot bind"):
+            service.start()
+
+
+class TestDefenseKnobs:
+    def test_quota_refuses_over_budget_clients(self):
+        service = DnsService(
+            ServeConfig(port=0, quota=1.0, drain_grace=0.5)
+        )
+        endpoint = service.start()
+        client = make_client()
+        rcodes = []
+        try:
+            # ClientQueryQuota's default burst is 20: a fast burst of 30
+            # queries must see REFUSED once the bucket empties.
+            for index in range(30):
+                client.sendto(
+                    query_wire(msg_id=index + 1), (endpoint.ip, endpoint.port)
+                )
+                payload, _ = client.recvfrom(65535)
+                rcodes.append(decode_message(payload).rcode)
+        finally:
+            client.close()
+            service.stop()
+        assert Rcode.REFUSED in rcodes
+        assert rcodes[0] == Rcode.NOERROR  # within the initial burst
+        counters = service.hub.registry.snapshot().counters
+        assert counters["serve.defense.quota_refused"] == rcodes.count(
+            Rcode.REFUSED
+        )
+
+    def test_rate_limit_suppresses_responses(self):
+        service = DnsService(
+            ServeConfig(port=0, rate_limit=1.0, drain_grace=0.5)
+        )
+        endpoint = service.start()
+        client = make_client(timeout=0.3)
+        answered = 0
+        sent = 25
+        try:
+            # RRL default burst is 10: a 25-query flood gets at most the
+            # burst's worth of responses; the rest are suppressed.
+            for index in range(sent):
+                client.sendto(
+                    query_wire(msg_id=index + 1), (endpoint.ip, endpoint.port)
+                )
+                try:
+                    client.recvfrom(65535)
+                    answered += 1
+                except socket.timeout:
+                    pass
+        finally:
+            client.close()
+            service.stop()
+        assert 0 < answered < sent
+
+    def test_negative_cache_short_circuits_repeat_misses(self):
+        service = DnsService(
+            ServeConfig(port=0, negative_ttl=30.0, drain_grace=0.5)
+        )
+        endpoint = service.start()
+        client = make_client()
+        try:
+            for index in range(3):
+                client.sendto(
+                    build_query_wire(
+                        f"no-such-name.{DEFAULT_SLD}", msg_id=index + 1
+                    ),
+                    (endpoint.ip, endpoint.port),
+                )
+                payload, _ = client.recvfrom(65535)
+                assert decode_message(payload).rcode == Rcode.NXDOMAIN
+        finally:
+            client.close()
+            service.stop()
+        counters = service.hub.registry.snapshot().counters
+        # First miss walks the hierarchy; the two repeats answer from
+        # the negative cache without touching the auth server.
+        assert counters["serve.defense.negative_hits"] == 2

@@ -1,0 +1,127 @@
+"""The sim≡socket differential: every profile answers real UDP with the
+exact bytes the simulator produces for the same zone fixture.
+
+This is the tentpole's acceptance test. The serving objects are shared;
+only the transport differs — so any byte that diverges between the two
+backends is a transport bug, not a resolver one.
+"""
+
+import socket
+
+import pytest
+
+from repro.dnslib.constants import Rcode
+from repro.dnslib.fastwire import build_query_wire
+from repro.dnslib.wire import decode_message
+from repro.netsim.packet import Datagram
+from repro.transport.serve import (
+    DEFAULT_SLD,
+    FIXTURE_RECORDS,
+    DnsService,
+    ServeConfig,
+    build_world,
+)
+from repro.transport.sim import SimTransport
+
+CLIENT_IP = "8.8.4.100"
+CLIENT_PORT = 5555
+
+
+def sim_answers(config, query_wires):
+    """Serve ``query_wires`` on the simulator; reply payloads in order."""
+    transport = SimTransport()
+    world = build_world(config, transport, infra_port=53)
+    replies = []
+    transport.bind(CLIENT_IP, CLIENT_PORT, lambda dg, net: replies.append(dg))
+    endpoint = world.endpoint
+    for wire in query_wires:
+        transport.send(
+            Datagram(CLIENT_IP, CLIENT_PORT, endpoint.ip, endpoint.port, wire)
+        )
+        transport.run()
+    return [dg.payload for dg in replies]
+
+
+def socket_answers(config, query_wires, timeout=3.0):
+    """Serve ``query_wires`` through the live daemon; replies in order."""
+    service = DnsService(config)
+    endpoint = service.start()
+    client = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    client.settimeout(timeout)
+    client.bind(("127.0.0.1", 0))
+    payloads, sources = [], []
+    try:
+        for wire in query_wires:
+            client.sendto(wire, (endpoint.ip, endpoint.port))
+            payload, address = client.recvfrom(65535)
+            payloads.append(payload)
+            sources.append(address)
+    finally:
+        client.close()
+        service.stop()
+    return payloads, sources, service
+
+
+def queries_for(profile):
+    if profile == "dnssec":
+        names = [
+            f"valid.dnssec-validation.{DEFAULT_SLD}",
+            f"www.{DEFAULT_SLD}",
+        ]
+    else:
+        names = [f"{label}.{DEFAULT_SLD}" for label, _ in FIXTURE_RECORDS]
+        names.append(names[0])  # a repeat exercises the cache path
+    return [
+        build_query_wire(name, msg_id=index)
+        for index, name in enumerate(names, start=1)
+    ]
+
+
+@pytest.mark.parametrize(
+    "profile", ["recursive", "forwarder", "transparent", "dnssec"]
+)
+class TestSimSocketDifferential:
+    def test_reply_bytes_identical_across_backends(self, profile):
+        wires = queries_for(profile)
+        sim = sim_answers(ServeConfig(profile=profile, port=5300), wires)
+        live, _, _ = socket_answers(
+            ServeConfig(profile=profile, port=0), wires
+        )
+        assert len(sim) == len(wires)
+        assert live == sim
+
+    def test_answers_carry_the_fixture_addresses(self, profile):
+        wires = queries_for(profile)
+        live, _, _ = socket_answers(ServeConfig(profile=profile, port=0), wires)
+        first = decode_message(live[0])
+        assert first.rcode == Rcode.NOERROR
+        expected = (
+            "198.51.100.41" if profile == "dnssec" else FIXTURE_RECORDS[0][1]
+        )
+        assert first.first_a_record().data.address == expected
+
+
+class TestTransparentOffPath:
+    def test_reply_arrives_from_an_address_never_queried(self):
+        wires = queries_for("transparent")
+        config = ServeConfig(profile="transparent", port=0)
+        _, sources, service = socket_answers(config, wires)
+        # The transparent forwarder's signature: the upstream answers
+        # the client directly, so the reply source is not the probed
+        # address. The spoofed relay leg never touched the wire.
+        assert all(ip == "127.77.0.4" for ip, _ in sources)
+        udp_stats = service.hub.registry.snapshot().counters
+        assert udp_stats.get("udp.spoof_delivered", 0) == len(wires)
+
+
+class TestDnssecValidation:
+    def test_bogus_rrsig_servfails_on_both_backends(self):
+        wires = [
+            build_query_wire(
+                f"bogus.dnssec-validation.{DEFAULT_SLD}", msg_id=5
+            )
+        ]
+        sim = sim_answers(ServeConfig(profile="dnssec", port=5300), wires)
+        live, _, _ = socket_answers(ServeConfig(profile="dnssec", port=0), wires)
+        assert live == sim
+        assert decode_message(live[0]).rcode == Rcode.SERVFAIL

@@ -1,0 +1,160 @@
+"""Property tests: the serving stack never emits bytes the strict
+parser rejects, on any backend, for any query in the accepted grammar.
+
+The daemon's wire contract is one invariant stated three ways:
+
+- every payload the authoritative fast path (template codec) renders is
+  byte-equal to the slow ``encode_message`` path;
+- every payload any profile emits strict-parses with
+  :func:`repro.dnslib.wire.decode_message` and re-encodes to the same
+  bytes (a true round-trip, not mere acceptance);
+- the same holds over a real socket, where the bytes crossed an OS
+  boundary first.
+"""
+
+import socket
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dnslib.constants import QueryType
+from repro.dnslib.fastwire import build_query_wire
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnssrv.auth import AuthoritativeServer
+from repro.netsim.packet import Datagram
+from repro.transport.serve import (
+    DEFAULT_SLD,
+    DnsService,
+    ServeConfig,
+    build_serve_zone,
+    build_world,
+)
+from repro.transport.sim import SimTransport
+
+_label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1, max_size=20
+)
+_qname = st.lists(_label, min_size=1, max_size=4).map(".".join)
+_msg_id = st.integers(min_value=0, max_value=0xFFFF)
+_qtype = st.sampled_from(
+    [QueryType.A, QueryType.AAAA, QueryType.TXT, QueryType.NS, QueryType.ANY]
+)
+#: Sometimes a fixture name (exercising answers), sometimes junk
+#: (exercising NXDOMAIN/REFUSED) — the parser must survive them all.
+_serve_qname = st.one_of(
+    st.sampled_from([f"www.{DEFAULT_SLD}", f"api.{DEFAULT_SLD}"]),
+    _qname.map(lambda name: f"{name}.{DEFAULT_SLD}"),
+    _qname,
+)
+
+
+def assert_strict_round_trip(payload):
+    """The emitted bytes parse strictly and re-encode identically."""
+    message = decode_message(payload)
+    assert encode_message(message) == payload
+    return message
+
+
+class _SlowOnlyAuth(AuthoritativeServer):
+    """Same logic, template fast path disabled (respond is overridden)."""
+
+    def respond(self, query, now):
+        return super().respond(query, now)
+
+
+class TestAuthTemplatePathEqualsSlowPath:
+    @settings(max_examples=60, deadline=None)
+    @given(qname=_serve_qname, qtype=_qtype, msg_id=_msg_id)
+    def test_fast_and_slow_serving_emit_identical_bytes(
+        self, qname, qtype, msg_id
+    ):
+        wire = build_query_wire(qname, qtype=qtype, msg_id=msg_id)
+        outputs = []
+        for server_cls in (AuthoritativeServer, _SlowOnlyAuth):
+            transport = SimTransport()
+            server = server_cls("45.76.1.10")
+            server.load_zone(build_serve_zone())
+            server.attach(transport, 53)
+            replies = []
+            transport.bind(
+                "8.8.4.100", 5555, lambda dg, net: replies.append(dg.payload)
+            )
+            transport.send(
+                Datagram("8.8.4.100", 5555, "45.76.1.10", 53, wire)
+            )
+            transport.run()
+            outputs.append(replies)
+        fast, slow = outputs
+        assert fast == slow
+        for payload in fast:
+            assert_strict_round_trip(payload)
+
+
+class TestSimProfilesEmitStrictWire:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        profile=st.sampled_from(
+            ["recursive", "forwarder", "transparent", "dnssec"]
+        ),
+        qname=_serve_qname,
+        qtype=_qtype,
+        msg_id=_msg_id,
+    )
+    def test_every_reply_parses_and_round_trips(
+        self, profile, qname, qtype, msg_id
+    ):
+        transport = SimTransport()
+        world = build_world(
+            ServeConfig(profile=profile, port=5300), transport, infra_port=53
+        )
+        replies = []
+        transport.bind(
+            "8.8.4.100", 5555, lambda dg, net: replies.append(dg.payload)
+        )
+        endpoint = world.endpoint
+        transport.send(
+            Datagram(
+                "8.8.4.100", 5555, endpoint.ip, endpoint.port,
+                build_query_wire(qname, qtype=qtype, msg_id=msg_id),
+            )
+        )
+        transport.run()
+        # Timeout-path SERVFAILs are replies too; whatever came back
+        # must satisfy the strict round-trip.
+        for payload in replies:
+            message = assert_strict_round_trip(payload)
+            assert message.header.msg_id == msg_id
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    service = DnsService(ServeConfig(port=0, drain_grace=0.5))
+    endpoint = service.start()
+    yield endpoint
+    service.stop()
+
+
+class TestLiveDaemonEmitsStrictWire:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(qname=_serve_qname, msg_id=_msg_id)
+    def test_socket_replies_survive_the_strict_parser(
+        self, live_service, qname, msg_id
+    ):
+        client = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        client.settimeout(3.0)
+        try:
+            client.sendto(
+                build_query_wire(qname, msg_id=msg_id),
+                (live_service.ip, live_service.port),
+            )
+            payload, _ = client.recvfrom(65535)
+        finally:
+            client.close()
+        message = assert_strict_round_trip(payload)
+        assert message.header.msg_id == msg_id
+        assert message.header.flags.ra
