@@ -13,12 +13,11 @@ event-loop throughput numbers the wire-level fast paths are judged by:
   that re-introduce per-datagram garbage are caught even when wall
   clock hides them on a fast machine.
 
-Results land in ``benchmarks/results/BENCH_hot_path.json`` — and a
-copy is published to the repo root as ``BENCH_hot_path.json``, the
-``BENCH_*.json`` convention CI artifacts and the README point at —
-with two sections: ``baseline`` (the committed pre-fast-path
-measurement, only ever rewritten by hand) and ``current`` (rewritten
-on every run). The
+Results are published to the canonical repo-root
+``BENCH_hot_path.json`` — the ``BENCH_*.json`` location CI artifacts
+and the README point at — with two sections: ``baseline`` (the
+committed pre-fast-path measurement, only ever rewritten by hand) and
+``current`` (rewritten on every run). The
 test fails when current probes/sec regresses more than
 ``REGRESSION_TOLERANCE`` against the committed baseline's
 ``post_fastpath`` run — the CI perf-smoke contract.

@@ -12,14 +12,13 @@ record is the honest number, not a flattering one.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import time
 
 from repro.core import Campaign, CampaignConfig
 from repro.core.shard import run_sharded
 
-from benchmarks.conftest import SEED, write_result
+from benchmarks.conftest import SEED, publish_bench_record, write_result
 
 #: A scale where the serial engine needs seconds, not milliseconds, so
 #: the parallel comparison measures real work.
@@ -82,24 +81,19 @@ def test_sharded_campaign(benchmark, results_dir):
     write_result(results_dir, "sharded_campaign.txt", "\n".join(lines))
     # Machine-readable mirror of the record above, for dashboards and
     # regression tracking across CI runs.
-    write_result(
-        results_dir,
-        "BENCH_sharded_campaign.json",
-        json.dumps(
-            {
-                "benchmark": "sharded_campaign",
-                "year": 2018,
-                "scale": BENCH_SCALE,
-                "seed": SEED,
-                "workers": WORKERS,
-                "host_cores": cores,
-                "serial_s": round(serial_s, 4),
-                "inline_s": round(inline_s, 4),
-                "pooled_s": round(pooled_s, 4),
-                "speedup_vs_serial": round(speedup, 4),
-                "reports_byte_identical": True,
-            },
-            indent=2,
-            sort_keys=True,
-        ),
+    publish_bench_record(
+        "sharded_campaign",
+        {
+            "benchmark": "sharded_campaign",
+            "year": 2018,
+            "scale": BENCH_SCALE,
+            "seed": SEED,
+            "workers": WORKERS,
+            "host_cores": cores,
+            "serial_s": round(serial_s, 4),
+            "inline_s": round(inline_s, 4),
+            "pooled_s": round(pooled_s, 4),
+            "speedup_vs_serial": round(speedup, 4),
+            "reports_byte_identical": True,
+        },
     )

@@ -30,7 +30,7 @@ import pathlib
 import subprocess
 import sys
 
-from benchmarks.conftest import SEED, write_result
+from benchmarks.conftest import SEED, publish_bench_record, write_result
 
 SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
 
@@ -157,23 +157,18 @@ def test_stream_memory(results_dir):
     )
     lines.append("reports byte-identical batch vs stream at every scale: yes")
     write_result(results_dir, "stream_memory.txt", "\n".join(lines))
-    write_result(
-        results_dir,
-        "BENCH_stream_memory.json",
-        json.dumps(
-            {
-                "benchmark": "stream_memory",
-                "year": 2018,
-                "seed": SEED,
-                "scales": list(SCALES),
-                "cells": {
-                    str(scale): cells[scale] for scale in SCALES
-                },
-                "batch_state_growth_4x_probes": round(batch_growth, 4),
-                "stream_state_growth_4x_probes": round(stream_growth, 4),
-                "reports_byte_identical": True,
+    publish_bench_record(
+        "stream_memory",
+        {
+            "benchmark": "stream_memory",
+            "year": 2018,
+            "seed": SEED,
+            "scales": list(SCALES),
+            "cells": {
+                str(scale): cells[scale] for scale in SCALES
             },
-            indent=2,
-            sort_keys=True,
-        ),
+            "batch_state_growth_4x_probes": round(batch_growth, 4),
+            "stream_state_growth_4x_probes": round(stream_growth, 4),
+            "reports_byte_identical": True,
+        },
     )

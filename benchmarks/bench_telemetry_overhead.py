@@ -23,9 +23,9 @@ can attach) guarantees the contract even where timing cannot. Arms are
 interleaved round-robin rather than run as blocks so slow drift
 (frequency scaling, page cache) cancels instead of biasing one arm.
 
-Results land in ``benchmarks/results/BENCH_telemetry_overhead.json``
-and are published to the repo root as ``BENCH_telemetry_overhead.json``
-(the ``BENCH_*.json`` convention).
+Results are published to the repo root as
+``BENCH_telemetry_overhead.json`` (the canonical ``BENCH_*.json``
+location).
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py``)
 or through pytest (``pytest benchmarks/bench_telemetry_overhead.py``).
@@ -35,18 +35,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import pathlib
 import statistics
 import time
 
 from repro.core import Campaign, CampaignConfig
 from repro.telemetry import TelemetryConfig, as_hub
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-RESULT_FILE = RESULTS_DIR / "BENCH_telemetry_overhead.json"
-
-#: Repo-root copy — the published ``BENCH_*.json`` convention.
-ROOT_RESULT_FILE = pathlib.Path(__file__).parent.parent / "BENCH_telemetry_overhead.json"
 
 SEED = 7
 
@@ -143,10 +136,9 @@ def run_benchmark() -> dict:
             max(DISABLED_OVERHEAD_LIMIT, noise) * 100, 2
         ),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
-    RESULT_FILE.write_text(payload)
-    ROOT_RESULT_FILE.write_text(payload)
+    from benchmarks.conftest import publish_bench_record
+
+    publish_bench_record("telemetry_overhead", record)
     return record
 
 

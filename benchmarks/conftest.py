@@ -79,23 +79,22 @@ def load_bench_record(name: str) -> dict:
     the caller then records a first measurement and skips the gate —
     instead of erroring inside the harness.
     """
-    for candidate in (
-        RESULTS_DIR / f"BENCH_{name}.json",
-        REPO_ROOT / f"BENCH_{name}.json",
-    ):
-        try:
-            record = json.loads(candidate.read_text())
-        except (OSError, ValueError):
-            continue
-        if isinstance(record, dict):
-            return record
-    return {}
+    try:
+        record = json.loads((REPO_ROOT / f"BENCH_{name}.json").read_text())
+    except (OSError, ValueError):
+        return {}
+    return record if isinstance(record, dict) else {}
 
 
 def publish_bench_record(name: str, record: dict) -> str:
-    """Write ``BENCH_<name>.json`` to results/ and the repo root."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Write the canonical repo-root ``BENCH_<name>.json`` record.
+
+    The root is the *only* location: rendered tables land in
+    ``benchmarks/results/`` but machine-readable baselines live at the
+    repo root, where the CI gates (and ``load_bench_record``) find
+    them. Publishing a second copy under results/ left the two free to
+    drift — this helper is the single write path for every bench.
+    """
     payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
-    (RESULTS_DIR / f"BENCH_{name}.json").write_text(payload)
     (REPO_ROOT / f"BENCH_{name}.json").write_text(payload)
     return payload

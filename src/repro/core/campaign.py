@@ -140,6 +140,15 @@ class CampaignConfig:
     mode: str = "batch"
     drop_captures: bool = False
     retain_query_log: bool = True
+    #: Parallel execution engine for sharded runs: ``"pool"`` is the
+    #: ProcessPoolExecutor shard loop (:func:`repro.core.shard.run_sharded`),
+    #: ``"multicore"`` the shared-nothing pipelined engine
+    #: (:func:`repro.core.multicore.run_multicore`) — workers derive
+    #: their slice locally and ship compact binary records over
+    #: shared-memory rings. Both render byte-identical Tables II–X;
+    #: ``engine`` is excluded from the checkpoint fingerprint, so a
+    #: campaign checkpointed under one engine resumes under the other.
+    engine: str = "pool"
     #: Run the adversarial workload suite (:mod:`repro.attacks`) and
     #: attach the attack × defense matrix to the result. Default-off:
     #: Tables II–X are byte-identical with or without it — the matrix
@@ -164,6 +173,10 @@ class CampaignConfig:
             raise ValueError(
                 "drop_captures requires mode='stream': the batch analyzers "
                 "read the retained captures"
+            )
+        if self.engine not in ("pool", "multicore"):
+            raise ValueError(
+                f"engine must be 'pool' or 'multicore': {self.engine!r}"
             )
         fault_profile(self.fault_profile)  # reject unknown names up front
 
@@ -285,6 +298,11 @@ class CampaignResult:
     #: :meth:`summary`/:meth:`report` — those bytes must not depend on
     #: whether the campaign was being watched.
     telemetry: TelemetrySnapshot | None = None
+    #: Execution-engine accounting (multicore engine only): transport
+    #: used, per-worker CPU-busy seconds and probe counts, frames and
+    #: bytes shipped, rounds run. Pure observability — never part of
+    #: :meth:`summary`/:meth:`report`.
+    engine_stats: dict | None = None
 
     @property
     def year(self) -> int:
@@ -402,11 +420,27 @@ class Campaign:
         config = self.config
         hub = as_hub(telemetry)
         worker_count = config.workers if workers is None else workers
-        if worker_count > 1 or checkpoint_dir is not None or resume_from is not None:
-            from repro.core.shard import run_sharded
-
+        if (
+            worker_count > 1
+            or checkpoint_dir is not None
+            or resume_from is not None
+            or config.engine == "multicore"
+        ):
             if config.workers != worker_count:
                 config = dataclasses.replace(config, workers=worker_count)
+            if config.engine == "multicore":
+                from repro.core.multicore import run_multicore
+
+                return run_multicore(
+                    config,
+                    population_override=population_override,
+                    checkpoint_dir=checkpoint_dir if checkpoint_dir is not None
+                    else resume_from,
+                    resume=resume_from is not None,
+                    telemetry=hub,
+                )
+            from repro.core.shard import run_sharded
+
             return run_sharded(
                 config,
                 population_override=population_override,

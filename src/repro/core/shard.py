@@ -58,9 +58,15 @@ import multiprocessing
 import os
 import pathlib
 import pickle
+import warnings
 
 from repro.dnssrv.auth import QueryLogEntry
-from repro.dnssrv.hierarchy import build_hierarchy
+from repro.dnssrv.hierarchy import (
+    AUTH_IP,
+    ROOT_IP,
+    TLD_IP,
+    build_hierarchy,
+)
 from repro.netsim.faults import build_injector, fault_profile
 from repro.netsim.ipv4 import int_to_ip
 from repro.netsim.latency import LogNormalLatency
@@ -212,41 +218,74 @@ def checkpoint_fingerprint(config) -> dict:
     """The config fields that shape shard bytes, for manifest matching.
 
     ``max_shard_retries`` is deliberately excluded: retrying harder is
-    a legitimate thing to change between a crash and its resume.
+    a legitimate thing to change between a crash and its resume. So is
+    ``engine``: the pool and multicore engines produce byte-identical
+    shard outcomes, so a campaign checkpointed under one resumes under
+    the other.
     """
     fingerprint = dataclasses.asdict(config)
     fingerprint.pop("max_shard_retries", None)
+    fingerprint.pop("engine", None)
     return fingerprint
 
 
+#: Single-slot memo for the campaign universe: (key, list). The walk
+#: over the ZMap permutation is a pure function of (seed, year, scale)
+#: and every shard needs the *full* list (the population sampler draws
+#: host addresses across the whole universe), so recomputing it per
+#: worker is pure fixed cost. The multicore engine primes this slot
+#: before forking, and fork children inherit the materialized list for
+#: free. The cached list is never mutated — shards slice it, samplers
+#: read it.
+_universe_cache: tuple[tuple, list[int]] | None = None
+
+
 def _campaign_universe(config) -> list[int]:
+    global _universe_cache
+    key = (config.seed, config.year, config.scale)
+    cached = _universe_cache
+    if cached is not None and cached[0] == key:
+        return cached[1]
     profile = profile_for_year(config.year)
     q1_target = scale_count(profile.q1_full, config.scale)
-    return list(probe_order(seed=config.seed, limit=q1_target))
+    universe = list(probe_order(seed=config.seed, limit=q1_target))
+    _universe_cache = (key, universe)
+    return universe
 
 
-def _build_world(config, network: Network, universe, population_override=None):
-    """Hierarchy + full population + intel maps, as the serial run builds them.
+#: Single-slot memo for the sampled world: (key, (population,
+#: software_map, banners, validators)). Like the universe, the sampled
+#: population and its intel overlays are pure functions of the config
+#: (the infrastructure exclusion set is module constants), identical
+#: for every shard — and sampling walks the whole universe, so it is
+#: the other O(universe) fixed cost a worker would otherwise pay per
+#: process. The cached state is read-only after construction: the
+#: transparent-forwarder overlay (the one in-place mutation) is
+#: applied exactly once before the value enters the cache, assignments
+#: and specs are frozen dataclasses, and ``deploy`` builds fresh
+#: per-network hosts — so shards in one process (inline engines) and
+#: fork children (multicore) can all share it without byte drift.
+_world_cache: tuple[tuple, tuple] | None = None
 
-    Returns (hierarchy, population, software_map, banners, validators).
-    Deterministic in (seed, scale, year): every shard and the parent
-    compute identical worlds, so behavior does not depend on which
-    process deploys which host.
-    """
-    hierarchy = build_hierarchy(network)
-    infrastructure = {
-        hierarchy.root.ip, hierarchy.tld.ip, hierarchy.auth.ip, PROBER_IP
-    }
-    if population_override is not None:
-        population = population_override
-    else:
-        population = PopulationSampler(
-            profile_for_year(config.year),
-            scale=config.scale,
-            seed=config.seed,
-            excluded_ips=infrastructure,
-            universe=universe,
-        ).sample()
+
+def _campaign_world(config, universe) -> tuple:
+    """(population, software_map, banners, validators) for ``config``."""
+    global _world_cache
+    key = (
+        config.seed, config.year, config.scale,
+        config.fingerprinting, config.dnssec,
+    )
+    cached = _world_cache
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    infrastructure = {ROOT_IP, TLD_IP, AUTH_IP, PROBER_IP}
+    population = PopulationSampler(
+        profile_for_year(config.year),
+        scale=config.scale,
+        seed=config.seed,
+        excluded_ips=infrastructure,
+        universe=universe,
+    ).sample()
     software_map: dict[str, object] = {}
     banners: dict[str, str | None] = {}
     if config.fingerprinting:
@@ -262,9 +301,60 @@ def _build_world(config, network: Network, universe, population_override=None):
             population, year=config.year, seed=config.seed
         )
     # Transparent-forwarder overlay, exactly as the serial engine
-    # applies it: an independent seeded lane, idempotent, so every
-    # shard and the parent flip the same hosts to the same upstreams.
+    # applies it: an independent seeded lane, so every shard and the
+    # parent see the same hosts flipped to the same upstreams.
     assign_transparent_forwarders(population, seed=config.seed)
+    world = (population, software_map, banners, validators)
+    _world_cache = (key, world)
+    return world
+
+
+def prime_shard_caches(config) -> None:
+    """Materialize the config-pure shared state (universe + world).
+
+    The multicore engine calls this in the parent before forking so
+    children inherit both O(universe) artifacts — the permutation walk
+    and the sampled population — instead of recomputing them per
+    worker.
+    """
+    _campaign_world(config, _campaign_universe(config))
+
+
+def _build_world(config, network: Network, universe, population_override=None):
+    """Hierarchy + full population + intel maps, as the serial run builds them.
+
+    Returns (hierarchy, population, software_map, banners, validators).
+    Deterministic in (seed, scale, year): every shard and the parent
+    compute identical worlds, so behavior does not depend on which
+    process deploys which host.
+    """
+    hierarchy = build_hierarchy(network)
+    if population_override is not None:
+        # An evolved world bypasses the cache: it is not derivable from
+        # the config, and its overlay was applied when it was built.
+        population = population_override
+        software_map: dict[str, object] = {}
+        banners: dict[str, str | None] = {}
+        if config.fingerprinting:
+            from repro.fingerprint.identities import assign_software
+
+            software_map = assign_software(population, seed=config.seed)
+            banners = {
+                ip: identity.banner
+                for ip, identity in software_map.items()
+            }
+        validators: set[str] = set()
+        if config.dnssec:
+            from repro.dnssec.census import assign_validators
+
+            validators = assign_validators(
+                population, year=config.year, seed=config.seed
+            )
+        assign_transparent_forwarders(population, seed=config.seed)
+        return hierarchy, population, software_map, banners, validators
+    population, software_map, banners, validators = _campaign_world(
+        config, universe
+    )
     return hierarchy, population, software_map, banners, validators
 
 
@@ -303,7 +393,7 @@ def _dump_flight_recorder(
         pass
 
 
-def run_shard(task: ShardTask) -> ShardOutcome:
+def run_shard(task: ShardTask, event_batch: int | None = None) -> ShardOutcome:
     """Execute one shard's scan to completion (worker entry point).
 
     Top-level and argument-picklable so it can run under
@@ -313,6 +403,11 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     the error message alone. When the task carries a telemetry config
     with a ``flight_dump_dir``, any failure (chaos hooks included) also
     dumps the shard's flight-recorder window there for post-mortem.
+
+    ``event_batch`` (the multicore engine's batched-dispatch knob)
+    drains the scheduler in fixed-size event batches; the event order —
+    and therefore every shipped byte — is identical to the unbounded
+    drain.
     """
     shard_seed = derive_seed(task.config.seed, task.index, task.workers)
     hub: TelemetryHub | None = None
@@ -329,7 +424,7 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     if task.attempt < _chaos_fail_count(CHAOS_EXIT_ENV, task.index):
         os._exit(13)
     try:
-        return _run_shard_scan(task, shard_seed, hub)
+        return _run_shard_scan(task, shard_seed, hub, event_batch=event_batch)
     except ShardExecutionError as exc:
         _dump_flight_recorder(hub, task, str(exc))
         raise
@@ -342,7 +437,10 @@ def run_shard(task: ShardTask) -> ShardOutcome:
 
 
 def _run_shard_scan(
-    task: ShardTask, shard_seed: int, hub: TelemetryHub | None = None
+    task: ShardTask,
+    shard_seed: int,
+    hub: TelemetryHub | None = None,
+    event_batch: int | None = None,
 ) -> ShardOutcome:
     config = task.config
     profile = profile_for_year(config.year)
@@ -440,11 +538,20 @@ def _run_shard_scan(
             hub.add_sampler(
                 "stream.live_flows", lambda: pipeline.assembler.live_flows
             )
+    # Per-batch hook: fold the sink's batched wire tallies at batch
+    # boundaries instead of per packet (their values are only read at
+    # heartbeats and snapshots, which flush anyway — this just bounds
+    # staleness for live samplers).
+    on_batch = None
+    if hub is not None and event_batch is not None:
+        sink = hub._sink
+        if sink is not None:
+            on_batch = sink.flush
     with maybe_span(
         hub, "shard", index=task.index, workers=task.workers,
         attempt=task.attempt, seed=shard_seed,
     ):
-        capture = prober.run()
+        capture = prober.run(event_batch=event_batch, on_batch=on_batch)
     if hub is not None:
         hub.detach()
         hub.heartbeat(network.now)  # the final progress mark
@@ -490,8 +597,26 @@ def _supports_process_pool() -> bool:
         return False
 
 
+def _note_pool_fallback(reason: str, hub: TelemetryHub | None) -> None:
+    """A "parallel" round is about to run serially — say so, loudly once.
+
+    The inline result is byte-identical, but the wall-clock expectation
+    is not: a user who asked for N workers should know the pool was
+    unavailable. Counted on ``campaign.pool_fallbacks`` when telemetry
+    is on, and surfaced as a one-line RuntimeWarning either way.
+    """
+    if hub is not None:
+        hub.registry.counter("campaign.pool_fallbacks").inc()
+    warnings.warn(
+        f"process pool unavailable ({reason}); shard round running inline "
+        "in one process (results are identical, wall clock is not)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _run_tasks(
-    tasks: list[ShardTask], parallelism: str
+    tasks: list[ShardTask], parallelism: str, hub: TelemetryHub | None = None
 ) -> list[tuple[ShardTask, "ShardOutcome | BaseException"]]:
     """Run one round of shard tasks, capturing per-shard failures.
 
@@ -505,7 +630,8 @@ def _run_tasks(
     ``BrokenExecutor`` and is retried in a fresh pool on the next
     round. Pool failures that predate any shard work (sandboxed
     semaphores, unpicklable overrides) fall back to inline execution —
-    the result is identical either way.
+    the result is identical either way, and the fallback is announced
+    via :func:`_note_pool_fallback`.
     """
     use_pool = parallelism == "process" or (
         parallelism == "auto" and len(tasks) > 1 and _supports_process_pool()
@@ -531,9 +657,11 @@ def _run_tasks(
                         results.append((task, exc))
                 if not (unpicklable and parallelism == "auto"):
                     return results
-        except (OSError, pickle.PicklingError, concurrent.futures.BrokenExecutor):
+            _note_pool_fallback("task not picklable", hub)
+        except (OSError, pickle.PicklingError, concurrent.futures.BrokenExecutor) as exc:
             if parallelism == "process":
                 raise
+            _note_pool_fallback(f"{type(exc).__name__}: {exc}", hub)
     results = []
     for task in tasks:
         try:
@@ -576,12 +704,6 @@ def run_sharded(
     merged snapshot lands on ``result.telemetry``. A failing worker
     with a configured ``flight_dump_dir`` dumps its flight recorder.
     """
-    from repro.core.campaign import (
-        Campaign,
-        DegradedManifest,
-        ShardFailureRecord,
-    )
-
     if parallelism not in ("auto", "process", "inline"):
         raise ValueError(f"unknown parallelism mode: {parallelism!r}")
     hub = as_hub(telemetry)
@@ -624,7 +746,7 @@ def run_sharded(
                 for index in pending
             ]
             requeue = []
-            for task, result in _run_tasks(tasks, parallelism):
+            for task, result in _run_tasks(tasks, parallelism, hub):
                 if isinstance(result, ShardOutcome):
                     completed[result.index] = result
                     if checkpoint_dir is not None:
@@ -647,6 +769,34 @@ def run_sharded(
                 hub.merge_snapshot(
                     getattr(completed[index], "telemetry", None), shard=index
                 )
+    return finalize_outcomes(
+        config, completed, failures, population_override, hub
+    )
+
+
+def finalize_outcomes(
+    config,
+    completed: dict[int, ShardOutcome],
+    failures: dict[int, tuple[int, BaseException]],
+    population_override: SampledPopulation | None = None,
+    hub: TelemetryHub | None = None,
+) -> "CampaignResult":  # noqa: F821
+    """Merge completed shard outcomes into a :class:`CampaignResult`.
+
+    The single finalization path shared by both execution engines
+    (:func:`run_sharded` and :func:`repro.core.multicore.run_multicore`):
+    whatever transported the outcomes — pickles through a pool, compact
+    frames through a ring — the merge, the parent-world rebuild, the
+    analysis dispatch and the degraded-manifest accounting are this one
+    function, so the engines cannot drift apart byte-wise.
+    """
+    from repro.core.campaign import (
+        Campaign,
+        DegradedManifest,
+        ShardFailureRecord,
+    )
+
+    workers = config.workers
     if not completed:
         index, (tries, error) = sorted(failures.items())[0]
         raise ShardExecutionError(

@@ -318,12 +318,30 @@ class Prober:
 
     # -- public API --------------------------------------------------------
 
-    def run(self) -> ProbeCapture:
-        """Execute the scan to completion and return the capture."""
+    def run(
+        self,
+        event_batch: int | None = None,
+        on_batch=None,
+    ) -> ProbeCapture:
+        """Execute the scan to completion and return the capture.
+
+        ``event_batch`` switches the drain to batched event pulls
+        (:meth:`Scheduler.run_batch`): identical event order — hence
+        identical capture bytes — but the caller's ``on_batch`` hook
+        runs once per batch, which is where the multicore engine
+        coalesces telemetry counter flushes instead of paying them per
+        probe.
+        """
         self.network.bind(self.ip, self.config.source_port, self._on_response)
         self._start_time = self.network.now
         self._schedule_tick(self.network.now)
-        self.network.run()
+        if event_batch is None:
+            self.network.run()
+        else:
+            scheduler = self.network.scheduler
+            while scheduler.run_batch(event_batch):
+                if on_batch is not None:
+                    on_batch()
         return ProbeCapture(
             q1_sent=self._q1_sent,
             q1_bytes=self._q1_bytes,

@@ -154,6 +154,31 @@ class TelemetrySink:
         self._r2 = registry.counter("prober.r2_delivered")
         self._latency = registry.histogram("prober.q1_to_r2_latency_s")
         self._recorder = hub.recorder
+        # Wire counters are tallied in plain local ints and folded into
+        # the registry in one batch per heartbeat/snapshot (see
+        # :meth:`flush`) — the per-packet hot path pays an integer add,
+        # not a Counter method call. Every read path (heartbeats,
+        # snapshots, detach) flushes first, so observed values are
+        # byte-identical to per-packet increments.
+        self._q1_tally = 0
+        self._relay_tally = 0
+        self._q2_r1_tally = 0
+        self._r2_tally = 0
+
+    def flush(self) -> None:
+        """Fold the batched wire tallies into the registry counters."""
+        if self._q1_tally:
+            self._q1_sent.inc(self._q1_tally)
+            self._q1_tally = 0
+        if self._relay_tally:
+            self._relays.inc(self._relay_tally)
+            self._relay_tally = 0
+        if self._q2_r1_tally:
+            self._q2_r1.inc(self._q2_r1_tally)
+            self._q2_r1_tally = 0
+        if self._r2_tally:
+            self._r2.inc(self._r2_tally)
+            self._r2_tally = 0
 
     def on_send(self, now: float, datagram: Datagram) -> None:
         self._recorder.record(
@@ -161,16 +186,16 @@ class TelemetrySink:
             datagram.dst_ip, datagram.dst_port, datagram.wire_size,
         )
         if datagram.src_ip == self.auth_ip and datagram.src_port == DNS_PORT:
-            self._q2_r1.inc()
+            self._q2_r1_tally += 1
         elif (
             datagram.src_ip == self.prober_ip
             and datagram.src_port == self.source_port
             and datagram.dst_port == DNS_PORT
         ):
             if datagram.dst_ip in self.upstream_ips:
-                self._relays.inc()
+                self._relay_tally += 1
             else:
-                self._q1_sent.inc()
+                self._q1_tally += 1
                 if self._track_latency:
                     qname = qname_from_payload(datagram.payload)
                     if qname is not None:
@@ -189,7 +214,7 @@ class TelemetrySink:
             datagram.dst_ip == self.prober_ip
             and datagram.dst_port == self.source_port
         ):
-            self._r2.inc()
+            self._r2_tally += 1
             if self._track_latency:
                 qname = qname_from_payload(datagram.payload)
                 if qname is not None:
@@ -254,6 +279,8 @@ class TelemetryHub:
         return self._sink
 
     def detach(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
         if self._network is not None and self._sink is not None:
             self._network.detach_sink(self._sink)
         self._sink = None
@@ -267,6 +294,8 @@ class TelemetryHub:
 
     def heartbeat(self, now: float) -> dict:
         """Record one progress heartbeat at simulated time ``now``."""
+        if self._sink is not None:
+            self._sink.flush()  # beats read the batched wire tallies
         registry = self.registry
         gauges: dict[str, float] = {}
         for name, fn in self._samplers.items():
@@ -399,6 +428,8 @@ class TelemetryHub:
     # -- snapshots -------------------------------------------------------
 
     def snapshot(self) -> TelemetrySnapshot:
+        if self._sink is not None:
+            self._sink.flush()
         return TelemetrySnapshot(
             metrics=self.registry.snapshot(),
             spans=self.tracer.export(),

@@ -54,7 +54,9 @@ class TestShardFailureReporting:
     def test_unexpected_exceptions_are_wrapped(self, monkeypatch):
         monkeypatch.setattr(
             "repro.core.shard._run_shard_scan",
-            lambda task, seed, hub=None: (_ for _ in ()).throw(KeyError("boom")),
+            lambda task, seed, hub=None, event_batch=None: (
+                _ for _ in ()
+            ).throw(KeyError("boom")),
         )
         with pytest.raises(ShardExecutionError, match="KeyError"):
             run_shard(ShardTask(config=CONFIG, index=2, workers=4))

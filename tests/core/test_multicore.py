@@ -1,0 +1,207 @@
+"""Unit tests for the shared-nothing multicore campaign engine.
+
+Campaign-level byte identity across engines lives in
+``tests/conformance/test_engines.py``; this file covers the engine's
+own machinery — scalar-only work distribution, frame handling, fault
+paths, engine stats, and the pool engine's newly-loud executor
+fallback.
+"""
+
+import dataclasses
+import pickle
+import warnings
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.core.multicore import (
+    _config_from_wire,
+    _config_to_wire,
+    run_multicore,
+)
+from repro.core.shard import (
+    CHAOS_EXIT_ENV,
+    CHAOS_RAISE_ENV,
+    ShardOutcome,
+    _run_tasks,
+    run_sharded,
+)
+
+SCALE = 65536
+
+BASE = CampaignConfig(year=2018, scale=SCALE, seed=3, workers=2)
+
+
+def _config(**overrides):
+    return dataclasses.replace(BASE, **overrides)
+
+
+class TestWireConfig:
+    def test_round_trips_every_field(self):
+        config = _config(
+            mode="stream", drop_captures=True, fault_profile="bursty",
+            engine="multicore", time_compression=4.0,
+        )
+        assert _config_from_wire(_config_to_wire(config)) == config
+
+    def test_wire_is_scalars_only(self):
+        # The shared-nothing contract: nothing object-shaped crosses
+        # the boundary, so the wire tuple must pickle to a few hundred
+        # bytes no matter the campaign size.
+        wire = _config_to_wire(_config(scale=1024))
+        assert len(pickle.dumps(wire)) < 1024
+
+
+class TestEngineStats:
+    def test_process_engine_reports_transport_and_work(self):
+        result = run_multicore(_config(), parallelism="process")
+        stats = result.engine_stats
+        assert stats["engine"] == "multicore"
+        assert stats["transport"] in ("shm", "pipe")
+        assert stats["workers"] == 2
+        assert stats["rounds"] == 1
+        assert stats["frames"] == 2
+        assert stats["bytes_shipped"] > 0
+        assert sorted(stats["worker_q1"]) == [0, 1]
+        assert all(q1 > 0 for q1 in stats["worker_q1"].values())
+        assert all(
+            busy >= 0 for busy in stats["worker_busy_s"].values()
+        )
+
+    def test_compact_frames_used_for_streaming(self):
+        result = run_multicore(
+            _config(mode="stream", drop_captures=True),
+            parallelism="process",
+        )
+        assert result.engine_stats["compact_frames"] == 2
+        assert result.engine_stats["pickle_frames"] == 0
+
+    def test_pickle_frames_used_for_batch(self):
+        result = run_multicore(_config(), parallelism="inline")
+        assert result.engine_stats["pickle_frames"] == 2
+        assert result.engine_stats["compact_frames"] == 0
+
+    def test_compact_frames_are_smaller(self):
+        fat = run_multicore(_config(), parallelism="inline")
+        slim = run_multicore(
+            _config(mode="stream", drop_captures=True),
+            parallelism="inline",
+        )
+        assert (
+            slim.engine_stats["bytes_shipped"]
+            < fat.engine_stats["bytes_shipped"] / 4
+        )
+
+
+class TestValidation:
+    def test_rejects_unknown_parallelism(self):
+        with pytest.raises(ValueError):
+            run_multicore(_config(), parallelism="threads")
+
+    def test_rejects_unknown_ring(self):
+        with pytest.raises(ValueError):
+            run_multicore(_config(), ring="floppy")
+
+    def test_rejects_bad_event_batch(self):
+        with pytest.raises(ValueError):
+            run_multicore(_config(), event_batch=0)
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(year=2018, scale=SCALE, seed=3, engine="gpu")
+
+
+class TestFaultPaths:
+    def test_crashing_worker_degrades_after_retries(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_RAISE_ENV, "1:99")
+        result = run_multicore(
+            _config(max_shard_retries=1), parallelism="process"
+        )
+        assert result.degraded is not None
+        assert [
+            record.index for record in result.degraded.failed_shards
+        ] == [1]
+
+    def test_killed_worker_is_requeued_and_recovers(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_EXIT_ENV, "1:1")
+        result = run_multicore(
+            _config(max_shard_retries=2), parallelism="process"
+        )
+        assert result.degraded is None
+        assert result.engine_stats["rounds"] == 2
+        reference = Campaign(_config(workers=1)).run()
+        assert result.report() == reference.report()
+
+    def test_inline_crash_degrades(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_RAISE_ENV, "0:99")
+        result = run_multicore(
+            _config(max_shard_retries=0), parallelism="inline"
+        )
+        assert result.degraded is not None
+
+
+class TestCampaignDispatch:
+    def test_engine_field_routes_to_multicore(self):
+        result = Campaign(_config(engine="multicore")).run()
+        assert result.engine_stats is not None
+        assert result.engine_stats["engine"] == "multicore"
+
+    def test_pool_engine_has_no_engine_stats(self):
+        result = Campaign(_config()).run()
+        assert result.engine_stats is None
+
+
+class TestPoolFallbackIsLoud:
+    """The executor fallback used to be silent: a sandboxed host (no
+    semaphores) would quietly run an N-worker round serially. It must
+    now warn once and count on ``campaign.pool_fallbacks``."""
+
+    def _tasks(self):
+        from repro.core.shard import ShardTask
+
+        config = _config()
+        return [
+            ShardTask(config=config, index=index, workers=2)
+            for index in range(2)
+        ]
+
+    def test_broken_executor_warns_and_counts(self, monkeypatch):
+        import concurrent.futures
+
+        from repro.telemetry.hub import TelemetryConfig, as_hub
+
+        def _no_semaphores(*args, **kwargs):
+            raise OSError("semaphores unavailable")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_semaphores
+        )
+        hub = as_hub(TelemetryConfig())
+        with pytest.warns(RuntimeWarning, match="shard round running inline"):
+            results = _run_tasks(self._tasks(), "auto", hub)
+        assert len(results) == 2
+        assert all(
+            isinstance(outcome, ShardOutcome) for _, outcome in results
+        )
+        counters = hub.snapshot().metrics.counters
+        assert counters.get("campaign.pool_fallbacks") == 1
+
+    def test_forced_process_parallelism_still_raises(self, monkeypatch):
+        import concurrent.futures
+
+        def _no_semaphores(*args, **kwargs):
+            raise OSError("semaphores unavailable")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_semaphores
+        )
+        with pytest.raises(OSError):
+            _run_tasks(self._tasks(), "process", None)
+
+    def test_healthy_pool_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            results = _run_tasks(self._tasks(), "auto", None)
+        assert all(
+            isinstance(outcome, ShardOutcome) for _, outcome in results
+        )
