@@ -10,8 +10,10 @@ reported alongside Tables II–X.
 
 from repro.attacks.defense import (
     DEFENSE_POSTURES,
+    POLICY_POSTURE,
     DefensePosture,
     posture_by_name,
+    postures_with_policy,
 )
 from repro.attacks.matrix import (
     ATTACK_FAMILIES,
@@ -23,6 +25,7 @@ from repro.attacks.matrix import (
 )
 from repro.attacks.report import (
     MATRIX_HEADER,
+    POLICY_HEADER,
     attack_markdown,
     render_attack_matrix,
 )
@@ -44,10 +47,13 @@ __all__ = [
     "MATRIX_HEADER",
     "NXNS_ZONE",
     "NxnsAuthServer",
+    "POLICY_HEADER",
+    "POLICY_POSTURE",
     "VICTIM_SLD",
     "attack_markdown",
     "build_attack_world",
     "posture_by_name",
+    "postures_with_policy",
     "render_attack_matrix",
     "run_attack_matrix",
 ]

@@ -17,13 +17,24 @@ mitigation engaged:
   recursion starts;
 - ``hardened`` — RRL + quotas + negative caching + a small glueless
   fan-out cap + a bounded pending table with load shedding.
+
+A fifth, opt-in rung — :data:`POLICY_POSTURE` — filters by *intent*
+rather than by rate: a :class:`~repro.policy.config.PolicyConfig`
+blocks the attack namespaces (NXNS delegation zone, water-torture
+label prefix) and sinkholes the reflection amplifier name, the
+resolver-side mitigation NXNSAttack's authors recommend. It is not in
+the default ladder (:func:`postures_with_policy` appends it) so
+existing matrix pins never move.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from repro.attacks.zones import AMP_ORIGIN, NXNS_ZONE, WATER_PREFIX
 from repro.dnssrv.ratelimit import ClientQueryQuota, ResponseRateLimiter
+from repro.policy.config import PolicyConfig
+from repro.policy.engine import PolicyEngine
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,6 +62,8 @@ class DefensePosture:
     max_pending: int | None = None
     #: Idle-bucket eviction horizon handed to both limiters.
     idle_horizon: float = 60.0
+    #: Filtering-resolver rule set; each resolver gets its own engine.
+    policy: PolicyConfig | None = None
 
     def rate_limiter(self) -> ResponseRateLimiter | None:
         if self.rrl_rate is None:
@@ -70,6 +83,11 @@ class DefensePosture:
             idle_horizon=self.idle_horizon,
         )
 
+    def policy_engine(self) -> PolicyEngine | None:
+        if self.policy is None:
+            return None
+        return PolicyEngine(self.policy)
+
     def resolver_kwargs(self, max_glueless_undefended: int) -> dict:
         """Constructor kwargs for one RecursiveResolver under this posture.
 
@@ -87,6 +105,7 @@ class DefensePosture:
                 max_glueless_undefended
             ),
             "max_pending": self.max_pending,
+            "policy": self.policy_engine(),
         }
 
 
@@ -107,6 +126,25 @@ DEFENSE_POSTURES: tuple[DefensePosture, ...] = (
     ),
 )
 
+#: The opt-in fifth rung: qname intelligence instead of rate limits.
+#: Blocking the attack namespaces stops NXNS and water torture before
+#: any recursion; sinkholing the amplifier name deflates reflection.
+#: Benign traffic (www.…) matches no rule and flows untouched.
+POLICY_POSTURE = DefensePosture(
+    name="policy",
+    policy=PolicyConfig(
+        block_qnames=(NXNS_ZONE,),
+        block_label_prefixes=(WATER_PREFIX,),
+        sinkhole_qnames=(AMP_ORIGIN,),
+    ),
+)
+
+
+def postures_with_policy() -> tuple[DefensePosture, ...]:
+    """The default ladder plus the policy rung (the ``--with-policy`` set)."""
+    return DEFENSE_POSTURES + (POLICY_POSTURE,)
+
+
 #: Stable lane index per posture name — part of the seed derivation, so
 #: adding or reordering postures never reshuffles existing cells.
 POSTURE_LANES = {
@@ -114,14 +152,15 @@ POSTURE_LANES = {
     "rrl": 1,
     "quota": 2,
     "hardened": 3,
+    "policy": 4,
 }
 
 
 def posture_by_name(name: str) -> DefensePosture:
-    for posture in DEFENSE_POSTURES:
+    for posture in DEFENSE_POSTURES + (POLICY_POSTURE,):
         if posture.name == name:
             return posture
     raise ValueError(
         f"unknown defense posture {name!r}; "
-        f"known: {', '.join(p.name for p in DEFENSE_POSTURES)}"
+        f"known: {', '.join(p.name for p in DEFENSE_POSTURES)}, policy"
     )

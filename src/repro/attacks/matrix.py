@@ -163,6 +163,17 @@ class AttackCell:
     glueless_launched: int
     glueless_capped: int
     negative_hits: int
+    #: Policy-engine accounting (all zero for policy-less postures).
+    policy_refused: int = 0
+    policy_nxdomain: int = 0
+    policy_sinkholed: int = 0
+    policy_routed: int = 0
+    policy_rewritten: int = 0
+
+    @property
+    def policy_blocked(self) -> int:
+        """Queries the policy stopped before recursion (refuse + nxdomain)."""
+        return self.policy_refused + self.policy_nxdomain
 
     @property
     def benign_answer_rate(self) -> float:
@@ -437,6 +448,21 @@ def _run_cell(
         glueless_launched=sum(r.stats.glueless_launched for r in resolvers),
         glueless_capped=sum(r.stats.glueless_capped for r in resolvers),
         negative_hits=sum(r.stats.negative_hits for r in resolvers),
+        policy_refused=sum(
+            r.policy.stats.refused for r in resolvers if r.policy is not None
+        ),
+        policy_nxdomain=sum(
+            r.policy.stats.nxdomain for r in resolvers if r.policy is not None
+        ),
+        policy_sinkholed=sum(
+            r.policy.stats.sinkholed for r in resolvers if r.policy is not None
+        ),
+        policy_routed=sum(
+            r.policy.stats.routed for r in resolvers if r.policy is not None
+        ),
+        policy_rewritten=sum(
+            r.policy.stats.rewritten for r in resolvers if r.policy is not None
+        ),
     )
 
 
@@ -469,5 +495,11 @@ def run_attack_matrix(
                 )
                 hub.registry.counter("attacks.load_shed").inc(
                     cell.load_shed
+                )
+                hub.registry.counter("attacks.policy_blocked").inc(
+                    cell.policy_blocked
+                )
+                hub.registry.counter("attacks.policy_sinkholed").inc(
+                    cell.policy_sinkholed
                 )
     return AttackMatrix(seed=config.seed, rows=tuple(rows))

@@ -7,6 +7,20 @@ from repro.attacks.matrix import AttackMatrix
 #: Section header; tests and the campaign report key on this string.
 MATRIX_HEADER = "Attack x defense matrix"
 
+#: Header of the policy-decision table appended when the matrix has a
+#: policy-posture row. Absent entirely for the default ladder, so
+#: policy-less reports are byte-identical to pre-policy builds.
+POLICY_HEADER = "Policy decisions (policy posture)"
+
+_POLICY_COLUMNS = (
+    ("family", 14),
+    ("refused", 8),
+    ("nxdomain", 9),
+    ("sinkholed", 10),
+    ("routed", 7),
+    ("rewritten", 10),
+)
+
 _COLUMNS = (
     ("family", 14),
     ("posture", 11),
@@ -57,7 +71,35 @@ def render_attack_matrix(matrix: AttackMatrix) -> str:
         "  (amp: auth queries per attacker query, or victim/attacker "
         "bytes for reflection; glueless: launched/capped)"
     )
+    policy_rows = [
+        cell for cell in matrix.rows
+        if cell.posture == "policy"
+        or cell.policy_blocked or cell.policy_sinkholed
+        or cell.policy_routed or cell.policy_rewritten
+    ]
+    if policy_rows:
+        lines.append("")
+        lines.append(f"{POLICY_HEADER} (seed {matrix.seed})")
+        lines.append("  " + _policy_row([name for name, _ in _POLICY_COLUMNS]))
+        for cell in policy_rows:
+            lines.append(
+                "  " + _policy_row([
+                    cell.family,
+                    f"{cell.policy_refused:,}",
+                    f"{cell.policy_nxdomain:,}",
+                    f"{cell.policy_sinkholed:,}",
+                    f"{cell.policy_routed:,}",
+                    f"{cell.policy_rewritten:,}",
+                ])
+            )
     return "\n".join(lines)
+
+
+def _policy_row(values) -> str:
+    return "  ".join(
+        f"{value:>{width}}" if index >= 1 else f"{value:<{width}}"
+        for index, ((_, width), value) in enumerate(zip(_POLICY_COLUMNS, values))
+    )
 
 
 def attack_markdown(matrix: AttackMatrix) -> str:

@@ -90,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a standalone markdown report to FILE")
     scan.add_argument("--full-report", action="store_true",
                       help="print every table, not just the summary")
+    scan.add_argument("--attack-policy", action="store_true",
+                      help="with --attacks: add the policy "
+                      "(filtering-resolver) rung to the defense ladder")
     scan.add_argument("--attacks", action="store_true",
                       help="also run the adversarial workload suite and "
                       "report the attack x defense matrix")
@@ -149,6 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--families", default=None,
                         help="comma-separated subset of "
                         "nxns,water_torture,reflection (default: all)")
+    attack.add_argument("--with-policy", action="store_true",
+                        help="add the policy (filtering-resolver) rung "
+                        "to the defense-posture ladder")
     attack.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write attack telemetry counters to FILE "
                         "as JSON")
@@ -225,6 +231,29 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how long a SIGTERM waits for in-flight "
                        "resolutions before closing")
+    serve.add_argument("--eviction-horizon", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="forwarder profile: evict outstanding "
+                       "upstream relays older than SECONDS")
+    serve.add_argument("--policy-file", metavar="FILE", default=None,
+                       help="JSON policy document (see repro.policy."
+                       "config.PolicyConfig) applied to the front")
+    serve.add_argument("--block", action="append", default=[],
+                       metavar="CIDR|SUFFIX",
+                       help="block rule (repeatable): an address/CIDR "
+                       "refuses the client; anything else answers "
+                       "NXDOMAIN for the qname suffix")
+    serve.add_argument("--sinkhole", action="append", default=[],
+                       metavar="SUFFIX",
+                       help="answer matching qnames with a synthesized "
+                       "A record at the sinkhole address (repeatable)")
+    serve.add_argument("--sinkhole-ip", metavar="IP", default=None,
+                       help="address sinkholed names resolve to "
+                       "(default: 203.0.113.253)")
+    serve.add_argument("--zone-route", action="append", default=[],
+                       metavar="ZONE=IP",
+                       help="route queries under ZONE to the upstream "
+                       "at IP instead of the default path (repeatable)")
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write the serving metrics document to FILE "
                        "as JSON at drain")
@@ -270,6 +299,7 @@ def _cmd_scan(args) -> int:
         mode="stream" if args.stream else "batch",
         drop_captures=args.drop_captures,
         attack_suite=args.attacks,
+        attack_policy=args.attack_policy,
     )
     workers_note = f", workers {args.workers}" if args.workers > 1 else ""
     engine_note = (
@@ -353,6 +383,7 @@ def _cmd_attack(args) -> int:
         ATTACK_FAMILIES,
         AttackSuiteConfig,
         attack_markdown,
+        postures_with_policy,
         render_attack_matrix,
         run_attack_matrix,
     )
@@ -370,13 +401,16 @@ def _cmd_attack(args) -> int:
             return 2
     else:
         families = ATTACK_FAMILIES
-    config = AttackSuiteConfig(
+    config_kwargs = dict(
         seed=args.seed,
         resolvers=args.resolvers,
         fanout=args.fanout,
         attack_queries=args.attack_queries,
         families=families,
     )
+    if args.with_policy:
+        config_kwargs["postures"] = postures_with_policy()
+    config = AttackSuiteConfig(**config_kwargs)
     telemetry = None
     if args.metrics_out:
         from repro.telemetry import TelemetryConfig
@@ -634,6 +668,12 @@ def _cmd_serve(args) -> int:
         max_pending=args.max_pending,
         max_glueless=args.max_glueless,
         drain_grace=args.drain_grace,
+        eviction_horizon=args.eviction_horizon,
+        policy_file=args.policy_file,
+        block=tuple(args.block),
+        sinkhole=tuple(args.sinkhole),
+        zone_route=tuple(args.zone_route),
+        sinkhole_ip=args.sinkhole_ip,
         metrics_out=args.metrics_out,
         ready_file=args.ready_file,
     )

@@ -155,6 +155,11 @@ class CampaignConfig:
     #: runs on its own derived-seed networks (lane 0xA77C) and never
     #: touches the scan simulation.
     attack_suite: bool = False
+    #: With ``attack_suite``: extend the defense ladder with the policy
+    #: (filtering-resolver) rung. Default-off so existing matrix and
+    #: report pins never move; the extra cells use their own stable
+    #: posture lane and leave the original sixteen untouched.
+    attack_policy: bool = False
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -784,14 +789,16 @@ class Campaign:
         """
         if not self.config.attack_suite:
             return None
+        from repro.attacks.defense import postures_with_policy
         from repro.attacks.matrix import AttackSuiteConfig, run_attack_matrix
 
-        return run_attack_matrix(
-            AttackSuiteConfig(
-                seed=self.config.seed,
-                latency_median=self.config.latency_median,
-            )
+        suite_kwargs = dict(
+            seed=self.config.seed,
+            latency_median=self.config.latency_median,
         )
+        if self.config.attack_policy:
+            suite_kwargs["postures"] = postures_with_policy()
+        return run_attack_matrix(AttackSuiteConfig(**suite_kwargs))
 
 
 def run_both_years(

@@ -6,24 +6,39 @@ resolver. The paper's open-resolver population is full of these; a
 proxy is "open" if it forwards for anyone. Proxies also explain some
 header oddities: a cheap CPE box may relay the upstream answer while
 mangling flag bits.
+
+Outstanding-entry lifecycle: every relayed query is remembered until
+the upstream answers *or* it ages past ``eviction_horizon`` — a
+blackholed upstream must not pin entries (and the serve daemon's
+drain gate) forever. The sweep is amortized like the rate limiter's
+idle-horizon eviction: it runs at most once per horizon from the
+packet handlers, and unconditionally from ``pending_count`` so drain
+polling alone retires dead entries.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.dnslib.message import DnsMessage
+from repro.dnslib.constants import Rcode
+from repro.dnslib.message import DnsMessage, make_response
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.netsim.packet import Datagram
+from repro.policy.engine import PolicyAction, PolicyEngine
 from repro.transport.base import Transport
 
 #: Port the proxy uses toward its upstream resolver.
 FORWARD_PORT = 10054
 
+#: How long a relayed query waits for its upstream before eviction.
+EVICTION_HORIZON = 10.0
+
 
 @dataclasses.dataclass
 class _Outstanding:
     client: Datagram
+    created: float
+    upstream_ip: str
 
 
 class ForwardingResolver:
@@ -31,7 +46,10 @@ class ForwardingResolver:
 
     ``mangle`` is an optional hook applied to the upstream response
     before it is relayed — used by the population models to express
-    flag-rewriting CPE firmware.
+    flag-rewriting CPE firmware. ``policy`` is an optional
+    :class:`~repro.policy.engine.PolicyEngine` evaluated on every
+    client query (local REFUSED/NXDOMAIN/sinkhole answers, per-zone
+    upstream routing) and every relayed answer (rewrite hook).
     """
 
     def __init__(
@@ -41,20 +59,32 @@ class ForwardingResolver:
         mangle=None,
         forward_port: int = FORWARD_PORT,
         upstream_port: int = 53,
+        policy: PolicyEngine | None = None,
+        eviction_horizon: float | None = EVICTION_HORIZON,
     ) -> None:
         """``forward_port`` is the proxy's source port toward the
         upstream (0 on the socket backend picks an ephemeral one);
-        ``upstream_port`` is where the upstream resolver listens."""
+        ``upstream_port`` is where the upstream resolver listens.
+        ``eviction_horizon=None`` disables the outstanding sweep."""
+        if eviction_horizon is not None and eviction_horizon <= 0:
+            raise ValueError("eviction_horizon must be positive (or None)")
         self.ip = ip
         self.upstream_ip = upstream_ip
         self.mangle = mangle
         self.forward_port = forward_port
         self.upstream_port = upstream_port
+        self.policy = policy
+        self.eviction_horizon = eviction_horizon
         self._network: Transport | None = None
         self._outstanding: dict[int, _Outstanding] = {}
         self._next_id = 1
+        self._last_sweep = float("-inf")
         self.forwarded = 0
         self.relayed = 0
+        self.answered_locally = 0
+        self.evicted = 0
+        self.txid_collisions = 0
+        self.txid_exhausted = 0
 
     def attach(self, network: Transport, port: int = 53):
         self._network = network
@@ -66,34 +96,106 @@ class ForwardingResolver:
 
     @property
     def pending_count(self) -> int:
-        """Queries relayed upstream and not yet answered."""
+        """Queries relayed upstream and not yet answered or evicted."""
+        if self._network is not None and self.eviction_horizon is not None:
+            self._sweep(self._network.now)
         return len(self._outstanding)
+
+    def _maybe_sweep(self, now: float) -> None:
+        """Amortized eviction: at most one sweep per horizon."""
+        if self.eviction_horizon is None:
+            return
+        if now - self._last_sweep >= self.eviction_horizon:
+            self._sweep(now)
+
+    def _sweep(self, now: float) -> None:
+        horizon = self.eviction_horizon
+        if horizon is None:
+            return
+        dead = [
+            msg_id
+            for msg_id, entry in self._outstanding.items()
+            if now - entry.created >= horizon
+        ]
+        for msg_id in dead:
+            del self._outstanding[msg_id]
+        self.evicted += len(dead)
+        self._last_sweep = now
+
+    def _allocate_txid(self) -> int | None:
+        """The next free upstream txid, skipping ids still in flight.
+
+        Overwriting a live entry on wraparound would orphan the older
+        client and could relay its answer to the wrong one; instead we
+        probe forward (counting collisions) and drop the query outright
+        when every id is busy.
+        """
+        if len(self._outstanding) >= 0xFFFF:
+            self.txid_exhausted += 1
+            return None
+        msg_id = self._next_id
+        while msg_id in self._outstanding:
+            self.txid_collisions += 1
+            msg_id = msg_id % 0xFFFF + 1
+        self._next_id = msg_id % 0xFFFF + 1
+        return msg_id
 
     def handle_client(self, datagram: Datagram, network: Transport) -> None:
         try:
             query = decode_message(datagram.payload)
         except DnsWireError:
             return
-        msg_id = self._next_id
-        self._next_id = self._next_id % 0xFFFF + 1
-        self._outstanding[msg_id] = _Outstanding(datagram)
+        self._maybe_sweep(network.now)
+        upstream_ip = self.upstream_ip
+        if self.policy is not None:
+            decision = self.policy.evaluate_query(datagram.src_ip, query.qname)
+            if decision.action is PolicyAction.REFUSE:
+                self._answer_locally(datagram, network, make_response(query, rcode=Rcode.REFUSED))
+                return
+            if decision.action is PolicyAction.NXDOMAIN:
+                self._answer_locally(datagram, network, make_response(query, rcode=Rcode.NXDOMAIN))
+                return
+            if decision.action is PolicyAction.SINKHOLE:
+                response = make_response(
+                    query, answers=[self.policy.sinkhole_answer(query.qname)]
+                )
+                self._answer_locally(datagram, network, response)
+                return
+            if decision.action is PolicyAction.ROUTE:
+                upstream_ip = decision.target
+        msg_id = self._allocate_txid()
+        if msg_id is None:
+            return
+        self._outstanding[msg_id] = _Outstanding(datagram, network.now, upstream_ip)
+        # The client's additionals (EDNS OPT and friends) ride along:
+        # the upstream and the header-analysis tables need them intact.
         rewritten = DnsMessage(
             header=dataclasses.replace(query.header, msg_id=msg_id),
             questions=list(query.questions),
+            additionals=list(query.additionals),
         )
         self.forwarded += 1
         network.send(
             Datagram(
-                self.ip, self.forward_port, self.upstream_ip,
+                self.ip, self.forward_port, upstream_ip,
                 self.upstream_port, encode_message(rewritten),
             )
         )
+
+    def _answer_locally(
+        self, datagram: Datagram, network: Transport, response: DnsMessage
+    ) -> None:
+        if self.policy is not None:
+            response = self.policy.rewrite_response(response)
+        self.answered_locally += 1
+        network.send(datagram.reply(encode_message(response)))
 
     def handle_upstream(self, datagram: Datagram, network: Transport) -> None:
         try:
             response = decode_message(datagram.payload)
         except DnsWireError:
             return
+        self._maybe_sweep(network.now)
         outstanding = self._outstanding.pop(response.header.msg_id, None)
         if outstanding is None:
             return
@@ -109,6 +211,8 @@ class ForwardingResolver:
         )
         if self.mangle is not None:
             relayed = self.mangle(relayed)
+        if self.policy is not None:
+            relayed = self.policy.rewrite_response(relayed)
         self.relayed += 1
         network.send(outstanding.client.reply(encode_message(relayed)))
 

@@ -21,6 +21,7 @@ from repro.dnslib.message import DnsMessage, make_query, make_response
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
 from repro.dnssrv.cache import DnsCache
 from repro.netsim.packet import Datagram
+from repro.policy.engine import PolicyAction
 from repro.transport.base import CancelHandle, Transport
 
 #: Port the engine uses for its upstream (iterative) queries.
@@ -99,6 +100,7 @@ class RecursiveResolver:
         max_pending: int | None = None,
         upstream_port: int = UPSTREAM_PORT,
         server_port: int = 53,
+        policy=None,
     ) -> None:
         """``accept_unsolicited_additionals=True`` models the record-
         injection vulnerability of Schomp et al. / Klein et al.: the
@@ -127,6 +129,14 @@ class RecursiveResolver:
         records the resolved one); ``server_port`` is where the
         root/TLD/authoritative servers listen. Both default to the
         historical simulator values.
+
+        ``policy`` is an optional :class:`~repro.policy.engine
+        .PolicyEngine` consulted before the defense knobs on every
+        client query (REFUSED/NXDOMAIN/sinkhole verdicts answered
+        locally, zone routes seeding resolution at the routed
+        upstream) and on every outbound answer (rewrite hook).
+        Restarted resolutions (CNAME chase, stale-cache retry) fall
+        back to the root servers even for routed zones.
         """
         if not root_servers:
             raise ValueError("need at least one root server address")
@@ -145,6 +155,7 @@ class RecursiveResolver:
         self.max_negative_entries = max_negative_entries
         self.max_glueless = max_glueless
         self.max_pending = max_pending
+        self.policy = policy
         self.root_servers = list(root_servers)
         self.cache = cache if cache is not None else DnsCache()
         self.timeout = timeout
@@ -199,6 +210,33 @@ class RecursiveResolver:
                 datagram.reply(version_bind_response(query, self.version_banner))
             )
             return
+        route_servers: list[str] | None = None
+        if self.policy is not None:
+            decision = self.policy.evaluate_query(datagram.src_ip, query.qname)
+            if decision.action is PolicyAction.REFUSE:
+                self._reply(
+                    datagram, make_response(query, rcode=Rcode.REFUSED, ra=True)
+                )
+                return
+            if decision.action is PolicyAction.NXDOMAIN:
+                self.stats.nxdomain += 1
+                self._reply(
+                    datagram, make_response(query, rcode=Rcode.NXDOMAIN, ra=True)
+                )
+                return
+            if decision.action is PolicyAction.SINKHOLE:
+                self.stats.answered += 1
+                self._reply(
+                    datagram,
+                    make_response(
+                        query,
+                        answers=[self.policy.sinkhole_answer(query.qname)],
+                        ra=True,
+                    ),
+                )
+                return
+            if decision.action is PolicyAction.ROUTE:
+                route_servers = [decision.target]
         if self.query_quota is not None and not self.query_quota.allow(
             datagram.src_ip, network.now
         ):
@@ -241,7 +279,7 @@ class RecursiveResolver:
             query=query,
             qname=question.qname,
             qtype=int(question.qtype),
-            servers=list(self.root_servers),
+            servers=route_servers if route_servers is not None else list(self.root_servers),
         )
         if self.record_traces:
             pending.trace = ResolutionTrace(question.qname)
@@ -473,6 +511,8 @@ class RecursiveResolver:
 
     def _reply(self, client: Datagram, response: DnsMessage) -> None:
         network = self._require_network()
+        if self.policy is not None:
+            response = self.policy.rewrite_response(response)
         if self.rate_limiter is not None and not self.rate_limiter.allow(
             client.src_ip, network.now
         ):

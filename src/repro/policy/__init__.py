@@ -1,0 +1,37 @@
+"""Deterministic filtering-resolver policy (the paper's rewriting
+behaviors as first-class, reproducible configuration)."""
+
+from repro.policy.config import (
+    DEFAULT_SINKHOLE_IP,
+    PolicyConfig,
+    PolicyError,
+    build_policy,
+    load_policy_file,
+    parse_zone_route,
+    threat_feed_policy,
+)
+from repro.policy.engine import (
+    ALLOW_DEFAULT,
+    PolicyAction,
+    PolicyDecision,
+    PolicyEngine,
+    PolicyStats,
+)
+from repro.policy.report import DECISIONS_HEADER, render_policy_decisions
+
+__all__ = [
+    "ALLOW_DEFAULT",
+    "DECISIONS_HEADER",
+    "DEFAULT_SINKHOLE_IP",
+    "PolicyAction",
+    "PolicyConfig",
+    "PolicyDecision",
+    "PolicyEngine",
+    "PolicyError",
+    "PolicyStats",
+    "build_policy",
+    "load_policy_file",
+    "parse_zone_route",
+    "render_policy_decisions",
+    "threat_feed_policy",
+]

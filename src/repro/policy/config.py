@@ -1,0 +1,235 @@
+"""Declarative policy configuration for the filtering resolver.
+
+A :class:`PolicyConfig` is a frozen, order-significant rule set: client
+allow/block lists (CIDR), geo/ASN predicates resolved through
+:class:`repro.threatintel.geo.GeoDatabase`, qname block and sinkhole
+suffix lists, per-zone forwarding routes, and the response-rewriting
+behaviors the paper observed in the wild (NXDOMAIN rewriting, ad
+injection — sections V-VI). The config is pure data: the same config
+applied to the same query stream produces the same decisions on every
+transport backend and campaign engine.
+
+Configs come from three places, merged in order:
+
+* a JSON policy file (``load_policy_file``),
+* CLI flags (``build_policy`` — the ``repro serve`` surface),
+* a threat-intel feed (``threat_feed_policy`` — cymon-reported
+  addresses become client blocks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.dnslib.names import DnsNameError, normalize_name
+from repro.netsim.ipv4 import Ipv4Block
+from repro.threatintel.cymon import CymonDatabase
+
+#: Where sinkholed names resolve to unless the policy says otherwise
+#: (TEST-NET-3, guaranteed non-routable).
+DEFAULT_SINKHOLE_IP = "203.0.113.253"
+
+
+class PolicyError(ValueError):
+    """Raised for malformed policy configuration."""
+
+
+def _normalize_suffix(name: str) -> str:
+    try:
+        return normalize_name(name)
+    except DnsNameError as exc:
+        raise PolicyError(f"bad policy qname {name!r}: {exc}") from exc
+
+
+def _check_cidr(cidr: str) -> str:
+    try:
+        Ipv4Block.parse(cidr)
+    except ValueError as exc:
+        raise PolicyError(f"bad policy CIDR {cidr!r}: {exc}") from exc
+    return cidr
+
+
+def _check_ip(ip: str, what: str) -> str:
+    try:
+        block = Ipv4Block.parse(ip)
+    except ValueError as exc:
+        raise PolicyError(f"bad policy {what} {ip!r}: {exc}") from exc
+    if block.prefix != 32:
+        raise PolicyError(f"policy {what} must be a host address, got {ip!r}")
+    return ip
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyConfig:
+    """One filtering-resolver rule set (see module docstring).
+
+    Every sequence field is normalized to a tuple so configs hash and
+    compare by value; rule order within a field is significant (first
+    match wins) and list fields preserve the order given.
+    """
+
+    #: Client CIDRs exempt from every block rule (checked first).
+    allow_clients: tuple[str, ...] = ()
+    #: Client CIDRs answered REFUSED.
+    block_clients: tuple[str, ...] = ()
+    #: ISO alpha-2 country codes answered REFUSED (needs a GeoDatabase).
+    block_countries: tuple[str, ...] = ()
+    #: Origin ASNs answered REFUSED (needs a GeoDatabase).
+    block_asns: tuple[int, ...] = ()
+    #: Qname suffixes answered NXDOMAIN (domain blocklist).
+    block_qnames: tuple[str, ...] = ()
+    #: First-label prefixes answered NXDOMAIN (random-subdomain filter).
+    block_label_prefixes: tuple[str, ...] = ()
+    #: Qname suffixes answered with a synthesized A record.
+    sinkhole_qnames: tuple[str, ...] = ()
+    sinkhole_ip: str = DEFAULT_SINKHOLE_IP
+    sinkhole_ttl: int = 60
+    #: (zone suffix, upstream ip) pairs; the longest matching zone wins.
+    zone_routes: tuple[tuple[str, str], ...] = ()
+    #: Rewrite upstream NXDOMAIN answers to this address (paper section V).
+    rewrite_nxdomain_to: str | None = None
+    rewrite_nxdomain_ttl: int = 30
+    #: Replace the answers for these qname suffixes with ``inject_ad_ip``.
+    inject_ad_qnames: tuple[str, ...] = ()
+    inject_ad_ip: str | None = None
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        set_(self, "allow_clients", tuple(_check_cidr(c) for c in self.allow_clients))
+        set_(self, "block_clients", tuple(_check_cidr(c) for c in self.block_clients))
+        set_(self, "block_countries", tuple(c.upper() for c in self.block_countries))
+        set_(self, "block_asns", tuple(int(a) for a in self.block_asns))
+        set_(self, "block_qnames", tuple(_normalize_suffix(q) for q in self.block_qnames))
+        set_(self, "block_label_prefixes", tuple(p.lower() for p in self.block_label_prefixes))
+        set_(self, "sinkhole_qnames", tuple(_normalize_suffix(q) for q in self.sinkhole_qnames))
+        _check_ip(self.sinkhole_ip, "sinkhole_ip")
+        routes = []
+        for pair in self.zone_routes:
+            zone, upstream = pair
+            routes.append((_normalize_suffix(zone), _check_ip(upstream, "zone-route upstream")))
+        set_(self, "zone_routes", tuple(routes))
+        if self.rewrite_nxdomain_to is not None:
+            _check_ip(self.rewrite_nxdomain_to, "rewrite_nxdomain_to")
+        set_(self, "inject_ad_qnames", tuple(_normalize_suffix(q) for q in self.inject_ad_qnames))
+        if self.inject_ad_ip is not None:
+            _check_ip(self.inject_ad_ip, "inject_ad_ip")
+        if self.sinkhole_ttl < 0 or self.rewrite_nxdomain_ttl < 0:
+            raise PolicyError("policy TTLs must be non-negative")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no rule can ever fire (policy is a no-op)."""
+        return not (
+            self.allow_clients
+            or self.block_clients
+            or self.block_countries
+            or self.block_asns
+            or self.block_qnames
+            or self.block_label_prefixes
+            or self.sinkhole_qnames
+            or self.zone_routes
+            or self.rewrite_nxdomain_to is not None
+            or (self.inject_ad_qnames and self.inject_ad_ip is not None)
+        )
+
+    def to_document(self) -> dict:
+        """The config as a JSON-serializable document."""
+        doc = dataclasses.asdict(self)
+        doc["zone_routes"] = [list(pair) for pair in self.zone_routes]
+        for key, value in list(doc.items()):
+            if isinstance(value, tuple):
+                doc[key] = list(value)
+        return doc
+
+    @classmethod
+    def from_document(cls, doc: dict) -> "PolicyConfig":
+        """Build a config from a policy-file document (strict keys)."""
+        if not isinstance(doc, dict):
+            raise PolicyError(f"policy document must be an object, got {type(doc).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise PolicyError(f"unknown policy keys: {', '.join(unknown)}")
+        kwargs = dict(doc)
+        routes = kwargs.get("zone_routes")
+        if isinstance(routes, dict):
+            kwargs["zone_routes"] = tuple(sorted(routes.items()))
+        elif routes is not None:
+            kwargs["zone_routes"] = tuple(tuple(pair) for pair in routes)
+        return cls(**kwargs)
+
+
+def load_policy_file(path: str | Path) -> PolicyConfig:
+    """Load a JSON policy document (the ``--policy-file`` format)."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PolicyError(f"cannot load policy file {path}: {exc}") from exc
+    return PolicyConfig.from_document(doc)
+
+
+def parse_zone_route(spec: str) -> tuple[str, str]:
+    """Parse a ``ZONE=UPSTREAM_IP`` route flag."""
+    zone, sep, upstream = spec.partition("=")
+    if not sep or not zone or not upstream:
+        raise PolicyError(f"bad zone route {spec!r} (expected ZONE=UPSTREAM_IP)")
+    return (_normalize_suffix(zone), _check_ip(upstream, "zone-route upstream"))
+
+
+def build_policy(
+    policy_file: str | None = None,
+    block: tuple[str, ...] = (),
+    sinkhole: tuple[str, ...] = (),
+    zone_route: tuple[str, ...] = (),
+    sinkhole_ip: str | None = None,
+) -> PolicyConfig | None:
+    """Merge the ``repro serve`` policy flags into one config.
+
+    ``--block`` items are classified by shape: anything that parses as
+    an address or CIDR blocks the *client*; everything else blocks the
+    *qname* suffix. Returns ``None`` when nothing was configured, which
+    keeps the policy-off serving paths byte-identical to a build
+    without this module.
+    """
+    base = load_policy_file(policy_file) if policy_file else PolicyConfig()
+    block_clients = list(base.block_clients)
+    block_qnames = list(base.block_qnames)
+    for item in block:
+        try:
+            Ipv4Block.parse(item)
+        except ValueError:
+            block_qnames.append(_normalize_suffix(item))
+        else:
+            block_clients.append(item)
+    merged = dataclasses.replace(
+        base,
+        block_clients=tuple(block_clients),
+        block_qnames=tuple(block_qnames),
+        sinkhole_qnames=base.sinkhole_qnames + tuple(sinkhole),
+        zone_routes=base.zone_routes + tuple(parse_zone_route(spec) for spec in zone_route),
+        sinkhole_ip=sinkhole_ip if sinkhole_ip is not None else base.sinkhole_ip,
+    )
+    return None if merged.is_empty else merged
+
+
+def threat_feed_policy(
+    cymon: CymonDatabase,
+    base: PolicyConfig | None = None,
+    categories: tuple[str, ...] | None = None,
+) -> PolicyConfig:
+    """Extend ``base`` with client blocks from a cymon threat feed.
+
+    Every address the feed reports (optionally filtered to the given
+    categories) is appended to ``block_clients``, sorted for
+    determinism regardless of report insertion order.
+    """
+    base = base if base is not None else PolicyConfig()
+    wanted = {c.lower() for c in categories} if categories is not None else None
+    addresses = set()
+    for report in cymon.all_reports():
+        if wanted is None or report.category.value.lower() in wanted:
+            addresses.add(report.ip)
+    new = tuple(addr for addr in sorted(addresses) if addr not in base.block_clients)
+    return dataclasses.replace(base, block_clients=base.block_clients + new)

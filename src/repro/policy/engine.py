@@ -1,0 +1,228 @@
+"""The policy engine: deterministic per-query and per-answer decisions.
+
+One :class:`PolicyEngine` sits in front of a serving path (recursive
+resolver, forwarding proxy, or behavior host). ``evaluate_query`` is
+called once per inbound client query and returns a
+:class:`PolicyDecision`; ``rewrite_response`` is called on every
+outbound answer and applies the configured rewriting behaviors. Both
+are pure functions of (config, query) plus an optional
+:class:`~repro.threatintel.geo.GeoDatabase` for the geo/ASN
+predicates, so decisions are identical across transport backends and
+campaign engines by construction.
+
+Rule precedence (first match wins)::
+
+    allow-client > block-client > block-country > block-asn
+    > block-qname > block-label > sinkhole > zone-route > default
+
+The engine counts every decision per rule; ``decision_rows`` renders
+the counts as the policy-decision table folded into reports and
+telemetry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
+from repro.dnslib.message import DnsMessage
+from repro.dnslib.records import AData, ResourceRecord
+from repro.netsim.ipv4 import Ipv4Block, ip_to_int
+from repro.policy.config import PolicyConfig
+from repro.threatintel.geo import GeoDatabase
+
+
+class PolicyAction(enum.Enum):
+    """What the serving path should do with a client query."""
+
+    ALLOW = "allow"
+    REFUSE = "refuse"
+    NXDOMAIN = "nxdomain"
+    SINKHOLE = "sinkhole"
+    ROUTE = "route"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyDecision:
+    """One verdict: the action, the rule that fired, and its target.
+
+    ``target`` is the sinkhole address for SINKHOLE and the upstream
+    address for ROUTE; None otherwise.
+    """
+
+    action: PolicyAction
+    rule: str
+    target: str | None = None
+
+
+#: The verdict when no rule fires (shared; decisions are immutable).
+ALLOW_DEFAULT = PolicyDecision(PolicyAction.ALLOW, "default")
+
+
+@dataclasses.dataclass
+class PolicyStats:
+    """Decision counters, one per action plus the rewrite hook."""
+
+    evaluated: int = 0
+    allowed: int = 0
+    refused: int = 0
+    nxdomain: int = 0
+    sinkholed: int = 0
+    routed: int = 0
+    rewritten: int = 0
+
+
+def _suffix_match(qname: str, suffix: str) -> bool:
+    return suffix == "" or qname == suffix or qname.endswith("." + suffix)
+
+
+class PolicyEngine:
+    """Evaluates one :class:`PolicyConfig` (see module docstring)."""
+
+    def __init__(self, config: PolicyConfig, geo: GeoDatabase | None = None) -> None:
+        self.config = config
+        self.geo = geo
+        self.stats = PolicyStats()
+        self._allow_blocks = tuple(Ipv4Block.parse(c) for c in config.allow_clients)
+        self._client_blocks = tuple(Ipv4Block.parse(c) for c in config.block_clients)
+        self._blocked_countries = frozenset(config.block_countries)
+        self._blocked_asns = frozenset(config.block_asns)
+        # Longest zone (most labels) wins; ties break lexically so the
+        # route order in the config never changes the outcome.
+        self._routes = sorted(
+            config.zone_routes, key=lambda route: (-route[0].count("."), route[0])
+        )
+        self._decisions: dict[tuple[str, str], int] = {}
+
+    def _record(self, decision: PolicyDecision) -> PolicyDecision:
+        self._count(decision.rule, decision.action.value)
+        return decision
+
+    def _count(self, rule: str, action: str) -> None:
+        key = (rule, action)
+        self._decisions[key] = self._decisions.get(key, 0) + 1
+
+    def evaluate_query(self, client_ip: str, qname: str | None) -> PolicyDecision:
+        """The verdict for one client query (see precedence above).
+
+        ``qname`` may be None (empty question section); qname rules are
+        skipped for such queries but client rules still apply.
+        """
+        config = self.config
+        stats = self.stats
+        stats.evaluated += 1
+        client_value = ip_to_int(client_ip)
+        for block, cidr in zip(self._allow_blocks, config.allow_clients):
+            if client_value in block:
+                stats.allowed += 1
+                return self._record(PolicyDecision(PolicyAction.ALLOW, f"allow-client:{cidr}"))
+        for block, cidr in zip(self._client_blocks, config.block_clients):
+            if client_value in block:
+                stats.refused += 1
+                return self._record(PolicyDecision(PolicyAction.REFUSE, f"block-client:{cidr}"))
+        if self.geo is not None and (self._blocked_countries or self._blocked_asns):
+            entry = self.geo.lookup(client_ip)
+            if entry is not None:
+                if entry.country in self._blocked_countries:
+                    stats.refused += 1
+                    return self._record(
+                        PolicyDecision(PolicyAction.REFUSE, f"block-country:{entry.country}")
+                    )
+                if entry.asn in self._blocked_asns:
+                    stats.refused += 1
+                    return self._record(
+                        PolicyDecision(PolicyAction.REFUSE, f"block-asn:{entry.asn}")
+                    )
+        if qname is not None:
+            lowered = qname.lower().rstrip(".")
+            for suffix in config.block_qnames:
+                if _suffix_match(lowered, suffix):
+                    stats.nxdomain += 1
+                    return self._record(
+                        PolicyDecision(PolicyAction.NXDOMAIN, f"block-qname:{suffix}")
+                    )
+            first_label = lowered.split(".", 1)[0]
+            for prefix in config.block_label_prefixes:
+                if first_label.startswith(prefix):
+                    stats.nxdomain += 1
+                    return self._record(
+                        PolicyDecision(PolicyAction.NXDOMAIN, f"block-label:{prefix}")
+                    )
+            for suffix in config.sinkhole_qnames:
+                if _suffix_match(lowered, suffix):
+                    stats.sinkholed += 1
+                    return self._record(
+                        PolicyDecision(
+                            PolicyAction.SINKHOLE, f"sinkhole:{suffix}", config.sinkhole_ip
+                        )
+                    )
+            for zone, upstream in self._routes:
+                if _suffix_match(lowered, zone):
+                    stats.routed += 1
+                    return self._record(
+                        PolicyDecision(PolicyAction.ROUTE, f"route:{zone}", upstream)
+                    )
+        stats.allowed += 1
+        return self._record(ALLOW_DEFAULT)
+
+    def sinkhole_answer(self, qname: str) -> ResourceRecord:
+        """The synthesized A record for a sinkholed qname."""
+        return ResourceRecord(
+            qname, QueryType.A, DnsClass.IN, self.config.sinkhole_ttl,
+            AData(self.config.sinkhole_ip),
+        )
+
+    def rewrite_response(self, response: DnsMessage) -> DnsMessage:
+        """Apply the configured answer-rewriting behaviors.
+
+        Returns the response unchanged (same object) when no rewrite
+        rule applies, so the policy-off and no-match paths stay
+        byte-identical. NXDOMAIN rewriting (paper section V) replaces
+        the error with a NOERROR A answer; ad injection (section VI)
+        replaces the answers for matching qnames.
+        """
+        config = self.config
+        qname = response.qname
+        if qname is None:
+            return response
+        if config.rewrite_nxdomain_to is not None and response.header.rcode == Rcode.NXDOMAIN:
+            self.stats.rewritten += 1
+            self._count("rewrite-nxdomain", "rewrite")
+            return dataclasses.replace(
+                response,
+                header=dataclasses.replace(response.header, rcode=Rcode.NOERROR),
+                answers=[
+                    ResourceRecord(
+                        qname, QueryType.A, DnsClass.IN, config.rewrite_nxdomain_ttl,
+                        AData(config.rewrite_nxdomain_to),
+                    )
+                ],
+                authorities=[],
+            )
+        if config.inject_ad_ip is not None and response.header.rcode == Rcode.NOERROR:
+            lowered = qname.lower().rstrip(".")
+            for suffix in config.inject_ad_qnames:
+                if _suffix_match(lowered, suffix):
+                    self.stats.rewritten += 1
+                    self._count(f"inject-ad:{suffix}", "rewrite")
+                    return dataclasses.replace(
+                        response,
+                        answers=[
+                            ResourceRecord(
+                                qname, QueryType.A, DnsClass.IN, config.sinkhole_ttl,
+                                AData(config.inject_ad_ip),
+                            )
+                        ],
+                    )
+        return response
+
+    def decision_rows(self) -> list[tuple[str, str, int]]:
+        """(rule, action, count) rows, sorted for stable rendering."""
+        return [
+            (rule, action, count)
+            for (rule, action), count in sorted(self._decisions.items())
+        ]

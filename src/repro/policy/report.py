@@ -1,0 +1,38 @@
+"""Rendering for policy decisions.
+
+``render_policy_decisions`` turns one engine's decision counters into
+the fixed-width table appended to serve summaries and campaign
+reports. Column widths are fixed so the output is byte-stable across
+runs with the same decisions.
+"""
+
+from __future__ import annotations
+
+from repro.policy.engine import PolicyEngine
+
+#: First line of every policy-decision table (grep anchor for tests).
+DECISIONS_HEADER = "Policy decisions"
+
+_RULE_WIDTH = 34
+_ACTION_WIDTH = 10
+
+
+def render_policy_decisions(engine: PolicyEngine) -> str:
+    """The decision table for one engine (one serving front)."""
+    lines = [DECISIONS_HEADER, "=" * len(DECISIONS_HEADER), ""]
+    lines.append(f"{'rule':<{_RULE_WIDTH}} {'action':<{_ACTION_WIDTH}} {'count':>8}")
+    lines.append("-" * (_RULE_WIDTH + _ACTION_WIDTH + 10))
+    rows = engine.decision_rows()
+    if not rows:
+        lines.append("(no queries evaluated)")
+    for rule, action, count in rows:
+        lines.append(f"{rule:<{_RULE_WIDTH}} {action:<{_ACTION_WIDTH}} {count:>8}")
+    stats = engine.stats
+    lines.append("")
+    lines.append(
+        f"evaluated={stats.evaluated} allowed={stats.allowed} "
+        f"refused={stats.refused} nxdomain={stats.nxdomain} "
+        f"sinkholed={stats.sinkholed} routed={stats.routed} "
+        f"rewritten={stats.rewritten}"
+    )
+    return "\n".join(lines)

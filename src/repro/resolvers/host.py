@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.dnslib.chaos import VERSION_BIND, is_version_bind_query, version_bind_response
-from repro.dnslib.constants import DnsClass, QueryType
+from repro.dnslib.constants import DnsClass, QueryType, Rcode
 from repro.dnslib.fastwire import (
     FastQuery,
     TemplateCache,
@@ -38,6 +38,7 @@ from repro.dnslib.records import (
 )
 from repro.dnslib.signing import verify_rrsig
 from repro.dnslib.wire import DnsWireError, decode_message, encode_message
+from repro.policy.engine import PolicyAction
 from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
 from repro.netsim.packet import Datagram
 from repro.transport.base import Transport
@@ -77,12 +78,21 @@ class BehaviorHost:
         upstream_port: int = HOST_UPSTREAM_PORT,
         auth_port: int = 53,
         forward_port: int = 53,
+        policy=None,
     ) -> None:
         """``upstream_port`` is the host's source port toward the auth
         server (0 on the socket backend picks an ephemeral one);
         ``auth_port`` is where that server listens; ``forward_port``
         is where a TRANSPARENT spec's ``forward_to`` upstream listens.
-        Defaults are the historical simulator values."""
+        Defaults are the historical simulator values.
+
+        ``policy`` is an optional :class:`~repro.policy.engine
+        .PolicyEngine`. A policied host takes the full-codec path for
+        every query (the fast template cache cannot express per-query
+        verdicts): block/sinkhole verdicts are answered locally, zone
+        routes redirect the upstream (RESOLVE) or forward (TRANSPARENT)
+        target, and outbound answers pass the rewrite hook — except
+        MALFORMED wires, which are not decodable to rewrite."""
         self.ip = ip
         self.spec = spec
         self.auth_ip = auth_ip
@@ -91,6 +101,7 @@ class BehaviorHost:
         self.upstream_port = upstream_port
         self.auth_port = auth_port
         self.forward_port = forward_port
+        self.policy = policy
         self._network: Transport | None = None
         self._pending: dict[int, _PendingProbe] = {}
         self._next_id = 1
@@ -128,6 +139,12 @@ class BehaviorHost:
     # -- query path ------------------------------------------------------
 
     def handle_query(self, datagram: Datagram, network: Transport) -> None:
+        if self.policy is not None:
+            # Policy verdicts are per-query; the template fast path
+            # cannot express them, so policied hosts always take the
+            # full-codec route.
+            self._handle_query_slow(datagram, network)
+            return
         fast_query = parse_simple_query(datagram.payload)
         if fast_query is None:
             self._handle_query_slow(datagram, network)
@@ -201,6 +218,13 @@ class BehaviorHost:
                 datagram.reply(version_bind_response(query, self.version_banner))
             )
             return
+        route_ip: str | None = None
+        if self.policy is not None:
+            decision = self.policy.evaluate_query(datagram.src_ip, query.qname)
+            if self._policy_answer(datagram, query, decision, network):
+                return
+            if decision.action is PolicyAction.ROUTE:
+                route_ip = decision.target
         if self.spec.mode is ResponseMode.TRANSPARENT:
             qname = query.qname
             ghost = None
@@ -209,7 +233,7 @@ class BehaviorHost:
                     make_query(qname, qtype=query.questions[0].qtype,
                                msg_id=0, recursion_desired=False)
                 )
-            self._relay_transparent(datagram, ghost, network)
+            self._relay_transparent(datagram, ghost, network, forward_ip=route_ip)
             return
         if self.spec.mode is ResponseMode.FABRICATE:
             self._respond(datagram, query, resolved=None)
@@ -218,6 +242,7 @@ class BehaviorHost:
         if qname is None:
             self._respond(datagram, query, resolved=None)
             return
+        auth_ip = route_ip if route_ip is not None else self.auth_ip
         qtype = query.questions[0].qtype
         msg_id = self._next_id
         self._next_id = self._next_id % 0xFFFF + 1
@@ -225,7 +250,7 @@ class BehaviorHost:
         upstream = make_query(qname, qtype=qtype, msg_id=msg_id,
                               recursion_desired=False)
         network.send(
-            Datagram(self.ip, self.upstream_port, self.auth_ip,
+            Datagram(self.ip, self.upstream_port, auth_ip,
                      self.auth_port, encode_message(upstream))
         )
         # Resolver-farm / retry duplicates: extra upstream queries whose
@@ -234,12 +259,41 @@ class BehaviorHost:
             ghost = make_query(qname, qtype=qtype, msg_id=0,
                                recursion_desired=False)
             network.send(
-                Datagram(self.ip, self.upstream_port, self.auth_ip,
+                Datagram(self.ip, self.upstream_port, auth_ip,
                          self.auth_port, encode_message(ghost))
             )
 
+    def _policy_answer(
+        self,
+        datagram: Datagram,
+        query: DnsMessage,
+        decision,
+        network: Transport,
+    ) -> bool:
+        """Answer a blocked/sinkholed query locally; True when handled."""
+        if decision.action is PolicyAction.REFUSE:
+            response = make_response(query, rcode=Rcode.REFUSED, ra=self.spec.ra)
+        elif decision.action is PolicyAction.NXDOMAIN:
+            response = make_response(query, rcode=Rcode.NXDOMAIN, ra=self.spec.ra)
+        elif decision.action is PolicyAction.SINKHOLE:
+            response = make_response(
+                query,
+                answers=[self.policy.sinkhole_answer(query.qname)],
+                ra=self.spec.ra,
+            )
+        else:
+            return False
+        response = self.policy.rewrite_response(response)
+        self.responses_sent += 1
+        network.send(datagram.reply(encode_message(response)))
+        return True
+
     def _relay_transparent(
-        self, datagram: Datagram, ghost: bytes | None, network: Transport
+        self,
+        datagram: Datagram,
+        ghost: bytes | None,
+        network: Transport,
+        forward_ip: str | None = None,
     ) -> None:
         """Relay the query upstream with the *client's* source address.
 
@@ -252,7 +306,8 @@ class BehaviorHost:
         network.send(
             Datagram(
                 datagram.src_ip, datagram.src_port,
-                self.spec.forward_to, self.forward_port, datagram.payload,
+                forward_ip if forward_ip is not None else self.spec.forward_to,
+                self.forward_port, datagram.payload,
             ),
             origin=self.ip,
         )
@@ -423,6 +478,8 @@ class BehaviorHost:
             ad=ad,
             copy_question=not spec.empty_question,
         )
+        if self.policy is not None:
+            response = self.policy.rewrite_response(response)
         return encode_message(response)
 
     def _answers_for(

@@ -35,6 +35,7 @@ class GeoDatabase:
         self._entries: list[GeoEntry] = []
         self._starts: list[int] = []
         self._sorted: list[GeoEntry] = []
+        self._max_span = 1
         self._dirty = False
         self.lookups = 0
 
@@ -57,6 +58,11 @@ class GeoDatabase:
             self._entries, key=lambda entry: (entry.block.first, entry.block.prefix)
         )
         self._starts = [entry.block.first for entry in self._sorted]
+        # Widest registered block, in addresses: the backward scan may
+        # stop once even a block this large starting at the current
+        # entry's address could not reach the lookup address.
+        min_prefix = min((entry.block.prefix for entry in self._sorted), default=32)
+        self._max_span = 1 << (32 - min_prefix)
         self._dirty = False
 
     def lookup(self, ip: str) -> GeoEntry | None:
@@ -72,11 +78,15 @@ class GeoDatabase:
             if value in entry.block:
                 if best is None or entry.block.prefix > best.block.prefix:
                     best = entry
-            elif entry.block.last < value and best is not None:
+            elif best is not None:
+                # CIDR blocks nest: any earlier covering block strictly
+                # contains this one's range and ``best``, so it is less
+                # specific than ``best`` and cannot win.
                 break
-            elif entry.block.last < value and entry.block.prefix <= 8:
-                # No covering block can start earlier than a /8 that ends
-                # before the address.
+            elif entry.block.first + self._max_span - 1 < value:
+                # Earlier entries start no later than this one; even the
+                # widest registered block starting here falls short of
+                # the address, so no earlier block can cover it.
                 break
             index -= 1
         return best

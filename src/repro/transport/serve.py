@@ -62,6 +62,9 @@ from repro.dnssec.validation import (
     SigningAuthoritativeServer,
     build_validation_zone,
 )
+from repro.policy.config import build_policy
+from repro.policy.engine import PolicyEngine
+from repro.policy.report import render_policy_decisions
 from repro.resolvers.behavior import AnswerKind, BehaviorSpec, ResponseMode
 from repro.resolvers.host import BehaviorHost
 from repro.telemetry.hub import TelemetryHub
@@ -117,6 +120,14 @@ class ServeConfig:
     auto-picks the shared hierarchy port on socket backends and uses 53
     on the simulator. The defense knobs mirror the recursive resolver's
     constructor; zero/None disables each.
+
+    The policy knobs (``policy_file``, ``block``, ``sinkhole``,
+    ``zone_route``, ``sinkhole_ip``) merge into one
+    :class:`~repro.policy.config.PolicyConfig` via
+    :func:`~repro.policy.config.build_policy`; all empty means no
+    engine is built and the serving paths are byte-identical to a
+    policy-less build. ``eviction_horizon`` bounds how long the
+    forwarder profile remembers an unanswered upstream relay.
     """
 
     profile: str = "recursive"
@@ -131,6 +142,12 @@ class ServeConfig:
     max_glueless: int = 0
     timeout: float = 2.0
     drain_grace: float = 3.0
+    eviction_horizon: float = 10.0
+    policy_file: str | None = None
+    block: tuple[str, ...] = ()
+    sinkhole: tuple[str, ...] = ()
+    zone_route: tuple[str, ...] = ()
+    sinkhole_ip: str | None = None
     metrics_out: str | None = None
     ready_file: str | None = None
 
@@ -141,6 +158,19 @@ class ServeConfig:
             )
         if self.drain_grace < 0:
             raise ValueError("drain_grace must be non-negative")
+        if self.eviction_horizon <= 0:
+            raise ValueError("eviction_horizon must be positive")
+
+    def build_policy_engine(self) -> PolicyEngine | None:
+        """The front's policy engine, or None when nothing is configured."""
+        policy = build_policy(
+            policy_file=self.policy_file,
+            block=self.block,
+            sinkhole=self.sinkhole,
+            zone_route=self.zone_route,
+            sinkhole_ip=self.sinkhole_ip,
+        )
+        return PolicyEngine(policy) if policy is not None else None
 
 
 @dataclasses.dataclass
@@ -158,6 +188,7 @@ class ServingWorld:
     tld: DelegationServer
     upstream: RecursiveResolver | None = None
     infra_port: int = 0
+    policy: PolicyEngine | None = None
 
     @property
     def endpoint(self) -> Endpoint | None:
@@ -186,8 +217,22 @@ class ServingWorld:
                 front.queries_received
             )
             registry.counter("serve.answered").inc(front.responses_sent)
+        if isinstance(front, ForwardingResolver):
+            registry.counter("serve.answered_locally").inc(front.answered_locally)
+            registry.counter("serve.evicted").inc(front.evicted)
+            registry.counter("serve.txid_collisions").inc(front.txid_collisions)
+            registry.counter("serve.txid_exhausted").inc(front.txid_exhausted)
         if self.upstream is not None:
             self._fold_resolver(registry, "serve.upstream", self.upstream)
+        if self.policy is not None:
+            stats = self.policy.stats
+            for name in (
+                "evaluated", "allowed", "refused", "nxdomain",
+                "sinkholed", "routed", "rewritten",
+            ):
+                registry.counter(f"policy.{name}").inc(getattr(stats, name))
+            for rule, action, count in self.policy.decision_rows():
+                registry.counter(f"policy.decision.{rule}.{action}").inc(count)
         registry.counter("auth.queries_served").inc(self.auth.queries_served)
         registry.counter("serve.referrals_served").inc(
             self.root.queries_served + self.tld.queries_served
@@ -282,19 +327,22 @@ def build_world(
             **knobs,
         )
 
+    policy = config.build_policy_engine()
     upstream: RecursiveResolver | None = None
     if config.profile == "recursive":
         front: RecursiveResolver | ForwardingResolver | BehaviorHost = (
-            make_recursive(config.ip)
+            make_recursive(config.ip, policy=policy)
         )
     elif config.profile == "forwarder":
         # The proxy's defenses live on the proxy's upstream here —
-        # the CPE box itself is dumb, as in the wild.
+        # the CPE box itself is dumb, as in the wild. Policy, though,
+        # lives on the CPE: it filters before anything is relayed.
         upstream = make_recursive(UPSTREAM_IP)
         upstream.attach(transport, infra_port)
         front = ForwardingResolver(
             config.ip, UPSTREAM_IP,
             forward_port=0, upstream_port=infra_port,
+            policy=policy, eviction_horizon=config.eviction_horizon,
         )
     elif config.profile == "transparent":
         upstream = make_recursive(UPSTREAM_IP)
@@ -308,7 +356,7 @@ def build_world(
         front = BehaviorHost(
             config.ip, spec, AUTH_IP,
             upstream_port=0, auth_port=infra_port,
-            forward_port=infra_port,
+            forward_port=infra_port, policy=policy,
         )
     else:  # dnssec
         spec = BehaviorSpec(
@@ -321,12 +369,13 @@ def build_world(
             config.ip, spec, AUTH_IP,
             dnssec_validating=True,
             upstream_port=0, auth_port=infra_port,
+            policy=policy,
         )
     listener = front.attach(transport, config.port)
     return ServingWorld(
         config=config, transport=transport, front=front, listener=listener,
         auth=auth, root=root, tld=tld, upstream=upstream,
-        infra_port=infra_port,
+        infra_port=infra_port, policy=policy,
     )
 
 
@@ -434,7 +483,10 @@ class DnsService:
         answered = snapshot.counters.get("serve.answered", 0)
         left = self.world.pending() if self.world is not None else 0
         note = "clean" if left == 0 else f"{left} still pending"
-        return f"drained ({note}): {queries} queries, {answered} answered"
+        summary = f"drained ({note}): {queries} queries, {answered} answered"
+        if self.world is not None and self.world.policy is not None:
+            summary += "\n\n" + render_policy_decisions(self.world.policy)
+        return summary
 
     # -- background (tests/benchmarks) -----------------------------------
 

@@ -1,0 +1,163 @@
+"""PolicyConfig: validation, normalization, documents, flag merging."""
+
+import json
+
+import pytest
+
+from repro.policy.config import (
+    DEFAULT_SINKHOLE_IP,
+    PolicyConfig,
+    PolicyError,
+    build_policy,
+    load_policy_file,
+    parse_zone_route,
+    threat_feed_policy,
+)
+from repro.threatintel.cymon import CymonDatabase, ThreatCategory
+
+
+class TestValidation:
+    def test_qnames_are_normalized(self):
+        config = PolicyConfig(block_qnames=("BAD.Example.",))
+        assert config.block_qnames == ("bad.example",)
+
+    def test_countries_uppercased_prefixes_lowercased(self):
+        config = PolicyConfig(
+            block_countries=("cn", "Ru"), block_label_prefixes=("WT",)
+        )
+        assert config.block_countries == ("CN", "RU")
+        assert config.block_label_prefixes == ("wt",)
+
+    def test_bad_cidr_rejected(self):
+        with pytest.raises(PolicyError, match="CIDR"):
+            PolicyConfig(block_clients=("300.0.0.0/8",))
+
+    def test_sinkhole_ip_must_be_host_address(self):
+        with pytest.raises(PolicyError, match="host address"):
+            PolicyConfig(sinkhole_ip="10.0.0.0/8")
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(PolicyError, match="non-negative"):
+            PolicyConfig(sinkhole_ttl=-1)
+
+    def test_is_empty(self):
+        assert PolicyConfig().is_empty
+        assert not PolicyConfig(block_qnames=("x.test",)).is_empty
+        # Ad qnames without an address can never fire: still empty.
+        assert PolicyConfig(inject_ad_qnames=("ads.test",)).is_empty
+        assert not PolicyConfig(
+            inject_ad_qnames=("ads.test",), inject_ad_ip="198.51.100.9"
+        ).is_empty
+
+
+class TestDocuments:
+    def test_round_trip(self):
+        config = PolicyConfig(
+            block_clients=("192.0.2.0/24",),
+            block_qnames=("bad.example",),
+            zone_routes=(("corp.example", "10.9.9.9"),),
+            rewrite_nxdomain_to="198.51.100.1",
+        )
+        assert PolicyConfig.from_document(config.to_document()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(PolicyError, match="unknown policy keys: blocc"):
+            PolicyConfig.from_document({"blocc": ["x"]})
+
+    def test_zone_routes_accept_a_mapping(self):
+        config = PolicyConfig.from_document(
+            {"zone_routes": {"b.test": "10.0.0.2", "a.test": "10.0.0.1"}}
+        )
+        assert config.zone_routes == (
+            ("a.test", "10.0.0.1"),
+            ("b.test", "10.0.0.2"),
+        )
+
+    def test_load_policy_file(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"block_qnames": ["evil.test"]}))
+        assert load_policy_file(path).block_qnames == ("evil.test",)
+
+    def test_load_bad_json_raises_policy_error(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text("{not json")
+        with pytest.raises(PolicyError, match="cannot load"):
+            load_policy_file(path)
+
+
+class TestZoneRoute:
+    def test_parse(self):
+        assert parse_zone_route("Corp.Example=10.1.2.3") == (
+            "corp.example",
+            "10.1.2.3",
+        )
+
+    @pytest.mark.parametrize("spec", ["corp.example", "=10.0.0.1", "zone="])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(PolicyError):
+            parse_zone_route(spec)
+
+
+class TestBuildPolicy:
+    def test_nothing_configured_returns_none(self):
+        assert build_policy() is None
+
+    def test_block_items_classified_by_shape(self):
+        config = build_policy(
+            block=("192.0.2.0/24", "198.51.100.7", "bad.example")
+        )
+        assert config.block_clients == ("192.0.2.0/24", "198.51.100.7")
+        assert config.block_qnames == ("bad.example",)
+
+    def test_flags_merge_on_top_of_the_policy_file(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"block_qnames": ["from-file.test"]}))
+        config = build_policy(
+            policy_file=str(path),
+            block=("from-flag.test",),
+            sinkhole=("sink.test",),
+            zone_route=("corp.test=10.2.2.2",),
+            sinkhole_ip="198.51.100.53",
+        )
+        assert config.block_qnames == ("from-file.test", "from-flag.test")
+        assert config.sinkhole_qnames == ("sink.test",)
+        assert config.zone_routes == (("corp.test", "10.2.2.2"),)
+        assert config.sinkhole_ip == "198.51.100.53"
+
+    def test_default_sinkhole_ip(self):
+        assert build_policy(sinkhole=("x.test",)).sinkhole_ip == (
+            DEFAULT_SINKHOLE_IP
+        )
+
+
+class TestThreatFeedPolicy:
+    def build_feed(self):
+        cymon = CymonDatabase()
+        cymon.add_reports("203.0.113.9", ThreatCategory.BOTNET)
+        cymon.add_reports("203.0.113.5", ThreatCategory.SPAM, count=2)
+        cymon.add_reports("203.0.113.2", ThreatCategory.MALWARE)
+        return cymon
+
+    def test_reported_addresses_become_client_blocks_sorted(self):
+        config = threat_feed_policy(self.build_feed())
+        assert config.block_clients == (
+            "203.0.113.2",
+            "203.0.113.5",
+            "203.0.113.9",
+        )
+
+    def test_category_filter(self):
+        config = threat_feed_policy(
+            self.build_feed(), categories=("Botnet", "malware")
+        )
+        assert config.block_clients == ("203.0.113.2", "203.0.113.9")
+
+    def test_base_blocks_kept_without_duplicates(self):
+        base = PolicyConfig(block_clients=("203.0.113.5", "10.0.0.0/8"))
+        config = threat_feed_policy(self.build_feed(), base=base)
+        assert config.block_clients == (
+            "203.0.113.5",
+            "10.0.0.0/8",
+            "203.0.113.2",
+            "203.0.113.9",
+        )

@@ -1,0 +1,234 @@
+"""PolicyEngine: precedence, verdicts, rewriting, decision accounting."""
+
+import pytest
+
+from repro.dnslib.constants import Rcode
+from repro.dnslib.message import make_query, make_response
+from repro.dnslib.records import AData, ResourceRecord
+from repro.policy.config import PolicyConfig
+from repro.policy.engine import PolicyAction, PolicyEngine
+from repro.policy.report import DECISIONS_HEADER, render_policy_decisions
+from repro.threatintel.geo import GeoDatabase
+
+CLIENT = "8.8.4.100"
+
+
+def engine(**kwargs):
+    geo = kwargs.pop("geo", None)
+    return PolicyEngine(PolicyConfig(**kwargs), geo=geo)
+
+
+class TestPrecedence:
+    def test_default_is_allow(self):
+        decision = engine().evaluate_query(CLIENT, "www.example.net")
+        assert decision.action is PolicyAction.ALLOW
+        assert decision.rule == "default"
+
+    def test_allow_list_beats_every_block(self):
+        eng = engine(
+            allow_clients=("8.8.4.0/24",),
+            block_clients=("8.8.0.0/16",),
+            block_qnames=("example.net",),
+        )
+        decision = eng.evaluate_query(CLIENT, "www.example.net")
+        assert decision.action is PolicyAction.ALLOW
+        assert decision.rule == "allow-client:8.8.4.0/24"
+
+    def test_client_block_beats_qname_rules(self):
+        eng = engine(
+            block_clients=("8.8.4.0/24",), sinkhole_qnames=("example.net",)
+        )
+        decision = eng.evaluate_query(CLIENT, "www.example.net")
+        assert decision.action is PolicyAction.REFUSE
+
+    def test_block_qname_beats_sinkhole(self):
+        eng = engine(
+            block_qnames=("example.net",), sinkhole_qnames=("example.net",)
+        )
+        assert (
+            eng.evaluate_query(CLIENT, "www.example.net").action
+            is PolicyAction.NXDOMAIN
+        )
+
+    def test_sinkhole_carries_target(self):
+        eng = engine(sinkhole_qnames=("example.net",))
+        decision = eng.evaluate_query(CLIENT, "www.example.net")
+        assert decision.action is PolicyAction.SINKHOLE
+        assert decision.target == eng.config.sinkhole_ip
+
+
+class TestMatching:
+    def test_suffix_match_is_label_aligned(self):
+        eng = engine(block_qnames=("example.net",))
+        blocked = eng.evaluate_query(CLIENT, "deep.sub.example.net")
+        assert blocked.action is PolicyAction.NXDOMAIN
+        # "notexample.net" shares the string suffix but not the zone.
+        assert (
+            eng.evaluate_query(CLIENT, "notexample.net").action
+            is PolicyAction.ALLOW
+        )
+
+    def test_qname_comparison_is_case_and_dot_insensitive(self):
+        eng = engine(block_qnames=("example.net",))
+        assert (
+            eng.evaluate_query(CLIENT, "WWW.Example.NET.").action
+            is PolicyAction.NXDOMAIN
+        )
+
+    def test_label_prefix_matches_first_label_only(self):
+        eng = engine(block_label_prefixes=("wt",))
+        assert (
+            eng.evaluate_query(CLIENT, "wt123.example.net").action
+            is PolicyAction.NXDOMAIN
+        )
+        assert (
+            eng.evaluate_query(CLIENT, "www.wt123.example.net").action
+            is PolicyAction.ALLOW
+        )
+
+    def test_none_qname_skips_qname_rules_not_client_rules(self):
+        eng = engine(
+            block_qnames=("example.net",), block_clients=("8.8.4.0/24",)
+        )
+        assert eng.evaluate_query(CLIENT, None).action is PolicyAction.REFUSE
+        assert (
+            engine(block_qnames=("example.net",))
+            .evaluate_query(CLIENT, None)
+            .action
+            is PolicyAction.ALLOW
+        )
+
+
+class TestRouting:
+    def test_longest_zone_wins_regardless_of_config_order(self):
+        routes = (
+            ("example.net", "10.0.0.1"),
+            ("corp.example.net", "10.0.0.2"),
+        )
+        for ordering in (routes, routes[::-1]):
+            eng = engine(zone_routes=ordering)
+            decision = eng.evaluate_query(CLIENT, "www.corp.example.net")
+            assert decision.action is PolicyAction.ROUTE
+            assert decision.target == "10.0.0.2"
+            assert (
+                eng.evaluate_query(CLIENT, "www.example.net").target
+                == "10.0.0.1"
+            )
+
+
+class TestGeoPredicates:
+    def build_geo(self):
+        geo = GeoDatabase()
+        geo.add("8.8.0.0/16", "US", asn=15169)
+        geo.add("77.88.0.0/16", "RU", asn=13238)
+        return geo
+
+    def test_blocked_country_refused(self):
+        eng = engine(block_countries=("ru",), geo=self.build_geo())
+        decision = eng.evaluate_query("77.88.8.8", "www.example.net")
+        assert decision.action is PolicyAction.REFUSE
+        assert decision.rule == "block-country:RU"
+        assert (
+            eng.evaluate_query(CLIENT, "www.example.net").action
+            is PolicyAction.ALLOW
+        )
+
+    def test_blocked_asn_refused(self):
+        eng = engine(block_asns=(15169,), geo=self.build_geo())
+        assert (
+            eng.evaluate_query("8.8.8.8", "x.test").action
+            is PolicyAction.REFUSE
+        )
+
+    def test_geo_rules_inert_without_a_database(self):
+        eng = engine(block_countries=("RU",))
+        assert (
+            eng.evaluate_query("77.88.8.8", "x.test").action
+            is PolicyAction.ALLOW
+        )
+
+    def test_unregistered_client_not_refused(self):
+        eng = engine(block_countries=("RU",), geo=self.build_geo())
+        assert (
+            eng.evaluate_query("203.0.113.1", "x.test").action
+            is PolicyAction.ALLOW
+        )
+
+
+class TestRewriting:
+    def test_nxdomain_rewritten_to_configured_address(self):
+        eng = engine(rewrite_nxdomain_to="198.51.100.99")
+        response = make_response(
+            make_query("typo.example.net", msg_id=7), rcode=Rcode.NXDOMAIN
+        )
+        rewritten = eng.rewrite_response(response)
+        assert rewritten.header.rcode == Rcode.NOERROR
+        assert rewritten.first_a_record().data.address == "198.51.100.99"
+        assert rewritten.header.msg_id == 7
+        assert eng.stats.rewritten == 1
+
+    def test_ad_injection_replaces_matching_answers(self):
+        eng = engine(
+            inject_ad_qnames=("ads.example.net",),
+            inject_ad_ip="198.51.100.10",
+        )
+        response = make_response(
+            make_query("img.ads.example.net"),
+            answers=[
+                ResourceRecord("img.ads.example.net", 1, data=AData("1.2.3.4"))
+            ],
+        )
+        rewritten = eng.rewrite_response(response)
+        assert rewritten.first_a_record().data.address == "198.51.100.10"
+
+    def test_no_match_returns_the_same_object(self):
+        eng = engine(
+            rewrite_nxdomain_to="198.51.100.99",
+            inject_ad_qnames=("ads.example.net",),
+            inject_ad_ip="198.51.100.10",
+        )
+        response = make_response(make_query("www.example.net"))
+        assert eng.rewrite_response(response) is response
+        assert eng.stats.rewritten == 0
+
+
+class TestAccounting:
+    def test_stats_and_decision_rows(self):
+        eng = engine(
+            block_clients=("192.0.2.0/24",), sinkhole_qnames=("evil.test",)
+        )
+        eng.evaluate_query("192.0.2.9", "a.test")
+        eng.evaluate_query(CLIENT, "www.evil.test")
+        eng.evaluate_query(CLIENT, "ok.test")
+        eng.evaluate_query(CLIENT, "ok.test")
+        stats = eng.stats
+        assert (stats.evaluated, stats.refused, stats.sinkholed) == (4, 1, 1)
+        assert stats.allowed == 2
+        assert eng.decision_rows() == [
+            ("block-client:192.0.2.0/24", "refuse", 1),
+            ("default", "allow", 2),
+            ("sinkhole:evil.test", "sinkhole", 1),
+        ]
+
+    def test_render_decisions(self):
+        eng = engine(block_qnames=("bad.test",))
+        eng.evaluate_query(CLIENT, "x.bad.test")
+        text = render_policy_decisions(eng)
+        assert text.startswith(DECISIONS_HEADER)
+        assert "block-qname:bad.test" in text
+        assert "evaluated=1" in text
+
+    def test_render_without_traffic(self):
+        text = render_policy_decisions(engine(block_qnames=("bad.test",)))
+        assert "(no queries evaluated)" in text
+
+    @pytest.mark.parametrize("action", ["refuse", "nxdomain", "sinkhole"])
+    def test_every_decision_is_deterministic(self, action):
+        kwargs = {
+            "refuse": dict(block_clients=("8.8.4.0/24",)),
+            "nxdomain": dict(block_qnames=("example.net",)),
+            "sinkhole": dict(sinkhole_qnames=("example.net",)),
+        }[action]
+        first = engine(**kwargs).evaluate_query(CLIENT, "www.example.net")
+        second = engine(**kwargs).evaluate_query(CLIENT, "www.example.net")
+        assert first == second

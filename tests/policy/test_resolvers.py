@@ -1,0 +1,203 @@
+"""Policy enforcement inside the serving paths (simulated networks).
+
+The same PolicyEngine sits in front of the recursive resolver, the
+forwarding proxy, and the behavior hosts; these tests pin the verdict →
+wire-behavior mapping for each path: REFUSE → REFUSED, NXDOMAIN block →
+NXDOMAIN, sinkhole → synthesized A, route → the chosen upstream, and
+the rewrite hook on outbound answers.
+"""
+
+from repro.dnslib.constants import Rcode
+from repro.dnslib.message import make_query
+from repro.dnslib.wire import decode_message, encode_message
+from repro.dnslib.zone import parse_master_file
+from repro.dnssrv.forwarder import ForwardingResolver
+from repro.dnssrv.hierarchy import build_hierarchy
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.netsim.network import Network
+from repro.netsim.packet import Datagram
+from repro.policy.config import PolicyConfig
+from repro.policy.engine import PolicyEngine
+
+ZONE_TEXT = """\
+$ORIGIN ucfsealresearch.net.
+$TTL 300
+@ IN SOA ns1 hostmaster 1 2 3 4 5
+www IN A 45.76.1.10
+"""
+
+RESOLVER_IP = "93.184.10.1"
+CLIENT_IP = "8.8.4.100"
+BLOCKED_CLIENT = "192.0.2.66"
+
+SLD = "ucfsealresearch.net"
+
+POLICY = PolicyConfig(
+    block_clients=("192.0.2.0/24",),
+    block_qnames=(f"blocked.{SLD}",),
+    sinkhole_qnames=(f"evil.{SLD}",),
+)
+
+
+def build_recursive(policy_config=POLICY):
+    network = Network()
+    hierarchy = build_hierarchy(network)
+    hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+    policy = PolicyEngine(policy_config)
+    resolver = RecursiveResolver(
+        RESOLVER_IP, hierarchy.root_servers, policy=policy
+    )
+    resolver.attach(network)
+    return network, hierarchy, resolver, policy
+
+
+def ask(network, qname, client_ip=CLIENT_IP, server_ip=RESOLVER_IP):
+    responses = []
+    if not network.is_bound(client_ip, 5555):
+        network.bind(client_ip, 5555, lambda dg, net: responses.append(dg))
+    query = make_query(qname, msg_id=33)
+    network.send(
+        Datagram(client_ip, 5555, server_ip, 53, encode_message(query))
+    )
+    network.run()
+    return [decode_message(dg.payload) for dg in responses]
+
+
+class TestRecursiveWithPolicy:
+    def test_allowed_query_resolves_normally(self):
+        network, hierarchy, resolver, policy = build_recursive()
+        (response,) = ask(network, f"www.{SLD}")
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "45.76.1.10"
+        assert policy.stats.allowed == 1
+
+    def test_blocked_client_refused_before_any_recursion(self):
+        network, hierarchy, resolver, policy = build_recursive()
+        (response,) = ask(network, f"www.{SLD}", client_ip=BLOCKED_CLIENT)
+        assert response.rcode == Rcode.REFUSED
+        assert response.header.flags.ra
+        assert hierarchy.root.queries_served == 0
+        assert policy.stats.refused == 1
+
+    def test_blocked_qname_answers_nxdomain_locally(self):
+        network, hierarchy, resolver, policy = build_recursive()
+        (response,) = ask(network, f"x.blocked.{SLD}")
+        assert response.rcode == Rcode.NXDOMAIN
+        assert hierarchy.root.queries_served == 0
+        assert resolver.stats.nxdomain == 1
+
+    def test_sinkholed_qname_answers_synthesized_a(self):
+        network, hierarchy, resolver, policy = build_recursive()
+        (response,) = ask(network, f"www.evil.{SLD}")
+        assert response.rcode == Rcode.NOERROR
+        record = response.first_a_record()
+        assert record.data.address == POLICY.sinkhole_ip
+        assert record.ttl == POLICY.sinkhole_ttl
+        assert hierarchy.root.queries_served == 0
+
+    def test_zone_route_steers_resolution_to_the_target_server(self):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+        # Route the SLD straight at the authoritative server: the root
+        # and TLD tiers must never see the query.
+        policy = PolicyEngine(
+            PolicyConfig(zone_routes=((SLD, hierarchy.auth.ip),))
+        )
+        resolver = RecursiveResolver(
+            RESOLVER_IP, hierarchy.root_servers, policy=policy
+        )
+        resolver.attach(network)
+        (response,) = ask(network, f"www.{SLD}")
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "45.76.1.10"
+        assert hierarchy.root.queries_served == 0
+        assert hierarchy.tld.queries_served == 0
+        assert policy.stats.routed == 1
+
+    def test_nxdomain_rewrite_applies_to_resolved_answers(self):
+        network, hierarchy, resolver, policy = build_recursive(
+            PolicyConfig(rewrite_nxdomain_to="198.51.100.99")
+        )
+        (response,) = ask(network, f"no-such-name.{SLD}")
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "198.51.100.99"
+        assert policy.stats.rewritten == 1
+
+
+class TestForwarderWithPolicy:
+    UPSTREAM_IP = "93.184.10.1"
+    PROXY_IP = "201.10.0.5"
+
+    def build_world(self, policy_config=POLICY):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+        upstream = RecursiveResolver(self.UPSTREAM_IP, hierarchy.root_servers)
+        upstream.attach(network)
+        policy = PolicyEngine(policy_config)
+        proxy = ForwardingResolver(
+            self.PROXY_IP, self.UPSTREAM_IP, policy=policy
+        )
+        proxy.attach(network)
+        return network, proxy, policy
+
+    def ask(self, network, qname, client_ip=CLIENT_IP):
+        return ask(network, qname, client_ip, server_ip=self.PROXY_IP)
+
+    def test_blocked_client_refused_without_forwarding(self):
+        network, proxy, policy = self.build_world()
+        (response,) = self.ask(network, f"www.{SLD}", BLOCKED_CLIENT)
+        assert response.rcode == Rcode.REFUSED
+        assert proxy.forwarded == 0
+        assert proxy.answered_locally == 1
+
+    def test_blocked_qname_nxdomain_at_the_proxy(self):
+        network, proxy, policy = self.build_world()
+        (response,) = self.ask(network, f"blocked.{SLD}")
+        assert response.rcode == Rcode.NXDOMAIN
+        assert proxy.forwarded == 0
+
+    def test_sinkholed_qname_answered_at_the_proxy(self):
+        network, proxy, policy = self.build_world()
+        (response,) = self.ask(network, f"evil.{SLD}")
+        assert response.first_a_record().data.address == POLICY.sinkhole_ip
+        assert proxy.forwarded == 0
+
+    def test_allowed_query_still_relays(self):
+        network, proxy, policy = self.build_world()
+        (response,) = self.ask(network, f"www.{SLD}")
+        assert response.first_a_record().data.address == "45.76.1.10"
+        assert proxy.forwarded == 1
+        assert proxy.relayed == 1
+
+    def test_zone_route_picks_the_alternate_upstream(self):
+        network = Network()
+        hierarchy = build_hierarchy(network)
+        hierarchy.auth.load_zone(parse_master_file(ZONE_TEXT))
+        main_upstream = RecursiveResolver(
+            self.UPSTREAM_IP, hierarchy.root_servers
+        )
+        main_upstream.attach(network)
+        alternate = RecursiveResolver("93.184.10.2", hierarchy.root_servers)
+        alternate.attach(network)
+        policy = PolicyEngine(
+            PolicyConfig(zone_routes=((SLD, "93.184.10.2"),))
+        )
+        proxy = ForwardingResolver(
+            self.PROXY_IP, self.UPSTREAM_IP, policy=policy
+        )
+        proxy.attach(network)
+        (response,) = self.ask(network, f"www.{SLD}")
+        assert response.rcode == Rcode.NOERROR
+        assert main_upstream.stats.client_queries == 0
+        assert alternate.stats.client_queries == 1
+
+    def test_relayed_answers_pass_the_rewrite_hook(self):
+        network, proxy, policy = self.build_world(
+            PolicyConfig(rewrite_nxdomain_to="198.51.100.99")
+        )
+        (response,) = self.ask(network, f"no-such-name.{SLD}")
+        assert response.rcode == Rcode.NOERROR
+        assert response.first_a_record().data.address == "198.51.100.99"
+        assert proxy.relayed == 1

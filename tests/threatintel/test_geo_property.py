@@ -1,0 +1,126 @@
+"""Property-based differential for GeoDatabase longest-prefix match.
+
+The indexed lookup (bisect + bounded backward scan with the max-span
+pruning cut) must agree with the obviously-correct brute force — scan
+every registration, keep the most specific covering block — on every
+database shape hypothesis can build: nested prefixes, adjacent blocks,
+a /0 covering everything, duplicate starts, lookups far from any
+registration.
+
+This pins the backward-scan regression: the old pruning heuristic
+stopped at any wide block, so an address covered *only* by a broad
+ancestor (say a /8 behind an unrelated /24) looked up as unregistered.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.ipv4 import Ipv4Block
+from repro.threatintel.geo import GeoDatabase, GeoEntry
+
+
+def brute_force(entries, value):
+    """Reference LPM: latest most-specific covering registration.
+
+    Ties on prefix go to the later registration, matching the indexed
+    path's stable sort + backward scan.
+    """
+    best = None
+    for entry in entries:
+        if value in entry.block and (
+            best is None or entry.block.prefix >= best.block.prefix
+        ):
+            best = entry
+    return best
+
+
+# A compact universe keeps covering blocks likely while still
+# exercising every span class from /0 to /32.
+_PREFIXES = st.integers(min_value=0, max_value=32)
+_ADDRESSES = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def cidr_blocks(draw):
+    prefix = draw(_PREFIXES)
+    address = draw(_ADDRESSES)
+    span = 1 << (32 - prefix)
+    first = (address // span) * span
+    octets = [(first >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+    return f"{'.'.join(str(o) for o in octets)}/{prefix}"
+
+
+@st.composite
+def databases(draw):
+    db = GeoDatabase()
+    for index, cidr in enumerate(
+        draw(st.lists(cidr_blocks(), min_size=0, max_size=24))
+    ):
+        db.add(cidr, country="US", asn=index + 1)
+    return db
+
+
+def int_to_ip(value):
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(db=databases(), value=_ADDRESSES)
+def test_lookup_matches_brute_force(db, value):
+    expected = brute_force(db.entries(), value)
+    got = db.lookup(int_to_ip(value))
+    if expected is None:
+        assert got is None
+    else:
+        assert got is not None
+        # Same specificity and same data; when several registrations
+        # duplicate a block exactly, any of them is a correct answer as
+        # long as the metadata matches the reference's choice of block.
+        assert got.block.prefix == expected.block.prefix
+        assert value in got.block
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    db=databases(),
+    blocks=st.lists(cidr_blocks(), min_size=1, max_size=4),
+    value=_ADDRESSES,
+)
+def test_lookup_agrees_after_incremental_adds(db, blocks, value):
+    # Re-indexing after mutation must preserve the differential.
+    db.lookup(int_to_ip(value))  # force an index build, then dirty it
+    for index, cidr in enumerate(blocks):
+        db.add(cidr, country="DE", asn=100 + index)
+    expected = brute_force(db.entries(), value)
+    got = db.lookup(int_to_ip(value))
+    assert (got is None) == (expected is None)
+    if got is not None:
+        assert got.block.prefix == expected.block.prefix
+
+
+class TestBackwardScanRegression:
+    """The concrete shape the old ``prefix <= 8`` cut got wrong."""
+
+    def test_broad_ancestor_behind_unrelated_specific_block(self):
+        db = GeoDatabase()
+        db.add("0.0.0.0/0", "US", asn=1)
+        db.add("10.0.0.0/8", "DE", asn=2)
+        # 11.0.0.1 is covered only by the /0; the scan starts at the
+        # /8 (the nearest earlier start) and must keep walking past it.
+        entry = db.lookup("11.0.0.1")
+        assert entry is not None
+        assert entry.asn == 1
+
+    def test_specific_block_still_shadows_its_ancestor(self):
+        db = GeoDatabase()
+        db.add("0.0.0.0/0", "US", asn=1)
+        db.add("10.0.0.0/8", "DE", asn=2)
+        assert db.lookup("10.1.2.3").asn == 2
+
+    def test_unregistered_gap_is_none(self):
+        db = GeoDatabase()
+        db.add("10.0.0.0/8", "DE", asn=2)
+        db.add("192.168.0.0/16", "US", asn=3)
+        assert db.lookup("172.16.0.1") is None

@@ -1,0 +1,248 @@
+"""Policy through the serving stack: sim≡socket parity and lifecycle.
+
+Qname-triggered verdicts (block → NXDOMAIN, sinkhole → synthesized A,
+zone routes, NXDOMAIN rewriting) depend only on the query, so the live
+daemon's bytes must equal the simulator's for the same wire sequence —
+the same differential the plain interop suite runs, now with a policy
+engine in front. Client-address verdicts are asserted per backend (the
+loopback client and the simulated client necessarily differ).
+
+The lifecycle half pins the forwarder bugfix end to end: a daemon whose
+upstream never answers drains within one eviction horizon instead of
+hanging on the leaked outstanding table until the grace cuts it off.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.dnslib.constants import Rcode
+from repro.dnslib.fastwire import build_query_wire
+from repro.dnslib.wire import decode_message
+from repro.dnssrv.forwarder import _Outstanding
+from repro.netsim.packet import Datagram
+from repro.transport.serve import (
+    DEFAULT_SLD,
+    AUTH_IP,
+    DnsService,
+    ServeConfig,
+    build_world,
+)
+from repro.transport.sim import SimTransport
+
+SIM_CLIENT_IP = "8.8.4.100"
+CLIENT_PORT = 5555
+
+POLICY_FLAGS = dict(
+    block=(f"blocked.{DEFAULT_SLD}",),
+    sinkhole=(f"evil.{DEFAULT_SLD}",),
+    zone_route=(f"routed.{DEFAULT_SLD}={AUTH_IP}",),
+)
+
+
+def policy_config(profile, port, **extra):
+    return ServeConfig(profile=profile, port=port, **POLICY_FLAGS, **extra)
+
+
+def policy_queries():
+    names = [
+        f"www.{DEFAULT_SLD}",         # allowed: the fixture answer
+        f"x.blocked.{DEFAULT_SLD}",   # blocked qname: NXDOMAIN
+        f"sub.evil.{DEFAULT_SLD}",    # sinkholed: synthesized A
+        f"www.{DEFAULT_SLD}",         # allowed again (cache path)
+    ]
+    return [
+        build_query_wire(name, msg_id=index)
+        for index, name in enumerate(names, start=1)
+    ]
+
+
+def sim_answers(config, query_wires, client_ip=SIM_CLIENT_IP):
+    transport = SimTransport()
+    world = build_world(config, transport, infra_port=53)
+    replies = []
+    transport.bind(client_ip, CLIENT_PORT, lambda dg, net: replies.append(dg))
+    endpoint = world.endpoint
+    for wire in query_wires:
+        transport.send(
+            Datagram(client_ip, CLIENT_PORT, endpoint.ip, endpoint.port, wire)
+        )
+        transport.run()
+    return [dg.payload for dg in replies], world
+
+
+def socket_answers(config, query_wires, timeout=3.0):
+    service = DnsService(config)
+    endpoint = service.start()
+    client = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    client.settimeout(timeout)
+    client.bind(("127.0.0.1", 0))
+    payloads = []
+    try:
+        for wire in query_wires:
+            client.sendto(wire, (endpoint.ip, endpoint.port))
+            payload, _ = client.recvfrom(65535)
+            payloads.append(payload)
+    finally:
+        client.close()
+        service.stop()
+    return payloads, service
+
+
+@pytest.mark.parametrize("profile", ["recursive", "forwarder", "transparent"])
+class TestSimSocketPolicyDifferential:
+    def test_policy_verdict_bytes_identical_across_backends(self, profile):
+        wires = policy_queries()
+        sim, _ = sim_answers(policy_config(profile, port=5300), wires)
+        live, _ = socket_answers(policy_config(profile, port=0), wires)
+        assert len(sim) == len(wires)
+        assert live == sim
+
+    def test_verdicts_decode_as_specified(self, profile):
+        wires = policy_queries()
+        live, _ = socket_answers(policy_config(profile, port=0), wires)
+        allowed, blocked, sinkholed, again = map(decode_message, live)
+        assert allowed.first_a_record().data.address == "203.0.113.80"
+        assert blocked.rcode == Rcode.NXDOMAIN
+        assert sinkholed.rcode == Rcode.NOERROR
+        assert sinkholed.first_a_record().data.address == "203.0.113.253"
+        assert again.first_a_record().data.address == "203.0.113.80"
+
+
+class TestZoneRoute:
+    def test_routed_zone_resolves_via_the_named_server(self):
+        # The route sends routed.<sld> straight at the authoritative
+        # server; the name exists there, so the answer must come back
+        # identically on both backends without touching root or TLD.
+        config = policy_config("recursive", port=5300)
+        wires = [build_query_wire(f"www.{DEFAULT_SLD}", msg_id=9)]
+        sim, world = sim_answers(config, wires)
+        assert world.root.queries_served > 0  # unrouted names still walk
+
+        routed_wires = [
+            build_query_wire(f"routed.{DEFAULT_SLD}", msg_id=10)
+        ]
+        sim_routed, world_routed = sim_answers(config, routed_wires)
+        assert world_routed.root.queries_served == 0
+        assert world_routed.tld.queries_served == 0
+        (payload,) = sim_routed
+        # routed.<sld> is not in the fixture zone: the auth server says
+        # NXDOMAIN — but the decision rode the route, provably.
+        assert decode_message(payload).rcode == Rcode.NXDOMAIN
+        assert world_routed.policy.stats.routed == 1
+
+
+class TestClientBlocks:
+    def test_simulated_client_refused_by_cidr(self):
+        config = ServeConfig(
+            profile="recursive", port=5300, block=("8.8.4.0/24",)
+        )
+        wires = [build_query_wire(f"www.{DEFAULT_SLD}", msg_id=1)]
+        payloads, world = sim_answers(config, wires)
+        assert decode_message(payloads[0]).rcode == Rcode.REFUSED
+        assert world.policy.stats.refused == 1
+
+    def test_loopback_client_refused_on_the_live_daemon(self):
+        config = ServeConfig(
+            profile="recursive", port=0, block=("127.0.0.0/8",)
+        )
+        wires = [build_query_wire(f"www.{DEFAULT_SLD}", msg_id=1)]
+        payloads, service = socket_answers(config, wires)
+        assert decode_message(payloads[0]).rcode == Rcode.REFUSED
+        counters = service.hub.registry.snapshot().counters
+        assert counters["policy.refused"] == 1
+
+
+class TestPolicyFileRewrite:
+    def test_nxdomain_rewrite_identical_across_backends(self, tmp_path):
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text(
+            json.dumps({"rewrite_nxdomain_to": "198.51.100.99"})
+        )
+        config = ServeConfig(
+            profile="recursive", port=5300, policy_file=str(policy_path)
+        )
+        wires = [build_query_wire(f"no-such.{DEFAULT_SLD}", msg_id=4)]
+        sim, _ = sim_answers(config, wires)
+        live, _ = socket_answers(
+            ServeConfig(
+                profile="recursive", port=0, policy_file=str(policy_path)
+            ),
+            wires,
+        )
+        assert live == sim
+        rewritten = decode_message(live[0])
+        assert rewritten.rcode == Rcode.NOERROR
+        assert rewritten.first_a_record().data.address == "198.51.100.99"
+
+
+class TestPolicyTelemetry:
+    def test_counters_fold_per_decision(self):
+        wires = policy_queries()
+        _, service = socket_answers(
+            policy_config("recursive", port=0), wires
+        )
+        counters = service.hub.registry.snapshot().counters
+        assert counters["policy.evaluated"] == 4
+        assert counters["policy.allowed"] == 2
+        assert counters["policy.nxdomain"] == 1
+        assert counters["policy.sinkholed"] == 1
+        assert (
+            counters[f"policy.decision.block-qname:blocked.{DEFAULT_SLD}"
+                     ".nxdomain"] == 1
+        )
+        assert (
+            counters[f"policy.decision.sinkhole:evil.{DEFAULT_SLD}"
+                     ".sinkhole"] == 1
+        )
+
+    def test_no_policy_flags_fold_no_policy_counters(self):
+        wires = [build_query_wire(f"www.{DEFAULT_SLD}", msg_id=1)]
+        _, service = socket_answers(
+            ServeConfig(profile="recursive", port=0), wires
+        )
+        counters = service.hub.registry.snapshot().counters
+        assert not any(name.startswith("policy.") for name in counters)
+
+
+class TestBlackholedForwarderDrain:
+    """The daemon-level half of the eviction bugfix: stale relays must
+    not hold the drain gate for the whole grace period."""
+
+    def test_drain_completes_within_one_eviction_horizon(self):
+        config = ServeConfig(
+            profile="forwarder", port=0,
+            eviction_horizon=0.4, drain_grace=10.0,
+        )
+        service = DnsService(config)
+        service.start()
+        front = service.world.front
+        # Model a blackholed upstream: entries relayed and never
+        # answered. Injected directly — the daemon is idle, and this is
+        # exactly the state a dead upstream leaves behind.
+        now = service.world.transport.now
+        for msg_id in (101, 102, 103):
+            front._outstanding[msg_id] = _Outstanding(
+                Datagram("127.0.0.1", 5555, "127.0.0.1", 53, b""),
+                now, front.upstream_ip,
+            )
+        assert service.world.pending() == 3
+        started = time.monotonic()
+        service.stop()
+        elapsed = time.monotonic() - started
+        assert service.drained
+        assert front.evicted == 3
+        assert front.pending_count == 0
+        # One horizon (0.4s) plus poll/join slack — nowhere near the
+        # 10s grace the leak would have burned.
+        assert elapsed < 5.0
+        gauge = service.hub.registry.snapshot().gauges[
+            "serve.drain_pending_left"
+        ]
+        assert gauge["last"] == 0.0
+
+    def test_eviction_horizon_validated(self):
+        with pytest.raises(ValueError, match="eviction_horizon"):
+            ServeConfig(eviction_horizon=0.0)
